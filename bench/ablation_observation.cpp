@@ -1,0 +1,42 @@
+// Ablation: test-response observation policy.
+//
+// The reproduction's default integrated test strobes the datapath outputs
+// only while the controller holds its results (kAtHold) — the natural
+// policy for the paper's architecture, where mid-schedule register contents
+// are not externally visible. A tester that compares every clock
+// (kEveryCycle) additionally catches faults whose only system-level effect
+// is a transient on an output register during the computation. This bench
+// quantifies how many "undetectable" faults each policy leaves behind.
+#include <cstdio>
+
+#include "base/text_table.hpp"
+#include "core/pipeline.hpp"
+#include "designs/designs.hpp"
+
+int main() {
+  using namespace pfd;
+  std::printf("=== Ablation: output observation policy ===\n\n");
+  TextTable t({"circuit", "policy", "total", "SFI(sim)", "SFI(analysis)",
+               "SFR", "%SFR"});
+  for (const designs::BenchmarkDesign& d : designs::BuildAll(4)) {
+    for (const auto policy : {core::ObservationPolicy::kAtHold,
+                              core::ObservationPolicy::kEveryCycle}) {
+      core::PipelineConfig cfg;
+      cfg.observation = policy;
+      const core::ClassificationReport r =
+          core::ClassifyControllerFaults(d.system, d.hls, cfg);
+      t.AddRow({d.name,
+                policy == core::ObservationPolicy::kAtHold ? "at-hold"
+                                                           : "every-cycle",
+                std::to_string(r.total),
+                std::to_string(r.sfi_sim + r.sfi_potential),
+                std::to_string(r.sfi_analysis), std::to_string(r.sfr),
+                TextTable::FormatDouble(r.PercentSfr(), 1) + "%"});
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nEvery-cycle observation can only shrink the SFR set: faults that "
+      "disturb an output register mid-schedule become detectable.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation of the controller-synthesis design choices DESIGN.md calls out:
+// output-logic style (per-line SOP / shared-term SOP / state decoder),
+// don't-care fill (hard zeros vs minimiser-chosen), and state encoding
+// (binary / Gray / one-hot). Each cell reruns the full Section-5 pipeline
+// on Diffeq — the SFR population is a property of how the controller was
+// synthesized, which is exactly the point of the paper's Section 2.
+#include <cstdio>
+
+#include "base/text_table.hpp"
+#include "core/pipeline.hpp"
+#include "designs/designs.hpp"
+
+int main() {
+  using namespace pfd;
+  std::printf(
+      "=== Ablation: controller synthesis choices (Diffeq, 4-bit) ===\n\n");
+
+  const hls::Dfg dfg = designs::MakeDiffeqDfg(4);
+  const hls::HlsResult hr = hls::RunHls(dfg, designs::DiffeqConfig());
+
+  struct StyleRow {
+    const char* name;
+    synth::OutputLogicStyle style;
+  };
+  struct EncRow {
+    const char* name;
+    synth::StateEncoding encoding;
+  };
+  const StyleRow styles[] = {
+      {"per-line SOP", synth::OutputLogicStyle::kMinimizedSop},
+      {"shared-term SOP", synth::OutputLogicStyle::kSharedSop},
+      {"state decoder", synth::OutputLogicStyle::kStateDecoder}};
+  const EncRow encodings[] = {{"binary", synth::StateEncoding::kBinary},
+                              {"gray", synth::StateEncoding::kGray},
+                              {"one-hot", synth::StateEncoding::kOneHot}};
+
+  TextTable t({"output logic", "dc fill", "encoding", "ctrl gates",
+               "total faults", "SFR", "%SFR", "CFR"});
+  for (const StyleRow& style : styles) {
+    for (const char* fill_name : {"zero", "minimizer"}) {
+      for (const EncRow& enc : encodings) {
+        // One-hot bypasses the SOP machinery entirely; only report it once
+        // per fill to avoid duplicate rows.
+        if (enc.encoding == synth::StateEncoding::kOneHot &&
+            style.style != synth::OutputLogicStyle::kSharedSop) {
+          continue;
+        }
+        synth::SynthOptions opts;
+        opts.style = style.style;
+        opts.fill = fill_name[0] == 'z' ? synth::DontCareFill::kZero
+                                        : synth::DontCareFill::kMinimizer;
+        opts.encoding = enc.encoding;
+        const synth::System sys = synth::BuildSystem(
+            "diffeq", hr.datapath, hr.control, hr.load_map, opts);
+        core::PipelineConfig cfg;
+        const core::ClassificationReport r =
+            core::ClassifyControllerFaults(sys, hr, cfg);
+        t.AddRow({style.name, fill_name, enc.name,
+                  std::to_string(sys.nl.Stats().controller_gates),
+                  std::to_string(r.total), std::to_string(r.sfr),
+                  TextTable::FormatDouble(r.PercentSfr(), 1) + "%",
+                  std::to_string(r.cfr)});
+      }
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nNote: the repository default (shared-term SOP, zero fill, binary) "
+      "lands in the paper's 13-21%% SFR band.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Integrated test vs the DFT alternative (Section 2 of the paper).
+//
+// The paper's premise: SFR faults are undetectable in any integrated test,
+// and the classical fix — multiplexing the controller outputs onto the
+// datapath outputs for direct observation [Bhatia & Jha] — is impossible
+// for hard cores and costs interface hardware. This bench quantifies both
+// sides on the three examples:
+//   * integrated test: coverage tops out at (total - SFR) / total;
+//   * DFT observation: every controller fault that reaches a control line
+//     is directly observable (SFR faults included), at the printed gate
+//     overhead and extra pins;
+//   * power analysis: recovers most of the gap with zero hardware change.
+#include <cstdio>
+
+#include "base/text_table.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "designs/designs.hpp"
+#include "synth/dft.hpp"
+
+int main() {
+  using namespace pfd;
+  std::printf(
+      "=== Integrated test vs DFT observation vs power analysis ===\n\n");
+
+  TextTable t({"circuit", "faults", "integrated coverage",
+               "+power analysis", "DFT coverage", "DFT gates", "DFT pins",
+               "sessions"});
+  for (const designs::BenchmarkDesign& d : designs::BuildAll(4)) {
+    core::PipelineConfig cfg;
+    const core::ClassificationReport report =
+        core::ClassifyControllerFaults(d.system, d.hls, cfg);
+    core::GradeConfig grade_cfg;
+    const core::PowerGradeReport graded =
+        core::GradeSfrFaults(d.system, report, grade_cfg);
+
+    // DFT: same fault universe simulated with the observation muxes active,
+    // accumulating detections across all observation sessions.
+    const synth::DftSystem dft = synth::InsertObservationDft(d.system);
+    const auto all = fault::GenerateFaults(dft.system.nl,
+                                           netlist::ModuleTag::kController);
+    const auto faults =
+        fault::Collapse(dft.system.nl, all).representatives;
+    std::vector<bool> caught(faults.size(), false);
+    for (int session = 0; session < dft.sessions; ++session) {
+      const fault::FaultSimResult r = fault::RunParallelFaultSim(
+          dft.system.nl, dft.MakeDftPlan(session), faults,
+          cfg.tpgr_seed, 64);
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (r.status[i] != fault::FaultStatus::kUndetected) {
+          caught[i] = true;
+        }
+      }
+    }
+    std::size_t dft_caught = 0;
+    for (bool c : caught) {
+      if (c) ++dft_caught;
+    }
+
+    const double integrated =
+        100.0 * static_cast<double>(report.total - report.sfr - report.cfr) /
+        static_cast<double>(report.total);
+    const double with_power =
+        100.0 *
+        static_cast<double>(report.total - report.cfr - report.sfr +
+                            graded.DetectedCount()) /
+        static_cast<double>(report.total);
+    t.AddRow({d.name, std::to_string(report.total),
+              TextTable::FormatDouble(integrated, 1) + "%",
+              TextTable::FormatDouble(with_power, 1) + "%",
+              TextTable::FormatDouble(
+                  100.0 * static_cast<double>(dft_caught) /
+                      static_cast<double>(faults.size()),
+                  1) +
+                  "%",
+              std::to_string(dft.mux_gates_added),
+              std::to_string(1 + dft.session_select.size()),
+              std::to_string(dft.sessions)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nDFT observation needs hardware inside/around the core (impossible "
+      "for a hard core); power analysis closes most of the SFR gap with "
+      "none.\n");
+  return 0;
+}

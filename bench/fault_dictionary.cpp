@@ -1,0 +1,45 @@
+// Power-signature fault dictionary: the diagnostic resolution of the
+// paper's method.
+//
+// Detection asks "is this die's power off by more than the threshold?";
+// diagnosis asks "which SFR fault would explain this power?". This bench
+// builds the Monte Carlo power dictionary for each example, then simulates
+// noisy measurements of every SFR fault and reports how often the true
+// fault is the top-ranked (and top-3) dictionary entry, as a function of
+// the measurement/die noise.
+#include <cstdio>
+
+#include "base/text_table.hpp"
+#include "core/diagnosis.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "designs/designs.hpp"
+
+int main() {
+  using namespace pfd;
+  std::printf("=== Power-signature fault dictionary resolution ===\n\n");
+  TextTable t({"circuit", "dictionary size", "sigma", "top-1", "top-3"});
+  for (const designs::BenchmarkDesign& d : designs::BuildAll(4)) {
+    core::PipelineConfig cfg;
+    const core::ClassificationReport report =
+        core::ClassifyControllerFaults(d.system, d.hls, cfg);
+    core::GradeConfig grade_cfg;
+    const core::PowerGradeReport graded =
+        core::GradeSfrFaults(d.system, report, grade_cfg);
+    for (double sigma : {0.002, 0.005, 0.01, 0.02}) {
+      const core::ResolutionReport rr = core::EvaluateDiagnosisResolution(
+          graded, {sigma}, /*trials_per_fault=*/200, /*k=*/3, 0xD1A6);
+      t.AddRow({d.name, std::to_string(graded.faults.size() + 1),
+                TextTable::FormatDouble(sigma * 100, 1) + "%",
+                TextTable::FormatDouble(rr.top1_accuracy * 100, 1) + "%",
+                TextTable::FormatDouble(rr.topk_accuracy * 100, 1) + "%"});
+    }
+    t.AddRule();
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nDictionary entries with near-identical signatures (e.g. faults on "
+      "one shared load line) are inherently indistinguishable by power "
+      "alone, which bounds top-1 accuracy.\n");
+  return 0;
+}

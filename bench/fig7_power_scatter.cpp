@@ -1,0 +1,89 @@
+// Reproduces Figure 7 of the paper: for each example circuit, the datapath
+// power consumed in the presence of every SFR controller fault, against the
+// fault-free baseline and the +/-5% detection band.
+//
+// Like the paper's plot, faults that affect only multiplexer select lines
+// come first, then faults that affect register load lines; each group is
+// sorted by increasing power. The paper's headline observations to look for
+// in this output:
+//   * select-only faults stay inside the band (small changes, some negative)
+//   * load-line faults always increase power; many exceed the band for
+//     Diffeq and Facet, fewer for Poly (long lifespans -> small effects).
+//
+// Usage: fig7_power_scatter [diffeq|facet|poly]...   (default: all three)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/text_table.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "designs/designs.hpp"
+
+namespace {
+
+void RunOne(const pfd::designs::BenchmarkDesign& d) {
+  using namespace pfd;
+  core::PipelineConfig pipe_cfg;
+  const core::ClassificationReport report =
+      core::ClassifyControllerFaults(d.system, d.hls, pipe_cfg);
+
+  core::GradeConfig grade_cfg;
+  const core::PowerGradeReport graded =
+      core::GradeSfrFaults(d.system, report, grade_cfg);
+
+  std::printf("=== Figure 7 (%s): SFR fault power scatter ===\n",
+              d.name.c_str());
+  std::printf("fault-free datapath power: %.2f uW; band: [%.2f, %.2f] uW\n",
+              graded.fault_free_uw,
+              graded.fault_free_uw * (1.0 - grade_cfg.threshold_percent / 100),
+              graded.fault_free_uw * (1.0 + grade_cfg.threshold_percent / 100));
+
+  TextTable table({"#", "group", "fault", "power uW", "change", "detected"});
+  int idx = 0;
+  std::size_t select_only = 0;
+  std::size_t load_total = 0;
+  std::size_t load_detected = 0;
+  for (const core::GradedFault* gf : graded.Figure7Order()) {
+    ++idx;
+    const bool load = gf->record->touches_load_line;
+    if (!load) ++select_only;
+    if (load) {
+      ++load_total;
+      if (gf->outside_band) ++load_detected;
+    }
+    table.AddRow({std::to_string(idx), load ? "load" : "select",
+                  gf->record->name,
+                  TextTable::FormatDouble(gf->power_uw, 2),
+                  TextTable::FormatPercent(gf->percent_change),
+                  gf->outside_band ? "yes" : "no"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "%zu SFR faults: %zu select-only, %zu load-line; %zu of %zu load-line "
+      "faults detected, %zu total detected.\n\n",
+      graded.faults.size(), select_only, load_total, load_detected,
+      load_total, graded.DetectedCount());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pfd;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) names.emplace_back(argv[i]);
+  if (names.empty()) names = {"diffeq", "facet", "poly"};
+  for (const std::string& name : names) {
+    if (name == "diffeq") {
+      RunOne(designs::BuildDiffeq(4));
+    } else if (name == "facet") {
+      RunOne(designs::BuildFacet(4));
+    } else if (name == "poly") {
+      RunOne(designs::BuildPoly(4));
+    } else {
+      std::fprintf(stderr, "unknown design: %s\n", name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

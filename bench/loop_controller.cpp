@@ -1,0 +1,62 @@
+// Extension experiment: the power-analysis method on a *branching*
+// controller.
+//
+// The paper's examples run linear schedules; its introduction, however,
+// motivates the problem with controller-datapath interaction. This bench
+// applies the full methodology to the iterating Diffeq — the same Euler
+// body executing "while x1 < a", with x/y/u carried between iterations and
+// the controller branching on a status line fed back from the datapath
+// comparator. The symbolic trace-replay prover does not apply (control is
+// data-dependent), so every undetected fault is decided by gate-level dual
+// runs; the power grading itself is unchanged.
+#include <cstdio>
+
+#include "base/text_table.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "designs/designs.hpp"
+
+int main() {
+  using namespace pfd;
+  std::printf(
+      "=== Power-analysis test of the iterating (while-loop) Diffeq ===\n\n");
+
+  const designs::BenchmarkDesign linear = designs::BuildDiffeq(4);
+  const designs::BenchmarkDesign loop = designs::BuildDiffeqLoop(4);
+  std::printf("linear: %s\n", linear.system.nl.Stats().ToString().c_str());
+  std::printf("loop:   %s (pattern budget %d cycles, %d extra for "
+              "iterations)\n\n",
+              loop.system.nl.Stats().ToString().c_str(),
+              loop.system.cycles_per_pattern,
+              loop.system.loop_extra_cycles);
+
+  TextTable t({"system", "total faults", "SFR", "%SFR", "fault-free uW",
+               "SFR detected @5%"});
+  for (const designs::BenchmarkDesign* d : {&linear, &loop}) {
+    core::PipelineConfig cfg;
+    cfg.gate_check.max_exhaustive_bits = 14;
+    cfg.gate_check.sample_patterns = 4096;
+    const core::ClassificationReport report =
+        core::ClassifyControllerFaults(d->system, d->hls, cfg);
+    core::GradeConfig grade_cfg;
+    const core::PowerGradeReport graded =
+        core::GradeSfrFaults(d->system, report, grade_cfg);
+    t.AddRow({d->name, std::to_string(report.total),
+              std::to_string(report.sfr),
+              TextTable::FormatDouble(report.PercentSfr(), 1) + "%",
+              TextTable::FormatDouble(graded.fault_free_uw, 2),
+              std::to_string(graded.DetectedCount()) + "/" +
+                  std::to_string(graded.faults.size())});
+    if (d == &loop) {
+      std::printf("loop-system SFR faults (power-graded):\n%s\n",
+                  core::GradingTable(graded).c_str());
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nThe method carries over: the branching controller's SFR faults are "
+      "still load/select don't-care artefacts, and load-line faults still "
+      "announce themselves through power.\n");
+  return 0;
+}

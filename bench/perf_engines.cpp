@@ -1,0 +1,144 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the simulation
+// and synthesis substrates. These are the pieces whose cost determines how
+// far the methodology scales past the paper's 4-bit examples.
+#include <benchmark/benchmark.h>
+
+#include "analysis/classify.hpp"
+#include "analysis/trace.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "designs/designs.hpp"
+#include "fault/fault_sim.hpp"
+#include "logicsim/simulator.hpp"
+#include "power/power_sim.hpp"
+#include "synth/qm.hpp"
+
+namespace {
+
+using namespace pfd;
+
+const designs::BenchmarkDesign& Diffeq() {
+  static const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  return d;
+}
+
+void BM_LogicSimStep(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  logicsim::Simulator sim(d.system.nl);
+  for (const synth::Bus& bus : d.system.operand_bits) {
+    for (netlist::GateId g : bus) sim.SetInputAllLanes(g, Trit::kZero);
+  }
+  int c = 0;
+  for (auto _ : state) {
+    sim.SetInputAllLanes(d.system.reset, c == 0 ? Trit::kOne : Trit::kZero);
+    sim.Step();
+    c = (c + 1) % d.system.cycles_per_pattern;
+  }
+  // 64 machine-cycles per Step; gate-evaluations per second is the headline.
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(d.system.nl.size()));
+}
+BENCHMARK(BM_LogicSimStep);
+
+void BM_ParallelFaultSim(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  const auto all =
+      fault::GenerateFaults(d.system.nl, netlist::ModuleTag::kController);
+  const auto faults = fault::Collapse(d.system.nl, all).representatives;
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  const int patterns = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fault::RunParallelFaultSim(d.system.nl, plan, faults, 0xACE1,
+                                   patterns));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(faults.size()) *
+                          patterns);
+}
+BENCHMARK(BM_ParallelFaultSim)->Arg(64)->Arg(256);
+
+void BM_SerialFaultSim(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  const auto all =
+      fault::GenerateFaults(d.system.nl, netlist::ModuleTag::kController);
+  const auto faults = fault::Collapse(d.system.nl, all).representatives;
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fault::RunSerialFaultSim(d.system.nl, plan, faults, 0xACE1, 64));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(faults.size()) * 64);
+}
+BENCHMARK(BM_SerialFaultSim);
+
+void BM_MonteCarloPower(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  const power::PowerModel model =
+      core::MakePowerModel(d.system, power::TechModel::Vsc450());
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  power::MonteCarloConfig mc;
+  mc.min_batches = 16;
+  mc.max_batches = 16;
+  mc.rel_tol = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        power::EstimatePowerMonteCarlo(d.system.nl, plan, model, mc));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 64);
+}
+BENCHMARK(BM_MonteCarloPower);
+
+void BM_SymbolicSfrCheck(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  const analysis::ControlTrace golden =
+      analysis::ExtractControlTrace(d.system, nullptr, 3);
+  // An undetected fault with effects: stuck-1 on the first load line.
+  const fault::StuckFault f{d.system.line_nets[0], 0, Trit::kOne};
+  const analysis::ControlTrace faulty =
+      analysis::ExtractControlTrace(d.system, &f, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::SymbolicSfrCheck(d.system, golden, faulty));
+  }
+}
+BENCHMARK(BM_SymbolicSfrCheck);
+
+void BM_QuineMcCluskey(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  synth::TwoLevelSpec spec;
+  spec.num_inputs = n;
+  spec.table.resize(1u << n);
+  for (std::uint32_t m = 0; m < spec.table.size(); ++m) {
+    spec.table[m] = (m * 2654435761u >> 28) % 3 == 0   ? Trit::kOne
+                    : (m * 2654435761u >> 28) % 3 == 1 ? Trit::kZero
+                                                        : Trit::kX;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::MinimizeSop(spec));
+  }
+}
+BENCHMARK(BM_QuineMcCluskey)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_FullSystemBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(designs::BuildDiffeq(4));
+  }
+}
+BENCHMARK(BM_FullSystemBuild);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  core::PipelineConfig cfg;
+  cfg.tpgr_patterns = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ClassifyControllerFaults(d.system, d.hls, cfg));
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// The Section-5 practical-difficulty analysis: how die-to-die power
+// variation erodes the power-analysis test.
+//
+// For each example circuit, sweeps the die-variation sigma and reports the
+// expected SFR coverage at the paper's 5% threshold, plus the per-fault
+// detection probabilities for the representative faults at sigma = 1%.
+#include <cstdio>
+
+#include "base/text_table.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "core/variation.hpp"
+#include "designs/designs.hpp"
+
+int main() {
+  using namespace pfd;
+  std::printf(
+      "=== Detection under process variation (threshold 5%%) ===\n\n");
+
+  for (const designs::BenchmarkDesign& d : designs::BuildAll(4)) {
+    core::PipelineConfig pipe_cfg;
+    const core::ClassificationReport report =
+        core::ClassifyControllerFaults(d.system, d.hls, pipe_cfg);
+    core::GradeConfig grade_cfg;
+    const core::PowerGradeReport graded =
+        core::GradeSfrFaults(d.system, report, grade_cfg);
+
+    TextTable sweep({"sigma", "expected SFR coverage", "false alarms"});
+    for (double sigma : {0.0, 0.005, 0.01, 0.02, 0.03, 0.05}) {
+      const core::VariationReport vr = core::AnalyzeUnderVariation(
+          graded, {sigma, grade_cfg.threshold_percent});
+      sweep.AddRow({TextTable::FormatDouble(sigma * 100, 1) + "%",
+                    TextTable::FormatDouble(vr.ExpectedCoverage() * 100, 1) +
+                        "%",
+                    TextTable::FormatDouble(
+                        vr.false_alarm_probability * 100, 3) +
+                        "%"});
+    }
+    std::printf("--- %s ---\n%s", d.name.c_str(), sweep.ToString().c_str());
+
+    const core::VariationReport detail =
+        core::AnalyzeUnderVariation(graded, {0.01, 5.0});
+    TextTable per_fault({"fault", "true change", "P(detect) sigma=1%"});
+    for (const core::VariationOutcome& o : detail.faults) {
+      if (std::abs(o.fault->percent_change) < 2.0) continue;  // keep it short
+      per_fault.AddRow(
+          {o.fault->record->name,
+           TextTable::FormatPercent(o.fault->percent_change),
+           TextTable::FormatDouble(o.detection_probability * 100, 1) + "%"});
+    }
+    std::printf("%s\n", per_fault.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces the Section-4 in-text experiment: "simulating the differential
+// equation solver while adding as many control line effects as possible
+// while still not disrupting the datapath computation. The power increased
+// by over 200% over the fault-free case."
+//
+// The composer raises every load line in every state where its registers
+// are idle and flips every don't-care mux select, then *proves* the
+// perturbation functionally invisible by symbolic RTL equivalence before
+// measuring power. Run for all three examples.
+#include <cstdio>
+
+#include "base/text_table.hpp"
+#include "core/worstcase.hpp"
+#include "designs/designs.hpp"
+
+int main() {
+  using namespace pfd;
+  std::printf(
+      "=== Section 4 worst case: maximal non-disruptive control "
+      "perturbation ===\npaper (Diffeq): power increased by over 200%%\n\n");
+
+  TextTable table({"circuit", "extra loads", "select flips", "verified SFR",
+                   "base uW", "perturbed uW", "change"});
+  core::GradeConfig cfg;
+  for (const designs::BenchmarkDesign& d : designs::BuildAll(4)) {
+    const core::WorstCaseResult w =
+        core::ComposeWorstCase(d.system, d.hls, cfg);
+    table.AddRow({d.name, std::to_string(w.extra_loads),
+                  std::to_string(w.select_flips),
+                  w.verified_equivalent ? "yes" : "NO",
+                  TextTable::FormatDouble(w.base_uw, 2),
+                  TextTable::FormatDouble(w.perturbed_uw, 2),
+                  TextTable::FormatPercent(w.percent_change)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Example: running the methodology on your own design.
+//
+// The paper's technique is not specific to its three benchmarks — anything
+// expressible as a data-flow graph can be pushed through the same flow.
+// This example builds a 4-tap FIR-like filter block, synthesizes it with a
+// one-hot controller (a different synthesis style than the canned
+// benchmarks), and runs classification + power grading end to end.
+#include <cstdio>
+
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "hls/dfg.hpp"
+#include "hls/hls.hpp"
+#include "synth/system.hpp"
+
+int main() {
+  using namespace pfd;
+  using hls::ValueRef;
+  using rtl::FuKind;
+
+  // y = c0*x0 + c1*x1 + c2*x2 + c3*x3, plus a saturation-style compare.
+  hls::Dfg dfg(4);
+  const ValueRef x0 = dfg.AddInput("x0");
+  const ValueRef x1 = dfg.AddInput("x1");
+  const ValueRef x2 = dfg.AddInput("x2");
+  const ValueRef x3 = dfg.AddInput("x3");
+  const ValueRef c0 = dfg.AddConstant(3);
+  const ValueRef c1 = dfg.AddConstant(5);
+  const ValueRef limit = dfg.AddInput("limit");
+
+  const ValueRef p0 = dfg.AddOp("p0", FuKind::kMul, c0, x0);
+  const ValueRef p1 = dfg.AddOp("p1", FuKind::kMul, c1, x1);
+  const ValueRef p2 = dfg.AddOp("p2", FuKind::kMul, c0, x2);
+  const ValueRef p3 = dfg.AddOp("p3", FuKind::kMul, c1, x3);
+  const ValueRef s0 = dfg.AddOp("s0", FuKind::kAdd, p0, p1);
+  const ValueRef s1 = dfg.AddOp("s1", FuKind::kAdd, p2, p3);
+  const ValueRef y = dfg.AddOp("y", FuKind::kAdd, s0, s1);
+  const ValueRef over = dfg.AddOp("over", FuKind::kLess, limit, y);
+
+  dfg.AddOutput("y", y);
+  dfg.AddOutput("over", over);
+
+  // Schedule on one multiplier and one adder; keep one register per
+  // variable so the architecture is easy to read.
+  hls::HlsConfig cfg;
+  cfg.resources = {{FuKind::kMul, 1},
+                   {FuKind::kAdd, 1},
+                   {FuKind::kLess, 1}};
+  cfg.register_sharing = false;
+  cfg.merge_load_lines = true;
+  const hls::HlsResult hr = hls::RunHls(dfg, cfg);
+  std::printf("FIR block schedule (%d steps):\n%s\n", hr.num_steps,
+              hr.BindingReport().c_str());
+
+  synth::SynthOptions opts;
+  opts.encoding = synth::StateEncoding::kOneHot;
+  const synth::System sys =
+      synth::BuildSystem("fir", hr.datapath, hr.control, hr.load_map, opts);
+  std::printf("one-hot controller system: %s\n\n",
+              sys.nl.Stats().ToString().c_str());
+
+  core::PipelineConfig pipe_cfg;
+  const core::ClassificationReport report =
+      core::ClassifyControllerFaults(sys, hr, pipe_cfg);
+  std::printf("%s\n\n", core::SummaryLine("fir", report).c_str());
+
+  core::GradeConfig grade_cfg;
+  const core::PowerGradeReport graded =
+      core::GradeSfrFaults(sys, report, grade_cfg);
+  std::printf("fault-free datapath power: %.2f uW\n",
+              graded.fault_free_uw);
+  std::printf("%s", core::GradingTable(graded).c_str());
+  std::printf("%zu of %zu SFR faults power-detectable at %.0f%%.\n",
+              graded.DetectedCount(), graded.faults.size(),
+              grade_cfg.threshold_percent);
+  return 0;
+}

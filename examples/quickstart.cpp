@@ -1,0 +1,52 @@
+// Quickstart: build the Diffeq benchmark, classify every controller fault,
+// and grade the SFR faults by their effect on datapath power.
+//
+// This walks the exact flow of the paper: HLS -> FSM synthesis -> integrated
+// fault classification (Section 5) -> Monte Carlo power grading (Section 6).
+#include <cstdio>
+
+#include "base/text_table.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "designs/designs.hpp"
+
+int main() {
+  using namespace pfd;
+
+  std::printf("Building the Diffeq controller-datapath pair (4-bit)...\n");
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  std::printf("  netlist: %s\n", d.system.nl.Stats().ToString().c_str());
+  std::printf("  schedule: %d control steps, %d states\n", d.hls.num_steps,
+              d.system.control_spec.NumStates());
+  std::printf("%s\n", d.hls.BindingReport().c_str());
+
+  std::printf("Classifying controller faults (Section 5 pipeline)...\n");
+  core::PipelineConfig pipe_cfg;
+  const core::ClassificationReport report =
+      core::ClassifyControllerFaults(d.system, d.hls, pipe_cfg);
+  std::printf("  %s\n", report.Summary().c_str());
+
+  std::printf("Grading SFR faults by power (threshold 5%%)...\n");
+  core::GradeConfig grade_cfg;
+  const core::PowerGradeReport graded =
+      core::GradeSfrFaults(d.system, report, grade_cfg);
+  std::printf("  fault-free datapath power: %.2f uW\n",
+              graded.fault_free_uw);
+
+  TextTable table({"fault", "effects", "power uW", "change", "detected"});
+  for (const core::GradedFault* gf : graded.Figure7Order()) {
+    std::string effects;
+    for (const auto& ce : gf->record->effects) {
+      if (!effects.empty()) effects += "; ";
+      effects += ce.description;
+    }
+    table.AddRow({gf->record->name, effects,
+                  TextTable::FormatDouble(gf->power_uw, 2),
+                  TextTable::FormatPercent(gf->percent_change),
+                  gf->outside_band ? "yes" : "no"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("%zu of %zu SFR faults detectable by power analysis.\n",
+              graded.DetectedCount(), graded.faults.size());
+  return 0;
+}

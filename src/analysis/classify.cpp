@@ -1,0 +1,235 @@
+#include "analysis/classify.hpp"
+
+#include <optional>
+
+#include "base/rng.hpp"
+#include "logicsim/simulator.hpp"
+#include "rtl/expr.hpp"
+#include "rtl/machine.hpp"
+#include "tpg/lfsr.hpp"
+
+namespace pfd::analysis {
+
+namespace {
+
+// Builds the per-register control word a trace row implies; nullopt if any
+// needed line is X.
+std::optional<rtl::ControlWord> WordFromRow(const synth::System& sys,
+                                            const std::vector<Trit>& row) {
+  rtl::ControlWord cw;
+  std::vector<std::uint8_t> line_loads(sys.load_map.NumLines(), 0);
+  cw.select.assign(sys.datapath.muxes().size(), 0);
+  for (std::size_t li = 0; li < sys.lines.size(); ++li) {
+    const Trit t = row[li];
+    if (t == Trit::kX) return std::nullopt;
+    const synth::ControlLineInfo& info = sys.lines[li];
+    if (info.kind == synth::ControlLineInfo::Kind::kLoad) {
+      line_loads[info.index] = t == Trit::kOne ? 1 : 0;
+    } else if (t == Trit::kOne) {
+      cw.select[info.index] |= 1u << info.bit;
+    }
+  }
+  cw.load = sys.load_map.ExpandLoads(line_loads, sys.datapath.regs().size());
+  return cw;
+}
+
+bool ContainsInit(const rtl::ExprPool& pool, rtl::ExprRef root,
+                  std::vector<std::uint8_t>& memo) {
+  if (memo[root] != 0) return memo[root] == 2;
+  const rtl::ExprPool::Node& n = pool.node(root);
+  bool has = n.op == rtl::ExprPool::Op::kInit;
+  if (!has && n.op != rtl::ExprPool::Op::kVar &&
+      n.op != rtl::ExprPool::Op::kConst) {
+    has = ContainsInit(pool, n.a, memo) || ContainsInit(pool, n.b, memo);
+  }
+  memo[root] = has ? 2 : 1;
+  return has;
+}
+
+enum class WindowOutcome { kEqual, kDifferent, kInconclusive };
+
+WindowOutcome CheckWindow(const synth::System& sys,
+                          const ControlTrace& golden,
+                          const ControlTrace& faulty, int pattern,
+                          bool skip_boot_cycle,
+                          const std::vector<int>& strobes,
+                          std::string* detail) {
+  rtl::ExprPool pool;
+  rtl::SymbolicMachine gm(sys.datapath, rtl::SymbolicDomain{&pool});
+  rtl::SymbolicMachine fm(sys.datapath, rtl::SymbolicDomain{&pool});
+  for (std::uint32_t i = 0; i < sys.datapath.inputs().size(); ++i) {
+    const rtl::ExprRef var = pool.Var(i, sys.datapath.inputs()[i].width);
+    gm.SetInput(i, var);
+    fm.SetInput(i, var);
+  }
+  const int cpp = sys.cycles_per_pattern;
+  for (int c = skip_boot_cycle ? 1 : 0; c < cpp; ++c) {
+    const auto wg =
+        WordFromRow(sys, golden.lines[pattern * cpp + c]);
+    const auto wf =
+        WordFromRow(sys, faulty.lines[pattern * cpp + c]);
+    if (!wg || !wf) {
+      if (detail) *detail = "X control line in cycle " + std::to_string(c);
+      return WindowOutcome::kInconclusive;
+    }
+    gm.Step(*wg);
+    fm.Step(*wf);
+    if (std::find(strobes.begin(), strobes.end(), c) == strobes.end()) {
+      continue;
+    }
+    for (std::uint32_t o = 0; o < sys.datapath.outputs().size(); ++o) {
+      const rtl::ExprRef eg = gm.Output(o);
+      const rtl::ExprRef ef = fm.Output(o);
+      std::vector<std::uint8_t> memo(pool.size(), 0);
+      if (ContainsInit(pool, eg, memo)) {
+        if (detail) {
+          *detail = "golden output depends on a boot value: " +
+                    pool.ToString(eg);
+        }
+        return WindowOutcome::kInconclusive;
+      }
+      if (eg != ef) {
+        if (detail) {
+          *detail = sys.datapath.outputs()[o].name + " @cycle " +
+                    std::to_string(c) + ": " + pool.ToString(eg) +
+                    " vs " + pool.ToString(ef);
+        }
+        return WindowOutcome::kDifferent;
+      }
+    }
+  }
+  return WindowOutcome::kEqual;
+}
+
+}  // namespace
+
+SymbolicCheck SymbolicSfrCheck(const synth::System& sys,
+                               const ControlTrace& golden,
+                               const ControlTrace& faulty,
+                               const std::vector<int>& strobe_cycles) {
+  PFD_CHECK_MSG(golden.num_patterns >= 3 && faulty.num_patterns >= 3,
+                "symbolic check needs >= 3 trace patterns");
+  PFD_CHECK_MSG(!sys.has_feedback,
+                "symbolic trace replay is unsound for feedback systems");
+  const std::vector<int>& strobes =
+      strobe_cycles.empty() ? sys.hold_cycles : strobe_cycles;
+  SymbolicCheck result;
+  // Steady-state periodicity: pattern 1 must equal pattern 2, otherwise one
+  // window does not represent the infinite run.
+  if (!PatternsEqual(faulty, 1, 2)) {
+    result.outcome = SymbolicCheck::Outcome::kInconclusive;
+    result.detail = "faulty control trace not periodic";
+    return result;
+  }
+  // Window A: first pattern (boot regime, boot cycle skipped).
+  // Window B: steady-state pattern.
+  for (const auto& [pattern, skip_boot] :
+       std::initializer_list<std::pair<int, bool>>{{0, true}, {1, false}}) {
+    std::string detail;
+    switch (
+        CheckWindow(sys, golden, faulty, pattern, skip_boot, strobes,
+                    &detail)) {
+      case WindowOutcome::kEqual:
+        break;
+      case WindowOutcome::kDifferent:
+        result.outcome = SymbolicCheck::Outcome::kDifferent;
+        result.detail = detail;
+        return result;
+      case WindowOutcome::kInconclusive:
+        result.outcome = SymbolicCheck::Outcome::kInconclusive;
+        result.detail = detail;
+        return result;
+    }
+  }
+  result.outcome = SymbolicCheck::Outcome::kEquivalent;
+  return result;
+}
+
+GateCheck GateLevelSfrCheck(const synth::System& sys,
+                            const fault::StuckFault& f,
+                            const GateCheckConfig& config) {
+  int total_bits = 0;
+  for (const synth::Bus& bus : sys.operand_bits) {
+    total_bits += static_cast<int>(bus.size());
+  }
+  GateCheck out;
+  out.exhaustive = total_bits <= config.max_exhaustive_bits;
+  const std::uint64_t total = out.exhaustive
+                                  ? (1ULL << total_bits)
+                                  : static_cast<std::uint64_t>(
+                                        config.sample_patterns);
+
+  logicsim::Simulator golden(sys.nl);
+  logicsim::Simulator faulty(sys.nl);
+  fault::InjectFault(faulty, f, ~0ULL);
+  Rng rng(config.seed);
+
+  std::vector<netlist::GateId> observed_nets;
+  if (config.observe_control_lines) {
+    observed_nets = sys.line_nets;
+  } else {
+    for (const synth::Bus& bus : sys.output_nets) {
+      observed_nets.insert(observed_nets.end(), bus.begin(), bus.end());
+    }
+  }
+
+  const std::size_t n_ops = sys.operand_bits.size();
+  std::vector<std::vector<std::uint32_t>> lane_values(
+      n_ops, std::vector<std::uint32_t>(64));
+
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    for (int lane = 0; lane < 64; ++lane) {
+      std::uint64_t combo;
+      if (out.exhaustive) {
+        combo = std::min<std::uint64_t>(base + lane, total - 1);
+      } else {
+        combo = rng.Next();
+      }
+      int offset = 0;
+      for (std::size_t op = 0; op < n_ops; ++op) {
+        const int w = static_cast<int>(sys.operand_bits[op].size());
+        lane_values[op][lane] =
+            static_cast<std::uint32_t>((combo >> offset) & ((1ULL << w) - 1));
+        offset += w;
+      }
+    }
+    for (std::size_t op = 0; op < n_ops; ++op) {
+      for (std::size_t b = 0; b < sys.operand_bits[op].size(); ++b) {
+        const Word3 w = tpg::PackBit(lane_values[op], static_cast<int>(b));
+        golden.SetInput(sys.operand_bits[op][b], w);
+        faulty.SetInput(sys.operand_bits[op][b], w);
+      }
+    }
+    for (int c = 0; c < sys.cycles_per_pattern; ++c) {
+      const Trit r = c == 0 ? Trit::kOne : Trit::kZero;
+      golden.SetInputAllLanes(sys.reset, r);
+      faulty.SetInputAllLanes(sys.reset, r);
+      golden.Step();
+      faulty.Step();
+      const bool strobed =
+          config.every_cycle || config.observe_control_lines
+              ? c > 0
+              : std::find(sys.hold_cycles.begin(), sys.hold_cycles.end(),
+                          c) != sys.hold_cycles.end();
+      if (!strobed) continue;
+      for (netlist::GateId g : observed_nets) {
+        const Word3 wg = golden.Value(g);
+        const Word3 wf = faulty.Value(g);
+        // Hard mismatch, or known-golden vs X-faulty ("potentially
+        // detected" upgraded, per the paper's step 2).
+        const std::uint64_t diff =
+            (wg.known & wf.known & (wg.val ^ wf.val)) |
+            (wg.known & ~wf.known);
+        if (diff != 0) {
+          out.difference_found = true;
+          out.patterns = base + 64;
+          return out;
+        }
+      }
+    }
+    out.patterns = base + 64;
+  }
+  return out;
+}
+
+}  // namespace pfd::analysis

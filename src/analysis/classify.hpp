@@ -1,0 +1,78 @@
+// Sound SFR/SFI deciders.
+//
+// 1. SymbolicSfrCheck — replays the golden and faulty control traces on the
+//    symbolic RTL machine (hash-consed expressions, commutative
+//    normalisation, constant folding). If the datapath output expressions
+//    match at every observation strobe, the fault provably cannot change the
+//    system's I/O behaviour for any data: it is SFR. Structural inequality
+//    is NOT proof of SFI, so that outcome is "inconclusive-different".
+//
+//    Soundness with respect to boot effects: both machines start each
+//    analysis window from opaque per-register boot values; if the golden
+//    outputs depend on no boot value (true for any correctly synthesized
+//    design) and the expressions match, whatever garbage the boot cycle or
+//    the previous pattern left in the registers cannot make the real
+//    machines differ.
+//
+// 2. GateLevelSfrCheck — lock-step gate-level simulation of the golden and
+//    faulty machines over the full input space (exhaustive for small widths:
+//    4-bit datapaths have <= ~2^20 input combinations) or a random sample.
+//    This is the ground truth the tests validate everything against, and the
+//    pipeline's fallback when the symbolic check is inconclusive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/trace.hpp"
+#include "fault/fault.hpp"
+#include "synth/system.hpp"
+
+namespace pfd::analysis {
+
+struct SymbolicCheck {
+  enum class Outcome : std::uint8_t {
+    kEquivalent,    // proven SFR
+    kDifferent,     // expressions differ -> decide at gate level
+    kInconclusive,  // X control lines / boot dependence -> gate level
+  };
+  Outcome outcome = Outcome::kInconclusive;
+  std::string detail;
+};
+
+// `golden` and `faulty` must hold >= 3 patterns (pattern 0 covers the boot
+// regime; patterns 1 and 2 establish steady-state periodicity).
+// `strobe_cycles` selects the observation points within a pattern; empty
+// means the system's HOLD strobes. Strobing cycles where an output is not
+// yet written makes the check inconclusive (the output still reflects a
+// boot value), which conservatively falls through to the gate-level
+// decider.
+SymbolicCheck SymbolicSfrCheck(const synth::System& sys,
+                               const ControlTrace& golden,
+                               const ControlTrace& faulty,
+                               const std::vector<int>& strobe_cycles = {});
+
+struct GateCheck {
+  bool difference_found = false;
+  bool exhaustive = false;    // full input space enumerated
+  std::uint64_t patterns = 0;
+};
+
+struct GateCheckConfig {
+  int max_exhaustive_bits = 20;  // enumerate if total input bits <= this
+  int sample_patterns = 16384;   // otherwise random patterns
+  std::uint64_t seed = 0xBADC0DEULL;
+  // Compare every post-boot cycle instead of only the HOLD strobes
+  // (kEveryCycle observation policy).
+  bool every_cycle = false;
+  // Observe the controller output lines instead of the datapath outputs
+  // (every cycle): a dual-run CFR check that stays sound even when the
+  // controller's behaviour depends on datapath feedback.
+  bool observe_control_lines = false;
+};
+
+GateCheck GateLevelSfrCheck(const synth::System& sys,
+                            const fault::StuckFault& f,
+                            const GateCheckConfig& config);
+
+}  // namespace pfd::analysis

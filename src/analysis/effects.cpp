@@ -1,0 +1,117 @@
+#include "analysis/effects.hpp"
+
+namespace pfd::analysis {
+
+LifespanTable::LifespanTable(const hls::HlsResult& hls)
+    : hls_(&hls), hold_state_(hls.num_steps + 1) {}
+
+bool LifespanTable::LiveAcross(std::uint32_t reg, int state) const {
+  return OccupantAcross(reg, state) != nullptr;
+}
+
+const hls::Variable* LifespanTable::OccupantAcross(std::uint32_t reg,
+                                                   int state) const {
+  // A variable is present in its register from the end of its defining step
+  // to the beginning of its last-reading step (paper, Section 3.2). An
+  // overwrite at the end of `state` disrupts it iff def <= state < last_use.
+  for (std::uint32_t vi : hls_->reg_variables[reg]) {
+    const hls::Variable& v = hls_->variables[vi];
+    const int last =
+        v.last_use == hls::Variable::kPersist ? hold_state_ + 1 : v.last_use;
+    if (v.def_step <= state && state < last) return &v;
+  }
+  return nullptr;
+}
+
+const char* EffectCategoryName(EffectCategory c) {
+  switch (c) {
+    case EffectCategory::kSelectDontCare: return "select-dont-care";
+    case EffectCategory::kSelectCare: return "select-care";
+    case EffectCategory::kExtraLoadIdle: return "extra-load-idle";
+    case EffectCategory::kExtraLoadInLifespan: return "extra-load-in-lifespan";
+    case EffectCategory::kSkippedLoad: return "skipped-load";
+    case EffectCategory::kLineUnknown: return "line-unknown";
+  }
+  return "?";
+}
+
+LocalVerdict VerdictOf(EffectCategory c) {
+  switch (c) {
+    case EffectCategory::kSelectDontCare:
+    case EffectCategory::kExtraLoadIdle:
+      return LocalVerdict::kSfr;
+    case EffectCategory::kSelectCare:
+    case EffectCategory::kSkippedLoad:
+      return LocalVerdict::kSfi;
+    default:
+      return LocalVerdict::kNeedsValueAnalysis;
+  }
+}
+
+ClassifiedEffect ClassifyEffect(const synth::System& sys,
+                                const LifespanTable& lifespans,
+                                const ControlLineEffect& effect) {
+  ClassifiedEffect out;
+  out.effect = effect;
+  out.description = DescribeEffect(sys, effect);
+
+  if (effect.faulty == Trit::kX || effect.state < 0) {
+    out.category = EffectCategory::kLineUnknown;
+    return out;
+  }
+
+  const synth::ControlLineInfo& info = sys.lines[effect.line];
+  if (info.kind == synth::ControlLineInfo::Kind::kSelectBit) {
+    // The mux is active in this state iff its select is specified (a care)
+    // in the behavioural control spec.
+    const bool active =
+        sys.control_spec.states[effect.state].select[info.index].has_value();
+    out.category = active ? EffectCategory::kSelectCare
+                          : EffectCategory::kSelectDontCare;
+    return out;
+  }
+
+  if (effect.golden == Trit::kOne) {
+    out.category = EffectCategory::kSkippedLoad;
+    return out;
+  }
+  // Extra load: disruptive only if some register on this line holds a live
+  // variable across this step boundary.
+  bool in_lifespan = false;
+  for (std::uint32_t r : sys.load_map.regs_of_line[info.index]) {
+    if (lifespans.LiveAcross(r, effect.state)) in_lifespan = true;
+  }
+  out.category = in_lifespan ? EffectCategory::kExtraLoadInLifespan
+                             : EffectCategory::kExtraLoadIdle;
+  return out;
+}
+
+std::vector<ClassifiedEffect> ClassifyEffects(
+    const synth::System& sys, const hls::HlsResult& hls,
+    const std::vector<ControlLineEffect>& effects) {
+  const LifespanTable lifespans(hls);
+  std::vector<ClassifiedEffect> out;
+  out.reserve(effects.size());
+  for (const ControlLineEffect& e : effects) {
+    out.push_back(ClassifyEffect(sys, lifespans, e));
+  }
+  return out;
+}
+
+LocalVerdict CombineVerdicts(const std::vector<ClassifiedEffect>& effects) {
+  bool needs_value = false;
+  for (const ClassifiedEffect& ce : effects) {
+    switch (VerdictOf(ce.category)) {
+      case LocalVerdict::kSfi:
+        return LocalVerdict::kSfi;
+      case LocalVerdict::kNeedsValueAnalysis:
+        needs_value = true;
+        break;
+      case LocalVerdict::kSfr:
+        break;
+    }
+  }
+  return needs_value ? LocalVerdict::kNeedsValueAnalysis : LocalVerdict::kSfr;
+}
+
+}  // namespace pfd::analysis

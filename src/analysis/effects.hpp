@@ -1,0 +1,79 @@
+// Section-3 analytic classification of control-line effects.
+//
+// Implements the paper's rules over variable lifespans (Figure 5):
+//   * select-line change while the mux is inactive (a don't-care step)  -> SFR
+//   * select-line change while the mux is active (a care step)          -> SFI
+//   * extra register load while the register is idle                    -> SFR
+//   * extra register load within a variable's lifespan -> potentially
+//     disruptive: whether it actually disrupts depends on the value routed
+//     to the register (Section 3.2's "two possibilities"), which the
+//     symbolic/exhaustive deciders in classify.hpp resolve;
+//   * skipped load -> SFI (a crucial result is never written).
+//
+// The analytic verdict is used for reporting (Table 1's "control line
+// effects" column) and as a cross-check: effects classified locally-SFR must
+// agree with the sound deciders (tests/analysis enforces this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/trace.hpp"
+#include "hls/hls.hpp"
+#include "synth/system.hpp"
+
+namespace pfd::analysis {
+
+// Variable-lifespan queries against the HLS binding.
+class LifespanTable {
+ public:
+  explicit LifespanTable(const hls::HlsResult& hls);
+
+  // Would an extra load of register `reg` at the end of control step
+  // `state` overwrite a variable that is still needed? (RESET == state 0,
+  // CS_s == state s; HOLD and later count as after the last step.)
+  bool LiveAcross(std::uint32_t reg, int state) const;
+
+  // The variable occupying the register across that boundary, if any.
+  const hls::Variable* OccupantAcross(std::uint32_t reg, int state) const;
+
+ private:
+  const hls::HlsResult* hls_;
+  int hold_state_;
+};
+
+enum class EffectCategory : std::uint8_t {
+  kSelectDontCare,      // locally redundant -> SFR
+  kSelectCare,          // SFI (barring datapath redundancy)
+  kExtraLoadIdle,       // locally redundant -> SFR
+  kExtraLoadInLifespan, // potentially disruptive -> needs value analysis
+  kSkippedLoad,         // SFI
+  kLineUnknown,         // X on a control line -> escalate
+};
+
+const char* EffectCategoryName(EffectCategory c);
+
+// Local (first-order) verdict implied by a category.
+enum class LocalVerdict : std::uint8_t { kSfr, kSfi, kNeedsValueAnalysis };
+LocalVerdict VerdictOf(EffectCategory c);
+
+struct ClassifiedEffect {
+  ControlLineEffect effect;
+  EffectCategory category;
+  std::string description;  // DescribeEffect output
+};
+
+ClassifiedEffect ClassifyEffect(const synth::System& sys,
+                                const LifespanTable& lifespans,
+                                const ControlLineEffect& effect);
+
+std::vector<ClassifiedEffect> ClassifyEffects(
+    const synth::System& sys, const hls::HlsResult& hls,
+    const std::vector<ControlLineEffect>& effects);
+
+// Combines the local verdicts of all of a fault's effects (Section 3.3):
+// any SFI effect makes the fault SFI; all-SFR effects make it SFR; anything
+// else needs value analysis.
+LocalVerdict CombineVerdicts(const std::vector<ClassifiedEffect>& effects);
+
+}  // namespace pfd::analysis

@@ -1,0 +1,115 @@
+#include "analysis/trace.hpp"
+
+#include <sstream>
+
+#include "fault/fault_sim.hpp"
+#include "logicsim/simulator.hpp"
+
+namespace pfd::analysis {
+
+ControlTrace ExtractControlTrace(const synth::System& sys,
+                                 const fault::StuckFault* fault,
+                                 int num_patterns) {
+  logicsim::Simulator sim(sys.nl);
+  if (fault != nullptr) {
+    fault::InjectFault(sim, *fault, ~0ULL);
+  }
+  // Hold all data inputs at zero; the controller is feedback-free, so its
+  // trace does not depend on them.
+  for (const synth::Bus& bus : sys.operand_bits) {
+    for (netlist::GateId g : bus) {
+      sim.SetInputAllLanes(g, Trit::kZero);
+    }
+  }
+
+  ControlTrace trace;
+  trace.cycles_per_pattern = sys.cycles_per_pattern;
+  trace.num_patterns = num_patterns;
+  for (int p = 0; p < num_patterns; ++p) {
+    for (int c = 0; c < sys.cycles_per_pattern; ++c) {
+      sim.SetInputAllLanes(sys.reset, c == 0 ? Trit::kOne : Trit::kZero);
+      sim.Step();
+      std::vector<Trit> row;
+      row.reserve(sys.line_nets.size());
+      for (netlist::GateId g : sys.line_nets) {
+        row.push_back(sim.ValueLane(g, 0));
+      }
+      trace.lines.push_back(std::move(row));
+    }
+  }
+  return trace;
+}
+
+bool PatternsEqual(const ControlTrace& trace, int p, int q) {
+  for (int c = 0; c < trace.cycles_per_pattern; ++c) {
+    if (trace.lines[p * trace.cycles_per_pattern + c] !=
+        trace.lines[q * trace.cycles_per_pattern + c]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PatternHasUnknown(const ControlTrace& trace, int pattern) {
+  for (int c = 0; c < trace.cycles_per_pattern; ++c) {
+    if (pattern == 0 && c == 0) continue;  // boot cycle is expectedly X
+    for (Trit t : trace.lines[pattern * trace.cycles_per_pattern + c]) {
+      if (t == Trit::kX) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ControlLineEffect> DiffPattern(const synth::System& sys,
+                                           const ControlTrace& golden,
+                                           const ControlTrace& faulty,
+                                           int pattern) {
+  PFD_CHECK_MSG(golden.cycles_per_pattern == faulty.cycles_per_pattern,
+                "trace shape mismatch");
+  std::vector<ControlLineEffect> effects;
+  for (int c = 0; c < golden.cycles_per_pattern; ++c) {
+    for (std::uint32_t line = 0; line < sys.line_nets.size(); ++line) {
+      const Trit g = golden.At(pattern, c, line);
+      const Trit f = faulty.At(pattern, c, line);
+      if (g == Trit::kX) continue;  // nothing to compare against
+      if (g != f) {
+        // Cycle 0 of a steady pattern is the pattern-boundary cycle, still
+        // spent in HOLD; only the very first cycle after power-up is BOOT.
+        int state = sys.StateAtCycle(c);
+        if (c == 0 && pattern > 0) state = sys.control_spec.HoldState();
+        effects.push_back({c, state, line, g, f});
+      }
+    }
+  }
+  return effects;
+}
+
+std::string DescribeEffect(const synth::System& sys,
+                           const ControlLineEffect& e) {
+  const synth::ControlLineInfo& info = sys.lines[e.line];
+  const std::string state_name =
+      e.state < 0 ? "BOOT" : sys.control_spec.state_names[e.state];
+  std::ostringstream os;
+  if (info.kind == synth::ControlLineInfo::Kind::kLoad) {
+    // Name the registers this line drives, paper-style.
+    os << "";
+    const auto& regs = sys.load_map.regs_of_line[info.index];
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      if (i != 0) os << ",";
+      os << sys.datapath.regs()[regs[i]].name;
+    }
+    if (e.faulty == Trit::kX) {
+      os << ": load line X in " << state_name;
+    } else if (e.golden == Trit::kZero) {
+      os << ": extra load in " << state_name;
+    } else {
+      os << ": skipped load in " << state_name;
+    }
+  } else {
+    os << info.name << " changes in " << state_name;
+    if (e.faulty == Trit::kX) os << " (to X)";
+  }
+  return os.str();
+}
+
+}  // namespace pfd::analysis

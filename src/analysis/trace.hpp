@@ -1,0 +1,74 @@
+// Control-line trace extraction and comparison.
+//
+// A CFI fault "affects one or more control lines in one or more time steps"
+// (Section 3). We obtain those control-line effects by simulating the
+// gate-level system with and without the fault and recording the controller
+// output lines every cycle.
+//
+// Traces span multiple consecutive test patterns because the first pattern
+// starts from the all-X boot state while later patterns start from the HOLD
+// state; a fault can behave differently in the two regimes. The steady-state
+// window (pattern 2) is what the analytic and symbolic passes consume;
+// periodicity of windows 2 and 3 is checked so that one window provably
+// represents all later patterns.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/logic.hpp"
+#include "fault/fault.hpp"
+#include "synth/system.hpp"
+
+namespace pfd::analysis {
+
+struct ControlTrace {
+  int cycles_per_pattern = 0;
+  int num_patterns = 0;
+  // [cycle][line]; cycle indexes the concatenated patterns.
+  std::vector<std::vector<Trit>> lines;
+
+  int TotalCycles() const { return cycles_per_pattern * num_patterns; }
+  Trit At(int pattern, int cycle_in_pattern, std::size_t line) const {
+    return lines[pattern * cycles_per_pattern + cycle_in_pattern][line];
+  }
+};
+
+// Simulates `num_patterns` schedules (data inputs held at zero — the
+// controller has no datapath feedback in this architecture) and records the
+// control lines. `fault` may be null for the golden trace.
+ControlTrace ExtractControlTrace(const synth::System& sys,
+                                 const fault::StuckFault* fault,
+                                 int num_patterns);
+
+// True if patterns `p` and `q` of the trace are identical.
+bool PatternsEqual(const ControlTrace& trace, int p, int q);
+
+// True if any control line is X in the given pattern, ignoring the boot
+// cycle of pattern 0 (where X is expected).
+bool PatternHasUnknown(const ControlTrace& trace, int pattern);
+
+// One control-line effect: a cycle+line where the faulty controller's output
+// differs from the golden one (Section 3's unit of analysis).
+struct ControlLineEffect {
+  int cycle_in_pattern = 0;
+  int state = -1;  // golden control state occupied during that cycle
+  std::uint32_t line = 0;
+  Trit golden = Trit::kX;
+  Trit faulty = Trit::kX;
+};
+
+// Effects within one pattern window (golden-X cycles are skipped; a faulty X
+// against a known golden value is reported as an effect with faulty == kX).
+std::vector<ControlLineEffect> DiffPattern(const synth::System& sys,
+                                           const ControlTrace& golden,
+                                           const ControlTrace& faulty,
+                                           int pattern);
+
+// Paper-style description, e.g. "REG3: extra load in CS5" or
+// "MS3 changes in HOLD".
+std::string DescribeEffect(const synth::System& sys,
+                           const ControlLineEffect& e);
+
+}  // namespace pfd::analysis

@@ -1,0 +1,56 @@
+#include "base/bitvec.hpp"
+
+namespace pfd {
+
+namespace {
+void CheckSameWidth(const BitVec& a, const BitVec& b) {
+  PFD_CHECK_MSG(a.width() == b.width(), "BitVec width mismatch");
+}
+}  // namespace
+
+std::string BitVec::ToString() const {
+  std::string s = std::to_string(width_) + "'b";
+  for (int i = width_ - 1; i >= 0; --i) {
+    s += bit(i) ? '1' : '0';
+  }
+  return s;
+}
+
+BitVec Add(const BitVec& a, const BitVec& b) {
+  CheckSameWidth(a, b);
+  return {a.width(), a.value() + b.value()};
+}
+
+BitVec Sub(const BitVec& a, const BitVec& b) {
+  CheckSameWidth(a, b);
+  return {a.width(), a.value() - b.value()};
+}
+
+BitVec Mul(const BitVec& a, const BitVec& b) {
+  CheckSameWidth(a, b);
+  return {a.width(), a.value() * b.value()};
+}
+
+BitVec And(const BitVec& a, const BitVec& b) {
+  CheckSameWidth(a, b);
+  return {a.width(), a.value() & b.value()};
+}
+
+BitVec Or(const BitVec& a, const BitVec& b) {
+  CheckSameWidth(a, b);
+  return {a.width(), a.value() | b.value()};
+}
+
+BitVec Xor(const BitVec& a, const BitVec& b) {
+  CheckSameWidth(a, b);
+  return {a.width(), a.value() ^ b.value()};
+}
+
+BitVec Not(const BitVec& a) { return {a.width(), ~a.value()}; }
+
+BitVec LessThan(const BitVec& a, const BitVec& b) {
+  CheckSameWidth(a, b);
+  return {1, a.value() < b.value() ? 1U : 0U};
+}
+
+}  // namespace pfd

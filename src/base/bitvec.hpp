@@ -1,0 +1,52 @@
+// Fixed-width unsigned bit vector used as the concrete value domain of the
+// RTL simulator. Arithmetic wraps modulo 2^width, matching the behaviour of
+// the synthesized datapath hardware (ripple-carry adders / truncated array
+// multipliers).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "base/error.hpp"
+
+namespace pfd {
+
+class BitVec {
+ public:
+  static constexpr int kMaxWidth = 16;
+
+  BitVec() = default;
+  BitVec(int width, std::uint32_t value) : width_(width) {
+    PFD_CHECK_MSG(width >= 1 && width <= kMaxWidth, "BitVec width out of range");
+    value_ = value & Mask(width);
+  }
+
+  int width() const { return width_; }
+  std::uint32_t value() const { return value_; }
+  bool bit(int i) const { return ((value_ >> i) & 1U) != 0; }
+
+  static std::uint32_t Mask(int width) { return (1U << width) - 1U; }
+
+  friend bool operator==(const BitVec&, const BitVec&) = default;
+
+  std::string ToString() const;  // e.g. "4'b0101"
+
+ private:
+  std::uint8_t width_ = 1;
+  std::uint32_t value_ = 0;
+};
+
+// All binary arithmetic requires equal widths (the datapath is uniform-width
+// by construction); results wrap to the operand width.
+BitVec Add(const BitVec& a, const BitVec& b);
+BitVec Sub(const BitVec& a, const BitVec& b);
+BitVec Mul(const BitVec& a, const BitVec& b);
+BitVec And(const BitVec& a, const BitVec& b);
+BitVec Or(const BitVec& a, const BitVec& b);
+BitVec Xor(const BitVec& a, const BitVec& b);
+BitVec Not(const BitVec& a);
+// Unsigned comparison; returns a 1-bit vector.
+BitVec LessThan(const BitVec& a, const BitVec& b);
+
+}  // namespace pfd

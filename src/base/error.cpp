@@ -1,0 +1,17 @@
+#include "base/error.hpp"
+
+#include <sstream>
+
+namespace pfd::detail {
+
+void ThrowCheckFailure(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace pfd::detail

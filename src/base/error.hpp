@@ -1,0 +1,44 @@
+// Error handling primitives for the pfd library.
+//
+// The library follows the C++ Core Guidelines error-handling model (E.2,
+// E.3): programming-contract violations and unrecoverable construction
+// failures throw pfd::Error; expected, recoverable conditions are expressed
+// through return values (std::optional / status structs) at the call sites
+// that need them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pfd {
+
+// Exception thrown for all pfd library failures (bad input descriptions,
+// violated invariants, malformed netlists, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void ThrowCheckFailure(const char* expr, const char* file,
+                                    int line, const std::string& message);
+}  // namespace detail
+
+// PFD_CHECK(cond) / PFD_CHECK_MSG(cond, msg): validate an invariant or a
+// precondition; throws pfd::Error (never aborts) so library users can treat
+// misuse as a recoverable error at a higher level.
+#define PFD_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::pfd::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__, "");    \
+    }                                                                     \
+  } while (false)
+
+#define PFD_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::pfd::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)
+
+}  // namespace pfd

@@ -1,0 +1,128 @@
+// Three-valued (0 / 1 / X) logic primitives.
+//
+// The gate-level simulators operate on 64-lane packed words (`Word3`), where
+// each bit position is an independent simulation lane (either an independent
+// test pattern or an independent faulty machine, depending on the engine).
+// A lane is represented by two bits spread across the `val` and `known`
+// words:
+//
+//   known = 1, val = v  ->  the lane carries logic value v
+//   known = 0           ->  the lane carries X (unknown)
+//
+// Canonical form: every unknown lane has its `val` bit cleared. All
+// operations below produce canonical outputs given canonical inputs, and
+// `IsCanonical` lets tests assert it.
+//
+// X semantics follow standard pessimistic ternary logic (as used by
+// gate-level fault simulators such as the GENTEST tool the paper relies on):
+// a controlling value forces the output even if the other input is X; an
+// X select on a mux yields a known output only when both data inputs agree.
+#pragma once
+
+#include <cstdint>
+
+namespace pfd {
+
+// Scalar ternary logic value, used at API boundaries and in tests.
+enum class Trit : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+// 64 lanes of ternary values. Value-semantic POD.
+struct Word3 {
+  std::uint64_t val = 0;
+  std::uint64_t known = 0;
+
+  friend bool operator==(const Word3&, const Word3&) = default;
+};
+
+inline constexpr Word3 kAllZero{0, ~0ULL};
+inline constexpr Word3 kAllOne{~0ULL, ~0ULL};
+inline constexpr Word3 kAllX{0, 0};
+
+constexpr bool IsCanonical(Word3 w) { return (w.val & ~w.known) == 0; }
+
+// Broadcasts a scalar value to all 64 lanes.
+constexpr Word3 Splat(Trit t) {
+  switch (t) {
+    case Trit::kZero: return kAllZero;
+    case Trit::kOne: return kAllOne;
+    default: return kAllX;
+  }
+}
+
+// Reads one lane back out as a scalar.
+constexpr Trit GetLane(Word3 w, int lane) {
+  const std::uint64_t bit = 1ULL << lane;
+  if ((w.known & bit) == 0) return Trit::kX;
+  return (w.val & bit) != 0 ? Trit::kOne : Trit::kZero;
+}
+
+// Sets one lane to a scalar value, preserving canonical form.
+constexpr Word3 SetLane(Word3 w, int lane, Trit t) {
+  const std::uint64_t bit = 1ULL << lane;
+  w.val &= ~bit;
+  w.known &= ~bit;
+  if (t != Trit::kX) {
+    w.known |= bit;
+    if (t == Trit::kOne) w.val |= bit;
+  }
+  return w;
+}
+
+constexpr Word3 Not3(Word3 a) { return {a.known & ~a.val, a.known}; }
+
+constexpr Word3 And3(Word3 a, Word3 b) {
+  const std::uint64_t known = (a.known & b.known) | (a.known & ~a.val) |
+                              (b.known & ~b.val);
+  return {a.val & b.val, known};
+}
+
+constexpr Word3 Or3(Word3 a, Word3 b) {
+  // A known-1 on either side dominates; canonical form guarantees val bits
+  // are only set on known lanes.
+  const std::uint64_t known = (a.known & b.known) | a.val | b.val;
+  return {a.val | b.val, known};
+}
+
+constexpr Word3 Xor3(Word3 a, Word3 b) {
+  const std::uint64_t known = a.known & b.known;
+  return {(a.val ^ b.val) & known, known};
+}
+
+constexpr Word3 Nand3(Word3 a, Word3 b) { return Not3(And3(a, b)); }
+constexpr Word3 Nor3(Word3 a, Word3 b) { return Not3(Or3(a, b)); }
+constexpr Word3 Xnor3(Word3 a, Word3 b) { return Not3(Xor3(a, b)); }
+
+// 2:1 multiplexer: returns `a` where sel==0, `b` where sel==1. Where the
+// select is X, the output is known only if both data inputs are known and
+// agree.
+constexpr Word3 Mux3(Word3 sel, Word3 a, Word3 b) {
+  const std::uint64_t pick_a = sel.known & ~sel.val;
+  const std::uint64_t pick_b = sel.known & sel.val;
+  const std::uint64_t agree = ~sel.known & a.known & b.known & ~(a.val ^ b.val);
+  const std::uint64_t known = (pick_a & a.known) | (pick_b & b.known) | agree;
+  const std::uint64_t val =
+      ((pick_a & a.val) | (pick_b & b.val) | (agree & a.val)) & known;
+  return {val, known};
+}
+
+// Scalar helpers (implemented on 1 lane of the word ops so the two agree by
+// construction).
+constexpr Trit Not3(Trit a) { return GetLane(Not3(Splat(a)), 0); }
+constexpr Trit And3(Trit a, Trit b) {
+  return GetLane(And3(Splat(a), Splat(b)), 0);
+}
+constexpr Trit Or3(Trit a, Trit b) {
+  return GetLane(Or3(Splat(a), Splat(b)), 0);
+}
+constexpr Trit Xor3(Trit a, Trit b) {
+  return GetLane(Xor3(Splat(a), Splat(b)), 0);
+}
+constexpr Trit Mux3(Trit s, Trit a, Trit b) {
+  return GetLane(Mux3(Splat(s), Splat(a), Splat(b)), 0);
+}
+
+constexpr char TritChar(Trit t) {
+  return t == Trit::kZero ? '0' : (t == Trit::kOne ? '1' : 'X');
+}
+
+}  // namespace pfd

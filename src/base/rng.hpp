@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic parts of the library (Monte Carlo power estimation, random
+// circuit generation in tests) draw from this xoshiro256** generator so that
+// every experiment is reproducible from a seed. The LFSR-based TPGR used for
+// *test pattern* generation lives in src/tpg — the paper distinguishes the
+// tester's TPGR from generic randomness, and so do we.
+#pragma once
+
+#include <cstdint>
+
+namespace pfd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform value with the given number of low bits.
+  std::uint32_t Bits(int bits) {
+    return static_cast<std::uint32_t>(Next() & ((1ULL << bits) - 1));
+  }
+
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace pfd

@@ -1,0 +1,57 @@
+// Streaming statistics used by the Monte Carlo power engine.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "base/error.hpp"
+
+namespace pfd {
+
+// Welford online mean/variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  // Approximate 95% confidence half-width of the mean (normal approximation;
+  // the Monte Carlo engine only uses this as a convergence heuristic).
+  double ConfidenceHalfWidth95() const {
+    if (n_ < 2) return std::numeric_limits<double>::infinity();
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+  // Relative half-width |ci/mean|; infinity when the mean is ~0.
+  double RelativeHalfWidth95() const {
+    const double m = std::abs(mean_);
+    if (m < 1e-300) return std::numeric_limits<double>::infinity();
+    return ConfidenceHalfWidth95() / m;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Percentage change of `value` relative to `baseline` (paper reports all
+// power deltas this way).
+inline double PercentChange(double baseline, double value) {
+  PFD_CHECK_MSG(baseline != 0.0, "percent change of zero baseline");
+  return (value - baseline) / baseline * 100.0;
+}
+
+}  // namespace pfd

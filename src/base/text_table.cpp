@@ -1,0 +1,97 @@
+#include "base/text_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace pfd {
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  PFD_CHECK_MSG(row.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddRule() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_rule = [&](std::ostringstream& os) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto render_row = [&](std::ostringstream& os,
+                        const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  std::ostringstream os;
+  render_rule(os);
+  render_row(os, header_);
+  render_rule(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      render_rule(os);
+    } else {
+      render_row(os, row);
+    }
+  }
+  render_rule(os);
+  return os.str();
+}
+
+std::string TextTable::ToCsv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) emit(row);
+  }
+  return os.str();
+}
+
+std::string TextTable::FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::FormatPercent(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, v);
+  return buf;
+}
+
+}  // namespace pfd

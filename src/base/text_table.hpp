@@ -1,0 +1,35 @@
+// Plain-text table rendering for benchmark harnesses and reports.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows of
+// text; this helper keeps their output format uniform and also supports CSV
+// for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pfd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row);
+  // Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  // Renders with aligned columns and a header rule.
+  std::string ToString() const;
+  std::string ToCsv() const;
+
+  static std::string FormatDouble(double v, int decimals);
+  // "+x.xx%" / "-x.xx%" as the paper prints percentage changes.
+  static std::string FormatPercent(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+}  // namespace pfd

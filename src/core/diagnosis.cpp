@@ -1,0 +1,82 @@
+#include "core/diagnosis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/rng.hpp"
+
+namespace pfd::core {
+
+DiagnosisResult DiagnoseFromPower(const PowerGradeReport& dictionary,
+                                  double measured_uw,
+                                  const DiagnosisConfig& config) {
+  PFD_CHECK_MSG(config.sigma > 0.0, "diagnosis needs a positive sigma");
+  DiagnosisResult result;
+  result.measured_uw = measured_uw;
+
+  auto likelihood = [&](double signature_uw) {
+    const double sd = config.sigma * signature_uw;
+    const double z = (measured_uw - signature_uw) / sd;
+    return std::exp(-0.5 * z * z) / sd;
+  };
+
+  result.ranked.push_back(
+      {nullptr, dictionary.fault_free_uw,
+       likelihood(dictionary.fault_free_uw)});
+  for (const GradedFault& gf : dictionary.faults) {
+    result.ranked.push_back({&gf, gf.power_uw, likelihood(gf.power_uw)});
+  }
+  double total = 0.0;
+  for (const DiagnosisCandidate& c : result.ranked) total += c.probability;
+  if (total > 0.0) {
+    for (DiagnosisCandidate& c : result.ranked) c.probability /= total;
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+              return a.probability > b.probability;
+            });
+  return result;
+}
+
+ResolutionReport EvaluateDiagnosisResolution(
+    const PowerGradeReport& dictionary, const DiagnosisConfig& config,
+    int trials_per_fault, int k, std::uint64_t seed) {
+  ResolutionReport report;
+  report.trials_per_fault = trials_per_fault;
+  report.k = k;
+  Rng rng(seed);
+  // Box-Muller for the measurement noise.
+  auto gaussian = [&rng] {
+    const double u1 =
+        (static_cast<double>(rng.Next() >> 11) + 1.0) * 0x1.0p-53;
+    const double u2 = static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  };
+
+  std::size_t top1 = 0, topk = 0, total = 0;
+  for (const GradedFault& truth : dictionary.faults) {
+    for (int t = 0; t < trials_per_fault; ++t) {
+      const double measured =
+          truth.power_uw * (1.0 + config.sigma * gaussian());
+      const DiagnosisResult dx =
+          DiagnoseFromPower(dictionary, measured, config);
+      ++total;
+      for (std::size_t rank = 0;
+           rank < std::min<std::size_t>(k, dx.ranked.size()); ++rank) {
+        if (dx.ranked[rank].fault == &truth) {
+          ++topk;
+          if (rank == 0) ++top1;
+          break;
+        }
+      }
+    }
+  }
+  if (total > 0) {
+    report.top1_accuracy = static_cast<double>(top1) / total;
+    report.topk_accuracy = static_cast<double>(topk) / total;
+  }
+  return report;
+}
+
+}  // namespace pfd::core

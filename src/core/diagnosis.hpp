@@ -1,0 +1,57 @@
+// Power-signature fault diagnosis.
+//
+// The paper ends at detection ("the fault is important if it causes a
+// percentage change bigger than the threshold"); the natural next step a
+// production flow wants is *diagnosis*: given the measured power of a
+// failing die, which SFR fault is the likely culprit? Every graded fault
+// already has a Monte Carlo power signature, so a dictionary lookup under a
+// Gaussian measurement-noise model ranks the candidates.
+#pragma once
+
+#include <vector>
+
+#include "core/grading.hpp"
+
+namespace pfd::core {
+
+struct DiagnosisConfig {
+  // Relative std-dev of a power measurement (die variation + tester noise).
+  double sigma = 0.01;
+};
+
+struct DiagnosisCandidate {
+  // nullptr represents the fault-free hypothesis.
+  const GradedFault* fault = nullptr;
+  double signature_uw = 0.0;
+  // Posterior probability under a uniform prior over the dictionary.
+  double probability = 0.0;
+};
+
+struct DiagnosisResult {
+  double measured_uw = 0.0;
+  // Sorted by decreasing probability; includes the fault-free hypothesis.
+  std::vector<DiagnosisCandidate> ranked;
+
+  const DiagnosisCandidate& best() const { return ranked.front(); }
+};
+
+// Ranks the dictionary entries (fault-free + every graded SFR fault) by the
+// Gaussian likelihood of the measurement.
+DiagnosisResult DiagnoseFromPower(const PowerGradeReport& dictionary,
+                                  double measured_uw,
+                                  const DiagnosisConfig& config);
+
+// Resolution study: for each dictionary entry, simulate noisy measurements
+// and record how often the entry is ranked first / in the top k.
+struct ResolutionReport {
+  int trials_per_fault = 0;
+  double top1_accuracy = 0.0;
+  double topk_accuracy = 0.0;
+  int k = 3;
+};
+
+ResolutionReport EvaluateDiagnosisResolution(
+    const PowerGradeReport& dictionary, const DiagnosisConfig& config,
+    int trials_per_fault, int k, std::uint64_t seed);
+
+}  // namespace pfd::core

@@ -1,0 +1,70 @@
+#include "core/grading.hpp"
+
+#include <algorithm>
+
+#include "base/stats.hpp"
+
+namespace pfd::core {
+
+std::size_t PowerGradeReport::DetectedCount() const {
+  std::size_t n = 0;
+  for (const GradedFault& f : faults) {
+    if (f.outside_band) ++n;
+  }
+  return n;
+}
+
+std::vector<const GradedFault*> PowerGradeReport::Figure7Order() const {
+  std::vector<const GradedFault*> select_only;
+  std::vector<const GradedFault*> load_line;
+  for (const GradedFault& f : faults) {
+    (f.record->touches_load_line ? load_line : select_only).push_back(&f);
+  }
+  auto by_power = [](const GradedFault* a, const GradedFault* b) {
+    return a->power_uw < b->power_uw;
+  };
+  std::sort(select_only.begin(), select_only.end(), by_power);
+  std::sort(load_line.begin(), load_line.end(), by_power);
+  select_only.insert(select_only.end(), load_line.begin(), load_line.end());
+  return select_only;
+}
+
+power::PowerModel MakePowerModel(const synth::System& sys,
+                                 const power::TechModel& tech) {
+  power::PowerModel model(sys.nl, tech);
+  for (const auto& [enable, dffs] : sys.clock_gates) {
+    model.AddClockGate(enable, dffs);
+  }
+  return model;
+}
+
+PowerGradeReport GradeSfrFaults(const synth::System& sys,
+                                const ClassificationReport& classification,
+                                const GradeConfig& config) {
+  const power::PowerModel model = MakePowerModel(sys, config.tech);
+  const fault::TestPlan plan = sys.MakeTestPlan();
+
+  PowerGradeReport report;
+  report.threshold_percent = config.threshold_percent;
+  report.fault_free_uw =
+      power::EstimatePowerMonteCarlo(sys.nl, plan, model, config.mc)
+          .breakdown.datapath_uw;
+
+  for (const FaultRecord& rec : classification.records) {
+    if (rec.cls != FaultClass::kSfr) continue;
+    const fault::StuckFault f = rec.fault;
+    const power::PowerResult pr = power::EstimatePowerMonteCarlo(
+        sys.nl, plan, model, std::span<const fault::StuckFault>(&f, 1),
+        config.mc);
+    GradedFault gf;
+    gf.record = &rec;
+    gf.power_uw = pr.breakdown.datapath_uw;
+    gf.percent_change = PercentChange(report.fault_free_uw, gf.power_uw);
+    gf.outside_band =
+        std::abs(gf.percent_change) > config.threshold_percent;
+    report.faults.push_back(gf);
+  }
+  return report;
+}
+
+}  // namespace pfd::core

@@ -1,0 +1,52 @@
+// Power grading of SFR faults (Sections 4-6).
+//
+// For every SFR fault, Monte Carlo simulation estimates the average datapath
+// power with the fault present; the fault is "important" — detectable by the
+// proposed power-analysis test — when its percentage change from the
+// fault-free baseline falls outside the tolerance band (the paper uses
+// +/- 5%).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "power/power_model.hpp"
+#include "power/power_sim.hpp"
+
+namespace pfd::core {
+
+struct GradeConfig {
+  double threshold_percent = 5.0;
+  power::TechModel tech = power::TechModel::Vsc450();
+  power::MonteCarloConfig mc;
+};
+
+struct GradedFault {
+  const FaultRecord* record = nullptr;
+  double power_uw = 0.0;
+  double percent_change = 0.0;
+  bool outside_band = false;  // |change| > threshold => power-detectable
+};
+
+struct PowerGradeReport {
+  double fault_free_uw = 0.0;
+  double threshold_percent = 5.0;
+  std::vector<GradedFault> faults;  // the SFR faults, input order
+
+  std::size_t DetectedCount() const;
+  // Figure-7 presentation order: select-only faults first, then faults that
+  // touch load lines; each group sorted by increasing power.
+  std::vector<const GradedFault*> Figure7Order() const;
+};
+
+// Builds the PowerModel for a system, including its gated-clock groups.
+power::PowerModel MakePowerModel(const synth::System& sys,
+                                 const power::TechModel& tech);
+
+PowerGradeReport GradeSfrFaults(const synth::System& sys,
+                                const ClassificationReport& classification,
+                                const GradeConfig& config);
+
+}  // namespace pfd::core

@@ -1,0 +1,102 @@
+// The paper's Section-5 fault-classification pipeline.
+//
+// Given an integrated controller-datapath system, classifies every
+// (collapsed) stuck-at fault inside the controller:
+//
+//   step 1  fault-simulate the whole system with TPGR patterns; detected
+//           faults are SFI;
+//   step 2  upgrade "potentially detected" faults (known golden response vs
+//           X faulty response) to SFI — in real hardware the boot value
+//           will mismatch for some pattern;
+//   step 3  simulate the faulty controller alone; faults that never change
+//           any control line are CFR;
+//   step 4  decide the rest: symbolic RTL equivalence proves SFR; otherwise
+//           an exhaustive (or sampled) gate-level dual run decides.
+//
+// Each CFI fault also carries its Section-3 control-line-effect analysis
+// (for Table-1-style reporting and for cross-validation of the paper's
+// analytic rules against the sound deciders).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.hpp"
+#include "analysis/effects.hpp"
+#include "analysis/trace.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "hls/hls.hpp"
+#include "synth/system.hpp"
+#include "tpg/lfsr.hpp"
+
+namespace pfd::core {
+
+enum class FaultClass : std::uint8_t {
+  kSfiSim,        // caught by the TPGR fault simulation (step 1)
+  kSfiPotential,  // potentially detected, upgraded to SFI (step 2)
+  kCfr,           // controller-functionally redundant (step 3)
+  kSfr,           // system-functionally redundant (step 4)
+  kSfiAnalysis,   // SFI established by the step-4 deciders
+};
+
+const char* FaultClassName(FaultClass c);
+
+struct FaultRecord {
+  fault::StuckFault fault;
+  std::string name;
+  FaultClass cls = FaultClass::kSfiSim;
+
+  // CFI faults only: classified effects from the steady-state window (or
+  // the boot window when the steady window is clean).
+  std::vector<analysis::ClassifiedEffect> effects;
+  // Does any effect touch a register load line? (Figure 7 splits faults
+  // into select-only vs load-line groups on this.)
+  bool touches_load_line = false;
+
+  // Step-4 provenance (SFR/kSfiAnalysis only).
+  bool symbolically_proven = false;  // SFR proven by expression equality
+  bool exhaustive = false;           // gate decider enumerated all inputs
+  // Section-3 analytic verdict over the effects (cross-check only).
+  analysis::LocalVerdict analytic_verdict =
+      analysis::LocalVerdict::kNeedsValueAnalysis;
+};
+
+// When the tester strobes the datapath outputs during the integrated test.
+// The paper's designs hold results in output registers, so kAtHold is the
+// default; kEveryCycle models a tester that compares every clock, which
+// additionally exposes faults whose only system-level effect is a transient
+// on an output register mid-schedule.
+enum class ObservationPolicy : std::uint8_t { kAtHold, kEveryCycle };
+
+struct PipelineConfig {
+  int tpgr_patterns = 1200;
+  std::uint32_t tpgr_seed = tpg::kTestSetSeed1;
+  int trace_patterns = 3;
+  ObservationPolicy observation = ObservationPolicy::kAtHold;
+  analysis::GateCheckConfig gate_check;
+};
+
+struct ClassificationReport {
+  std::vector<FaultRecord> records;
+  std::size_t total = 0;
+  std::size_t sfi_sim = 0;
+  std::size_t sfi_potential = 0;
+  std::size_t sfi_analysis = 0;
+  std::size_t cfr = 0;
+  std::size_t sfr = 0;
+
+  double PercentSfr() const {
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(sfr) /
+                                  static_cast<double>(total);
+  }
+  std::vector<const FaultRecord*> SfrFaults() const;
+  std::string Summary() const;
+};
+
+ClassificationReport ClassifyControllerFaults(const synth::System& sys,
+                                              const hls::HlsResult& hls,
+                                              const PipelineConfig& config);
+
+}  // namespace pfd::core

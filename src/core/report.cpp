@@ -1,0 +1,82 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "base/text_table.hpp"
+
+namespace pfd::core {
+
+std::string EffectsSummary(const FaultRecord& record) {
+  std::string out;
+  int n = 0;
+  for (const analysis::ClassifiedEffect& ce : record.effects) {
+    if (!out.empty()) out += "; ";
+    out += std::to_string(++n) + ". " + ce.description;
+  }
+  return out.empty() ? "-" : out;
+}
+
+namespace {
+
+TextTable MakeClassificationTable(const ClassificationReport& report,
+                                  bool sfr_only) {
+  TextTable t({"fault", "class", "provenance", "effects"});
+  for (const FaultRecord& r : report.records) {
+    if (sfr_only && r.cls != FaultClass::kSfr) continue;
+    std::string provenance = "-";
+    if (r.cls == FaultClass::kSfr) {
+      provenance = r.symbolically_proven ? "symbolic proof"
+                   : r.exhaustive        ? "exhaustive sweep"
+                                         : "sampled sweep";
+    } else if (r.cls == FaultClass::kSfiAnalysis) {
+      provenance = r.exhaustive ? "exhaustive sweep" : "sampled sweep";
+    }
+    t.AddRow({r.name, FaultClassName(r.cls), provenance, EffectsSummary(r)});
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string ClassificationCsv(const ClassificationReport& report) {
+  return MakeClassificationTable(report, false).ToCsv();
+}
+
+std::string ClassificationTable(const ClassificationReport& report,
+                                bool sfr_only) {
+  return MakeClassificationTable(report, sfr_only).ToString();
+}
+
+namespace {
+
+TextTable MakeGradingTable(const PowerGradeReport& report) {
+  TextTable t({"#", "group", "fault", "power uW", "change", "detected"});
+  int idx = 0;
+  for (const GradedFault* gf : report.Figure7Order()) {
+    t.AddRow({std::to_string(++idx),
+              gf->record->touches_load_line ? "load" : "select",
+              gf->record->name, TextTable::FormatDouble(gf->power_uw, 2),
+              TextTable::FormatPercent(gf->percent_change),
+              gf->outside_band ? "yes" : "no"});
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string GradingCsv(const PowerGradeReport& report) {
+  return MakeGradingTable(report).ToCsv();
+}
+
+std::string GradingTable(const PowerGradeReport& report) {
+  return MakeGradingTable(report).ToString();
+}
+
+std::string SummaryLine(const std::string& design,
+                        const ClassificationReport& report) {
+  std::ostringstream os;
+  os << design << ": " << report.Summary();
+  return os.str();
+}
+
+}  // namespace pfd::core

@@ -1,0 +1,30 @@
+// Report rendering: classification and power-grading results as aligned
+// text tables, CSV (for plotting), and Markdown (for docs). Benches and
+// examples share these so every artefact prints consistently.
+#pragma once
+
+#include <string>
+
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+
+namespace pfd::core {
+
+// One row per fault: name, class, effects, provenance flags.
+std::string ClassificationCsv(const ClassificationReport& report);
+std::string ClassificationTable(const ClassificationReport& report,
+                                bool sfr_only = false);
+
+// One row per SFR fault: power, percentage change, detection verdict.
+std::string GradingCsv(const PowerGradeReport& report);
+// Figure-7-ordered table (select-only group first).
+std::string GradingTable(const PowerGradeReport& report);
+
+// Per-design one-line summary row used by Table-2-style outputs.
+std::string SummaryLine(const std::string& design,
+                        const ClassificationReport& report);
+
+// Joins a record's effect descriptions ("1. ...; 2. ...").
+std::string EffectsSummary(const FaultRecord& record);
+
+}  // namespace pfd::core

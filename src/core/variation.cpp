@@ -1,0 +1,61 @@
+#include "core/variation.hpp"
+
+#include <cmath>
+
+namespace pfd::core {
+
+namespace {
+// Standard normal CDF.
+double Phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+}  // namespace
+
+double DetectionProbability(double delta, const VariationConfig& config) {
+  PFD_CHECK_MSG(config.sigma >= 0.0, "negative sigma");
+  const double t = config.threshold_percent / 100.0;
+  const double scale = 1.0 + delta;
+  PFD_CHECK_MSG(scale > 0.0, "relative power change below -100%");
+  // Outside the band iff (1+delta)(1+eps) > 1+t or < 1-t.
+  const double hi = (1.0 + t) / scale - 1.0;
+  const double lo = (1.0 - t) / scale - 1.0;
+  if (config.sigma == 0.0) {
+    return (0.0 > hi || 0.0 < lo) ? 1.0 : 0.0;
+  }
+  return (1.0 - Phi(hi / config.sigma)) + Phi(lo / config.sigma);
+}
+
+double VariationReport::ExpectedCoverage() const {
+  if (faults.empty()) return 0.0;
+  double sum = 0.0;
+  for (const VariationOutcome& o : faults) sum += o.detection_probability;
+  return sum / static_cast<double>(faults.size());
+}
+
+VariationReport AnalyzeUnderVariation(const PowerGradeReport& graded,
+                                      const VariationConfig& config) {
+  VariationReport report;
+  report.config = config;
+  report.false_alarm_probability = DetectionProbability(0.0, config);
+  for (const GradedFault& gf : graded.faults) {
+    report.faults.push_back(
+        {&gf, DetectionProbability(gf.percent_change / 100.0, config)});
+  }
+  return report;
+}
+
+double MinimalThresholdForFalseAlarm(double sigma, double max_false_alarm) {
+  PFD_CHECK_MSG(max_false_alarm > 0.0 && max_false_alarm < 1.0,
+                "false alarm bound must be in (0,1)");
+  double lo = 0.0, hi = 100.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    VariationConfig cfg{sigma, mid};
+    if (DetectionProbability(0.0, cfg) > max_false_alarm) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace pfd::core

@@ -1,0 +1,55 @@
+// Detection under process/environmental power variation.
+//
+// Section 5 of the paper names this as the second practical difficulty:
+// "the threshold must be chosen large enough to accommodate normal
+// variations in a core's power consumption, due to process variations when
+// the chip was fabricated, environmental variations, et cetera. The smaller
+// the threshold can be made in practice, the greater is the percentage of
+// SFR faults that can be detected."
+//
+// This module quantifies that trade-off with a multiplicative Gaussian die
+// model: the measured power of a die is P_measured = P_true * (1 + eps),
+// eps ~ N(0, sigma). A fault whose true relative change is delta is flagged
+// when |(1 + delta)(1 + eps) - 1| exceeds the threshold, giving closed-form
+// per-fault detection and false-alarm probabilities.
+#pragma once
+
+#include <vector>
+
+#include "core/grading.hpp"
+
+namespace pfd::core {
+
+struct VariationConfig {
+  double sigma = 0.01;             // relative std-dev of die-to-die power
+  double threshold_percent = 5.0;  // detection band half-width
+};
+
+struct VariationOutcome {
+  const GradedFault* fault = nullptr;
+  double detection_probability = 0.0;
+};
+
+struct VariationReport {
+  VariationConfig config;
+  // Probability that a *fault-free* die trips the band (yield loss).
+  double false_alarm_probability = 0.0;
+  std::vector<VariationOutcome> faults;
+
+  // Mean detection probability over the SFR fault population.
+  double ExpectedCoverage() const;
+};
+
+// Probability that a die with true relative power change `delta` (e.g.
+// 0.09 for +9%) falls outside the +/-threshold band under the Gaussian die
+// model.
+double DetectionProbability(double delta, const VariationConfig& config);
+
+VariationReport AnalyzeUnderVariation(const PowerGradeReport& graded,
+                                      const VariationConfig& config);
+
+// Smallest threshold (percent) keeping the false-alarm probability below
+// `max_false_alarm`, by bisection on the closed form.
+double MinimalThresholdForFalseAlarm(double sigma, double max_false_alarm);
+
+}  // namespace pfd::core

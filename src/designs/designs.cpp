@@ -1,0 +1,255 @@
+#include "designs/designs.hpp"
+
+namespace pfd::designs {
+
+using hls::Dfg;
+using hls::HlsConfig;
+using hls::ValueRef;
+using rtl::FuKind;
+
+Dfg MakeDiffeqDfg(int width) {
+  Dfg dfg(width);
+  const ValueRef x = dfg.AddInput("x");
+  const ValueRef y = dfg.AddInput("y");
+  const ValueRef u = dfg.AddInput("u");
+  const ValueRef dx = dfg.AddInput("dx");
+  const ValueRef a = dfg.AddInput("a");
+  const ValueRef three = dfg.AddConstant(3);
+
+  const ValueRef m1 = dfg.AddOp("3x", FuKind::kMul, three, x);
+  const ValueRef m2 = dfg.AddOp("u_dx", FuKind::kMul, u, dx);
+  const ValueRef m3 = dfg.AddOp("3x_u_dx", FuKind::kMul, m1, m2);
+  const ValueRef m4 = dfg.AddOp("3y", FuKind::kMul, three, y);
+  const ValueRef m5 = dfg.AddOp("3y_dx", FuKind::kMul, m4, dx);
+  const ValueRef s1 = dfg.AddOp("u_minus", FuKind::kSub, u, m3);
+  const ValueRef u1 = dfg.AddOp("u1", FuKind::kSub, s1, m5);
+  const ValueRef y1 = dfg.AddOp("y1", FuKind::kAdd, y, m2);
+  const ValueRef x1 = dfg.AddOp("x1", FuKind::kAdd, x, dx);
+  const ValueRef c = dfg.AddOp("c", FuKind::kLess, x1, a);
+
+  dfg.AddOutput("x1", x1);
+  dfg.AddOutput("y1", y1);
+  dfg.AddOutput("u1", u1);
+  dfg.AddOutput("c", c);
+  return dfg;
+}
+
+HlsConfig DiffeqConfig() {
+  HlsConfig cfg;
+  cfg.resources = {{FuKind::kMul, 2},
+                   {FuKind::kAdd, 1},
+                   {FuKind::kSub, 2},
+                   {FuKind::kLess, 1}};
+  // Two multipliers/subtractors with round-robin binding leave each FU's
+  // operand muxes don't-care in most states — the paper's Diffeq had 19 of
+  // 37 SFR faults on mux select lines.
+  cfg.spread_fu_binding = true;
+  // Left-edge register sharing with one load line per register ("eleven
+  // register load lines, for REG1 through REG11" in the paper), and one op
+  // per step, giving the paper's CS1..CS8-style long schedule (10
+  // computation steps here) and a 4-bit state register whose unused codes
+  // enrich the controller's don't-care space.
+  cfg.merge_load_lines = false;
+  cfg.max_ops_per_step = 2;
+  return cfg;
+}
+
+Dfg MakeFacetDfg(int width) {
+  Dfg dfg(width);
+  const ValueRef a = dfg.AddInput("a");
+  const ValueRef b = dfg.AddInput("b");
+  const ValueRef c = dfg.AddInput("c");
+  const ValueRef d = dfg.AddInput("d");
+  const ValueRef e = dfg.AddInput("e");
+  const ValueRef f = dfg.AddInput("f");
+
+  // Three chains that start in parallel; with two adders and two multipliers
+  // several registers load in the same step and end up sharing load lines.
+  const ValueRef t1 = dfg.AddOp("t1", FuKind::kAdd, a, b);
+  const ValueRef t2 = dfg.AddOp("t2", FuKind::kMul, c, d);
+  const ValueRef t3 = dfg.AddOp("t3", FuKind::kSub, e, f);
+  const ValueRef t4 = dfg.AddOp("t4", FuKind::kMul, t1, t2);
+  const ValueRef t5 = dfg.AddOp("t5", FuKind::kAdd, t2, t3);
+  const ValueRef t7 = dfg.AddOp("t7", FuKind::kOr, t1, t3);
+  const ValueRef t6 = dfg.AddOp("t6", FuKind::kAnd, t4, t5);
+  const ValueRef t8 = dfg.AddOp("t8", FuKind::kAdd, t7, t5);
+  const ValueRef t9 = dfg.AddOp("t9", FuKind::kMul, t4, t3);
+  const ValueRef t10 = dfg.AddOp("t10", FuKind::kSub, t9, t8);
+
+  dfg.AddOutput("p", t6);
+  dfg.AddOutput("q", t10);
+  return dfg;
+}
+
+HlsConfig FacetConfig() {
+  HlsConfig cfg;
+  cfg.resources = {{FuKind::kMul, 2},
+                   {FuKind::kAdd, 2},
+                   {FuKind::kSub, 1},
+                   {FuKind::kAnd, 1},
+                   {FuKind::kOr, 1}};
+  // Two ops per step keeps registers loading in parallel (the shared-load-
+  // line property the paper highlights) while stretching the schedule enough
+  // for a 3-bit-plus state register.
+  cfg.max_ops_per_step = 2;
+  return cfg;
+}
+
+Dfg MakePolyDfg(int width) {
+  Dfg dfg(width);
+  const ValueRef a = dfg.AddInput("a");
+  const ValueRef b = dfg.AddInput("b");
+  const ValueRef c = dfg.AddInput("c");
+  const ValueRef d = dfg.AddInput("d");
+  const ValueRef x = dfg.AddInput("x");
+
+  // Power-form evaluation of a*x^3 + b*x^2 + c*x + d. The explicit powers
+  // give many long-lived variables (x, x^2, x^3, b, c, d), reproducing the
+  // paper's observation that Poly's long lifespans leave SFR faults little
+  // idle time to exploit.
+  const ValueRef x2 = dfg.AddOp("x2", FuKind::kMul, x, x);
+  const ValueRef x3 = dfg.AddOp("x3", FuKind::kMul, x2, x);
+  const ValueRef t1 = dfg.AddOp("ax3", FuKind::kMul, a, x3);
+  const ValueRef t2 = dfg.AddOp("bx2", FuKind::kMul, b, x2);
+  const ValueRef t3 = dfg.AddOp("cx", FuKind::kMul, c, x);
+  const ValueRef s1 = dfg.AddOp("s1", FuKind::kAdd, t1, t2);
+  const ValueRef s2 = dfg.AddOp("s2", FuKind::kAdd, s1, t3);
+  const ValueRef y = dfg.AddOp("y", FuKind::kAdd, s2, d);
+
+  dfg.AddOutput("y", y);
+  return dfg;
+}
+
+HlsConfig PolyConfig() {
+  HlsConfig cfg;
+  cfg.resources = {{FuKind::kMul, 2}, {FuKind::kAdd, 2}};
+  cfg.spread_fu_binding = true;
+  cfg.merge_load_lines = false;
+  cfg.max_ops_per_step = 2;
+  return cfg;
+}
+
+Dfg MakeEwfDfg(int width) {
+  Dfg dfg(width);
+  // An elliptic-wave-filter-like section: two state-feedback lattice arms
+  // built from long adder chains with scaling multiplies, 34 ops total —
+  // the op mix (26 add / 8 mul) of the classic EWF benchmark.
+  const ValueRef in = dfg.AddInput("in");
+  const ValueRef s1 = dfg.AddInput("s1");
+  const ValueRef s2 = dfg.AddInput("s2");
+  const ValueRef s3 = dfg.AddInput("s3");
+  const ValueRef s4 = dfg.AddInput("s4");
+  const ValueRef c1 = dfg.AddConstant(3);
+  const ValueRef c2 = dfg.AddConstant(5);
+
+  auto add = [&](const char* n, ValueRef a, ValueRef b) {
+    return dfg.AddOp(n, FuKind::kAdd, a, b);
+  };
+  auto mul = [&](const char* n, ValueRef a, ValueRef b) {
+    return dfg.AddOp(n, FuKind::kMul, a, b);
+  };
+
+  // Input conditioning arm.
+  const ValueRef a1 = add("a1", in, s1);
+  const ValueRef a2 = add("a2", a1, s2);
+  const ValueRef m1 = mul("m1", a2, c1);
+  const ValueRef a3 = add("a3", m1, s3);
+  const ValueRef a4 = add("a4", a3, a1);
+  const ValueRef m2 = mul("m2", a4, c2);
+  const ValueRef a5 = add("a5", m2, a2);
+  // First lattice arm.
+  const ValueRef a6 = add("a6", a5, s4);
+  const ValueRef m3 = mul("m3", a6, c1);
+  const ValueRef a7 = add("a7", m3, a4);
+  const ValueRef a8 = add("a8", a7, a5);
+  const ValueRef a9 = add("a9", a8, s1);
+  const ValueRef m4 = mul("m4", a9, c2);
+  const ValueRef a10 = add("a10", m4, a7);
+  // Second lattice arm.
+  const ValueRef a11 = add("a11", a10, s2);
+  const ValueRef a12 = add("a12", a11, a8);
+  const ValueRef m5 = mul("m5", a12, c1);
+  const ValueRef a13 = add("a13", m5, a10);
+  const ValueRef a14 = add("a14", a13, a11);
+  const ValueRef a15 = add("a15", a14, s3);
+  const ValueRef m6 = mul("m6", a15, c2);
+  const ValueRef a16 = add("a16", m6, a13);
+  // Output combination and next-state values.
+  const ValueRef a17 = add("a17", a16, a14);
+  const ValueRef a18 = add("a18", a17, a12);
+  const ValueRef m7 = mul("m7", a18, c1);
+  const ValueRef a19 = add("a19", m7, a16);
+  const ValueRef a20 = add("a20", a19, a17);
+  const ValueRef a21 = add("a21", a20, in);
+  const ValueRef m8 = mul("m8", a21, c2);
+  const ValueRef a22 = add("a22", m8, a19);
+  const ValueRef a23 = add("a23", a22, a20);
+  const ValueRef a24 = add("a24", a23, a21);
+  const ValueRef a25 = add("a25", a24, a22);
+  const ValueRef a26 = add("a26", a25, a23);
+
+  dfg.AddOutput("out", a26);
+  dfg.AddOutput("ns1", a24);
+  dfg.AddOutput("ns2", a25);
+  return dfg;
+}
+
+HlsConfig EwfConfig() {
+  HlsConfig cfg;
+  cfg.resources = {{FuKind::kMul, 2}, {FuKind::kAdd, 2}};
+  cfg.max_ops_per_step = 3;
+  return cfg;
+}
+
+Dfg MakeDiffeqLoopDfg(int width) {
+  Dfg dfg = MakeDiffeqDfg(width);
+  // Ops by construction order: m1..m5 = 0..4, s1 = 5, u1 = 6, y1 = 7,
+  // x1 = 8, c = 9. Repeat while x1 < a, carrying x <- x1, y <- y1, u <- u1.
+  dfg.SetLoop(hls::ValueRef::Op(9), {{0 /*x*/, 8 /*x1*/},
+                                     {1 /*y*/, 7 /*y1*/},
+                                     {2 /*u*/, 6 /*u1*/}});
+  return dfg;
+}
+
+namespace {
+BenchmarkDesign Build(const std::string& name, const Dfg& dfg,
+                      const HlsConfig& cfg,
+                      const synth::SynthOptions& options = {}) {
+  BenchmarkDesign d;
+  d.name = name;
+  d.hls = hls::RunHls(dfg, cfg);
+  std::optional<synth::SystemLoop> loop;
+  if (d.hls.loop.enabled) {
+    loop = synth::SystemLoop{d.hls.loop.cond_fu, 2};
+  }
+  d.system = synth::BuildSystem(name, d.hls.datapath, d.hls.control,
+                                d.hls.load_map, options, loop);
+  return d;
+}
+}  // namespace
+
+BenchmarkDesign BuildDiffeq(int width) {
+  return Build("diffeq", MakeDiffeqDfg(width), DiffeqConfig());
+}
+
+BenchmarkDesign BuildDiffeqLoop(int width) {
+  return Build("diffeq-loop", MakeDiffeqLoopDfg(width), DiffeqConfig());
+}
+
+BenchmarkDesign BuildEwf(int width) {
+  return Build("ewf", MakeEwfDfg(width), EwfConfig());
+}
+
+BenchmarkDesign BuildFacet(int width) {
+  return Build("facet", MakeFacetDfg(width), FacetConfig());
+}
+
+BenchmarkDesign BuildPoly(int width) {
+  return Build("poly", MakePolyDfg(width), PolyConfig());
+}
+
+std::vector<BenchmarkDesign> BuildAll(int width) {
+  return {BuildDiffeq(width), BuildFacet(width), BuildPoly(width)};
+}
+
+}  // namespace pfd::designs

@@ -1,0 +1,64 @@
+// The paper's three example circuits, as DFGs plus canned builds through the
+// full HLS + synthesis flow.
+//
+//   * Diffeq — the HAL differential-equation-solver benchmark [Gajski et
+//     al.]: one Euler step of y'' + 3xy' + 3y = 0 (x1 = x + dx;
+//     u1 = u - 3*x*u*dx - 3*y*dx; y1 = y + u*dx; c = x1 < a).
+//   * Facet — a FACET-like block (the paper's exact FACET netlist is not
+//     given): three parallel-start chains with ADD/SUB/MUL/AND/OR ops whose
+//     binding yields registers that load in parallel on shared load lines —
+//     the property the paper highlights for this example.
+//   * Poly — Horner evaluation of a*x^3 + b*x^2 + c*x + d, a serial chain
+//     with long variable lifespans (the paper's explanation for Poly's small
+//     SFR power effects).
+//
+// All default to the paper's 4-bit datapath width; width is a parameter for
+// the ablation benches.
+#pragma once
+
+#include <string>
+
+#include "hls/dfg.hpp"
+#include "hls/hls.hpp"
+#include "synth/system.hpp"
+
+namespace pfd::designs {
+
+hls::Dfg MakeDiffeqDfg(int width);
+hls::Dfg MakeFacetDfg(int width);
+hls::Dfg MakePolyDfg(int width);
+
+// HLS resource sets used for the canned builds.
+hls::HlsConfig DiffeqConfig();
+hls::HlsConfig FacetConfig();
+hls::HlsConfig PolyConfig();
+
+struct BenchmarkDesign {
+  std::string name;
+  hls::HlsResult hls;
+  synth::System system;
+};
+
+BenchmarkDesign BuildDiffeq(int width = 4);
+BenchmarkDesign BuildFacet(int width = 4);
+BenchmarkDesign BuildPoly(int width = 4);
+
+// A fifth-order elliptic-wave-filter-like benchmark (the classic "large"
+// high-level-synthesis workload: 34 operations, long add chains, a handful
+// of scaling multiplies). Used by the scale-study bench to show how the
+// methodology behaves one size class above the paper's examples.
+hls::Dfg MakeEwfDfg(int width);
+hls::HlsConfig EwfConfig();
+BenchmarkDesign BuildEwf(int width = 4);
+
+// The *iterating* differential-equation solver: the same Euler body, but
+// with while-loop semantics (repeat while x1 < a, with x/y/u carried) and a
+// branching controller fed back from the datapath comparator — the full
+// controller-datapath interaction the paper's introduction motivates.
+hls::Dfg MakeDiffeqLoopDfg(int width);
+BenchmarkDesign BuildDiffeqLoop(int width = 4);
+
+// All three, in the paper's Table 2 order.
+std::vector<BenchmarkDesign> BuildAll(int width = 4);
+
+}  // namespace pfd::designs

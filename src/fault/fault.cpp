@@ -1,0 +1,184 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pfd::fault {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+std::string FaultName(const Netlist& nl, const StuckFault& f) {
+  std::string site;
+  if (nl.Name(f.gate).empty()) {
+    site.append("g").append(std::to_string(f.gate));
+  } else {
+    site = nl.Name(f.gate);
+  }
+  site.append("/").append(netlist::GateKindName(nl.gate(f.gate).kind));
+  if (f.pin == 0) {
+    site += ".out";
+  } else {
+    site += ".in";
+    site += std::to_string(f.pin - 1);
+  }
+  site += f.value == Trit::kZero ? "/SA0" : "/SA1";
+  return site;
+}
+
+std::vector<StuckFault> GenerateFaults(const Netlist& nl,
+                                       netlist::ModuleTag module,
+                                       bool skip_primary_inputs) {
+  std::vector<StuckFault> faults;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.gate(g).module != module) continue;
+    if (skip_primary_inputs && nl.gate(g).kind == GateKind::kInput) continue;
+    if (nl.gate(g).kind == GateKind::kConst0 ||
+        nl.gate(g).kind == GateKind::kConst1) {
+      // A constant cell only has a meaningful stuck-at of the opposite value.
+      faults.push_back({g, 0, nl.gate(g).kind == GateKind::kConst0
+                                  ? Trit::kOne
+                                  : Trit::kZero});
+      continue;
+    }
+    for (Trit v : {Trit::kZero, Trit::kOne}) {
+      faults.push_back({g, 0, v});
+      for (std::uint32_t i = 0; i < nl.Fanins(g).size(); ++i) {
+        faults.push_back({g, i + 1, v});
+      }
+    }
+  }
+  return faults;
+}
+
+namespace {
+
+// Union-find over fault keys.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+std::uint64_t Key(const StuckFault& f) {
+  return (static_cast<std::uint64_t>(f.gate) << 8) |
+         (static_cast<std::uint64_t>(f.pin) << 1) |
+         (f.value == Trit::kOne ? 1 : 0);
+}
+
+}  // namespace
+
+CollapsedFaults Collapse(const Netlist& nl,
+                         const std::vector<StuckFault>& all) {
+  std::unordered_map<std::uint64_t, int> index;
+  index.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    index.emplace(Key(all[i]), static_cast<int>(i));
+  }
+  auto lookup = [&](GateId g, std::uint32_t pin, Trit v) -> std::optional<int> {
+    auto it = index.find(Key({g, pin, v}));
+    if (it == index.end()) return std::nullopt;
+    return it->second;
+  };
+
+  UnionFind uf(all.size());
+  auto unite = [&](std::optional<int> a, std::optional<int> b) {
+    if (a && b) uf.Union(*a, *b);
+  };
+
+  // Intra-gate rules: a controlling value on any input is equivalent to the
+  // corresponding output fault; inverters/buffers (and DFFs, which are
+  // sequentially transparent) fold their input faults onto the output.
+  const std::vector<std::uint32_t> fanout_counts = nl.FanoutCounts();
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const GateKind kind = nl.gate(g).kind;
+    const std::size_t n_in = nl.Fanins(g).size();
+    for (std::uint32_t i = 1; i <= n_in; ++i) {
+      switch (kind) {
+        case GateKind::kAnd:
+          unite(lookup(g, i, Trit::kZero), lookup(g, 0, Trit::kZero));
+          break;
+        case GateKind::kNand:
+          unite(lookup(g, i, Trit::kZero), lookup(g, 0, Trit::kOne));
+          break;
+        case GateKind::kOr:
+          unite(lookup(g, i, Trit::kOne), lookup(g, 0, Trit::kOne));
+          break;
+        case GateKind::kNor:
+          unite(lookup(g, i, Trit::kOne), lookup(g, 0, Trit::kZero));
+          break;
+        case GateKind::kNot:
+          unite(lookup(g, i, Trit::kZero), lookup(g, 0, Trit::kOne));
+          unite(lookup(g, i, Trit::kOne), lookup(g, 0, Trit::kZero));
+          break;
+        case GateKind::kBuf:
+        case GateKind::kDff:
+          unite(lookup(g, i, Trit::kZero), lookup(g, 0, Trit::kZero));
+          unite(lookup(g, i, Trit::kOne), lookup(g, 0, Trit::kOne));
+          break;
+        default:
+          break;  // XOR/XNOR/MUX2 have no intra-gate equivalences
+      }
+    }
+  }
+
+  // Stem/branch: a net with exactly one reader makes the stem fault
+  // equivalent to that reader's branch fault — unless the net is itself an
+  // observation point (a primary output is an additional, invisible reader:
+  // the stem fault changes what the tester sees, the branch fault does not).
+  std::vector<std::uint8_t> is_observed(nl.size(), 0);
+  for (const netlist::OutputPort& po : nl.outputs()) {
+    is_observed[po.gate] = 1;
+  }
+  std::vector<std::pair<GateId, std::uint32_t>> sole_reader(
+      nl.size(), {netlist::kNoGate, 0});
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const auto fanins = nl.Fanins(g);
+    for (std::uint32_t i = 0; i < fanins.size(); ++i) {
+      if (fanins[i] != netlist::kNoGate) sole_reader[fanins[i]] = {g, i + 1};
+    }
+  }
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (fanout_counts[g] != 1 || is_observed[g]) continue;
+    const auto [reader, pin] = sole_reader[g];
+    if (reader == netlist::kNoGate) continue;
+    for (Trit v : {Trit::kZero, Trit::kOne}) {
+      unite(lookup(g, 0, v), lookup(reader, pin, v));
+    }
+  }
+
+  // Build representative list: the lowest-index member of each class.
+  CollapsedFaults out;
+  out.class_of.resize(all.size());
+  std::unordered_map<int, std::uint32_t> root_to_rep;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const int root = uf.Find(static_cast<int>(i));
+    auto it = root_to_rep.find(root);
+    if (it == root_to_rep.end()) {
+      const auto rep = static_cast<std::uint32_t>(out.representatives.size());
+      root_to_rep.emplace(root, rep);
+      out.representatives.push_back(all[i]);
+      out.class_size.push_back(0);
+      out.class_of[i] = rep;
+    } else {
+      out.class_of[i] = it->second;
+    }
+    ++out.class_size[out.class_of[i]];
+  }
+  return out;
+}
+
+}  // namespace pfd::fault

@@ -1,0 +1,57 @@
+// Single stuck-at fault model and fault-list construction.
+//
+// Fault sites follow the classic gate-level model: every gate contributes a
+// stem fault on its output and a branch fault on each input pin, each
+// stuck-at-0 and stuck-at-1. The paper enumerates faults *within the
+// controller* (Table 2's "Total Faults" column); GenerateFaults therefore
+// takes a module filter.
+//
+// Equivalence collapsing implements the standard structural rules
+// (controlling-value input faults fold onto the output fault; inverter/
+// buffer/DFF transparency; single-fanout stem/branch merging), producing the
+// representative set that the simulators and the classification pipeline
+// operate on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/logic.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pfd::fault {
+
+struct StuckFault {
+  netlist::GateId gate = netlist::kNoGate;
+  // 0 = output stem; i >= 1 = branch fault on input pin (i-1).
+  std::uint32_t pin = 0;
+  Trit value = Trit::kZero;  // kZero => stuck-at-0, kOne => stuck-at-1
+
+  friend bool operator==(const StuckFault&, const StuckFault&) = default;
+};
+
+std::string FaultName(const netlist::Netlist& nl, const StuckFault& f);
+
+// All (uncollapsed) faults on gates with the given module tag. Input gates
+// are skipped when `skip_primary_inputs` is set (faults on a primary input
+// pad are not controller-internal faults).
+std::vector<StuckFault> GenerateFaults(const netlist::Netlist& nl,
+                                       netlist::ModuleTag module,
+                                       bool skip_primary_inputs = true);
+
+struct CollapsedFaults {
+  // One representative per equivalence class.
+  std::vector<StuckFault> representatives;
+  // class_of[i] indexes representatives for input fault i (same order as the
+  // `all` list passed to Collapse).
+  std::vector<std::uint32_t> class_of;
+  // Sizes of each class (diagnostic / reporting).
+  std::vector<std::uint32_t> class_size;
+};
+
+CollapsedFaults Collapse(const netlist::Netlist& nl,
+                         const std::vector<StuckFault>& all);
+
+}  // namespace pfd::fault

@@ -1,0 +1,231 @@
+#include "fault/fault_sim.hpp"
+
+#include <algorithm>
+
+#include "tpg/lfsr.hpp"
+
+namespace pfd::fault {
+
+using netlist::GateId;
+
+const char* FaultStatusName(FaultStatus s) {
+  switch (s) {
+    case FaultStatus::kUndetected: return "undetected";
+    case FaultStatus::kDetected: return "detected";
+    case FaultStatus::kPotentiallyDetected: return "potentially-detected";
+  }
+  return "?";
+}
+
+std::size_t FaultSimResult::CountWithStatus(FaultStatus s) const {
+  return static_cast<std::size_t>(
+      std::count(status.begin(), status.end(), s));
+}
+
+void InjectFault(logicsim::Simulator& sim, const StuckFault& f,
+                 std::uint64_t lane_mask) {
+  if (f.pin == 0) {
+    sim.ForceOutput(f.gate, f.value, lane_mask);
+  } else {
+    sim.ForcePin(f.gate, f.pin - 1, f.value, lane_mask);
+  }
+}
+
+namespace {
+
+void CheckPlan(const netlist::Netlist& nl, const TestPlan& plan) {
+  PFD_CHECK_MSG(plan.cycles_per_pattern > 0, "empty test plan");
+  PFD_CHECK_MSG(!plan.observe.empty(), "test plan observes nothing");
+  for (int c : plan.strobe_cycles) {
+    PFD_CHECK_MSG(c >= 0 && c < plan.cycles_per_pattern,
+                  "strobe cycle out of range");
+  }
+  for (const auto& op : plan.operand_bits) {
+    PFD_CHECK_MSG(!op.empty() && op.size() <= BitVec::kMaxWidth,
+                  "bad operand width");
+    for (GateId g : op) {
+      PFD_CHECK_MSG(nl.gate(g).kind == netlist::GateKind::kInput,
+                    "operand bit is not a primary input");
+    }
+  }
+  for (const auto& [gate, value] : plan.pinned) {
+    PFD_CHECK_MSG(nl.gate(gate).kind == netlist::GateKind::kInput,
+                  "pinned net is not a primary input");
+    PFD_CHECK_MSG(value != Trit::kX, "pinned value must be known");
+  }
+}
+
+std::vector<int> OperandWidths(const TestPlan& plan) {
+  std::vector<int> widths;
+  widths.reserve(plan.operand_bits.size());
+  for (const auto& op : plan.operand_bits) {
+    widths.push_back(static_cast<int>(op.size()));
+  }
+  return widths;
+}
+
+// Applies one pattern's operand values (same on all 64 lanes).
+void DriveOperands(logicsim::Simulator& sim, const TestPlan& plan,
+                   const std::vector<BitVec>& pattern) {
+  for (const auto& [gate, value] : plan.pinned) {
+    sim.SetInputAllLanes(gate, value);
+  }
+  for (std::size_t op = 0; op < plan.operand_bits.size(); ++op) {
+    const BitVec& v = pattern[op];
+    for (std::size_t b = 0; b < plan.operand_bits[op].size(); ++b) {
+      sim.SetInputAllLanes(plan.operand_bits[op][b],
+                           v.bit(static_cast<int>(b)) ? Trit::kOne
+                                                      : Trit::kZero);
+    }
+  }
+}
+
+}  // namespace
+
+FaultSimResult RunParallelFaultSim(const netlist::Netlist& nl,
+                                   const TestPlan& plan,
+                                   std::span<const StuckFault> faults,
+                                   std::uint32_t tpgr_seed, int num_patterns) {
+  CheckPlan(nl, plan);
+  FaultSimResult result;
+  result.status.assign(faults.size(), FaultStatus::kUndetected);
+  result.first_detect_pattern.assign(faults.size(), -1);
+  result.patterns = num_patterns;
+
+  const std::vector<int> widths = OperandWidths(plan);
+  constexpr int kFaultLanes = 63;  // lane 0 carries the fault-free machine
+
+  for (std::size_t batch_start = 0; batch_start < faults.size() || faults.empty();
+       batch_start += kFaultLanes) {
+    const std::size_t batch_size =
+        std::min<std::size_t>(kFaultLanes, faults.size() - batch_start);
+
+    logicsim::Simulator sim(nl);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      InjectFault(sim, faults[batch_start + i], 1ULL << (i + 1));
+    }
+
+    tpg::Tpgr tpgr(tpgr_seed);
+    std::uint64_t detected = 0;    // lanes with a hard mismatch
+    std::uint64_t potential = 0;   // lanes with known-vs-X mismatch only
+
+    for (int p = 0; p < num_patterns; ++p) {
+      const std::vector<BitVec> pattern = tpgr.NextPattern(widths);
+      DriveOperands(sim, plan, pattern);
+      std::uint64_t pattern_detects = 0;
+      for (int c = 0; c < plan.cycles_per_pattern; ++c) {
+        if (plan.reset != netlist::kNoGate) {
+          sim.SetInputAllLanes(plan.reset, c == 0 ? Trit::kOne : Trit::kZero);
+        }
+        sim.Step();
+        if (std::find(plan.strobe_cycles.begin(), plan.strobe_cycles.end(),
+                      c) == plan.strobe_cycles.end()) {
+          continue;
+        }
+        for (GateId g : plan.observe) {
+          const Word3 w = sim.Value(g);
+          if ((w.known & 1ULL) == 0) continue;  // fault-free response X
+          const std::uint64_t golden = (w.val & 1ULL) != 0 ? ~0ULL : 0ULL;
+          pattern_detects |= w.known & (w.val ^ golden);
+          potential |= ~w.known;
+        }
+      }
+      const std::uint64_t newly = pattern_detects & ~detected;
+      if (newly != 0) {
+        detected |= newly;
+        for (std::size_t i = 0; i < batch_size; ++i) {
+          if ((newly >> (i + 1)) & 1ULL) {
+            result.first_detect_pattern[batch_start + i] = p;
+          }
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      const std::uint64_t bit = 1ULL << (i + 1);
+      FaultStatus s = FaultStatus::kUndetected;
+      if (detected & bit) {
+        s = FaultStatus::kDetected;
+      } else if (potential & bit) {
+        s = FaultStatus::kPotentiallyDetected;
+      }
+      result.status[batch_start + i] = s;
+    }
+
+    if (faults.empty()) break;
+  }
+  return result;
+}
+
+FaultSimResult RunSerialFaultSim(const netlist::Netlist& nl,
+                                 const TestPlan& plan,
+                                 std::span<const StuckFault> faults,
+                                 std::uint32_t tpgr_seed, int num_patterns) {
+  CheckPlan(nl, plan);
+  const std::vector<int> widths = OperandWidths(plan);
+
+  // Golden pass: record the fault-free response at every strobe.
+  std::vector<Trit> golden;
+  {
+    logicsim::Simulator sim(nl);
+    tpg::Tpgr tpgr(tpgr_seed);
+    for (int p = 0; p < num_patterns; ++p) {
+      DriveOperands(sim, plan, tpgr.NextPattern(widths));
+      for (int c = 0; c < plan.cycles_per_pattern; ++c) {
+        if (plan.reset != netlist::kNoGate) {
+          sim.SetInputAllLanes(plan.reset, c == 0 ? Trit::kOne : Trit::kZero);
+        }
+        sim.Step();
+        if (std::find(plan.strobe_cycles.begin(), plan.strobe_cycles.end(),
+                      c) == plan.strobe_cycles.end()) {
+          continue;
+        }
+        for (GateId g : plan.observe) golden.push_back(sim.ValueLane(g, 0));
+      }
+    }
+  }
+
+  FaultSimResult result;
+  result.status.assign(faults.size(), FaultStatus::kUndetected);
+  result.first_detect_pattern.assign(faults.size(), -1);
+  result.patterns = num_patterns;
+
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    logicsim::Simulator sim(nl);
+    InjectFault(sim, faults[fi], ~0ULL);
+    tpg::Tpgr tpgr(tpgr_seed);
+    bool detected = false;
+    bool potential = false;
+    std::size_t cursor = 0;
+    for (int p = 0; p < num_patterns && !detected; ++p) {
+      DriveOperands(sim, plan, tpgr.NextPattern(widths));
+      for (int c = 0; c < plan.cycles_per_pattern; ++c) {
+        if (plan.reset != netlist::kNoGate) {
+          sim.SetInputAllLanes(plan.reset, c == 0 ? Trit::kOne : Trit::kZero);
+        }
+        sim.Step();
+        if (std::find(plan.strobe_cycles.begin(), plan.strobe_cycles.end(),
+                      c) == plan.strobe_cycles.end()) {
+          continue;
+        }
+        for (GateId g : plan.observe) {
+          const Trit expect = golden[cursor++];
+          if (expect == Trit::kX) continue;
+          const Trit got = sim.ValueLane(g, 0);
+          if (got == Trit::kX) {
+            potential = true;
+          } else if (got != expect) {
+            if (!detected) result.first_detect_pattern[fi] = p;
+            detected = true;
+          }
+        }
+      }
+    }
+    result.status[fi] = detected ? FaultStatus::kDetected
+                        : potential ? FaultStatus::kPotentiallyDetected
+                                    : FaultStatus::kUndetected;
+  }
+  return result;
+}
+
+}  // namespace pfd::fault

@@ -1,0 +1,150 @@
+// Data-flow graph IR — the behavioural input to high-level synthesis.
+//
+// A Dfg is a pure acyclic computation over uniform-width inputs and
+// constants (the paper's benchmarks are straight-line bodies: the Diffeq
+// Euler step, the FACET block, Horner evaluation of a cubic). Operations
+// reference values created earlier, so the graph is acyclic by
+// construction.
+//
+// Comparison (kLess) results are 1-bit and may only feed outputs — this
+// matches the architecture style, where the loop condition is computed and
+// exported rather than consumed by the linear controller.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bitvec.hpp"
+#include "base/error.hpp"
+#include "rtl/datapath.hpp"
+
+namespace pfd::hls {
+
+struct ValueRef {
+  enum class Kind : std::uint8_t { kInput, kConst, kOp };
+  Kind kind = Kind::kInput;
+  std::uint32_t index = 0;
+
+  static ValueRef Input(std::uint32_t i) { return {Kind::kInput, i}; }
+  static ValueRef Const(std::uint32_t i) { return {Kind::kConst, i}; }
+  static ValueRef Op(std::uint32_t i) { return {Kind::kOp, i}; }
+
+  friend bool operator==(const ValueRef&, const ValueRef&) = default;
+};
+
+struct DfgOp {
+  std::string name;
+  rtl::FuKind kind = rtl::FuKind::kAdd;
+  ValueRef lhs;
+  ValueRef rhs;
+};
+
+struct DfgOutput {
+  std::string name;
+  ValueRef value;
+};
+
+// Loop-carried dependence: when the body repeats, `update`'s value becomes
+// the next iteration's `input`.
+struct LoopCarry {
+  std::uint32_t input = 0;  // DFG input index
+  std::uint32_t update = 0; // DFG op index
+};
+
+// Optional while-loop semantics: the body re-executes as long as the
+// condition (a kLess op) is true, with the carried values flowing back into
+// their input registers. This is the paper's actual Diffeq ("solve until
+// x1 >= a") and — crucially — gives the controller a status input from the
+// datapath: real controller-datapath feedback.
+struct LoopSpec {
+  std::uint32_t condition_op = 0;  // must be a kLess op
+  std::vector<LoopCarry> carries;
+};
+
+class Dfg {
+ public:
+  explicit Dfg(int width) : width_(width) {}
+
+  int width() const { return width_; }
+
+  ValueRef AddInput(std::string name) {
+    input_names_.push_back(std::move(name));
+    return ValueRef::Input(static_cast<std::uint32_t>(input_names_.size() - 1));
+  }
+  ValueRef AddConstant(std::uint32_t value) {
+    constants_.emplace_back(width_, value);
+    return ValueRef::Const(static_cast<std::uint32_t>(constants_.size() - 1));
+  }
+  ValueRef AddOp(std::string name, rtl::FuKind kind, ValueRef lhs,
+                 ValueRef rhs) {
+    CheckRef(lhs);
+    CheckRef(rhs);
+    PFD_CHECK_MSG(!IsCompare(lhs) && !IsCompare(rhs),
+                  "comparison results may only feed outputs");
+    ops_.push_back({std::move(name), kind, lhs, rhs});
+    return ValueRef::Op(static_cast<std::uint32_t>(ops_.size() - 1));
+  }
+  void AddOutput(std::string name, ValueRef value) {
+    CheckRef(value);
+    outputs_.push_back({std::move(name), value});
+  }
+
+  // Declares while-loop semantics (see LoopSpec). Call after creating the
+  // involved ops.
+  void SetLoop(ValueRef condition, std::vector<LoopCarry> carries) {
+    PFD_CHECK_MSG(condition.kind == ValueRef::Kind::kOp &&
+                      ops_[condition.index].kind == rtl::FuKind::kLess,
+                  "loop condition must be a comparison op");
+    for (const LoopCarry& c : carries) {
+      PFD_CHECK_MSG(c.input < input_names_.size(), "bad carry input");
+      PFD_CHECK_MSG(c.update < ops_.size(), "bad carry update op");
+      PFD_CHECK_MSG(ops_[c.update].kind != rtl::FuKind::kLess,
+                    "carry update cannot be a comparison");
+    }
+    loop_ = LoopSpec{condition.index, std::move(carries)};
+  }
+  const std::optional<LoopSpec>& loop() const { return loop_; }
+
+  const std::vector<std::string>& input_names() const { return input_names_; }
+  const std::vector<BitVec>& constants() const { return constants_; }
+  const std::vector<DfgOp>& ops() const { return ops_; }
+  const std::vector<DfgOutput>& outputs() const { return outputs_; }
+
+  int ValueWidth(const ValueRef& v) const {
+    return IsCompare(v) ? 1 : width_;
+  }
+
+  // Every op result must be consumed by another op or exported; dead ops
+  // would silently change the fault universe, so they are rejected.
+  void Validate() const;
+
+ private:
+  bool IsCompare(const ValueRef& v) const {
+    return v.kind == ValueRef::Kind::kOp &&
+           ops_[v.index].kind == rtl::FuKind::kLess;
+  }
+  void CheckRef(const ValueRef& v) const {
+    switch (v.kind) {
+      case ValueRef::Kind::kInput:
+        PFD_CHECK_MSG(v.index < input_names_.size(), "dangling input ref");
+        break;
+      case ValueRef::Kind::kConst:
+        PFD_CHECK_MSG(v.index < constants_.size(), "dangling const ref");
+        break;
+      case ValueRef::Kind::kOp:
+        PFD_CHECK_MSG(v.index < ops_.size(), "op ref to later op");
+        break;
+    }
+  }
+
+  int width_;
+  std::vector<std::string> input_names_;
+  std::vector<BitVec> constants_;
+  std::vector<DfgOp> ops_;
+  std::vector<DfgOutput> outputs_;
+  std::optional<LoopSpec> loop_;
+};
+
+}  // namespace pfd::hls

@@ -1,0 +1,534 @@
+#include "hls/hls.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pfd::hls {
+
+using rtl::FuKind;
+using rtl::Source;
+
+void Dfg::Validate() const {
+  std::vector<bool> used(ops_.size(), false);
+  for (const DfgOp& op : ops_) {
+    if (op.lhs.kind == ValueRef::Kind::kOp) used[op.lhs.index] = true;
+    if (op.rhs.kind == ValueRef::Kind::kOp) used[op.rhs.index] = true;
+  }
+  for (const DfgOutput& out : outputs_) {
+    if (out.value.kind == ValueRef::Kind::kOp) used[out.value.index] = true;
+    PFD_CHECK_MSG(out.value.kind != ValueRef::Kind::kConst,
+                  "constant outputs are not supported");
+  }
+  for (std::size_t o = 0; o < ops_.size(); ++o) {
+    PFD_CHECK_MSG(used[o], "dead op (result never used): " + ops_[o].name);
+  }
+  std::vector<bool> input_used(input_names_.size(), false);
+  for (const DfgOp& op : ops_) {
+    if (op.lhs.kind == ValueRef::Kind::kInput) input_used[op.lhs.index] = true;
+    if (op.rhs.kind == ValueRef::Kind::kInput) input_used[op.rhs.index] = true;
+  }
+  for (const DfgOutput& out : outputs_) {
+    if (out.value.kind == ValueRef::Kind::kInput) {
+      input_used[out.value.index] = true;
+    }
+  }
+  for (std::size_t i = 0; i < input_names_.size(); ++i) {
+    PFD_CHECK_MSG(input_used[i], "dead input: " + input_names_[i]);
+  }
+  PFD_CHECK_MSG(!outputs_.empty(), "DFG has no outputs");
+}
+
+const Variable& HlsResult::VarOf(const ValueRef& v) const {
+  PFD_CHECK_MSG(v.kind != ValueRef::Kind::kConst,
+                "constants are not variables");
+  for (const Variable& var : variables) {
+    if (var.value == v) return var;
+  }
+  PFD_CHECK_MSG(false, "no variable for value");
+  return variables.front();
+}
+
+std::string HlsResult::BindingReport() const {
+  std::ostringstream os;
+  os << num_steps << " control steps\n";
+  for (std::size_t r = 0; r < reg_variables.size(); ++r) {
+    os << datapath.regs()[r].name << ":";
+    for (std::uint32_t vi : reg_variables[r]) {
+      const Variable& v = variables[vi];
+      os << "  " << v.name << " [" << v.def_step << ", ";
+      if (v.last_use == Variable::kPersist) {
+        os << "hold";
+      } else {
+        os << v.last_use;
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+struct ScheduleOut {
+  std::vector<int> step;  // per op, 1-based
+  int num_steps = 0;
+};
+
+ScheduleOut ListSchedule(const Dfg& dfg, const HlsConfig& cfg) {
+  const auto& ops = dfg.ops();
+  const std::size_t n = ops.size();
+
+  // ASAP levels.
+  std::vector<int> asap(n, 1);
+  for (std::size_t o = 0; o < n; ++o) {
+    for (const ValueRef& v : {ops[o].lhs, ops[o].rhs}) {
+      if (v.kind == ValueRef::Kind::kOp) {
+        asap[o] = std::max(asap[o], asap[v.index] + 1);
+      }
+    }
+  }
+  int cp = 1;
+  for (int a : asap) cp = std::max(cp, a);
+
+  // ALAP urgency relative to the critical path. A loop condition gets the
+  // lowest urgency so it lands in the final step (the controller samples it
+  // from there through HOLD).
+  std::vector<int> alap(n, cp);
+  if (dfg.loop()) alap[dfg.loop()->condition_op] = cp + 1;
+  for (std::size_t o = n; o-- > 0;) {
+    // Consumers were created after o, so a reverse scan sees them all.
+    for (std::size_t c = o + 1; c < n; ++c) {
+      for (const ValueRef& v : {ops[c].lhs, ops[c].rhs}) {
+        if (v.kind == ValueRef::Kind::kOp && v.index == o) {
+          alap[o] = std::min(alap[o], alap[c] - 1);
+        }
+      }
+    }
+  }
+
+  // Resource-constrained list scheduling.
+  ScheduleOut out;
+  out.step.assign(n, 0);
+  std::size_t scheduled = 0;
+  int t = 0;
+  while (scheduled < n) {
+    ++t;
+    PFD_CHECK_MSG(t < 4096, "scheduler failed to converge");
+    std::map<FuKind, int> capacity;
+    std::vector<std::size_t> ready;
+    for (std::size_t o = 0; o < n; ++o) {
+      if (out.step[o] != 0) continue;
+      bool ok = true;
+      for (const ValueRef& v : {ops[o].lhs, ops[o].rhs}) {
+        if (v.kind == ValueRef::Kind::kOp &&
+            (out.step[v.index] == 0 || out.step[v.index] >= t)) {
+          ok = false;
+        }
+      }
+      if (ok) ready.push_back(o);
+    }
+    std::sort(ready.begin(), ready.end(), [&](std::size_t a, std::size_t b) {
+      return alap[a] != alap[b] ? alap[a] < alap[b] : a < b;
+    });
+    int step_budget = cfg.max_ops_per_step > 0
+                          ? cfg.max_ops_per_step
+                          : static_cast<int>(n);
+    for (std::size_t o : ready) {
+      if (step_budget == 0) break;
+      int& cap = capacity.try_emplace(ops[o].kind, cfg.ResourceFor(ops[o].kind))
+                     .first->second;
+      if (cap > 0) {
+        --cap;
+        --step_budget;
+        out.step[o] = t;
+        ++scheduled;
+      }
+    }
+  }
+  out.num_steps = t;
+  return out;
+}
+
+}  // namespace
+
+HlsResult RunHls(const Dfg& dfg, const HlsConfig& cfg) {
+  dfg.Validate();
+  const auto& ops = dfg.ops();
+  const int width = dfg.width();
+
+  HlsResult res;
+  const ScheduleOut sched = ListSchedule(dfg, cfg);
+  res.op_step = sched.step;
+  res.num_steps = sched.num_steps;
+  const int t_max = sched.num_steps;
+
+  // ---- variables and lifespans -------------------------------------------
+  auto is_output = [&](const ValueRef& v) {
+    for (const DfgOutput& o : dfg.outputs()) {
+      if (o.value == v) return true;
+    }
+    return false;
+  };
+  auto last_use_of = [&](const ValueRef& v) {
+    int last = -1;
+    for (std::size_t c = 0; c < ops.size(); ++c) {
+      if (ops[c].lhs == v || ops[c].rhs == v) {
+        last = std::max(last, sched.step[c]);
+      }
+    }
+    if (is_output(v)) return Variable::kPersist;
+    return last < 0 ? 0 : last;
+  };
+  for (std::uint32_t i = 0; i < dfg.input_names().size(); ++i) {
+    const ValueRef v = ValueRef::Input(i);
+    res.variables.push_back(
+        {v, dfg.input_names()[i], dfg.ValueWidth(v), 0, last_use_of(v), 0});
+  }
+  for (std::uint32_t o = 0; o < ops.size(); ++o) {
+    const ValueRef v = ValueRef::Op(o);
+    res.variables.push_back(
+        {v, ops[o].name, dfg.ValueWidth(v), sched.step[o], last_use_of(v), 0});
+  }
+
+  // While-loop adjustments: carried inputs live until replaced by their
+  // update; everything the next iteration needs (non-carried inputs, carry
+  // updates, the condition's operands) persists across iterations.
+  std::map<std::uint32_t, std::uint32_t> carry_target;  // update var -> input var
+  if (dfg.loop()) {
+    const LoopSpec& loop = *dfg.loop();
+    PFD_CHECK_MSG(sched.step[loop.condition_op] == t_max,
+                  "loop condition must be schedulable in the final step");
+    const auto n_in = static_cast<std::uint32_t>(dfg.input_names().size());
+    std::vector<bool> carried(n_in, false);
+    for (const LoopCarry& c : loop.carries) {
+      PFD_CHECK_MSG(!carried[c.input], "input carried twice");
+      carried[c.input] = true;
+      Variable& in_var = res.variables[c.input];
+      Variable& up_var = res.variables[n_in + c.update];
+      PFD_CHECK_MSG(in_var.last_use <= up_var.def_step ||
+                        in_var.last_use == Variable::kPersist,
+                    "carried input read after its update: " + in_var.name);
+      in_var.last_use = up_var.def_step;
+      up_var.last_use = Variable::kPersist;
+      carry_target.emplace(n_in + c.update, c.input);
+    }
+    for (std::uint32_t i = 0; i < n_in; ++i) {
+      if (!carried[i]) res.variables[i].last_use = Variable::kPersist;
+    }
+    for (const ValueRef& v :
+         {ops[loop.condition_op].lhs, ops[loop.condition_op].rhs}) {
+      if (v.kind == ValueRef::Kind::kInput) {
+        // already persistent (carried operands persist via their update)
+      } else if (v.kind == ValueRef::Kind::kOp &&
+                 carry_target.find(n_in + v.index) == carry_target.end()) {
+        res.variables[n_in + v.index].last_use = Variable::kPersist;
+      }
+    }
+  }
+
+  // ---- left-edge register binding ----------------------------------------
+  std::vector<std::uint32_t> order(res.variables.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const Variable& va = res.variables[a];
+    const Variable& vb = res.variables[b];
+    return va.def_step != vb.def_step ? va.def_step < vb.def_step : a < b;
+  });
+  struct RegState {
+    int width;
+    int end;  // last_use of the most recent occupant
+  };
+  std::vector<RegState> reg_state;
+  for (std::uint32_t vi : order) {
+    Variable& var = res.variables[vi];
+    std::uint32_t chosen = static_cast<std::uint32_t>(reg_state.size());
+    const auto carry_it = carry_target.find(vi);
+    if (carry_it != carry_target.end()) {
+      // Loop carry: the update must land in its input's register (the input
+      // has def 0, so it is always bound by now).
+      chosen = res.variables[carry_it->second].reg;
+      PFD_CHECK_MSG(reg_state[chosen].width == var.width,
+                    "loop carry width mismatch: " + var.name);
+      PFD_CHECK_MSG(reg_state[chosen].end <= var.def_step,
+                    "loop carry register still occupied: " + var.name);
+    } else if (cfg.register_sharing) {
+      for (std::uint32_t r = 0; r < reg_state.size(); ++r) {
+        if (reg_state[r].width == var.width &&
+            reg_state[r].end <= var.def_step) {
+          chosen = r;
+          break;
+        }
+      }
+    }
+    if (chosen == reg_state.size()) {
+      reg_state.push_back({var.width, var.last_use});
+      res.reg_variables.emplace_back();
+    } else {
+      reg_state[chosen].end = var.last_use;
+    }
+    var.reg = chosen;
+    res.reg_variables[chosen].push_back(vi);
+  }
+  const std::size_t num_regs = reg_state.size();
+
+  // ---- FU binding ----------------------------------------------------------
+  // slot_of_op: (kind, slot) chosen per step in deterministic op order. With
+  // spread_fu_binding, ops rotate through the instances across steps.
+  std::vector<int> op_slot(ops.size(), 0);
+  std::map<FuKind, int> rotation;
+  for (int s = 1; s <= t_max; ++s) {
+    std::map<FuKind, int> next_slot;
+    for (std::size_t o = 0; o < ops.size(); ++o) {
+      if (sched.step[o] != s) continue;
+      int& slot = next_slot.try_emplace(ops[o].kind, 0).first->second;
+      if (cfg.spread_fu_binding) {
+        int& rot = rotation.try_emplace(ops[o].kind, 0).first->second;
+        op_slot[o] = (rot + slot) % cfg.ResourceFor(ops[o].kind);
+      } else {
+        op_slot[o] = slot;
+      }
+      ++slot;
+    }
+    if (cfg.spread_fu_binding) {
+      for (auto& [kind, used] : next_slot) {
+        int& rot = rotation.try_emplace(kind, 0).first->second;
+        rot = (rot + used) % cfg.ResourceFor(kind);
+      }
+    }
+  }
+
+  // ---- build the rtl datapath ---------------------------------------------
+  rtl::Datapath& dp = res.datapath;
+  for (const std::string& name : dfg.input_names()) {
+    dp.AddInput(name, width);
+  }
+  for (std::size_t c = 0; c < dfg.constants().size(); ++c) {
+    dp.AddConstant("c" + std::to_string(dfg.constants()[c].value()),
+                   dfg.constants()[c]);
+  }
+  for (std::uint32_t r = 0; r < num_regs; ++r) {
+    dp.AddRegister("REG" + std::to_string(r), reg_state[r].width);
+  }
+
+  auto operand_source = [&](const ValueRef& v) -> Source {
+    if (v.kind == ValueRef::Kind::kConst) return Source::Const(v.index);
+    return Source::Reg(res.VarOf(v).reg);
+  };
+
+  // FU instances in deterministic (kind, slot) order.
+  std::map<std::pair<FuKind, int>, std::uint32_t> fu_index;
+  struct PortUse {
+    int step;
+    Source src;
+  };
+  std::map<std::pair<FuKind, int>, std::vector<PortUse>> lhs_uses, rhs_uses;
+  for (std::size_t o = 0; o < ops.size(); ++o) {
+    const auto key = std::make_pair(ops[o].kind, op_slot[o]);
+    lhs_uses[key].push_back({sched.step[o], operand_source(ops[o].lhs)});
+    rhs_uses[key].push_back({sched.step[o], operand_source(ops[o].rhs)});
+  }
+
+  // Unique sources in order of first use (ascending step).
+  auto unique_sources = [](std::vector<PortUse> uses) {
+    std::stable_sort(uses.begin(), uses.end(),
+                     [](const PortUse& a, const PortUse& b) {
+                       return a.step < b.step;
+                     });
+    std::vector<Source> srcs;
+    for (const PortUse& u : uses) {
+      if (std::find(srcs.begin(), srcs.end(), u.src) == srcs.end()) {
+        srcs.push_back(u.src);
+      }
+    }
+    return srcs;
+  };
+
+  // port source -> (Source feeding FU port, optional mux index).
+  struct PortNet {
+    Source src;
+    std::optional<std::uint32_t> mux;
+    std::vector<Source> mux_inputs;
+  };
+  std::map<std::pair<FuKind, int>, PortNet> lhs_net, rhs_net;
+  auto build_port = [&](const std::vector<PortUse>& uses,
+                        const std::string& port_name) {
+    PortNet net;
+    const std::vector<Source> srcs = unique_sources(uses);
+    if (srcs.size() == 1) {
+      net.src = srcs[0];
+    } else {
+      const std::uint32_t mux = dp.AddMux(port_name, width, srcs);
+      net.src = Source::Mux(mux);
+      net.mux = mux;
+      net.mux_inputs = srcs;
+    }
+    return net;
+  };
+  for (const auto& [key, uses] : lhs_uses) {
+    const std::string fu_name = std::string(rtl::FuKindName(key.first)) +
+                                std::to_string(key.second);
+    lhs_net[key] = build_port(uses, "M_" + fu_name + "_a");
+    rhs_net[key] = build_port(rhs_uses[key], "M_" + fu_name + "_b");
+    fu_index[key] = dp.AddFu(fu_name, key.first, width, lhs_net[key].src,
+                             rhs_net[key].src);
+  }
+  res.op_fu.resize(ops.size());
+  for (std::size_t o = 0; o < ops.size(); ++o) {
+    res.op_fu[o] = fu_index[{ops[o].kind, op_slot[o]}];
+  }
+
+  // Register input networks: (step, source) writes.
+  std::vector<std::vector<PortUse>> reg_writes(num_regs);
+  for (const Variable& var : res.variables) {
+    if (var.value.kind == ValueRef::Kind::kInput) {
+      reg_writes[var.reg].push_back({0, Source::Input(var.value.index)});
+    } else {
+      reg_writes[var.reg].push_back(
+          {var.def_step, Source::Fu(res.op_fu[var.value.index])});
+    }
+  }
+  res.reg_mux.assign(num_regs, std::nullopt);
+  std::vector<std::vector<Source>> reg_mux_inputs(num_regs);
+  for (std::uint32_t r = 0; r < num_regs; ++r) {
+    const std::vector<Source> srcs = unique_sources(reg_writes[r]);
+    PFD_CHECK_MSG(!srcs.empty(), "register with no writers");
+    if (srcs.size() == 1) {
+      dp.SetRegisterInput(r, srcs[0]);
+    } else {
+      const std::uint32_t mux = dp.AddMux(
+          "M_" + dp.regs()[r].name, reg_state[r].width, srcs);
+      dp.SetRegisterInput(r, Source::Mux(mux));
+      res.reg_mux[r] = mux;
+      reg_mux_inputs[r] = srcs;
+    }
+  }
+
+  for (const DfgOutput& out : dfg.outputs()) {
+    dp.AddOutput(out.name, Source::Reg(res.VarOf(out.value).reg));
+  }
+  dp.Finalize();
+
+  // ---- control extraction --------------------------------------------------
+  const int num_states = t_max + 2;  // RESET + CS1..CSn + HOLD
+  const std::size_t num_muxes = dp.muxes().size();
+  // Per-register load matrix and per-mux select matrix.
+  std::vector<std::vector<std::uint8_t>> reg_load(
+      num_states, std::vector<std::uint8_t>(num_regs, 0));
+  std::vector<std::vector<std::optional<std::uint32_t>>> mux_sel(
+      num_states,
+      std::vector<std::optional<std::uint32_t>>(num_muxes, std::nullopt));
+
+  auto select_index = [&](const std::vector<Source>& inputs,
+                          const Source& src) {
+    const auto it = std::find(inputs.begin(), inputs.end(), src);
+    PFD_CHECK_MSG(it != inputs.end(), "mux input lookup failed");
+    return static_cast<std::uint32_t>(it - inputs.begin());
+  };
+  auto set_reg_write = [&](int state, std::uint32_t r, const Source& src) {
+    PFD_CHECK_MSG(reg_load[state][r] == 0,
+                  "two writes to one register in one step");
+    reg_load[state][r] = 1;
+    if (res.reg_mux[r]) {
+      mux_sel[state][*res.reg_mux[r]] = select_index(reg_mux_inputs[r], src);
+    }
+  };
+
+  // RESET: load the input variables from the input ports.
+  for (const Variable& var : res.variables) {
+    if (var.value.kind == ValueRef::Kind::kInput) {
+      set_reg_write(0, var.reg, Source::Input(var.value.index));
+    }
+  }
+  // CS1..CSn.
+  for (std::size_t o = 0; o < ops.size(); ++o) {
+    const int state = sched.step[o];  // state index == step (RESET is 0)
+    const auto key = std::make_pair(ops[o].kind, op_slot[o]);
+    // FU operand selects.
+    if (lhs_net[key].mux) {
+      mux_sel[state][*lhs_net[key].mux] =
+          select_index(lhs_net[key].mux_inputs, operand_source(ops[o].lhs));
+    }
+    if (rhs_net[key].mux) {
+      mux_sel[state][*rhs_net[key].mux] =
+          select_index(rhs_net[key].mux_inputs, operand_source(ops[o].rhs));
+    }
+    // Result write.
+    set_reg_write(state, res.VarOf(ValueRef::Op(static_cast<std::uint32_t>(o))).reg,
+                  Source::Fu(res.op_fu[o]));
+  }
+  // HOLD state: everything idle (all zeros / don't cares) — trailing entry
+  // already initialised that way.
+
+  // While-loop: the controller samples the comparator while sitting in the
+  // trailing states, so the comparator's operand routing must stay a *care*
+  // from the condition step through HOLD.
+  if (dfg.loop()) {
+    const LoopSpec& loop = *dfg.loop();
+    const std::size_t o = loop.condition_op;
+    const int t_c = sched.step[o];
+    const auto key = std::make_pair(ops[o].kind, op_slot[o]);
+    for (const PortNet* net : {&lhs_net[key], &rhs_net[key]}) {
+      if (!net->mux) continue;
+      const auto pinned_value = mux_sel[t_c][*net->mux];
+      PFD_CHECK(pinned_value.has_value());
+      for (int s = t_c + 1; s < num_states; ++s) {
+        if (!mux_sel[s][*net->mux]) mux_sel[s][*net->mux] = pinned_value;
+      }
+    }
+    res.loop.enabled = true;
+    res.loop.cond_fu = res.op_fu[o];
+    res.loop.cond_step = t_c;
+    res.loop.carries = loop.carries;
+  }
+
+  // ---- load-line merging ----------------------------------------------------
+  std::vector<std::vector<std::uint8_t>> columns(num_regs);
+  for (std::uint32_t r = 0; r < num_regs; ++r) {
+    for (int s = 0; s < num_states; ++s) columns[r].push_back(reg_load[s][r]);
+  }
+  res.load_map.regs_of_line.clear();
+  std::vector<int> line_of_reg(num_regs, -1);
+  for (std::uint32_t r = 0; r < num_regs; ++r) {
+    if (cfg.merge_load_lines) {
+      for (std::size_t l = 0; l < res.load_map.regs_of_line.size(); ++l) {
+        if (columns[res.load_map.regs_of_line[l][0]] == columns[r]) {
+          line_of_reg[r] = static_cast<int>(l);
+          break;
+        }
+      }
+    }
+    if (line_of_reg[r] < 0) {
+      line_of_reg[r] = static_cast<int>(res.load_map.regs_of_line.size());
+      res.load_map.regs_of_line.emplace_back();
+    }
+    res.load_map.regs_of_line[line_of_reg[r]].push_back(r);
+  }
+  const int num_lines = res.load_map.NumLines();
+
+  // ---- final control spec ----------------------------------------------------
+  rtl::ControlSpec& spec = res.control;
+  spec.num_load_lines = num_lines;
+  spec.num_muxes = static_cast<int>(num_muxes);
+  for (const rtl::Mux& m : dp.muxes()) {
+    spec.mux_select_bits.push_back(m.SelectBits());
+  }
+  spec.states.resize(num_states);
+  for (int s = 0; s < num_states; ++s) {
+    spec.states[s].load.assign(num_lines, 0);
+    for (int l = 0; l < num_lines; ++l) {
+      spec.states[s].load[l] =
+          reg_load[s][res.load_map.regs_of_line[l][0]];
+    }
+    spec.states[s].select = mux_sel[s];
+  }
+  spec.state_names.push_back("RESET");
+  for (int s = 1; s <= t_max; ++s) {
+    spec.state_names.push_back("CS" + std::to_string(s));
+  }
+  spec.state_names.push_back("HOLD");
+  spec.Validate();
+  return res;
+}
+
+}  // namespace pfd::hls

@@ -1,0 +1,107 @@
+// High-level synthesis: schedule, bind, and generate the RTL architecture
+// plus the controller's behavioural specification.
+//
+// The flow reproduces the SYNTEST-style synthesis the paper's examples came
+// from:
+//   1. resource-constrained list scheduling (priority = ALAP urgency);
+//   2. variable lifespan analysis (Figure 5 of the paper) — a variable is
+//      live from the end of its defining step to the beginning of its last
+//      reading step; output variables stay live through HOLD;
+//   3. left-edge register binding (variables with disjoint lifespans share a
+//      register), one register class per width;
+//   4. functional-unit binding (fixed-function FUs, one op per FU per step);
+//   5. mux generation for FU operand ports and register inputs (single-source
+//      connections stay direct wires);
+//   6. control extraction: per-state load bits and mux selects, with selects
+//      don't-care in every state where the mux is inactive;
+//   7. optional merging of identical register load columns into shared load
+//      lines (the paper's Facet example relies on registers that "load in
+//      parallel, driven by the same load line").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hls/dfg.hpp"
+#include "rtl/control.hpp"
+#include "rtl/datapath.hpp"
+
+namespace pfd::hls {
+
+struct HlsConfig {
+  // Available FU instances per kind; kinds absent from the map get 1.
+  std::map<rtl::FuKind, int> resources;
+  bool merge_load_lines = true;
+  // Left-edge register sharing. When off, every variable gets its own
+  // register (a SYNTEST-like, less aggressive allocation — closer to the
+  // paper's 11-register Diffeq datapath).
+  bool register_sharing = true;
+  // Cap on total operations scheduled per control step (0 = unlimited).
+  // Lower caps stretch the schedule, growing the controller's state space
+  // (and with it the don't-care-rich logic where SFR faults live).
+  int max_ops_per_step = 0;
+  // Round-robin ops of a kind across all available FU instances (instead of
+  // packing instance 0 first). Spreading leaves each FU inactive — and its
+  // operand-mux selects don't-care — in more states, which is where the
+  // paper's select-line SFR faults come from.
+  bool spread_fu_binding = false;
+
+  int ResourceFor(rtl::FuKind kind) const {
+    auto it = resources.find(kind);
+    return it == resources.end() ? 1 : it->second;
+  }
+};
+
+// A variable of the data flow: a DFG input or an op result.
+struct Variable {
+  ValueRef value;
+  std::string name;
+  int width = 4;
+  // Lifespan: defined at the end of step `def_step` (inputs load during the
+  // RESET step, i.e. def_step 0; ops during their scheduled step 1..T);
+  // last read during step `last_use`. kPersist = live through HOLD.
+  int def_step = 0;
+  int last_use = 0;
+  std::uint32_t reg = 0;  // bound register
+
+  static constexpr int kPersist = 1 << 20;
+};
+
+// While-loop synthesis results (see Dfg::SetLoop). The condition is
+// computed by the final control step; the controller re-enters CS1 from
+// HOLD while the (registered) condition holds, with carried values bound
+// into their input registers.
+struct LoopInfo {
+  bool enabled = false;
+  std::uint32_t cond_fu = 0;  // datapath FU computing the condition
+  int cond_step = 0;          // control step of the comparison (== num_steps)
+  std::vector<LoopCarry> carries;
+};
+
+struct HlsResult {
+  rtl::Datapath datapath;
+  rtl::ControlSpec control;     // load lines AFTER merging
+  rtl::LoadLineMap load_map;
+  LoopInfo loop;
+
+  int num_steps = 0;            // computation steps (CS1..CSn)
+  std::vector<int> op_step;     // per DFG op
+  std::vector<std::uint32_t> op_fu;  // per DFG op: datapath FU index
+  std::vector<Variable> variables;   // inputs first, then op results
+  // Per register: which variables it hosts (indices into `variables`).
+  std::vector<std::vector<std::uint32_t>> reg_variables;
+  // Per register: the datapath mux feeding it, if any.
+  std::vector<std::optional<std::uint32_t>> reg_mux;
+
+  const Variable& VarOf(const ValueRef& v) const;
+
+  // Human-readable lifespan/binding report (Figure 5 style).
+  std::string BindingReport() const;
+};
+
+HlsResult RunHls(const Dfg& dfg, const HlsConfig& config);
+
+}  // namespace pfd::hls

@@ -1,0 +1,232 @@
+#include "logicsim/simulator.hpp"
+
+#include <bit>
+
+namespace pfd::logicsim {
+
+using netlist::GateId;
+using netlist::GateKind;
+
+Simulator::Simulator(const netlist::Netlist& nl) : nl_(&nl) {
+  nl.Validate();
+  const std::size_t n = nl.size();
+  value_.assign(n, kAllX);
+  dff_next_.assign(n, kAllX);
+  prev_value_.assign(n, kAllX);
+  out_sa0_.assign(n, 0);
+  out_sa1_.assign(n, 0);
+  has_pin_force_.assign(n, 0);
+  toggles_.assign(n, 0);
+  duty_.assign(n, 0);
+  Reset();
+}
+
+void Simulator::Reset() {
+  for (std::size_t g = 0; g < value_.size(); ++g) {
+    const GateKind kind = nl_->gate(static_cast<GateId>(g)).kind;
+    Word3 w = kAllX;
+    if (kind == GateKind::kConst0) w = kAllZero;
+    if (kind == GateKind::kConst1) w = kAllOne;
+    value_[g] = w;
+    dff_next_[g] = kAllX;
+    prev_value_[g] = w;
+    toggles_[g] = 0;
+    duty_[g] = 0;
+  }
+  cycles_ = 0;
+}
+
+void Simulator::SetInput(GateId input, Word3 w) {
+  PFD_CHECK_MSG(nl_->gate(input).kind == GateKind::kInput,
+                "SetInput on a non-input gate");
+  PFD_CHECK_MSG(IsCanonical(w), "non-canonical input word");
+  value_[input] = w;
+}
+
+Word3 Simulator::ReadFanin(GateId g, std::uint32_t pin, GateId src) const {
+  Word3 w = value_[src];
+  if (has_pin_force_[g]) {
+    for (const PinForce& pf : pin_forces_) {
+      if (pf.gate == g && pf.pin == pin) {
+        w = ApplyForce(w, pf.sa0, pf.sa1);
+      }
+    }
+  }
+  return w;
+}
+
+Word3 Simulator::EvalGate(GateId g) const {
+  const auto fanins = nl_->Fanins(g);
+  const GateKind kind = nl_->gate(g).kind;
+  switch (kind) {
+    case GateKind::kBuf:
+      return ReadFanin(g, 0, fanins[0]);
+    case GateKind::kNot:
+      return Not3(ReadFanin(g, 0, fanins[0]));
+    case GateKind::kAnd:
+    case GateKind::kNand: {
+      Word3 w = ReadFanin(g, 0, fanins[0]);
+      for (std::uint32_t i = 1; i < fanins.size(); ++i) {
+        w = And3(w, ReadFanin(g, i, fanins[i]));
+      }
+      return kind == GateKind::kNand ? Not3(w) : w;
+    }
+    case GateKind::kOr:
+    case GateKind::kNor: {
+      Word3 w = ReadFanin(g, 0, fanins[0]);
+      for (std::uint32_t i = 1; i < fanins.size(); ++i) {
+        w = Or3(w, ReadFanin(g, i, fanins[i]));
+      }
+      return kind == GateKind::kNor ? Not3(w) : w;
+    }
+    case GateKind::kXor:
+      return Xor3(ReadFanin(g, 0, fanins[0]), ReadFanin(g, 1, fanins[1]));
+    case GateKind::kXnor:
+      return Xnor3(ReadFanin(g, 0, fanins[0]), ReadFanin(g, 1, fanins[1]));
+    case GateKind::kMux2:
+      return Mux3(ReadFanin(g, 0, fanins[0]), ReadFanin(g, 1, fanins[1]),
+                  ReadFanin(g, 2, fanins[2]));
+    default:
+      PFD_CHECK_MSG(false, "EvalGate on non-combinational gate");
+      return kAllX;
+  }
+}
+
+void Simulator::Step() {
+  // 1. Clock edge: DFFs take on the value captured at the end of the
+  //    previous cycle. (First cycle: they stay at their power-up X.)
+  if (cycles_ > 0) {
+    for (GateId d : nl_->DffIds()) {
+      Word3 w = dff_next_[d];
+      const std::uint64_t sa0 = out_sa0_[d];
+      const std::uint64_t sa1 = out_sa1_[d];
+      if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+      value_[d] = w;
+    }
+  } else {
+    for (GateId d : nl_->DffIds()) {
+      const std::uint64_t sa0 = out_sa0_[d];
+      const std::uint64_t sa1 = out_sa1_[d];
+      if ((sa0 | sa1) != 0) value_[d] = ApplyForce(value_[d], sa0, sa1);
+    }
+  }
+
+  // 2. Inputs may carry output forces too (a stuck primary input).
+  for (GateId in : nl_->InputIds()) {
+    const std::uint64_t sa0 = out_sa0_[in];
+    const std::uint64_t sa1 = out_sa1_[in];
+    if ((sa0 | sa1) != 0) value_[in] = ApplyForce(value_[in], sa0, sa1);
+  }
+
+  // 3. Combinational settle.
+  if (!unit_delay_) {
+    // Zero-delay: settle once in topological order.
+    for (GateId g : nl_->CombinationalOrder()) {
+      Word3 w = EvalGate(g);
+      const std::uint64_t sa0 = out_sa0_[g];
+      const std::uint64_t sa1 = out_sa1_[g];
+      if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+      value_[g] = w;
+    }
+  } else {
+    // Unit-delay: each sub-step evaluates every gate from the previous
+    // sub-step's values, counting every intermediate (glitch) transition.
+    // Acyclic logic stabilises within depth+1 sub-steps.
+    sub_next_ = value_;
+    const auto& order = nl_->CombinationalOrder();
+    for (std::size_t substep = 0; substep <= order.size(); ++substep) {
+      bool changed = false;
+      for (GateId g : order) {
+        Word3 w = EvalGate(g);  // reads value_ = previous sub-step
+        const std::uint64_t sa0 = out_sa0_[g];
+        const std::uint64_t sa1 = out_sa1_[g];
+        if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+        if (!(w == value_[g])) changed = true;
+        sub_next_[g] = w;
+      }
+      if (!changed) break;
+      if (count_toggles_) {
+        for (GateId g : order) {
+          const Word3 prev = value_[g];
+          const Word3 cur = sub_next_[g];
+          toggles_[g] += static_cast<std::uint64_t>(
+              std::popcount((prev.val ^ cur.val) & prev.known & cur.known));
+        }
+      }
+      std::swap(value_, sub_next_);
+    }
+  }
+
+  // 4. Switching activity: one potential transition per net per cycle in
+  //    the zero-delay model; the unit-delay path already counted
+  //    combinational (glitch) transitions per sub-step, so here it only
+  //    accounts the sequential/input nets and the duty cycle.
+  if (count_toggles_) {
+    for (std::size_t g = 0; g < value_.size(); ++g) {
+      const Word3 cur = value_[g];
+      if (!unit_delay_ ||
+          !netlist::IsCombinational(nl_->gate(static_cast<GateId>(g)).kind)) {
+        const Word3 prev = prev_value_[g];
+        const std::uint64_t both_known = prev.known & cur.known;
+        toggles_[g] += static_cast<std::uint64_t>(
+            std::popcount((prev.val ^ cur.val) & both_known));
+      }
+      duty_[g] += static_cast<std::uint64_t>(
+          std::popcount(cur.val & cur.known));
+    }
+    prev_value_ = value_;
+  }
+
+  // 5. Capture next DFF state from the settled D pins (with pin forces).
+  for (GateId d : nl_->DffIds()) {
+    dff_next_[d] = ReadFanin(d, 0, nl_->Fanins(d)[0]);
+  }
+
+  ++cycles_;
+}
+
+void Simulator::ForceOutput(GateId g, Trit value, std::uint64_t lane_mask) {
+  PFD_CHECK_MSG(value != Trit::kX, "cannot force X");
+  if (value == Trit::kZero) {
+    out_sa0_[g] |= lane_mask;
+  } else {
+    out_sa1_[g] |= lane_mask;
+  }
+}
+
+void Simulator::ForcePin(GateId g, std::uint32_t pin, Trit value,
+                         std::uint64_t lane_mask) {
+  PFD_CHECK_MSG(value != Trit::kX, "cannot force X");
+  PFD_CHECK_MSG(pin < nl_->Fanins(g).size(), "pin out of range");
+  for (PinForce& pf : pin_forces_) {
+    if (pf.gate == g && pf.pin == pin) {
+      (value == Trit::kZero ? pf.sa0 : pf.sa1) |= lane_mask;
+      return;
+    }
+  }
+  PinForce pf{g, pin, 0, 0};
+  (value == Trit::kZero ? pf.sa0 : pf.sa1) = lane_mask;
+  pin_forces_.push_back(pf);
+  has_pin_force_[g] = 1;
+}
+
+void Simulator::ClearForces() {
+  std::fill(out_sa0_.begin(), out_sa0_.end(), 0);
+  std::fill(out_sa1_.begin(), out_sa1_.end(), 0);
+  std::fill(has_pin_force_.begin(), has_pin_force_.end(), 0);
+  pin_forces_.clear();
+}
+
+void Simulator::EnableToggleCounting(bool enable) {
+  // Sync the snapshot so enabling mid-run does not count a bogus transition
+  // from stale values.
+  if (enable && !count_toggles_) prev_value_ = value_;
+  count_toggles_ = enable;
+}
+
+void Simulator::ResetToggleCounts() {
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  std::fill(duty_.begin(), duty_.end(), 0);
+}
+
+}  // namespace pfd::logicsim

@@ -1,0 +1,132 @@
+// Cycle-based, 64-lane, three-valued gate-level simulator.
+//
+// Each of the 64 bit-lanes of a Word3 is an independent simulated machine.
+// The two production engines built on top map lanes differently:
+//   * pattern-parallel (power / detection runs): all lanes share one circuit
+//     configuration and carry independent test patterns;
+//   * fault-parallel (fault classification): lane 0 is the fault-free
+//     machine and lanes 1..63 each carry one injected stuck-at fault,
+//     sharing a single test pattern.
+//
+// Two timing models:
+//   * zero-delay (default): combinational gates settle once per cycle in
+//     topological order — one potential transition per net per cycle;
+//   * unit-delay: every gate takes one sub-step, so hazards (glitches)
+//     propagate and are counted as real transitions. The settled values are
+//     provably identical to zero-delay (acyclic logic), only the switching
+//     activity differs; the glitch-power ablation uses this mode.
+// DFFs commit at the clock edge that starts a cycle. A cycle proceeds as:
+//
+//   sim.SetInput(...);   // drive primary inputs for cycle t
+//   sim.Step();          // commit DFFs (edge), settle logic, capture D
+//
+// Power-up state of every DFF is X, reproducing the paper's discussion of
+// registers that "keep whatever value they had at boot-up".
+//
+// Stuck-at forcing: the simulator supports forcing lanes of a gate's output
+// (stem fault) or of one gate's reading of a fanin (branch / input-pin
+// fault). The fault module drives these hooks; they are inert (and nearly
+// free) when no forces are registered.
+//
+// Toggle counting: when enabled, counts 0<->1 output transitions per gate
+// summed over lanes — exactly the switching activity the power model needs.
+// Transitions to or from X are not counted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logic.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pfd::logicsim {
+
+class Simulator {
+ public:
+  explicit Simulator(const netlist::Netlist& nl);
+
+  const netlist::Netlist& nl() const { return *nl_; }
+
+  // Returns all state (DFFs, values, cycle/toggle counters) to power-up;
+  // keeps registered forces.
+  void Reset();
+
+  // --- primary inputs -----------------------------------------------------
+  void SetInput(netlist::GateId input, Word3 w);
+  void SetInputAllLanes(netlist::GateId input, Trit t) {
+    SetInput(input, Splat(t));
+  }
+
+  // --- stepping -----------------------------------------------------------
+  // One full clock cycle: DFF commit, combinational settle, toggle count,
+  // next-state capture.
+  void Step();
+  std::uint64_t cycles() const { return cycles_; }
+
+  // Unit-delay timing (see header comment). May be toggled between cycles.
+  void EnableUnitDelay(bool enable) { unit_delay_ = enable; }
+  bool unit_delay() const { return unit_delay_; }
+
+  // --- observation --------------------------------------------------------
+  Word3 Value(netlist::GateId g) const { return value_[g]; }
+  Trit ValueLane(netlist::GateId g, int lane) const {
+    return GetLane(value_[g], lane);
+  }
+
+  // --- stuck-at forcing ----------------------------------------------------
+  // Forces lanes of gate g's *output*: lanes in mask read as `value`.
+  void ForceOutput(netlist::GateId g, Trit value, std::uint64_t lane_mask);
+  // Forces lanes of gate g's reading of its pin-th fanin (pin is an index
+  // into Fanins(g)); other readers of that net are unaffected.
+  void ForcePin(netlist::GateId g, std::uint32_t pin, Trit value,
+                std::uint64_t lane_mask);
+  void ClearForces();
+
+  // --- switching activity ---------------------------------------------------
+  void EnableToggleCounting(bool enable);
+  void ResetToggleCounts();
+  // Total 0<->1 transitions of gate g's output, summed over lanes and cycles.
+  std::uint64_t ToggleCount(netlist::GateId g) const { return toggles_[g]; }
+  // Lane-cycles in which gate g's output was a known 1 (accumulated while
+  // toggle counting is enabled). The power model uses this to charge gated
+  // register clocks only on cycles when their load line is active.
+  std::uint64_t DutyCount(netlist::GateId g) const { return duty_[g]; }
+
+ private:
+  struct PinForce {
+    netlist::GateId gate;
+    std::uint32_t pin;
+    std::uint64_t sa0 = 0;
+    std::uint64_t sa1 = 0;
+  };
+
+  Word3 ReadFanin(netlist::GateId g, std::uint32_t pin,
+                  netlist::GateId src) const;
+  Word3 EvalGate(netlist::GateId g) const;
+  static Word3 ApplyForce(Word3 w, std::uint64_t sa0, std::uint64_t sa1) {
+    w.known |= sa0 | sa1;
+    w.val = (w.val | sa1) & ~sa0;
+    return w;
+  }
+
+  const netlist::Netlist* nl_;
+  std::vector<Word3> value_;
+  std::vector<Word3> dff_next_;
+  std::vector<Word3> prev_value_;  // settled values of the previous cycle
+
+  // Output forces, dense (two words per gate; zero when inactive).
+  std::vector<std::uint64_t> out_sa0_;
+  std::vector<std::uint64_t> out_sa1_;
+  // Pin forces, sparse; per-gate flag avoids the scan on the fast path.
+  std::vector<PinForce> pin_forces_;
+  std::vector<std::uint8_t> has_pin_force_;
+
+  bool count_toggles_ = false;
+  bool unit_delay_ = false;
+  std::vector<Word3> sub_next_;  // unit-delay double buffer
+  std::vector<std::uint64_t> toggles_;
+  std::vector<std::uint64_t> duty_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace pfd::logicsim

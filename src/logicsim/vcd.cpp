@@ -1,0 +1,79 @@
+#include "logicsim/vcd.hpp"
+
+#include <sstream>
+
+namespace pfd::logicsim {
+
+void VcdWriter::AddSignal(netlist::GateId gate, std::string name) {
+  PFD_CHECK_MSG(samples_.empty(), "add signals before sampling");
+  signals_.push_back({{gate}, std::move(name), IdFor(signals_.size())});
+}
+
+void VcdWriter::AddBus(const std::vector<netlist::GateId>& bits,
+                       std::string name) {
+  PFD_CHECK_MSG(samples_.empty(), "add signals before sampling");
+  PFD_CHECK_MSG(!bits.empty(), "empty bus");
+  signals_.push_back({bits, std::move(name), IdFor(signals_.size())});
+}
+
+std::string VcdWriter::IdFor(std::size_t index) {
+  // Printable VCD identifiers: base-94 over '!'..'~'.
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+std::string VcdWriter::ValueOf(const Signal& s) const {
+  std::string v;
+  // VCD vectors print MSB first.
+  for (auto it = s.bits.rbegin(); it != s.bits.rend(); ++it) {
+    switch (sim_->ValueLane(*it, 0)) {
+      case Trit::kZero: v += '0'; break;
+      case Trit::kOne: v += '1'; break;
+      case Trit::kX: v += 'x'; break;
+    }
+  }
+  return v;
+}
+
+void VcdWriter::Sample() {
+  std::vector<std::string> row;
+  row.reserve(signals_.size());
+  for (const Signal& s : signals_) row.push_back(ValueOf(s));
+  samples_.push_back(std::move(row));
+}
+
+std::string VcdWriter::Render() const {
+  std::ostringstream os;
+  os << "$date pfd $end\n$version pfd logicsim $end\n"
+     << "$timescale 1 ns $end\n$scope module system $end\n";
+  for (const Signal& s : signals_) {
+    os << "$var wire " << s.bits.size() << ' ' << s.id << ' ' << s.name
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  std::vector<std::string> last(signals_.size());
+  for (std::size_t t = 0; t < samples_.size(); ++t) {
+    bool stamped = false;
+    for (std::size_t s = 0; s < signals_.size(); ++s) {
+      if (samples_[t][s] == last[s]) continue;
+      if (!stamped) {
+        os << '#' << t << '\n';
+        stamped = true;
+      }
+      if (signals_[s].bits.size() == 1) {
+        os << samples_[t][s] << signals_[s].id << '\n';
+      } else {
+        os << 'b' << samples_[t][s] << ' ' << signals_[s].id << '\n';
+      }
+      last[s] = samples_[t][s];
+    }
+  }
+  os << '#' << samples_.size() << '\n';
+  return os.str();
+}
+
+}  // namespace pfd::logicsim

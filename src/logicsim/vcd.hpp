@@ -1,0 +1,49 @@
+// VCD (Value Change Dump) waveform export.
+//
+// Attaches to a Simulator, samples a chosen set of nets once per clock
+// cycle (lane 0), and renders an IEEE-1364-style VCD text stream that any
+// waveform viewer opens. Used by the examples for fault debugging; the
+// emitted text is also asserted on directly in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logicsim/simulator.hpp"
+
+namespace pfd::logicsim {
+
+class VcdWriter {
+ public:
+  // Timescale is one clock cycle per VCD time unit.
+  explicit VcdWriter(const Simulator& sim) : sim_(&sim) {}
+
+  // Adds a scalar net to the dump (order defines the VCD variable order).
+  void AddSignal(netlist::GateId gate, std::string name);
+  // Adds a multi-bit bus (LSB first) dumped as one vector variable.
+  void AddBus(const std::vector<netlist::GateId>& bits, std::string name);
+
+  // Records the current simulator values; call once per Step(), in the
+  // simulated lane of interest (lane 0).
+  void Sample();
+
+  // Renders the complete VCD document.
+  std::string Render() const;
+
+ private:
+  struct Signal {
+    std::vector<netlist::GateId> bits;  // 1 bit = scalar
+    std::string name;
+    std::string id;  // VCD short identifier
+  };
+
+  static std::string IdFor(std::size_t index);
+  std::string ValueOf(const Signal& s) const;
+
+  const Simulator* sim_;
+  std::vector<Signal> signals_;
+  // samples_[t][s] = value string of signal s at time t.
+  std::vector<std::vector<std::string>> samples_;
+};
+
+}  // namespace pfd::logicsim

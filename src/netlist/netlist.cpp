@@ -1,0 +1,263 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pfd::netlist {
+
+const char* GateKindName(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput: return "INPUT";
+    case GateKind::kConst0: return "CONST0";
+    case GateKind::kConst1: return "CONST1";
+    case GateKind::kBuf: return "BUF";
+    case GateKind::kNot: return "NOT";
+    case GateKind::kAnd: return "AND";
+    case GateKind::kOr: return "OR";
+    case GateKind::kNand: return "NAND";
+    case GateKind::kNor: return "NOR";
+    case GateKind::kXor: return "XOR";
+    case GateKind::kXnor: return "XNOR";
+    case GateKind::kMux2: return "MUX2";
+    case GateKind::kDff: return "DFF";
+  }
+  return "?";
+}
+
+bool IsCombinational(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kDff:
+      return false;
+    default:
+      return true;
+  }
+}
+
+const char* ModuleTagName(ModuleTag tag) {
+  switch (tag) {
+    case ModuleTag::kDatapath: return "datapath";
+    case ModuleTag::kController: return "controller";
+    case ModuleTag::kInterface: return "interface";
+  }
+  return "?";
+}
+
+int ExpectedArity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+    case GateKind::kDff:
+      return 1;
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return 2;
+    case GateKind::kMux2:
+      return 3;
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kNand:
+    case GateKind::kNor:
+      return -1;
+  }
+  return -1;
+}
+
+std::string NetlistStats::ToString() const {
+  std::ostringstream os;
+  os << gates << " gates (" << inputs << " inputs, " << dffs << " DFFs, "
+     << combinational << " combinational); controller " << controller_gates
+     << ", datapath " << datapath_gates;
+  return os.str();
+}
+
+GateId Netlist::AddInput(std::string name, ModuleTag module) {
+  return AddGate(GateKind::kInput, module, {}, std::move(name));
+}
+
+GateId Netlist::AddGate(GateKind kind, ModuleTag module,
+                        std::span<const GateId> fanins, std::string name) {
+  const int arity = ExpectedArity(kind);
+  if (arity >= 0) {
+    PFD_CHECK_MSG(fanins.size() == static_cast<std::size_t>(arity),
+                  std::string("bad arity for ") + GateKindName(kind));
+  } else {
+    PFD_CHECK_MSG(fanins.size() >= 2,
+                  std::string("need >= 2 fanins for ") + GateKindName(kind));
+  }
+  for (GateId f : fanins) {
+    PFD_CHECK_MSG(f < gates_.size(), "fanin refers to a gate not yet created");
+  }
+  Gate g{kind, module, static_cast<std::uint32_t>(fanin_pool_.size()),
+         static_cast<std::uint32_t>(fanins.size())};
+  fanin_pool_.insert(fanin_pool_.end(), fanins.begin(), fanins.end());
+  gates_.push_back(g);
+  names_.push_back(std::move(name));
+  topo_valid_ = false;
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+GateId Netlist::AddDff(ModuleTag module, std::string name) {
+  Gate g{GateKind::kDff, module, static_cast<std::uint32_t>(fanin_pool_.size()),
+         1};
+  fanin_pool_.push_back(kNoGate);  // patched by ConnectDff
+  gates_.push_back(g);
+  names_.push_back(std::move(name));
+  topo_valid_ = false;
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+void Netlist::ConnectDff(GateId dff, GateId d) {
+  CheckId(dff);
+  CheckId(d);
+  PFD_CHECK_MSG(gates_[dff].kind == GateKind::kDff, "not a DFF");
+  fanin_pool_[gates_[dff].fanin_begin] = d;
+  topo_valid_ = false;
+}
+
+void Netlist::AddOutput(GateId gate, std::string name) {
+  CheckId(gate);
+  outputs_.push_back({gate, std::move(name)});
+}
+
+std::vector<GateId> Netlist::InputIds() const {
+  std::vector<GateId> ids;
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].kind == GateKind::kInput) ids.push_back(i);
+  }
+  return ids;
+}
+
+std::vector<GateId> Netlist::DffIds() const {
+  std::vector<GateId> ids;
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].kind == GateKind::kDff) ids.push_back(i);
+  }
+  return ids;
+}
+
+std::vector<GateId> Netlist::GatesInModule(ModuleTag tag) const {
+  std::vector<GateId> ids;
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].module == tag) ids.push_back(i);
+  }
+  return ids;
+}
+
+std::vector<std::uint32_t> Netlist::FanoutCounts() const {
+  std::vector<std::uint32_t> counts(gates_.size(), 0);
+  for (GateId f : fanin_pool_) {
+    if (f != kNoGate) ++counts[f];
+  }
+  return counts;
+}
+
+NetlistStats Netlist::Stats() const {
+  NetlistStats s;
+  s.gates = gates_.size();
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::kInput) ++s.inputs;
+    if (g.kind == GateKind::kDff) ++s.dffs;
+    if (IsCombinational(g.kind)) ++s.combinational;
+    if (g.module == ModuleTag::kController) ++s.controller_gates;
+    if (g.module == ModuleTag::kDatapath) ++s.datapath_gates;
+  }
+  return s;
+}
+
+void Netlist::Validate() const {
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    for (GateId f : Fanins(i)) {
+      PFD_CHECK_MSG(f != kNoGate, "unconnected DFF data pin: " + names_[i]);
+      PFD_CHECK_MSG(f < gates_.size(), "dangling fanin");
+    }
+  }
+  for (const OutputPort& po : outputs_) {
+    PFD_CHECK_MSG(po.gate < gates_.size(), "dangling output port");
+  }
+  CombinationalOrder();  // throws on combinational cycles
+}
+
+const std::vector<GateId>& Netlist::CombinationalOrder() const {
+  if (topo_valid_) return topo_cache_;
+  // Kahn's algorithm restricted to combinational gates. A combinational
+  // gate's in-degree counts only its combinational fanins; inputs, constants
+  // and DFF outputs are already available when a cycle's evaluation starts.
+  std::vector<std::uint32_t> indeg(gates_.size(), 0);
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    if (!IsCombinational(gates_[i].kind)) continue;
+    for (GateId f : Fanins(i)) {
+      if (f != kNoGate && IsCombinational(gates_[f].kind)) ++indeg[i];
+    }
+  }
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  std::vector<GateId> ready;
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    if (IsCombinational(gates_[i].kind) && indeg[i] == 0) ready.push_back(i);
+  }
+  // Per-gate fanout adjacency (combinational edges only), built once here.
+  std::vector<std::vector<GateId>> fanout(gates_.size());
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    if (!IsCombinational(gates_[i].kind)) continue;
+    for (GateId f : Fanins(i)) {
+      if (f != kNoGate && IsCombinational(gates_[f].kind)) {
+        fanout[f].push_back(i);
+      }
+    }
+  }
+  while (!ready.empty()) {
+    const GateId g = ready.back();
+    ready.pop_back();
+    order.push_back(g);
+    for (GateId succ : fanout[g]) {
+      if (--indeg[succ] == 0) ready.push_back(succ);
+    }
+  }
+  std::size_t comb_total = 0;
+  for (const Gate& g : gates_) {
+    if (IsCombinational(g.kind)) ++comb_total;
+  }
+  PFD_CHECK_MSG(order.size() == comb_total, "combinational cycle in netlist");
+  topo_cache_ = std::move(order);
+  topo_valid_ = true;
+  return topo_cache_;
+}
+
+std::string Netlist::ToDot() const {
+  std::ostringstream os;
+  os << "digraph netlist {\n  rankdir=LR;\n";
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const char* color = g.module == ModuleTag::kController ? "lightblue"
+                        : g.module == ModuleTag::kDatapath ? "lightyellow"
+                                                           : "lightgray";
+    const char* shape = g.kind == GateKind::kDff      ? "box"
+                        : g.kind == GateKind::kInput  ? "invtriangle"
+                                                      : "ellipse";
+    os << "  g" << i << " [label=\"" << GateKindName(g.kind);
+    if (!names_[i].empty()) os << "\\n" << names_[i];
+    os << "\", shape=" << shape << ", style=filled, fillcolor=" << color
+       << "];\n";
+  }
+  for (GateId i = 0; i < gates_.size(); ++i) {
+    for (GateId f : Fanins(i)) {
+      if (f != kNoGate) os << "  g" << f << " -> g" << i << ";\n";
+    }
+  }
+  for (const OutputPort& po : outputs_) {
+    os << "  po_" << po.name << " [label=\"" << po.name
+       << "\", shape=triangle];\n  g" << po.gate << " -> po_" << po.name
+       << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pfd::netlist

@@ -1,0 +1,144 @@
+// Gate-level netlist representation.
+//
+// The netlist is a single-driver directed graph: every gate produces exactly
+// one output net, identified by the gate's id. Sequential elements are
+// positive-edge DFFs clocked by one implicit global clock (the paper's
+// designs are single-clock synchronous systems). Primary inputs are gates of
+// kind kInput whose values the simulator supplies each cycle; primary
+// outputs are an explicit observation list.
+//
+// Each gate carries a ModuleTag so that downstream passes can (a) enumerate
+// stuck-at faults *within the controller* only, exactly as the paper does,
+// and (b) account power for the *datapath* only (the paper reports datapath
+// power in all experiments).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace pfd::netlist {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = 0xFFFFFFFFu;
+
+enum class GateKind : std::uint8_t {
+  kInput,   // primary input; no fanin
+  kConst0,  // constant 0
+  kConst1,  // constant 1
+  kBuf,     // 1 fanin
+  kNot,     // 1 fanin
+  kAnd,     // >= 2 fanins
+  kOr,      // >= 2 fanins
+  kNand,    // >= 2 fanins
+  kNor,     // >= 2 fanins
+  kXor,     // exactly 2 fanins
+  kXnor,    // exactly 2 fanins
+  kMux2,    // 3 fanins: {sel, d0 (sel==0), d1 (sel==1)}
+  kDff,     // 1 fanin: {d}; output is the register state, initially X
+};
+
+const char* GateKindName(GateKind kind);
+bool IsCombinational(GateKind kind);
+
+// Which part of the system a gate belongs to.
+enum class ModuleTag : std::uint8_t {
+  kDatapath = 0,
+  kController = 1,
+  kInterface = 2,  // glue that is neither (e.g. buffered control lines)
+};
+
+const char* ModuleTagName(ModuleTag tag);
+
+struct Gate {
+  GateKind kind;
+  ModuleTag module;
+  std::uint32_t fanin_begin = 0;
+  std::uint32_t fanin_count = 0;
+};
+
+// A named observation point for test-response comparison.
+struct OutputPort {
+  GateId gate;
+  std::string name;
+};
+
+struct NetlistStats {
+  std::size_t gates = 0;
+  std::size_t inputs = 0;
+  std::size_t dffs = 0;
+  std::size_t combinational = 0;
+  std::size_t controller_gates = 0;
+  std::size_t datapath_gates = 0;
+  std::string ToString() const;
+};
+
+class Netlist {
+ public:
+  // --- construction ------------------------------------------------------
+  GateId AddInput(std::string name, ModuleTag module = ModuleTag::kDatapath);
+  GateId AddGate(GateKind kind, ModuleTag module,
+                 std::span<const GateId> fanins, std::string name = "");
+  // DFFs may participate in feedback loops, so their D input can be
+  // connected after creation.
+  GateId AddDff(ModuleTag module, std::string name = "");
+  void ConnectDff(GateId dff, GateId d);
+
+  void AddOutput(GateId gate, std::string name);
+  // Removes all registered output ports (used by DFT passes that re-route
+  // the observation points).
+  void ClearOutputs() { outputs_.clear(); }
+
+  // --- accessors ----------------------------------------------------------
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+  std::span<const GateId> Fanins(GateId id) const {
+    const Gate& g = gates_[id];
+    return {fanin_pool_.data() + g.fanin_begin, g.fanin_count};
+  }
+  const std::string& Name(GateId id) const { return names_[id]; }
+  const std::vector<OutputPort>& outputs() const { return outputs_; }
+
+  std::vector<GateId> InputIds() const;
+  std::vector<GateId> DffIds() const;
+  // Gates with the given module tag, in id order.
+  std::vector<GateId> GatesInModule(ModuleTag tag) const;
+
+  // Number of gates reading this net (input-pin count over all fanouts).
+  std::vector<std::uint32_t> FanoutCounts() const;
+
+  NetlistStats Stats() const;
+
+  // --- structure ----------------------------------------------------------
+  // Throws pfd::Error if any gate has wrong arity, a dangling fanin, or the
+  // combinational part contains a cycle.
+  void Validate() const;
+
+  // Topological order of the combinational gates (kBuf..kMux2). Sources
+  // (inputs, constants, DFF outputs) are not included; DFF D-pins are sinks.
+  // Cached; invalidated by structural edits.
+  const std::vector<GateId>& CombinationalOrder() const;
+
+  // Graphviz dump (module-coloured) for documentation and debugging.
+  std::string ToDot() const;
+
+ private:
+  void CheckId(GateId id) const {
+    PFD_CHECK_MSG(id < gates_.size(), "gate id out of range");
+  }
+
+  std::vector<Gate> gates_;
+  std::vector<GateId> fanin_pool_;
+  std::vector<std::string> names_;
+  std::vector<OutputPort> outputs_;
+  mutable std::vector<GateId> topo_cache_;
+  mutable bool topo_valid_ = false;
+};
+
+// Expected fanin arity for a kind; -1 means "2 or more".
+int ExpectedArity(GateKind kind);
+
+}  // namespace pfd::netlist

@@ -1,0 +1,62 @@
+#include "netlist/opt.hpp"
+
+namespace pfd::netlist {
+
+SweepResult SweepDeadLogic(const Netlist& nl) {
+  const std::size_t n = nl.size();
+  std::vector<std::uint8_t> live(n, 0);
+  std::vector<GateId> work;
+
+  auto mark = [&](GateId g) {
+    if (!live[g]) {
+      live[g] = 1;
+      work.push_back(g);
+    }
+  };
+  for (const OutputPort& po : nl.outputs()) mark(po.gate);
+  for (GateId g = 0; g < n; ++g) {
+    if (nl.gate(g).kind == GateKind::kInput) mark(g);
+  }
+  while (!work.empty()) {
+    const GateId g = work.back();
+    work.pop_back();
+    for (GateId f : nl.Fanins(g)) mark(f);
+  }
+
+  SweepResult out;
+  out.remap.assign(n, kNoGate);
+  // First pass: create live gates in the original order (fanins of a
+  // combinational gate always precede it; DFF data pins are patched after).
+  for (GateId g = 0; g < n; ++g) {
+    if (!live[g]) {
+      ++out.removed;
+      continue;
+    }
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kDff) {
+      out.remap[g] = out.netlist.AddDff(gate.module, nl.Name(g));
+    } else {
+      std::vector<GateId> fanins;
+      for (GateId f : nl.Fanins(g)) {
+        PFD_CHECK_MSG(out.remap[f] != kNoGate, "live gate reads dead gate");
+        fanins.push_back(out.remap[f]);
+      }
+      out.remap[g] =
+          out.netlist.AddGate(gate.kind, gate.module, fanins, nl.Name(g));
+    }
+  }
+  for (GateId g = 0; g < n; ++g) {
+    if (live[g] && nl.gate(g).kind == GateKind::kDff) {
+      const GateId d = nl.Fanins(g)[0];
+      PFD_CHECK_MSG(out.remap[d] != kNoGate, "live DFF reads dead gate");
+      out.netlist.ConnectDff(out.remap[g], out.remap[d]);
+    }
+  }
+  for (const OutputPort& po : nl.outputs()) {
+    out.netlist.AddOutput(out.remap[po.gate], po.name);
+  }
+  out.netlist.Validate();
+  return out;
+}
+
+}  // namespace pfd::netlist

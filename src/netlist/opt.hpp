@@ -1,0 +1,29 @@
+// Netlist clean-up transformations.
+//
+// SweepDeadLogic removes gates that cannot influence any observation point —
+// the structural redundancy where CFR faults live ("CFR faults ... require
+// design-for-testability insertion within the controller itself" — or, as
+// here, a synthesis clean-up pass that removes their home). tests/ verify
+// that sweeping preserves simulated behaviour exactly and that the CFR
+// fault population of a deliberately redundant controller disappears.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pfd::netlist {
+
+struct SweepResult {
+  Netlist netlist;
+  // old gate id -> new gate id, or kNoGate if the gate was removed.
+  std::vector<GateId> remap;
+  std::size_t removed = 0;
+};
+
+// Removes every gate outside the cone of influence of the output ports.
+// Primary inputs are always kept (their identity and order is part of the
+// design's interface); DFFs are kept only if some live gate reads them.
+SweepResult SweepDeadLogic(const Netlist& nl);
+
+}  // namespace pfd::netlist

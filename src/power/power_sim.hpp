@@ -1,0 +1,67 @@
+// Power simulation drivers.
+//
+// Two measurement modes, matching the paper's experiments:
+//   * EstimatePowerMonteCarlo — "the faulty circuit is simulated for random
+//     data until the power converges" (Section 5): batches of 64 random
+//     patterns ride the simulator lanes until the 95% confidence half-width
+//     of the mean batch power drops below a relative tolerance.
+//   * MeasureTestSetPower — power over a fixed TPGR test set of given seed
+//     and length (Table 3 uses three 1200-pattern sets).
+//
+// Both accept an optional stuck-at fault to inject, so the same code path
+// produces the fault-free baseline and every faulty measurement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "power/power_model.hpp"
+
+namespace pfd::power {
+
+struct MonteCarloConfig {
+  std::uint64_t seed = 0xC0FFEE5EEDULL;
+  int min_batches = 8;     // 64 patterns each
+  int max_batches = 512;
+  double rel_tol = 0.004;  // stop when CI95 half-width / mean < rel_tol
+  // Count hazard (glitch) transitions with unit-delay timing instead of the
+  // zero-delay single-transition model. Slower by roughly the logic depth.
+  bool unit_delay = false;
+};
+
+struct PowerResult {
+  PowerBreakdown breakdown;
+  // Convergence diagnostics (Monte Carlo only; zero otherwise).
+  double ci95_rel = 0.0;
+  int batches = 0;
+  std::uint64_t patterns = 0;
+};
+
+// Monte Carlo average power with the (optional) faults injected in every
+// lane. Multiple simultaneous faults are supported because the Section-4
+// worst-case experiment composes many control-line effects at once.
+PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
+                                    const fault::TestPlan& plan,
+                                    const PowerModel& model,
+                                    std::span<const fault::StuckFault> faults,
+                                    const MonteCarloConfig& config);
+
+inline PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
+                                           const fault::TestPlan& plan,
+                                           const PowerModel& model,
+                                           const MonteCarloConfig& config) {
+  return EstimatePowerMonteCarlo(nl, plan, model, {}, config);
+}
+
+// Average power over a fixed pseudorandom test set (TPGR seed + length).
+PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
+                                const fault::TestPlan& plan,
+                                const PowerModel& model,
+                                std::span<const fault::StuckFault> faults,
+                                std::uint32_t tpgr_seed, int num_patterns,
+                                bool unit_delay = false);
+
+}  // namespace pfd::power

@@ -1,0 +1,91 @@
+// Control words and the controller's behavioural specification.
+//
+// A ControlWord is what the controller presents to the datapath during one
+// clock cycle: one load bit per register load line and one binary select
+// value per mux. A ControlSpec is the *specification* the FSM is synthesized
+// from: for every control state it gives the required load bits and the mux
+// selects, where selects may be don't-care in states where the mux is
+// inactive (Section 3.1 of the paper — these don't-cares are exactly where
+// SFR faults live).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace pfd::rtl {
+
+struct ControlWord {
+  std::vector<std::uint8_t> load;       // per load line, 0/1
+  std::vector<std::uint32_t> select;    // per mux, binary select value
+
+  friend bool operator==(const ControlWord&, const ControlWord&) = default;
+};
+
+// Per-state control requirements, with optional (don't-care) selects.
+struct StateControl {
+  std::vector<std::uint8_t> load;                     // fully specified
+  std::vector<std::optional<std::uint32_t>> select;   // nullopt = don't care
+};
+
+// The controller's control-flow specification: a linear schedule
+// RESET -> CS1 -> ... -> CSn -> HOLD (the HOLD state loops on itself and
+// holds the outputs, like the paper's "HOLD OUTPUT" state). An asserted
+// reset input returns the machine to RESET from any state.
+struct ControlSpec {
+  int num_load_lines = 0;
+  int num_muxes = 0;
+  std::vector<int> mux_select_bits;  // per mux
+  std::vector<StateControl> states;  // index 0 = RESET, last = HOLD
+  std::vector<std::string> state_names;
+
+  int NumStates() const { return static_cast<int>(states.size()); }
+  int ResetState() const { return 0; }
+  int HoldState() const { return NumStates() - 1; }
+
+  void Validate() const {
+    PFD_CHECK_MSG(states.size() >= 2, "need at least RESET and HOLD states");
+    PFD_CHECK_MSG(state_names.size() == states.size(), "state name arity");
+    PFD_CHECK_MSG(static_cast<int>(mux_select_bits.size()) == num_muxes,
+                  "mux select arity");
+    for (const StateControl& sc : states) {
+      PFD_CHECK_MSG(static_cast<int>(sc.load.size()) == num_load_lines,
+                    "load arity");
+      PFD_CHECK_MSG(static_cast<int>(sc.select.size()) == num_muxes,
+                    "select arity");
+      for (int m = 0; m < num_muxes; ++m) {
+        if (sc.select[m]) {
+          PFD_CHECK_MSG(*sc.select[m] < (1u << mux_select_bits[m]),
+                        "select value exceeds select width");
+        }
+      }
+    }
+  }
+};
+
+// Maps controller load lines to datapath registers. The paper's Facet
+// example has register groups sharing a single load line; the HLS pass
+// merges identical load columns, so the mapping is one line -> many regs.
+struct LoadLineMap {
+  // regs_of_line[line] = registers driven by that load line.
+  std::vector<std::vector<std::uint32_t>> regs_of_line;
+
+  int NumLines() const { return static_cast<int>(regs_of_line.size()); }
+
+  // Expands a per-line load vector into a per-register load vector.
+  std::vector<std::uint8_t> ExpandLoads(
+      const std::vector<std::uint8_t>& line_loads, std::size_t num_regs) const {
+    PFD_CHECK_MSG(line_loads.size() == regs_of_line.size(),
+                  "load line arity mismatch");
+    std::vector<std::uint8_t> reg_loads(num_regs, 0);
+    for (std::size_t l = 0; l < regs_of_line.size(); ++l) {
+      for (std::uint32_t r : regs_of_line[l]) reg_loads[r] = line_loads[l];
+    }
+    return reg_loads;
+  }
+};
+
+}  // namespace pfd::rtl

@@ -1,0 +1,187 @@
+#include "rtl/datapath.hpp"
+
+#include <sstream>
+
+namespace pfd::rtl {
+
+const char* FuKindName(FuKind kind) {
+  switch (kind) {
+    case FuKind::kAdd: return "ADD";
+    case FuKind::kSub: return "SUB";
+    case FuKind::kMul: return "MUL";
+    case FuKind::kLess: return "LT";
+    case FuKind::kAnd: return "AND";
+    case FuKind::kOr: return "OR";
+    case FuKind::kXor: return "XOR";
+  }
+  return "?";
+}
+
+int FuResultWidth(FuKind kind, int operand_width) {
+  return kind == FuKind::kLess ? 1 : operand_width;
+}
+
+BitVec EvalFuConcrete(FuKind kind, const BitVec& a, const BitVec& b) {
+  switch (kind) {
+    case FuKind::kAdd: return Add(a, b);
+    case FuKind::kSub: return Sub(a, b);
+    case FuKind::kMul: return Mul(a, b);
+    case FuKind::kLess: return LessThan(a, b);
+    case FuKind::kAnd: return And(a, b);
+    case FuKind::kOr: return Or(a, b);
+    case FuKind::kXor: return Xor(a, b);
+  }
+  PFD_CHECK(false);
+  return a;
+}
+
+int Mux::SelectBits() const {
+  int bits = 0;
+  while ((1u << bits) < inputs.size()) ++bits;
+  return bits == 0 ? 1 : bits;  // even a 1-bit select for degenerate muxes
+}
+
+std::uint32_t Datapath::AddInput(std::string name, int width) {
+  inputs_.push_back({std::move(name), width});
+  finalized_ = false;
+  return static_cast<std::uint32_t>(inputs_.size() - 1);
+}
+
+std::uint32_t Datapath::AddConstant(std::string name, BitVec value) {
+  constants_.push_back({std::move(name), value});
+  finalized_ = false;
+  return static_cast<std::uint32_t>(constants_.size() - 1);
+}
+
+std::uint32_t Datapath::AddRegister(std::string name, int width) {
+  regs_.push_back({std::move(name), width, Source{}});
+  finalized_ = false;
+  return static_cast<std::uint32_t>(regs_.size() - 1);
+}
+
+std::uint32_t Datapath::AddMux(std::string name, int width,
+                               std::vector<Source> inputs) {
+  PFD_CHECK_MSG(inputs.size() >= 2, "mux needs >= 2 inputs");
+  muxes_.push_back({std::move(name), width, std::move(inputs)});
+  finalized_ = false;
+  return static_cast<std::uint32_t>(muxes_.size() - 1);
+}
+
+std::uint32_t Datapath::AddFu(std::string name, FuKind kind, int width,
+                              Source lhs, Source rhs) {
+  fus_.push_back({std::move(name), kind, width, lhs, rhs});
+  finalized_ = false;
+  return static_cast<std::uint32_t>(fus_.size() - 1);
+}
+
+void Datapath::SetRegisterInput(std::uint32_t reg, Source src) {
+  PFD_CHECK_MSG(reg < regs_.size(), "bad register id");
+  regs_[reg].input = src;
+  finalized_ = false;
+}
+
+void Datapath::AddOutput(std::string name, Source src) {
+  outputs_.push_back({std::move(name), src});
+  finalized_ = false;
+}
+
+int Datapath::SourceWidth(const Source& s) const {
+  switch (s.kind) {
+    case Source::Kind::kReg:
+      PFD_CHECK_MSG(s.index < regs_.size(), "dangling reg source");
+      return regs_[s.index].width;
+    case Source::Kind::kMux:
+      PFD_CHECK_MSG(s.index < muxes_.size(), "dangling mux source");
+      return muxes_[s.index].width;
+    case Source::Kind::kFu:
+      PFD_CHECK_MSG(s.index < fus_.size(), "dangling fu source");
+      return FuResultWidth(fus_[s.index].kind, fus_[s.index].width);
+    case Source::Kind::kInput:
+      PFD_CHECK_MSG(s.index < inputs_.size(), "dangling input source");
+      return inputs_[s.index].width;
+    case Source::Kind::kConst:
+      PFD_CHECK_MSG(s.index < constants_.size(), "dangling const source");
+      return constants_[s.index].value.width();
+  }
+  return 0;
+}
+
+void Datapath::Finalize() {
+  // Width checks.
+  for (const Register& r : regs_) {
+    PFD_CHECK_MSG(SourceWidth(r.input) == r.width,
+                  "register input width mismatch: " + r.name);
+  }
+  for (const Mux& m : muxes_) {
+    for (const Source& s : m.inputs) {
+      PFD_CHECK_MSG(SourceWidth(s) == m.width,
+                    "mux input width mismatch: " + m.name);
+    }
+  }
+  for (const Fu& f : fus_) {
+    PFD_CHECK_MSG(SourceWidth(f.lhs) == f.width && SourceWidth(f.rhs) == f.width,
+                  "fu operand width mismatch: " + f.name);
+  }
+  for (const OutputPort& o : outputs_) {
+    SourceWidth(o.source);  // checks dangling
+  }
+
+  // Topological order over the combinational nodes (muxes and FUs).
+  // Node numbering: mux i -> i, fu j -> muxes_.size() + j.
+  const std::size_t n = muxes_.size() + fus_.size();
+  std::vector<std::vector<std::uint32_t>> succ(n);
+  std::vector<std::uint32_t> indeg(n, 0);
+  auto comb_node = [&](const Source& s) -> std::optional<std::uint32_t> {
+    if (s.kind == Source::Kind::kMux) return s.index;
+    if (s.kind == Source::Kind::kFu) {
+      return static_cast<std::uint32_t>(muxes_.size()) + s.index;
+    }
+    return std::nullopt;
+  };
+  auto add_edge = [&](const Source& from, std::uint32_t to) {
+    if (auto node = comb_node(from)) {
+      succ[*node].push_back(to);
+      ++indeg[to];
+    }
+  };
+  for (std::uint32_t i = 0; i < muxes_.size(); ++i) {
+    for (const Source& s : muxes_[i].inputs) add_edge(s, i);
+  }
+  for (std::uint32_t j = 0; j < fus_.size(); ++j) {
+    const auto to = static_cast<std::uint32_t>(muxes_.size()) + j;
+    add_edge(fus_[j].lhs, to);
+    add_edge(fus_[j].rhs, to);
+  }
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push_back(v);
+  }
+  eval_order_.clear();
+  while (!ready.empty()) {
+    const std::uint32_t v = ready.back();
+    ready.pop_back();
+    if (v < muxes_.size()) {
+      eval_order_.push_back({EvalNode::Kind::kMux, v});
+    } else {
+      eval_order_.push_back(
+          {EvalNode::Kind::kFu,
+           v - static_cast<std::uint32_t>(muxes_.size())});
+    }
+    for (std::uint32_t s : succ[v]) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  PFD_CHECK_MSG(eval_order_.size() == n,
+                "combinational cycle in datapath network");
+  finalized_ = true;
+}
+
+std::string Datapath::Summary() const {
+  std::ostringstream os;
+  os << regs_.size() << " registers, " << muxes_.size() << " muxes, "
+     << fus_.size() << " FUs, " << inputs_.size() << " inputs, "
+     << constants_.size() << " constants, " << outputs_.size() << " outputs";
+  return os.str();
+}
+
+}  // namespace pfd::rtl

@@ -1,0 +1,140 @@
+// Register-transfer-level datapath IR.
+//
+// This is the architecture style of Figure 4 of the paper (and of the
+// SYNTEST synthesis system that produced its examples): load-enabled
+// registers, n-way multiplexers feeding fixed-function units, and a
+// controller that supplies one load line per register (possibly shared, see
+// hls load-line merging) and binary-encoded select lines per mux.
+//
+// The datapath is purely structural here; behaviour comes from rtl::Machine
+// (simulation over a value domain) and synth::ElaborateDatapath (gate-level
+// implementation). All three must agree; tests/rtl cross-checks them.
+//
+// Faulty controllers can emit select values that exceed a mux's input count.
+// To keep RTL and gate level in exact agreement, an n-input mux is defined
+// as input[sel] for sel < n and input[n-1] otherwise (the gate-level tree
+// pads to a power of two by replicating the last input).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bitvec.hpp"
+#include "base/error.hpp"
+
+namespace pfd::rtl {
+
+enum class FuKind : std::uint8_t { kAdd, kSub, kMul, kLess, kAnd, kOr, kXor };
+const char* FuKindName(FuKind kind);
+// Result width for operands of width w (kLess compares to a single bit).
+int FuResultWidth(FuKind kind, int operand_width);
+// Concrete BitVec evaluation of a functional unit.
+BitVec EvalFuConcrete(FuKind kind, const BitVec& a, const BitVec& b);
+
+// Anything that can drive a data value.
+struct Source {
+  enum class Kind : std::uint8_t { kReg, kMux, kFu, kInput, kConst };
+  Kind kind = Kind::kReg;
+  std::uint32_t index = 0;
+
+  static Source Reg(std::uint32_t i) { return {Kind::kReg, i}; }
+  static Source Mux(std::uint32_t i) { return {Kind::kMux, i}; }
+  static Source Fu(std::uint32_t i) { return {Kind::kFu, i}; }
+  static Source Input(std::uint32_t i) { return {Kind::kInput, i}; }
+  static Source Const(std::uint32_t i) { return {Kind::kConst, i}; }
+
+  friend bool operator==(const Source&, const Source&) = default;
+};
+
+struct Register {
+  std::string name;
+  int width = 4;
+  Source input;  // value loaded when the load line is 1
+};
+
+struct Mux {
+  std::string name;
+  int width = 4;
+  std::vector<Source> inputs;  // >= 2
+  int SelectBits() const;
+};
+
+struct Fu {
+  std::string name;
+  FuKind kind = FuKind::kAdd;
+  int width = 4;  // operand width
+  Source lhs;
+  Source rhs;
+};
+
+struct InputPort {
+  std::string name;
+  int width = 4;
+};
+
+struct Constant {
+  std::string name;
+  BitVec value;
+};
+
+struct OutputPort {
+  std::string name;
+  Source source;  // typically a register
+};
+
+// One evaluation step of the combinational network (muxes + FUs) in
+// dependency order.
+struct EvalNode {
+  enum class Kind : std::uint8_t { kMux, kFu };
+  Kind kind;
+  std::uint32_t index;
+};
+
+class Datapath {
+ public:
+  std::uint32_t AddInput(std::string name, int width);
+  std::uint32_t AddConstant(std::string name, BitVec value);
+  std::uint32_t AddRegister(std::string name, int width);
+  std::uint32_t AddMux(std::string name, int width,
+                       std::vector<Source> inputs);
+  std::uint32_t AddFu(std::string name, FuKind kind, int width, Source lhs,
+                      Source rhs);
+  void SetRegisterInput(std::uint32_t reg, Source src);
+  void AddOutput(std::string name, Source src);
+
+  const std::vector<Register>& regs() const { return regs_; }
+  const std::vector<Mux>& muxes() const { return muxes_; }
+  const std::vector<Fu>& fus() const { return fus_; }
+  const std::vector<InputPort>& inputs() const { return inputs_; }
+  const std::vector<Constant>& constants() const { return constants_; }
+  const std::vector<OutputPort>& outputs() const { return outputs_; }
+
+  // Width of the value a source produces.
+  int SourceWidth(const Source& s) const;
+
+  // Checks structure (no dangling refs, width agreement, acyclic
+  // combinational network) and computes the evaluation order. Must be
+  // called after construction and before simulation/elaboration.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+  const std::vector<EvalNode>& EvalOrder() const {
+    PFD_CHECK_MSG(finalized_, "Datapath::Finalize not called");
+    return eval_order_;
+  }
+
+  std::string Summary() const;
+
+ private:
+  std::vector<Register> regs_;
+  std::vector<Mux> muxes_;
+  std::vector<Fu> fus_;
+  std::vector<InputPort> inputs_;
+  std::vector<Constant> constants_;
+  std::vector<OutputPort> outputs_;
+  std::vector<EvalNode> eval_order_;
+  bool finalized_ = false;
+};
+
+}  // namespace pfd::rtl

@@ -1,0 +1,70 @@
+#include "rtl/expr.hpp"
+
+#include <sstream>
+
+namespace pfd::rtl {
+
+namespace {
+bool IsCommutative(FuKind kind) {
+  switch (kind) {
+    case FuKind::kAdd:
+    case FuKind::kMul:
+    case FuKind::kAnd:
+    case FuKind::kOr:
+    case FuKind::kXor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPool::Op OpOf(FuKind kind) {
+  switch (kind) {
+    case FuKind::kAdd: return ExprPool::Op::kAdd;
+    case FuKind::kSub: return ExprPool::Op::kSub;
+    case FuKind::kMul: return ExprPool::Op::kMul;
+    case FuKind::kLess: return ExprPool::Op::kLess;
+    case FuKind::kAnd: return ExprPool::Op::kAnd;
+    case FuKind::kOr: return ExprPool::Op::kOr;
+    case FuKind::kXor: return ExprPool::Op::kXor;
+  }
+  PFD_CHECK(false);
+  return ExprPool::Op::kAdd;
+}
+
+}  // namespace
+
+ExprRef ExprPool::Apply(FuKind kind, ExprRef a, ExprRef b) {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  PFD_CHECK_MSG(na.width == nb.width, "expr operand width mismatch");
+  if (na.op == Op::kConst && nb.op == Op::kConst) {
+    return Const(EvalFuConcrete(kind, BitVec(na.width, na.aux),
+                                BitVec(nb.width, nb.aux)));
+  }
+  if (IsCommutative(kind) && b < a) {
+    std::swap(a, b);
+  }
+  const int out_width = FuResultWidth(kind, na.width);
+  return Intern({OpOf(kind), static_cast<std::uint8_t>(out_width), a, b, 0});
+}
+
+std::string ExprPool::ToString(ExprRef r) const {
+  const Node& n = nodes_[r];
+  std::ostringstream os;
+  switch (n.op) {
+    case Op::kVar: os << "v" << n.aux; break;
+    case Op::kInit: os << "init(r" << n.aux << ")"; break;
+    case Op::kConst: os << n.aux; break;
+    case Op::kAdd: os << '(' << ToString(n.a) << " + " << ToString(n.b) << ')'; break;
+    case Op::kSub: os << '(' << ToString(n.a) << " - " << ToString(n.b) << ')'; break;
+    case Op::kMul: os << '(' << ToString(n.a) << " * " << ToString(n.b) << ')'; break;
+    case Op::kLess: os << '(' << ToString(n.a) << " < " << ToString(n.b) << ')'; break;
+    case Op::kAnd: os << '(' << ToString(n.a) << " & " << ToString(n.b) << ')'; break;
+    case Op::kOr: os << '(' << ToString(n.a) << " | " << ToString(n.b) << ')'; break;
+    case Op::kXor: os << '(' << ToString(n.a) << " ^ " << ToString(n.b) << ')'; break;
+  }
+  return os.str();
+}
+
+}  // namespace pfd::rtl

@@ -1,0 +1,98 @@
+// Hash-consed symbolic expression DAG — the symbolic value domain of the
+// RTL machine.
+//
+// The SFR/SFI decision (Section 3 of the paper) ultimately asks: does the
+// computation the datapath performs under the *faulty* control trace produce
+// the same outputs as under the fault-free trace, for every input? Symbolic
+// simulation answers the common cases soundly and instantly: every register
+// holds a structurally-normalized expression over the input variables and
+// the registers' initial (boot-up) values; if the output expressions of the
+// faulty and golden runs have the same node ids, the fault is SFR.
+//
+// Normalisations applied (sound, no approximation):
+//   * hash-consing — structurally identical expressions share one id, so the
+//     paper's "extra load serves simply to rewrite a variable unchanged"
+//     case compares equal;
+//   * commutative operand ordering for ADD/MUL/AND/OR/XOR;
+//   * full constant folding via BitVec arithmetic.
+//
+// Structural *inequality* does not prove functional inequality, so the
+// classification pipeline confirms non-equal cases with exhaustive (4-bit)
+// or sampled gate-level simulation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bitvec.hpp"
+#include "base/error.hpp"
+#include "rtl/datapath.hpp"
+
+namespace pfd::rtl {
+
+using ExprRef = std::uint32_t;
+
+class ExprPool {
+ public:
+  enum class Op : std::uint8_t {
+    kVar,    // aux = input variable id
+    kInit,   // aux = register id (the register's unknown boot-up value)
+    kConst,  // aux = constant value; width in width field
+    kAdd, kSub, kMul, kLess, kAnd, kOr, kXor,
+  };
+
+  struct Node {
+    Op op;
+    std::uint8_t width;
+    std::uint32_t a = 0;    // lhs (for binary ops)
+    std::uint32_t b = 0;    // rhs
+    std::uint32_t aux = 0;  // leaf payload
+
+    friend bool operator==(const Node&, const Node&) = default;
+  };
+
+  ExprRef Var(std::uint32_t var_id, int width) {
+    return Intern({Op::kVar, static_cast<std::uint8_t>(width), 0, 0, var_id});
+  }
+  ExprRef Init(std::uint32_t reg_id, int width) {
+    return Intern({Op::kInit, static_cast<std::uint8_t>(width), 0, 0, reg_id});
+  }
+  ExprRef Const(const BitVec& v) {
+    return Intern({Op::kConst, static_cast<std::uint8_t>(v.width()), 0, 0,
+                   v.value()});
+  }
+
+  ExprRef Apply(FuKind kind, ExprRef a, ExprRef b);
+
+  const Node& node(ExprRef r) const { return nodes_[r]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  // Pretty-printer for diagnostics ("(a + (b * x))").
+  std::string ToString(ExprRef r) const;
+
+ private:
+  struct NodeHash {
+    std::size_t operator()(const Node& n) const {
+      std::uint64_t h = static_cast<std::uint64_t>(n.op) * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<std::uint64_t>(n.a) << 1) + 0x517cc1b727220a95ULL * n.b;
+      h ^= static_cast<std::uint64_t>(n.aux) * 0x2545f4914f6cdd1dULL;
+      h ^= n.width;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+
+  ExprRef Intern(const Node& n) {
+    auto it = map_.find(n);
+    if (it != map_.end()) return it->second;
+    const auto id = static_cast<ExprRef>(nodes_.size());
+    nodes_.push_back(n);
+    map_.emplace(n, id);
+    return id;
+  }
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Node, ExprRef, NodeHash> map_;
+};
+
+}  // namespace pfd::rtl

@@ -1,0 +1,20 @@
+#include "rtl/machine.hpp"
+
+#include "rtl/expr.hpp"
+
+namespace pfd::rtl {
+
+SymbolicDomain::Value SymbolicDomain::Op(FuKind kind, Value a, Value b) const {
+  return pool->Apply(kind, a, b);
+}
+
+SymbolicDomain::Value SymbolicDomain::FromConst(const BitVec& v) const {
+  return pool->Const(v);
+}
+
+SymbolicDomain::Value SymbolicDomain::RegInit(std::uint32_t reg,
+                                              int width) const {
+  return pool->Init(reg, width);
+}
+
+}  // namespace pfd::rtl

@@ -1,0 +1,146 @@
+// RTL simulator, templated over a value domain.
+//
+// The same interpreter runs:
+//   * ConcreteDomain  — BitVec values; golden functional model, cross-checked
+//     against the gate-level elaboration in tests;
+//   * SymbolicDomain  — hash-consed expression ids; drives the sound SFR
+//     equality check in the analysis module.
+//
+// The machine itself is controller-agnostic: each Step takes an explicit
+// ControlWord (per-REGISTER loads + per-mux selects). Feeding it the control
+// trace recorded from a faulty gate-level controller simulates exactly the
+// paper's scenario of a faulty-but-functional system.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "rtl/control.hpp"
+#include "rtl/datapath.hpp"
+
+namespace pfd::rtl {
+
+struct ConcreteDomain {
+  using Value = BitVec;
+  // Boot-up register contents; 0 by default (the gate level powers up at X,
+  // so cross-checks only compare values after the first load).
+  std::uint32_t boot_value = 0;
+
+  Value Op(FuKind kind, const Value& a, const Value& b) const {
+    return EvalFuConcrete(kind, a, b);
+  }
+  Value FromConst(const BitVec& v) const { return v; }
+  Value RegInit(std::uint32_t /*reg*/, int width) const {
+    return {width, boot_value};
+  }
+};
+
+class ExprPool;  // fwd; full type in rtl/expr.hpp
+
+struct SymbolicDomain {
+  using Value = std::uint32_t;  // ExprRef
+  ExprPool* pool;
+
+  Value Op(FuKind kind, Value a, Value b) const;
+  Value FromConst(const BitVec& v) const;
+  Value RegInit(std::uint32_t reg, int width) const;
+};
+
+template <typename Domain>
+class Machine {
+ public:
+  using Value = typename Domain::Value;
+
+  Machine(const Datapath& dp, Domain dom) : dp_(&dp), dom_(dom) {
+    PFD_CHECK_MSG(dp.finalized(), "datapath not finalized");
+    regs_.reserve(dp.regs().size());
+    for (std::uint32_t r = 0; r < dp.regs().size(); ++r) {
+      regs_.push_back(dom_.RegInit(r, dp.regs()[r].width));
+    }
+    inputs_.resize(dp.inputs().size());
+    mux_val_.resize(dp.muxes().size());
+    fu_val_.resize(dp.fus().size());
+    consts_.reserve(dp.constants().size());
+    for (const Constant& c : dp.constants()) {
+      consts_.push_back(dom_.FromConst(c.value));
+    }
+  }
+
+  Domain& domain() { return dom_; }
+
+  void SetInput(std::uint32_t port, Value v) {
+    PFD_CHECK_MSG(port < inputs_.size(), "bad input port");
+    inputs_[port] = v;
+  }
+
+  const Value& RegValue(std::uint32_t r) const { return regs_[r]; }
+  void SetRegValue(std::uint32_t r, Value v) { regs_[r] = v; }
+
+  // One clock cycle under the given control word (loads are per register;
+  // use LoadLineMap::ExpandLoads when driving from controller lines).
+  void Step(const ControlWord& cw) {
+    PFD_CHECK_MSG(cw.load.size() == regs_.size(), "control word load arity");
+    PFD_CHECK_MSG(cw.select.size() == mux_val_.size(),
+                  "control word select arity");
+    for (const EvalNode& n : dp_->EvalOrder()) {
+      if (n.kind == EvalNode::Kind::kMux) {
+        const Mux& m = dp_->muxes()[n.index];
+        const std::uint32_t mask = (1u << m.SelectBits()) - 1u;
+        const std::uint32_t sel = cw.select[n.index] & mask;
+        const std::uint32_t idx = std::min<std::uint32_t>(
+            sel, static_cast<std::uint32_t>(m.inputs.size()) - 1u);
+        mux_val_[n.index] = Eval(m.inputs[idx]);
+      } else {
+        const Fu& f = dp_->fus()[n.index];
+        fu_val_[n.index] = dom_.Op(f.kind, Eval(f.lhs), Eval(f.rhs));
+      }
+    }
+    for (std::uint32_t r = 0; r < regs_.size(); ++r) {
+      if (cw.load[r] != 0) {
+        regs_[r] = Eval(dp_->regs()[r].input);
+      }
+    }
+  }
+
+  Value Output(std::uint32_t i) const {
+    PFD_CHECK_MSG(i < dp_->outputs().size(), "bad output port");
+    return EvalSettled(dp_->outputs()[i].source);
+  }
+
+  std::vector<Value> Outputs() const {
+    std::vector<Value> out;
+    out.reserve(dp_->outputs().size());
+    for (std::uint32_t i = 0; i < dp_->outputs().size(); ++i) {
+      out.push_back(Output(i));
+    }
+    return out;
+  }
+
+ private:
+  // Value of a source using the mux/fu values settled by the last Step.
+  Value EvalSettled(const Source& s) const {
+    switch (s.kind) {
+      case Source::Kind::kReg: return regs_[s.index];
+      case Source::Kind::kMux: return mux_val_[s.index];
+      case Source::Kind::kFu: return fu_val_[s.index];
+      case Source::Kind::kInput: return inputs_[s.index];
+      case Source::Kind::kConst: return consts_[s.index];
+    }
+    PFD_CHECK(false);
+    return Value{};
+  }
+  Value Eval(const Source& s) const { return EvalSettled(s); }
+
+  const Datapath* dp_;
+  Domain dom_;
+  std::vector<Value> regs_;
+  std::vector<Value> inputs_;
+  std::vector<Value> mux_val_;
+  std::vector<Value> fu_val_;
+  std::vector<Value> consts_;
+};
+
+using ConcreteMachine = Machine<ConcreteDomain>;
+using SymbolicMachine = Machine<SymbolicDomain>;
+
+}  // namespace pfd::rtl

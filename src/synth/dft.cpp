@@ -1,0 +1,100 @@
+#include "synth/dft.hpp"
+
+namespace pfd::synth {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+
+fault::TestPlan DftSystem::MakeDftPlan(int session) const {
+  PFD_CHECK_MSG(session >= 0 && session < sessions, "bad DFT session");
+  fault::TestPlan plan = system.MakeEveryCyclePlan();
+  plan.pinned.emplace_back(test_mode, Trit::kOne);
+  for (std::size_t b = 0; b < session_select.size(); ++b) {
+    plan.pinned.emplace_back(session_select[b],
+                             ((session >> b) & 1) != 0 ? Trit::kOne
+                                                       : Trit::kZero);
+  }
+  return plan;
+}
+
+fault::TestPlan DftSystem::MakeFunctionalPlan() const {
+  fault::TestPlan plan = system.MakeTestPlan();
+  plan.pinned.emplace_back(test_mode, Trit::kZero);
+  for (netlist::GateId g : session_select) {
+    plan.pinned.emplace_back(g, Trit::kZero);
+  }
+  return plan;
+}
+
+DftSystem InsertObservationDft(const System& sys) {
+  DftSystem dft;
+  dft.system = sys;
+  System& s = dft.system;
+  netlist::Netlist& nl = s.nl;
+  const std::size_t before = nl.size();
+
+  // Flatten the functional output bits.
+  std::vector<GateId> out_bits;
+  std::vector<std::string> out_names;
+  for (std::size_t o = 0; o < s.output_nets.size(); ++o) {
+    for (std::size_t b = 0; b < s.output_nets[o].size(); ++b) {
+      out_bits.push_back(s.output_nets[o][b]);
+      out_names.push_back(s.datapath.outputs()[o].name + "[" +
+                          std::to_string(b) + "]");
+    }
+  }
+  PFD_CHECK_MSG(!out_bits.empty(), "system has no outputs");
+
+  // Sessions: control lines are observed in groups the size of the output
+  // bus. Group g observes lines g*W .. g*W+W-1.
+  const std::size_t width = out_bits.size();
+  dft.sessions =
+      static_cast<int>((s.line_nets.size() + width - 1) / width);
+  int sel_bits = 0;
+  while ((1 << sel_bits) < dft.sessions) ++sel_bits;
+
+  dft.test_mode = nl.AddInput("test_mode", ModuleTag::kInterface);
+  for (int b = 0; b < sel_bits; ++b) {
+    dft.session_select.push_back(
+        nl.AddInput("test_sel" + std::to_string(b), ModuleTag::kInterface));
+  }
+
+  BusBuilder bb(nl, ModuleTag::kInterface);
+  for (std::size_t j = 0; j < out_bits.size(); ++j) {
+    // The line this bit shows in session g.
+    std::vector<Bus> per_session;
+    for (int g = 0; g < dft.sessions; ++g) {
+      const std::size_t line = static_cast<std::size_t>(g) * width + j;
+      per_session.push_back(
+          Bus{line < s.line_nets.size() ? s.line_nets[line] : bb.Const0()});
+    }
+    Bus observed;
+    if (per_session.size() == 1) {
+      observed = per_session[0];
+    } else {
+      observed = bb.MuxTree(per_session, dft.session_select,
+                            "dft_obs" + std::to_string(j));
+    }
+    const GateId muxed = nl.AddGate(
+        GateKind::kMux2, ModuleTag::kInterface,
+        {{dft.test_mode, out_bits[j], observed[0]}},
+        "dft_out" + std::to_string(j));
+    out_bits[j] = muxed;
+  }
+
+  // Re-route the System's output map and the netlist observation ports.
+  nl.ClearOutputs();
+  std::size_t cursor = 0;
+  for (std::size_t o = 0; o < s.output_nets.size(); ++o) {
+    for (std::size_t b = 0; b < s.output_nets[o].size(); ++b, ++cursor) {
+      s.output_nets[o][b] = out_bits[cursor];
+      nl.AddOutput(out_bits[cursor], out_names[cursor]);
+    }
+  }
+  dft.mux_gates_added = nl.size() - before;
+  nl.Validate();
+  return dft;
+}
+
+}  // namespace pfd::synth

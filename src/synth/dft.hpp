@@ -1,0 +1,41 @@
+// The design-for-testability alternative the paper argues against.
+//
+// Section 2 / related work ([5] Bhatia & Jha): "the controller output
+// signals are multiplexed with some or all of the datapath primary outputs,
+// thus making them directly observable". This module implements that DFT
+// insertion so the repository can quantify the trade the paper describes:
+// direct observation catches every CFI fault (including all SFR faults) but
+// costs interface muxes, an extra test-mode pin, and is simply not possible
+// when the pair ships as a hard core.
+//
+// Implementation: a test_mode input steers per-bit observation muxes that
+// replace each observed datapath output bit with a controller line. With
+// more control lines than output bits, lines are observed in groups slotted
+// over extra "observation sessions" selected by dedicated select pins.
+#pragma once
+
+#include "synth/system.hpp"
+
+namespace pfd::synth {
+
+struct DftSystem {
+  System system;           // the modified (split-observable) system
+  netlist::GateId test_mode = netlist::kNoGate;
+  std::vector<netlist::GateId> session_select;  // picks the observed group
+  int sessions = 0;        // how many groups of lines exist
+  std::size_t mux_gates_added = 0;  // DFT area overhead, in gates
+
+  // Test plan for the DFT mode: observe the (muxed) outputs every cycle
+  // with test_mode asserted and the given session selected.
+  fault::TestPlan MakeDftPlan(int session) const;
+  // Functional-mode plan (test_mode and selects pinned low): behaves like
+  // the original system's integrated-test plan.
+  fault::TestPlan MakeFunctionalPlan() const;
+};
+
+// Builds a copy of `sys` with observation muxes inserted at the datapath
+// outputs. The original functional behaviour is preserved when test_mode
+// is 0 (enforced by tests).
+DftSystem InsertObservationDft(const System& sys);
+
+}  // namespace pfd::synth

@@ -1,0 +1,268 @@
+#include "synth/elaborate.hpp"
+
+namespace pfd::synth {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+using netlist::Netlist;
+
+GateId BusBuilder::Const0() {
+  if (const0_ == netlist::kNoGate) {
+    const0_ = nl_->AddGate(GateKind::kConst0, tag_, {}, "dp_zero");
+  }
+  return const0_;
+}
+
+GateId BusBuilder::Const1() {
+  if (const1_ == netlist::kNoGate) {
+    const1_ = nl_->AddGate(GateKind::kConst1, tag_, {}, "dp_one");
+  }
+  return const1_;
+}
+
+Bus BusBuilder::ConstBus(const BitVec& v) {
+  Bus bus(v.width());
+  for (int i = 0; i < v.width(); ++i) {
+    bus[i] = v.bit(i) ? Const1() : Const0();
+  }
+  return bus;
+}
+
+Bus BusBuilder::Mux2Bus(GateId sel, const Bus& a, const Bus& b,
+                        const std::string& name) {
+  PFD_CHECK_MSG(a.size() == b.size(), "mux2 bus width mismatch");
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = nl_->AddGate(GateKind::kMux2, tag_, {{sel, a[i], b[i]}},
+                          name + "[" + std::to_string(i) + "]");
+  }
+  return out;
+}
+
+Bus BusBuilder::MuxTree(const std::vector<Bus>& inputs, const Bus& select_bits,
+                        const std::string& name) {
+  PFD_CHECK_MSG(!inputs.empty(), "empty mux tree");
+  // Pad to a power of two by replicating the last input; an out-of-range
+  // select then resolves to the last input (mirrors rtl::Machine).
+  std::size_t padded = 1;
+  while (padded < inputs.size()) padded <<= 1;
+  const std::size_t levels = select_bits.size();
+  PFD_CHECK_MSG((1ULL << levels) >= padded, "not enough select bits");
+
+  std::vector<Bus> layer;
+  layer.reserve(padded);
+  for (std::size_t i = 0; i < padded; ++i) {
+    layer.push_back(inputs[std::min(i, inputs.size() - 1)]);
+  }
+  // Extend to the full 2^levels leaves (extra select bits still participate
+  // so that every select line is a real, faultable control input).
+  while (layer.size() < (1ULL << levels)) {
+    layer.push_back(layer.back());
+  }
+  for (std::size_t level = 0; level < levels; ++level) {
+    std::vector<Bus> next;
+    next.reserve(layer.size() / 2);
+    for (std::size_t i = 0; i < layer.size(); i += 2) {
+      next.push_back(Mux2Bus(select_bits[level], layer[i], layer[i + 1],
+                             name + "_l" + std::to_string(level) + "_" +
+                                 std::to_string(i / 2)));
+    }
+    layer = std::move(next);
+  }
+  PFD_CHECK(layer.size() == 1);
+  return layer[0];
+}
+
+Bus BusBuilder::Add(const Bus& a, const Bus& b, GateId cin, GateId* cout,
+                    const std::string& name) {
+  PFD_CHECK_MSG(a.size() == b.size(), "adder width mismatch");
+  Bus sum(a.size());
+  GateId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string bit = name + std::to_string(i);
+    const GateId axb =
+        nl_->AddGate(GateKind::kXor, tag_, {{a[i], b[i]}}, bit + "_axb");
+    sum[i] = nl_->AddGate(GateKind::kXor, tag_, {{axb, carry}}, bit + "_s");
+    const GateId t1 =
+        nl_->AddGate(GateKind::kAnd, tag_, {{a[i], b[i]}}, bit + "_g");
+    const GateId t2 =
+        nl_->AddGate(GateKind::kAnd, tag_, {{axb, carry}}, bit + "_p");
+    carry = nl_->AddGate(GateKind::kOr, tag_, {{t1, t2}}, bit + "_c");
+  }
+  if (cout != nullptr) *cout = carry;
+  return sum;
+}
+
+Bus BusBuilder::Sub(const Bus& a, const Bus& b, const std::string& name) {
+  Bus nb(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    nb[i] = nl_->AddGate(GateKind::kNot, tag_, {{b[i]}},
+                         name + "_nb" + std::to_string(i));
+  }
+  return Add(a, nb, Const1(), nullptr, name);
+}
+
+GateId BusBuilder::Less(const Bus& a, const Bus& b, const std::string& name) {
+  Bus nb(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    nb[i] = nl_->AddGate(GateKind::kNot, tag_, {{b[i]}},
+                         name + "_nb" + std::to_string(i));
+  }
+  GateId cout = netlist::kNoGate;
+  Add(a, nb, Const1(), &cout, name + "_cmp");
+  // carry-out of a + ~b + 1 is 1 iff a >= b.
+  return nl_->AddGate(GateKind::kNot, tag_, {{cout}}, name + "_lt");
+}
+
+Bus BusBuilder::Mul(const Bus& a, const Bus& b, const std::string& name) {
+  PFD_CHECK_MSG(a.size() == b.size(), "multiplier width mismatch");
+  const std::size_t w = a.size();
+  // Partial product row i: (a << i) & b[i], truncated to w bits.
+  auto partial = [&](std::size_t i) {
+    Bus pp(w);
+    for (std::size_t j = 0; j < w; ++j) {
+      if (j < i) {
+        pp[j] = Const0();
+      } else {
+        pp[j] = nl_->AddGate(GateKind::kAnd, tag_, {{a[j - i], b[i]}},
+                             name + "_pp" + std::to_string(i) + "_" +
+                                 std::to_string(j));
+      }
+    }
+    return pp;
+  };
+  Bus acc = partial(0);
+  for (std::size_t i = 1; i < w; ++i) {
+    acc = Add(acc, partial(i), Const0(), nullptr,
+              name + "_row" + std::to_string(i));
+  }
+  return acc;
+}
+
+Bus BusBuilder::Bitwise(GateKind kind, const Bus& a, const Bus& b,
+                        const std::string& name) {
+  PFD_CHECK_MSG(a.size() == b.size(), "bitwise width mismatch");
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = nl_->AddGate(kind, tag_, {{a[i], b[i]}},
+                          name + std::to_string(i));
+  }
+  return out;
+}
+
+DatapathNets ElaborateDatapath(Netlist& nl, const rtl::Datapath& dp,
+                               std::span<const GateId> reg_load_nets,
+                               const std::vector<Bus>& mux_select_nets) {
+  PFD_CHECK_MSG(dp.finalized(), "datapath not finalized");
+  PFD_CHECK_MSG(reg_load_nets.size() == dp.regs().size(),
+                "one load net per register required");
+  PFD_CHECK_MSG(mux_select_nets.size() == dp.muxes().size(),
+                "one select bus per mux required");
+  for (std::size_t m = 0; m < dp.muxes().size(); ++m) {
+    PFD_CHECK_MSG(static_cast<int>(mux_select_nets[m].size()) ==
+                      dp.muxes()[m].SelectBits(),
+                  "mux select bus arity mismatch: " + dp.muxes()[m].name);
+  }
+
+  BusBuilder bb(nl, ModuleTag::kDatapath);
+  DatapathNets out;
+  out.reg_load_net.assign(reg_load_nets.begin(), reg_load_nets.end());
+
+  // 1. Primary inputs.
+  for (const rtl::InputPort& ip : dp.inputs()) {
+    Bus bus(ip.width);
+    for (int b = 0; b < ip.width; ++b) {
+      bus[b] = nl.AddInput(ip.name + "[" + std::to_string(b) + "]");
+    }
+    out.input_bits.push_back(std::move(bus));
+  }
+
+  // 2. Register DFFs (created before the combinational network so feedback
+  //    references resolve).
+  std::vector<Bus> dff(dp.regs().size());
+  for (std::size_t r = 0; r < dp.regs().size(); ++r) {
+    const rtl::Register& reg = dp.regs()[r];
+    dff[r].resize(reg.width);
+    for (int b = 0; b < reg.width; ++b) {
+      dff[r][b] = nl.AddDff(ModuleTag::kDatapath,
+                            reg.name + "[" + std::to_string(b) + "]");
+    }
+  }
+  out.reg_q = dff;
+
+  // 3. Combinational network in RTL evaluation order.
+  std::vector<Bus> mux_out(dp.muxes().size());
+  std::vector<Bus> fu_out(dp.fus().size());
+  auto source_bus = [&](const rtl::Source& s) -> Bus {
+    switch (s.kind) {
+      case rtl::Source::Kind::kReg: return dff[s.index];
+      case rtl::Source::Kind::kMux: return mux_out[s.index];
+      case rtl::Source::Kind::kFu: return fu_out[s.index];
+      case rtl::Source::Kind::kInput: return out.input_bits[s.index];
+      case rtl::Source::Kind::kConst:
+        return bb.ConstBus(dp.constants()[s.index].value);
+    }
+    PFD_CHECK(false);
+    return {};
+  };
+  for (const rtl::EvalNode& node : dp.EvalOrder()) {
+    if (node.kind == rtl::EvalNode::Kind::kMux) {
+      const rtl::Mux& m = dp.muxes()[node.index];
+      std::vector<Bus> ins;
+      ins.reserve(m.inputs.size());
+      for (const rtl::Source& s : m.inputs) ins.push_back(source_bus(s));
+      mux_out[node.index] =
+          bb.MuxTree(ins, mux_select_nets[node.index], m.name);
+    } else {
+      const rtl::Fu& f = dp.fus()[node.index];
+      const Bus lhs = source_bus(f.lhs);
+      const Bus rhs = source_bus(f.rhs);
+      switch (f.kind) {
+        case rtl::FuKind::kAdd:
+          fu_out[node.index] = bb.Add(lhs, rhs, bb.Const0(), nullptr, f.name);
+          break;
+        case rtl::FuKind::kSub:
+          fu_out[node.index] = bb.Sub(lhs, rhs, f.name);
+          break;
+        case rtl::FuKind::kLess:
+          fu_out[node.index] = {bb.Less(lhs, rhs, f.name)};
+          break;
+        case rtl::FuKind::kMul:
+          fu_out[node.index] = bb.Mul(lhs, rhs, f.name);
+          break;
+        case rtl::FuKind::kAnd:
+          fu_out[node.index] = bb.Bitwise(GateKind::kAnd, lhs, rhs, f.name);
+          break;
+        case rtl::FuKind::kOr:
+          fu_out[node.index] = bb.Bitwise(GateKind::kOr, lhs, rhs, f.name);
+          break;
+        case rtl::FuKind::kXor:
+          fu_out[node.index] = bb.Bitwise(GateKind::kXor, lhs, rhs, f.name);
+          break;
+      }
+    }
+  }
+
+  // 4. Register load structure: D = Mux2(load, Q, data).
+  for (std::size_t r = 0; r < dp.regs().size(); ++r) {
+    const rtl::Register& reg = dp.regs()[r];
+    const Bus data = source_bus(reg.input);
+    for (int b = 0; b < reg.width; ++b) {
+      const GateId d = nl.AddGate(
+          GateKind::kMux2, ModuleTag::kDatapath,
+          {{reg_load_nets[r], dff[r][b], data[b]}},
+          reg.name + "_ld[" + std::to_string(b) + "]");
+      nl.ConnectDff(dff[r][b], d);
+    }
+  }
+
+  // 5. Outputs and FU result nets.
+  for (const rtl::OutputPort& op : dp.outputs()) {
+    out.output_nets.push_back(source_bus(op.source));
+  }
+  out.fu_out = fu_out;
+  return out;
+}
+
+}  // namespace pfd::synth

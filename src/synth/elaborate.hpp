@@ -1,0 +1,81 @@
+// Structural elaboration of the RTL datapath into gates.
+//
+// Implementation choices (mirrored exactly by rtl::Machine so that RTL and
+// gate level are cycle-accurate equivalents — tests/integration enforces
+// this):
+//   * registers: per-bit load mux (Q feedback) in front of a DFF; the
+//     register group is additionally reported for gated-clock power
+//     accounting;
+//   * n-way muxes: balanced Mux2 trees, inputs padded to a power of two by
+//     replicating the last input (so an out-of-range faulty select resolves
+//     to the last input, as in rtl::Machine);
+//   * ADD/SUB/LT: ripple-carry (SUB/LT via two's complement; LT = !carry);
+//   * MUL: truncated array multiplier (result mod 2^w);
+//   * AND/OR/XOR: per-bit gates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "rtl/datapath.hpp"
+
+namespace pfd::synth {
+
+using Bus = std::vector<netlist::GateId>;  // LSB first
+
+struct DatapathNets {
+  std::vector<Bus> input_bits;   // per rtl InputPort
+  std::vector<Bus> reg_q;        // per register: DFF outputs
+  std::vector<Bus> fu_out;       // per functional unit: result nets
+  std::vector<Bus> output_nets;  // per rtl OutputPort
+  // Per register: the load net that gates it (echo of the argument), for
+  // clock-gating registration.
+  std::vector<netlist::GateId> reg_load_net;
+};
+
+// Elaborates `dp` into `nl` (gates tagged kDatapath). `reg_load_nets` gives
+// the controller net driving each register's load; `mux_select_nets` gives
+// each mux's select bit nets (LSB first, arity = Mux::SelectBits()).
+DatapathNets ElaborateDatapath(
+    netlist::Netlist& nl, const rtl::Datapath& dp,
+    std::span<const netlist::GateId> reg_load_nets,
+    const std::vector<Bus>& mux_select_nets);
+
+// --- reusable word-level gate builders (used by tests as well) -------------
+
+class BusBuilder {
+ public:
+  BusBuilder(netlist::Netlist& nl, netlist::ModuleTag tag)
+      : nl_(&nl), tag_(tag) {}
+
+  netlist::GateId Const0();
+  netlist::GateId Const1();
+  Bus ConstBus(const BitVec& v);
+
+  Bus Mux2Bus(netlist::GateId sel, const Bus& a, const Bus& b,
+              const std::string& name);
+  // inputs[i] selected by select value i (see header comment for padding).
+  Bus MuxTree(const std::vector<Bus>& inputs, const Bus& select_bits,
+              const std::string& name);
+
+  // Ripple-carry add; returns sum, sets *cout if non-null.
+  Bus Add(const Bus& a, const Bus& b, netlist::GateId cin,
+          netlist::GateId* cout, const std::string& name);
+  Bus Sub(const Bus& a, const Bus& b, const std::string& name);
+  // 1-bit unsigned a < b.
+  netlist::GateId Less(const Bus& a, const Bus& b, const std::string& name);
+  Bus Mul(const Bus& a, const Bus& b, const std::string& name);
+  Bus Bitwise(netlist::GateKind kind, const Bus& a, const Bus& b,
+              const std::string& name);
+
+ private:
+  netlist::Netlist* nl_;
+  netlist::ModuleTag tag_;
+  netlist::GateId const0_ = netlist::kNoGate;
+  netlist::GateId const1_ = netlist::kNoGate;
+};
+
+}  // namespace pfd::synth

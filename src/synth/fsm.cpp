@@ -1,0 +1,472 @@
+#include "synth/fsm.hpp"
+
+#include <unordered_map>
+
+namespace pfd::synth {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+using netlist::Netlist;
+
+void FsmSpec::Validate() const {
+  PFD_CHECK_MSG(num_states >= 2, "FSM needs >= 2 states");
+  PFD_CHECK_MSG(reset_state >= 0 && reset_state < num_states, "bad reset state");
+  PFD_CHECK_MSG(static_cast<int>(next_state.size()) == num_states,
+                "next_state arity");
+  for (int s : next_state) {
+    PFD_CHECK_MSG(s >= 0 && s < num_states, "next state out of range");
+  }
+  if (branch) {
+    PFD_CHECK_MSG(branch->state >= 0 && branch->state < num_states,
+                  "branch state out of range");
+    PFD_CHECK_MSG(
+        branch->taken_target >= 0 && branch->taken_target < num_states,
+        "branch target out of range");
+  }
+  PFD_CHECK_MSG(static_cast<int>(outputs.size()) == num_states,
+                "outputs arity");
+  for (const auto& row : outputs) {
+    PFD_CHECK_MSG(row.size() == line_names.size(), "output row arity");
+  }
+}
+
+namespace {
+
+// Builds SOP gate networks in the style of a standard-cell FSM synthesis:
+// shared inverters for literals, product terms shared across all outputs
+// (PLA-style term sharing), and wide AND/OR functions decomposed into
+// balanced trees of 2-input cells.
+class LogicBuilder {
+ public:
+  LogicBuilder(Netlist& nl, ModuleTag tag) : nl_(&nl), tag_(tag) {}
+
+  GateId NotOf(GateId g) {
+    auto it = nots_.find(g);
+    if (it != nots_.end()) return it->second;
+    const GateId n = nl_->AddGate(GateKind::kNot, tag_, {{g}},
+                                  "n_" + nl_->Name(g));
+    nots_.emplace(g, n);
+    return n;
+  }
+
+  GateId Const0() {
+    if (const0_ == netlist::kNoGate) {
+      const0_ = nl_->AddGate(GateKind::kConst0, tag_, {}, "zero");
+    }
+    return const0_;
+  }
+  GateId Const1() {
+    if (const1_ == netlist::kNoGate) {
+      const1_ = nl_->AddGate(GateKind::kConst1, tag_, {}, "one");
+    }
+    return const1_;
+  }
+
+  // SOP over literal nets: vars[i] is the net for input variable i. With
+  // share_cubes, identical product terms are pulled from (and added to) a
+  // cross-output cube cache — used for the internal next-state logic.
+  // Output control lines are built with share_cubes=false so that every
+  // line owns its product-term gates (and with them its own fault sites),
+  // as a PLA with per-line output columns would.
+  GateId BuildSop(std::span<const Cube> cubes, std::span<const GateId> vars,
+                  const std::string& name, bool share_cubes) {
+    if (cubes.empty()) return Const0();
+    std::vector<GateId> terms;
+    terms.reserve(cubes.size());
+    for (std::size_t c = 0; c < cubes.size(); ++c) {
+      terms.push_back(BuildCube(cubes[c], vars,
+                                name + "_p" + std::to_string(c), share_cubes));
+    }
+    return Tree(GateKind::kOr, terms, name);
+  }
+
+  // A dedicated, single-driver net for one output line. A multi-cube SOP
+  // ends in a freshly built OR tree, which is inherently private; anything
+  // else (a literal, a constant cell, or a single cube — which may be, or
+  // later become, shared across lines) gets a buffer so the line has its own
+  // stem and its own fault sites.
+  GateId DedicatedLine(std::span<const Cube> cubes,
+                       std::span<const GateId> vars, const std::string& name,
+                       bool share_cubes) {
+    const GateId net = BuildSop(cubes, vars, name, share_cubes);
+    if (cubes.size() >= 2) return net;
+    return nl_->AddGate(GateKind::kBuf, tag_, {{net}}, name);
+  }
+
+ private:
+  // Balanced tree of 2-input gates over the operands.
+  GateId Tree(GateKind kind, std::vector<GateId> ops,
+              const std::string& name) {
+    PFD_CHECK(!ops.empty());
+    int level = 0;
+    while (ops.size() > 1) {
+      std::vector<GateId> next;
+      for (std::size_t i = 0; i + 1 < ops.size(); i += 2) {
+        next.push_back(nl_->AddGate(
+            kind, tag_, {{ops[i], ops[i + 1]}},
+            name + "_t" + std::to_string(level) + "_" + std::to_string(i / 2)));
+      }
+      if (ops.size() % 2 != 0) next.push_back(ops.back());
+      ops = std::move(next);
+      ++level;
+    }
+    return ops[0];
+  }
+
+  GateId BuildCube(const Cube& cube, std::span<const GateId> vars,
+                   const std::string& name, bool share) {
+    if (cube.mask == 0) return Const1();
+    // A cube's function is fully determined by (mask, value) — the variable
+    // set is the same for every SOP in one controller.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(cube.mask) << 32) | cube.value;
+    if (share) {
+      auto it = cube_cache_.find(key);
+      if (it != cube_cache_.end()) return it->second;
+    }
+    std::vector<GateId> lits;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if ((cube.mask >> i) & 1u) {
+        lits.push_back(((cube.value >> i) & 1u) ? vars[i] : NotOf(vars[i]));
+      }
+    }
+    const GateId g = Tree(GateKind::kAnd, lits, name);
+    if (share) cube_cache_.emplace(key, g);
+    return g;
+  }
+
+  Netlist* nl_;
+  ModuleTag tag_;
+  std::unordered_map<GateId, GateId> nots_;
+  std::unordered_map<std::uint64_t, GateId> cube_cache_;
+  GateId const0_ = netlist::kNoGate;
+  GateId const1_ = netlist::kNoGate;
+};
+
+}  // namespace
+
+namespace {
+
+// State codes for the encoded (binary / Gray) styles.
+std::vector<std::uint32_t> StateCodes(const FsmSpec& spec,
+                                      StateEncoding encoding) {
+  std::vector<std::uint32_t> codes(spec.num_states);
+  for (int s = 0; s < spec.num_states; ++s) {
+    const auto u = static_cast<std::uint32_t>(s);
+    codes[s] = encoding == StateEncoding::kGray ? (u ^ (u >> 1)) : u;
+  }
+  return codes;
+}
+
+// One-hot controller: one DFF per state, shift-style next-state logic, OR
+// trees over state bits for the output lines. No two-level minimisation is
+// involved, so next_state_sops/output_sops stay empty.
+SynthesizedFsm SynthesizeOneHot(Netlist& nl, const FsmSpec& spec,
+                                GateId reset_input) {
+  const std::size_t before = nl.size();
+  SynthesizedFsm out;
+  for (int s = 0; s < spec.num_states; ++s) {
+    out.state_bits.push_back(
+        nl.AddDff(ModuleTag::kController, "st" + std::to_string(s)));
+  }
+  const GateId nreset = nl.AddGate(GateKind::kNot, ModuleTag::kController,
+                                   {{reset_input}}, "n_reset");
+  auto or_tree = [&](std::vector<GateId> ops, const std::string& name) {
+    PFD_CHECK(!ops.empty());
+    int level = 0;
+    while (ops.size() > 1) {
+      std::vector<GateId> next;
+      for (std::size_t i = 0; i + 1 < ops.size(); i += 2) {
+        next.push_back(nl.AddGate(GateKind::kOr, ModuleTag::kController,
+                                  {{ops[i], ops[i + 1]}},
+                                  name + "_t" + std::to_string(level) + "_" +
+                                      std::to_string(i / 2)));
+      }
+      if (ops.size() % 2 != 0) next.push_back(ops.back());
+      ops = std::move(next);
+      ++level;
+    }
+    return ops[0];
+  };
+
+  // Status synchronizer for branching controllers.
+  GateId cond = netlist::kNoGate;
+  GateId ncond = netlist::kNoGate;
+  if (spec.branch) {
+    out.cond_sync = nl.AddDff(ModuleTag::kController, "cond_sync");
+    cond = out.cond_sync;
+    ncond = nl.AddGate(GateKind::kNot, ModuleTag::kController, {{cond}},
+                       "n_cond");
+  }
+
+  // Next state: bit s fires when some predecessor state was active (and
+  // reset is low); the reset state additionally fires whenever reset is
+  // high, from any boot state. A branch adds a condition-qualified edge and
+  // qualifies the fall-through edge with the negated condition.
+  for (int s = 0; s < spec.num_states; ++s) {
+    std::vector<GateId> preds;
+    for (int t = 0; t < spec.num_states; ++t) {
+      if (spec.next_state[t] != s) continue;
+      GateId edge = out.state_bits[t];
+      if (spec.branch && spec.branch->state == t &&
+          spec.branch->taken_target != s) {
+        edge = nl.AddGate(GateKind::kAnd, ModuleTag::kController,
+                          {{edge, ncond}},
+                          "ns" + std::to_string(s) + "_fall");
+      }
+      preds.push_back(edge);
+    }
+    if (spec.branch && spec.branch->taken_target == s &&
+        spec.next_state[spec.branch->state] != s) {
+      preds.push_back(nl.AddGate(
+          GateKind::kAnd, ModuleTag::kController,
+          {{out.state_bits[spec.branch->state], cond}},
+          "ns" + std::to_string(s) + "_taken"));
+    }
+    const std::string name = "ns" + std::to_string(s);
+    GateId d;
+    if (preds.empty()) {
+      d = nl.AddGate(GateKind::kConst0, ModuleTag::kController, {},
+                     name + "_none");
+    } else {
+      const GateId fire = or_tree(preds, name + "_pred");
+      d = nl.AddGate(GateKind::kAnd, ModuleTag::kController,
+                     {{nreset, fire}}, name + "_run");
+    }
+    if (s == spec.reset_state) {
+      d = nl.AddGate(GateKind::kOr, ModuleTag::kController,
+                     {{reset_input, d}}, name + "_rst");
+    }
+    nl.ConnectDff(out.state_bits[s], d);
+  }
+
+  // Output lines: OR of the state bits whose specified value is 1 (a
+  // don't-care that survived the fill behaves as 0 here). Every line gets a
+  // dedicated stem.
+  const std::size_t n_lines = spec.line_names.size();
+  out.resolved_outputs.assign(spec.num_states,
+                              std::vector<std::uint8_t>(n_lines, 0));
+  for (std::size_t line = 0; line < n_lines; ++line) {
+    std::vector<GateId> terms;
+    for (int s = 0; s < spec.num_states; ++s) {
+      if (spec.outputs[s][line] == Trit::kOne) {
+        terms.push_back(out.state_bits[s]);
+        out.resolved_outputs[s][line] = 1;
+      }
+    }
+    GateId net;
+    if (terms.empty()) {
+      const GateId zero = nl.AddGate(GateKind::kConst0,
+                                     ModuleTag::kController, {},
+                                     spec.line_names[line] + "_zero");
+      net = nl.AddGate(GateKind::kBuf, ModuleTag::kController, {{zero}},
+                       spec.line_names[line]);
+    } else if (terms.size() == 1) {
+      net = nl.AddGate(GateKind::kBuf, ModuleTag::kController, {{terms[0]}},
+                       spec.line_names[line]);
+    } else {
+      net = or_tree(terms, spec.line_names[line]);
+    }
+    out.line_nets.push_back(net);
+  }
+  out.gates_created = nl.size() - before;
+  return out;
+}
+
+}  // namespace
+
+SynthesizedFsm SynthesizeFsm(Netlist& nl, const FsmSpec& spec,
+                             GateId reset_input, OutputLogicStyle style,
+                             StateEncoding encoding) {
+  spec.Validate();
+  if (encoding == StateEncoding::kOneHot) {
+    return SynthesizeOneHot(nl, spec, reset_input);
+  }
+  const int k = spec.StateBits();
+  const std::vector<std::uint32_t> codes = StateCodes(spec, encoding);
+  const std::size_t before = nl.size();
+
+  SynthesizedFsm out;
+  for (int b = 0; b < k; ++b) {
+    out.state_bits.push_back(
+        nl.AddDff(ModuleTag::kController, "st" + std::to_string(b)));
+  }
+  LogicBuilder lb(nl, ModuleTag::kController);
+
+  // Status synchronizer for branching controllers (its D pin is connected
+  // by the system assembler once the datapath exists).
+  if (spec.branch) {
+    out.cond_sync = nl.AddDff(ModuleTag::kController, "cond_sync");
+  }
+
+  // Base next-state logic over (state bits, reset): input index =
+  // code | reset<<k. A branch, when present, is layered on top as an
+  // explicit take-detect + mux structure, so that the status line can only
+  // influence the machine while the branch state is actually occupied —
+  // with an X status during boot, every other transition stays fully
+  // defined.
+  std::vector<GateId> ns_vars(out.state_bits);
+  ns_vars.push_back(reset_input);
+
+  GateId take = netlist::kNoGate;
+  if (spec.branch) {
+    // take = (state == branch.state) & !reset & cond.
+    std::vector<GateId> lits;
+    for (int b = 0; b < k; ++b) {
+      lits.push_back(((codes[spec.branch->state] >> b) & 1)
+                         ? out.state_bits[b]
+                         : lb.NotOf(out.state_bits[b]));
+    }
+    lits.push_back(lb.NotOf(reset_input));
+    lits.push_back(out.cond_sync);
+    take = nl.AddGate(GateKind::kAnd, ModuleTag::kController, lits,
+                      "branch_take");
+  }
+
+  for (int b = 0; b < k; ++b) {
+    TwoLevelSpec tl;
+    tl.num_inputs = k + 1;
+    tl.table.assign(1ULL << (k + 1), Trit::kX);
+    for (std::uint32_t code = 0; code < (1u << k); ++code) {
+      // reset == 1: go to the reset state from *any* code (X-boot recovery).
+      tl.table[code | (1u << k)] =
+          ((codes[spec.reset_state] >> b) & 1) ? Trit::kOne : Trit::kZero;
+    }
+    for (int s = 0; s < spec.num_states; ++s) {
+      tl.table[codes[s]] =
+          ((codes[spec.next_state[s]] >> b) & 1) ? Trit::kOne : Trit::kZero;
+    }
+    std::vector<Cube> sop = MinimizeSop(tl);
+    GateId d = lb.BuildSop(sop, ns_vars, "ns" + std::to_string(b),
+                           /*share_cubes=*/true);
+    if (spec.branch) {
+      const GateId taken_bit =
+          ((codes[spec.branch->taken_target] >> b) & 1) ? lb.Const1()
+                                                        : lb.Const0();
+      d = nl.AddGate(GateKind::kMux2, ModuleTag::kController,
+                     {{take, d, taken_bit}},
+                     "ns" + std::to_string(b) + "_br");
+    }
+    nl.ConnectDff(out.state_bits[b], d);
+    out.next_state_sops.push_back(std::move(sop));
+  }
+
+  // Moore output logic over the state bits only.
+  const std::size_t n_lines = spec.line_names.size();
+  out.resolved_outputs.assign(spec.num_states,
+                              std::vector<std::uint8_t>(n_lines, 0));
+  for (std::size_t line = 0; line < n_lines; ++line) {
+    TwoLevelSpec tl;
+    tl.num_inputs = k;
+    tl.table.assign(1ULL << k, Trit::kX);
+    for (int s = 0; s < spec.num_states; ++s) {
+      tl.table[codes[s]] = spec.outputs[s][line];
+    }
+    std::vector<Cube> sop;
+    bool share_cubes = style != OutputLogicStyle::kMinimizedSop;
+    if (style != OutputLogicStyle::kStateDecoder) {
+      sop = MinimizeSop(tl);
+    } else {
+      // State-decoder style: one (shared) minterm per ON state, OR-ed by a
+      // per-line tree; don't-cares behave as 0.
+      const std::uint32_t full = (1u << k) - 1u;
+      for (int s = 0; s < spec.num_states; ++s) {
+        if (spec.outputs[s][line] == Trit::kOne) {
+          sop.push_back({full, codes[s]});
+        }
+      }
+    }
+    // Every control line gets its own driver net (own fault sites), even
+    // when its function degenerates to a constant or a single literal.
+    const GateId net = lb.DedicatedLine(sop, out.state_bits,
+                                        spec.line_names[line], share_cubes);
+    out.line_nets.push_back(net);
+    for (int s = 0; s < spec.num_states; ++s) {
+      out.resolved_outputs[s][line] = EvalSop(sop, codes[s]) ? 1 : 0;
+    }
+    out.output_sops.push_back(std::move(sop));
+  }
+
+  out.gates_created = nl.size() - before;
+  return out;
+}
+
+std::vector<ControlLineInfo> MakeControlLines(const rtl::ControlSpec& spec) {
+  std::vector<ControlLineInfo> lines;
+  for (int l = 0; l < spec.num_load_lines; ++l) {
+    lines.push_back({ControlLineInfo::Kind::kLoad,
+                     static_cast<std::uint32_t>(l), 0,
+                     "LD" + std::to_string(l)});
+  }
+  for (int m = 0; m < spec.num_muxes; ++m) {
+    for (int b = 0; b < spec.mux_select_bits[m]; ++b) {
+      std::string name = "MS" + std::to_string(m);
+      if (spec.mux_select_bits[m] > 1) {
+        name += '.';
+        name += std::to_string(b);
+      }
+      lines.push_back({ControlLineInfo::Kind::kSelectBit,
+                       static_cast<std::uint32_t>(m), b, std::move(name)});
+    }
+  }
+  return lines;
+}
+
+FsmSpec BuildFsmSpec(const rtl::ControlSpec& spec, DontCareFill fill) {
+  spec.Validate();
+  const std::vector<ControlLineInfo> lines = MakeControlLines(spec);
+
+  FsmSpec fsm;
+  fsm.num_states = spec.NumStates();
+  fsm.reset_state = spec.ResetState();
+  fsm.next_state.resize(fsm.num_states);
+  for (int s = 0; s < fsm.num_states; ++s) {
+    fsm.next_state[s] = s == spec.HoldState() ? s : s + 1;
+  }
+  for (const ControlLineInfo& li : lines) fsm.line_names.push_back(li.name);
+
+  fsm.outputs.assign(fsm.num_states,
+                     std::vector<Trit>(lines.size(), Trit::kX));
+  for (int s = 0; s < fsm.num_states; ++s) {
+    const rtl::StateControl& sc = spec.states[s];
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      const ControlLineInfo& info = lines[li];
+      if (info.kind == ControlLineInfo::Kind::kLoad) {
+        fsm.outputs[s][li] =
+            sc.load[info.index] ? Trit::kOne : Trit::kZero;
+      } else if (sc.select[info.index].has_value()) {
+        fsm.outputs[s][li] =
+            ((*sc.select[info.index] >> info.bit) & 1u) ? Trit::kOne
+                                                        : Trit::kZero;
+      } else if (fill == DontCareFill::kZero) {
+        fsm.outputs[s][li] = Trit::kZero;
+      }  // else: don't care, stays kX for the minimiser
+    }
+  }
+  return fsm;
+}
+
+ResolvedControl ResolveControl(const rtl::ControlSpec& spec,
+                               const std::vector<ControlLineInfo>& lines,
+                               const SynthesizedFsm& fsm) {
+  ResolvedControl rc;
+  const int n_states = spec.NumStates();
+  rc.line_loads.assign(n_states,
+                       std::vector<std::uint8_t>(spec.num_load_lines, 0));
+  rc.selects.assign(n_states, std::vector<std::uint32_t>(spec.num_muxes, 0));
+  for (int s = 0; s < n_states; ++s) {
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      const ControlLineInfo& info = lines[li];
+      const std::uint8_t v = fsm.resolved_outputs[s][li];
+      if (info.kind == ControlLineInfo::Kind::kLoad) {
+        rc.line_loads[s][info.index] = v;
+      } else if (v != 0) {
+        rc.selects[s][info.index] |= 1u << info.bit;
+      }
+    }
+  }
+  return rc;
+}
+
+}  // namespace pfd::synth

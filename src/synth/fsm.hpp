@@ -1,0 +1,151 @@
+// FSM controller synthesis.
+//
+// The controller is a Moore machine with a synchronous reset input and a
+// binary state encoding, implemented as two-level (SOP) next-state and
+// output logic over the state register — the classic "finite state machine
+// implementation" style the paper's COMPASS flow produced.
+//
+// Construction guarantees the paper's observation that "the synthesis method
+// used for the finite state machine controllers did not allow redundancy"
+// to be *checkable*: the pipeline verifies CFR-freedom by simulation rather
+// than assuming it.
+//
+// Reset recovery: with reset asserted, every SOP next-state bit is either
+// forced through a reset literal or killed by a NOT(reset) literal, so the
+// machine reaches the RESET state even from the all-X boot state — this is
+// what makes the first cycle of every test pattern well-defined.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/logic.hpp"
+#include "netlist/netlist.hpp"
+#include "rtl/control.hpp"
+#include "synth/qm.hpp"
+
+namespace pfd::synth {
+
+// A conditional transition: in `state`, the machine goes to `taken_target`
+// when the (synchronized) status input is 1, and to next_state[state]
+// otherwise. Used for while-loop controllers (HOLD -> CS1 while the
+// datapath's comparison holds).
+struct FsmBranch {
+  int state = 0;
+  int taken_target = 0;
+};
+
+// Moore FSM with a linear-plus-reset structure (sufficient for the paper's
+// RESET -> CS1..CSn -> HOLD schedules), optionally with one conditional
+// transition driven by a datapath status line.
+struct FsmSpec {
+  int num_states = 0;
+  int reset_state = 0;
+  std::vector<int> next_state;             // applied when reset == 0
+  std::optional<FsmBranch> branch;
+  std::vector<std::vector<Trit>> outputs;  // [state][line]; kX = don't care
+  std::vector<std::string> line_names;
+
+  int StateBits() const {
+    int bits = 1;
+    while ((1 << bits) < num_states) ++bits;
+    return bits;
+  }
+  void Validate() const;
+};
+
+// Gate-level implementation style of the Moore output logic.
+//   kMinimizedSop — per-line Quine-McCluskey SOP with dedicated product
+//     terms (two-level PLA columns, no term sharing);
+//   kSharedSop   — per-line QM SOP with identical product terms shared
+//     across lines (PLA with a shared AND plane);
+//   kStateDecoder — a shared state decoder (one minterm cell per reachable
+//     state) with per-line OR trees, the ROM-style controller many 1990s
+//     flows emitted.
+// All see the same (possibly don't-care-filled) state table; they differ in
+// how faults map onto control-line behaviour.
+enum class OutputLogicStyle : std::uint8_t {
+  kMinimizedSop,
+  kSharedSop,
+  kStateDecoder,
+};
+
+// State-register encoding.
+//   kBinary — minimal-width binary counter codes;
+//   kGray   — binary-reflected Gray codes (one state bit flips per linear
+//             transition; a low-power assignment in the spirit of the
+//             Benini/DeMicheli work the paper cites);
+//   kOneHot — one flip-flop per state with directly wired shift-style
+//             next-state logic (QM-free; the common 1990s FPGA/ASIC
+//             controller style).
+enum class StateEncoding : std::uint8_t { kBinary, kGray, kOneHot };
+
+struct SynthesizedFsm {
+  std::vector<netlist::GateId> state_bits;  // DFF outputs, LSB first
+  std::vector<netlist::GateId> line_nets;   // one net per output line
+  // Branching controllers only: the synchronizer DFF for the datapath
+  // status line. Its D pin is left for the system assembler to connect
+  // (netlist::Netlist::ConnectDff) once the datapath exists.
+  netlist::GateId cond_sync = netlist::kNoGate;
+  // Moore outputs of the *synthesized* machine: don't-cares filled by the
+  // minimiser. resolved_outputs[state][line] in {0,1}.
+  std::vector<std::vector<std::uint8_t>> resolved_outputs;
+  // SOP covers, for reporting/inspection.
+  std::vector<std::vector<Cube>> output_sops;      // per line
+  std::vector<std::vector<Cube>> next_state_sops;  // per state bit
+  std::size_t gates_created = 0;
+};
+
+// Synthesizes the FSM into `nl` (all gates tagged kController), driven by
+// the given reset primary input.
+SynthesizedFsm SynthesizeFsm(
+    netlist::Netlist& nl, const FsmSpec& spec, netlist::GateId reset_input,
+    OutputLogicStyle style = OutputLogicStyle::kMinimizedSop,
+    StateEncoding encoding = StateEncoding::kBinary);
+
+// --- control-line bookkeeping ---------------------------------------------
+
+// What each controller output line drives in the datapath.
+struct ControlLineInfo {
+  enum class Kind : std::uint8_t { kLoad, kSelectBit };
+  Kind kind = Kind::kLoad;
+  std::uint32_t index = 0;  // load line index, or mux index
+  int bit = 0;              // select bit (kSelectBit only)
+  std::string name;         // "LD3", "MS2.1", ...
+};
+
+// Line order: all load lines (paper's REGx lines), then every mux's select
+// bits (paper's MSx lines), LSB first.
+std::vector<ControlLineInfo> MakeControlLines(const rtl::ControlSpec& spec);
+
+// How the controller's don't-care select outputs are filled before logic
+// synthesis. The paper's controllers output concrete values in don't-care
+// steps ("depending on how the controller was synthesized, the select lines
+// will be either 0s or 1s") — kZero models that: unspecified selects become
+// hard 0s in the state table and only unused state codes remain don't-care
+// for the minimiser. kMinimizer hands the full don't-care set to QM instead
+// (maximal logic sharing, but control lines lose the per-state structure
+// that SFR select faults flip).
+enum class DontCareFill : std::uint8_t { kZero, kMinimizer };
+
+// Maps the behavioural ControlSpec onto an FsmSpec over those lines
+// (RESET = state 0 ... HOLD = last state, HOLD self-loops).
+FsmSpec BuildFsmSpec(const rtl::ControlSpec& spec,
+                     DontCareFill fill = DontCareFill::kZero);
+
+// Resolved per-state control words (per load *line*, not per register) of a
+// synthesized controller, ready to drive rtl::Machine via
+// LoadLineMap::ExpandLoads.
+struct ResolvedControl {
+  // [state] -> (line loads, mux selects)
+  std::vector<std::vector<std::uint8_t>> line_loads;
+  std::vector<std::vector<std::uint32_t>> selects;
+};
+
+ResolvedControl ResolveControl(const rtl::ControlSpec& spec,
+                               const std::vector<ControlLineInfo>& lines,
+                               const SynthesizedFsm& fsm);
+
+}  // namespace pfd::synth

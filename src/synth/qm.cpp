@@ -1,0 +1,160 @@
+#include "synth/qm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "base/error.hpp"
+
+namespace pfd::synth {
+
+void TwoLevelSpec::Validate() const {
+  PFD_CHECK_MSG(num_inputs >= 0 && num_inputs <= 20,
+                "two-level spec input count out of range");
+  PFD_CHECK_MSG(table.size() == (1ULL << num_inputs),
+                "two-level spec table size mismatch");
+}
+
+bool EvalSop(std::span<const Cube> cubes, std::uint32_t input) {
+  for (const Cube& c : cubes) {
+    if (c.Covers(input)) return true;
+  }
+  return false;
+}
+
+std::size_t LiteralCount(std::span<const Cube> cubes) {
+  std::size_t n = 0;
+  for (const Cube& c : cubes) n += std::popcount(c.mask);
+  return n;
+}
+
+namespace {
+
+struct CubeLess {
+  bool operator()(const Cube& a, const Cube& b) const {
+    return a.mask != b.mask ? a.mask < b.mask : a.value < b.value;
+  }
+};
+
+// All prime implicants of ON u DC, by iterated pairwise merging.
+std::vector<Cube> PrimeImplicants(const std::vector<std::uint32_t>& care,
+                                  std::uint32_t full_mask) {
+  std::set<Cube, CubeLess> current;
+  for (std::uint32_t m : care) current.insert({full_mask, m});
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<Cube, CubeLess> next;
+    std::set<Cube, CubeLess> merged;
+    std::vector<Cube> cur(current.begin(), current.end());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      for (std::size_t j = i + 1; j < cur.size(); ++j) {
+        if (cur[i].mask != cur[j].mask) continue;
+        const std::uint32_t diff = cur[i].value ^ cur[j].value;
+        if (std::popcount(diff) != 1) continue;
+        next.insert({cur[i].mask & ~diff, cur[i].value & ~diff});
+        merged.insert(cur[i]);
+        merged.insert(cur[j]);
+      }
+    }
+    for (const Cube& c : cur) {
+      if (!merged.count(c)) primes.push_back(c);
+    }
+    current = std::move(next);
+  }
+  return primes;
+}
+
+}  // namespace
+
+std::vector<Cube> MinimizeSop(const TwoLevelSpec& spec) {
+  spec.Validate();
+  const std::uint32_t n = 1u << spec.num_inputs;
+  const std::uint32_t full_mask = n - 1;
+
+  std::vector<std::uint32_t> on, care;
+  for (std::uint32_t m = 0; m < n; ++m) {
+    if (spec.table[m] == Trit::kOne) {
+      on.push_back(m);
+      care.push_back(m);
+    } else if (spec.table[m] == Trit::kX) {
+      care.push_back(m);
+    }
+  }
+  if (on.empty()) return {};
+  if (care.size() == n) return {Cube{0, 0}};  // tautology (with DC fill)
+
+  std::vector<Cube> primes = PrimeImplicants(care, full_mask);
+  // Deterministic order: fewer literals first (bigger cubes preferred),
+  // then lexicographic.
+  std::sort(primes.begin(), primes.end(), [](const Cube& a, const Cube& b) {
+    const int pa = std::popcount(a.mask);
+    const int pb = std::popcount(b.mask);
+    if (pa != pb) return pa < pb;
+    if (a.mask != b.mask) return a.mask < b.mask;
+    return a.value < b.value;
+  });
+
+  // Cover the ON-set: essential primes, then greedy by uncovered count.
+  std::vector<Cube> cover;
+  std::vector<bool> covered(on.size(), false);
+
+  // Essential primes: an ON minterm covered by exactly one prime.
+  std::vector<int> only_prime(on.size(), -1);
+  for (std::size_t m = 0; m < on.size(); ++m) {
+    int found = -1;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (primes[p].Covers(on[m])) {
+        if (found >= 0) {
+          found = -2;
+          break;
+        }
+        found = static_cast<int>(p);
+      }
+    }
+    only_prime[m] = found;
+  }
+  std::vector<bool> picked(primes.size(), false);
+  for (std::size_t m = 0; m < on.size(); ++m) {
+    if (only_prime[m] >= 0 && !picked[only_prime[m]]) {
+      picked[only_prime[m]] = true;
+      cover.push_back(primes[only_prime[m]]);
+    }
+  }
+  auto mark_covered = [&] {
+    for (std::size_t m = 0; m < on.size(); ++m) {
+      if (!covered[m] && EvalSop(cover, on[m])) covered[m] = true;
+    }
+  };
+  mark_covered();
+
+  for (;;) {
+    std::size_t uncovered = 0;
+    for (bool c : covered) {
+      if (!c) ++uncovered;
+    }
+    if (uncovered == 0) break;
+    // Greedy: prime covering the most uncovered ON minterms (ties resolved
+    // by the deterministic sort order above).
+    std::size_t best = primes.size();
+    std::size_t best_count = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (picked[p]) continue;
+      std::size_t count = 0;
+      for (std::size_t m = 0; m < on.size(); ++m) {
+        if (!covered[m] && primes[p].Covers(on[m])) ++count;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best = p;
+      }
+    }
+    PFD_CHECK_MSG(best < primes.size(), "QM cover failed to progress");
+    picked[best] = true;
+    cover.push_back(primes[best]);
+    mark_covered();
+  }
+  return cover;
+}
+
+}  // namespace pfd::synth

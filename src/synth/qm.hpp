@@ -1,0 +1,52 @@
+// Two-level logic minimisation (Quine–McCluskey with a greedy/essential
+// prime cover).
+//
+// The FSM controller's next-state and output logic is specified as truth
+// tables with don't-cares: unused state codes, and mux select lines in
+// states where the mux is inactive (Section 3.1). The minimiser fills those
+// don't-cares however it likes for minimum literal count — deliberately NOT
+// power-aware, reproducing the paper's setup ("we purposely did not" fill
+// don't-cares to optimise power).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/logic.hpp"
+
+namespace pfd::synth {
+
+// A product term over `num_inputs` variables. For each bit i set in `mask`,
+// the input must equal bit i of `value` (value is a subset of mask); bits
+// outside the mask are free.
+struct Cube {
+  std::uint32_t mask = 0;
+  std::uint32_t value = 0;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+  bool Covers(std::uint32_t minterm) const {
+    return (minterm & mask) == value;
+  }
+};
+
+// Completely-specified-with-DC single-output function.
+struct TwoLevelSpec {
+  int num_inputs = 0;
+  std::vector<Trit> table;  // size 1 << num_inputs; kX = don't care
+
+  void Validate() const;
+};
+
+// Minimum-ish SOP cover of the ON-set (primes may use the DC-set).
+// Deterministic: same spec -> same cover. An empty result means constant 0;
+// a single all-free cube means constant 1.
+std::vector<Cube> MinimizeSop(const TwoLevelSpec& spec);
+
+// Evaluates an SOP (OR of cubes) on one input assignment.
+bool EvalSop(std::span<const Cube> cubes, std::uint32_t input);
+
+// Total literal count (cost metric used in tests/benches).
+std::size_t LiteralCount(std::span<const Cube> cubes);
+
+}  // namespace pfd::synth

@@ -1,0 +1,173 @@
+#include "synth/system.hpp"
+
+namespace pfd::synth {
+
+using netlist::GateId;
+using netlist::ModuleTag;
+
+int System::StateAtCycle(int cycle) const {
+  if (cycle <= 0) return -1;  // boot cycle: state unknown
+  const int hold = control_spec.HoldState();
+  return std::min(cycle - 1, hold);
+}
+
+fault::TestPlan System::MakeTestPlan() const {
+  fault::TestPlan plan;
+  plan.reset = reset;
+  for (const Bus& bus : operand_bits) plan.operand_bits.push_back(bus);
+  plan.cycles_per_pattern = cycles_per_pattern;
+  plan.strobe_cycles = hold_cycles;
+  for (const Bus& bus : output_nets) {
+    plan.observe.insert(plan.observe.end(), bus.begin(), bus.end());
+  }
+  return plan;
+}
+
+fault::TestPlan System::MakeEveryCyclePlan() const {
+  fault::TestPlan plan = MakeTestPlan();
+  plan.strobe_cycles.clear();
+  for (int c = 1; c < cycles_per_pattern; ++c) {
+    plan.strobe_cycles.push_back(c);
+  }
+  return plan;
+}
+
+fault::TestPlan System::MakeControllerPlan() const {
+  fault::TestPlan plan;
+  plan.reset = reset;
+  for (const Bus& bus : operand_bits) plan.operand_bits.push_back(bus);
+  plan.cycles_per_pattern = cycles_per_pattern;
+  for (int c = 0; c < cycles_per_pattern; ++c) {
+    plan.strobe_cycles.push_back(c);
+  }
+  plan.observe = line_nets;
+  return plan;
+}
+
+rtl::ControlWord System::ControlWordForState(int state) const {
+  rtl::ControlWord cw;
+  cw.load = load_map.ExpandLoads(resolved.line_loads[state],
+                                 datapath.regs().size());
+  cw.select = resolved.selects[state];
+  return cw;
+}
+
+System BuildSystem(std::string name, const rtl::Datapath& dp,
+                   const rtl::ControlSpec& spec,
+                   const rtl::LoadLineMap& load_map,
+                   const SynthOptions& options,
+                   const std::optional<SystemLoop>& loop) {
+  spec.Validate();
+  PFD_CHECK_MSG(load_map.NumLines() == spec.num_load_lines,
+                "load map / control spec mismatch");
+  PFD_CHECK_MSG(static_cast<int>(dp.muxes().size()) == spec.num_muxes,
+                "datapath / control spec mux count mismatch");
+  for (int m = 0; m < spec.num_muxes; ++m) {
+    PFD_CHECK_MSG(spec.mux_select_bits[m] == dp.muxes()[m].SelectBits(),
+                  "select width mismatch for mux " + std::to_string(m));
+  }
+
+  System sys;
+  sys.name = std::move(name);
+  sys.options = options;
+  sys.datapath = dp;
+  sys.control_spec = spec;
+  sys.load_map = load_map;
+
+  // Reset is an interface input: not part of the controller fault universe
+  // (a fault on the reset pad is not a controller-internal fault).
+  sys.reset = sys.nl.AddInput("reset", ModuleTag::kInterface);
+
+  // Controller.
+  FsmSpec fsm_spec = BuildFsmSpec(spec, options.fill);
+  if (loop) {
+    PFD_CHECK_MSG(loop->cond_fu < dp.fus().size(), "bad loop condition FU");
+    // While the (registered) condition holds, HOLD branches back into the
+    // first computation state.
+    fsm_spec.branch = FsmBranch{spec.HoldState(), 1};
+  }
+  const SynthesizedFsm fsm = SynthesizeFsm(sys.nl, fsm_spec, sys.reset,
+                                           options.style, options.encoding);
+  sys.cond_sync = fsm.cond_sync;
+  sys.has_feedback = loop.has_value();
+  sys.lines = MakeControlLines(spec);
+  sys.line_nets = fsm.line_nets;
+  sys.state_bits = fsm.state_bits;
+  sys.resolved = ResolveControl(spec, sys.lines, fsm);
+
+  // Interface map: per-register load nets and per-mux select buses.
+  std::vector<GateId> reg_load(dp.regs().size(), netlist::kNoGate);
+  std::vector<Bus> mux_sel(dp.muxes().size());
+  for (std::size_t li = 0; li < sys.lines.size(); ++li) {
+    const ControlLineInfo& info = sys.lines[li];
+    if (info.kind == ControlLineInfo::Kind::kLoad) {
+      for (std::uint32_t r : load_map.regs_of_line[info.index]) {
+        reg_load[r] = fsm.line_nets[li];
+      }
+    } else {
+      Bus& sel = mux_sel[info.index];
+      if (static_cast<int>(sel.size()) <= info.bit) {
+        sel.resize(info.bit + 1, netlist::kNoGate);
+      }
+      sel[info.bit] = fsm.line_nets[li];
+    }
+  }
+  for (std::size_t r = 0; r < reg_load.size(); ++r) {
+    PFD_CHECK_MSG(reg_load[r] != netlist::kNoGate,
+                  "register not covered by any load line: " +
+                      dp.regs()[r].name);
+  }
+
+  // Datapath.
+  const DatapathNets nets =
+      ElaborateDatapath(sys.nl, dp, reg_load, mux_sel);
+  if (loop) {
+    // Close the feedback: the controller's synchronizer samples the
+    // comparator's LSB each cycle.
+    PFD_CHECK_MSG(fsm.cond_sync != netlist::kNoGate,
+                  "branching FSM missing its synchronizer");
+    sys.nl.ConnectDff(fsm.cond_sync, nets.fu_out[loop->cond_fu][0]);
+  }
+  sys.operand_bits = nets.input_bits;
+  sys.output_nets = nets.output_nets;
+  for (std::size_t o = 0; o < dp.outputs().size(); ++o) {
+    const Bus& bus = nets.output_nets[o];
+    for (std::size_t b = 0; b < bus.size(); ++b) {
+      sys.nl.AddOutput(bus[b],
+                       dp.outputs()[o].name + "[" + std::to_string(b) + "]");
+    }
+  }
+
+  // Gated clocks: one group per load line, covering all bits of all
+  // registers that line drives.
+  for (int l = 0; l < load_map.NumLines(); ++l) {
+    std::vector<GateId> dffs;
+    for (std::uint32_t r : load_map.regs_of_line[l]) {
+      dffs.insert(dffs.end(), nets.reg_q[r].begin(), nets.reg_q[r].end());
+    }
+    // Find the net of this load line.
+    for (std::size_t li = 0; li < sys.lines.size(); ++li) {
+      if (sys.lines[li].kind == ControlLineInfo::Kind::kLoad &&
+          sys.lines[li].index == static_cast<std::uint32_t>(l)) {
+        sys.clock_gates.emplace_back(fsm.line_nets[li], std::move(dffs));
+        break;
+      }
+    }
+  }
+
+  // Schedule geometry: boot + one cycle per state + one extra HOLD cycle.
+  // While-loop systems get room for extra iterations (one pass through
+  // CS1..HOLD per iteration) and are strobed at the very end of the budget.
+  sys.cycles_per_pattern = spec.NumStates() + 2;
+  if (loop) {
+    sys.loop_extra_cycles =
+        loop->test_iterations * (spec.NumStates() - 1);
+    sys.cycles_per_pattern += sys.loop_extra_cycles;
+  }
+  sys.hold_cycles = {sys.cycles_per_pattern - 2, sys.cycles_per_pattern - 1};
+
+  sys.nl.Validate();
+  return sys;
+}
+
+}  // namespace pfd::synth

@@ -1,0 +1,105 @@
+// Full-system assembly: synthesized FSM controller + elaborated datapath,
+// stitched at the control-line interface, in one netlist.
+//
+// This is the unit under test of the whole reproduction: an integrated,
+// inseparable controller-datapath pair (Figure 1 of the paper). The System
+// also carries everything downstream passes need: the behavioural control
+// spec (for don't-care and lifespan analysis), the resolved control words of
+// the synthesized controller, the test-plan geometry (schedule length,
+// strobe cycles), and the clock-gating groups for power accounting.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_sim.hpp"
+#include "netlist/netlist.hpp"
+#include "rtl/control.hpp"
+#include "rtl/datapath.hpp"
+#include "synth/elaborate.hpp"
+#include "synth/fsm.hpp"
+
+namespace pfd::synth {
+
+struct SynthOptions {
+  DontCareFill fill = DontCareFill::kZero;
+  OutputLogicStyle style = OutputLogicStyle::kSharedSop;
+  StateEncoding encoding = StateEncoding::kBinary;
+};
+
+struct System {
+  std::string name;
+  netlist::Netlist nl;
+  netlist::GateId reset = netlist::kNoGate;
+  SynthOptions options;  // how the controller was synthesized
+
+  // RTL view (owned copies; analysis passes replay traces on these).
+  rtl::Datapath datapath;
+  rtl::ControlSpec control_spec;
+  rtl::LoadLineMap load_map;
+
+  // Interface: controller output lines in MakeControlLines order.
+  std::vector<ControlLineInfo> lines;
+  std::vector<netlist::GateId> line_nets;
+  std::vector<netlist::GateId> state_bits;
+  ResolvedControl resolved;  // don't-cares filled by the synthesizer
+
+  // Gate-level port map.
+  std::vector<Bus> operand_bits;  // per rtl input port
+  std::vector<Bus> output_nets;   // per rtl output port
+
+  // Gated-clock groups: (load line net, DFFs it gates).
+  std::vector<std::pair<netlist::GateId, std::vector<netlist::GateId>>>
+      clock_gates;
+
+  // While-loop systems: the controller branches from HOLD back to CS1 on a
+  // datapath status line. Their control traces are data-dependent, so the
+  // classification pipeline must not replay a single trace symbolically.
+  bool has_feedback = false;
+  netlist::GateId cond_sync = netlist::kNoGate;  // status synchronizer DFF
+  // Extra pattern cycles granted so the integrated test exercises repeated
+  // iterations (0 for linear systems).
+  int loop_extra_cycles = 0;
+
+  // Schedule geometry: cycle 0 boots (reset asserted), cycle 1 is the RESET
+  // state, states advance linearly, and the machine sits in HOLD for the
+  // last two cycles.
+  int cycles_per_pattern = 0;
+  std::vector<int> hold_cycles;  // within-pattern cycles spent in HOLD
+
+  // The control state occupied during a given within-pattern cycle, or -1
+  // for the boot cycle.
+  int StateAtCycle(int cycle) const;
+
+  // Integrated-test plan: observe the datapath outputs during HOLD (the
+  // default observation policy; see DESIGN.md).
+  fault::TestPlan MakeTestPlan() const;
+  // Same but strobing every post-boot cycle (kEveryCycle policy).
+  fault::TestPlan MakeEveryCyclePlan() const;
+  // Controller-observation plan for the CFR check: strobe the control lines
+  // on every cycle.
+  fault::TestPlan MakeControllerPlan() const;
+
+  // Expands per-line loads into the per-register ControlWord for a state.
+  rtl::ControlWord ControlWordForState(int state) const;
+};
+
+// How a while-loop system's controller branches: from HOLD back to the
+// first computation state while the datapath FU `cond_fu`'s LSB is 1.
+struct SystemLoop {
+  std::uint32_t cond_fu = 0;
+  // Iterations the test schedule leaves room for beyond the first pass.
+  int test_iterations = 2;
+};
+
+// Builds the complete system. The ControlSpec's load lines must match
+// `load_map` (one spec load line per merged line).
+System BuildSystem(std::string name, const rtl::Datapath& dp,
+                   const rtl::ControlSpec& spec,
+                   const rtl::LoadLineMap& load_map,
+                   const SynthOptions& options = {},
+                   const std::optional<SystemLoop>& loop = std::nullopt);
+
+}  // namespace pfd::synth

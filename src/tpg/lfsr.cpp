@@ -1,0 +1,19 @@
+#include "tpg/lfsr.hpp"
+
+#include "base/error.hpp"
+
+namespace pfd::tpg {
+
+Word3 PackBit(std::span<const std::uint32_t> values, int bit) {
+  PFD_CHECK_MSG(!values.empty(), "PackBit needs at least one value");
+  Word3 w{0, ~0ULL};
+  for (int lane = 0; lane < 64; ++lane) {
+    const std::uint32_t v =
+        values[static_cast<std::size_t>(lane) < values.size() ? lane
+                                                              : values.size() - 1];
+    if (((v >> bit) & 1u) != 0) w.val |= 1ULL << lane;
+  }
+  return w;
+}
+
+}  // namespace pfd::tpg

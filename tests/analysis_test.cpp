@@ -1,0 +1,321 @@
+// Tests for the analysis module: control-trace extraction, Section-3 effect
+// classification (Figure 5 / Figure 6 scenarios), and the symbolic and
+// gate-level SFR deciders.
+#include <gtest/gtest.h>
+
+#include "analysis/classify.hpp"
+#include "analysis/effects.hpp"
+#include "analysis/trace.hpp"
+#include "designs/designs.hpp"
+
+namespace pfd::analysis {
+namespace {
+
+using designs::BenchmarkDesign;
+
+class AnalysisOnDiffeq : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new BenchmarkDesign(designs::BuildDiffeq(4));
+    golden_ = new ControlTrace(
+        ExtractControlTrace(design_->system, nullptr, 3));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete golden_;
+    design_ = nullptr;
+    golden_ = nullptr;
+  }
+  static BenchmarkDesign* design_;
+  static ControlTrace* golden_;
+};
+
+BenchmarkDesign* AnalysisOnDiffeq::design_ = nullptr;
+ControlTrace* AnalysisOnDiffeq::golden_ = nullptr;
+
+TEST_F(AnalysisOnDiffeq, GoldenTraceMatchesResolvedControl) {
+  const synth::System& sys = design_->system;
+  // From cycle 1 on, the control lines must equal the synthesized
+  // controller's resolved Moore outputs for the state occupied that cycle.
+  for (int p = 0; p < golden_->num_patterns; ++p) {
+    for (int c = 0; c < sys.cycles_per_pattern; ++c) {
+      if (p == 0 && c == 0) continue;  // boot cycle: X state
+      const int state =
+          c == 0 ? sys.control_spec.HoldState() : sys.StateAtCycle(c);
+      for (std::size_t li = 0; li < sys.lines.size(); ++li) {
+        const synth::ControlLineInfo& info = sys.lines[li];
+        std::uint8_t expect;
+        if (info.kind == synth::ControlLineInfo::Kind::kLoad) {
+          expect = sys.resolved.line_loads[state][info.index];
+        } else {
+          expect = (sys.resolved.selects[state][info.index] >> info.bit) & 1;
+        }
+        EXPECT_EQ(golden_->At(p, c, li), expect ? Trit::kOne : Trit::kZero)
+            << "pattern " << p << " cycle " << c << " line " << info.name;
+      }
+    }
+  }
+}
+
+TEST_F(AnalysisOnDiffeq, GoldenTraceIsPeriodicAndKnown) {
+  EXPECT_TRUE(PatternsEqual(*golden_, 1, 2));
+  EXPECT_FALSE(PatternHasUnknown(*golden_, 1));
+  EXPECT_FALSE(PatternHasUnknown(*golden_, 0));  // boot cycle is exempted
+}
+
+TEST_F(AnalysisOnDiffeq, StuckLineFaultYieldsExpectedEffects) {
+  const synth::System& sys = design_->system;
+  // Stuck-at-1 on control line 0 (a load line): every cycle where the
+  // golden line is 0 shows an extra-load effect.
+  const fault::StuckFault f{sys.line_nets[0], 0, Trit::kOne};
+  const ControlTrace faulty = ExtractControlTrace(sys, &f, 3);
+  const auto effects = DiffPattern(sys, *golden_, faulty, 1);
+  ASSERT_FALSE(effects.empty());
+  for (const ControlLineEffect& e : effects) {
+    EXPECT_EQ(e.line, 0u);
+    EXPECT_EQ(e.golden, Trit::kZero);
+    EXPECT_EQ(e.faulty, Trit::kOne);
+  }
+  std::size_t golden_zero_cycles = 0;
+  for (int c = 0; c < sys.cycles_per_pattern; ++c) {
+    if (golden_->At(1, c, 0) == Trit::kZero) ++golden_zero_cycles;
+  }
+  EXPECT_EQ(effects.size(), golden_zero_cycles);
+}
+
+TEST_F(AnalysisOnDiffeq, DescribeEffectUsesPaperVocabulary) {
+  const synth::System& sys = design_->system;
+  ControlLineEffect extra{2, 1, 0, Trit::kZero, Trit::kOne};
+  const std::string d1 = DescribeEffect(sys, extra);
+  EXPECT_NE(d1.find("extra load in CS1"), std::string::npos);
+  ControlLineEffect skipped{2, 1, 0, Trit::kOne, Trit::kZero};
+  EXPECT_NE(DescribeEffect(sys, skipped).find("skipped load"),
+            std::string::npos);
+  std::uint32_t sel_line = 0;
+  while (sys.lines[sel_line].kind !=
+         synth::ControlLineInfo::Kind::kSelectBit) {
+    ++sel_line;
+  }
+  ControlLineEffect sel{3, 2, sel_line, Trit::kZero, Trit::kOne};
+  const std::string d3 = DescribeEffect(sys, sel);
+  EXPECT_NE(d3.find("changes in CS2"), std::string::npos);
+  EXPECT_NE(d3.find(sys.lines[sel_line].name), std::string::npos);
+}
+
+// --- Figure 5: lifespans and load-line effects -------------------------------
+
+TEST_F(AnalysisOnDiffeq, LifespanTableFollowsBinding) {
+  const LifespanTable table(design_->hls);
+  for (const hls::Variable& v : design_->hls.variables) {
+    if (v.last_use == hls::Variable::kPersist || v.last_use > v.def_step) {
+      EXPECT_TRUE(table.LiveAcross(v.reg, v.def_step))
+          << v.name << " should be live right after def";
+    }
+    if (v.last_use != hls::Variable::kPersist) {
+      const hls::Variable* occ = table.OccupantAcross(v.reg, v.last_use);
+      if (occ != nullptr) {
+        EXPECT_NE(occ->name, v.name)
+            << v.name << " still occupies its register after last use";
+      }
+    }
+  }
+}
+
+TEST_F(AnalysisOnDiffeq, EffectCategoriesFollowFigure5) {
+  const synth::System& sys = design_->system;
+  const LifespanTable lifespans(design_->hls);
+
+  int live_state = -1, idle_state = -1;
+  std::uint32_t live_line = 0, idle_line = 0;
+  for (std::uint32_t li = 0; li < sys.lines.size(); ++li) {
+    if (sys.lines[li].kind != synth::ControlLineInfo::Kind::kLoad) continue;
+    for (int s = 1; s <= design_->hls.num_steps; ++s) {
+      if (sys.resolved.line_loads[s][sys.lines[li].index] != 0) continue;
+      bool live = false;
+      for (std::uint32_t r : sys.load_map.regs_of_line[sys.lines[li].index]) {
+        if (lifespans.LiveAcross(r, s)) live = true;
+      }
+      if (live && live_state < 0) {
+        live_state = s;
+        live_line = li;
+      }
+      if (!live && idle_state < 0) {
+        idle_state = s;
+        idle_line = li;
+      }
+    }
+  }
+  ASSERT_GE(live_state, 0);
+  ASSERT_GE(idle_state, 0);
+
+  const auto live_effect = ClassifyEffect(
+      sys, lifespans,
+      {live_state + 1, live_state, live_line, Trit::kZero, Trit::kOne});
+  EXPECT_EQ(live_effect.category, EffectCategory::kExtraLoadInLifespan);
+  EXPECT_EQ(VerdictOf(live_effect.category),
+            LocalVerdict::kNeedsValueAnalysis);
+
+  const auto idle_effect = ClassifyEffect(
+      sys, lifespans,
+      {idle_state + 1, idle_state, idle_line, Trit::kZero, Trit::kOne});
+  EXPECT_EQ(idle_effect.category, EffectCategory::kExtraLoadIdle);
+  EXPECT_EQ(VerdictOf(idle_effect.category), LocalVerdict::kSfr);
+
+  const auto skipped = ClassifyEffect(sys, lifespans,
+                                      {2, 1, live_line, Trit::kOne,
+                                       Trit::kZero});
+  EXPECT_EQ(skipped.category, EffectCategory::kSkippedLoad);
+  EXPECT_EQ(VerdictOf(skipped.category), LocalVerdict::kSfi);
+}
+
+TEST_F(AnalysisOnDiffeq, SelectEffectsSplitByCareness) {
+  const synth::System& sys = design_->system;
+  const LifespanTable lifespans(design_->hls);
+  for (std::uint32_t li = 0; li < sys.lines.size(); ++li) {
+    const synth::ControlLineInfo& info = sys.lines[li];
+    if (info.kind != synth::ControlLineInfo::Kind::kSelectBit) continue;
+    int care = -1, dc = -1;
+    for (int s = 0; s < sys.control_spec.NumStates(); ++s) {
+      if (sys.control_spec.states[s].select[info.index].has_value()) {
+        if (care < 0) care = s;
+      } else if (dc < 0) {
+        dc = s;
+      }
+    }
+    ASSERT_GE(care, 0);
+    ASSERT_GE(dc, 0);
+    const auto care_eff = ClassifyEffect(
+        sys, lifespans, {care + 1, care, li, Trit::kZero, Trit::kOne});
+    EXPECT_EQ(care_eff.category, EffectCategory::kSelectCare);
+    const auto dc_eff = ClassifyEffect(
+        sys, lifespans, {dc + 1, dc, li, Trit::kZero, Trit::kOne});
+    EXPECT_EQ(dc_eff.category, EffectCategory::kSelectDontCare);
+    break;
+  }
+}
+
+TEST(CombineVerdicts, FollowsSection33) {
+  auto make = [](EffectCategory c) {
+    ClassifiedEffect ce;
+    ce.category = c;
+    return ce;
+  };
+  EXPECT_EQ(CombineVerdicts({make(EffectCategory::kSelectDontCare),
+                             make(EffectCategory::kExtraLoadIdle)}),
+            LocalVerdict::kSfr);
+  EXPECT_EQ(CombineVerdicts({make(EffectCategory::kSelectDontCare),
+                             make(EffectCategory::kSkippedLoad)}),
+            LocalVerdict::kSfi);
+  EXPECT_EQ(CombineVerdicts({make(EffectCategory::kExtraLoadInLifespan)}),
+            LocalVerdict::kNeedsValueAnalysis);
+  EXPECT_EQ(CombineVerdicts({}), LocalVerdict::kSfr);
+}
+
+// --- Figure 6 / symbolic decider ---------------------------------------------
+
+// Builds a faulty trace by setting one line in one state of the golden trace
+// (applied in every pattern, including the pattern-boundary HOLD cycle when
+// the state is HOLD).
+ControlTrace PerturbTrace(const synth::System& sys, const ControlTrace& g,
+                          std::uint32_t line, int state, Trit value) {
+  ControlTrace t = g;
+  for (int p = 0; p < t.num_patterns; ++p) {
+    for (int c = 0; c < t.cycles_per_pattern; ++c) {
+      int s = sys.StateAtCycle(c);
+      if (c == 0 && p > 0) s = sys.control_spec.HoldState();
+      if (s == state) {
+        t.lines[p * t.cycles_per_pattern + c][line] = value;
+      }
+    }
+  }
+  return t;
+}
+
+TEST_F(AnalysisOnDiffeq, SymbolicCheckAcceptsDontCareSelectFlip) {
+  // Figure 6 fault f1: a select change in a step where the mux's result is
+  // not written anywhere must be functionally invisible.
+  const synth::System& sys = design_->system;
+  std::uint32_t li = 0;
+  while (sys.lines[li].kind != synth::ControlLineInfo::Kind::kSelectBit) ++li;
+  const int hold = sys.control_spec.HoldState();
+  const synth::ControlLineInfo& info = sys.lines[li];
+  const bool golden_bit =
+      ((sys.resolved.selects[hold][info.index] >> info.bit) & 1) != 0;
+  const ControlTrace faulty = PerturbTrace(
+      sys, *golden_, li, hold, golden_bit ? Trit::kZero : Trit::kOne);
+  const SymbolicCheck check = SymbolicSfrCheck(sys, *golden_, faulty);
+  EXPECT_EQ(check.outcome, SymbolicCheck::Outcome::kEquivalent)
+      << check.detail;
+}
+
+TEST_F(AnalysisOnDiffeq, SymbolicCheckRejectsSkippedLoad) {
+  const synth::System& sys = design_->system;
+  std::uint32_t li = 0;
+  int state = -1;
+  for (int s = 1; s <= design_->hls.num_steps && state < 0; ++s) {
+    for (std::uint32_t l = 0; l < sys.lines.size(); ++l) {
+      if (sys.lines[l].kind == synth::ControlLineInfo::Kind::kLoad &&
+          sys.resolved.line_loads[s][sys.lines[l].index] != 0) {
+        li = l;
+        state = s;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(state, 0);
+  const ControlTrace faulty =
+      PerturbTrace(sys, *golden_, li, state, Trit::kZero);
+  const SymbolicCheck check = SymbolicSfrCheck(sys, *golden_, faulty);
+  EXPECT_EQ(check.outcome, SymbolicCheck::Outcome::kDifferent);
+  EXPECT_FALSE(check.detail.empty());
+}
+
+TEST_F(AnalysisOnDiffeq, SymbolicCheckEscalatesOnUnknownLines) {
+  const synth::System& sys = design_->system;
+  ControlTrace faulty = *golden_;
+  faulty.lines[sys.cycles_per_pattern + 2][0] = Trit::kX;
+  // Keep periodicity intact by applying the same X to patterns 1 and 2.
+  faulty.lines[2 * sys.cycles_per_pattern + 2][0] = Trit::kX;
+  const SymbolicCheck check = SymbolicSfrCheck(sys, *golden_, faulty);
+  EXPECT_EQ(check.outcome, SymbolicCheck::Outcome::kInconclusive);
+}
+
+TEST_F(AnalysisOnDiffeq, SymbolicCheckEscalatesOnAperiodicTrace) {
+  const synth::System& sys = design_->system;
+  ControlTrace faulty = *golden_;
+  const std::size_t row = 2 * sys.cycles_per_pattern + 1;  // pattern 2 only
+  faulty.lines[row][0] =
+      faulty.lines[row][0] == Trit::kOne ? Trit::kZero : Trit::kOne;
+  const SymbolicCheck check = SymbolicSfrCheck(sys, *golden_, faulty);
+  EXPECT_EQ(check.outcome, SymbolicCheck::Outcome::kInconclusive);
+}
+
+// --- gate-level decider -------------------------------------------------------
+
+TEST_F(AnalysisOnDiffeq, GateCheckFindsDifferenceForStuckLoadLine) {
+  const synth::System& sys = design_->system;
+  std::uint32_t li = 0;
+  while (sys.lines[li].kind != synth::ControlLineInfo::Kind::kLoad) ++li;
+  const fault::StuckFault f{sys.line_nets[li], 0, Trit::kZero};
+  GateCheckConfig cfg;
+  cfg.max_exhaustive_bits = 8;  // force sampling mode for speed
+  cfg.sample_patterns = 512;
+  const GateCheck check = GateLevelSfrCheck(sys, f, cfg);
+  EXPECT_TRUE(check.difference_found);
+  EXPECT_FALSE(check.exhaustive);
+}
+
+TEST(GateCheck, ExhaustiveModeEnumeratesSmallInputSpaces) {
+  const designs::BenchmarkDesign d = designs::BuildPoly(2);
+  const synth::System& sys = d.system;
+  std::uint32_t li = 0;
+  while (sys.lines[li].kind != synth::ControlLineInfo::Kind::kLoad) ++li;
+  const fault::StuckFault f{sys.line_nets[li], 0, Trit::kZero};
+  const analysis::GateCheck check =
+      GateLevelSfrCheck(sys, f, GateCheckConfig{});
+  EXPECT_TRUE(check.exhaustive);
+  EXPECT_TRUE(check.difference_found);
+}
+
+}  // namespace
+}  // namespace pfd::analysis

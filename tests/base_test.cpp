@@ -1,0 +1,222 @@
+// Unit tests for the base module: ternary logic words, bit vectors,
+// statistics, RNG determinism, and table formatting.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "base/bitvec.hpp"
+#include "base/error.hpp"
+#include "base/logic.hpp"
+#include "base/rng.hpp"
+#include "base/stats.hpp"
+#include "base/text_table.hpp"
+
+namespace pfd {
+namespace {
+
+constexpr std::array<Trit, 3> kAllTrits = {Trit::kZero, Trit::kOne, Trit::kX};
+
+// Reference ternary semantics (Kleene strong logic restricted to {0,1,X}).
+Trit RefAnd(Trit a, Trit b) {
+  if (a == Trit::kZero || b == Trit::kZero) return Trit::kZero;
+  if (a == Trit::kOne && b == Trit::kOne) return Trit::kOne;
+  return Trit::kX;
+}
+Trit RefOr(Trit a, Trit b) {
+  if (a == Trit::kOne || b == Trit::kOne) return Trit::kOne;
+  if (a == Trit::kZero && b == Trit::kZero) return Trit::kZero;
+  return Trit::kX;
+}
+Trit RefNot(Trit a) {
+  if (a == Trit::kX) return Trit::kX;
+  return a == Trit::kZero ? Trit::kOne : Trit::kZero;
+}
+Trit RefXor(Trit a, Trit b) {
+  if (a == Trit::kX || b == Trit::kX) return Trit::kX;
+  return a == b ? Trit::kZero : Trit::kOne;
+}
+Trit RefMux(Trit s, Trit a, Trit b) {
+  if (s == Trit::kZero) return a;
+  if (s == Trit::kOne) return b;
+  // X select: known only when both data agree.
+  if (a == b && a != Trit::kX) return a;
+  return Trit::kX;
+}
+
+TEST(Logic, ExhaustiveBinaryOpsMatchReference) {
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      EXPECT_EQ(And3(a, b), RefAnd(a, b)) << TritChar(a) << TritChar(b);
+      EXPECT_EQ(Or3(a, b), RefOr(a, b)) << TritChar(a) << TritChar(b);
+      EXPECT_EQ(Xor3(a, b), RefXor(a, b)) << TritChar(a) << TritChar(b);
+    }
+    EXPECT_EQ(Not3(a), RefNot(a));
+  }
+}
+
+TEST(Logic, ExhaustiveMuxMatchesReference) {
+  for (Trit s : kAllTrits) {
+    for (Trit a : kAllTrits) {
+      for (Trit b : kAllTrits) {
+        EXPECT_EQ(Mux3(s, a, b), RefMux(s, a, b))
+            << TritChar(s) << TritChar(a) << TritChar(b);
+      }
+    }
+  }
+}
+
+TEST(Logic, WordOpsPreserveCanonicalForm) {
+  // Every pairwise combination of canonical words must stay canonical.
+  const Word3 samples[] = {kAllZero, kAllOne, kAllX,
+                           Word3{0x00FF00FF00FF00FFULL, 0x0FFF0FFF0FFF0FFFULL},
+                           Word3{0, 0xF0F0F0F0F0F0F0F0ULL}};
+  for (const Word3& a : samples) {
+    ASSERT_TRUE(IsCanonical(a));
+    EXPECT_TRUE(IsCanonical(Not3(a)));
+    for (const Word3& b : samples) {
+      EXPECT_TRUE(IsCanonical(And3(a, b)));
+      EXPECT_TRUE(IsCanonical(Or3(a, b)));
+      EXPECT_TRUE(IsCanonical(Xor3(a, b)));
+      for (const Word3& s : samples) {
+        EXPECT_TRUE(IsCanonical(Mux3(s, a, b)));
+      }
+    }
+  }
+}
+
+TEST(Logic, LaneAccessorsRoundTrip) {
+  Word3 w = kAllX;
+  w = SetLane(w, 3, Trit::kOne);
+  w = SetLane(w, 17, Trit::kZero);
+  EXPECT_EQ(GetLane(w, 3), Trit::kOne);
+  EXPECT_EQ(GetLane(w, 17), Trit::kZero);
+  EXPECT_EQ(GetLane(w, 4), Trit::kX);
+  w = SetLane(w, 3, Trit::kX);
+  EXPECT_EQ(GetLane(w, 3), Trit::kX);
+  EXPECT_TRUE(IsCanonical(w));
+}
+
+TEST(Logic, WordOpsAgreeWithScalarOpsLanewise) {
+  // Build words with all 9 trit combinations spread across lanes and check
+  // the packed ops equal the scalar ops per lane.
+  Word3 wa = kAllX;
+  Word3 wb = kAllX;
+  int lane = 0;
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      wa = SetLane(wa, lane, a);
+      wb = SetLane(wb, lane, b);
+      ++lane;
+    }
+  }
+  const Word3 and_w = And3(wa, wb);
+  const Word3 or_w = Or3(wa, wb);
+  const Word3 xor_w = Xor3(wa, wb);
+  lane = 0;
+  for (Trit a : kAllTrits) {
+    for (Trit b : kAllTrits) {
+      EXPECT_EQ(GetLane(and_w, lane), And3(a, b));
+      EXPECT_EQ(GetLane(or_w, lane), Or3(a, b));
+      EXPECT_EQ(GetLane(xor_w, lane), Xor3(a, b));
+      ++lane;
+    }
+  }
+}
+
+TEST(BitVec, ArithmeticWrapsToWidth) {
+  const BitVec a(4, 13);
+  const BitVec b(4, 7);
+  EXPECT_EQ(Add(a, b).value(), (13u + 7u) & 0xF);
+  EXPECT_EQ(Sub(a, b).value(), (13u - 7u) & 0xF);
+  EXPECT_EQ(Mul(a, b).value(), (13u * 7u) & 0xF);
+  EXPECT_EQ(LessThan(a, b).value(), 0u);
+  EXPECT_EQ(LessThan(b, a).value(), 1u);
+  EXPECT_EQ(LessThan(a, b).width(), 1);
+}
+
+TEST(BitVec, ExhaustiveFourBitAgainstReference) {
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    for (std::uint32_t b = 0; b < 16; ++b) {
+      const BitVec va(4, a), vb(4, b);
+      EXPECT_EQ(Add(va, vb).value(), (a + b) & 0xF);
+      EXPECT_EQ(Sub(va, vb).value(), (a - b) & 0xF);
+      EXPECT_EQ(Mul(va, vb).value(), (a * b) & 0xF);
+      EXPECT_EQ(And(va, vb).value(), a & b);
+      EXPECT_EQ(Or(va, vb).value(), a | b);
+      EXPECT_EQ(Xor(va, vb).value(), a ^ b);
+      EXPECT_EQ(Not(va).value(), ~a & 0xF);
+      EXPECT_EQ(LessThan(va, vb).value(), a < b ? 1u : 0u);
+    }
+  }
+}
+
+TEST(BitVec, ConstructionMasksValue) {
+  EXPECT_EQ(BitVec(4, 0x1F).value(), 0xFu);
+  EXPECT_EQ(BitVec(1, 3).value(), 1u);
+  EXPECT_EQ(BitVec(4, 5).ToString(), "4'b0101");
+}
+
+TEST(BitVec, WidthMismatchThrows) {
+  EXPECT_THROW(Add(BitVec(4, 1), BitVec(3, 1)), Error);
+  EXPECT_THROW(BitVec(0, 0), Error);
+  EXPECT_THROW(BitVec(17, 0), Error);
+}
+
+TEST(Stats, RunningStatMatchesClosedForm) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_GT(s.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(Stats, PercentChange) {
+  EXPECT_DOUBLE_EQ(PercentChange(100.0, 121.0), 21.0);
+  EXPECT_DOUBLE_EQ(PercentChange(200.0, 150.0), -25.0);
+  EXPECT_THROW(PercentChange(0.0, 1.0), Error);
+}
+
+TEST(Rng, DeterministicAndWellSpread) {
+  Rng a(42), b(42), c(43);
+  std::set<std::uint64_t> seen;
+  bool differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) differs = true;
+    seen.insert(va);
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions expected in 1000 draws
+}
+
+TEST(Rng, BitsStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Bits(4), 16u);
+    EXPECT_LT(r.Below(10), 10u);
+  }
+}
+
+TEST(TextTable, AlignsAndEscapes) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "2,3"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"2,3\""), std::string::npos);
+  EXPECT_THROW(t.AddRow({"only-one"}), Error);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::FormatPercent(2.5), "+2.50%");
+  EXPECT_EQ(TextTable::FormatPercent(-3.017), "-3.02%");
+}
+
+}  // namespace
+}  // namespace pfd

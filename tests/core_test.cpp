@@ -1,0 +1,169 @@
+// Tests for the core support modules added on top of the pipeline: report
+// rendering, the process-variation analysis, and the observation-policy
+// knob.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/variation.hpp"
+#include "designs/designs.hpp"
+
+namespace pfd::core {
+namespace {
+
+// --- variation math (closed-form sanity) --------------------------------------
+
+TEST(Variation, ZeroSigmaIsAStepFunction) {
+  const VariationConfig cfg{0.0, 5.0};
+  EXPECT_DOUBLE_EQ(DetectionProbability(0.10, cfg), 1.0);   // +10% > 5%
+  EXPECT_DOUBLE_EQ(DetectionProbability(0.02, cfg), 0.0);   // +2% < 5%
+  EXPECT_DOUBLE_EQ(DetectionProbability(-0.10, cfg), 1.0);  // -10%
+  EXPECT_DOUBLE_EQ(DetectionProbability(0.0, cfg), 0.0);    // fault-free
+}
+
+TEST(Variation, FaultOnTheBandEdgeIsAFairCoin) {
+  // delta exactly at the threshold: half the dies fall outside.
+  const VariationConfig cfg{0.01, 5.0};
+  EXPECT_NEAR(DetectionProbability(0.05 / 1.0, cfg), 0.5, 0.02);
+}
+
+TEST(Variation, MonotoneInDelta) {
+  const VariationConfig cfg{0.02, 5.0};
+  double prev = DetectionProbability(0.0, cfg);
+  for (double delta = 0.01; delta < 0.30; delta += 0.01) {
+    const double p = DetectionProbability(delta, cfg);
+    EXPECT_GE(p + 1e-12, prev);
+    prev = p;
+  }
+}
+
+TEST(Variation, FalseAlarmGrowsWithSigma) {
+  double prev = 0.0;
+  for (double sigma : {0.005, 0.01, 0.02, 0.04}) {
+    const double p = DetectionProbability(0.0, {sigma, 5.0});
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_LT(prev, 0.25);  // even sigma=4% rarely trips a 5% band
+}
+
+TEST(Variation, MinimalThresholdInvertsTheFalseAlarmCurve) {
+  for (double sigma : {0.01, 0.02}) {
+    const double t = MinimalThresholdForFalseAlarm(sigma, 0.001);
+    EXPECT_LE(DetectionProbability(0.0, {sigma, t}), 0.001 + 1e-6);
+    EXPECT_GT(DetectionProbability(0.0, {sigma, t * 0.9}), 0.001);
+  }
+}
+
+TEST(Variation, RejectsBadInputs) {
+  EXPECT_THROW(DetectionProbability(-1.5, {0.01, 5.0}), Error);
+  EXPECT_THROW(MinimalThresholdForFalseAlarm(0.01, 0.0), Error);
+}
+
+// --- report/grading/variation on a real design --------------------------------
+
+class CoreOnFacet : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new designs::BenchmarkDesign(designs::BuildFacet(4));
+    PipelineConfig cfg;
+    cfg.tpgr_patterns = 400;
+    report_ = new ClassificationReport(
+        ClassifyControllerFaults(design_->system, design_->hls, cfg));
+    GradeConfig gc;
+    graded_ = new PowerGradeReport(
+        GradeSfrFaults(design_->system, *report_, gc));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete report_;
+    delete graded_;
+    design_ = nullptr;
+    report_ = nullptr;
+    graded_ = nullptr;
+  }
+  static designs::BenchmarkDesign* design_;
+  static ClassificationReport* report_;
+  static PowerGradeReport* graded_;
+};
+
+designs::BenchmarkDesign* CoreOnFacet::design_ = nullptr;
+ClassificationReport* CoreOnFacet::report_ = nullptr;
+PowerGradeReport* CoreOnFacet::graded_ = nullptr;
+
+TEST_F(CoreOnFacet, CsvHasOneRowPerFault) {
+  const std::string csv = ClassificationCsv(*report_);
+  const std::size_t rows =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, report_->records.size() + 1);  // + header
+}
+
+TEST_F(CoreOnFacet, TablesMentionEverySfrFault) {
+  const std::string table = ClassificationTable(*report_, /*sfr_only=*/true);
+  for (const FaultRecord& r : report_->records) {
+    if (r.cls == FaultClass::kSfr) {
+      EXPECT_NE(table.find(r.name), std::string::npos) << r.name;
+    }
+  }
+  const std::string grading = GradingTable(*graded_);
+  for (const GradedFault& gf : graded_->faults) {
+    EXPECT_NE(grading.find(gf.record->name), std::string::npos);
+  }
+}
+
+TEST_F(CoreOnFacet, GradingCsvParsesBackConsistently) {
+  const std::string csv = GradingCsv(*graded_);
+  EXPECT_NE(csv.find("power uW"), std::string::npos);
+  const std::size_t rows =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, graded_->faults.size() + 1);
+}
+
+TEST_F(CoreOnFacet, EffectsSummaryNumbersTheEffects) {
+  for (const FaultRecord& r : report_->records) {
+    if (r.effects.size() >= 2) {
+      const std::string s = EffectsSummary(r);
+      EXPECT_NE(s.find("1. "), std::string::npos);
+      EXPECT_NE(s.find("2. "), std::string::npos);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no multi-effect fault in this build";
+}
+
+TEST_F(CoreOnFacet, VariationReportCoversAllSfrFaults) {
+  const VariationReport vr = AnalyzeUnderVariation(*graded_, {0.01, 5.0});
+  EXPECT_EQ(vr.faults.size(), graded_->faults.size());
+  // With tiny sigma, expected coverage approaches the sharp-count fraction.
+  const VariationReport sharp =
+      AnalyzeUnderVariation(*graded_, {1e-6, 5.0});
+  const double sharp_fraction =
+      graded_->faults.empty()
+          ? 0.0
+          : static_cast<double>(graded_->DetectedCount()) /
+                static_cast<double>(graded_->faults.size());
+  EXPECT_NEAR(sharp.ExpectedCoverage(), sharp_fraction, 1e-6);
+}
+
+TEST_F(CoreOnFacet, EveryCyclePolicyOnlyShrinksTheSfrSet) {
+  PipelineConfig cfg;
+  cfg.tpgr_patterns = 400;
+  cfg.observation = ObservationPolicy::kEveryCycle;
+  const ClassificationReport every =
+      ClassifyControllerFaults(design_->system, design_->hls, cfg);
+  ASSERT_EQ(every.records.size(), report_->records.size());
+  EXPECT_LE(every.sfr, report_->sfr);
+  // Set containment: every-cycle SFR faults are also at-hold SFR.
+  for (std::size_t i = 0; i < every.records.size(); ++i) {
+    if (every.records[i].cls == FaultClass::kSfr) {
+      EXPECT_EQ(report_->records[i].cls, FaultClass::kSfr)
+          << report_->records[i].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfd::core

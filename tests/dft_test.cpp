@@ -1,0 +1,158 @@
+// Tests for the DFT observation-mux insertion (the Section-2 alternative).
+#include <gtest/gtest.h>
+
+#include "designs/designs.hpp"
+#include "fault/fault_sim.hpp"
+#include "logicsim/simulator.hpp"
+#include "synth/dft.hpp"
+#include "tpg/lfsr.hpp"
+
+namespace pfd::synth {
+namespace {
+
+class DftOnPoly : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new designs::BenchmarkDesign(designs::BuildPoly(4));
+    dft_ = new DftSystem(InsertObservationDft(design_->system));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete dft_;
+    design_ = nullptr;
+    dft_ = nullptr;
+  }
+  static designs::BenchmarkDesign* design_;
+  static DftSystem* dft_;
+};
+
+designs::BenchmarkDesign* DftOnPoly::design_ = nullptr;
+DftSystem* DftOnPoly::dft_ = nullptr;
+
+TEST_F(DftOnPoly, StructureIsAccounted) {
+  EXPECT_GT(dft_->mux_gates_added, 0u);
+  EXPECT_GE(dft_->sessions, 1);
+  EXPECT_NE(dft_->test_mode, netlist::kNoGate);
+  // Sessions must be able to show every control line.
+  std::size_t out_bits = 0;
+  for (const Bus& bus : dft_->system.output_nets) out_bits += bus.size();
+  EXPECT_GE(static_cast<std::size_t>(dft_->sessions) * out_bits,
+            dft_->system.line_nets.size());
+}
+
+TEST_F(DftOnPoly, FunctionalModePreservesBehaviour) {
+  // With test_mode low, the DFT system's outputs equal the original's for
+  // random patterns.
+  logicsim::Simulator orig(design_->system.nl);
+  logicsim::Simulator modified(dft_->system.nl);
+  modified.SetInputAllLanes(dft_->test_mode, Trit::kZero);
+  for (netlist::GateId g : dft_->session_select) {
+    modified.SetInputAllLanes(g, Trit::kZero);
+  }
+  tpg::Tpgr tpgr(0xD0F7);
+  std::vector<int> widths;
+  for (const Bus& bus : design_->system.operand_bits) {
+    widths.push_back(static_cast<int>(bus.size()));
+  }
+  for (int p = 0; p < 30; ++p) {
+    const auto pattern = tpgr.NextPattern(widths);
+    for (std::size_t op = 0; op < pattern.size(); ++op) {
+      for (std::size_t b = 0; b < widths[op]; ++b) {
+        const Trit t = pattern[op].bit(static_cast<int>(b)) ? Trit::kOne
+                                                            : Trit::kZero;
+        orig.SetInputAllLanes(design_->system.operand_bits[op][b], t);
+        modified.SetInputAllLanes(dft_->system.operand_bits[op][b], t);
+      }
+    }
+    for (int c = 0; c < design_->system.cycles_per_pattern; ++c) {
+      const Trit r = c == 0 ? Trit::kOne : Trit::kZero;
+      orig.SetInputAllLanes(design_->system.reset, r);
+      modified.SetInputAllLanes(dft_->system.reset, r);
+      orig.Step();
+      modified.Step();
+    }
+    for (std::size_t o = 0; o < design_->system.output_nets.size(); ++o) {
+      for (std::size_t b = 0; b < design_->system.output_nets[o].size();
+           ++b) {
+        EXPECT_EQ(orig.ValueLane(design_->system.output_nets[o][b], 0),
+                  modified.ValueLane(dft_->system.output_nets[o][b], 0))
+            << "pattern " << p;
+      }
+    }
+  }
+}
+
+TEST_F(DftOnPoly, TestModeExposesControlLines) {
+  // In test mode, output bit j of session g shows control line g*W+j:
+  // simulate and compare against the controller's resolved outputs.
+  const synth::System& sys = dft_->system;
+  std::size_t out_bits = 0;
+  for (const Bus& bus : sys.output_nets) out_bits += bus.size();
+
+  for (int session = 0; session < dft_->sessions; ++session) {
+    const fault::TestPlan plan = dft_->MakeDftPlan(session);
+    logicsim::Simulator sim(sys.nl);
+    for (const auto& [gate, value] : plan.pinned) {
+      sim.SetInputAllLanes(gate, value);
+    }
+    for (const auto& op : plan.operand_bits) {
+      for (netlist::GateId g : op) sim.SetInputAllLanes(g, Trit::kZero);
+    }
+    // Walk one pattern; from cycle 1 compare the muxed outputs with the
+    // expected control-line values.
+    for (int c = 0; c < plan.cycles_per_pattern; ++c) {
+      sim.SetInputAllLanes(plan.reset, c == 0 ? Trit::kOne : Trit::kZero);
+      sim.Step();
+      if (c == 0) continue;
+      std::size_t j = 0;
+      for (const Bus& bus : sys.output_nets) {
+        for (netlist::GateId out : bus) {
+          const std::size_t line =
+              static_cast<std::size_t>(session) * out_bits + j;
+          if (line < sys.line_nets.size()) {
+            EXPECT_EQ(sim.ValueLane(out, 0),
+                      sim.ValueLane(sys.line_nets[line], 0))
+                << "session " << session << " cycle " << c << " bit " << j;
+          }
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DftOnPoly, DftCatchesFaultsTheIntegratedTestCannot) {
+  // Union of detections over all sessions must cover every fault that the
+  // integrated test leaves behind as SFR (they all reach control lines).
+  const auto all = fault::GenerateFaults(dft_->system.nl,
+                                         netlist::ModuleTag::kController);
+  const auto faults =
+      fault::Collapse(dft_->system.nl, all).representatives;
+  std::vector<bool> caught(faults.size(), false);
+  for (int session = 0; session < dft_->sessions; ++session) {
+    const fault::FaultSimResult r = fault::RunParallelFaultSim(
+        dft_->system.nl, dft_->MakeDftPlan(session), faults, 0xACE1, 48);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (r.status[i] != fault::FaultStatus::kUndetected) caught[i] = true;
+    }
+  }
+  std::size_t caught_count = 0;
+  for (bool c : caught) {
+    if (c) ++caught_count;
+  }
+  // Everything is observable now; at most a handful of faults could need
+  // more patterns, and in practice full coverage is reached.
+  EXPECT_EQ(caught_count, faults.size());
+}
+
+TEST(Dft, PlanValidation) {
+  const designs::BenchmarkDesign d = designs::BuildFacet(4);
+  const DftSystem dft = InsertObservationDft(d.system);
+  EXPECT_THROW(dft.MakeDftPlan(-1), Error);
+  EXPECT_THROW(dft.MakeDftPlan(dft.sessions), Error);
+  const fault::TestPlan functional = dft.MakeFunctionalPlan();
+  EXPECT_FALSE(functional.pinned.empty());
+}
+
+}  // namespace
+}  // namespace pfd::synth

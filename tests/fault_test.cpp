@@ -1,0 +1,314 @@
+// Tests for the stuck-at fault model, equivalence collapsing, and the two
+// fault-simulation engines — including the central cross-engine property:
+// the 64-lane parallel-fault simulator must report exactly the same
+// detections as the straightforward serial engine, on random sequential
+// circuits.
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "logicsim/simulator.hpp"
+
+namespace pfd::fault {
+namespace {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+using netlist::Netlist;
+
+// --- random sequential circuit generator -----------------------------------
+
+struct RandomCircuit {
+  Netlist nl;
+  std::vector<GateId> inputs;
+  std::vector<GateId> outputs;
+};
+
+RandomCircuit MakeRandomCircuit(std::uint64_t seed, int num_inputs,
+                                int num_gates, int num_dffs) {
+  Rng rng(seed);
+  RandomCircuit rc;
+  std::vector<GateId> pool;
+  for (int i = 0; i < num_inputs; ++i) {
+    const GateId g = rc.nl.AddInput("in" + std::to_string(i),
+                                    ModuleTag::kController);
+    rc.inputs.push_back(g);
+    pool.push_back(g);
+  }
+  // DFFs first so combinational gates can read them (feedback closes later).
+  std::vector<GateId> dffs;
+  for (int i = 0; i < num_dffs; ++i) {
+    const GateId d = rc.nl.AddDff(ModuleTag::kController,
+                                  "r" + std::to_string(i));
+    dffs.push_back(d);
+    pool.push_back(d);
+  }
+  const GateKind kinds[] = {GateKind::kAnd,  GateKind::kOr,  GateKind::kNand,
+                            GateKind::kNor,  GateKind::kXor, GateKind::kXnor,
+                            GateKind::kNot,  GateKind::kBuf, GateKind::kMux2};
+  for (int i = 0; i < num_gates; ++i) {
+    const GateKind kind = kinds[rng.Below(std::size(kinds))];
+    const int arity = netlist::ExpectedArity(kind) < 0
+                          ? 2 + static_cast<int>(rng.Below(2))
+                          : netlist::ExpectedArity(kind);
+    std::vector<GateId> fanins;
+    for (int a = 0; a < arity; ++a) {
+      fanins.push_back(pool[rng.Below(pool.size())]);
+    }
+    pool.push_back(rc.nl.AddGate(kind, ModuleTag::kController, fanins,
+                                 "g" + std::to_string(i)));
+  }
+  for (GateId d : dffs) {
+    rc.nl.ConnectDff(d, pool[rng.Below(pool.size())]);
+  }
+  // Observe a handful of random nets.
+  for (int i = 0; i < 4; ++i) {
+    const GateId g = pool[pool.size() - 1 - rng.Below(pool.size() / 2)];
+    rc.outputs.push_back(g);
+    rc.nl.AddOutput(g, "out" + std::to_string(i));
+  }
+  rc.nl.Validate();
+  return rc;
+}
+
+TestPlan PlanFor(const RandomCircuit& rc, int cycles = 4) {
+  TestPlan plan;
+  for (GateId in : rc.inputs) {
+    plan.operand_bits.push_back({in});
+  }
+  plan.cycles_per_pattern = cycles;
+  for (int c = 0; c < cycles; ++c) plan.strobe_cycles.push_back(c);
+  plan.observe = rc.outputs;
+  return plan;
+}
+
+// --- fault list generation ---------------------------------------------------
+
+TEST(FaultList, CountsMatchStructure) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a", ModuleTag::kController);
+  const GateId b = nl.AddInput("b", ModuleTag::kController);
+  nl.AddGate(GateKind::kAnd, ModuleTag::kController, {{a, b}});
+  // AND gate: out + 2 pins, x2 polarities = 6; inputs skipped by default.
+  EXPECT_EQ(GenerateFaults(nl, ModuleTag::kController).size(), 6u);
+  EXPECT_EQ(GenerateFaults(nl, ModuleTag::kController, false).size(), 10u);
+}
+
+TEST(FaultList, ModuleFilterIsRespected) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  nl.AddGate(GateKind::kNot, ModuleTag::kController, {{a}});
+  nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{a}});
+  const auto ctrl = GenerateFaults(nl, ModuleTag::kController);
+  for (const StuckFault& f : ctrl) {
+    EXPECT_EQ(nl.gate(f.gate).module, ModuleTag::kController);
+  }
+  EXPECT_EQ(ctrl.size(), 4u);
+}
+
+TEST(FaultList, ConstCellsGetOppositeFaultOnly) {
+  Netlist nl;
+  nl.AddGate(GateKind::kConst0, ModuleTag::kController, {});
+  nl.AddGate(GateKind::kConst1, ModuleTag::kController, {});
+  const auto faults = GenerateFaults(nl, ModuleTag::kController);
+  ASSERT_EQ(faults.size(), 2u);
+  EXPECT_EQ(faults[0].value, Trit::kOne);
+  EXPECT_EQ(faults[1].value, Trit::kZero);
+}
+
+TEST(FaultName, DescribesSiteAndPolarity) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a", ModuleTag::kController);
+  const GateId g =
+      nl.AddGate(GateKind::kAnd, ModuleTag::kController, {{a, a}}, "myand");
+  EXPECT_EQ(FaultName(nl, {g, 0, Trit::kZero}), "myand/AND.out/SA0");
+  EXPECT_EQ(FaultName(nl, {g, 2, Trit::kOne}), "myand/AND.in1/SA1");
+}
+
+// --- collapsing ---------------------------------------------------------------
+
+TEST(Collapse, AndGateRules) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a", ModuleTag::kController);
+  const GateId b = nl.AddInput("b", ModuleTag::kController);
+  nl.AddGate(GateKind::kAnd, ModuleTag::kController, {{a, b}});
+  const auto all = GenerateFaults(nl, ModuleTag::kController);
+  const CollapsedFaults c = Collapse(nl, all);
+  // 6 faults; in0.SA0 == in1.SA0 == out.SA0 collapse into one class.
+  EXPECT_EQ(c.representatives.size(), 4u);
+}
+
+TEST(Collapse, InverterChainCollapsesThroughStems) {
+  // a -> NOT -> NOT -> observed: single-fanout stems merge with branches and
+  // inverters fold input faults onto outputs, leaving 2 classes.
+  Netlist nl;
+  const GateId a = nl.AddInput("a", ModuleTag::kController);
+  const GateId n1 = nl.AddGate(GateKind::kNot, ModuleTag::kController, {{a}});
+  nl.AddGate(GateKind::kNot, ModuleTag::kController, {{n1}});
+  const auto all = GenerateFaults(nl, ModuleTag::kController);
+  const CollapsedFaults c = Collapse(nl, all);
+  EXPECT_EQ(c.representatives.size(), 2u);
+}
+
+TEST(Collapse, ClassBookkeepingIsConsistent) {
+  const RandomCircuit rc = MakeRandomCircuit(7, 4, 30, 3);
+  const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
+  const CollapsedFaults c = Collapse(rc.nl, all);
+  ASSERT_EQ(c.class_of.size(), all.size());
+  std::size_t total = 0;
+  for (std::uint32_t s : c.class_size) total += s;
+  EXPECT_EQ(total, all.size());
+  for (std::uint32_t cls : c.class_of) {
+    EXPECT_LT(cls, c.representatives.size());
+  }
+}
+
+// Collapsed-equivalent faults must behave identically in simulation.
+TEST(Collapse, EquivalentFaultsAreBehaviourallyEquivalent) {
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const RandomCircuit rc = MakeRandomCircuit(seed, 4, 25, 3);
+    const TestPlan plan = PlanFor(rc);
+    const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
+    const CollapsedFaults c = Collapse(rc.nl, all);
+    const FaultSimResult res =
+        RunParallelFaultSim(rc.nl, plan, all, 0xACE1, 40);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      for (std::size_t j = i + 1; j < all.size(); ++j) {
+        if (c.class_of[i] != c.class_of[j]) continue;
+        EXPECT_EQ(res.status[i], res.status[j])
+            << FaultName(rc.nl, all[i]) << " vs " << FaultName(rc.nl, all[j]);
+      }
+    }
+  }
+}
+
+// --- engines -------------------------------------------------------------------
+
+TEST(FaultSim, DetectsObviousFault) {
+  // A buffer from input to output: any stuck fault on it is detected within
+  // a couple of random patterns.
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId g = nl.AddGate(GateKind::kBuf, ModuleTag::kController, {{a}});
+  nl.AddOutput(g, "o");
+  TestPlan plan;
+  plan.operand_bits = {{a}};
+  plan.cycles_per_pattern = 1;
+  plan.strobe_cycles = {0};
+  plan.observe = {g};
+  const std::vector<StuckFault> faults = {{g, 0, Trit::kZero},
+                                          {g, 0, Trit::kOne}};
+  const FaultSimResult res = RunParallelFaultSim(nl, plan, faults, 1, 16);
+  EXPECT_EQ(res.status[0], FaultStatus::kDetected);
+  EXPECT_EQ(res.status[1], FaultStatus::kDetected);
+  EXPECT_GE(res.first_detect_pattern[0], 0);
+}
+
+TEST(FaultSim, PotentiallyDetectedWhenFaultyStaysX) {
+  // Register with a load-enable mux; stuck-at-0 on the load line means the
+  // DFF never leaves X: the paper's "potentially detected" case.
+  Netlist nl;
+  const GateId load = nl.AddInput("load");
+  const GateId din = nl.AddInput("din");
+  const GateId q = nl.AddDff(ModuleTag::kController, "q");
+  const GateId mux =
+      nl.AddGate(GateKind::kMux2, ModuleTag::kController, {{load, q, din}});
+  nl.ConnectDff(q, mux);
+  nl.AddOutput(q, "o");
+  TestPlan plan;
+  plan.operand_bits = {{load}, {din}};
+  plan.cycles_per_pattern = 2;
+  plan.strobe_cycles = {1};
+  plan.observe = {q};
+  const std::vector<StuckFault> faults = {{mux, 1, Trit::kZero}};  // load SA0
+  const FaultSimResult res = RunParallelFaultSim(nl, plan, faults, 3, 64);
+  EXPECT_EQ(res.status[0], FaultStatus::kPotentiallyDetected);
+}
+
+TEST(FaultSim, UndetectedWhenNotObserved) {
+  // Fault on a gate that drives nothing observed.
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId g1 = nl.AddGate(GateKind::kBuf, ModuleTag::kController, {{a}});
+  const GateId g2 = nl.AddGate(GateKind::kNot, ModuleTag::kController, {{a}});
+  (void)g2;
+  nl.AddOutput(g1, "o");
+  TestPlan plan;
+  plan.operand_bits = {{a}};
+  plan.cycles_per_pattern = 1;
+  plan.strobe_cycles = {0};
+  plan.observe = {g1};
+  const std::vector<StuckFault> faults = {{g2, 0, Trit::kOne}};
+  const FaultSimResult res = RunParallelFaultSim(nl, plan, faults, 9, 32);
+  EXPECT_EQ(res.status[0], FaultStatus::kUndetected);
+}
+
+struct EngineSweepParam {
+  std::uint64_t seed;
+  int inputs;
+  int gates;
+  int dffs;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<EngineSweepParam> {};
+
+TEST_P(EngineEquivalence, SerialAndParallelAgree) {
+  const auto p = GetParam();
+  const RandomCircuit rc = MakeRandomCircuit(p.seed, p.inputs, p.gates, p.dffs);
+  const TestPlan plan = PlanFor(rc);
+  const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
+  const auto faults = Collapse(rc.nl, all).representatives;
+  const FaultSimResult par =
+      RunParallelFaultSim(rc.nl, plan, faults, 0xACE1, 24);
+  const FaultSimResult ser =
+      RunSerialFaultSim(rc.nl, plan, faults, 0xACE1, 24);
+  ASSERT_EQ(par.status.size(), ser.status.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(par.status[i], ser.status[i]) << FaultName(rc.nl, faults[i]);
+    EXPECT_EQ(par.first_detect_pattern[i], ser.first_detect_pattern[i])
+        << FaultName(rc.nl, faults[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCircuits, EngineEquivalence,
+    ::testing::Values(EngineSweepParam{1, 3, 15, 2},
+                      EngineSweepParam{2, 4, 30, 3},
+                      EngineSweepParam{3, 5, 50, 4},
+                      EngineSweepParam{4, 2, 10, 1},
+                      EngineSweepParam{5, 6, 80, 5},
+                      EngineSweepParam{6, 4, 40, 0},
+                      EngineSweepParam{7, 3, 64, 6}),
+    [](const ::testing::TestParamInfo<EngineSweepParam>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(FaultSim, MoreThan63FaultsSpanBatches) {
+  const RandomCircuit rc = MakeRandomCircuit(12345, 5, 80, 4);
+  const TestPlan plan = PlanFor(rc);
+  const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
+  ASSERT_GT(all.size(), 63u);  // forces multiple parallel batches
+  const FaultSimResult par = RunParallelFaultSim(rc.nl, plan, all, 5, 16);
+  const FaultSimResult ser = RunSerialFaultSim(rc.nl, plan, all, 5, 16);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(par.status[i], ser.status[i]) << FaultName(rc.nl, all[i]);
+  }
+}
+
+TEST(FaultSim, InjectFaultMapsPins) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId b = nl.AddInput("b");
+  const GateId g = nl.AddGate(GateKind::kAnd, ModuleTag::kController, {{a, b}});
+  logicsim::Simulator sim(nl);
+  InjectFault(sim, {g, 2, Trit::kOne}, ~0ULL);  // pin 1 (input b) SA1
+  sim.SetInputAllLanes(a, Trit::kOne);
+  sim.SetInputAllLanes(b, Trit::kZero);
+  sim.Step();
+  EXPECT_EQ(sim.ValueLane(g, 0), Trit::kOne);
+}
+
+}  // namespace
+}  // namespace pfd::fault

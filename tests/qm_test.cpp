@@ -1,0 +1,145 @@
+// Tests for the Quine-McCluskey two-level minimiser, including a
+// parameterised random-function property sweep: every cover must match the
+// specified function exactly on the care set.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "synth/qm.hpp"
+
+namespace pfd::synth {
+namespace {
+
+// Checks cover == spec on all care minterms; DC minterms may go either way.
+void ExpectCoverMatches(const TwoLevelSpec& spec,
+                        const std::vector<Cube>& cover) {
+  for (std::uint32_t m = 0; m < (1u << spec.num_inputs); ++m) {
+    if (spec.table[m] == Trit::kX) continue;
+    EXPECT_EQ(EvalSop(cover, m), spec.table[m] == Trit::kOne)
+        << "minterm " << m;
+  }
+}
+
+TEST(Qm, ConstantFunctions) {
+  TwoLevelSpec spec;
+  spec.num_inputs = 3;
+  spec.table.assign(8, Trit::kZero);
+  EXPECT_TRUE(MinimizeSop(spec).empty());
+
+  spec.table.assign(8, Trit::kOne);
+  const auto cover = MinimizeSop(spec);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].mask, 0u);  // tautology cube
+}
+
+TEST(Qm, DontCaresAllowTautology) {
+  TwoLevelSpec spec;
+  spec.num_inputs = 2;
+  spec.table = {Trit::kOne, Trit::kX, Trit::kX, Trit::kOne};
+  const auto cover = MinimizeSop(spec);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].mask, 0u);
+}
+
+TEST(Qm, ClassicTextbookExample) {
+  // f = sum m(0,1,2,5,6,7) over 3 vars: minimal SOP has 3 two-literal terms
+  // or equivalent; cover must be correct and smaller than the minterm list.
+  TwoLevelSpec spec;
+  spec.num_inputs = 3;
+  spec.table.assign(8, Trit::kZero);
+  for (int m : {0, 1, 2, 5, 6, 7}) spec.table[m] = Trit::kOne;
+  const auto cover = MinimizeSop(spec);
+  ExpectCoverMatches(spec, cover);
+  EXPECT_LE(cover.size(), 4u);
+  EXPECT_LE(LiteralCount(cover), 8u);
+}
+
+TEST(Qm, XorNeedsAllMinterms) {
+  TwoLevelSpec spec;
+  spec.num_inputs = 2;
+  spec.table = {Trit::kZero, Trit::kOne, Trit::kOne, Trit::kZero};
+  const auto cover = MinimizeSop(spec);
+  ExpectCoverMatches(spec, cover);
+  EXPECT_EQ(cover.size(), 2u);  // XOR has no 2-level reduction
+  EXPECT_EQ(LiteralCount(cover), 4u);
+}
+
+TEST(Qm, SingleMintermWithDcNeighborsShrinks) {
+  TwoLevelSpec spec;
+  spec.num_inputs = 4;
+  spec.table.assign(16, Trit::kZero);
+  spec.table[5] = Trit::kOne;
+  spec.table[7] = Trit::kX;
+  spec.table[13] = Trit::kX;
+  const auto cover = MinimizeSop(spec);
+  ExpectCoverMatches(spec, cover);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_LT(std::popcount(cover[0].mask), 4);  // merged with a DC neighbour
+}
+
+TEST(Qm, DeterministicOutput) {
+  TwoLevelSpec spec;
+  spec.num_inputs = 4;
+  spec.table.assign(16, Trit::kZero);
+  for (int m : {1, 3, 7, 9, 11, 15}) spec.table[m] = Trit::kOne;
+  spec.table[5] = Trit::kX;
+  EXPECT_EQ(MinimizeSop(spec), MinimizeSop(spec));
+}
+
+TEST(Qm, RejectsMalformedSpecs) {
+  TwoLevelSpec spec;
+  spec.num_inputs = 3;
+  spec.table.assign(4, Trit::kZero);  // wrong size
+  EXPECT_THROW(MinimizeSop(spec), pfd::Error);
+}
+
+// ---- property sweep: random functions with don't-cares -------------------
+
+struct QmSweepParam {
+  int num_inputs;
+  double dc_fraction;
+};
+
+class QmRandomSweep : public ::testing::TestWithParam<QmSweepParam> {};
+
+TEST_P(QmRandomSweep, CoverAlwaysMatchesCareSet) {
+  const auto [n, dc_fraction] = GetParam();
+  Rng rng(0xFACADE + n * 1000 +
+          static_cast<std::uint64_t>(dc_fraction * 100));
+  for (int trial = 0; trial < 60; ++trial) {
+    TwoLevelSpec spec;
+    spec.num_inputs = n;
+    spec.table.resize(1u << n);
+    std::size_t minterms = 0;
+    for (auto& t : spec.table) {
+      if (rng.Chance(dc_fraction)) {
+        t = Trit::kX;
+      } else if (rng.Chance(0.5)) {
+        t = Trit::kOne;
+        ++minterms;
+      } else {
+        t = Trit::kZero;
+      }
+    }
+    const auto cover = MinimizeSop(spec);
+    ExpectCoverMatches(spec, cover);
+    // A valid minimisation never needs more cubes than ON minterms.
+    EXPECT_LE(cover.size(), std::max<std::size_t>(minterms, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, QmRandomSweep,
+    ::testing::Values(QmSweepParam{2, 0.0}, QmSweepParam{3, 0.2},
+                      QmSweepParam{4, 0.0}, QmSweepParam{4, 0.3},
+                      QmSweepParam{5, 0.25}, QmSweepParam{6, 0.4},
+                      QmSweepParam{7, 0.5}),
+    [](const ::testing::TestParamInfo<QmSweepParam>& info) {
+      return "n" + std::to_string(info.param.num_inputs) + "_dc" +
+             std::to_string(static_cast<int>(info.param.dc_fraction * 100));
+    });
+
+}  // namespace
+}  // namespace pfd::synth

@@ -1,0 +1,280 @@
+// Tests for the RTL IR, the concrete/symbolic machines, and the hash-consed
+// expression pool.
+#include <gtest/gtest.h>
+
+#include "rtl/control.hpp"
+#include "rtl/datapath.hpp"
+#include "rtl/expr.hpp"
+#include "rtl/machine.hpp"
+
+namespace pfd::rtl {
+namespace {
+
+// A tiny datapath: two input-fed registers, a mux choosing one of them, an
+// adder, and an accumulator register.
+struct TinyDatapath {
+  Datapath dp;
+  std::uint32_t in_a, in_b, reg_a, reg_b, acc, mux, add;
+
+  TinyDatapath() {
+    in_a = dp.AddInput("a", 4);
+    in_b = dp.AddInput("b", 4);
+    reg_a = dp.AddRegister("RA", 4);
+    reg_b = dp.AddRegister("RB", 4);
+    acc = dp.AddRegister("ACC", 4);
+    mux = dp.AddMux("M", 4, {Source::Reg(reg_a), Source::Reg(reg_b)});
+    add = dp.AddFu("ADD", FuKind::kAdd, 4, Source::Mux(mux),
+                   Source::Reg(acc));
+    dp.SetRegisterInput(reg_a, Source::Input(in_a));
+    dp.SetRegisterInput(reg_b, Source::Input(in_b));
+    dp.SetRegisterInput(acc, Source::Fu(add));
+    dp.AddOutput("acc", Source::Reg(acc));
+    dp.Finalize();
+  }
+
+  ControlWord Word(bool load_a, bool load_b, bool load_acc,
+                   std::uint32_t sel) const {
+    ControlWord cw;
+    cw.load = {static_cast<std::uint8_t>(load_a),
+               static_cast<std::uint8_t>(load_b),
+               static_cast<std::uint8_t>(load_acc)};
+    cw.select = {sel};
+    return cw;
+  }
+};
+
+TEST(Datapath, FinalizeChecksWidths) {
+  Datapath dp;
+  const auto in = dp.AddInput("a", 4);
+  const auto r = dp.AddRegister("R", 8);  // mismatched width
+  dp.SetRegisterInput(r, Source::Input(in));
+  EXPECT_THROW(dp.Finalize(), Error);
+}
+
+TEST(Datapath, FinalizeRejectsCombinationalCycles) {
+  Datapath dp;
+  const auto in = dp.AddInput("a", 4);
+  const auto f1 = dp.AddFu("F1", FuKind::kAdd, 4, Source::Input(in),
+                           Source::Fu(1));  // forward ref to f2
+  const auto f2 = dp.AddFu("F2", FuKind::kAdd, 4, Source::Fu(f1),
+                           Source::Input(in));
+  (void)f2;
+  EXPECT_THROW(dp.Finalize(), Error);
+}
+
+TEST(Datapath, EvalOrderCoversAllNodes) {
+  TinyDatapath t;
+  EXPECT_EQ(t.dp.EvalOrder().size(), 2u);  // 1 mux + 1 fu
+  EXPECT_FALSE(t.dp.Summary().empty());
+}
+
+TEST(Datapath, SelectBitsForVariousMuxSizes) {
+  Datapath dp;
+  const auto in = dp.AddInput("a", 4);
+  const auto m2 = dp.AddMux("m2", 4, {Source::Input(in), Source::Input(in)});
+  const auto m3 = dp.AddMux(
+      "m3", 4, {Source::Input(in), Source::Input(in), Source::Input(in)});
+  const auto m5 = dp.AddMux("m5", 4,
+                            {Source::Input(in), Source::Input(in),
+                             Source::Input(in), Source::Input(in),
+                             Source::Input(in)});
+  EXPECT_EQ(dp.muxes()[m2].SelectBits(), 1);
+  EXPECT_EQ(dp.muxes()[m3].SelectBits(), 2);
+  EXPECT_EQ(dp.muxes()[m5].SelectBits(), 3);
+}
+
+TEST(ConcreteMachine, ExecutesAccumulatorSchedule) {
+  TinyDatapath t;
+  ConcreteMachine m(t.dp, ConcreteDomain{});
+  m.SetInput(t.in_a, BitVec(4, 5));
+  m.SetInput(t.in_b, BitVec(4, 9));
+  m.Step(t.Word(true, true, false, 0));    // load RA=5, RB=9
+  m.Step(t.Word(false, false, true, 0));   // ACC = RA + ACC(0) = 5
+  m.Step(t.Word(false, false, true, 1));   // ACC = RB + ACC = 14
+  EXPECT_EQ(m.Output(0).value(), 14u);
+  m.Step(t.Word(false, false, true, 1));   // ACC = 9 + 14 = 23 mod 16 = 7
+  EXPECT_EQ(m.Output(0).value(), 7u);
+}
+
+TEST(ConcreteMachine, OutOfRangeSelectClampsToLastInput) {
+  TinyDatapath t;
+  ConcreteMachine m(t.dp, ConcreteDomain{});
+  m.SetInput(t.in_a, BitVec(4, 3));
+  m.SetInput(t.in_b, BitVec(4, 11));
+  m.Step(t.Word(true, true, false, 0));
+  // Select 1 on a 2-input mux with 1 select bit is RB; any faulty wider
+  // value is masked first, so behaviour matches the gate-level tree.
+  m.Step(t.Word(false, false, true, 1));
+  EXPECT_EQ(m.Output(0).value(), 11u);
+}
+
+TEST(ConcreteMachine, LoadsAreSimultaneous) {
+  // ACC loads the OLD value of RA in the same cycle RA reloads.
+  TinyDatapath t;
+  ConcreteMachine m(t.dp, ConcreteDomain{});
+  m.SetInput(t.in_a, BitVec(4, 5));
+  m.SetInput(t.in_b, BitVec(4, 0));
+  m.Step(t.Word(true, false, false, 0));  // RA = 5
+  m.SetInput(t.in_a, BitVec(4, 12));
+  m.Step(t.Word(true, false, true, 0));   // RA = 12, ACC = old RA + 0 = 5
+  EXPECT_EQ(m.RegValue(t.reg_a).value(), 12u);
+  EXPECT_EQ(m.Output(0).value(), 5u);
+}
+
+TEST(ControlWord, ArityIsChecked) {
+  TinyDatapath t;
+  ConcreteMachine m(t.dp, ConcreteDomain{});
+  ControlWord bad;
+  bad.load = {1};  // wrong arity
+  bad.select = {0};
+  EXPECT_THROW(m.Step(bad), Error);
+}
+
+TEST(LoadLineMap, ExpandsSharedLines) {
+  LoadLineMap map;
+  map.regs_of_line = {{0, 2}, {1}};
+  const auto loads = map.ExpandLoads({1, 0}, 3);
+  EXPECT_EQ(loads, (std::vector<std::uint8_t>{1, 0, 1}));
+  EXPECT_THROW(map.ExpandLoads({1}, 3), Error);
+}
+
+TEST(ControlSpec, ValidateCatchesBadSelectValues) {
+  ControlSpec spec;
+  spec.num_load_lines = 1;
+  spec.num_muxes = 1;
+  spec.mux_select_bits = {1};
+  spec.states.resize(2);
+  spec.state_names = {"RESET", "HOLD"};
+  for (auto& st : spec.states) {
+    st.load = {0};
+    st.select = {std::nullopt};
+  }
+  EXPECT_NO_THROW(spec.Validate());
+  spec.states[0].select[0] = 2;  // needs 2 bits
+  EXPECT_THROW(spec.Validate(), Error);
+}
+
+// --- expression pool ---------------------------------------------------------
+
+TEST(ExprPool, HashConsingSharesStructure) {
+  ExprPool pool;
+  const ExprRef a = pool.Var(0, 4);
+  const ExprRef b = pool.Var(1, 4);
+  const ExprRef e1 = pool.Apply(FuKind::kAdd, a, b);
+  const ExprRef e2 = pool.Apply(FuKind::kAdd, a, b);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(pool.Var(0, 4), a);
+}
+
+TEST(ExprPool, CommutativeOpsNormalise) {
+  ExprPool pool;
+  const ExprRef a = pool.Var(0, 4);
+  const ExprRef b = pool.Var(1, 4);
+  EXPECT_EQ(pool.Apply(FuKind::kAdd, a, b), pool.Apply(FuKind::kAdd, b, a));
+  EXPECT_EQ(pool.Apply(FuKind::kMul, a, b), pool.Apply(FuKind::kMul, b, a));
+  EXPECT_EQ(pool.Apply(FuKind::kAnd, a, b), pool.Apply(FuKind::kAnd, b, a));
+  // SUB and LT are not commutative.
+  EXPECT_NE(pool.Apply(FuKind::kSub, a, b), pool.Apply(FuKind::kSub, b, a));
+  EXPECT_NE(pool.Apply(FuKind::kLess, a, b), pool.Apply(FuKind::kLess, b, a));
+}
+
+TEST(ExprPool, ConstantFolding) {
+  ExprPool pool;
+  const ExprRef c3 = pool.Const(BitVec(4, 3));
+  const ExprRef c5 = pool.Const(BitVec(4, 5));
+  const ExprRef sum = pool.Apply(FuKind::kAdd, c3, c5);
+  EXPECT_EQ(sum, pool.Const(BitVec(4, 8)));
+  const ExprRef prod = pool.Apply(FuKind::kMul, c3, c5);
+  EXPECT_EQ(prod, pool.Const(BitVec(4, 15)));
+  const ExprRef lt = pool.Apply(FuKind::kLess, c3, c5);
+  EXPECT_EQ(lt, pool.Const(BitVec(1, 1)));
+}
+
+TEST(ExprPool, InitLeavesAreDistinctPerRegister) {
+  ExprPool pool;
+  EXPECT_NE(pool.Init(0, 4), pool.Init(1, 4));
+  EXPECT_EQ(pool.Init(0, 4), pool.Init(0, 4));
+  EXPECT_NE(pool.Init(0, 4), pool.Var(0, 4));
+}
+
+TEST(ExprPool, ToStringReadable) {
+  ExprPool pool;
+  const ExprRef a = pool.Var(0, 4);
+  const ExprRef c = pool.Const(BitVec(4, 3));
+  // Commutative normalisation orders operands by pool id (a was interned
+  // first), so both operand orders print identically.
+  EXPECT_EQ(pool.ToString(pool.Apply(FuKind::kMul, c, a)), "(v0 * 3)");
+  EXPECT_EQ(pool.ToString(pool.Apply(FuKind::kMul, a, c)), "(v0 * 3)");
+  EXPECT_EQ(pool.ToString(pool.Apply(FuKind::kSub, c, a)), "(3 - v0)");
+}
+
+TEST(SymbolicMachine, ReloadSameVariableIsInvisible) {
+  // The paper's "extra load serves simply to rewrite a variable unchanged":
+  // symbolically the accumulator expression is identical.
+  TinyDatapath t;
+  ExprPool pool;
+  SymbolicMachine m1(t.dp, SymbolicDomain{&pool});
+  SymbolicMachine m2(t.dp, SymbolicDomain{&pool});
+  for (auto* m : {&m1, &m2}) {
+    m->SetInput(t.in_a, pool.Var(0, 4));
+    m->SetInput(t.in_b, pool.Var(1, 4));
+    m->Step(t.Word(true, true, false, 0));
+  }
+  m1.Step(t.Word(false, false, true, 0));
+  // m2 re-loads RA from the input port (same value) before accumulating.
+  m2.Step(t.Word(true, false, false, 0));
+  m2.Step(t.Word(false, false, true, 0));
+  EXPECT_EQ(m1.Output(0), m2.Output(0));
+}
+
+TEST(SymbolicMachine, GarbageOverwriteIsVisible) {
+  TinyDatapath t;
+  ExprPool pool;
+  SymbolicMachine m1(t.dp, SymbolicDomain{&pool});
+  SymbolicMachine m2(t.dp, SymbolicDomain{&pool});
+  for (auto* m : {&m1, &m2}) {
+    m->SetInput(t.in_a, pool.Var(0, 4));
+    m->SetInput(t.in_b, pool.Var(1, 4));
+    m->Step(t.Word(true, true, false, 0));
+  }
+  // m2 clobbers RA with b before the accumulate.
+  m2.SetInput(t.in_a, pool.Var(1, 4));
+  m2.Step(t.Word(true, false, false, 0));
+  m1.Step(t.Word(false, false, true, 0));
+  m2.Step(t.Word(false, false, true, 0));
+  EXPECT_NE(m1.Output(0), m2.Output(0));
+}
+
+TEST(SymbolicAndConcreteAgree, OnRandomSchedules) {
+  // Evaluating the symbolic output expression on concrete inputs must match
+  // the concrete machine exactly.
+  TinyDatapath t;
+  for (std::uint32_t a = 0; a < 16; a += 5) {
+    for (std::uint32_t b = 0; b < 16; b += 3) {
+      ConcreteMachine cm(t.dp, ConcreteDomain{});
+      ExprPool pool;
+      SymbolicMachine sm(t.dp, SymbolicDomain{&pool});
+      cm.SetInput(t.in_a, BitVec(4, a));
+      cm.SetInput(t.in_b, BitVec(4, b));
+      sm.SetInput(t.in_a, pool.Const(BitVec(4, a)));
+      sm.SetInput(t.in_b, pool.Const(BitVec(4, b)));
+      // With constant leaves, constant folding reduces symbolic outputs to
+      // constants; ACC boot value 0 is modelled as a const for comparison.
+      cm.SetRegValue(t.acc, BitVec(4, 0));
+      sm.SetRegValue(t.acc, pool.Const(BitVec(4, 0)));
+      const std::vector<ControlWord> schedule = {
+          t.Word(true, true, false, 0), t.Word(false, false, true, 0),
+          t.Word(false, false, true, 1), t.Word(false, false, true, 1)};
+      for (const ControlWord& cw : schedule) {
+        cm.Step(cw);
+        sm.Step(cw);
+      }
+      const auto& node = pool.node(sm.Output(0));
+      ASSERT_EQ(node.op, ExprPool::Op::kConst);
+      EXPECT_EQ(node.aux, cm.Output(0).value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfd::rtl

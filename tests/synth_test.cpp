@@ -1,0 +1,343 @@
+// Tests for FSM synthesis and gate-level datapath elaboration: the
+// synthesized hardware must agree with its behavioural specification, and
+// every arithmetic block must match BitVec reference arithmetic exhaustively
+// (parameterised over operand width).
+#include <gtest/gtest.h>
+
+#include "logicsim/simulator.hpp"
+#include "synth/elaborate.hpp"
+#include "synth/fsm.hpp"
+#include "synth/system.hpp"
+
+namespace pfd::synth {
+namespace {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+using netlist::Netlist;
+
+// --- word-level building blocks ---------------------------------------------
+
+class BusBuilderWidths : public ::testing::TestWithParam<int> {};
+
+// Drives a two-operand gate block exhaustively and compares against BitVec.
+template <typename MakeBlock, typename Reference>
+void CheckBlockExhaustive(int width, MakeBlock make, Reference ref) {
+  Netlist nl;
+  BusBuilder bb(nl, ModuleTag::kDatapath);
+  Bus a(width), b(width);
+  for (int i = 0; i < width; ++i) {
+    a[i] = nl.AddInput("a" + std::to_string(i));
+    b[i] = nl.AddInput("b" + std::to_string(i));
+  }
+  const Bus out = make(bb, a, b);
+  logicsim::Simulator sim(nl);
+  const std::uint32_t n = 1u << width;
+  for (std::uint32_t av = 0; av < n; ++av) {
+    for (std::uint32_t bv = 0; bv < n; ++bv) {
+      for (int i = 0; i < width; ++i) {
+        sim.SetInputAllLanes(a[i],
+                             ((av >> i) & 1) ? Trit::kOne : Trit::kZero);
+        sim.SetInputAllLanes(b[i],
+                             ((bv >> i) & 1) ? Trit::kOne : Trit::kZero);
+      }
+      sim.Step();
+      const BitVec expect = ref(BitVec(width, av), BitVec(width, bv));
+      for (int i = 0; i < expect.width(); ++i) {
+        ASSERT_EQ(sim.ValueLane(out[i], 0),
+                  expect.bit(i) ? Trit::kOne : Trit::kZero)
+            << "a=" << av << " b=" << bv << " bit " << i;
+      }
+    }
+  }
+}
+
+TEST_P(BusBuilderWidths, AdderMatchesReference) {
+  CheckBlockExhaustive(
+      GetParam(),
+      [](BusBuilder& bb, const Bus& a, const Bus& b) {
+        return bb.Add(a, b, bb.Const0(), nullptr, "add");
+      },
+      [](const BitVec& a, const BitVec& b) { return Add(a, b); });
+}
+
+TEST_P(BusBuilderWidths, SubtractorMatchesReference) {
+  CheckBlockExhaustive(
+      GetParam(),
+      [](BusBuilder& bb, const Bus& a, const Bus& b) {
+        return bb.Sub(a, b, "sub");
+      },
+      [](const BitVec& a, const BitVec& b) { return Sub(a, b); });
+}
+
+TEST_P(BusBuilderWidths, MultiplierMatchesReference) {
+  CheckBlockExhaustive(
+      GetParam(),
+      [](BusBuilder& bb, const Bus& a, const Bus& b) {
+        return bb.Mul(a, b, "mul");
+      },
+      [](const BitVec& a, const BitVec& b) { return Mul(a, b); });
+}
+
+TEST_P(BusBuilderWidths, ComparatorMatchesReference) {
+  CheckBlockExhaustive(
+      GetParam(),
+      [](BusBuilder& bb, const Bus& a, const Bus& b) {
+        return Bus{bb.Less(a, b, "lt")};
+      },
+      [](const BitVec& a, const BitVec& b) { return LessThan(a, b); });
+}
+
+TEST_P(BusBuilderWidths, BitwiseBlocksMatchReference) {
+  CheckBlockExhaustive(
+      GetParam(),
+      [](BusBuilder& bb, const Bus& a, const Bus& b) {
+        return bb.Bitwise(GateKind::kXor, a, b, "x");
+      },
+      [](const BitVec& a, const BitVec& b) { return Xor(a, b); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BusBuilderWidths, ::testing::Values(1, 2, 3,
+                                                                     4, 5),
+                         ::testing::PrintToStringParamName());
+
+TEST(BusBuilder, MuxTreeSelectsAndClamps) {
+  // 3-input mux with 2 select bits; select 3 must resolve to the last input
+  // (padding), matching rtl::Machine.
+  Netlist nl;
+  BusBuilder bb(nl, ModuleTag::kDatapath);
+  std::vector<Bus> inputs(3, Bus(2));
+  for (int i = 0; i < 3; ++i) {
+    for (int b = 0; b < 2; ++b) {
+      inputs[i][b] = nl.AddInput("i" + std::to_string(i) + std::to_string(b));
+    }
+  }
+  Bus sel = {nl.AddInput("s0"), nl.AddInput("s1")};
+  const Bus out = bb.MuxTree(inputs, sel, "m");
+  logicsim::Simulator sim(nl);
+  const std::uint32_t values[3] = {1, 2, 3};
+  for (int i = 0; i < 3; ++i) {
+    for (int b = 0; b < 2; ++b) {
+      sim.SetInputAllLanes(inputs[i][b], ((values[i] >> b) & 1)
+                                             ? Trit::kOne
+                                             : Trit::kZero);
+    }
+  }
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    sim.SetInputAllLanes(sel[0], (s & 1) ? Trit::kOne : Trit::kZero);
+    sim.SetInputAllLanes(sel[1], (s & 2) ? Trit::kOne : Trit::kZero);
+    sim.Step();
+    const std::uint32_t expect = values[std::min<std::uint32_t>(s, 2)];
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_EQ(sim.ValueLane(out[b], 0),
+                ((expect >> b) & 1) ? Trit::kOne : Trit::kZero)
+          << "sel=" << s;
+    }
+  }
+}
+
+// --- FSM synthesis ------------------------------------------------------------
+
+FsmSpec LinearFsm(int states, std::vector<std::vector<Trit>> outputs,
+                  std::vector<std::string> names) {
+  FsmSpec spec;
+  spec.num_states = states;
+  spec.reset_state = 0;
+  for (int s = 0; s < states; ++s) {
+    spec.next_state.push_back(s == states - 1 ? s : s + 1);
+  }
+  spec.outputs = std::move(outputs);
+  spec.line_names = std::move(names);
+  return spec;
+}
+
+class FsmStyles : public ::testing::TestWithParam<OutputLogicStyle> {};
+
+TEST_P(FsmStyles, WalksScheduleAndMatchesResolvedOutputs) {
+  // 5 states, 2 output lines with specified values and one DC.
+  FsmSpec spec = LinearFsm(
+      5,
+      {{Trit::kOne, Trit::kZero},
+       {Trit::kZero, Trit::kOne},
+       {Trit::kZero, Trit::kX},
+       {Trit::kOne, Trit::kOne},
+       {Trit::kZero, Trit::kZero}},
+      {"o0", "o1"});
+  Netlist nl;
+  const GateId reset = nl.AddInput("reset", ModuleTag::kInterface);
+  const SynthesizedFsm fsm = SynthesizeFsm(nl, spec, reset, GetParam());
+  nl.Validate();
+
+  // Resolved outputs must match the spec wherever the spec cares.
+  for (int s = 0; s < spec.num_states; ++s) {
+    for (std::size_t l = 0; l < spec.line_names.size(); ++l) {
+      if (spec.outputs[s][l] == Trit::kX) continue;
+      EXPECT_EQ(fsm.resolved_outputs[s][l],
+                spec.outputs[s][l] == Trit::kOne ? 1 : 0)
+          << "state " << s << " line " << l;
+    }
+  }
+
+  // Walk the machine from power-up X through reset and the whole schedule;
+  // the lines must follow resolved_outputs.
+  logicsim::Simulator sim(nl);
+  sim.SetInputAllLanes(reset, Trit::kOne);
+  sim.Step();  // boot cycle: outputs may be X
+  sim.SetInputAllLanes(reset, Trit::kZero);
+  for (int s = 0; s < spec.num_states; ++s) {
+    sim.Step();
+    for (std::size_t l = 0; l < spec.line_names.size(); ++l) {
+      EXPECT_EQ(sim.ValueLane(fsm.line_nets[l], 0),
+                fsm.resolved_outputs[s][l] ? Trit::kOne : Trit::kZero)
+          << "state " << s << " line " << l;
+    }
+  }
+  // Terminal state holds.
+  sim.Step();
+  for (std::size_t l = 0; l < spec.line_names.size(); ++l) {
+    EXPECT_EQ(sim.ValueLane(fsm.line_nets[l], 0),
+              fsm.resolved_outputs[4][l] ? Trit::kOne : Trit::kZero);
+  }
+}
+
+TEST_P(FsmStyles, RecoversFromUnknownBootState) {
+  FsmSpec spec = LinearFsm(3,
+                           {{Trit::kOne}, {Trit::kZero}, {Trit::kZero}},
+                           {"o"});
+  Netlist nl;
+  const GateId reset = nl.AddInput("reset", ModuleTag::kInterface);
+  const SynthesizedFsm fsm = SynthesizeFsm(nl, spec, reset, GetParam());
+  logicsim::Simulator sim(nl);
+  // Assert reset while the state register is all-X: after one cycle the
+  // state must be fully known (the RESET state).
+  sim.SetInputAllLanes(reset, Trit::kOne);
+  sim.Step();
+  sim.Step();
+  for (GateId st : fsm.state_bits) {
+    EXPECT_NE(sim.ValueLane(st, 0), Trit::kX);
+    EXPECT_EQ(sim.ValueLane(st, 0), Trit::kZero);  // reset state code 0
+  }
+  EXPECT_EQ(sim.ValueLane(fsm.line_nets[0], 0), Trit::kOne);
+}
+
+TEST_P(FsmStyles, ResetOverridesAnyState) {
+  FsmSpec spec = LinearFsm(
+      4, {{Trit::kOne}, {Trit::kZero}, {Trit::kZero}, {Trit::kZero}}, {"o"});
+  Netlist nl;
+  const GateId reset = nl.AddInput("reset", ModuleTag::kInterface);
+  const SynthesizedFsm fsm = SynthesizeFsm(nl, spec, reset, GetParam());
+  logicsim::Simulator sim(nl);
+  sim.SetInputAllLanes(reset, Trit::kOne);
+  sim.Step();
+  sim.SetInputAllLanes(reset, Trit::kZero);
+  sim.Step();
+  sim.Step();  // now somewhere mid-schedule
+  sim.SetInputAllLanes(reset, Trit::kOne);
+  sim.Step();
+  sim.Step();
+  // Back at RESET: output line = state 0 value.
+  EXPECT_EQ(sim.ValueLane(fsm.line_nets[0], 0), Trit::kOne);
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, FsmStyles,
+                         ::testing::Values(OutputLogicStyle::kMinimizedSop,
+                                           OutputLogicStyle::kSharedSop,
+                                           OutputLogicStyle::kStateDecoder),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case OutputLogicStyle::kMinimizedSop:
+                               return std::string("MinimizedSop");
+                             case OutputLogicStyle::kSharedSop:
+                               return std::string("SharedSop");
+                             default:
+                               return std::string("StateDecoder");
+                           }
+                         });
+
+TEST(Fsm, ControlLinesGetDedicatedNets) {
+  // Two lines with identical functions must still have distinct nets.
+  FsmSpec spec = LinearFsm(3,
+                           {{Trit::kOne, Trit::kOne},
+                            {Trit::kZero, Trit::kZero},
+                            {Trit::kZero, Trit::kZero}},
+                           {"a", "b"});
+  Netlist nl;
+  const netlist::GateId reset = nl.AddInput("reset", ModuleTag::kInterface);
+  const SynthesizedFsm fsm =
+      SynthesizeFsm(nl, spec, reset, OutputLogicStyle::kSharedSop);
+  EXPECT_NE(fsm.line_nets[0], fsm.line_nets[1]);
+}
+
+TEST(Fsm, AllGatesTaggedController) {
+  FsmSpec spec =
+      LinearFsm(3, {{Trit::kOne}, {Trit::kZero}, {Trit::kX}}, {"o"});
+  Netlist nl;
+  const GateId reset = nl.AddInput("reset", ModuleTag::kInterface);
+  const std::size_t before = nl.size();
+  SynthesizeFsm(nl, spec, reset);
+  for (GateId g = static_cast<GateId>(before); g < nl.size(); ++g) {
+    EXPECT_EQ(nl.gate(g).module, ModuleTag::kController);
+  }
+}
+
+// --- control-line bookkeeping -------------------------------------------------
+
+rtl::ControlSpec TwoLineSpec() {
+  rtl::ControlSpec spec;
+  spec.num_load_lines = 2;
+  spec.num_muxes = 1;
+  spec.mux_select_bits = {2};
+  spec.states.resize(3);
+  spec.state_names = {"RESET", "CS1", "HOLD"};
+  for (auto& st : spec.states) {
+    st.load = {0, 0};
+    st.select = {std::nullopt};
+  }
+  spec.states[0].load = {1, 0};
+  spec.states[1].load = {0, 1};
+  spec.states[1].select[0] = 2;
+  return spec;
+}
+
+TEST(ControlLines, OrderAndNaming) {
+  const auto lines = MakeControlLines(TwoLineSpec());
+  ASSERT_EQ(lines.size(), 4u);  // 2 loads + 2 select bits
+  EXPECT_EQ(lines[0].name, "LD0");
+  EXPECT_EQ(lines[1].name, "LD1");
+  EXPECT_EQ(lines[2].name, "MS0.0");
+  EXPECT_EQ(lines[3].name, "MS0.1");
+  EXPECT_EQ(lines[2].kind, ControlLineInfo::Kind::kSelectBit);
+  EXPECT_EQ(lines[3].bit, 1);
+}
+
+TEST(ControlLines, ZeroFillVsMinimizerFill) {
+  const rtl::ControlSpec spec = TwoLineSpec();
+  const FsmSpec zero = BuildFsmSpec(spec, DontCareFill::kZero);
+  const FsmSpec qm = BuildFsmSpec(spec, DontCareFill::kMinimizer);
+  // Select bits in the non-care states: hard 0 vs X.
+  EXPECT_EQ(zero.outputs[0][2], Trit::kZero);
+  EXPECT_EQ(qm.outputs[0][2], Trit::kX);
+  // Care states identical in both.
+  EXPECT_EQ(zero.outputs[1][2], qm.outputs[1][2]);
+  EXPECT_EQ(zero.outputs[1][3], Trit::kOne);  // select 2, bit 1
+  // Loads are never don't-care.
+  EXPECT_EQ(qm.outputs[0][0], Trit::kOne);
+  EXPECT_EQ(qm.outputs[2][0], Trit::kZero);
+}
+
+TEST(ControlLines, ResolveControlRoundTrips) {
+  const rtl::ControlSpec spec = TwoLineSpec();
+  Netlist nl;
+  const GateId reset = nl.AddInput("reset", ModuleTag::kInterface);
+  const auto lines = MakeControlLines(spec);
+  const SynthesizedFsm fsm = SynthesizeFsm(nl, BuildFsmSpec(spec), reset);
+  const ResolvedControl rc = ResolveControl(spec, lines, fsm);
+  EXPECT_EQ(rc.line_loads[0], (std::vector<std::uint8_t>{1, 0}));
+  EXPECT_EQ(rc.line_loads[1], (std::vector<std::uint8_t>{0, 1}));
+  EXPECT_EQ(rc.selects[1][0], 2u);
+  EXPECT_EQ(rc.selects[0][0], 0u);  // zero-filled don't care
+}
+
+}  // namespace
+}  // namespace pfd::synth

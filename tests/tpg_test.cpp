@@ -1,0 +1,110 @@
+// Unit tests for the TPGR (LFSR) module.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "tpg/lfsr.hpp"
+
+namespace pfd::tpg {
+namespace {
+
+TEST(Lfsr, NeverReachesZeroState) {
+  Lfsr l(0x12345678u);
+  for (int i = 0; i < 100000; ++i) {
+    l.NextBit();
+    ASSERT_NE(l.state(), 0u);
+  }
+}
+
+TEST(Lfsr, ZeroSeedIsCoerced) {
+  Lfsr l(0);
+  EXPECT_NE(l.state(), 0u);
+}
+
+TEST(Lfsr, LongPeriodNoEarlyRepeat) {
+  Lfsr l(1);
+  const std::uint32_t start = l.state();
+  for (int i = 0; i < 200000; ++i) {
+    l.NextBit();
+    ASSERT_NE(l.state(), start) << "period shorter than " << i + 1;
+  }
+}
+
+TEST(Lfsr, BitsAreBalanced) {
+  Lfsr l(0xACE1u);
+  int ones = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ones += static_cast<int>(l.NextBit());
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.5, 0.01);
+}
+
+TEST(Lfsr, DeterministicPerSeed) {
+  Lfsr a(99), b(99), c(100);
+  bool differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t va = a.NextBits(8);
+    EXPECT_EQ(va, b.NextBits(8));
+    if (va != c.NextBits(8)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Tpgr, DealsOperandsOfRequestedWidths) {
+  Tpgr t(0x5EED);
+  const std::vector<int> widths = {4, 4, 1, 8};
+  const auto pattern = t.NextPattern(widths);
+  ASSERT_EQ(pattern.size(), widths.size());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    EXPECT_EQ(pattern[i].width(), widths[i]);
+  }
+}
+
+TEST(Tpgr, StreamsAreReproducible) {
+  Tpgr a(kTestSetSeed1), b(kTestSetSeed1);
+  const std::vector<int> widths = {4, 4};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextPattern(widths), b.NextPattern(widths));
+  }
+}
+
+TEST(Tpgr, CoversOperandSpace) {
+  // A pseudo-random 4-bit stream should hit every value within a reasonable
+  // number of draws.
+  Tpgr t(kTestSetSeed2);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 400 && seen.size() < 16; ++i) {
+    seen.insert(t.NextOperand(4).value());
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(PackBit, PacksLanewise) {
+  std::vector<std::uint32_t> values(64);
+  for (int i = 0; i < 64; ++i) values[i] = static_cast<std::uint32_t>(i);
+  const Word3 bit0 = PackBit(values, 0);
+  const Word3 bit5 = PackBit(values, 5);
+  EXPECT_EQ(bit0.known, ~0ULL);
+  for (int lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(GetLane(bit0, lane),
+              (lane & 1) ? Trit::kOne : Trit::kZero);
+    EXPECT_EQ(GetLane(bit5, lane),
+              ((lane >> 5) & 1) ? Trit::kOne : Trit::kZero);
+  }
+}
+
+TEST(PackBit, ShortVectorsReplicateLastValue) {
+  std::vector<std::uint32_t> values = {0x1};
+  const Word3 w = PackBit(values, 0);
+  EXPECT_EQ(GetLane(w, 0), Trit::kOne);
+  EXPECT_EQ(GetLane(w, 63), Trit::kOne);
+}
+
+TEST(Seeds, ThirdSeedIsNearZero) {
+  // Table 3's third test set deliberately uses an almost-all-0s seed.
+  EXPECT_EQ(kTestSetSeed3, 1u);
+  EXPECT_NE(kTestSetSeed1, kTestSetSeed2);
+}
+
+}  // namespace
+}  // namespace pfd::tpg

@@ -1,0 +1,243 @@
+// pfdtool — command-line driver for the pfd library.
+//
+//   pfdtool list
+//   pfdtool info     <design> [--width N]
+//   pfdtool classify <design> [--width N] [--patterns N] [--csv]
+//   pfdtool grade    <design> [--width N] [--threshold PCT] [--csv]
+//   pfdtool diagnose <design> <measured_uW> [--sigma PCT]
+//   pfdtool dot      <design> [--width N]
+//   pfdtool vcd      <design> [--fault INDEX] [--patterns N]
+//
+// Designs: diffeq, facet, poly, diffeq-loop, ewf.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/trace.hpp"
+#include "core/diagnosis.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "designs/designs.hpp"
+#include "logicsim/vcd.hpp"
+
+namespace {
+
+using namespace pfd;
+
+struct Options {
+  std::string command;
+  std::string design;
+  int width = 4;
+  int patterns = 1200;
+  double threshold = 5.0;
+  double sigma = 1.0;       // percent
+  double measured_uw = 0.0;
+  int fault_index = -1;
+  bool csv = false;
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pfdtool <list|info|classify|grade|diagnose|dot|vcd> "
+      "[design] [options]\n"
+      "designs: diffeq facet poly diffeq-loop ewf\n"
+      "options: --width N --patterns N --threshold PCT --sigma PCT "
+      "--fault INDEX --csv\n");
+  std::exit(2);
+}
+
+designs::BenchmarkDesign BuildDesign(const Options& opt) {
+  if (opt.design == "diffeq") return designs::BuildDiffeq(opt.width);
+  if (opt.design == "facet") return designs::BuildFacet(opt.width);
+  if (opt.design == "poly") return designs::BuildPoly(opt.width);
+  if (opt.design == "diffeq-loop") return designs::BuildDiffeqLoop(opt.width);
+  if (opt.design == "ewf") return designs::BuildEwf(opt.width);
+  std::fprintf(stderr, "unknown design: %s\n", opt.design.c_str());
+  std::exit(2);
+}
+
+core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
+                                    const Options& opt) {
+  core::PipelineConfig cfg;
+  cfg.tpgr_patterns = opt.patterns;
+  if (d.system.has_feedback) {
+    cfg.gate_check.max_exhaustive_bits = 14;
+    cfg.gate_check.sample_patterns = 4096;
+  }
+  return core::ClassifyControllerFaults(d.system, d.hls, cfg);
+}
+
+int CmdInfo(const Options& opt) {
+  const designs::BenchmarkDesign d = BuildDesign(opt);
+  std::printf("%s (%d-bit)\n", d.name.c_str(), opt.width);
+  std::printf("netlist:   %s\n", d.system.nl.Stats().ToString().c_str());
+  std::printf("schedule:  %d steps, %d states, %d cycles/pattern%s\n",
+              d.hls.num_steps, d.system.control_spec.NumStates(),
+              d.system.cycles_per_pattern,
+              d.system.has_feedback ? " (while-loop)" : "");
+  std::printf("interface: %zu control lines (%d load lines, %zu muxes)\n",
+              d.system.lines.size(), d.system.load_map.NumLines(),
+              d.system.datapath.muxes().size());
+  std::printf("binding:\n%s", d.hls.BindingReport().c_str());
+  return 0;
+}
+
+int CmdClassify(const Options& opt) {
+  const designs::BenchmarkDesign d = BuildDesign(opt);
+  const core::ClassificationReport report = Classify(d, opt);
+  if (opt.csv) {
+    std::printf("%s", core::ClassificationCsv(report).c_str());
+  } else {
+    std::printf("%s\n%s", report.Summary().c_str(),
+                core::ClassificationTable(report, /*sfr_only=*/true).c_str());
+  }
+  return 0;
+}
+
+int CmdGrade(const Options& opt) {
+  const designs::BenchmarkDesign d = BuildDesign(opt);
+  const core::ClassificationReport report = Classify(d, opt);
+  core::GradeConfig cfg;
+  cfg.threshold_percent = opt.threshold;
+  const core::PowerGradeReport graded =
+      core::GradeSfrFaults(d.system, report, cfg);
+  if (opt.csv) {
+    std::printf("%s", core::GradingCsv(graded).c_str());
+  } else {
+    std::printf("fault-free datapath power: %.2f uW (threshold %.1f%%)\n%s",
+                graded.fault_free_uw, opt.threshold,
+                core::GradingTable(graded).c_str());
+    std::printf("%zu of %zu SFR faults detected\n", graded.DetectedCount(),
+                graded.faults.size());
+  }
+  return 0;
+}
+
+int CmdDiagnose(const Options& opt) {
+  const designs::BenchmarkDesign d = BuildDesign(opt);
+  const core::ClassificationReport report = Classify(d, opt);
+  const core::PowerGradeReport graded =
+      core::GradeSfrFaults(d.system, report, core::GradeConfig{});
+  const core::DiagnosisResult dx = core::DiagnoseFromPower(
+      graded, opt.measured_uw, {opt.sigma / 100.0});
+  std::printf("measured %.2f uW against %zu signatures:\n", dx.measured_uw,
+              dx.ranked.size());
+  int shown = 0;
+  for (const core::DiagnosisCandidate& c : dx.ranked) {
+    if (++shown > 5) break;
+    std::printf("  %5.1f%%  %-30s (%.2f uW)\n", c.probability * 100,
+                c.fault == nullptr ? "fault-free" : c.fault->record->name.c_str(),
+                c.signature_uw);
+  }
+  return 0;
+}
+
+int CmdDot(const Options& opt) {
+  const designs::BenchmarkDesign d = BuildDesign(opt);
+  std::printf("%s", d.system.nl.ToDot().c_str());
+  return 0;
+}
+
+int CmdVcd(const Options& opt) {
+  const designs::BenchmarkDesign d = BuildDesign(opt);
+  const synth::System& sys = d.system;
+  logicsim::Simulator sim(sys.nl);
+  if (opt.fault_index >= 0) {
+    const auto all =
+        fault::GenerateFaults(sys.nl, netlist::ModuleTag::kController);
+    const auto faults = fault::Collapse(sys.nl, all).representatives;
+    if (static_cast<std::size_t>(opt.fault_index) >= faults.size()) {
+      std::fprintf(stderr, "fault index out of range (have %zu)\n",
+                   faults.size());
+      return 2;
+    }
+    fault::InjectFault(sim, faults[opt.fault_index], ~0ULL);
+    std::fprintf(stderr, "injected %s\n",
+                 fault::FaultName(sys.nl, faults[opt.fault_index]).c_str());
+  }
+  logicsim::VcdWriter vcd(sim);
+  vcd.AddSignal(sys.reset, "reset");
+  for (std::size_t b = 0; b < sys.state_bits.size(); ++b) {
+    vcd.AddSignal(sys.state_bits[b], "st" + std::to_string(b));
+  }
+  for (std::size_t li = 0; li < sys.lines.size(); ++li) {
+    vcd.AddSignal(sys.line_nets[li], sys.lines[li].name);
+  }
+  for (std::size_t o = 0; o < sys.output_nets.size(); ++o) {
+    vcd.AddBus(sys.output_nets[o], d.system.datapath.outputs()[o].name);
+  }
+  for (const synth::Bus& bus : sys.operand_bits) {
+    for (netlist::GateId g : bus) sim.SetInputAllLanes(g, Trit::kZero);
+  }
+  const int patterns = opt.patterns > 8 ? 2 : opt.patterns;
+  for (int p = 0; p < patterns; ++p) {
+    for (int c = 0; c < sys.cycles_per_pattern; ++c) {
+      sim.SetInputAllLanes(sys.reset, c == 0 ? Trit::kOne : Trit::kZero);
+      sim.Step();
+      vcd.Sample();
+    }
+  }
+  std::printf("%s", vcd.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) Usage();
+  opt.command = argv[1];
+  int pos = 2;
+  if (opt.command != "list") {
+    if (argc < 3) Usage();
+    opt.design = argv[2];
+    pos = 3;
+  }
+  if (opt.command == "diagnose") {
+    if (argc < 4) Usage();
+    opt.measured_uw = std::atof(argv[3]);
+    pos = 4;
+  }
+  for (int i = pos; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage();
+      return argv[++i];
+    };
+    if (arg == "--width") {
+      opt.width = std::atoi(next());
+    } else if (arg == "--patterns") {
+      opt.patterns = std::atoi(next());
+    } else if (arg == "--threshold") {
+      opt.threshold = std::atof(next());
+    } else if (arg == "--sigma") {
+      opt.sigma = std::atof(next());
+    } else if (arg == "--fault") {
+      opt.fault_index = std::atoi(next());
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else {
+      Usage();
+    }
+  }
+
+  try {
+    if (opt.command == "list") {
+      std::printf("diffeq facet poly diffeq-loop ewf\n");
+      return 0;
+    }
+    if (opt.command == "info") return CmdInfo(opt);
+    if (opt.command == "classify") return CmdClassify(opt);
+    if (opt.command == "grade") return CmdGrade(opt);
+    if (opt.command == "diagnose") return CmdDiagnose(opt);
+    if (opt.command == "dot") return CmdDot(opt);
+    if (opt.command == "vcd") return CmdVcd(opt);
+  } catch (const pfd::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  Usage();
+}
