@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bitwidth.dir/ablation_bitwidth.cpp.o"
+  "CMakeFiles/ablation_bitwidth.dir/ablation_bitwidth.cpp.o.d"
+  "ablation_bitwidth"
+  "ablation_bitwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bitwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_glitch.dir/ablation_glitch.cpp.o"
+  "CMakeFiles/ablation_glitch.dir/ablation_glitch.cpp.o.d"
+  "ablation_glitch"
+  "ablation_glitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_glitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

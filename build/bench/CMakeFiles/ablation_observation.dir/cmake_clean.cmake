@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_observation.dir/ablation_observation.cpp.o"
+  "CMakeFiles/ablation_observation.dir/ablation_observation.cpp.o.d"
+  "ablation_observation"
+  "ablation_observation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_observation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_comparison.dir/dft_comparison.cpp.o"
+  "CMakeFiles/dft_comparison.dir/dft_comparison.cpp.o.d"
+  "dft_comparison"
+  "dft_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

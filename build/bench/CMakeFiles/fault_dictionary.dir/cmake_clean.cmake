@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_dictionary.dir/fault_dictionary.cpp.o"
+  "CMakeFiles/fault_dictionary.dir/fault_dictionary.cpp.o.d"
+  "fault_dictionary"
+  "fault_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_power_scatter.dir/fig7_power_scatter.cpp.o"
+  "CMakeFiles/fig7_power_scatter.dir/fig7_power_scatter.cpp.o.d"
+  "fig7_power_scatter"
+  "fig7_power_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_power_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_controller.dir/loop_controller.cpp.o"
+  "CMakeFiles/loop_controller.dir/loop_controller.cpp.o.d"
+  "loop_controller"
+  "loop_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

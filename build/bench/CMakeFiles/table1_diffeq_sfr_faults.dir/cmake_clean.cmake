@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_diffeq_sfr_faults.dir/table1_diffeq_sfr_faults.cpp.o"
+  "CMakeFiles/table1_diffeq_sfr_faults.dir/table1_diffeq_sfr_faults.cpp.o.d"
+  "table1_diffeq_sfr_faults"
+  "table1_diffeq_sfr_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_diffeq_sfr_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_testset_consistency.dir/table3_testset_consistency.cpp.o"
+  "CMakeFiles/table3_testset_consistency.dir/table3_testset_consistency.cpp.o.d"
+  "table3_testset_consistency"
+  "table3_testset_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_testset_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_analysis.dir/variation_analysis.cpp.o"
+  "CMakeFiles/variation_analysis.dir/variation_analysis.cpp.o.d"
+  "variation_analysis"
+  "variation_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

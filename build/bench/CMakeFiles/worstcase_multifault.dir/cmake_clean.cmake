@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worstcase_multifault.dir/worstcase_multifault.cpp.o"
+  "CMakeFiles/worstcase_multifault.dir/worstcase_multifault.cpp.o.d"
+  "worstcase_multifault"
+  "worstcase_multifault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worstcase_multifault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_design.dir/custom_design.cpp.o"
+  "CMakeFiles/custom_design.dir/custom_design.cpp.o.d"
+  "custom_design"
+  "custom_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("netlist")
+subdirs("logicsim")
+subdirs("tpg")
+subdirs("fault")
+subdirs("power")
+subdirs("rtl")
+subdirs("synth")
+subdirs("hls")
+subdirs("designs")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_analysis.dir/classify.cpp.o"
+  "CMakeFiles/pfd_analysis.dir/classify.cpp.o.d"
+  "CMakeFiles/pfd_analysis.dir/effects.cpp.o"
+  "CMakeFiles/pfd_analysis.dir/effects.cpp.o.d"
+  "CMakeFiles/pfd_analysis.dir/trace.cpp.o"
+  "CMakeFiles/pfd_analysis.dir/trace.cpp.o.d"
+  "libpfd_analysis.a"
+  "libpfd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_base.dir/bitvec.cpp.o"
+  "CMakeFiles/pfd_base.dir/bitvec.cpp.o.d"
+  "CMakeFiles/pfd_base.dir/error.cpp.o"
+  "CMakeFiles/pfd_base.dir/error.cpp.o.d"
+  "CMakeFiles/pfd_base.dir/text_table.cpp.o"
+  "CMakeFiles/pfd_base.dir/text_table.cpp.o.d"
+  "libpfd_base.a"
+  "libpfd_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_core.dir/diagnosis.cpp.o"
+  "CMakeFiles/pfd_core.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/pfd_core.dir/grading.cpp.o"
+  "CMakeFiles/pfd_core.dir/grading.cpp.o.d"
+  "CMakeFiles/pfd_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pfd_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pfd_core.dir/report.cpp.o"
+  "CMakeFiles/pfd_core.dir/report.cpp.o.d"
+  "CMakeFiles/pfd_core.dir/variation.cpp.o"
+  "CMakeFiles/pfd_core.dir/variation.cpp.o.d"
+  "CMakeFiles/pfd_core.dir/worstcase.cpp.o"
+  "CMakeFiles/pfd_core.dir/worstcase.cpp.o.d"
+  "libpfd_core.a"
+  "libpfd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_designs.dir/designs.cpp.o"
+  "CMakeFiles/pfd_designs.dir/designs.cpp.o.d"
+  "libpfd_designs.a"
+  "libpfd_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

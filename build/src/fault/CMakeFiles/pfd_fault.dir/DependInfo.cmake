@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/pfd_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/pfd_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_sim.cpp" "src/fault/CMakeFiles/pfd_fault.dir/fault_sim.cpp.o" "gcc" "src/fault/CMakeFiles/pfd_fault.dir/fault_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logicsim/CMakeFiles/pfd_logicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpg/CMakeFiles/pfd_tpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pfd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pfd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_fault.dir/fault.cpp.o"
+  "CMakeFiles/pfd_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/pfd_fault.dir/fault_sim.cpp.o"
+  "CMakeFiles/pfd_fault.dir/fault_sim.cpp.o.d"
+  "libpfd_fault.a"
+  "libpfd_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

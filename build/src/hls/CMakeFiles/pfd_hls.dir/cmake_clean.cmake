@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_hls.dir/hls.cpp.o"
+  "CMakeFiles/pfd_hls.dir/hls.cpp.o.d"
+  "libpfd_hls.a"
+  "libpfd_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

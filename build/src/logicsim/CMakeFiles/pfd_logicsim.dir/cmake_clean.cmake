@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_logicsim.dir/simulator.cpp.o"
+  "CMakeFiles/pfd_logicsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/pfd_logicsim.dir/vcd.cpp.o"
+  "CMakeFiles/pfd_logicsim.dir/vcd.cpp.o.d"
+  "libpfd_logicsim.a"
+  "libpfd_logicsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_logicsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

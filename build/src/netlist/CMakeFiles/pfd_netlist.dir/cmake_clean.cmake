@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/pfd_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/pfd_netlist.dir/opt.cpp.o"
+  "CMakeFiles/pfd_netlist.dir/opt.cpp.o.d"
+  "libpfd_netlist.a"
+  "libpfd_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_power.dir/power_model.cpp.o"
+  "CMakeFiles/pfd_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/pfd_power.dir/power_sim.cpp.o"
+  "CMakeFiles/pfd_power.dir/power_sim.cpp.o.d"
+  "libpfd_power.a"
+  "libpfd_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

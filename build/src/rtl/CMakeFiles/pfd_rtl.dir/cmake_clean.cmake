@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_rtl.dir/datapath.cpp.o"
+  "CMakeFiles/pfd_rtl.dir/datapath.cpp.o.d"
+  "CMakeFiles/pfd_rtl.dir/expr.cpp.o"
+  "CMakeFiles/pfd_rtl.dir/expr.cpp.o.d"
+  "CMakeFiles/pfd_rtl.dir/machine.cpp.o"
+  "CMakeFiles/pfd_rtl.dir/machine.cpp.o.d"
+  "libpfd_rtl.a"
+  "libpfd_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

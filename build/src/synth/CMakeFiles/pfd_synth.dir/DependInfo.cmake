@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/dft.cpp" "src/synth/CMakeFiles/pfd_synth.dir/dft.cpp.o" "gcc" "src/synth/CMakeFiles/pfd_synth.dir/dft.cpp.o.d"
+  "/root/repo/src/synth/elaborate.cpp" "src/synth/CMakeFiles/pfd_synth.dir/elaborate.cpp.o" "gcc" "src/synth/CMakeFiles/pfd_synth.dir/elaborate.cpp.o.d"
+  "/root/repo/src/synth/fsm.cpp" "src/synth/CMakeFiles/pfd_synth.dir/fsm.cpp.o" "gcc" "src/synth/CMakeFiles/pfd_synth.dir/fsm.cpp.o.d"
+  "/root/repo/src/synth/qm.cpp" "src/synth/CMakeFiles/pfd_synth.dir/qm.cpp.o" "gcc" "src/synth/CMakeFiles/pfd_synth.dir/qm.cpp.o.d"
+  "/root/repo/src/synth/system.cpp" "src/synth/CMakeFiles/pfd_synth.dir/system.cpp.o" "gcc" "src/synth/CMakeFiles/pfd_synth.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/pfd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/pfd_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/pfd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicsim/CMakeFiles/pfd_logicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpg/CMakeFiles/pfd_tpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pfd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

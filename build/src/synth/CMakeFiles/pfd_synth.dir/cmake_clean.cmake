@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_synth.dir/dft.cpp.o"
+  "CMakeFiles/pfd_synth.dir/dft.cpp.o.d"
+  "CMakeFiles/pfd_synth.dir/elaborate.cpp.o"
+  "CMakeFiles/pfd_synth.dir/elaborate.cpp.o.d"
+  "CMakeFiles/pfd_synth.dir/fsm.cpp.o"
+  "CMakeFiles/pfd_synth.dir/fsm.cpp.o.d"
+  "CMakeFiles/pfd_synth.dir/qm.cpp.o"
+  "CMakeFiles/pfd_synth.dir/qm.cpp.o.d"
+  "CMakeFiles/pfd_synth.dir/system.cpp.o"
+  "CMakeFiles/pfd_synth.dir/system.cpp.o.d"
+  "libpfd_synth.a"
+  "libpfd_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

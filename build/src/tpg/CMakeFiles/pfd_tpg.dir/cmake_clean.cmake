@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_tpg.dir/lfsr.cpp.o"
+  "CMakeFiles/pfd_tpg.dir/lfsr.cpp.o.d"
+  "libpfd_tpg.a"
+  "libpfd_tpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_tpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdtool.dir/pfdtool.cpp.o"
+  "CMakeFiles/pfdtool.dir/pfdtool.cpp.o.d"
+  "pfdtool"
+  "pfdtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
