@@ -1,6 +1,23 @@
 // Engine micro-benchmarks (google-benchmark): throughput of the simulation
 // and synthesis substrates. These are the pieces whose cost determines how
 // far the methodology scales past the paper's 4-bit examples.
+//
+// Tracking perf across PRs: `bench/run_bench.sh` builds this target and
+// writes `BENCH_engines.json` at the repo root, via google-benchmark's
+// machine-readable output flags:
+//
+//   ./bench/run_bench.sh                 # all benchmarks, 1 repetition
+//   REPS=5 ./bench/run_bench.sh --benchmark_filter=BM_LogicSimStep
+//
+// Any extra arguments are passed through to the binary, so the usual
+// --benchmark_out/--benchmark_out_format/--benchmark_filter flags work
+// directly too. Compare two JSON files with google-benchmark's
+// tools/compare.py, or just diff the real_time fields.
+//
+// BM_LogicSimStep vs BM_LogicSimStepObsEnabled bounds the observability
+// overhead: counters update once per Step behind an obs::Enabled() check,
+// so the two must stay within noise of each other (and both within noise
+// of the pre-obs baseline — the ISSUE acceptance bar is +-3%).
 #include <benchmark/benchmark.h>
 
 #include "analysis/classify.hpp"
@@ -10,6 +27,7 @@
 #include "designs/designs.hpp"
 #include "fault/fault_sim.hpp"
 #include "logicsim/simulator.hpp"
+#include "obs/obs.hpp"
 #include "power/power_sim.hpp"
 #include "synth/qm.hpp"
 
@@ -39,6 +57,27 @@ void BM_LogicSimStep(benchmark::State& state) {
                           static_cast<std::int64_t>(d.system.nl.size()));
 }
 BENCHMARK(BM_LogicSimStep);
+
+// Same workload with the obs counter registry enabled: the delta against
+// BM_LogicSimStep is the whole cost of production instrumentation.
+void BM_LogicSimStepObsEnabled(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  logicsim::Simulator sim(d.system.nl);
+  for (const synth::Bus& bus : d.system.operand_bits) {
+    for (netlist::GateId g : bus) sim.SetInputAllLanes(g, Trit::kZero);
+  }
+  obs::Registry::Global().set_enabled(true);
+  int c = 0;
+  for (auto _ : state) {
+    sim.SetInputAllLanes(d.system.reset, c == 0 ? Trit::kOne : Trit::kZero);
+    sim.Step();
+    c = (c + 1) % d.system.cycles_per_pattern;
+  }
+  obs::Registry::Global().set_enabled(false);
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(d.system.nl.size()));
+}
+BENCHMARK(BM_LogicSimStepObsEnabled);
 
 void BM_ParallelFaultSim(benchmark::State& state) {
   const designs::BenchmarkDesign& d = Diffeq();

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds and runs the engine micro-benchmarks, writing BENCH_engines.json at
+# the repo root so perf trajectory is tracked across PRs.
+#
+#   ./bench/run_bench.sh                               # everything
+#   REPS=5 ./bench/run_bench.sh --benchmark_filter=BM_LogicSimStep
+#   BUILD_DIR=/tmp/b ./bench/run_bench.sh
+#
+# Extra arguments are passed through to the perf_engines binary.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target perf_engines >/dev/null
+
+"$BUILD/bench/perf_engines" \
+  --benchmark_out="$ROOT/BENCH_engines.json" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${REPS:-1}" \
+  --benchmark_report_aggregates_only=true \
+  "$@"
+
+echo "wrote $ROOT/BENCH_engines.json"

@@ -190,11 +190,24 @@ bench/CMakeFiles/perf_engines.dir/perf_engines.cpp.o: \
  /root/repo/src/netlist/netlist.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/base/error.hpp \
  /root/repo/src/synth/system.hpp /root/repo/src/fault/fault_sim.hpp \
- /root/repo/src/logicsim/simulator.hpp /root/repo/src/rtl/control.hpp \
- /root/repo/src/rtl/datapath.hpp /root/repo/src/base/bitvec.hpp \
- /root/repo/src/synth/elaborate.hpp /root/repo/src/synth/fsm.hpp \
- /root/repo/src/synth/qm.hpp /root/repo/src/core/grading.hpp \
- /root/repo/src/core/pipeline.hpp /root/repo/src/analysis/effects.hpp \
- /root/repo/src/hls/hls.hpp /root/repo/src/hls/dfg.hpp \
- /root/repo/src/tpg/lfsr.hpp /root/repo/src/power/power_model.hpp \
- /root/repo/src/power/power_sim.hpp /root/repo/src/designs/designs.hpp
+ /root/repo/src/logicsim/simulator.hpp /root/repo/src/obs/obs.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /root/repo/src/rtl/control.hpp /root/repo/src/rtl/datapath.hpp \
+ /root/repo/src/base/bitvec.hpp /root/repo/src/synth/elaborate.hpp \
+ /root/repo/src/synth/fsm.hpp /root/repo/src/synth/qm.hpp \
+ /root/repo/src/core/grading.hpp /root/repo/src/core/pipeline.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/analysis/effects.hpp /root/repo/src/hls/hls.hpp \
+ /root/repo/src/hls/dfg.hpp /root/repo/src/tpg/lfsr.hpp \
+ /root/repo/src/power/power_model.hpp /root/repo/src/power/power_sim.hpp \
+ /root/repo/src/designs/designs.hpp

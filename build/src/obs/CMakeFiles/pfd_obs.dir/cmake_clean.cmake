@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_obs.dir/obs.cpp.o"
+  "CMakeFiles/pfd_obs.dir/obs.cpp.o.d"
+  "CMakeFiles/pfd_obs.dir/trace.cpp.o"
+  "CMakeFiles/pfd_obs.dir/trace.cpp.o.d"
+  "libpfd_obs.a"
+  "libpfd_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfd_obs.a"
+)

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/netlist/CMakeFiles/pfd_netlist.dir/DependInfo.cmake"
   "/root/repo/build/src/rtl/CMakeFiles/pfd_rtl.dir/DependInfo.cmake"
   "/root/repo/build/src/fault/CMakeFiles/pfd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/pfd_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/logicsim/CMakeFiles/pfd_logicsim.dir/DependInfo.cmake"
   "/root/repo/build/src/tpg/CMakeFiles/pfd_tpg.dir/DependInfo.cmake"
   "/root/repo/build/src/base/CMakeFiles/pfd_base.dir/DependInfo.cmake"

@@ -293,10 +293,8 @@ tests/CMakeFiles/base_test.dir/base_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/base/bitvec.hpp /root/repo/src/base/error.hpp \
- /root/repo/src/base/logic.hpp /root/repo/src/base/rng.hpp \
- /root/repo/src/base/stats.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -316,5 +314,7 @@ tests/CMakeFiles/base_test.dir/base_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/base/bitvec.hpp \
+ /root/repo/src/base/error.hpp /root/repo/src/base/logic.hpp \
+ /root/repo/src/base/rng.hpp /root/repo/src/base/stats.hpp \
  /root/repo/src/base/text_table.hpp

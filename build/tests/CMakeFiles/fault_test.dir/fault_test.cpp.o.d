@@ -296,4 +296,8 @@ tests/CMakeFiles/fault_test.dir/fault_test.cpp.o: \
  /root/repo/src/base/rng.hpp /root/repo/src/fault/fault.hpp \
  /root/repo/src/base/logic.hpp /root/repo/src/netlist/netlist.hpp \
  /usr/include/c++/12/span /root/repo/src/base/error.hpp \
- /root/repo/src/fault/fault_sim.hpp /root/repo/src/logicsim/simulator.hpp
+ /root/repo/src/fault/fault_sim.hpp /root/repo/src/logicsim/simulator.hpp \
+ /root/repo/src/obs/obs.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h

@@ -295,4 +295,8 @@ tests/CMakeFiles/logicsim_test.dir/logicsim_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/logicsim/simulator.hpp /root/repo/src/base/logic.hpp \
  /root/repo/src/netlist/netlist.hpp /usr/include/c++/12/span \
- /root/repo/src/base/error.hpp
+ /root/repo/src/base/error.hpp /root/repo/src/obs/obs.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h

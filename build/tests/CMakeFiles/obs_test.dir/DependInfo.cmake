@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/pfd_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pfd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pfd_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/pfd_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pfd_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/pfd_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicsim/CMakeFiles/pfd_logicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpg/CMakeFiles/pfd_tpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/pfd_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/pfd_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pfd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/pfd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -321,6 +321,10 @@ tests/CMakeFiles/tools_test.dir/tools_test.cpp.o: \
  /root/repo/src/fault/fault.hpp /root/repo/src/netlist/netlist.hpp \
  /usr/include/c++/12/span /root/repo/src/synth/system.hpp \
  /root/repo/src/fault/fault_sim.hpp /root/repo/src/logicsim/simulator.hpp \
+ /root/repo/src/obs/obs.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/rtl/control.hpp /root/repo/src/rtl/datapath.hpp \
  /root/repo/src/base/bitvec.hpp /root/repo/src/synth/elaborate.hpp \
  /root/repo/src/synth/fsm.hpp /root/repo/src/synth/qm.hpp \

@@ -19,6 +19,26 @@ class RunningStat {
     m2_ += delta * (x - mean_);
   }
 
+  // Folds another accumulator into this one (Chan et al. parallel
+  // combination of Welford states): the result is exactly the state this
+  // accumulator would hold had it seen both sample streams. Lets sharded
+  // Monte Carlo workers and per-thread obs aggregates each keep a private
+  // RunningStat and combine at the end.
+  void Merge(const RunningStat& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double n = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    mean_ += delta * nb / n;
+    n_ += other.n_;
+  }
+
   std::uint64_t count() const { return n_; }
   double mean() const { return mean_; }
 

@@ -1,7 +1,10 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+
+#include "obs/trace.hpp"
 
 namespace pfd::core {
 
@@ -33,139 +36,257 @@ std::string ClassificationReport::Summary() const {
   return os.str();
 }
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// The four paper steps run as explicit stages (rather than one fused loop)
+// so each gets a wall-time bucket, a trace span, and a progress line; the
+// classification decisions are unchanged. Faults that survive a stage are
+// carried to the next with their controller trace, which step 4 reuses for
+// the symbolic prover.
 ClassificationReport ClassifyControllerFaults(const synth::System& sys,
                                               const hls::HlsResult& hls,
                                               const PipelineConfig& config) {
-  // Fault universe: collapsed stuck-at faults on controller gates.
-  const std::vector<fault::StuckFault> all =
-      fault::GenerateFaults(sys.nl, netlist::ModuleTag::kController);
-  const fault::CollapsedFaults collapsed = fault::Collapse(sys.nl, all);
-  const std::vector<fault::StuckFault>& faults = collapsed.representatives;
-
-  // Step 1: integrated-system fault simulation with TPGR patterns.
-  const fault::TestPlan plan =
-      config.observation == ObservationPolicy::kAtHold
-          ? sys.MakeTestPlan()
-          : sys.MakeEveryCyclePlan();
-  const fault::FaultSimResult sim = fault::RunParallelFaultSim(
-      sys.nl, plan, faults, config.tpgr_seed, config.tpgr_patterns);
+  obs::Registry& reg = obs::Registry::Global();
+  const std::uint64_t cycles_before = reg.CounterValue("logicsim.cycles");
+  const std::uint64_t evals_before = reg.CounterValue("logicsim.gate_evals");
+  const SteadyClock::time_point t_run = SteadyClock::now();
+  obs::Span classify_span("pipeline.classify");
+  const bool tracing = reg.trace() != nullptr;
+  // Per-fault sub-span args are only rendered when a sink is installed.
+  const auto fault_args = [tracing](const std::string& name) {
+    return tracing ? "\"fault\":\"" + obs::JsonEscape(name) + "\""
+                   : std::string();
+  };
+  const auto progress = [&config](const std::string& line) {
+    if (config.progress) config.progress(line);
+  };
 
   ClassificationReport report;
+  PipelineMetrics& m = report.metrics;
+  m.tpgr_patterns = config.tpgr_patterns;
+
+  // Step 1: integrated-system fault simulation with TPGR patterns over the
+  // collapsed stuck-at faults on controller gates.
+  fault::CollapsedFaults collapsed;
+  fault::TestPlan plan;
+  fault::FaultSimResult sim;
+  {
+    SteadyClock::time_point t0 = SteadyClock::now();
+    obs::Span span("step1.integrated_fault_sim");
+    const std::vector<fault::StuckFault> all =
+        fault::GenerateFaults(sys.nl, netlist::ModuleTag::kController);
+    collapsed = fault::Collapse(sys.nl, all);
+    plan = config.observation == ObservationPolicy::kAtHold
+               ? sys.MakeTestPlan()
+               : sys.MakeEveryCyclePlan();
+    sim = fault::RunParallelFaultSim(sys.nl, plan, collapsed.representatives,
+                                     config.tpgr_seed, config.tpgr_patterns);
+    ++m.sim_invocations;
+    m.step1_ms = MsSince(t0);
+  }
+  const std::vector<fault::StuckFault>& faults = collapsed.representatives;
   report.records.resize(faults.size());
   report.total = faults.size();
+  {
+    std::ostringstream os;
+    os << "step1: fault-simulated " << faults.size() << " collapsed faults x "
+       << config.tpgr_patterns << " patterns (" << m.step1_ms << " ms)";
+    progress(os.str());
+  }
 
-  const analysis::ControlTrace golden =
-      analysis::ExtractControlTrace(sys, nullptr, config.trace_patterns);
-  const analysis::LifespanTable lifespans(hls);
-
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    FaultRecord& rec = report.records[i];
-    rec.fault = faults[i];
-    rec.name = fault::FaultName(sys.nl, faults[i]);
-
-    if (sim.status[i] == fault::FaultStatus::kDetected) {
-      rec.cls = FaultClass::kSfiSim;
-      ++report.sfi_sim;
-      continue;
-    }
-    // Step 2: "potentially detected" means the faulty machine exposed an X
-    // where the golden response is known; in hardware the boot value will
-    // eventually mismatch, so treat as SFI.
-    if (sim.status[i] == fault::FaultStatus::kPotentiallyDetected) {
-      rec.cls = FaultClass::kSfiPotential;
-      ++report.sfi_potential;
-      continue;
-    }
-
-    // Step 3: controller-only behaviour.
-    const analysis::ControlTrace faulty =
-        analysis::ExtractControlTrace(sys, &faults[i], config.trace_patterns);
-    // Prefer the steady-state window (pattern 1) for reporting; fall back to
-    // the boot window, then later patterns, so CFI faults that only act
-    // during boot still show their effects.
-    std::vector<analysis::ControlLineEffect> effects =
-        analysis::DiffPattern(sys, golden, faulty, 1);
-    bool any_effect = !effects.empty();
-    for (int p = 0; p < config.trace_patterns; ++p) {
-      if (p == 1) continue;
-      const auto diff = analysis::DiffPattern(sys, golden, faulty, p);
-      if (!diff.empty()) {
-        any_effect = true;
-        if (effects.empty()) effects = diff;
+  // Step 2: "potentially detected" means the faulty machine exposed an X
+  // where the golden response is known; in hardware the boot value will
+  // eventually mismatch, so treat as SFI.
+  std::vector<std::size_t> survivors;
+  {
+    SteadyClock::time_point t0 = SteadyClock::now();
+    obs::Span span("step2.potential_upgrade");
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      FaultRecord& rec = report.records[i];
+      rec.fault = faults[i];
+      rec.name = fault::FaultName(sys.nl, faults[i]);
+      if (sim.status[i] == fault::FaultStatus::kDetected) {
+        rec.cls = FaultClass::kSfiSim;
+        ++report.sfi_sim;
+      } else if (sim.status[i] == fault::FaultStatus::kPotentiallyDetected) {
+        rec.cls = FaultClass::kSfiPotential;
+        ++report.sfi_potential;
+      } else {
+        survivors.push_back(i);
       }
     }
-    // For feedback (while-loop) systems the zero-data trace covers only one
-    // control path, so a clean diff does not prove CFR; a dual run
-    // observing the control lines over the full input space does.
-    analysis::GateCheckConfig gate_cfg_base = config.gate_check;
-    if (!any_effect) {
-      bool is_cfr = !sys.has_feedback;
-      if (sys.has_feedback) {
-        analysis::GateCheckConfig cfr_cfg = gate_cfg_base;
-        cfr_cfg.observe_control_lines = true;
-        is_cfr = !analysis::GateLevelSfrCheck(sys, faults[i], cfr_cfg)
-                      .difference_found;
-      }
-      if (is_cfr) {
-        rec.cls = FaultClass::kCfr;
-        ++report.cfr;
-        continue;
-      }
-    }
+    m.step2_ms = MsSince(t0);
+  }
+  {
+    std::ostringstream os;
+    os << "step2: " << report.sfi_sim << " SFI(sim), " << report.sfi_potential
+       << " SFI(potential) upgraded, " << survivors.size() << " undetected";
+    progress(os.str());
+  }
 
-    rec.effects.clear();
-    for (const analysis::ControlLineEffect& e : effects) {
-      // The two HOLD strobes (and shared states) produce identical effects;
-      // report each (line, state, transition) once, as the paper does.
-      const bool dup = std::any_of(
-          rec.effects.begin(), rec.effects.end(),
-          [&](const analysis::ClassifiedEffect& ce) {
-            return ce.effect.line == e.line && ce.effect.state == e.state &&
-                   ce.effect.golden == e.golden && ce.effect.faulty == e.faulty;
-          });
-      if (!dup) {
-        rec.effects.push_back(analysis::ClassifyEffect(sys, lifespans, e));
-      }
-    }
-    rec.analytic_verdict = analysis::CombineVerdicts(rec.effects);
-    for (const analysis::ClassifiedEffect& ce : rec.effects) {
-      if (sys.lines[ce.effect.line].kind ==
-          synth::ControlLineInfo::Kind::kLoad) {
-        rec.touches_load_line = true;
-      }
-    }
+  // Step 3: controller-only behaviour. Faults that never change a control
+  // line are CFR; the rest carry their classified Section-3 effects (and
+  // their controller trace) into step 4.
+  struct PendingFault {
+    std::size_t index;
+    analysis::ControlTrace faulty;
+  };
+  std::vector<PendingFault> pending;
+  analysis::ControlTrace golden;
+  {
+    SteadyClock::time_point t0 = SteadyClock::now();
+    obs::Span span("step3.controller_analysis");
+    golden = analysis::ExtractControlTrace(sys, nullptr, config.trace_patterns);
+    ++m.trace_extractions;
+    ++m.sim_invocations;
+    const analysis::LifespanTable lifespans(hls);
 
-    // Step 4: sound SFR/SFI decision, under the same observation policy as
-    // the integrated test. Feedback systems skip the symbolic prover: their
-    // control traces are data-dependent, so replaying one trace would not
-    // cover all paths.
+    for (const std::size_t i : survivors) {
+      FaultRecord& rec = report.records[i];
+      obs::Span fspan("step3.fault", fault_args(rec.name));
+      analysis::ControlTrace faulty =
+          analysis::ExtractControlTrace(sys, &faults[i], config.trace_patterns);
+      ++m.trace_extractions;
+      ++m.sim_invocations;
+      // Prefer the steady-state window (pattern 1) for reporting; fall back
+      // to the boot window, then later patterns, so CFI faults that only act
+      // during boot still show their effects.
+      std::vector<analysis::ControlLineEffect> effects =
+          analysis::DiffPattern(sys, golden, faulty, 1);
+      bool any_effect = !effects.empty();
+      for (int p = 0; p < config.trace_patterns; ++p) {
+        if (p == 1) continue;
+        const auto diff = analysis::DiffPattern(sys, golden, faulty, p);
+        if (!diff.empty()) {
+          any_effect = true;
+          if (effects.empty()) effects = diff;
+        }
+      }
+      // For feedback (while-loop) systems the zero-data trace covers only
+      // one control path, so a clean diff does not prove CFR; a dual run
+      // observing the control lines over the full input space does.
+      if (!any_effect) {
+        bool is_cfr = !sys.has_feedback;
+        if (sys.has_feedback) {
+          analysis::GateCheckConfig cfr_cfg = config.gate_check;
+          cfr_cfg.observe_control_lines = true;
+          is_cfr = !analysis::GateLevelSfrCheck(sys, faults[i], cfr_cfg)
+                        .difference_found;
+          ++m.gate_checks;
+          ++m.sim_invocations;
+        }
+        if (is_cfr) {
+          rec.cls = FaultClass::kCfr;
+          ++report.cfr;
+          continue;
+        }
+      }
+
+      rec.effects.clear();
+      for (const analysis::ControlLineEffect& e : effects) {
+        // The two HOLD strobes (and shared states) produce identical
+        // effects; report each (line, state, transition) once, as the paper
+        // does.
+        const bool dup = std::any_of(
+            rec.effects.begin(), rec.effects.end(),
+            [&](const analysis::ClassifiedEffect& ce) {
+              return ce.effect.line == e.line && ce.effect.state == e.state &&
+                     ce.effect.golden == e.golden &&
+                     ce.effect.faulty == e.faulty;
+            });
+        if (!dup) {
+          rec.effects.push_back(analysis::ClassifyEffect(sys, lifespans, e));
+        }
+      }
+      rec.analytic_verdict = analysis::CombineVerdicts(rec.effects);
+      for (const analysis::ClassifiedEffect& ce : rec.effects) {
+        if (sys.lines[ce.effect.line].kind ==
+            synth::ControlLineInfo::Kind::kLoad) {
+          rec.touches_load_line = true;
+        }
+      }
+      pending.push_back(PendingFault{i, std::move(faulty)});
+    }
+    m.step3_ms = MsSince(t0);
+  }
+  {
+    std::ostringstream os;
+    os << "step3: " << report.cfr << " CFR, " << pending.size()
+       << " CFI faults to decide (" << m.step3_ms << " ms)";
+    progress(os.str());
+  }
+
+  // Step 4: sound SFR/SFI decision, under the same observation policy as
+  // the integrated test. Feedback systems skip the symbolic prover: their
+  // control traces are data-dependent, so replaying one trace would not
+  // cover all paths.
+  std::size_t symbolic_sfr = 0;
+  {
+    SteadyClock::time_point t0 = SteadyClock::now();
+    obs::Span span("step4.sfr_decision");
     std::vector<int> strobes;  // empty = HOLD strobes
-    analysis::GateCheckConfig gate_cfg = gate_cfg_base;
+    analysis::GateCheckConfig gate_cfg = config.gate_check;
     if (config.observation == ObservationPolicy::kEveryCycle) {
       strobes.assign(plan.strobe_cycles.begin(), plan.strobe_cycles.end());
       gate_cfg.every_cycle = true;
     }
-    if (!sys.has_feedback) {
-      const analysis::SymbolicCheck sym =
-          analysis::SymbolicSfrCheck(sys, golden, faulty, strobes);
-      if (sym.outcome == analysis::SymbolicCheck::Outcome::kEquivalent) {
+    for (PendingFault& pf : pending) {
+      FaultRecord& rec = report.records[pf.index];
+      obs::Span fspan("step4.fault", fault_args(rec.name));
+      if (!sys.has_feedback) {
+        const analysis::SymbolicCheck sym =
+            analysis::SymbolicSfrCheck(sys, golden, pf.faulty, strobes);
+        ++m.symbolic_checks;
+        if (sym.outcome == analysis::SymbolicCheck::Outcome::kEquivalent) {
+          rec.cls = FaultClass::kSfr;
+          rec.symbolically_proven = true;
+          ++report.sfr;
+          ++symbolic_sfr;
+          continue;
+        }
+      }
+      const analysis::GateCheck gate =
+          analysis::GateLevelSfrCheck(sys, faults[pf.index], gate_cfg);
+      ++m.gate_checks;
+      ++m.sim_invocations;
+      rec.exhaustive = gate.exhaustive;
+      if (gate.difference_found) {
+        rec.cls = FaultClass::kSfiAnalysis;
+        ++report.sfi_analysis;
+      } else {
         rec.cls = FaultClass::kSfr;
-        rec.symbolically_proven = true;
         ++report.sfr;
-        continue;
       }
     }
-    const analysis::GateCheck gate =
-        analysis::GateLevelSfrCheck(sys, faults[i], gate_cfg);
-    rec.exhaustive = gate.exhaustive;
-    if (gate.difference_found) {
-      rec.cls = FaultClass::kSfiAnalysis;
-      ++report.sfi_analysis;
-    } else {
-      rec.cls = FaultClass::kSfr;
-      ++report.sfr;
-    }
+    m.step4_ms = MsSince(t0);
   }
+  {
+    std::ostringstream os;
+    os << "step4: " << report.sfr << " SFR (" << symbolic_sfr
+       << " symbolic), " << report.sfi_analysis << " SFI(analysis) ("
+       << m.step4_ms << " ms)";
+    progress(os.str());
+  }
+
+  m.faults_total = report.total;
+  m.sfi_sim = report.sfi_sim;
+  m.sfi_potential = report.sfi_potential;
+  m.sfi_analysis = report.sfi_analysis;
+  m.cfr = report.cfr;
+  m.sfr = report.sfr;
+  m.sim_cycles = reg.CounterValue("logicsim.cycles") - cycles_before;
+  m.gate_evals = reg.CounterValue("logicsim.gate_evals") - evals_before;
+  m.wall_ms_total = MsSince(t_run);
+  progress("classify: " + report.Summary());
   return report;
 }
 

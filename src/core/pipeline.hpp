@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,42 @@ struct PipelineConfig {
   int trace_patterns = 3;
   ObservationPolicy observation = ObservationPolicy::kAtHold;
   analysis::GateCheckConfig gate_check;
+  // Stage-progress callback (one line per stage boundary); pfdtool -v wires
+  // this to stderr. Null = silent.
+  std::function<void(const std::string&)> progress;
+};
+
+// Where the cycles and simulations went during one ClassifyControllerFaults
+// run. Wall times and pipeline-level counts are always collected (a handful
+// of clock reads); the engine-substrate numbers (sim_cycles, gate_evals)
+// are deltas of the obs::Registry counters and stay 0 unless the caller
+// enabled the registry.
+struct PipelineMetrics {
+  double wall_ms_total = 0.0;
+  double step1_ms = 0.0;  // integrated-system TPGR fault simulation
+  double step2_ms = 0.0;  // potentially-detected upgrade
+  double step3_ms = 0.0;  // controller-only trace diff + CFR decision
+  double step4_ms = 0.0;  // symbolic / gate-level SFR decision
+
+  // Fault counts by class (mirrors the ClassificationReport breakdown).
+  std::size_t faults_total = 0;
+  std::size_t sfi_sim = 0;
+  std::size_t sfi_potential = 0;
+  std::size_t sfi_analysis = 0;
+  std::size_t cfr = 0;
+  std::size_t sfr = 0;
+
+  // Engine invocations issued by the pipeline.
+  int tpgr_patterns = 0;
+  std::uint64_t sim_invocations = 0;  // fault sims + trace extractions +
+                                      // gate-level dual runs
+  std::uint64_t trace_extractions = 0;
+  std::uint64_t symbolic_checks = 0;
+  std::uint64_t gate_checks = 0;
+
+  // obs::Registry deltas over the run (0 when the registry is disabled).
+  std::uint64_t sim_cycles = 0;
+  std::uint64_t gate_evals = 0;
 };
 
 struct ClassificationReport {
@@ -86,6 +123,9 @@ struct ClassificationReport {
   std::size_t sfi_analysis = 0;
   std::size_t cfr = 0;
   std::size_t sfr = 0;
+
+  // Per-stage timing and engine-invocation accounting for this run.
+  PipelineMetrics metrics;
 
   double PercentSfr() const {
     return total == 0 ? 0.0 : 100.0 * static_cast<double>(sfr) /

@@ -1,8 +1,10 @@
 #include "core/report.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 #include "base/text_table.hpp"
+#include "obs/trace.hpp"
 
 namespace pfd::core {
 
@@ -77,6 +79,83 @@ std::string SummaryLine(const std::string& design,
   std::ostringstream os;
   os << design << ": " << report.Summary();
   return os.str();
+}
+
+std::string MetricsTable(const PipelineMetrics& m) {
+  TextTable t({"stage", "wall ms", "notes"});
+  const auto ms = [](double v) { return TextTable::FormatDouble(v, 2); };
+  t.AddRow({"step1 integrated fault sim", ms(m.step1_ms),
+            std::to_string(m.faults_total) + " faults x " +
+                std::to_string(m.tpgr_patterns) + " patterns"});
+  t.AddRow({"step2 potential upgrade", ms(m.step2_ms),
+            std::to_string(m.sfi_sim) + " SFI(sim), " +
+                std::to_string(m.sfi_potential) + " SFI(potential)"});
+  t.AddRow({"step3 controller analysis", ms(m.step3_ms),
+            std::to_string(m.cfr) + " CFR, " +
+                std::to_string(m.trace_extractions) + " trace extractions"});
+  t.AddRow({"step4 SFR decision", ms(m.step4_ms),
+            std::to_string(m.sfr) + " SFR, " +
+                std::to_string(m.symbolic_checks) + " symbolic + " +
+                std::to_string(m.gate_checks) + " gate checks"});
+  t.AddRow({"total", ms(m.wall_ms_total),
+            std::to_string(m.sim_invocations) + " sim invocations"});
+  return t.ToString();
+}
+
+namespace {
+
+void AppendJsonKv(std::string& out, const char* key, std::uint64_t v,
+                  bool comma = true) {
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+  if (comma) out += ",";
+}
+
+std::string JsonDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsJson(const ClassificationReport& report) {
+  const PipelineMetrics& m = report.metrics;
+  std::string out = "{\n";
+  AppendJsonKv(out, "total_faults", m.faults_total, false);
+  out += ",\n\"classes\":{";
+  AppendJsonKv(out, "SFI(sim)", m.sfi_sim);
+  AppendJsonKv(out, "SFI(potential)", m.sfi_potential);
+  AppendJsonKv(out, "SFI(analysis)", m.sfi_analysis);
+  AppendJsonKv(out, "CFR", m.cfr);
+  AppendJsonKv(out, "SFR", m.sfr, false);
+  out += "},\n\"wall_ms\":{";
+  out += "\"step1\":" + JsonDouble(m.step1_ms) + ",";
+  out += "\"step2\":" + JsonDouble(m.step2_ms) + ",";
+  out += "\"step3\":" + JsonDouble(m.step3_ms) + ",";
+  out += "\"step4\":" + JsonDouble(m.step4_ms) + ",";
+  out += "\"total\":" + JsonDouble(m.wall_ms_total);
+  out += "},\n\"engine\":{";
+  AppendJsonKv(out, "tpgr_patterns",
+               static_cast<std::uint64_t>(m.tpgr_patterns));
+  AppendJsonKv(out, "sim_invocations", m.sim_invocations);
+  AppendJsonKv(out, "trace_extractions", m.trace_extractions);
+  AppendJsonKv(out, "symbolic_checks", m.symbolic_checks);
+  AppendJsonKv(out, "gate_checks", m.gate_checks);
+  AppendJsonKv(out, "sim_cycles", m.sim_cycles);
+  AppendJsonKv(out, "gate_evals", m.gate_evals, false);
+  out += "},\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] :
+       obs::Registry::Global().CounterSnapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "}\n}\n";
+  return out;
 }
 
 }  // namespace pfd::core

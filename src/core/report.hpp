@@ -24,6 +24,14 @@ std::string GradingTable(const PowerGradeReport& report);
 std::string SummaryLine(const std::string& design,
                         const ClassificationReport& report);
 
+// Per-stage wall times and engine counts of one pipeline run, as an aligned
+// text table (pfdtool -v) ...
+std::string MetricsTable(const PipelineMetrics& metrics);
+// ... and as a JSON object (pfdtool --metrics-json): per-class fault
+// counts, stage wall times, engine invocation counts, plus a snapshot of
+// the obs::Registry counters (empty when the registry is disabled).
+std::string MetricsJson(const ClassificationReport& report);
+
 // Joins a record's effect descriptions ("1. ...; 2. ...").
 std::string EffectsSummary(const FaultRecord& record);
 

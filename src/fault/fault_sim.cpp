@@ -1,7 +1,9 @@
 #include "fault/fault_sim.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "obs/trace.hpp"
 #include "tpg/lfsr.hpp"
 
 namespace pfd::fault {
@@ -87,6 +89,10 @@ FaultSimResult RunParallelFaultSim(const netlist::Netlist& nl,
                                    std::span<const StuckFault> faults,
                                    std::uint32_t tpgr_seed, int num_patterns) {
   CheckPlan(nl, plan);
+  obs::Span span("fault_sim.parallel",
+                 obs::Span::Args(
+                     {{"faults", static_cast<std::int64_t>(faults.size())},
+                      {"patterns", num_patterns}}));
   FaultSimResult result;
   result.status.assign(faults.size(), FaultStatus::kUndetected);
   result.first_detect_pattern.assign(faults.size(), -1);
@@ -152,6 +158,19 @@ FaultSimResult RunParallelFaultSim(const netlist::Netlist& nl,
       result.status[batch_start + i] = s;
     }
 
+    if (obs::Enabled()) {
+      obs::Registry& reg = obs::Registry::Global();
+      reg.GetCounter("fault_sim.batches").Add(1);
+      reg.GetCounter("fault_sim.lanes").Add(batch_size);
+      reg.GetCounter("fault_sim.patterns")
+          .Add(static_cast<std::uint64_t>(num_patterns));
+      reg.GetCounter("fault_sim.detected")
+          .Add(static_cast<std::uint64_t>(std::popcount(detected)));
+      reg.GetCounter("fault_sim.potential")
+          .Add(static_cast<std::uint64_t>(
+              std::popcount(potential & ~detected)));
+    }
+
     if (faults.empty()) break;
   }
   return result;
@@ -162,6 +181,10 @@ FaultSimResult RunSerialFaultSim(const netlist::Netlist& nl,
                                  std::span<const StuckFault> faults,
                                  std::uint32_t tpgr_seed, int num_patterns) {
   CheckPlan(nl, plan);
+  obs::Span span("fault_sim.serial",
+                 obs::Span::Args(
+                     {{"faults", static_cast<std::int64_t>(faults.size())},
+                      {"patterns", num_patterns}}));
   const std::vector<int> widths = OperandWidths(plan);
 
   // Golden pass: record the fault-free response at every strobe.
@@ -224,6 +247,13 @@ FaultSimResult RunSerialFaultSim(const netlist::Netlist& nl,
     result.status[fi] = detected ? FaultStatus::kDetected
                         : potential ? FaultStatus::kPotentiallyDetected
                                     : FaultStatus::kUndetected;
+    if (obs::Enabled()) {
+      obs::Registry& reg = obs::Registry::Global();
+      reg.GetCounter("fault_sim.serial_faults").Add(1);
+      // A hard detect stops the pattern loop early — the drop that makes
+      // serial fault dropping worthwhile at all.
+      if (detected) reg.GetCounter("fault_sim.serial_early_drops").Add(1);
+    }
   }
   return result;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace pfd::hls {
 
 using rtl::FuKind;
@@ -153,6 +155,9 @@ ScheduleOut ListSchedule(const Dfg& dfg, const HlsConfig& cfg) {
 }  // namespace
 
 HlsResult RunHls(const Dfg& dfg, const HlsConfig& cfg) {
+  obs::Span span("hls.run_hls",
+                 obs::Span::Args({{"ops", static_cast<std::int64_t>(
+                                       dfg.ops().size())}}));
   dfg.Validate();
   const auto& ops = dfg.ops();
   const int width = dfg.width();

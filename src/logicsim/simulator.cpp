@@ -9,6 +9,11 @@ using netlist::GateKind;
 
 Simulator::Simulator(const netlist::Netlist& nl) : nl_(&nl) {
   nl.Validate();
+  obs::Registry& reg = obs::Registry::Global();
+  obs_cycles_ = &reg.GetCounter("logicsim.cycles");
+  obs_gate_evals_ = &reg.GetCounter("logicsim.gate_evals");
+  obs_substeps_ = &reg.GetCounter("logicsim.settle_substeps");
+  if (reg.enabled()) reg.GetCounter("logicsim.simulators").Add(1);
   const std::size_t n = nl.size();
   value_.assign(n, kAllX);
   dff_next_.assign(n, kAllX);
@@ -119,6 +124,7 @@ void Simulator::Step() {
   }
 
   // 3. Combinational settle.
+  std::uint64_t settle_substeps = 0;  // unit-delay only
   if (!unit_delay_) {
     // Zero-delay: settle once in topological order.
     for (GateId g : nl_->CombinationalOrder()) {
@@ -135,6 +141,7 @@ void Simulator::Step() {
     sub_next_ = value_;
     const auto& order = nl_->CombinationalOrder();
     for (std::size_t substep = 0; substep <= order.size(); ++substep) {
+      ++settle_substeps;
       bool changed = false;
       for (GateId g : order) {
         Word3 w = EvalGate(g);  // reads value_ = previous sub-step
@@ -180,6 +187,16 @@ void Simulator::Step() {
   // 5. Capture next DFF state from the settled D pins (with pin forces).
   for (GateId d : nl_->DffIds()) {
     dff_next_[d] = ReadFanin(d, 0, nl_->Fanins(d)[0]);
+  }
+
+  // Counter updates happen once per Step (64 machine-cycles), so the guard
+  // is a single relaxed load per ~N gate evaluations.
+  if (obs::Enabled()) {
+    const std::uint64_t order_size = nl_->CombinationalOrder().size();
+    obs_cycles_->Add(1);
+    obs_gate_evals_->Add(unit_delay_ ? settle_substeps * order_size
+                                     : order_size);
+    if (unit_delay_) obs_substeps_->Add(settle_substeps);
   }
 
   ++cycles_;

@@ -38,6 +38,7 @@
 
 #include "base/logic.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/obs.hpp"
 
 namespace pfd::logicsim {
 
@@ -127,6 +128,12 @@ class Simulator {
   std::vector<std::uint64_t> toggles_;
   std::vector<std::uint64_t> duty_;
   std::uint64_t cycles_ = 0;
+
+  // Observability counters (cached handles; bumped once per Step, and only
+  // when the registry is enabled — see obs/obs.hpp).
+  obs::Counter* obs_cycles_ = nullptr;
+  obs::Counter* obs_gate_evals_ = nullptr;
+  obs::Counter* obs_substeps_ = nullptr;
 };
 
 }  // namespace pfd::logicsim

@@ -1,0 +1,73 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+
+namespace pfd::obs {
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: handles
+  return *registry;                            // outlive static teardown
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counters_) {
+    if (c.name() == name) return c;
+  }
+  return counters_.emplace_back(std::string(name));
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Gauge& g : gauges_) {
+    if (g.name() == name) return g;
+  }
+  return gauges_.emplace_back(std::string(name));
+}
+
+std::uint64_t Registry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Counter& c : counters_) {
+    if (c.name() == name) return c.value();
+  }
+  return 0;
+}
+
+double Registry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Gauge& g : gauges_) {
+    if (g.name() == name) return g.value();
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::CounterSnapshot()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(counters_.size());
+    for (const Counter& c : counters_) out.emplace_back(c.name(), c.value());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::GaugeSnapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(gauges_.size());
+    for (const Gauge& g : gauges_) out.emplace_back(g.name(), g.value());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counters_) c.Reset();
+  for (Gauge& g : gauges_) g.Reset();
+}
+
+}  // namespace pfd::obs

@@ -1,0 +1,113 @@
+// Observability substrate: a process-global registry of named counters and
+// gauges, plus the hook where a trace sink (obs/trace.hpp) is installed.
+//
+// Design constraints, in order:
+//   1. Near-zero cost when disabled. The registry starts disabled; every
+//      instrumentation site guards on `obs::Enabled()` (one relaxed atomic
+//      load) and accumulates at batch granularity (per Step / per batch /
+//      per call), never inside the innermost gate loop.
+//   2. Lock-free-friendly hot path. Counter::Add is a relaxed fetch_add on
+//      a stable address; Gauge::Set is a relaxed store. The registry mutex
+//      is taken only on registration and snapshotting, never on update, so
+//      future sharded/threaded engines can hammer the same counters.
+//   3. Stable handles. GetCounter/GetGauge return references that stay
+//      valid for the process lifetime (deque storage); engines cache them
+//      in constructors and skip the name lookup on the hot path.
+//
+// Naming convention: "<subsystem>.<what>", e.g. "logicsim.gate_evals",
+// "fault_sim.lanes", "power.mc_batches", "qm.cover_iterations".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pfd::obs {
+
+class Trace;
+
+// Monotonic event count. Updates are relaxed atomics: totals are exact once
+// writers quiesce, which is all a metrics snapshot needs.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-written value (convergence state, current tolerance, ...).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+class Registry {
+ public:
+  static Registry& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Create-or-get; the returned reference is valid forever.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+
+  // Value of a counter/gauge by name; 0 when it was never registered.
+  std::uint64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+
+  // Name-sorted snapshots of everything ever registered.
+  std::vector<std::pair<std::string, std::uint64_t>> CounterSnapshot() const;
+  std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
+
+  // Zeroes every counter and gauge (handles stay valid).
+  void ResetAll();
+
+  // Trace sink. The registry does not own the sink; the installer must
+  // uninstall (InstallTrace(nullptr)) before destroying it.
+  void InstallTrace(Trace* trace) {
+    trace_.store(trace, std::memory_order_release);
+  }
+  Trace* trace() const { return trace_.load(std::memory_order_acquire); }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;  // deque: stable addresses
+  std::deque<Gauge> gauges_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<Trace*> trace_{nullptr};
+};
+
+// The single guard every instrumentation site checks before counting.
+inline bool Enabled() { return Registry::Global().enabled(); }
+
+}  // namespace pfd::obs

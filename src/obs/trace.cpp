@@ -1,0 +1,183 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace pfd::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point ProcessEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::uint64_t ThisThreadId() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+int& ThreadSpanDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   ProcessEpoch())
+      .count();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void Trace::RecordComplete(std::string name, double ts_us, double dur_us,
+                           int depth, std::string args_json) {
+  Event e;
+  e.name = std::move(name);
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = ThisThreadId();
+  e.depth = depth;
+  e.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Trace::RecordInstant(std::string name, std::string args_json) {
+  Event e;
+  e.name = std::move(name);
+  e.ph = 'i';
+  e.ts_us = NowMicros();
+  e.tid = ThisThreadId();
+  e.depth = ThreadSpanDepth();
+  e.args_json = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<Trace::Event> Trace::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Trace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string Trace::ToJson() const {
+  const std::vector<Event> events = Events();
+  std::string out = "[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    out += JsonEscape(e.name);
+    out += "\",\"cat\":\"pfd\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"ts\":";
+    AppendDouble(out, e.ts_us);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      AppendDouble(out, e.dur_us);
+    } else {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"args\":{\"depth\":";
+    out += std::to_string(e.depth);
+    if (!e.args_json.empty()) {
+      out += ",";
+      out += e.args_json;
+    }
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = trace.ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written != json.size()) std::fclose(f);
+  return ok;
+}
+
+Span::Span(std::string_view name, std::string args_json) {
+  trace_ = Registry::Global().trace();
+  if (trace_ == nullptr) return;
+  name_ = name;
+  args_json_ = std::move(args_json);
+  depth_ = ThreadSpanDepth()++;
+  start_us_ = NowMicros();
+}
+
+Span::~Span() {
+  if (trace_ == nullptr) return;
+  const double end_us = NowMicros();
+  --ThreadSpanDepth();
+  trace_->RecordComplete(std::move(name_), start_us_, end_us - start_us_,
+                         depth_, std::move(args_json_));
+}
+
+std::string Span::Args(
+    std::initializer_list<std::pair<const char*, std::int64_t>> kv) {
+  std::string out;
+  for (const auto& [key, value] : kv) {
+    if (!out.empty()) out += ",";
+    out += "\"";
+    out += JsonEscape(key);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  return out;
+}
+
+}  // namespace pfd::obs

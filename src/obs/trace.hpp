@@ -1,0 +1,89 @@
+// Hierarchical scoped spans and a Chrome trace_event-format exporter.
+//
+// A Span is an RAII timer: construction stamps the start, destruction
+// records one complete ("ph":"X") event into the Trace sink installed in
+// the obs::Registry. When no sink is installed the constructor is a single
+// acquire load and the destructor a branch — per-fault sub-spans in the
+// classification loop cost nothing in production runs.
+//
+// The exported JSON is a top-level array of trace_event objects
+// ({"name","cat","ph","ts","dur","pid","tid","args"}) that chrome://tracing
+// and ui.perfetto.dev open directly. Nesting is implied by ts/dur
+// containment per tid, exactly how those viewers render it; the span's
+// nesting depth at record time is additionally written to args.depth so
+// programmatic consumers (and our tests) need not re-derive containment.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace pfd::obs {
+
+// Microseconds since the first call in this process (steady clock).
+double NowMicros();
+
+// Escapes a string for embedding between double quotes in JSON.
+std::string JsonEscape(std::string_view s);
+
+class Trace {
+ public:
+  struct Event {
+    std::string name;
+    char ph = 'X';       // 'X' complete, 'i' instant
+    double ts_us = 0.0;  // start, microseconds
+    double dur_us = 0.0; // 'X' only
+    std::uint64_t tid = 0;
+    int depth = 0;       // span nesting depth at record time
+    std::string args_json;  // pre-rendered `"key":value` pairs, or empty
+  };
+
+  void RecordComplete(std::string name, double ts_us, double dur_us,
+                      int depth, std::string args_json = {});
+  void RecordInstant(std::string name, std::string args_json = {});
+
+  std::size_t size() const;
+  std::vector<Event> Events() const;  // copy, for inspection
+  void Clear();
+
+  // Top-level JSON array of trace_event objects.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+// Writes trace->ToJson() to `path`. Returns false on I/O failure.
+bool WriteTraceFile(const Trace& trace, const std::string& path);
+
+class Span {
+ public:
+  explicit Span(std::string_view name) : Span(name, std::string()) {}
+  // `args_json` is a pre-rendered `"key":value[,...]` fragment, e.g. from
+  // Span::Args({{"faults", 292}}).
+  Span(std::string_view name, std::string args_json);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  // True when a sink was installed at construction (events will be emitted).
+  bool active() const { return trace_ != nullptr; }
+
+  // Renders integer key/values as an args fragment for the Span ctor.
+  static std::string Args(
+      std::initializer_list<std::pair<const char*, std::int64_t>> kv);
+
+ private:
+  Trace* trace_ = nullptr;
+  std::string name_;
+  std::string args_json_;
+  double start_us_ = 0.0;
+  int depth_ = 0;
+};
+
+}  // namespace pfd::obs

@@ -5,6 +5,7 @@
 
 #include "base/rng.hpp"
 #include "base/stats.hpp"
+#include "obs/trace.hpp"
 #include "tpg/lfsr.hpp"
 
 namespace pfd::power {
@@ -58,6 +59,16 @@ struct BreakdownAccumulator {
   }
 };
 
+// Sum of this run's per-gate switching counts — the quantity the power
+// model integrates. Only called when the obs registry is enabled.
+std::uint64_t TotalToggles(const logicsim::Simulator& sim) {
+  std::uint64_t total = 0;
+  for (std::size_t g = 0; g < sim.nl().size(); ++g) {
+    total += sim.ToggleCount(static_cast<netlist::GateId>(g));
+  }
+  return total;
+}
+
 }  // namespace
 
 PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
@@ -65,6 +76,10 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
                                     const PowerModel& model,
                                     std::span<const fault::StuckFault> faults,
                                     const MonteCarloConfig& config) {
+  obs::Span span("power.monte_carlo",
+                 obs::Span::Args(
+                     {{"faults", static_cast<std::int64_t>(faults.size())},
+                      {"max_batches", config.max_batches}}));
   logicsim::Simulator sim(nl);
   for (const fault::StuckFault& f : faults) {
     fault::InjectFault(sim, f, ~0ULL);
@@ -96,18 +111,36 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
   RunningStat datapath_stat;
   BreakdownAccumulator acc;
   int batches = 0;
+  bool converged = false;
   while (batches < config.max_batches) {
     sim.ResetToggleCounts();
     fill_random();
     RunBatch(sim, plan, lane_values);
     const PowerBreakdown b = model.Compute(sim, batch_cycles);
+    if (obs::Enabled()) {
+      obs::Registry::Global().GetCounter("power.toggles")
+          .Add(TotalToggles(sim));
+    }
     datapath_stat.Add(b.datapath_uw);
     acc.Add(b);
     ++batches;
     if (batches >= config.min_batches &&
         datapath_stat.RelativeHalfWidth95() < config.rel_tol) {
+      converged = true;
       break;
     }
+  }
+
+  if (obs::Enabled()) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter("power.mc_runs").Add(1);
+    reg.GetCounter("power.mc_batches")
+        .Add(static_cast<std::uint64_t>(batches));
+    reg.GetCounter(converged ? "power.mc_converged" : "power.mc_maxed_out")
+        .Add(1);
+    // Convergence state of the most recent run, for -v style probes.
+    reg.GetGauge("power.mc_last_ci95_rel")
+        .Set(datapath_stat.RelativeHalfWidth95());
   }
 
   PowerResult result;
@@ -125,6 +158,10 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
                                 std::uint32_t tpgr_seed, int num_patterns,
                                 bool unit_delay) {
   PFD_CHECK_MSG(num_patterns > 0, "empty test set");
+  obs::Span span("power.test_set",
+                 obs::Span::Args(
+                     {{"faults", static_cast<std::int64_t>(faults.size())},
+                      {"patterns", num_patterns}}));
   logicsim::Simulator sim(nl);
   for (const fault::StuckFault& f : faults) {
     fault::InjectFault(sim, f, ~0ULL);
@@ -152,6 +189,14 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
     RunBatch(sim, plan, lane_values);
     machine_cycles +=
         64ULL * static_cast<std::uint64_t>(plan.cycles_per_pattern);
+  }
+
+  if (obs::Enabled()) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter("power.test_set_runs").Add(1);
+    reg.GetCounter("power.test_set_patterns")
+        .Add(64ULL * static_cast<std::uint64_t>(batches));
+    reg.GetCounter("power.toggles").Add(TotalToggles(sim));
   }
 
   PowerResult result;

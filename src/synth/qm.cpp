@@ -5,6 +5,7 @@
 #include <set>
 
 #include "base/error.hpp"
+#include "obs/trace.hpp"
 
 namespace pfd::synth {
 
@@ -37,13 +38,17 @@ struct CubeLess {
 };
 
 // All prime implicants of ON u DC, by iterated pairwise merging.
+// `merge_rounds` reports how many merge generations ran (cube size classes
+// visited), for the obs counters.
 std::vector<Cube> PrimeImplicants(const std::vector<std::uint32_t>& care,
-                                  std::uint32_t full_mask) {
+                                  std::uint32_t full_mask,
+                                  std::uint64_t& merge_rounds) {
   std::set<Cube, CubeLess> current;
   for (std::uint32_t m : care) current.insert({full_mask, m});
 
   std::vector<Cube> primes;
   while (!current.empty()) {
+    ++merge_rounds;
     std::set<Cube, CubeLess> next;
     std::set<Cube, CubeLess> merged;
     std::vector<Cube> cur(current.begin(), current.end());
@@ -69,6 +74,10 @@ std::vector<Cube> PrimeImplicants(const std::vector<std::uint32_t>& care,
 
 std::vector<Cube> MinimizeSop(const TwoLevelSpec& spec) {
   spec.Validate();
+  obs::Span span("synth.qm.minimize",
+                 obs::Span::Args({{"inputs", spec.num_inputs}}));
+  std::uint64_t merge_rounds = 0;
+  std::uint64_t cover_iterations = 0;
   const std::uint32_t n = 1u << spec.num_inputs;
   const std::uint32_t full_mask = n - 1;
 
@@ -84,7 +93,7 @@ std::vector<Cube> MinimizeSop(const TwoLevelSpec& spec) {
   if (on.empty()) return {};
   if (care.size() == n) return {Cube{0, 0}};  // tautology (with DC fill)
 
-  std::vector<Cube> primes = PrimeImplicants(care, full_mask);
+  std::vector<Cube> primes = PrimeImplicants(care, full_mask, merge_rounds);
   // Deterministic order: fewer literals first (bigger cubes preferred),
   // then lexicographic.
   std::sort(primes.begin(), primes.end(), [](const Cube& a, const Cube& b) {
@@ -129,6 +138,7 @@ std::vector<Cube> MinimizeSop(const TwoLevelSpec& spec) {
   mark_covered();
 
   for (;;) {
+    ++cover_iterations;
     std::size_t uncovered = 0;
     for (bool c : covered) {
       if (!c) ++uncovered;
@@ -153,6 +163,13 @@ std::vector<Cube> MinimizeSop(const TwoLevelSpec& spec) {
     picked[best] = true;
     cover.push_back(primes[best]);
     mark_covered();
+  }
+  if (obs::Enabled()) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter("qm.minimize_calls").Add(1);
+    reg.GetCounter("qm.merge_rounds").Add(merge_rounds);
+    reg.GetCounter("qm.primes").Add(primes.size());
+    reg.GetCounter("qm.cover_iterations").Add(cover_iterations);
   }
   return cover;
 }

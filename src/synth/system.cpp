@@ -1,5 +1,7 @@
 #include "synth/system.hpp"
 
+#include "obs/trace.hpp"
+
 namespace pfd::synth {
 
 using netlist::GateId;
@@ -57,6 +59,7 @@ System BuildSystem(std::string name, const rtl::Datapath& dp,
                    const rtl::LoadLineMap& load_map,
                    const SynthOptions& options,
                    const std::optional<SystemLoop>& loop) {
+  obs::Span span("synth.build_system");
   spec.Validate();
   PFD_CHECK_MSG(load_map.NumLines() == spec.num_load_lines,
                 "load map / control spec mismatch");

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "base/bitvec.hpp"
 #include "base/error.hpp"
@@ -170,6 +172,33 @@ TEST(Stats, RunningStatMatchesClosedForm) {
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
   EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
   EXPECT_GT(s.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(Stats, MergeMatchesSinglePass) {
+  // Sharded accumulation must land on exactly the single-pass state.
+  std::vector<double> xs;
+  for (int i = 0; i < 97; ++i) {
+    xs.push_back(3.5 + 2.0 * std::sin(0.37 * i) + (i % 7));
+  }
+  RunningStat whole;
+  for (double x : xs) whole.Add(x);
+
+  RunningStat a, b, c;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 20 ? a : i < 60 ? b : c).Add(xs[i]);
+  }
+  RunningStat merged;
+  merged.Merge(a);  // merge into empty
+  merged.Merge(b);
+  merged.Merge(c);
+  RunningStat empty;
+  merged.Merge(empty);  // merging an empty stat is a no-op
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-10);
+  EXPECT_NEAR(merged.ConfidenceHalfWidth95(), whole.ConfidenceHalfWidth95(),
+              1e-10);
 }
 
 TEST(Stats, PercentChange) {

@@ -1,0 +1,382 @@
+// Tests for the observability substrate: counter aggregation (including
+// cross-thread), span nesting, trace-JSON well-formedness (parsed back with
+// a minimal JSON reader), and the disabled-registry zero-cost path.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "designs/designs.hpp"
+#include "logicsim/simulator.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace pfd::obs {
+namespace {
+
+// Restores the global registry to "disabled, no sink" and zeroes all
+// counters, so tests compose in any order within this binary.
+class RegistryGuard {
+ public:
+  RegistryGuard() { Cleanup(); }
+  ~RegistryGuard() { Cleanup(); }
+
+ private:
+  static void Cleanup() {
+    Registry::Global().InstallTrace(nullptr);
+    Registry::Global().set_enabled(false);
+    Registry::Global().ResetAll();
+  }
+};
+
+// --- minimal JSON reader (enough to validate a trace_event array) ---------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
+  }
+  const JsonObject& obj() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  const JsonArray& arr() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  double num() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  // Returns false (instead of asserting) on malformed input so tests can
+  // EXPECT on well-formedness.
+  bool Parse(JsonValue& out) {
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ParseString(std::string& out) {
+    if (!Eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return false;
+            }
+            out += static_cast<char>(code);  // BMP only; enough for tests
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Eat('"');
+  }
+  bool ParseValue(JsonValue& out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      auto obj = std::make_shared<JsonObject>();
+      SkipWs();
+      if (Eat('}')) {
+        out.v = obj;
+        return true;
+      }
+      for (;;) {
+        std::string key;
+        JsonValue val;
+        if (!ParseString(key) || !Eat(':') || !ParseValue(val)) return false;
+        (*obj)[key] = val;
+        if (Eat(',')) continue;
+        if (Eat('}')) break;
+        return false;
+      }
+      out.v = obj;
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      auto arr = std::make_shared<JsonArray>();
+      SkipWs();
+      if (Eat(']')) {
+        out.v = arr;
+        return true;
+      }
+      for (;;) {
+        JsonValue val;
+        if (!ParseValue(val)) return false;
+        arr->push_back(val);
+        if (Eat(',')) continue;
+        if (Eat(']')) break;
+        return false;
+      }
+      out.v = arr;
+      return true;
+    }
+    if (c == '"') {
+      std::string str;
+      if (!ParseString(str)) return false;
+      out.v = str;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out.v = true;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out.v = false;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out.v = nullptr;
+      return true;
+    }
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    out.v = std::stod(std::string(s_.substr(pos_, end - pos_)));
+    pos_ = end;
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// --- counters / gauges ----------------------------------------------------
+
+TEST(Counters, SameNameSameSlotAndAggregation) {
+  RegistryGuard guard;
+  Registry& reg = Registry::Global();
+  Counter& a = reg.GetCounter("test.counter_agg");
+  Counter& b = reg.GetCounter("test.counter_agg");
+  EXPECT_EQ(&a, &b);
+  a.Add(5);
+  b.Add(7);
+  EXPECT_EQ(reg.CounterValue("test.counter_agg"), 12u);
+  EXPECT_EQ(reg.CounterValue("test.never_registered"), 0u);
+}
+
+TEST(Counters, ConcurrentAddsSumExactly) {
+  RegistryGuard guard;
+  Counter& c = Registry::Global().GetCounter("test.concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Counters, SnapshotIsNameSortedAndResetAllZeroes) {
+  RegistryGuard guard;
+  Registry& reg = Registry::Global();
+  reg.GetCounter("test.zzz").Add(3);
+  reg.GetCounter("test.aaa").Add(1);
+  const auto snap = reg.CounterSnapshot();
+  ASSERT_GE(snap.size(), 2u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+  reg.ResetAll();
+  EXPECT_EQ(reg.CounterValue("test.zzz"), 0u);
+  EXPECT_EQ(reg.CounterValue("test.aaa"), 0u);
+}
+
+TEST(Gauges, SetAndSnapshot) {
+  RegistryGuard guard;
+  Registry& reg = Registry::Global();
+  reg.GetGauge("test.gauge").Set(0.125);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("test.gauge"), 0.125);
+  reg.GetGauge("test.gauge").Set(2.5);  // last write wins
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("test.gauge"), 2.5);
+}
+
+// --- spans and the trace sink ---------------------------------------------
+
+TEST(Spans, NestedParentChildOrdering) {
+  RegistryGuard guard;
+  Trace trace;
+  Registry::Global().InstallTrace(&trace);
+  {
+    Span parent("parent");
+    {
+      Span child("child");
+      Span grandchild("grandchild");
+      (void)grandchild;
+    }
+  }
+  Registry::Global().InstallTrace(nullptr);
+
+  const std::vector<Trace::Event> events = trace.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans close innermost-first.
+  EXPECT_EQ(events[0].name, "grandchild");
+  EXPECT_EQ(events[1].name, "child");
+  EXPECT_EQ(events[2].name, "parent");
+  EXPECT_EQ(events[2].depth, 0);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[0].depth, 2);
+  // Child intervals nest inside the parent interval.
+  const auto& parent_ev = events[2];
+  for (const auto& child_ev : {events[0], events[1]}) {
+    EXPECT_GE(child_ev.ts_us, parent_ev.ts_us);
+    EXPECT_LE(child_ev.ts_us + child_ev.dur_us,
+              parent_ev.ts_us + parent_ev.dur_us + 1e-6);
+  }
+}
+
+TEST(Spans, TraceJsonParsesBackWithRequiredKeys) {
+  RegistryGuard guard;
+  Trace trace;
+  Registry::Global().InstallTrace(&trace);
+  {
+    // Name needing escaping must not corrupt the JSON.
+    Span weird("span \"with\\ newline\n");
+    Span args("with_args", Span::Args({{"faults", 42}, {"patterns", 7}}));
+    (void)args;
+  }
+  trace.RecordInstant("marker");
+  Registry::Global().InstallTrace(nullptr);
+
+  const std::string json = trace.ToJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(root)) << json;
+  ASSERT_TRUE(root.is_array());
+  ASSERT_EQ(root.arr().size(), 3u);
+  bool saw_weird = false;
+  for (const JsonValue& ev : root.arr()) {
+    ASSERT_TRUE(ev.is_object());
+    const JsonObject& o = ev.obj();
+    for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
+      EXPECT_TRUE(o.count(key)) << "missing " << key;
+    }
+    EXPECT_GE(o.at("ts").num(), 0.0);
+    if (o.at("name").str() == "span \"with\\ newline\n") saw_weird = true;
+    if (o.at("name").str() == "with_args") {
+      const JsonObject& a = o.at("args").obj();
+      EXPECT_DOUBLE_EQ(a.at("faults").num(), 42.0);
+      EXPECT_DOUBLE_EQ(a.at("patterns").num(), 7.0);
+    }
+  }
+  EXPECT_TRUE(saw_weird);
+}
+
+TEST(Spans, NoSinkRecordsNothingAndIsInactive) {
+  RegistryGuard guard;
+  Span s("unobserved");
+  EXPECT_FALSE(s.active());
+}
+
+// --- disabled-registry zero-overhead path ---------------------------------
+
+TEST(Disabled, EngineCountersStayZeroWhenRegistryIsOff) {
+  RegistryGuard guard;
+  Registry& reg = Registry::Global();
+  ASSERT_FALSE(reg.enabled());
+
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  logicsim::Simulator sim(d.system.nl);
+  for (const synth::Bus& bus : d.system.operand_bits) {
+    for (netlist::GateId g : bus) sim.SetInputAllLanes(g, Trit::kZero);
+  }
+  for (int c = 0; c < d.system.cycles_per_pattern; ++c) {
+    sim.SetInputAllLanes(d.system.reset, c == 0 ? Trit::kOne : Trit::kZero);
+    sim.Step();
+  }
+  EXPECT_EQ(reg.CounterValue("logicsim.cycles"), 0u);
+  EXPECT_EQ(reg.CounterValue("logicsim.gate_evals"), 0u);
+  EXPECT_EQ(reg.CounterValue("logicsim.simulators"), 0u);
+}
+
+TEST(Disabled, EnabledRegistryCountsTheSameRun) {
+  RegistryGuard guard;
+  Registry& reg = Registry::Global();
+
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  reg.set_enabled(true);  // after the build: count only the run below
+  logicsim::Simulator sim(d.system.nl);
+  for (const synth::Bus& bus : d.system.operand_bits) {
+    for (netlist::GateId g : bus) sim.SetInputAllLanes(g, Trit::kZero);
+  }
+  const int cycles = d.system.cycles_per_pattern;
+  for (int c = 0; c < cycles; ++c) {
+    sim.SetInputAllLanes(d.system.reset, c == 0 ? Trit::kOne : Trit::kZero);
+    sim.Step();
+  }
+  EXPECT_EQ(reg.CounterValue("logicsim.cycles"),
+            static_cast<std::uint64_t>(cycles));
+  EXPECT_EQ(reg.CounterValue("logicsim.simulators"), 1u);
+  // Zero-delay: one evaluation per combinational gate per cycle.
+  EXPECT_GT(reg.CounterValue("logicsim.gate_evals"), 0u);
+  EXPECT_EQ(reg.CounterValue("logicsim.gate_evals") % cycles, 0u);
+}
+
+}  // namespace
+}  // namespace pfd::obs

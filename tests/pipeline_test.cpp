@@ -56,6 +56,33 @@ TEST_F(PipelineOnPoly, EveryFaultGetsExactlyOneClass) {
   EXPECT_FALSE(report_->Summary().empty());
 }
 
+TEST_F(PipelineOnPoly, MetricsMirrorTheClassificationBreakdown) {
+  const PipelineMetrics& m = report_->metrics;
+  EXPECT_EQ(m.faults_total, report_->total);
+  EXPECT_EQ(m.sfi_sim, report_->sfi_sim);
+  EXPECT_EQ(m.sfi_potential, report_->sfi_potential);
+  EXPECT_EQ(m.sfi_analysis, report_->sfi_analysis);
+  EXPECT_EQ(m.cfr, report_->cfr);
+  EXPECT_EQ(m.sfr, report_->sfr);
+  EXPECT_EQ(m.sfi_sim + m.sfi_potential + m.sfi_analysis + m.cfr + m.sfr,
+            m.faults_total);
+
+  // Wall times are always collected; the stage buckets are contained in the
+  // total (allow scheduling slack).
+  EXPECT_GT(m.wall_ms_total, 0.0);
+  EXPECT_LE(m.step1_ms + m.step2_ms + m.step3_ms + m.step4_ms,
+            m.wall_ms_total * 1.5 + 1.0);
+
+  // The pipeline issued at least the step-1 fault sim plus the golden
+  // trace, and one trace extraction per undetected fault.
+  EXPECT_EQ(m.tpgr_patterns, 600);
+  const std::size_t undetected =
+      report_->total - report_->sfi_sim - report_->sfi_potential;
+  EXPECT_EQ(m.trace_extractions, undetected + 1);
+  EXPECT_GE(m.sim_invocations, m.trace_extractions + 1);
+  EXPECT_GE(m.symbolic_checks + m.gate_checks, undetected - report_->cfr);
+}
+
 TEST_F(PipelineOnPoly, SfrShareIsInThePaperBand) {
   // Paper Table 2: 13.0% - 20.3% across the three examples. Allow a wide
   // but meaningful band: SFR faults exist and remain a clear minority.

@@ -8,10 +8,19 @@
 //   pfdtool dot      <design> [--width N]
 //   pfdtool vcd      <design> [--fault INDEX] [--patterns N]
 //
+// Observability options (any command):
+//   --trace FILE         write a Chrome trace_event JSON of the run; open
+//                        it in chrome://tracing or ui.perfetto.dev
+//   --metrics-json FILE  (classify/grade) write per-stage wall times and
+//                        fault counts as JSON
+//   -v / --verbose       stage progress lines + metrics table on stderr
+//
 // Designs: diffeq, facet, poly, diffeq-loop, ewf.
+// Exit codes: 0 success, 1 runtime error (incl. unknown design), 2 usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "analysis/trace.hpp"
@@ -21,6 +30,7 @@
 #include "core/report.hpp"
 #include "designs/designs.hpp"
 #include "logicsim/vcd.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -36,6 +46,9 @@ struct Options {
   double measured_uw = 0.0;
   int fault_index = -1;
   bool csv = false;
+  bool verbose = false;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 [[noreturn]] void Usage() {
@@ -45,7 +58,8 @@ struct Options {
       "[design] [options]\n"
       "designs: diffeq facet poly diffeq-loop ewf\n"
       "options: --width N --patterns N --threshold PCT --sigma PCT "
-      "--fault INDEX --csv\n");
+      "--fault INDEX --csv\n"
+      "         --trace FILE --metrics-json FILE -v|--verbose\n");
   std::exit(2);
 }
 
@@ -55,8 +69,13 @@ designs::BenchmarkDesign BuildDesign(const Options& opt) {
   if (opt.design == "poly") return designs::BuildPoly(opt.width);
   if (opt.design == "diffeq-loop") return designs::BuildDiffeqLoop(opt.width);
   if (opt.design == "ewf") return designs::BuildEwf(opt.width);
-  std::fprintf(stderr, "unknown design: %s\n", opt.design.c_str());
-  std::exit(2);
+  // A bad design name is a runtime failure (exit 1), not a usage error:
+  // the invocation shape was fine, the name just failed to resolve.
+  std::fprintf(stderr,
+               "unknown design: %s (designs: diffeq facet poly diffeq-loop "
+               "ewf)\n",
+               opt.design.c_str());
+  std::exit(1);
 }
 
 core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
@@ -67,7 +86,28 @@ core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
     cfg.gate_check.max_exhaustive_bits = 14;
     cfg.gate_check.sample_patterns = 4096;
   }
-  return core::ClassifyControllerFaults(d.system, d.hls, cfg);
+  if (opt.verbose) {
+    cfg.progress = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  core::ClassificationReport report =
+      core::ClassifyControllerFaults(d.system, d.hls, cfg);
+  if (opt.verbose) {
+    std::fprintf(stderr, "%s", core::MetricsTable(report.metrics).c_str());
+  }
+  if (!opt.metrics_path.empty()) {
+    const std::string json = core::MetricsJson(report);
+    std::FILE* f = std::fopen(opt.metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics file: %s\n",
+                   opt.metrics_path.c_str());
+      std::exit(1);
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  return report;
 }
 
 int CmdInfo(const Options& opt) {
@@ -184,6 +224,16 @@ int CmdVcd(const Options& opt) {
   return 0;
 }
 
+int Dispatch(const Options& opt) {
+  if (opt.command == "info") return CmdInfo(opt);
+  if (opt.command == "classify") return CmdClassify(opt);
+  if (opt.command == "grade") return CmdGrade(opt);
+  if (opt.command == "diagnose") return CmdDiagnose(opt);
+  if (opt.command == "dot") return CmdDot(opt);
+  if (opt.command == "vcd") return CmdVcd(opt);
+  return -1;  // unknown command -> Usage
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,25 +269,64 @@ int main(int argc, char** argv) {
       opt.fault_index = std::atoi(next());
     } else if (arg == "--csv") {
       opt.csv = true;
+    } else if (arg == "--trace") {
+      opt.trace_path = next();
+    } else if (arg == "--metrics-json") {
+      opt.metrics_path = next();
+    } else if (arg == "-v" || arg == "--verbose") {
+      opt.verbose = true;
     } else {
+      // Unknown flags are rejected loudly: a silently ignored flag makes a
+      // misspelled experiment look like a finished one.
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       Usage();
     }
   }
+  if (!opt.metrics_path.empty() && opt.command != "classify" &&
+      opt.command != "grade" && opt.command != "diagnose") {
+    std::fprintf(stderr, "--metrics-json requires classify, grade, or "
+                         "diagnose\n");
+    Usage();
+  }
 
+  // Observability: counters (and per-stage metrics deltas) switch on for
+  // either sink; the trace additionally records spans.
+  std::unique_ptr<obs::Trace> trace;
+  obs::Registry& reg = obs::Registry::Global();
+  if (!opt.trace_path.empty()) {
+    trace = std::make_unique<obs::Trace>();
+    reg.InstallTrace(trace.get());
+  }
+  if (trace != nullptr || !opt.metrics_path.empty() || opt.verbose) {
+    reg.set_enabled(true);
+  }
+
+  int rc = -1;
   try {
     if (opt.command == "list") {
       std::printf("diffeq facet poly diffeq-loop ewf\n");
-      return 0;
+      rc = 0;
+    } else {
+      obs::Span root("pfdtool." + opt.command);
+      rc = Dispatch(opt);
     }
-    if (opt.command == "info") return CmdInfo(opt);
-    if (opt.command == "classify") return CmdClassify(opt);
-    if (opt.command == "grade") return CmdGrade(opt);
-    if (opt.command == "diagnose") return CmdDiagnose(opt);
-    if (opt.command == "dot") return CmdDot(opt);
-    if (opt.command == "vcd") return CmdVcd(opt);
   } catch (const pfd::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  Usage();
+  if (rc < 0) Usage();
+
+  if (trace != nullptr) {
+    reg.InstallTrace(nullptr);
+    if (!obs::WriteTraceFile(*trace, opt.trace_path)) {
+      std::fprintf(stderr, "cannot write trace file: %s\n",
+                   opt.trace_path.c_str());
+      return 1;
+    }
+    if (opt.verbose) {
+      std::fprintf(stderr, "trace: %zu events -> %s\n", trace->size(),
+                   opt.trace_path.c_str());
+    }
+  }
+  return rc;
 }
