@@ -60,15 +60,15 @@ int main() {
       probe->record->name.c_str(), probe->percent_change);
   TextTable len({"patterns", "fault-free uW", "faulty uW", "change"});
   for (int patterns : {64, 128, 320, 640, 1200, 2560}) {
+    const power::TestSetPowerConfig set_cfg{tpg::kTestSetSeed1, patterns};
     const double base =
-        power::MeasureTestSetPower(d.system.nl, plan, model, {},
-                                   tpg::kTestSetSeed1, patterns)
+        power::MeasureTestSetPower(d.system.nl, plan, model, {}, set_cfg)
             .breakdown.datapath_uw;
     const fault::StuckFault f = probe->record->fault;
     const double faulty =
         power::MeasureTestSetPower(d.system.nl, plan, model,
                                    std::span<const fault::StuckFault>(&f, 1),
-                                   tpg::kTestSetSeed1, patterns)
+                                   set_cfg)
             .breakdown.datapath_uw;
     len.AddRow({std::to_string(patterns), TextTable::FormatDouble(base, 2),
                 TextTable::FormatDouble(faulty, 2),

@@ -43,9 +43,9 @@ int main() {
         fault::Collapse(dft.system.nl, all).representatives;
     std::vector<bool> caught(faults.size(), false);
     for (int session = 0; session < dft.sessions; ++session) {
-      const fault::FaultSimResult r = fault::RunParallelFaultSim(
-          dft.system.nl, dft.MakeDftPlan(session), faults,
-          cfg.tpgr_seed, 64);
+      const fault::FaultSimResult r = fault::RunFaultSim(
+          {dft.system.nl, dft.MakeDftPlan(session), faults,
+           cfg.tpgr_seed, 64});
       for (std::size_t i = 0; i < faults.size(); ++i) {
         if (r.status[i] != fault::FaultStatus::kUndetected) {
           caught[i] = true;

@@ -86,10 +86,10 @@ void BM_ParallelFaultSim(benchmark::State& state) {
   const auto faults = fault::Collapse(d.system.nl, all).representatives;
   const fault::TestPlan plan = d.system.MakeTestPlan();
   const int patterns = static_cast<int>(state.range(0));
+  fault::FaultSimRequest req{d.system.nl, plan, faults, 0xACE1, patterns};
+  req.exec.threads = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        fault::RunParallelFaultSim(d.system.nl, plan, faults, 0xACE1,
-                                   patterns));
+    benchmark::DoNotOptimize(fault::RunFaultSim(req));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(faults.size()) *
@@ -103,14 +103,36 @@ void BM_SerialFaultSim(benchmark::State& state) {
       fault::GenerateFaults(d.system.nl, netlist::ModuleTag::kController);
   const auto faults = fault::Collapse(d.system.nl, all).representatives;
   const fault::TestPlan plan = d.system.MakeTestPlan();
+  fault::FaultSimRequest req{d.system.nl, plan, faults, 0xACE1, 64,
+                             fault::FaultSimEngine::kSerial};
+  req.exec.threads = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        fault::RunSerialFaultSim(d.system.nl, plan, faults, 0xACE1, 64));
+    benchmark::DoNotOptimize(fault::RunFaultSim(req));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(faults.size()) * 64);
 }
 BENCHMARK(BM_SerialFaultSim);
+
+// Thread-scaling sweep for the shard fan-out. Wall-clock (UseRealTime) is
+// the figure of merit; the same work is re-simulated at each thread count,
+// so real_time(1) / real_time(N) is the speedup. On a single-CPU host the
+// ratio stays ~1 — the shards serialize onto one core.
+void BM_FaultSimThreads(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  const auto all =
+      fault::GenerateFaults(d.system.nl, netlist::ModuleTag::kController);
+  const auto faults = fault::Collapse(d.system.nl, all).representatives;
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  fault::FaultSimRequest req{d.system.nl, plan, faults, 0xACE1, 256};
+  req.exec.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::RunFaultSim(req));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(faults.size()) * 256);
+}
+BENCHMARK(BM_FaultSimThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_MonteCarloPower(benchmark::State& state) {
   const designs::BenchmarkDesign& d = Diffeq();
@@ -121,6 +143,7 @@ void BM_MonteCarloPower(benchmark::State& state) {
   mc.min_batches = 16;
   mc.max_batches = 16;
   mc.rel_tol = 0.0;
+  mc.exec.threads = 1;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         power::EstimatePowerMonteCarlo(d.system.nl, plan, model, mc));
@@ -128,6 +151,26 @@ void BM_MonteCarloPower(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 16 * 64);
 }
 BENCHMARK(BM_MonteCarloPower);
+
+// Thread-scaling sweep for the Monte Carlo batch fan-out (fixed 16 batches
+// so every thread count simulates identical work).
+void BM_MonteCarloPowerThreads(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  const power::PowerModel model =
+      core::MakePowerModel(d.system, power::TechModel::Vsc450());
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  power::MonteCarloConfig mc;
+  mc.min_batches = 16;
+  mc.max_batches = 16;
+  mc.rel_tol = 0.0;
+  mc.exec.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        power::EstimatePowerMonteCarlo(d.system.nl, plan, model, mc));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 64);
+}
+BENCHMARK(BM_MonteCarloPowerThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_SymbolicSfrCheck(benchmark::State& state) {
   const designs::BenchmarkDesign& d = Diffeq();
@@ -171,6 +214,7 @@ void BM_FullPipeline(benchmark::State& state) {
   const designs::BenchmarkDesign& d = Diffeq();
   core::PipelineConfig cfg;
   cfg.tpgr_patterns = 200;
+  cfg.exec.threads = 1;  // pin: isolates single-core pipeline cost
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         core::ClassifyControllerFaults(d.system, d.hls, cfg));

@@ -41,8 +41,9 @@ void RunOne(const pfd::designs::BenchmarkDesign& d) {
   auto testset_power = [&](const fault::StuckFault* f, std::uint32_t seed) {
     std::span<const fault::StuckFault> faults;
     if (f != nullptr) faults = {f, 1};
-    return power::MeasureTestSetPower(d.system.nl, plan, model, faults, seed,
-                                      kPatternsPerSet)
+    return power::MeasureTestSetPower(
+               d.system.nl, plan, model, faults,
+               power::TestSetPowerConfig{seed, kPatternsPerSet})
         .breakdown.datapath_uw;
   };
 

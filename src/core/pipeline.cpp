@@ -88,8 +88,11 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
     plan = config.observation == ObservationPolicy::kAtHold
                ? sys.MakeTestPlan()
                : sys.MakeEveryCyclePlan();
-    sim = fault::RunParallelFaultSim(sys.nl, plan, collapsed.representatives,
-                                     config.tpgr_seed, config.tpgr_patterns);
+    fault::FaultSimRequest request{sys.nl, plan, collapsed.representatives,
+                                   config.tpgr_seed, config.tpgr_patterns,
+                                   fault::FaultSimEngine::kParallel,
+                                   config.exec};
+    sim = fault::RunFaultSim(request);
     ++m.sim_invocations;
     m.step1_ms = MsSince(t0);
   }
@@ -239,31 +242,43 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
       strobes.assign(plan.strobe_cycles.begin(), plan.strobe_cycles.end());
       gate_cfg.every_cycle = true;
     }
-    for (PendingFault& pf : pending) {
+    // Every task owns exactly one FaultRecord (disjoint writes), so the
+    // fan-out needs no locking; the prover state (ExprPool) is local to
+    // each SymbolicSfrCheck call. Counters are reduced from the records
+    // afterwards, in pending order, keeping the metrics thread-invariant.
+    exec::Pool pool(config.exec);
+    pool.ParallelFor(pending.size(), [&](std::size_t k) {
+      PendingFault& pf = pending[k];
       FaultRecord& rec = report.records[pf.index];
       obs::Span fspan("step4.fault", fault_args(rec.name));
       if (!sys.has_feedback) {
         const analysis::SymbolicCheck sym =
             analysis::SymbolicSfrCheck(sys, golden, pf.faulty, strobes);
-        ++m.symbolic_checks;
         if (sym.outcome == analysis::SymbolicCheck::Outcome::kEquivalent) {
           rec.cls = FaultClass::kSfr;
           rec.symbolically_proven = true;
-          ++report.sfr;
-          ++symbolic_sfr;
-          continue;
+          return;
         }
       }
       const analysis::GateCheck gate =
           analysis::GateLevelSfrCheck(sys, faults[pf.index], gate_cfg);
+      rec.exhaustive = gate.exhaustive;
+      rec.cls = gate.difference_found ? FaultClass::kSfiAnalysis
+                                      : FaultClass::kSfr;
+    });
+    for (const PendingFault& pf : pending) {
+      const FaultRecord& rec = report.records[pf.index];
+      if (!sys.has_feedback) ++m.symbolic_checks;
+      if (rec.symbolically_proven) {
+        ++report.sfr;
+        ++symbolic_sfr;
+        continue;
+      }
       ++m.gate_checks;
       ++m.sim_invocations;
-      rec.exhaustive = gate.exhaustive;
-      if (gate.difference_found) {
-        rec.cls = FaultClass::kSfiAnalysis;
+      if (rec.cls == FaultClass::kSfiAnalysis) {
         ++report.sfi_analysis;
       } else {
-        rec.cls = FaultClass::kSfr;
         ++report.sfr;
       }
     }

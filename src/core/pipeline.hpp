@@ -26,6 +26,7 @@
 #include "analysis/classify.hpp"
 #include "analysis/effects.hpp"
 #include "analysis/trace.hpp"
+#include "exec/exec.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
 #include "hls/hls.hpp"
@@ -77,6 +78,10 @@ struct PipelineConfig {
   int trace_patterns = 3;
   ObservationPolicy observation = ObservationPolicy::kAtHold;
   analysis::GateCheckConfig gate_check;
+  // Worker threads for the parallel stages (step-1 fault-sim shards, step-4
+  // per-fault deciders). A performance knob only: the ClassificationReport
+  // is bit-identical for every thread count.
+  exec::Options exec;
   // Stage-progress callback (one line per stage boundary); pfdtool -v wires
   // this to stderr. Null = silent.
   std::function<void(const std::string&)> progress;

@@ -1,0 +1,201 @@
+#include "exec/exec.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace pfd::exec {
+
+int ResolveThreads(const Options& options) {
+  if (options.threads > 0) return options.threads;
+  if (const char* env = std::getenv("PFD_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::uint64_t ShardSeed(std::uint64_t engine_seed,
+                        std::uint64_t deterministic_seed,
+                        std::uint64_t shard) {
+  // splitmix64 finalizer over the combined inputs: adjacent shard indices
+  // land far apart, and shard streams never collide with the engine seed
+  // itself (shard + 1 offset).
+  std::uint64_t z = engine_seed + (shard + 1) * 0x9e3779b97f4a7c15ULL +
+                    deterministic_seed * 0xd1342543de82ef95ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// One ParallelFor invocation: per-participant chunk deques (own queue popped
+// from the front, victims stolen from the back), a count of workers still
+// inside the job, and the first captured exception. The Job lives on the
+// caller's stack; the caller may only destroy it once `active` drops to
+// zero, i.e. once every worker has left RunChunks — chunk bookkeeping alone
+// is not enough, because a worker can still be scanning the (empty) queues
+// after the last chunk completed.
+struct Pool::Job {
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::pair<std::size_t, std::size_t>> chunks;  // [begin, end)
+  };
+
+  explicit Job(std::size_t participants) : queues(participants) {}
+
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::vector<Queue> queues;
+  std::atomic<int> active{0};  // workers inside RunChunks
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+Pool::Pool(const Options& options) : threads_(ResolveThreads(options)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 0; w + 1 < threads_; ++w) {
+    workers_.emplace_back(&Pool::WorkerMain, this,
+                          static_cast<std::size_t>(w));
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Pool::WorkerMain(std::size_t slot) {
+  // Spans recorded by loop bodies on this thread buffer locally; the buffer
+  // flushes into the installed trace sink when this worker exits (pool
+  // shutdown) or on overflow.
+  obs::ThreadTraceBuffer trace_buffer;
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // The epoch guard keeps a worker from re-entering a job it already
+    // drained; joining the job (the `active` increment) happens under mu_,
+    // so after the coordinator retires job_ no new worker can join and the
+    // active count only falls.
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && epoch_ != seen_epoch);
+    });
+    if (shutdown_) return;
+    Job* job = job_;
+    seen_epoch = epoch_;
+    job->active.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    RunChunks(*job, slot);
+    {
+      // Last one out notifies under done_mu: the coordinator's predicate
+      // check holds the same mutex, so it cannot destroy the Job between
+      // our decrement and the notify.
+      std::lock_guard<std::mutex> done_lock(job->done_mu);
+      if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        job->done_cv.notify_all();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void Pool::RunChunks(Job& job, std::size_t home) {
+  const std::size_t participants = job.queues.size();
+  while (true) {
+    std::pair<std::size_t, std::size_t> chunk;
+    bool found = false;
+    for (std::size_t k = 0; k < participants && !found; ++k) {
+      Job::Queue& q = job.queues[(home + k) % participants];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.chunks.empty()) continue;
+      if (k == 0) {
+        chunk = q.chunks.front();
+        q.chunks.pop_front();
+      } else {
+        chunk = q.chunks.back();
+        q.chunks.pop_back();
+      }
+      found = true;
+    }
+    if (!found) return;
+    // After a failure the remaining chunks are still claimed, just not run
+    // (drained), so every participant's scan terminates promptly.
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        for (std::size_t i = chunk.first; i < chunk.second; ++i) {
+          (*job.body)(i);
+        }
+      } catch (...) {
+        job.failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+  }
+}
+
+void Pool::ParallelFor(std::size_t n,
+                       const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t participants = workers_.size() + 1;
+  Job job(participants);
+  job.body = &body;
+  // Several chunks per participant so stealing can rebalance uneven bodies;
+  // capped at n so tiny loops stay one index per chunk.
+  const std::size_t num_chunks = std::min(n, participants * 4);
+  const std::size_t base = n / num_chunks;
+  const std::size_t extra = n % num_chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t size = base + (c < extra ? 1 : 0);
+    job.queues[c % participants].chunks.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunChunks(job, participants - 1);  // the caller works the last home slot
+  {
+    // Retire the job first: joining happens under mu_, so from here the
+    // worker set inside the job only shrinks.
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = nullptr;
+  }
+  {
+    std::unique_lock<std::mutex> lock(job.done_mu);
+    job.done_cv.wait(lock, [&] {
+      return job.active.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(job.error_mu);
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ParallelFor(const Options& options, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  Pool pool(options);
+  pool.ParallelFor(n, body);
+}
+
+}  // namespace pfd::exec

@@ -1,0 +1,91 @@
+// Parallel execution core: a small work-stealing thread pool shared by the
+// engines (fault simulation shards, Monte Carlo power batches, pipeline
+// step-4 fault deciders).
+//
+// Design constraints, in order:
+//   1. Determinism. Thread count is a *performance* knob, never a results
+//      knob: engines shard work into fixed units (63-fault lane groups,
+//      64-pattern batches, single faults), derive any per-unit RNG stream
+//      from the unit index (ShardSeed), write into disjoint output slots,
+//      and reduce in unit order. Every engine built on this pool produces
+//      bit-identical results for threads = 1, 2, 8, ...
+//   2. Zero overhead at threads=1. A single-thread pool spawns no workers
+//      and ParallelFor degenerates to a plain loop on the caller.
+//   3. Exceptions propagate. The first exception thrown by a loop body is
+//      rethrown from ParallelFor on the calling thread; remaining unclaimed
+//      work is skipped (claimed-but-unstarted chunks are drained, not run).
+//
+// Observability: each worker thread installs an obs::ThreadTraceBuffer, so
+// spans recorded inside loop bodies append to a thread-local buffer without
+// touching the global trace mutex; buffers are flushed into the installed
+// sink when the pool shuts down (and on overflow). Counters/gauges are
+// already lock-free atomics and need no special handling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfd::exec {
+
+struct Options {
+  // Worker count. 0 = auto: $PFD_THREADS when set to a positive integer,
+  // otherwise std::thread::hardware_concurrency().
+  int threads = 0;
+  // Extra entropy folded into per-shard RNG stream derivation (ShardSeed)
+  // by engines that deal independent random streams to work units (the
+  // Monte Carlo power engine). Changing it selects a different — still
+  // fully deterministic — sample sequence; the thread count never does.
+  std::uint64_t deterministic_seed = 0;
+};
+
+// Resolved worker count for the options (always >= 1).
+int ResolveThreads(const Options& options);
+
+// Seed of work-unit `shard`'s private RNG stream: a splitmix64-style mix of
+// the engine seed, Options::deterministic_seed, and the shard index. Fixed
+// shard -> seed mapping is what keeps sharded engines bit-identical across
+// thread counts.
+std::uint64_t ShardSeed(std::uint64_t engine_seed,
+                        std::uint64_t deterministic_seed, std::uint64_t shard);
+
+class Pool {
+ public:
+  explicit Pool(const Options& options = {});
+  // Joins the workers; each flushes its thread-local trace buffer on exit.
+  ~Pool();
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Runs body(i) for every i in [0, n), distributed over the workers; the
+  // calling thread participates, so a 1-thread pool is a plain loop. Blocks
+  // until every index ran (or was skipped after a failure) and rethrows the
+  // first exception `body` threw. Loop bodies must write to disjoint data;
+  // they must not call back into this pool (not reentrant).
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Job;
+  void WorkerMain(std::size_t slot);
+  static void RunChunks(Job& job, std::size_t home);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  Job* job_ = nullptr;        // current job; guarded by mu_
+  std::uint64_t epoch_ = 0;   // bumped per published job; guarded by mu_
+  bool shutdown_ = false;
+};
+
+// One-shot convenience: scoped pool for a single loop.
+void ParallelFor(const Options& options, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace pfd::exec

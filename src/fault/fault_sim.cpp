@@ -35,6 +35,9 @@ void InjectFault(logicsim::Simulator& sim, const StuckFault& f,
 
 namespace {
 
+// Faults per 64-lane shard; lane 0 carries the fault-free machine.
+constexpr std::size_t kFaultLanes = 63;
+
 void CheckPlan(const netlist::Netlist& nl, const TestPlan& plan) {
   PFD_CHECK_MSG(plan.cycles_per_pattern > 0, "empty test plan");
   PFD_CHECK_MSG(!plan.observe.empty(), "test plan observes nothing");
@@ -82,117 +85,127 @@ void DriveOperands(logicsim::Simulator& sim, const TestPlan& plan,
   }
 }
 
-}  // namespace
+// One 64-lane shard of the parallel engine: faults [shard_start,
+// shard_start + shard_size) ride lanes 1..shard_size on a private simulator
+// fed by a private TPGR stream (every shard replays the same `tpgr_seed`
+// pattern sequence, exactly as one machine would see it), and results land
+// in this shard's disjoint slice of `result`. Shards therefore compute the
+// same bits no matter which thread runs them, or in what order.
+void SimulateParallelShard(const FaultSimRequest& req,
+                           const std::vector<int>& widths,
+                           std::size_t shard_start, std::size_t shard_size,
+                           FaultSimResult& result) {
+  const TestPlan& plan = req.plan;
+  logicsim::Simulator sim(req.nl);
+  for (std::size_t i = 0; i < shard_size; ++i) {
+    InjectFault(sim, req.faults[shard_start + i], 1ULL << (i + 1));
+  }
 
-FaultSimResult RunParallelFaultSim(const netlist::Netlist& nl,
-                                   const TestPlan& plan,
-                                   std::span<const StuckFault> faults,
-                                   std::uint32_t tpgr_seed, int num_patterns) {
-  CheckPlan(nl, plan);
+  tpg::Tpgr tpgr(req.tpgr_seed);
+  std::uint64_t detected = 0;    // lanes with a hard mismatch
+  std::uint64_t potential = 0;   // lanes with known-vs-X mismatch only
+
+  for (int p = 0; p < req.num_patterns; ++p) {
+    const std::vector<BitVec> pattern = tpgr.NextPattern(widths);
+    DriveOperands(sim, plan, pattern);
+    std::uint64_t pattern_detects = 0;
+    for (int c = 0; c < plan.cycles_per_pattern; ++c) {
+      if (plan.reset != netlist::kNoGate) {
+        sim.SetInputAllLanes(plan.reset, c == 0 ? Trit::kOne : Trit::kZero);
+      }
+      sim.Step();
+      if (std::find(plan.strobe_cycles.begin(), plan.strobe_cycles.end(),
+                    c) == plan.strobe_cycles.end()) {
+        continue;
+      }
+      for (GateId g : plan.observe) {
+        const Word3 w = sim.Value(g);
+        if ((w.known & 1ULL) == 0) continue;  // fault-free response X
+        const std::uint64_t golden = (w.val & 1ULL) != 0 ? ~0ULL : 0ULL;
+        pattern_detects |= w.known & (w.val ^ golden);
+        potential |= ~w.known;
+      }
+    }
+    const std::uint64_t newly = pattern_detects & ~detected;
+    if (newly != 0) {
+      detected |= newly;
+      for (std::size_t i = 0; i < shard_size; ++i) {
+        if ((newly >> (i + 1)) & 1ULL) {
+          result.first_detect_pattern[shard_start + i] = p;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < shard_size; ++i) {
+    const std::uint64_t bit = 1ULL << (i + 1);
+    FaultStatus s = FaultStatus::kUndetected;
+    if (detected & bit) {
+      s = FaultStatus::kDetected;
+    } else if (potential & bit) {
+      s = FaultStatus::kPotentiallyDetected;
+    }
+    result.status[shard_start + i] = s;
+  }
+
+  if (obs::Enabled()) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter("fault_sim.batches").Add(1);
+    reg.GetCounter("fault_sim.lanes").Add(shard_size);
+    reg.GetCounter("fault_sim.patterns")
+        .Add(static_cast<std::uint64_t>(req.num_patterns));
+    reg.GetCounter("fault_sim.detected")
+        .Add(static_cast<std::uint64_t>(std::popcount(detected)));
+    reg.GetCounter("fault_sim.potential")
+        .Add(static_cast<std::uint64_t>(
+            std::popcount(potential & ~detected)));
+  }
+}
+
+FaultSimResult RunParallel(const FaultSimRequest& req) {
   obs::Span span("fault_sim.parallel",
                  obs::Span::Args(
-                     {{"faults", static_cast<std::int64_t>(faults.size())},
-                      {"patterns", num_patterns}}));
+                     {{"faults", static_cast<std::int64_t>(req.faults.size())},
+                      {"patterns", req.num_patterns}}));
   FaultSimResult result;
-  result.status.assign(faults.size(), FaultStatus::kUndetected);
-  result.first_detect_pattern.assign(faults.size(), -1);
-  result.patterns = num_patterns;
+  result.status.assign(req.faults.size(), FaultStatus::kUndetected);
+  result.first_detect_pattern.assign(req.faults.size(), -1);
+  result.patterns = req.num_patterns;
 
-  const std::vector<int> widths = OperandWidths(plan);
-  constexpr int kFaultLanes = 63;  // lane 0 carries the fault-free machine
-
-  for (std::size_t batch_start = 0; batch_start < faults.size() || faults.empty();
-       batch_start += kFaultLanes) {
-    const std::size_t batch_size =
-        std::min<std::size_t>(kFaultLanes, faults.size() - batch_start);
-
-    logicsim::Simulator sim(nl);
-    for (std::size_t i = 0; i < batch_size; ++i) {
-      InjectFault(sim, faults[batch_start + i], 1ULL << (i + 1));
-    }
-
-    tpg::Tpgr tpgr(tpgr_seed);
-    std::uint64_t detected = 0;    // lanes with a hard mismatch
-    std::uint64_t potential = 0;   // lanes with known-vs-X mismatch only
-
-    for (int p = 0; p < num_patterns; ++p) {
-      const std::vector<BitVec> pattern = tpgr.NextPattern(widths);
-      DriveOperands(sim, plan, pattern);
-      std::uint64_t pattern_detects = 0;
-      for (int c = 0; c < plan.cycles_per_pattern; ++c) {
-        if (plan.reset != netlist::kNoGate) {
-          sim.SetInputAllLanes(plan.reset, c == 0 ? Trit::kOne : Trit::kZero);
-        }
-        sim.Step();
-        if (std::find(plan.strobe_cycles.begin(), plan.strobe_cycles.end(),
-                      c) == plan.strobe_cycles.end()) {
-          continue;
-        }
-        for (GateId g : plan.observe) {
-          const Word3 w = sim.Value(g);
-          if ((w.known & 1ULL) == 0) continue;  // fault-free response X
-          const std::uint64_t golden = (w.val & 1ULL) != 0 ? ~0ULL : 0ULL;
-          pattern_detects |= w.known & (w.val ^ golden);
-          potential |= ~w.known;
-        }
-      }
-      const std::uint64_t newly = pattern_detects & ~detected;
-      if (newly != 0) {
-        detected |= newly;
-        for (std::size_t i = 0; i < batch_size; ++i) {
-          if ((newly >> (i + 1)) & 1ULL) {
-            result.first_detect_pattern[batch_start + i] = p;
-          }
-        }
-      }
-    }
-
-    for (std::size_t i = 0; i < batch_size; ++i) {
-      const std::uint64_t bit = 1ULL << (i + 1);
-      FaultStatus s = FaultStatus::kUndetected;
-      if (detected & bit) {
-        s = FaultStatus::kDetected;
-      } else if (potential & bit) {
-        s = FaultStatus::kPotentiallyDetected;
-      }
-      result.status[batch_start + i] = s;
-    }
-
-    if (obs::Enabled()) {
-      obs::Registry& reg = obs::Registry::Global();
-      reg.GetCounter("fault_sim.batches").Add(1);
-      reg.GetCounter("fault_sim.lanes").Add(batch_size);
-      reg.GetCounter("fault_sim.patterns")
-          .Add(static_cast<std::uint64_t>(num_patterns));
-      reg.GetCounter("fault_sim.detected")
-          .Add(static_cast<std::uint64_t>(std::popcount(detected)));
-      reg.GetCounter("fault_sim.potential")
-          .Add(static_cast<std::uint64_t>(
-              std::popcount(potential & ~detected)));
-    }
-
-    if (faults.empty()) break;
-  }
+  const std::vector<int> widths = OperandWidths(req.plan);
+  // An empty fault list still runs one (golden-only) shard, preserving the
+  // engine's warm-up/counter behaviour for coverage probes.
+  const std::size_t num_shards =
+      req.faults.empty() ? 1
+                         : (req.faults.size() + kFaultLanes - 1) / kFaultLanes;
+  // The netlist's topo-order cache is built lazily on first use; force it
+  // here so the shard workers' Simulator constructions only ever read it.
+  req.nl.CombinationalOrder();
+  exec::Pool pool(req.exec);
+  pool.ParallelFor(num_shards, [&](std::size_t shard) {
+    const std::size_t shard_start = shard * kFaultLanes;
+    const std::size_t shard_size =
+        std::min(kFaultLanes, req.faults.size() - shard_start);
+    obs::Span shard_span("fault_sim.shard");
+    SimulateParallelShard(req, widths, shard_start, shard_size, result);
+  });
   return result;
 }
 
-FaultSimResult RunSerialFaultSim(const netlist::Netlist& nl,
-                                 const TestPlan& plan,
-                                 std::span<const StuckFault> faults,
-                                 std::uint32_t tpgr_seed, int num_patterns) {
-  CheckPlan(nl, plan);
+FaultSimResult RunSerial(const FaultSimRequest& req) {
   obs::Span span("fault_sim.serial",
                  obs::Span::Args(
-                     {{"faults", static_cast<std::int64_t>(faults.size())},
-                      {"patterns", num_patterns}}));
+                     {{"faults", static_cast<std::int64_t>(req.faults.size())},
+                      {"patterns", req.num_patterns}}));
+  const TestPlan& plan = req.plan;
   const std::vector<int> widths = OperandWidths(plan);
 
   // Golden pass: record the fault-free response at every strobe.
   std::vector<Trit> golden;
   {
-    logicsim::Simulator sim(nl);
-    tpg::Tpgr tpgr(tpgr_seed);
-    for (int p = 0; p < num_patterns; ++p) {
+    logicsim::Simulator sim(req.nl);
+    tpg::Tpgr tpgr(req.tpgr_seed);
+    for (int p = 0; p < req.num_patterns; ++p) {
       DriveOperands(sim, plan, tpgr.NextPattern(widths));
       for (int c = 0; c < plan.cycles_per_pattern; ++c) {
         if (plan.reset != netlist::kNoGate) {
@@ -209,18 +222,21 @@ FaultSimResult RunSerialFaultSim(const netlist::Netlist& nl,
   }
 
   FaultSimResult result;
-  result.status.assign(faults.size(), FaultStatus::kUndetected);
-  result.first_detect_pattern.assign(faults.size(), -1);
-  result.patterns = num_patterns;
+  result.status.assign(req.faults.size(), FaultStatus::kUndetected);
+  result.first_detect_pattern.assign(req.faults.size(), -1);
+  result.patterns = req.num_patterns;
 
-  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-    logicsim::Simulator sim(nl);
-    InjectFault(sim, faults[fi], ~0ULL);
-    tpg::Tpgr tpgr(tpgr_seed);
+  // Each fault is an independent shard: private simulator, private TPGR
+  // stream, disjoint result slot.
+  exec::Pool pool(req.exec);
+  pool.ParallelFor(req.faults.size(), [&](std::size_t fi) {
+    logicsim::Simulator sim(req.nl);
+    InjectFault(sim, req.faults[fi], ~0ULL);
+    tpg::Tpgr tpgr(req.tpgr_seed);
     bool detected = false;
     bool potential = false;
     std::size_t cursor = 0;
-    for (int p = 0; p < num_patterns && !detected; ++p) {
+    for (int p = 0; p < req.num_patterns && !detected; ++p) {
       DriveOperands(sim, plan, tpgr.NextPattern(widths));
       for (int c = 0; c < plan.cycles_per_pattern; ++c) {
         if (plan.reset != netlist::kNoGate) {
@@ -254,8 +270,16 @@ FaultSimResult RunSerialFaultSim(const netlist::Netlist& nl,
       // serial fault dropping worthwhile at all.
       if (detected) reg.GetCounter("fault_sim.serial_early_drops").Add(1);
     }
-  }
+  });
   return result;
+}
+
+}  // namespace
+
+FaultSimResult RunFaultSim(const FaultSimRequest& request) {
+  CheckPlan(request.nl, request.plan);
+  return request.engine == FaultSimEngine::kParallel ? RunParallel(request)
+                                                     : RunSerial(request);
 }
 
 }  // namespace pfd::fault

@@ -1,12 +1,19 @@
-// Stuck-at fault simulation engines.
+// Stuck-at fault simulation engines behind one request-based entry point.
 //
-// Two engines with identical semantics:
-//   * RunSerialFaultSim — one faulty machine at a time; the straightforward
-//     reference implementation used for validation.
-//   * RunParallelFaultSim — 64-lane parallel-fault simulation: lane 0 is the
+// RunFaultSim(request) owns all fault-simulation work. Two engines with
+// identical semantics select via FaultSimRequest::engine:
+//   * kParallel — 64-lane parallel-fault simulation: lane 0 is the
 //     fault-free machine and up to 63 faults ride along in the other lanes,
 //     giving a ~60x speedup. This is the production engine the Section-5
 //     pipeline uses for its TPGR pre-pass.
+//   * kSerial — one faulty machine at a time; the straightforward reference
+//     implementation used for validation.
+//
+// Both shard across worker threads (exec::Options): the parallel engine
+// splits the fault list into 63-fault lane groups and the serial engine
+// fans out single faults; every shard owns its logicsim::Simulator and its
+// own TPGR stream seeded identically, and writes disjoint result slots, so
+// results are bit-identical for any thread count.
 //
 // Both reproduce the "potentially detected" semantics of the GENTEST
 // simulator the paper used: if the fault-free response is known but the
@@ -14,12 +21,17 @@
 // detected (the real hardware would show whatever the register held at
 // boot-up). The paper's step 2 deliberately upgrades such faults to
 // detected; that policy decision lives in the pipeline, not here.
+//
+// Deprecated entry points: RunParallelFaultSim / RunSerialFaultSim are thin
+// positional-argument wrappers over RunFaultSim, kept for one release for
+// out-of-tree callers. New code builds a FaultSimRequest.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "fault/fault.hpp"
 #include "logicsim/simulator.hpp"
 #include "netlist/netlist.hpp"
@@ -68,14 +80,48 @@ struct FaultSimResult {
 void InjectFault(logicsim::Simulator& sim, const StuckFault& f,
                  std::uint64_t lane_mask);
 
-FaultSimResult RunParallelFaultSim(const netlist::Netlist& nl,
-                                   const TestPlan& plan,
-                                   std::span<const StuckFault> faults,
-                                   std::uint32_t tpgr_seed, int num_patterns);
+enum class FaultSimEngine : std::uint8_t {
+  kParallel,  // 63 faults per 64-lane shard (production)
+  kSerial,    // one faulty machine per shard (reference)
+};
 
-FaultSimResult RunSerialFaultSim(const netlist::Netlist& nl,
-                                 const TestPlan& plan,
-                                 std::span<const StuckFault> faults,
-                                 std::uint32_t tpgr_seed, int num_patterns);
+// A complete fault-simulation request. Aggregate-initialize in call order:
+//   RunFaultSim({nl, plan, faults, seed, patterns});
+// `exec` controls only how the shards are scheduled; the result is
+// bit-identical for every thread count.
+struct FaultSimRequest {
+  const netlist::Netlist& nl;
+  const TestPlan& plan;
+  std::span<const StuckFault> faults;
+  std::uint32_t tpgr_seed = 0;
+  int num_patterns = 0;
+  FaultSimEngine engine = FaultSimEngine::kParallel;
+  exec::Options exec;
+};
+
+FaultSimResult RunFaultSim(const FaultSimRequest& request);
+
+// --- deprecated positional wrappers ----------------------------------------
+// Kept for one release; migrate to RunFaultSim(FaultSimRequest).
+
+[[deprecated("build a FaultSimRequest and call RunFaultSim")]]
+inline FaultSimResult RunParallelFaultSim(const netlist::Netlist& nl,
+                                          const TestPlan& plan,
+                                          std::span<const StuckFault> faults,
+                                          std::uint32_t tpgr_seed,
+                                          int num_patterns) {
+  return RunFaultSim({nl, plan, faults, tpgr_seed, num_patterns,
+                      FaultSimEngine::kParallel, {}});
+}
+
+[[deprecated("build a FaultSimRequest and call RunFaultSim")]]
+inline FaultSimResult RunSerialFaultSim(const netlist::Netlist& nl,
+                                        const TestPlan& plan,
+                                        std::span<const StuckFault> faults,
+                                        std::uint32_t tpgr_seed,
+                                        int num_patterns) {
+  return RunFaultSim({nl, plan, faults, tpgr_seed, num_patterns,
+                      FaultSimEngine::kSerial, {}});
+}
 
 }  // namespace pfd::fault

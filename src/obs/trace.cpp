@@ -32,6 +32,15 @@ void AppendDouble(std::string& out, double v) {
   out += buf;
 }
 
+ThreadTraceBuffer*& CurrentBufferSlot() {
+  thread_local ThreadTraceBuffer* buffer = nullptr;
+  return buffer;
+}
+
+// Flushing every few hundred events bounds worker memory on long jobs while
+// keeping the global-mutex acquisitions rare.
+constexpr std::size_t kBufferFlushThreshold = 512;
+
 }  // namespace
 
 double NowMicros() {
@@ -76,6 +85,10 @@ void Trace::RecordComplete(std::string name, double ts_us, double dur_us,
   e.tid = ThisThreadId();
   e.depth = depth;
   e.args_json = std::move(args_json);
+  if (ThreadTraceBuffer* buf = ThreadTraceBuffer::Current()) {
+    buf->Add(this, std::move(e));
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(e));
 }
@@ -88,8 +101,52 @@ void Trace::RecordInstant(std::string name, std::string args_json) {
   e.tid = ThisThreadId();
   e.depth = ThreadSpanDepth();
   e.args_json = std::move(args_json);
+  if (ThreadTraceBuffer* buf = ThreadTraceBuffer::Current()) {
+    buf->Add(this, std::move(e));
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(e));
+}
+
+void Trace::Append(std::vector<Event>&& events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Event& e : events) events_.push_back(std::move(e));
+}
+
+ThreadTraceBuffer::ThreadTraceBuffer() {
+  outer_ = CurrentBufferSlot();
+  CurrentBufferSlot() = this;
+}
+
+ThreadTraceBuffer::~ThreadTraceBuffer() {
+  Flush();
+  CurrentBufferSlot() = outer_;
+}
+
+ThreadTraceBuffer* ThreadTraceBuffer::Current() {
+  return CurrentBufferSlot();
+}
+
+void ThreadTraceBuffer::Add(Trace* sink, Trace::Event event) {
+  pending_.emplace_back(sink, std::move(event));
+  if (pending_.size() >= kBufferFlushThreshold) Flush();
+}
+
+void ThreadTraceBuffer::Flush() {
+  // Nearly always a single sink; batch consecutive same-sink runs into one
+  // locked append each.
+  std::size_t i = 0;
+  while (i < pending_.size()) {
+    Trace* sink = pending_[i].first;
+    std::vector<Trace::Event> run;
+    while (i < pending_.size() && pending_[i].first == sink) {
+      run.push_back(std::move(pending_[i].second));
+      ++i;
+    }
+    sink->Append(std::move(run));
+  }
+  pending_.clear();
 }
 
 std::size_t Trace::size() const {

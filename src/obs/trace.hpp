@@ -45,7 +45,12 @@ class Trace {
   void RecordComplete(std::string name, double ts_us, double dur_us,
                       int depth, std::string args_json = {});
   void RecordInstant(std::string name, std::string args_json = {});
+  // Bulk append under one lock; the ThreadTraceBuffer flush path.
+  void Append(std::vector<Event>&& events);
 
+  // Note: events a live ThreadTraceBuffer is still holding are not visible
+  // here until that buffer flushes (worker exit / overflow); exec::Pool
+  // flushes all worker buffers by the time its destructor returns.
   std::size_t size() const;
   std::vector<Event> Events() const;  // copy, for inspection
   void Clear();
@@ -60,6 +65,35 @@ class Trace {
 
 // Writes trace->ToJson() to `path`. Returns false on I/O failure.
 bool WriteTraceFile(const Trace& trace, const std::string& path);
+
+// Thread-local span-event buffer. While one is alive on a thread, every
+// event that thread records (Span destructors, RecordInstant) appends to
+// the buffer — no lock — instead of taking the destination trace's mutex;
+// the buffer flushes on overflow and on destruction. exec::Pool workers
+// install one for their lifetime, so engine loop bodies trace
+// contention-free and every event lands in the sink by pool shutdown. The
+// destination Trace must outlive the buffer (pfdtool keeps pools scoped
+// inside the run and exports the trace afterwards).
+class ThreadTraceBuffer {
+ public:
+  ThreadTraceBuffer();
+  ~ThreadTraceBuffer();  // flushes, restores any outer buffer
+  ThreadTraceBuffer(const ThreadTraceBuffer&) = delete;
+  ThreadTraceBuffer& operator=(const ThreadTraceBuffer&) = delete;
+
+  // Appends everything buffered so far to the destination trace(s).
+  void Flush();
+
+  // The buffer active on the calling thread, or nullptr.
+  static ThreadTraceBuffer* Current();
+
+ private:
+  friend class Trace;
+  void Add(Trace* sink, Trace::Event event);
+
+  std::vector<std::pair<Trace*, Trace::Event>> pending_;
+  ThreadTraceBuffer* outer_ = nullptr;
+};
 
 class Span {
  public:

@@ -43,6 +43,17 @@ void RunBatch(logicsim::Simulator& sim, const fault::TestPlan& plan,
   }
 }
 
+// Fills all 64 lanes of every operand from `rng`.
+void FillRandomLanes(Rng& rng, const fault::TestPlan& plan,
+                     std::vector<std::vector<std::uint32_t>>& lane_values) {
+  for (std::size_t op = 0; op < plan.operand_bits.size(); ++op) {
+    const int width = static_cast<int>(plan.operand_bits[op].size());
+    for (int lane = 0; lane < 64; ++lane) {
+      lane_values[op][lane] = rng.Bits(width);
+    }
+  }
+}
+
 struct BreakdownAccumulator {
   double datapath = 0, controller = 0, interface = 0, total = 0;
   int n = 0;
@@ -71,6 +82,16 @@ std::uint64_t TotalToggles(const logicsim::Simulator& sim) {
 
 }  // namespace
 
+// Parallel scheme: one base simulator is warmed up with a throwaway batch
+// (stream 0) to flush the power-up X state; measured batch b then copies
+// that machine state, draws its 64 patterns from private stream b+1
+// (exec::ShardSeed), and writes its PowerBreakdown into slot b. Batches are
+// issued in waves of ~thread-count; after each wave, per-batch single-sample
+// stats fold into the running estimate in batch order (RunningStat::Merge)
+// and the convergence rule is evaluated at each fold — so the stopping
+// batch, the mean, and the CI are a pure function of the config, never of
+// the thread count or the wave split (a converged wave's surplus batches
+// are discarded, not folded).
 PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
                                     const fault::TestPlan& plan,
                                     const PowerModel& model,
@@ -80,54 +101,72 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(faults.size())},
                       {"max_batches", config.max_batches}}));
-  logicsim::Simulator sim(nl);
+  logicsim::Simulator base(nl);
   for (const fault::StuckFault& f : faults) {
-    fault::InjectFault(sim, f, ~0ULL);
+    fault::InjectFault(base, f, ~0ULL);
   }
-  sim.EnableToggleCounting(true);
-  sim.EnableUnitDelay(config.unit_delay);
+  base.EnableToggleCounting(true);
+  base.EnableUnitDelay(config.unit_delay);
 
-  Rng rng(config.seed);
   const std::size_t n_ops = plan.operand_bits.size();
-  std::vector<std::vector<std::uint32_t>> lane_values(
-      n_ops, std::vector<std::uint32_t>(64));
-  auto fill_random = [&] {
-    for (std::size_t op = 0; op < n_ops; ++op) {
-      const int width = static_cast<int>(plan.operand_bits[op].size());
-      for (int lane = 0; lane < 64; ++lane) {
-        lane_values[op][lane] = rng.Bits(width);
-      }
-    }
-  };
-
   const std::uint64_t batch_cycles =
       64ULL * static_cast<std::uint64_t>(plan.cycles_per_pattern);
+  const std::uint64_t det_seed = config.exec.deterministic_seed;
 
-  // Warm-up batch: flushes power-up X state so every accumulated batch
-  // measures steady-state operation.
-  fill_random();
-  RunBatch(sim, plan, lane_values);
+  // Warm-up batch (stream 0): flushes power-up X state so every measured
+  // batch starts from the same steady-state machine.
+  {
+    std::vector<std::vector<std::uint32_t>> lane_values(
+        n_ops, std::vector<std::uint32_t>(64));
+    Rng rng(exec::ShardSeed(config.seed, det_seed, 0));
+    FillRandomLanes(rng, plan, lane_values);
+    RunBatch(base, plan, lane_values);
+  }
+
+  exec::Pool pool(config.exec);
+  std::vector<PowerBreakdown> results(
+      static_cast<std::size_t>(config.max_batches));
 
   RunningStat datapath_stat;
   BreakdownAccumulator acc;
-  int batches = 0;
+  int used = 0;       // batches folded into the estimate
+  int computed = 0;   // batches simulated (>= used after convergence)
   bool converged = false;
-  while (batches < config.max_batches) {
-    sim.ResetToggleCounts();
-    fill_random();
-    RunBatch(sim, plan, lane_values);
-    const PowerBreakdown b = model.Compute(sim, batch_cycles);
-    if (obs::Enabled()) {
-      obs::Registry::Global().GetCounter("power.toggles")
-          .Add(TotalToggles(sim));
-    }
-    datapath_stat.Add(b.datapath_uw);
-    acc.Add(b);
-    ++batches;
-    if (batches >= config.min_batches &&
-        datapath_stat.RelativeHalfWidth95() < config.rel_tol) {
-      converged = true;
-      break;
+  while (!converged && computed < config.max_batches) {
+    const int wave =
+        std::min(config.max_batches - computed,
+                 computed == 0 ? std::max(config.min_batches, pool.threads())
+                               : pool.threads());
+    pool.ParallelFor(static_cast<std::size_t>(wave), [&](std::size_t k) {
+      const int b = computed + static_cast<int>(k);
+      logicsim::Simulator sim = base;  // copy of the warmed machine
+      sim.ResetToggleCounts();
+      std::vector<std::vector<std::uint32_t>> lane_values(
+          n_ops, std::vector<std::uint32_t>(64));
+      Rng rng(exec::ShardSeed(config.seed, det_seed,
+                              static_cast<std::uint64_t>(b) + 1));
+      FillRandomLanes(rng, plan, lane_values);
+      RunBatch(sim, plan, lane_values);
+      results[static_cast<std::size_t>(b)] = model.Compute(sim, batch_cycles);
+      if (obs::Enabled()) {
+        obs::Registry::Global().GetCounter("power.toggles")
+            .Add(TotalToggles(sim));
+      }
+    });
+    computed += wave;
+    // Ordered reduction: fold batch by batch, stop at the first batch where
+    // the convergence rule fires.
+    for (int b = used; b < computed && !converged; ++b) {
+      const PowerBreakdown& pb = results[static_cast<std::size_t>(b)];
+      RunningStat sample;
+      sample.Add(pb.datapath_uw);
+      datapath_stat.Merge(sample);
+      acc.Add(pb);
+      ++used;
+      if (used >= config.min_batches &&
+          datapath_stat.RelativeHalfWidth95() < config.rel_tol) {
+        converged = true;
+      }
     }
   }
 
@@ -135,7 +174,7 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
     obs::Registry& reg = obs::Registry::Global();
     reg.GetCounter("power.mc_runs").Add(1);
     reg.GetCounter("power.mc_batches")
-        .Add(static_cast<std::uint64_t>(batches));
+        .Add(static_cast<std::uint64_t>(used));
     reg.GetCounter(converged ? "power.mc_converged" : "power.mc_maxed_out")
         .Add(1);
     // Convergence state of the most recent run, for -v style probes.
@@ -146,8 +185,8 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
   PowerResult result;
   result.breakdown = acc.Mean();
   result.ci95_rel = datapath_stat.RelativeHalfWidth95();
-  result.batches = batches;
-  result.patterns = 64ULL * static_cast<std::uint64_t>(batches);
+  result.batches = used;
+  result.patterns = 64ULL * static_cast<std::uint64_t>(used);
   return result;
 }
 
@@ -155,21 +194,20 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
                                 const fault::TestPlan& plan,
                                 const PowerModel& model,
                                 std::span<const fault::StuckFault> faults,
-                                std::uint32_t tpgr_seed, int num_patterns,
-                                bool unit_delay) {
-  PFD_CHECK_MSG(num_patterns > 0, "empty test set");
+                                const TestSetPowerConfig& config) {
+  PFD_CHECK_MSG(config.patterns > 0, "empty test set");
   obs::Span span("power.test_set",
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(faults.size())},
-                      {"patterns", num_patterns}}));
+                      {"patterns", config.patterns}}));
   logicsim::Simulator sim(nl);
   for (const fault::StuckFault& f : faults) {
     fault::InjectFault(sim, f, ~0ULL);
   }
   sim.EnableToggleCounting(true);
-  sim.EnableUnitDelay(unit_delay);
+  sim.EnableUnitDelay(config.unit_delay);
 
-  tpg::Tpgr tpgr(tpgr_seed);
+  tpg::Tpgr tpgr(config.seed);
   const std::size_t n_ops = plan.operand_bits.size();
   std::vector<std::vector<std::uint32_t>> lane_values(
       n_ops, std::vector<std::uint32_t>(64));
@@ -177,7 +215,7 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
   // The test set length is rounded up to a whole number of 64-lane batches
   // by continuing the TPGR stream (documented in DESIGN.md; identical
   // protocol for baseline and faulty runs, so percentage changes are exact).
-  const int batches = (num_patterns + 63) / 64;
+  const int batches = (config.patterns + 63) / 64;
   std::uint64_t machine_cycles = 0;
   for (int batch = 0; batch < batches; ++batch) {
     for (int lane = 0; lane < 64; ++lane) {

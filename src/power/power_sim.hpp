@@ -2,11 +2,18 @@
 //
 // Two measurement modes, matching the paper's experiments:
 //   * EstimatePowerMonteCarlo — "the faulty circuit is simulated for random
-//     data until the power converges" (Section 5): batches of 64 random
-//     patterns ride the simulator lanes until the 95% confidence half-width
-//     of the mean batch power drops below a relative tolerance.
-//   * MeasureTestSetPower — power over a fixed TPGR test set of given seed
-//     and length (Table 3 uses three 1200-pattern sets).
+//     data until the power converges" (Section 5): independent batches of 64
+//     random patterns ride the simulator lanes until the 95% confidence
+//     half-width of the mean batch power drops below a relative tolerance.
+//     Batches fan out across worker threads (MonteCarloConfig::exec): batch
+//     b draws from a private RNG stream derived from (seed, b) via
+//     exec::ShardSeed and starts from one shared warmed-up machine state,
+//     and per-batch statistics fold in batch order via RunningStat::Merge —
+//     so the estimate is bit-identical for every thread count.
+//   * MeasureTestSetPower — power over a fixed TPGR test set
+//     (TestSetPowerConfig: seed, length, timing model; Table 3 uses three
+//     1200-pattern sets). Serial by construction: the TPGR stream is one
+//     sequential whole.
 //
 // Both accept an optional stuck-at fault to inject, so the same code path
 // produces the fault-free baseline and every faulty measurement.
@@ -16,9 +23,11 @@
 #include <optional>
 #include <span>
 
+#include "exec/exec.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
 #include "power/power_model.hpp"
+#include "tpg/lfsr.hpp"
 
 namespace pfd::power {
 
@@ -30,6 +39,9 @@ struct MonteCarloConfig {
   // Count hazard (glitch) transitions with unit-delay timing instead of the
   // zero-delay single-transition model. Slower by roughly the logic depth.
   bool unit_delay = false;
+  // Worker threads for the batch fan-out; a performance knob only — the
+  // result is bit-identical for every thread count.
+  exec::Options exec;
 };
 
 struct PowerResult {
@@ -56,12 +68,33 @@ inline PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
   return EstimatePowerMonteCarlo(nl, plan, model, {}, config);
 }
 
-// Average power over a fixed pseudorandom test set (TPGR seed + length).
+// A fixed pseudorandom test set: TPGR seed, length, timing model.
+struct TestSetPowerConfig {
+  std::uint32_t seed = tpg::kTestSetSeed1;
+  int patterns = 1200;
+  bool unit_delay = false;
+};
+
+// Average power over the fixed test set `config` describes.
 PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
                                 const fault::TestPlan& plan,
                                 const PowerModel& model,
                                 std::span<const fault::StuckFault> faults,
-                                std::uint32_t tpgr_seed, int num_patterns,
-                                bool unit_delay = false);
+                                const TestSetPowerConfig& config);
+
+// Deprecated positional-argument shim, kept for one release; pass a
+// TestSetPowerConfig instead.
+[[deprecated("pass TestSetPowerConfig{seed, patterns, unit_delay}")]]
+inline PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
+                                       const fault::TestPlan& plan,
+                                       const PowerModel& model,
+                                       std::span<const fault::StuckFault> faults,
+                                       std::uint32_t tpgr_seed,
+                                       int num_patterns,
+                                       bool unit_delay = false) {
+  return MeasureTestSetPower(nl, plan, model, faults,
+                             TestSetPowerConfig{tpgr_seed, num_patterns,
+                                                unit_delay});
+}
 
 }  // namespace pfd::power

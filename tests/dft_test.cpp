@@ -130,8 +130,8 @@ TEST_F(DftOnPoly, DftCatchesFaultsTheIntegratedTestCannot) {
       fault::Collapse(dft_->system.nl, all).representatives;
   std::vector<bool> caught(faults.size(), false);
   for (int session = 0; session < dft_->sessions; ++session) {
-    const fault::FaultSimResult r = fault::RunParallelFaultSim(
-        dft_->system.nl, dft_->MakeDftPlan(session), faults, 0xACE1, 48);
+    const fault::FaultSimResult r = fault::RunFaultSim(
+        {dft_->system.nl, dft_->MakeDftPlan(session), faults, 0xACE1, 48});
     for (std::size_t i = 0; i < faults.size(); ++i) {
       if (r.status[i] != fault::FaultStatus::kUndetected) caught[i] = true;
     }

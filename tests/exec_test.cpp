@@ -1,0 +1,203 @@
+// Tests for the pfd::exec parallel execution core: thread resolution, the
+// shard seeding scheme, ParallelFor semantics (coverage, exceptions, reuse,
+// teardown under load), worker trace-buffer flushing, and the headline
+// guarantee — pipeline results are bit-identical for every thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "designs/designs.hpp"
+#include "exec/exec.hpp"
+#include "obs/trace.hpp"
+
+namespace pfd::exec {
+namespace {
+
+// Scoped override of the PFD_THREADS environment variable.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(ResolveThreads, ExplicitCountWins) {
+  ScopedEnv env("PFD_THREADS", "7");
+  Options opt;
+  opt.threads = 3;
+  EXPECT_EQ(ResolveThreads(opt), 3);
+}
+
+TEST(ResolveThreads, EnvVariableUsedWhenAuto) {
+  ScopedEnv env("PFD_THREADS", "5");
+  EXPECT_EQ(ResolveThreads(Options{}), 5);
+}
+
+TEST(ResolveThreads, GarbageEnvFallsBackToHardware) {
+  ScopedEnv env("PFD_THREADS", "zero");
+  EXPECT_GE(ResolveThreads(Options{}), 1);
+}
+
+TEST(ResolveThreads, DefaultIsAtLeastOne) {
+  ScopedEnv env("PFD_THREADS", nullptr);
+  EXPECT_GE(ResolveThreads(Options{}), 1);
+}
+
+TEST(ShardSeed, StreamsAreDistinctAndStable) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t shard = 0; shard < 1000; ++shard) {
+    seeds.insert(ShardSeed(0xACE1, 0, shard));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions across shard indices
+  // Pure function of its inputs (this is what thread-invariance rests on).
+  EXPECT_EQ(ShardSeed(1, 2, 3), ShardSeed(1, 2, 3));
+  EXPECT_NE(ShardSeed(1, 2, 3), ShardSeed(1, 2, 4));
+  EXPECT_NE(ShardSeed(1, 2, 3), ShardSeed(2, 2, 3));
+  EXPECT_NE(ShardSeed(1, 2, 3), ShardSeed(1, 3, 3));
+}
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  Options opt;
+  opt.threads = 8;
+  Pool pool(opt);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroAndSingleIndexEdges) {
+  Options opt;
+  opt.threads = 4;
+  Pool pool(opt);
+  pool.ParallelFor(0, [&](std::size_t) { FAIL() << "body ran for n=0"; });
+  int runs = 0;
+  pool.ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ParallelFor, SingleThreadPoolSpawnsNothingAndStillWorks) {
+  Options opt;
+  opt.threads = 1;
+  Pool pool(opt);
+  EXPECT_EQ(pool.threads(), 1);
+  std::size_t sum = 0;
+  pool.ParallelFor(100, [&](std::size_t i) { sum += i; });  // plain loop
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolStaysUsable) {
+  Options opt;
+  opt.threads = 4;
+  Pool pool(opt);
+  EXPECT_THROW(
+      pool.ParallelFor(256,
+                       [&](std::size_t i) {
+                         if (i == 97) throw std::runtime_error("body failed");
+                       }),
+      std::runtime_error);
+  // The same pool must accept (and fully run) new work afterwards.
+  std::atomic<int> count{0};
+  pool.ParallelFor(256, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 256);
+}
+
+TEST(ParallelFor, ScopedHelperMatchesPool) {
+  std::atomic<std::size_t> sum{0};
+  Options opt;
+  opt.threads = 4;
+  ParallelFor(opt, 1000, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 499500u);
+}
+
+TEST(Pool, TeardownUnderRepeatedLoad) {
+  // Construct/use/destroy in a tight loop: shakes out worker-join races.
+  for (int round = 0; round < 50; ++round) {
+    Options opt;
+    opt.threads = 8;
+    Pool pool(opt);
+    std::atomic<int> count{0};
+    pool.ParallelFor(200, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 200) << "round " << round;
+  }
+}
+
+TEST(Pool, WorkerSpansFlushBeforeDestructorReturns) {
+  obs::Registry& reg = obs::Registry::Global();
+  auto trace = std::make_unique<obs::Trace>();
+  reg.InstallTrace(trace.get());
+  reg.set_enabled(true);
+  constexpr std::size_t kN = 300;
+  {
+    Options opt;
+    opt.threads = 4;
+    Pool pool(opt);
+    pool.ParallelFor(kN, [&](std::size_t) { obs::Span span("exec.body"); });
+  }  // pool shutdown joins workers, flushing their thread-local buffers
+  reg.InstallTrace(nullptr);
+  reg.set_enabled(false);
+  std::size_t bodies = 0;
+  for (const obs::Trace::Event& e : trace->Events()) {
+    if (e.name == "exec.body") ++bodies;
+  }
+  EXPECT_EQ(bodies, kN);
+}
+
+// The tentpole guarantee: the full classification pipeline produces a
+// byte-identical report for every thread count.
+TEST(Determinism, ClassificationIsThreadCountInvariant) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  auto classify_csv = [&](int threads) {
+    core::PipelineConfig cfg;
+    cfg.tpgr_patterns = 200;
+    cfg.exec.threads = threads;
+    return core::ClassificationCsv(
+        core::ClassifyControllerFaults(d.system, d.hls, cfg));
+  };
+  const std::string t1 = classify_csv(1);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(classify_csv(2), t1);
+  EXPECT_EQ(classify_csv(8), t1);
+}
+
+}  // namespace
+}  // namespace pfd::exec

@@ -5,6 +5,8 @@
 // circuits.
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "base/rng.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
@@ -82,6 +84,23 @@ TestPlan PlanFor(const RandomCircuit& rc, int cycles = 4) {
   for (int c = 0; c < cycles; ++c) plan.strobe_cycles.push_back(c);
   plan.observe = rc.outputs;
   return plan;
+}
+
+// Convenience wrappers over the request API for the tests below.
+FaultSimResult ParSim(const Netlist& nl, const TestPlan& plan,
+                      std::span<const StuckFault> faults, std::uint32_t seed,
+                      int patterns, int threads = 0) {
+  FaultSimRequest req{nl, plan, faults, seed, patterns,
+                      FaultSimEngine::kParallel};
+  req.exec.threads = threads;
+  return RunFaultSim(req);
+}
+
+FaultSimResult SerSim(const Netlist& nl, const TestPlan& plan,
+                      std::span<const StuckFault> faults, std::uint32_t seed,
+                      int patterns) {
+  return RunFaultSim(
+      {nl, plan, faults, seed, patterns, FaultSimEngine::kSerial});
 }
 
 // --- fault list generation ---------------------------------------------------
@@ -172,8 +191,7 @@ TEST(Collapse, EquivalentFaultsAreBehaviourallyEquivalent) {
     const TestPlan plan = PlanFor(rc);
     const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
     const CollapsedFaults c = Collapse(rc.nl, all);
-    const FaultSimResult res =
-        RunParallelFaultSim(rc.nl, plan, all, 0xACE1, 40);
+    const FaultSimResult res = ParSim(rc.nl, plan, all, 0xACE1, 40);
     for (std::size_t i = 0; i < all.size(); ++i) {
       for (std::size_t j = i + 1; j < all.size(); ++j) {
         if (c.class_of[i] != c.class_of[j]) continue;
@@ -200,7 +218,7 @@ TEST(FaultSim, DetectsObviousFault) {
   plan.observe = {g};
   const std::vector<StuckFault> faults = {{g, 0, Trit::kZero},
                                           {g, 0, Trit::kOne}};
-  const FaultSimResult res = RunParallelFaultSim(nl, plan, faults, 1, 16);
+  const FaultSimResult res = ParSim(nl, plan, faults, 1, 16);
   EXPECT_EQ(res.status[0], FaultStatus::kDetected);
   EXPECT_EQ(res.status[1], FaultStatus::kDetected);
   EXPECT_GE(res.first_detect_pattern[0], 0);
@@ -223,7 +241,7 @@ TEST(FaultSim, PotentiallyDetectedWhenFaultyStaysX) {
   plan.strobe_cycles = {1};
   plan.observe = {q};
   const std::vector<StuckFault> faults = {{mux, 1, Trit::kZero}};  // load SA0
-  const FaultSimResult res = RunParallelFaultSim(nl, plan, faults, 3, 64);
+  const FaultSimResult res = ParSim(nl, plan, faults, 3, 64);
   EXPECT_EQ(res.status[0], FaultStatus::kPotentiallyDetected);
 }
 
@@ -241,7 +259,7 @@ TEST(FaultSim, UndetectedWhenNotObserved) {
   plan.strobe_cycles = {0};
   plan.observe = {g1};
   const std::vector<StuckFault> faults = {{g2, 0, Trit::kOne}};
-  const FaultSimResult res = RunParallelFaultSim(nl, plan, faults, 9, 32);
+  const FaultSimResult res = ParSim(nl, plan, faults, 9, 32);
   EXPECT_EQ(res.status[0], FaultStatus::kUndetected);
 }
 
@@ -260,10 +278,8 @@ TEST_P(EngineEquivalence, SerialAndParallelAgree) {
   const TestPlan plan = PlanFor(rc);
   const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
   const auto faults = Collapse(rc.nl, all).representatives;
-  const FaultSimResult par =
-      RunParallelFaultSim(rc.nl, plan, faults, 0xACE1, 24);
-  const FaultSimResult ser =
-      RunSerialFaultSim(rc.nl, plan, faults, 0xACE1, 24);
+  const FaultSimResult par = ParSim(rc.nl, plan, faults, 0xACE1, 24);
+  const FaultSimResult ser = SerSim(rc.nl, plan, faults, 0xACE1, 24);
   ASSERT_EQ(par.status.size(), ser.status.size());
   for (std::size_t i = 0; i < faults.size(); ++i) {
     EXPECT_EQ(par.status[i], ser.status[i]) << FaultName(rc.nl, faults[i]);
@@ -290,11 +306,48 @@ TEST(FaultSim, MoreThan63FaultsSpanBatches) {
   const TestPlan plan = PlanFor(rc);
   const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
   ASSERT_GT(all.size(), 63u);  // forces multiple parallel batches
-  const FaultSimResult par = RunParallelFaultSim(rc.nl, plan, all, 5, 16);
-  const FaultSimResult ser = RunSerialFaultSim(rc.nl, plan, all, 5, 16);
+  const FaultSimResult par = ParSim(rc.nl, plan, all, 5, 16);
+  const FaultSimResult ser = SerSim(rc.nl, plan, all, 5, 16);
   for (std::size_t i = 0; i < all.size(); ++i) {
     EXPECT_EQ(par.status[i], ser.status[i]) << FaultName(rc.nl, all[i]);
   }
+}
+
+// The shard->seed mapping is fixed, shards write disjoint result slots, and
+// the reduction is ordered — so every thread count must produce exactly the
+// same FaultSimResult, bit for bit.
+TEST(FaultSim, ResultIsThreadCountInvariant) {
+  const RandomCircuit rc = MakeRandomCircuit(777, 5, 90, 5);
+  const TestPlan plan = PlanFor(rc);
+  const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
+  ASSERT_GT(all.size(), 126u);  // at least three 63-fault shards
+  const FaultSimResult t1 = ParSim(rc.nl, plan, all, 0xBEEF, 20, 1);
+  for (int threads : {2, 8}) {
+    const FaultSimResult tn = ParSim(rc.nl, plan, all, 0xBEEF, 20, threads);
+    ASSERT_EQ(tn.status.size(), t1.status.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(tn.status[i], t1.status[i]) << FaultName(rc.nl, all[i]);
+      EXPECT_EQ(tn.first_detect_pattern[i], t1.first_detect_pattern[i]);
+    }
+  }
+}
+
+// The deprecated wrappers must stay behaviourally identical to the request
+// API while they live out their release.
+TEST(FaultSim, DeprecatedWrappersMatchRequestApi) {
+  const RandomCircuit rc = MakeRandomCircuit(31, 4, 30, 3);
+  const TestPlan plan = PlanFor(rc);
+  const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const FaultSimResult par = RunParallelFaultSim(rc.nl, plan, all, 0xACE1, 24);
+  const FaultSimResult ser = RunSerialFaultSim(rc.nl, plan, all, 0xACE1, 24);
+#pragma GCC diagnostic pop
+  const FaultSimResult req_par = ParSim(rc.nl, plan, all, 0xACE1, 24);
+  const FaultSimResult req_ser = SerSim(rc.nl, plan, all, 0xACE1, 24);
+  EXPECT_EQ(par.status, req_par.status);
+  EXPECT_EQ(ser.status, req_ser.status);
+  EXPECT_EQ(par.first_detect_pattern, req_par.first_detect_pattern);
 }
 
 TEST(FaultSim, InjectFaultMapsPins) {

@@ -168,15 +168,34 @@ TEST(MonteCarlo, TighterToleranceUsesMoreBatches) {
   EXPECT_LE(a.batches, b.batches);
 }
 
+TEST(MonteCarlo, ResultIsThreadCountInvariant) {
+  // Batch b draws from ShardSeed(seed, b) and the fold is ordered, so the
+  // estimate, CI, and stopping batch must not depend on the thread count.
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  MonteCarloConfig cfg;
+  cfg.rel_tol = 0.01;
+  cfg.exec.threads = 1;
+  const PowerResult t1 = EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+  for (int threads : {2, 8}) {
+    cfg.exec.threads = threads;
+    const PowerResult tn = EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+    EXPECT_DOUBLE_EQ(tn.breakdown.datapath_uw, t1.breakdown.datapath_uw);
+    EXPECT_DOUBLE_EQ(tn.breakdown.total_uw, t1.breakdown.total_uw);
+    EXPECT_DOUBLE_EQ(tn.ci95_rel, t1.ci95_rel);
+    EXPECT_EQ(tn.batches, t1.batches);
+  }
+}
+
 TEST(TestSetPower, DeterministicPerSeedAndSensitiveToSeed) {
   MiniSystem ms;
   const PowerModel model(ms.nl, TechModel::Vsc450());
-  const PowerResult a = MeasureTestSetPower(ms.nl, ms.plan, model, {},
-                                            tpg::kTestSetSeed1, 256);
-  const PowerResult b = MeasureTestSetPower(ms.nl, ms.plan, model, {},
-                                            tpg::kTestSetSeed1, 256);
-  const PowerResult c = MeasureTestSetPower(ms.nl, ms.plan, model, {},
-                                            tpg::kTestSetSeed2, 256);
+  const PowerResult a = MeasureTestSetPower(
+      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed1, 256});
+  const PowerResult b = MeasureTestSetPower(
+      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed1, 256});
+  const PowerResult c = MeasureTestSetPower(
+      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed2, 256});
   EXPECT_DOUBLE_EQ(a.breakdown.datapath_uw, b.breakdown.datapath_uw);
   EXPECT_NE(a.breakdown.datapath_uw, c.breakdown.datapath_uw);
   EXPECT_EQ(a.patterns, 256u);
@@ -185,9 +204,23 @@ TEST(TestSetPower, DeterministicPerSeedAndSensitiveToSeed) {
 TEST(TestSetPower, RoundsUpToLaneMultiples) {
   MiniSystem ms;
   const PowerModel model(ms.nl, TechModel::Vsc450());
-  const PowerResult r = MeasureTestSetPower(ms.nl, ms.plan, model, {},
-                                            tpg::kTestSetSeed1, 100);
+  const PowerResult r = MeasureTestSetPower(
+      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed1, 100});
   EXPECT_EQ(r.patterns, 128u);  // 100 -> 2 batches of 64
+}
+
+TEST(TestSetPower, DeprecatedPositionalShimMatchesConfig) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  const PowerResult shim = MeasureTestSetPower(ms.nl, ms.plan, model, {},
+                                               tpg::kTestSetSeed1, 256);
+#pragma GCC diagnostic pop
+  const PowerResult cfg = MeasureTestSetPower(
+      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed1, 256});
+  EXPECT_DOUBLE_EQ(shim.breakdown.datapath_uw, cfg.breakdown.datapath_uw);
+  EXPECT_EQ(shim.patterns, cfg.patterns);
 }
 
 TEST(FaultyPower, StuckGateChangesPower) {

@@ -15,6 +15,11 @@
 //                        fault counts as JSON
 //   -v / --verbose       stage progress lines + metrics table on stderr
 //
+// Execution options (classify/grade/diagnose):
+//   --threads N          worker threads for the parallel engine stages
+//                        (default: hardware concurrency, or $PFD_THREADS);
+//                        results are bit-identical for every N
+//
 // Designs: diffeq, facet, poly, diffeq-loop, ewf.
 // Exit codes: 0 success, 1 runtime error (incl. unknown design), 2 usage.
 #include <cstdio>
@@ -45,6 +50,7 @@ struct Options {
   double sigma = 1.0;       // percent
   double measured_uw = 0.0;
   int fault_index = -1;
+  int threads = 0;  // 0 = auto (PFD_THREADS, then hardware concurrency)
   bool csv = false;
   bool verbose = false;
   std::string trace_path;
@@ -58,7 +64,7 @@ struct Options {
       "[design] [options]\n"
       "designs: diffeq facet poly diffeq-loop ewf\n"
       "options: --width N --patterns N --threshold PCT --sigma PCT "
-      "--fault INDEX --csv\n"
+      "--fault INDEX --threads N --csv\n"
       "         --trace FILE --metrics-json FILE -v|--verbose\n");
   std::exit(2);
 }
@@ -82,6 +88,7 @@ core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
                                     const Options& opt) {
   core::PipelineConfig cfg;
   cfg.tpgr_patterns = opt.patterns;
+  cfg.exec.threads = opt.threads;
   if (d.system.has_feedback) {
     cfg.gate_check.max_exhaustive_bits = 14;
     cfg.gate_check.sample_patterns = 4096;
@@ -142,6 +149,7 @@ int CmdGrade(const Options& opt) {
   const core::ClassificationReport report = Classify(d, opt);
   core::GradeConfig cfg;
   cfg.threshold_percent = opt.threshold;
+  cfg.mc.exec.threads = opt.threads;
   const core::PowerGradeReport graded =
       core::GradeSfrFaults(d.system, report, cfg);
   if (opt.csv) {
@@ -159,8 +167,10 @@ int CmdGrade(const Options& opt) {
 int CmdDiagnose(const Options& opt) {
   const designs::BenchmarkDesign d = BuildDesign(opt);
   const core::ClassificationReport report = Classify(d, opt);
+  core::GradeConfig grade_cfg;
+  grade_cfg.mc.exec.threads = opt.threads;
   const core::PowerGradeReport graded =
-      core::GradeSfrFaults(d.system, report, core::GradeConfig{});
+      core::GradeSfrFaults(d.system, report, grade_cfg);
   const core::DiagnosisResult dx = core::DiagnoseFromPower(
       graded, opt.measured_uw, {opt.sigma / 100.0});
   std::printf("measured %.2f uW against %zu signatures:\n", dx.measured_uw,
@@ -267,6 +277,8 @@ int main(int argc, char** argv) {
       opt.sigma = std::atof(next());
     } else if (arg == "--fault") {
       opt.fault_index = std::atoi(next());
+    } else if (arg == "--threads") {
+      opt.threads = std::atoi(next());
     } else if (arg == "--csv") {
       opt.csv = true;
     } else if (arg == "--trace") {
