@@ -44,18 +44,40 @@ PowerGradeReport GradeSfrFaults(const synth::System& sys,
   const power::PowerModel model = MakePowerModel(sys, config.tech);
   const fault::TestPlan plan = sys.MakeTestPlan();
 
+  // One checker pools the deadline / cycle budget across the baseline and
+  // every per-fault Monte Carlo run; a trip stops grading between faults
+  // and the report covers whatever was graded so far.
+  guard::Checker local_check(config.mc.limits);
+  guard::Checker& check =
+      config.mc.checker != nullptr ? *config.mc.checker : local_check;
+  power::MonteCarloConfig mc = config.mc;
+  mc.checker = &check;
+
   PowerGradeReport report;
   report.threshold_percent = config.threshold_percent;
-  report.fault_free_uw =
-      power::EstimatePowerMonteCarlo(sys.nl, plan, model, config.mc)
-          .breakdown.datapath_uw;
+  {
+    const power::PowerResult base =
+        power::EstimatePowerMonteCarlo(sys.nl, plan, model, mc);
+    report.fault_free_uw = base.breakdown.datapath_uw;
+    report.run_status.MergeFrom(base.run_status, "baseline");
+    if (check.tripped() || base.run_status.tripped()) return report;
+  }
 
   for (const FaultRecord& rec : classification.records) {
     if (rec.cls != FaultClass::kSfr) continue;
+    ++report.run_status.total_units;
+    if (check.tripped()) continue;
     const fault::StuckFault f = rec.fault;
     const power::PowerResult pr = power::EstimatePowerMonteCarlo(
-        sys.nl, plan, model, std::span<const fault::StuckFault>(&f, 1),
-        config.mc);
+        sys.nl, plan, model, std::span<const fault::StuckFault>(&f, 1), mc);
+    if (pr.run_status.tripped()) {
+      // Mid-run trip: this fault's estimate is over a truncated batch set,
+      // so it is not graded; the trip code lands in the merged status.
+      report.run_status.MergeFrom(pr.run_status, rec.name);
+      continue;
+    }
+    report.run_status.MergeFrom(pr.run_status, rec.name);
+    report.run_status.completed.push_back(report.run_status.total_units - 1);
     GradedFault gf;
     gf.record = &rec;
     gf.power_uw = pr.breakdown.datapath_uw;

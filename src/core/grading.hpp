@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "guard/guard.hpp"
 #include "power/power_model.hpp"
 #include "power/power_sim.hpp"
 
@@ -33,7 +34,13 @@ struct GradedFault {
 struct PowerGradeReport {
   double fault_free_uw = 0.0;
   double threshold_percent = 5.0;
-  std::vector<GradedFault> faults;  // the SFR faults, input order
+  std::vector<GradedFault> faults;  // graded SFR faults, input order
+
+  // Partial-result contract. GradeSfrFaults pools one guard::Checker
+  // (from GradeConfig::mc.limits) across the baseline and every per-fault
+  // Monte Carlo run; on a trip the report covers the faults graded so far
+  // and run_status says why the rest are missing.
+  guard::RunStatus run_status;
 
   std::size_t DetectedCount() const;
   // Figure-7 presentation order: select-only faults first, then faults that

@@ -15,6 +15,7 @@ const char* FaultClassName(FaultClass c) {
     case FaultClass::kCfr: return "CFR";
     case FaultClass::kSfr: return "SFR";
     case FaultClass::kSfiAnalysis: return "SFI(analysis)";
+    case FaultClass::kUndecided: return "UNDECIDED";
   }
   return "?";
 }
@@ -33,6 +34,11 @@ std::string ClassificationReport::Summary() const {
      << sfi_potential << " SFI(potential), " << sfi_analysis
      << " SFI(analysis), " << cfr << " CFR, " << sfr << " SFR ("
      << PercentSfr() << "%)";
+  // Only a tripped/partial run produces undecided faults, so a clean run's
+  // summary is byte-identical to the pre-guard format.
+  if (undecided > 0) {
+    os << ", " << undecided << " UNDECIDED [" << run_status.Describe() << "]";
+  }
   return os.str();
 }
 
@@ -74,6 +80,10 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
   PipelineMetrics& m = report.metrics;
   m.tpgr_patterns = config.tpgr_patterns;
 
+  // One checker pools the deadline / cycle budget across all four stages;
+  // each stage degrades to a partial result instead of throwing.
+  guard::Checker check(config.limits);
+
   // Step 1: integrated-system fault simulation with TPGR patterns over the
   // collapsed stuck-at faults on controller gates.
   fault::CollapsedFaults collapsed;
@@ -92,7 +102,9 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
                                    config.tpgr_seed, config.tpgr_patterns,
                                    fault::FaultSimEngine::kParallel,
                                    config.exec};
+    request.checker = &check;
     sim = fault::RunFaultSim(request);
+    report.run_status.MergeFrom(sim.run_status, "step1");
     ++m.sim_invocations;
     m.step1_ms = MsSince(t0);
   }
@@ -123,6 +135,11 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
       } else if (sim.status[i] == fault::FaultStatus::kPotentiallyDetected) {
         rec.cls = FaultClass::kSfiPotential;
         ++report.sfi_potential;
+      } else if (sim.status[i] == fault::FaultStatus::kNotRun) {
+        // The fault's shard never completed (step-1 guard trip or a shard
+        // that failed its retry): undecided, not undetected.
+        rec.cls = FaultClass::kUndecided;
+        ++report.undecided;
       } else {
         survivors.push_back(i);
       }
@@ -148,54 +165,115 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
   {
     SteadyClock::time_point t0 = SteadyClock::now();
     obs::Span span("step3.controller_analysis");
+    guard::RunStatus stage;
+    stage.total_units = survivors.size();
     golden = analysis::ExtractControlTrace(sys, nullptr, config.trace_patterns);
     ++m.trace_extractions;
     ++m.sim_invocations;
     const analysis::LifespanTable lifespans(hls);
 
-    for (const std::size_t i : survivors) {
-      FaultRecord& rec = report.records[i];
-      obs::Span fspan("step3.fault", fault_args(rec.name));
-      analysis::ControlTrace faulty =
+    // Everything one fault produces, computed into locals and committed only
+    // when the attempt finishes — so a quarantined attempt that is retried
+    // never double-counts a metric or leaves a half-written record.
+    struct Step3Outcome {
+      bool is_cfr = false;
+      std::vector<analysis::ControlLineEffect> effects;
+      analysis::ControlTrace faulty;
+      int trace_extractions = 0;
+      int gate_checks = 0;
+    };
+    const auto attempt = [&](std::size_t i) {
+      guard::MaybeFail("pipeline.step3.trace");
+      Step3Outcome out;
+      out.faulty =
           analysis::ExtractControlTrace(sys, &faults[i], config.trace_patterns);
-      ++m.trace_extractions;
-      ++m.sim_invocations;
+      ++out.trace_extractions;
       // Prefer the steady-state window (pattern 1) for reporting; fall back
       // to the boot window, then later patterns, so CFI faults that only act
       // during boot still show their effects.
-      std::vector<analysis::ControlLineEffect> effects =
-          analysis::DiffPattern(sys, golden, faulty, 1);
-      bool any_effect = !effects.empty();
+      out.effects = analysis::DiffPattern(sys, golden, out.faulty, 1);
+      bool any_effect = !out.effects.empty();
       for (int p = 0; p < config.trace_patterns; ++p) {
         if (p == 1) continue;
-        const auto diff = analysis::DiffPattern(sys, golden, faulty, p);
+        const auto diff = analysis::DiffPattern(sys, golden, out.faulty, p);
         if (!diff.empty()) {
           any_effect = true;
-          if (effects.empty()) effects = diff;
+          if (out.effects.empty()) out.effects = diff;
         }
       }
       // For feedback (while-loop) systems the zero-data trace covers only
       // one control path, so a clean diff does not prove CFR; a dual run
       // observing the control lines over the full input space does.
       if (!any_effect) {
-        bool is_cfr = !sys.has_feedback;
+        out.is_cfr = !sys.has_feedback;
         if (sys.has_feedback) {
           analysis::GateCheckConfig cfr_cfg = config.gate_check;
           cfr_cfg.observe_control_lines = true;
-          is_cfr = !analysis::GateLevelSfrCheck(sys, faults[i], cfr_cfg)
-                        .difference_found;
-          ++m.gate_checks;
-          ++m.sim_invocations;
+          out.is_cfr = !analysis::GateLevelSfrCheck(sys, faults[i], cfr_cfg)
+                            .difference_found;
+          ++out.gate_checks;
         }
-        if (is_cfr) {
-          rec.cls = FaultClass::kCfr;
-          ++report.cfr;
-          continue;
+      }
+      return out;
+    };
+
+    const bool obs_on = obs::Enabled();
+    for (const std::size_t i : survivors) {
+      FaultRecord& rec = report.records[i];
+      // Checker sticky-trips, so once a limit fires the remaining survivors
+      // fall through here immediately, each marked undecided.
+      if (!check.Check().ok()) {
+        rec.cls = FaultClass::kUndecided;
+        ++report.undecided;
+        continue;
+      }
+      obs::Span fspan("step3.fault", fault_args(rec.name));
+      Step3Outcome out;
+      bool done = false;
+      bool tripped_mid_fault = false;
+      try {
+        out = attempt(i);
+        done = true;
+      } catch (const guard::Tripped&) {
+        tripped_mid_fault = true;
+      } catch (...) {
+        guard::FailedUnit failed{i, guard::CurrentExceptionMessage()};
+        if (obs_on) {
+          obs::Registry& reg = obs::Registry::Global();
+          reg.GetCounter("guard.quarantined_units").Add(1);
+          reg.GetCounter("guard.retries").Add(1);
         }
+        try {
+          out = attempt(i);
+          done = true;
+          if (obs_on) {
+            obs::Registry::Global().GetCounter("guard.retry_successes").Add(1);
+          }
+        } catch (const guard::Tripped&) {
+          tripped_mid_fault = true;
+        } catch (...) {
+          failed.what += "; retry: " + guard::CurrentExceptionMessage();
+          stage.failed_units.push_back(std::move(failed));
+        }
+      }
+      if (!done) {
+        rec.cls = FaultClass::kUndecided;
+        ++report.undecided;
+        (void)tripped_mid_fault;  // the checker itself carries the trip
+        continue;
+      }
+      stage.completed.push_back(i);
+      m.trace_extractions += out.trace_extractions;
+      m.sim_invocations += out.trace_extractions + out.gate_checks;
+      m.gate_checks += out.gate_checks;
+      if (out.is_cfr) {
+        rec.cls = FaultClass::kCfr;
+        ++report.cfr;
+        continue;
       }
 
       rec.effects.clear();
-      for (const analysis::ControlLineEffect& e : effects) {
+      for (const analysis::ControlLineEffect& e : out.effects) {
         // The two HOLD strobes (and shared states) produce identical
         // effects; report each (line, state, transition) once, as the paper
         // does.
@@ -217,8 +295,14 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
           rec.touches_load_line = true;
         }
       }
-      pending.push_back(PendingFault{i, std::move(faulty)});
+      pending.push_back(PendingFault{i, std::move(out.faulty)});
     }
+    if (!stage.failed_units.empty()) {
+      stage.code = guard::StatusCode::kPartialFailure;
+      stage.message =
+          std::to_string(stage.failed_units.size()) + " fault(s) failed";
+    }
+    report.run_status.MergeFrom(stage, "step3");
     m.step3_ms = MsSince(t0);
   }
   {
@@ -246,28 +330,44 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
     // fan-out needs no locking; the prover state (ExprPool) is local to
     // each SymbolicSfrCheck call. Counters are reduced from the records
     // afterwards, in pending order, keeping the metrics thread-invariant.
+    // The guarded fan-out quarantines a throwing decider (one serial
+    // retry); the record writes all happen after the last throwing call,
+    // so a retried unit reproduces the same record bit-for-bit.
     exec::Pool pool(config.exec);
-    pool.ParallelFor(pending.size(), [&](std::size_t k) {
-      PendingFault& pf = pending[k];
-      FaultRecord& rec = report.records[pf.index];
-      obs::Span fspan("step4.fault", fault_args(rec.name));
-      if (!sys.has_feedback) {
-        const analysis::SymbolicCheck sym =
-            analysis::SymbolicSfrCheck(sys, golden, pf.faulty, strobes);
-        if (sym.outcome == analysis::SymbolicCheck::Outcome::kEquivalent) {
-          rec.cls = FaultClass::kSfr;
-          rec.symbolically_proven = true;
-          return;
-        }
+    const guard::RunStatus stage = pool.ParallelForGuarded(
+        pending.size(),
+        [&](std::size_t k) {
+          guard::MaybeFail("pipeline.step4.decider");
+          PendingFault& pf = pending[k];
+          FaultRecord& rec = report.records[pf.index];
+          obs::Span fspan("step4.fault", fault_args(rec.name));
+          if (!sys.has_feedback) {
+            const analysis::SymbolicCheck sym =
+                analysis::SymbolicSfrCheck(sys, golden, pf.faulty, strobes);
+            if (sym.outcome == analysis::SymbolicCheck::Outcome::kEquivalent) {
+              rec.cls = FaultClass::kSfr;
+              rec.symbolically_proven = true;
+              return;
+            }
+          }
+          const analysis::GateCheck gate =
+              analysis::GateLevelSfrCheck(sys, faults[pf.index], gate_cfg);
+          rec.exhaustive = gate.exhaustive;
+          rec.cls = gate.difference_found ? FaultClass::kSfiAnalysis
+                                          : FaultClass::kSfr;
+        },
+        &check);
+    std::vector<char> decided(pending.size(), 0);
+    for (const std::size_t k : stage.completed) decided[k] = 1;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      FaultRecord& rec = report.records[pending[k].index];
+      if (decided[k] == 0) {
+        // Skipped after a trip, or failed even after its retry: no sound
+        // verdict was reached, and the metrics count no phantom checks.
+        rec.cls = FaultClass::kUndecided;
+        ++report.undecided;
+        continue;
       }
-      const analysis::GateCheck gate =
-          analysis::GateLevelSfrCheck(sys, faults[pf.index], gate_cfg);
-      rec.exhaustive = gate.exhaustive;
-      rec.cls = gate.difference_found ? FaultClass::kSfiAnalysis
-                                      : FaultClass::kSfr;
-    });
-    for (const PendingFault& pf : pending) {
-      const FaultRecord& rec = report.records[pf.index];
       if (!sys.has_feedback) ++m.symbolic_checks;
       if (rec.symbolically_proven) {
         ++report.sfr;
@@ -282,6 +382,16 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
         ++report.sfr;
       }
     }
+    // Map the stage's failed-unit indices (positions in `pending`) to fault
+    // record indices before folding into the campaign status.
+    guard::RunStatus stage_mapped;
+    stage_mapped.code = stage.code;
+    stage_mapped.message = stage.message;
+    for (const guard::FailedUnit& f : stage.failed_units) {
+      stage_mapped.failed_units.push_back(
+          {pending[f.index].index, f.what});
+    }
+    report.run_status.MergeFrom(stage_mapped, "step4");
     m.step4_ms = MsSince(t0);
   }
   {
@@ -292,12 +402,30 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
     progress(os.str());
   }
 
+  // A limit trip observed anywhere wins over per-unit partial failures in
+  // the campaign code (MergeFrom keeps the first trip if a stage already
+  // reported one).
+  if (check.tripped()) {
+    const guard::Status s = check.status();
+    guard::RunStatus trip;
+    trip.code = s.code;
+    trip.message = s.message;
+    report.run_status.MergeFrom(trip, "guard");
+  }
+  report.run_status.total_units = report.total;
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    if (report.records[i].cls != FaultClass::kUndecided) {
+      report.run_status.completed.push_back(i);
+    }
+  }
+
   m.faults_total = report.total;
   m.sfi_sim = report.sfi_sim;
   m.sfi_potential = report.sfi_potential;
   m.sfi_analysis = report.sfi_analysis;
   m.cfr = report.cfr;
   m.sfr = report.sfr;
+  m.undecided = report.undecided;
   m.sim_cycles = reg.CounterValue("logicsim.cycles") - cycles_before;
   m.gate_evals = reg.CounterValue("logicsim.gate_evals") - evals_before;
   m.wall_ms_total = MsSince(t_run);

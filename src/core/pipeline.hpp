@@ -29,6 +29,7 @@
 #include "exec/exec.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
+#include "guard/guard.hpp"
 #include "hls/hls.hpp"
 #include "synth/system.hpp"
 #include "tpg/lfsr.hpp"
@@ -41,6 +42,8 @@ enum class FaultClass : std::uint8_t {
   kCfr,           // controller-functionally redundant (step 3)
   kSfr,           // system-functionally redundant (step 4)
   kSfiAnalysis,   // SFI established by the step-4 deciders
+  kUndecided,     // run tripped a guard (or the unit failed) before a
+                  // sound decision was reached — never a classification
 };
 
 const char* FaultClassName(FaultClass c);
@@ -82,6 +85,12 @@ struct PipelineConfig {
   // per-fault deciders). A performance knob only: the ClassificationReport
   // is bit-identical for every thread count.
   exec::Options exec;
+  // Cooperative run limits, pooled across all four stages through one
+  // guard::Checker: the deadline / cycle budget is for the whole
+  // classification, not per stage. A trip never throws out of the pipeline —
+  // the report comes back partial, undecided faults marked kUndecided and
+  // run_status carrying the trip.
+  guard::Limits limits;
   // Stage-progress callback (one line per stage boundary); pfdtool -v wires
   // this to stderr. Null = silent.
   std::function<void(const std::string&)> progress;
@@ -106,6 +115,7 @@ struct PipelineMetrics {
   std::size_t sfi_analysis = 0;
   std::size_t cfr = 0;
   std::size_t sfr = 0;
+  std::size_t undecided = 0;  // guard tripped / unit failed before a verdict
 
   // Engine invocations issued by the pipeline.
   int tpgr_patterns = 0;
@@ -128,6 +138,12 @@ struct ClassificationReport {
   std::size_t sfi_analysis = 0;
   std::size_t cfr = 0;
   std::size_t sfr = 0;
+  std::size_t undecided = 0;
+
+  // Partial-result contract: kOk for a clean run, otherwise the merged
+  // stage statuses (trip code or kPartialFailure) with every quarantined
+  // unit listed, stage-prefixed.
+  guard::RunStatus run_status;
 
   // Per-stage timing and engine-invocation accounting for this run.
   PipelineMetrics metrics;

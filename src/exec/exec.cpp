@@ -1,11 +1,16 @@
 #include "exec/exec.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <utility>
 
+#include "base/error.hpp"
+#include "obs/obs.hpp"
 #include "obs/trace.hpp"
 
 namespace pfd::exec {
@@ -13,8 +18,19 @@ namespace pfd::exec {
 int ResolveThreads(const Options& options) {
   if (options.threads > 0) return options.threads;
   if (const char* env = std::getenv("PFD_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+    // Strict parse: a set-but-broken PFD_THREADS silently falling back to
+    // hardware concurrency turns a typo into an unexplained perf cliff (or
+    // an accidental 128-thread run). Reject loudly instead.
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    const bool overflowed = errno == ERANGE;
+    const bool numeric = end != env && end != nullptr && *end == '\0';
+    PFD_CHECK_MSG(numeric && !overflowed && v >= 1 && v <= kMaxThreads,
+                  "PFD_THREADS='" + std::string(env) +
+                      "' is not an integer in [1, " +
+                      std::to_string(kMaxThreads) + "]");
+    return static_cast<int>(v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -33,13 +49,23 @@ std::uint64_t ShardSeed(std::uint64_t engine_seed,
   return z ^ (z >> 31);
 }
 
+namespace {
+
+constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
+
+// Pool whose ParallelFor the current thread is executing a body for; used
+// to reject same-pool re-entry (which would deadlock the job join).
+thread_local const void* tls_running_pool = nullptr;
+
+}  // namespace
+
 // One ParallelFor invocation: per-participant chunk deques (own queue popped
 // from the front, victims stolen from the back), a count of workers still
-// inside the job, and the first captured exception. The Job lives on the
-// caller's stack; the caller may only destroy it once `active` drops to
-// zero, i.e. once every worker has left RunChunks — chunk bookkeeping alone
-// is not enough, because a worker can still be scanning the (empty) queues
-// after the last chunk completed.
+// inside the job, and the failure bookkeeping for both modes. The Job lives
+// on the caller's stack; the caller may only destroy it once `active` drops
+// to zero, i.e. once every worker has left RunChunks — chunk bookkeeping
+// alone is not enough, because a worker can still be scanning the (empty)
+// queues after the last chunk completed.
 struct Pool::Job {
   struct Queue {
     std::mutex mu;
@@ -51,11 +77,25 @@ struct Pool::Job {
   const std::function<void(std::size_t)>* body = nullptr;
   std::vector<Queue> queues;
   std::atomic<int> active{0};  // workers inside RunChunks
-  std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr error;
   std::mutex done_mu;
   std::condition_variable done_cv;
+
+  // Throwing mode: the lowest failing index decides the rethrown exception.
+  // Indices >= min_failed are skipped, indices below it keep running, so
+  // the winner is the smallest index whose body throws — deterministic for
+  // every thread count and steal order.
+  std::atomic<std::size_t> min_failed{kNoIndex};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::size_t error_index = kNoIndex;  // guarded by error_mu
+
+  // Guarded mode (quarantine instead of rethrow).
+  bool guarded = false;
+  guard::Checker* checker = nullptr;
+  std::atomic<bool> stop{false};  // a guard tripped; skip remaining units
+  std::mutex fail_mu;
+  std::vector<guard::FailedUnit> failures;  // first-attempt failures
+  std::vector<char>* completed = nullptr;   // per-unit flags, disjoint writes
 };
 
 Pool::Pool(const Options& options) : threads_(ResolveThreads(options)) {
@@ -110,6 +150,8 @@ void Pool::WorkerMain(std::size_t slot) {
 }
 
 void Pool::RunChunks(Job& job, std::size_t home) {
+  const void* const saved_pool = tls_running_pool;
+  tls_running_pool = this;
   const std::size_t participants = job.queues.size();
   while (true) {
     std::pair<std::size_t, std::size_t> chunk;
@@ -127,33 +169,55 @@ void Pool::RunChunks(Job& job, std::size_t home) {
       }
       found = true;
     }
-    if (!found) return;
-    // After a failure the remaining chunks are still claimed, just not run
-    // (drained), so every participant's scan terminates promptly.
-    if (!job.failed.load(std::memory_order_relaxed)) {
-      try {
-        for (std::size_t i = chunk.first; i < chunk.second; ++i) {
-          (*job.body)(i);
+    if (!found) break;
+    for (std::size_t i = chunk.first; i < chunk.second; ++i) {
+      if (job.guarded) {
+        // A tripped guard stops claiming units; chunks are still drained so
+        // every participant's scan terminates promptly.
+        if (job.stop.load(std::memory_order_relaxed)) continue;
+        if (job.checker != nullptr && !job.checker->Check().ok()) {
+          job.stop.store(true, std::memory_order_relaxed);
+          continue;
         }
-      } catch (...) {
-        job.failed.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(job.error_mu);
-        if (!job.error) job.error = std::current_exception();
+        try {
+          (*job.body)(i);
+          (*job.completed)[i] = 1;
+        } catch (const guard::Tripped&) {
+          // The body abandoned the unit at a mid-unit check point; the
+          // checker already recorded the trip status.
+          job.stop.store(true, std::memory_order_relaxed);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(job.fail_mu);
+          job.failures.push_back({i, guard::CurrentExceptionMessage()});
+        }
+      } else {
+        // Deterministic propagation: only run indices below the current
+        // minimum failing index; on a throw, keep the exception iff it
+        // lowers the minimum.
+        if (i >= job.min_failed.load(std::memory_order_relaxed)) continue;
+        try {
+          (*job.body)(i);
+        } catch (...) {
+          std::size_t cur = job.min_failed.load(std::memory_order_relaxed);
+          while (i < cur &&
+                 !job.min_failed.compare_exchange_weak(
+                     cur, i, std::memory_order_relaxed)) {
+          }
+          std::lock_guard<std::mutex> lock(job.error_mu);
+          if (i < job.error_index) {
+            job.error_index = i;
+            job.error = std::current_exception();
+          }
+        }
       }
     }
   }
+  tls_running_pool = saved_pool;
 }
 
-void Pool::ParallelFor(std::size_t n,
-                       const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
-  if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-  const std::size_t participants = workers_.size() + 1;
-  Job job(participants);
-  job.body = &body;
+// Publishes `job` (chunked over [0, n)), participates, and joins.
+void Pool::RunJob(Job& job, std::size_t n) {
+  const std::size_t participants = job.queues.size();
   // Several chunks per participant so stealing can rebalance uneven bodies;
   // capped at n so tiny loops stay one index per chunk.
   const std::size_t num_chunks = std::min(n, participants * 4);
@@ -184,12 +248,113 @@ void Pool::ParallelFor(std::size_t n,
       return job.active.load(std::memory_order_acquire) == 0;
     });
   }
+}
+
+void Pool::ParallelFor(std::size_t n,
+                       const std::function<void(std::size_t)>& body) {
+  PFD_CHECK_MSG(tls_running_pool != this,
+                "exec::Pool::ParallelFor re-entered from one of its own "
+                "loop bodies");
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  Job job(workers_.size() + 1);
+  job.body = &body;
+  RunJob(job, n);
   std::exception_ptr error;
   {
     std::lock_guard<std::mutex> lock(job.error_mu);
     error = job.error;
   }
   if (error) std::rethrow_exception(error);
+}
+
+guard::RunStatus Pool::ParallelForGuarded(
+    std::size_t n, const std::function<void(std::size_t)>& body,
+    guard::Checker* checker) {
+  PFD_CHECK_MSG(tls_running_pool != this,
+                "exec::Pool::ParallelForGuarded re-entered from one of its "
+                "own loop bodies");
+  guard::RunStatus status;
+  status.total_units = n;
+  if (n == 0) return status;
+
+  std::vector<char> completed(n, 0);
+  std::vector<guard::FailedUnit> failures;
+  bool stopped = false;
+
+  if (workers_.empty() || n == 1) {
+    // Plain loop on the caller; same per-unit semantics as the pooled path.
+    for (std::size_t i = 0; i < n && !stopped; ++i) {
+      if (checker != nullptr && !checker->Check().ok()) break;
+      try {
+        body(i);
+        completed[i] = 1;
+      } catch (const guard::Tripped&) {
+        stopped = true;
+      } catch (...) {
+        failures.push_back({i, guard::CurrentExceptionMessage()});
+      }
+    }
+  } else {
+    Job job(workers_.size() + 1);
+    job.body = &body;
+    job.guarded = true;
+    job.checker = checker;
+    job.completed = &completed;
+    RunJob(job, n);
+    failures = std::move(job.failures);
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const guard::FailedUnit& a, const guard::FailedUnit& b) {
+              return a.index < b.index;
+            });
+
+  // Quarantined units get one serial retry (in index order, on the calling
+  // thread) before they are reported: transient failures — OOM pressure, a
+  // failpoint's single shot — should not cost their unit's result.
+  const bool obs_on = obs::Enabled();
+  if (obs_on && !failures.empty()) {
+    obs::Registry::Global().GetCounter("guard.quarantined_units")
+        .Add(failures.size());
+  }
+  for (guard::FailedUnit& f : failures) {
+    if (checker != nullptr && !checker->Check().ok()) {
+      status.failed_units.push_back(std::move(f));
+      continue;
+    }
+    if (obs_on) obs::Registry::Global().GetCounter("guard.retries").Add(1);
+    try {
+      body(f.index);
+      completed[f.index] = 1;
+      if (obs_on) {
+        obs::Registry::Global().GetCounter("guard.retry_successes").Add(1);
+      }
+    } catch (const guard::Tripped&) {
+      // The retry itself hit a tripped guard; the original failure stands.
+      status.failed_units.push_back(std::move(f));
+    } catch (...) {
+      f.what += "; retry: " + guard::CurrentExceptionMessage();
+      status.failed_units.push_back(std::move(f));
+    }
+  }
+
+  status.completed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (completed[i] != 0) status.completed.push_back(i);
+  }
+  if (checker != nullptr && checker->tripped()) {
+    const guard::Status trip = checker->status();
+    status.code = trip.code;
+    status.message = trip.message;
+  } else if (!status.failed_units.empty()) {
+    status.code = guard::StatusCode::kPartialFailure;
+    status.message = std::to_string(status.failed_units.size()) + " of " +
+                     std::to_string(n) + " units failed";
+  }
+  return status;
 }
 
 void ParallelFor(const Options& options, std::size_t n,

@@ -11,9 +11,21 @@
 //      bit-identical results for threads = 1, 2, 8, ...
 //   2. Zero overhead at threads=1. A single-thread pool spawns no workers
 //      and ParallelFor degenerates to a plain loop on the caller.
-//   3. Exceptions propagate. The first exception thrown by a loop body is
-//      rethrown from ParallelFor on the calling thread; remaining unclaimed
-//      work is skipped (claimed-but-unstarted chunks are drained, not run).
+//   3. Exceptions propagate deterministically. When loop bodies throw,
+//      ParallelFor rethrows the exception of the *lowest failing index* —
+//      workers keep running indices below the current minimum failing index
+//      so the winner cannot depend on scheduling — and skips indices above
+//      it. ParallelForGuarded instead quarantines failing units and always
+//      returns (see below).
+//
+// Robustness (pfd::guard integration): ParallelForGuarded is the engines'
+// campaign-grade entry point. A throwing unit is quarantined into a
+// guard::FailedUnit and retried once serially after the parallel phase;
+// guard::Limits (deadline / cancellation / cycle budget) are checked at
+// unit boundaries via the caller's guard::Checker; a unit that throws
+// guard::Tripped is treated as "abandoned mid-unit by a tripped guard",
+// not as a failure. The returned guard::RunStatus lists the completed unit
+// indices explicitly, so partial results are always attributable.
 //
 // Observability: each worker thread installs an obs::ThreadTraceBuffer, so
 // spans recorded inside loop bodies append to a thread-local buffer without
@@ -29,11 +41,15 @@
 #include <thread>
 #include <vector>
 
+#include "guard/guard.hpp"
+
 namespace pfd::exec {
 
 struct Options {
-  // Worker count. 0 = auto: $PFD_THREADS when set to a positive integer,
-  // otherwise std::thread::hardware_concurrency().
+  // Worker count. 0 = auto: $PFD_THREADS when set, otherwise
+  // std::thread::hardware_concurrency(). A set but malformed PFD_THREADS
+  // (non-numeric, zero, negative, or out of range) throws pfd::Error rather
+  // than silently falling back.
   int threads = 0;
   // Extra entropy folded into per-shard RNG stream derivation (ShardSeed)
   // by engines that deal independent random streams to work units (the
@@ -42,8 +58,13 @@ struct Options {
   std::uint64_t deterministic_seed = 0;
 };
 
-// Resolved worker count for the options (always >= 1).
+// Resolved worker count for the options (always >= 1). Throws pfd::Error
+// when $PFD_THREADS is set but is not an integer in [1, kMaxThreads].
 int ResolveThreads(const Options& options);
+
+// Upper bound accepted from $PFD_THREADS / Options::threads resolution;
+// generous for any real machine while catching overflow garbage.
+inline constexpr int kMaxThreads = 4096;
 
 // Seed of work-unit `shard`'s private RNG stream: a splitmix64-style mix of
 // the engine seed, Options::deterministic_seed, and the shard index. Fixed
@@ -65,15 +86,30 @@ class Pool {
   // Runs body(i) for every i in [0, n), distributed over the workers; the
   // calling thread participates, so a 1-thread pool is a plain loop. Blocks
   // until every index ran (or was skipped after a failure) and rethrows the
-  // first exception `body` threw. Loop bodies must write to disjoint data;
-  // they must not call back into this pool (not reentrant).
+  // exception of the lowest failing index (deterministic across thread
+  // counts). Loop bodies must write to disjoint data; re-entering the same
+  // pool from a loop body throws pfd::Error (PFD_CHECK).
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t)>& body);
+
+  // Campaign-grade variant: never throws for unit failures. A throwing unit
+  // is quarantined and retried once serially (in index order, on the
+  // calling thread) after the parallel phase; permanent failures land in
+  // RunStatus::failed_units. When `checker` is non-null its limits are
+  // checked before every unit; once tripped, remaining units are skipped
+  // and the trip decides RunStatus::code. Bodies may also call
+  // checker->CheckOrThrow() inside their own loops to abandon a unit
+  // mid-flight (guard::Tripped is not a failure). RunStatus::completed
+  // lists exactly the unit indices whose body ran to completion.
+  guard::RunStatus ParallelForGuarded(
+      std::size_t n, const std::function<void(std::size_t)>& body,
+      guard::Checker* checker = nullptr);
 
  private:
   struct Job;
   void WorkerMain(std::size_t slot);
-  static void RunChunks(Job& job, std::size_t home);
+  void RunChunks(Job& job, std::size_t home);
+  void RunJob(Job& job, std::size_t n);
 
   int threads_ = 1;
   std::vector<std::thread> workers_;

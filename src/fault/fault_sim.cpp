@@ -15,6 +15,7 @@ const char* FaultStatusName(FaultStatus s) {
     case FaultStatus::kUndetected: return "undetected";
     case FaultStatus::kDetected: return "detected";
     case FaultStatus::kPotentiallyDetected: return "potentially-detected";
+    case FaultStatus::kNotRun: return "not-run";
   }
   return "?";
 }
@@ -90,11 +91,13 @@ void DriveOperands(logicsim::Simulator& sim, const TestPlan& plan,
 // fed by a private TPGR stream (every shard replays the same `tpgr_seed`
 // pattern sequence, exactly as one machine would see it), and results land
 // in this shard's disjoint slice of `result`. Shards therefore compute the
-// same bits no matter which thread runs them, or in what order.
+// same bits no matter which thread runs them, or in what order. The guard
+// check runs once per pattern; an abandoned shard leaves its faults at
+// kNotRun (statuses are only written after the full pattern sweep).
 void SimulateParallelShard(const FaultSimRequest& req,
                            const std::vector<int>& widths,
                            std::size_t shard_start, std::size_t shard_size,
-                           FaultSimResult& result) {
+                           guard::Checker& check, FaultSimResult& result) {
   const TestPlan& plan = req.plan;
   logicsim::Simulator sim(req.nl);
   for (std::size_t i = 0; i < shard_size; ++i) {
@@ -106,6 +109,7 @@ void SimulateParallelShard(const FaultSimRequest& req,
   std::uint64_t potential = 0;   // lanes with known-vs-X mismatch only
 
   for (int p = 0; p < req.num_patterns; ++p) {
+    check.CheckOrThrow();
     const std::vector<BitVec> pattern = tpgr.NextPattern(widths);
     DriveOperands(sim, plan, pattern);
     std::uint64_t pattern_detects = 0;
@@ -126,6 +130,7 @@ void SimulateParallelShard(const FaultSimRequest& req,
         potential |= ~w.known;
       }
     }
+    check.AddSimCycles(static_cast<std::uint64_t>(plan.cycles_per_pattern));
     const std::uint64_t newly = pattern_detects & ~detected;
     if (newly != 0) {
       detected |= newly;
@@ -162,13 +167,14 @@ void SimulateParallelShard(const FaultSimRequest& req,
   }
 }
 
-FaultSimResult RunParallel(const FaultSimRequest& req) {
+FaultSimResult RunParallel(const FaultSimRequest& req,
+                           guard::Checker& check) {
   obs::Span span("fault_sim.parallel",
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(req.faults.size())},
                       {"patterns", req.num_patterns}}));
   FaultSimResult result;
-  result.status.assign(req.faults.size(), FaultStatus::kUndetected);
+  result.status.assign(req.faults.size(), FaultStatus::kNotRun);
   result.first_detect_pattern.assign(req.faults.size(), -1);
   result.patterns = req.num_patterns;
 
@@ -182,17 +188,22 @@ FaultSimResult RunParallel(const FaultSimRequest& req) {
   // here so the shard workers' Simulator constructions only ever read it.
   req.nl.CombinationalOrder();
   exec::Pool pool(req.exec);
-  pool.ParallelFor(num_shards, [&](std::size_t shard) {
-    const std::size_t shard_start = shard * kFaultLanes;
-    const std::size_t shard_size =
-        std::min(kFaultLanes, req.faults.size() - shard_start);
-    obs::Span shard_span("fault_sim.shard");
-    SimulateParallelShard(req, widths, shard_start, shard_size, result);
-  });
+  result.run_status = pool.ParallelForGuarded(
+      num_shards,
+      [&](std::size_t shard) {
+        guard::MaybeFail("fault_sim.shard");
+        const std::size_t shard_start = shard * kFaultLanes;
+        const std::size_t shard_size =
+            std::min(kFaultLanes, req.faults.size() - shard_start);
+        obs::Span shard_span("fault_sim.shard");
+        SimulateParallelShard(req, widths, shard_start, shard_size, check,
+                              result);
+      },
+      &check);
   return result;
 }
 
-FaultSimResult RunSerial(const FaultSimRequest& req) {
+FaultSimResult RunSerial(const FaultSimRequest& req, guard::Checker& check) {
   obs::Span span("fault_sim.serial",
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(req.faults.size())},
@@ -200,12 +211,20 @@ FaultSimResult RunSerial(const FaultSimRequest& req) {
   const TestPlan& plan = req.plan;
   const std::vector<int> widths = OperandWidths(plan);
 
-  // Golden pass: record the fault-free response at every strobe.
+  FaultSimResult result;
+  result.status.assign(req.faults.size(), FaultStatus::kNotRun);
+  result.first_detect_pattern.assign(req.faults.size(), -1);
+  result.patterns = req.num_patterns;
+
+  // Golden pass: record the fault-free response at every strobe. A guard
+  // trip here means no fault can be decided at all: report the trip with
+  // every fault at kNotRun.
   std::vector<Trit> golden;
-  {
+  try {
     logicsim::Simulator sim(req.nl);
     tpg::Tpgr tpgr(req.tpgr_seed);
     for (int p = 0; p < req.num_patterns; ++p) {
+      check.CheckOrThrow();
       DriveOperands(sim, plan, tpgr.NextPattern(widths));
       for (int c = 0; c < plan.cycles_per_pattern; ++c) {
         if (plan.reset != netlist::kNoGate) {
@@ -218,59 +237,73 @@ FaultSimResult RunSerial(const FaultSimRequest& req) {
         }
         for (GateId g : plan.observe) golden.push_back(sim.ValueLane(g, 0));
       }
+      check.AddSimCycles(static_cast<std::uint64_t>(plan.cycles_per_pattern));
     }
+  } catch (const guard::Tripped& t) {
+    result.run_status.code = t.status.code;
+    result.run_status.message = t.status.message;
+    result.run_status.total_units = req.faults.size();
+    return result;
   }
-
-  FaultSimResult result;
-  result.status.assign(req.faults.size(), FaultStatus::kUndetected);
-  result.first_detect_pattern.assign(req.faults.size(), -1);
-  result.patterns = req.num_patterns;
 
   // Each fault is an independent shard: private simulator, private TPGR
   // stream, disjoint result slot.
   exec::Pool pool(req.exec);
-  pool.ParallelFor(req.faults.size(), [&](std::size_t fi) {
-    logicsim::Simulator sim(req.nl);
-    InjectFault(sim, req.faults[fi], ~0ULL);
-    tpg::Tpgr tpgr(req.tpgr_seed);
-    bool detected = false;
-    bool potential = false;
-    std::size_t cursor = 0;
-    for (int p = 0; p < req.num_patterns && !detected; ++p) {
-      DriveOperands(sim, plan, tpgr.NextPattern(widths));
-      for (int c = 0; c < plan.cycles_per_pattern; ++c) {
-        if (plan.reset != netlist::kNoGate) {
-          sim.SetInputAllLanes(plan.reset, c == 0 ? Trit::kOne : Trit::kZero);
-        }
-        sim.Step();
-        if (std::find(plan.strobe_cycles.begin(), plan.strobe_cycles.end(),
-                      c) == plan.strobe_cycles.end()) {
-          continue;
-        }
-        for (GateId g : plan.observe) {
-          const Trit expect = golden[cursor++];
-          if (expect == Trit::kX) continue;
-          const Trit got = sim.ValueLane(g, 0);
-          if (got == Trit::kX) {
-            potential = true;
-          } else if (got != expect) {
-            if (!detected) result.first_detect_pattern[fi] = p;
-            detected = true;
+  result.run_status = pool.ParallelForGuarded(
+      req.faults.size(),
+      [&](std::size_t fi) {
+        guard::MaybeFail("fault_sim.serial_fault");
+        logicsim::Simulator sim(req.nl);
+        InjectFault(sim, req.faults[fi], ~0ULL);
+        tpg::Tpgr tpgr(req.tpgr_seed);
+        bool detected = false;
+        bool potential = false;
+        std::size_t cursor = 0;
+        int first_detect = -1;
+        for (int p = 0; p < req.num_patterns && !detected; ++p) {
+          check.CheckOrThrow();
+          DriveOperands(sim, plan, tpgr.NextPattern(widths));
+          for (int c = 0; c < plan.cycles_per_pattern; ++c) {
+            if (plan.reset != netlist::kNoGate) {
+              sim.SetInputAllLanes(plan.reset,
+                                   c == 0 ? Trit::kOne : Trit::kZero);
+            }
+            sim.Step();
+            if (std::find(plan.strobe_cycles.begin(),
+                          plan.strobe_cycles.end(),
+                          c) == plan.strobe_cycles.end()) {
+              continue;
+            }
+            for (GateId g : plan.observe) {
+              const Trit expect = golden[cursor++];
+              if (expect == Trit::kX) continue;
+              const Trit got = sim.ValueLane(g, 0);
+              if (got == Trit::kX) {
+                potential = true;
+              } else if (got != expect) {
+                if (!detected) first_detect = p;
+                detected = true;
+              }
+            }
           }
+          check.AddSimCycles(
+              static_cast<std::uint64_t>(plan.cycles_per_pattern));
         }
-      }
-    }
-    result.status[fi] = detected ? FaultStatus::kDetected
-                        : potential ? FaultStatus::kPotentiallyDetected
-                                    : FaultStatus::kUndetected;
-    if (obs::Enabled()) {
-      obs::Registry& reg = obs::Registry::Global();
-      reg.GetCounter("fault_sim.serial_faults").Add(1);
-      // A hard detect stops the pattern loop early — the drop that makes
-      // serial fault dropping worthwhile at all.
-      if (detected) reg.GetCounter("fault_sim.serial_early_drops").Add(1);
-    }
-  });
+        // Commit the fault's slots only on completion, so an abandoned or
+        // retried unit never leaves a half-written result behind.
+        result.first_detect_pattern[fi] = first_detect;
+        result.status[fi] = detected    ? FaultStatus::kDetected
+                            : potential ? FaultStatus::kPotentiallyDetected
+                                        : FaultStatus::kUndetected;
+        if (obs::Enabled()) {
+          obs::Registry& reg = obs::Registry::Global();
+          reg.GetCounter("fault_sim.serial_faults").Add(1);
+          // A hard detect stops the pattern loop early — the drop that
+          // makes serial fault dropping worthwhile at all.
+          if (detected) reg.GetCounter("fault_sim.serial_early_drops").Add(1);
+        }
+      },
+      &check);
   return result;
 }
 
@@ -278,8 +311,12 @@ FaultSimResult RunSerial(const FaultSimRequest& req) {
 
 FaultSimResult RunFaultSim(const FaultSimRequest& request) {
   CheckPlan(request.nl, request.plan);
-  return request.engine == FaultSimEngine::kParallel ? RunParallel(request)
-                                                     : RunSerial(request);
+  guard::Checker local(request.limits);
+  guard::Checker& check =
+      request.checker != nullptr ? *request.checker : local;
+  return request.engine == FaultSimEngine::kParallel
+             ? RunParallel(request, check)
+             : RunSerial(request, check);
 }
 
 }  // namespace pfd::fault

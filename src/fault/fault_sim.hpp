@@ -15,16 +15,21 @@
 // own TPGR stream seeded identically, and writes disjoint result slots, so
 // results are bit-identical for any thread count.
 //
+// Robustness (pfd::guard): shards run under exec::ParallelForGuarded — a
+// throwing shard is quarantined and retried once instead of aborting the
+// campaign, and FaultSimRequest::limits (or an external shared checker) is
+// checked at shard boundaries and once per pattern inside each shard.
+// Faults whose shard never completed keep FaultStatus::kNotRun and the
+// returned FaultSimResult::run_status says why (deadline, cancellation,
+// cycle budget, or per-unit failures) plus which shards completed.
+// Failpoints: "fault_sim.shard" (parallel), "fault_sim.serial_fault".
+//
 // Both reproduce the "potentially detected" semantics of the GENTEST
 // simulator the paper used: if the fault-free response is known but the
 // faulty response is X at a strobe point, the fault is only *potentially*
 // detected (the real hardware would show whatever the register held at
 // boot-up). The paper's step 2 deliberately upgrades such faults to
 // detected; that policy decision lives in the pipeline, not here.
-//
-// Deprecated entry points: RunParallelFaultSim / RunSerialFaultSim are thin
-// positional-argument wrappers over RunFaultSim, kept for one release for
-// out-of-tree callers. New code builds a FaultSimRequest.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +38,7 @@
 
 #include "exec/exec.hpp"
 #include "fault/fault.hpp"
+#include "guard/guard.hpp"
 #include "logicsim/simulator.hpp"
 #include "netlist/netlist.hpp"
 
@@ -64,6 +70,9 @@ enum class FaultStatus : std::uint8_t {
   kUndetected = 0,
   kDetected = 1,
   kPotentiallyDetected = 2,
+  // The fault's shard never ran to completion (guard tripped or the shard
+  // failed even after retry); the fault is undecided, not undetected.
+  kNotRun = 3,
 };
 
 const char* FaultStatusName(FaultStatus s);
@@ -72,6 +81,9 @@ struct FaultSimResult {
   std::vector<FaultStatus> status;          // per fault, input order
   std::vector<int> first_detect_pattern;    // -1 when never hard-detected
   int patterns = 0;
+  // Why anything is missing: completed shard indices, quarantined shards,
+  // and the trip code when a limit fired. kOk when the run was clean.
+  guard::RunStatus run_status;
 
   std::size_t CountWithStatus(FaultStatus s) const;
 };
@@ -88,7 +100,7 @@ enum class FaultSimEngine : std::uint8_t {
 // A complete fault-simulation request. Aggregate-initialize in call order:
 //   RunFaultSim({nl, plan, faults, seed, patterns});
 // `exec` controls only how the shards are scheduled; the result is
-// bit-identical for every thread count.
+// bit-identical for every thread count (given no guard trips).
 struct FaultSimRequest {
   const netlist::Netlist& nl;
   const TestPlan& plan;
@@ -97,31 +109,13 @@ struct FaultSimRequest {
   int num_patterns = 0;
   FaultSimEngine engine = FaultSimEngine::kParallel;
   exec::Options exec;
+  // Cooperative limits for this run; ignored when `checker` is set.
+  guard::Limits limits;
+  // Optional external checker, for callers (the pipeline) that pool one
+  // deadline/cycle budget across several engine runs. Not owned.
+  guard::Checker* checker = nullptr;
 };
 
 FaultSimResult RunFaultSim(const FaultSimRequest& request);
-
-// --- deprecated positional wrappers ----------------------------------------
-// Kept for one release; migrate to RunFaultSim(FaultSimRequest).
-
-[[deprecated("build a FaultSimRequest and call RunFaultSim")]]
-inline FaultSimResult RunParallelFaultSim(const netlist::Netlist& nl,
-                                          const TestPlan& plan,
-                                          std::span<const StuckFault> faults,
-                                          std::uint32_t tpgr_seed,
-                                          int num_patterns) {
-  return RunFaultSim({nl, plan, faults, tpgr_seed, num_patterns,
-                      FaultSimEngine::kParallel, {}});
-}
-
-[[deprecated("build a FaultSimRequest and call RunFaultSim")]]
-inline FaultSimResult RunSerialFaultSim(const netlist::Netlist& nl,
-                                        const TestPlan& plan,
-                                        std::span<const StuckFault> faults,
-                                        std::uint32_t tpgr_seed,
-                                        int num_patterns) {
-  return RunFaultSim({nl, plan, faults, tpgr_seed, num_patterns,
-                      FaultSimEngine::kSerial, {}});
-}
 
 }  // namespace pfd::fault

@@ -1,0 +1,311 @@
+#include "guard/guard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "obs/obs.hpp"
+
+namespace pfd::guard {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kBudgetExhausted: return "budget-exhausted";
+    case StatusCode::kPartialFailure: return "partial-failure";
+  }
+  return "?";
+}
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+void CancelToken::RequestCancel() const {
+  // Async-signal-safe: no locks, no allocation. clock_gettime (behind
+  // steady_clock::now) is on the POSIX async-signal-safe list.
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  std::int64_t expected = 0;
+  state_->request_ns.compare_exchange_strong(
+      expected,
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count(),
+      std::memory_order_relaxed);
+  state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool CancelToken::cancelled() const {
+  return state_->cancelled.load(std::memory_order_acquire);
+}
+
+double CancelToken::MsSinceRequest() const {
+  const std::int64_t t0 = state_->request_ns.load(std::memory_order_relaxed);
+  if (t0 == 0) return 0.0;
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  return static_cast<double>(now_ns - t0) / 1e6;
+}
+
+Checker::Checker(const Limits& limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {
+  deadline_ = limits_.deadline;
+  if (limits_.max_wall_ms > 0.0) {
+    const auto budget_end =
+        start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(
+                         limits_.max_wall_ms));
+    if (!deadline_ || budget_end < *deadline_) deadline_ = budget_end;
+  }
+}
+
+Status Checker::Check() {
+  if (tripped_.load(std::memory_order_acquire)) return status();
+  if (limits_.cancel.cancelled()) {
+    // First observation of the cancel request: record how long the run took
+    // to reach a cooperative check point.
+    const double latency_ms = limits_.cancel.MsSinceRequest();
+    if (obs::Enabled()) {
+      obs::Registry::Global().GetGauge("guard.cancel_latency_ms")
+          .Set(latency_ms);
+    }
+    RecordTrip(StatusCode::kCancelled, "run cancelled");
+    return status();
+  }
+  if (deadline_ && std::chrono::steady_clock::now() >= *deadline_) {
+    RecordTrip(StatusCode::kDeadlineExceeded, "deadline exceeded");
+    return status();
+  }
+  if (limits_.max_sim_cycles > 0 &&
+      sim_cycles_.load(std::memory_order_relaxed) >= limits_.max_sim_cycles) {
+    RecordTrip(StatusCode::kBudgetExhausted,
+               "simulation cycle budget exhausted (" +
+                   std::to_string(limits_.max_sim_cycles) + " cycles)");
+    return status();
+  }
+  return {};
+}
+
+void Checker::CheckOrThrow() {
+  Status s = Check();
+  if (!s.ok()) throw Tripped{std::move(s)};
+}
+
+Status Checker::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_;
+}
+
+void Checker::RecordTrip(StatusCode code, std::string message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_.ok()) {
+    first_.code = code;
+    first_.message = std::move(message);
+    if (obs::Enabled()) {
+      obs::Registry::Global().GetCounter("guard.trips").Add(1);
+    }
+  }
+  tripped_.store(true, std::memory_order_release);
+}
+
+std::string CurrentExceptionMessage() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+bool RunStatus::tripped() const {
+  return code == StatusCode::kCancelled ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kBudgetExhausted;
+}
+
+namespace {
+
+// Severity order for merging stage statuses: any limit trip outranks a
+// partial failure, which outranks ok; among trips the first merged wins.
+int Severity(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kPartialFailure: return 1;
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kBudgetExhausted: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void RunStatus::MergeFrom(const RunStatus& stage_status,
+                          std::string_view stage) {
+  for (const FailedUnit& f : stage_status.failed_units) {
+    failed_units.push_back(
+        {f.index, std::string(stage) + ": " + f.what});
+  }
+  if (Severity(stage_status.code) > Severity(code)) {
+    code = stage_status.code;
+    message = std::string(stage) + ": " + stage_status.message;
+  } else if (code == StatusCode::kOk && !failed_units.empty()) {
+    code = StatusCode::kPartialFailure;
+    message = std::to_string(failed_units.size()) + " unit(s) failed";
+  }
+}
+
+std::string RunStatus::Describe() const {
+  std::ostringstream os;
+  os << StatusCodeName(code);
+  if (!message.empty()) os << ": " << message;
+  if (total_units > 0) {
+    os << " (" << completed.size() << "/" << total_units
+       << " units completed";
+    if (!failed_units.empty()) os << ", " << failed_units.size() << " failed";
+    os << ")";
+  } else if (!failed_units.empty()) {
+    os << " (" << failed_units.size() << " unit(s) failed)";
+  }
+  return os.str();
+}
+
+// --- failpoints -------------------------------------------------------------
+
+namespace detail {
+std::atomic<int> g_armed_failpoints{0};
+}  // namespace detail
+
+namespace {
+
+struct FailpointState {
+  bool armed = false;
+  bool always = false;       // "throw": every hit
+  std::uint64_t fire_at = 0; // "throw@K": hit number K (0-based)
+  std::uint64_t hits = 0;
+};
+
+std::mutex& FailpointMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, FailpointState, std::less<>>& Failpoints() {
+  static std::map<std::string, FailpointState, std::less<>> points;
+  return points;
+}
+
+void RecountArmed() {
+  int armed = 0;
+  for (const auto& [name, st] : Failpoints()) {
+    if (st.armed) ++armed;
+  }
+  detail::g_armed_failpoints.store(armed, std::memory_order_relaxed);
+}
+
+// Parses "throw" / "throw@K" into `st`; returns false on malformed input.
+bool ParseSpec(std::string_view spec, FailpointState& st) {
+  constexpr std::string_view kThrow = "throw";
+  if (spec == kThrow) {
+    st.armed = true;
+    st.always = true;
+    return true;
+  }
+  if (spec.size() > kThrow.size() + 1 &&
+      spec.substr(0, kThrow.size()) == kThrow &&
+      spec[kThrow.size()] == '@') {
+    const std::string_view num = spec.substr(kThrow.size() + 1);
+    std::uint64_t k = 0;
+    for (char c : num) {
+      if (c < '0' || c > '9') return false;
+      k = k * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    st.armed = true;
+    st.always = false;
+    st.fire_at = k;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ArmFailpoint(std::string_view name, std::string_view spec) {
+  FailpointState st;
+  PFD_CHECK_MSG(!name.empty(), "empty failpoint name");
+  PFD_CHECK_MSG(ParseSpec(spec, st),
+                "bad failpoint spec '" + std::string(spec) +
+                    "' (expected 'throw' or 'throw@K')");
+  std::lock_guard<std::mutex> lock(FailpointMu());
+  Failpoints()[std::string(name)] = st;
+  RecountArmed();
+}
+
+void ArmFailpointsFromEnv() {
+  const char* env = std::getenv("PFD_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string_view rest(env);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = entry.find('=');
+    FailpointState st;
+    if (eq == std::string_view::npos || eq == 0 ||
+        !ParseSpec(entry.substr(eq + 1), st)) {
+      std::fprintf(stderr, "PFD_FAILPOINTS: ignoring malformed entry '%.*s'\n",
+                   static_cast<int>(entry.size()), entry.data());
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(FailpointMu());
+    Failpoints()[std::string(entry.substr(0, eq))] = st;
+    RecountArmed();
+  }
+}
+
+void ClearFailpoints() {
+  std::lock_guard<std::mutex> lock(FailpointMu());
+  Failpoints().clear();
+  RecountArmed();
+}
+
+std::uint64_t FailpointHits(std::string_view name) {
+  std::lock_guard<std::mutex> lock(FailpointMu());
+  const auto it = Failpoints().find(name);
+  return it == Failpoints().end() ? 0 : it->second.hits;
+}
+
+namespace detail {
+
+void MaybeFailSlow(const char* name) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(FailpointMu());
+    const auto it = Failpoints().find(std::string_view(name));
+    if (it == Failpoints().end() || !it->second.armed) return;
+    FailpointState& st = it->second;
+    fire = st.always || st.hits == st.fire_at;
+    ++st.hits;
+  }
+  if (fire) {
+    if (obs::Enabled()) {
+      obs::Registry::Global().GetCounter("guard.failpoint_fires").Add(1);
+    }
+    throw pfd::Error(std::string("failpoint '") + name + "' fired");
+  }
+}
+
+// Arms from $PFD_FAILPOINTS before main so a CI-wide variable reaches every
+// engine without per-binary plumbing. This TU is always linked: the engines
+// reference MaybeFailSlow.
+struct EnvArmer {
+  EnvArmer() { ArmFailpointsFromEnv(); }
+} g_env_armer;
+
+}  // namespace detail
+
+}  // namespace pfd::guard

@@ -1,0 +1,211 @@
+// Robustness primitives shared by the engines: deadlines, cooperative
+// cancellation, per-unit failure isolation, and a failpoint injection
+// harness.
+//
+// The paper's flow is a long fault campaign — thousands of per-fault
+// simulations and Monte Carlo power runs. A production campaign must
+// degrade gracefully: a single bad work unit, a runaway simulation, or an
+// impatient caller must never erase everything already computed. pfd::guard
+// provides the vocabulary:
+//
+//   * StatusCode / Status — the error taxonomy every engine reports in.
+//   * CancelToken — a shared flag a caller (or a SIGINT handler) flips to
+//     stop a run at the next cooperative check point. RequestCancel is
+//     async-signal-safe (lock-free atomic stores only).
+//   * Limits / Checker — wall-clock deadline, relative wall budget, and a
+//     simulated-cycle budget, checked cooperatively at shard/batch
+//     boundaries (exec::Pool::ParallelForGuarded) and inside the engine
+//     pattern loops. A tripped Checker is sticky: the first trip decides
+//     the reported status.
+//   * FailedUnit / RunStatus — the partial-result contract. A guarded run
+//     always returns: completed unit indices are listed explicitly, failed
+//     units are quarantined (and retried once serially) instead of
+//     aborting the campaign, and the overall code says why anything is
+//     missing.
+//   * Failpoints — named injection points compiled into each engine stage
+//     (see kEngineFailpoints), armed programmatically or via
+//       PFD_FAILPOINTS=fault_sim.shard=throw@0,power.mc_batch=throw
+//     so tests and CI can prove the isolation/retry/partial-result paths
+//     with deterministic synthetic failures. Disarmed cost is one relaxed
+//     atomic load per unit.
+//
+// Determinism contract: with no guard tripped and no failpoint armed,
+// engine results are bit-identical across thread counts; with a tripped
+// guard, the set of completed unit indices is reported explicitly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfd::guard {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kCancelled,          // CancelToken flipped (caller, SIGINT, ...)
+  kDeadlineExceeded,   // wall-clock deadline / max_wall_ms passed
+  kBudgetExhausted,    // max_sim_cycles spent
+  kPartialFailure,     // one or more units failed even after retry
+};
+
+const char* StatusCodeName(StatusCode code);
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+// Shared cancellation flag. Copies observe the same state; RequestCancel is
+// async-signal-safe, so a SIGINT handler may call it on a pre-built token.
+class CancelToken {
+ public:
+  CancelToken();
+
+  void RequestCancel() const;
+  bool cancelled() const;
+  // Milliseconds since RequestCancel, for cancellation-latency accounting;
+  // 0 when never cancelled.
+  double MsSinceRequest() const;
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::int64_t> request_ns{0};
+  };
+  std::shared_ptr<State> state_;
+};
+
+// Cooperative run limits. Default-constructed Limits never trip.
+struct Limits {
+  // Absolute wall-clock deadline; unset = none.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  CancelToken cancel;
+  // Simulated machine cycles across all units; 0 = unlimited.
+  std::uint64_t max_sim_cycles = 0;
+  // Wall budget relative to Checker construction, ms; 0 = unlimited.
+  double max_wall_ms = 0.0;
+};
+
+// Thrown by engine loops (via Checker::CheckOrThrow) to abandon the current
+// work unit when a guard trips mid-unit. exec::Pool::ParallelForGuarded
+// treats it as "unit not completed", never as a unit failure.
+struct Tripped {
+  Status status;
+};
+
+// Evaluates Limits at cooperative check points. Thread-safe; shared by all
+// workers of a run (and across engine stages when the caller passes one
+// checker through several requests, pooling the budgets). The first trip is
+// sticky and decides status().
+class Checker {
+ public:
+  explicit Checker(const Limits& limits);
+
+  void AddSimCycles(std::uint64_t n) {
+    sim_cycles_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t sim_cycles() const {
+    return sim_cycles_.load(std::memory_order_relaxed);
+  }
+
+  // Evaluates the limits; records (and thereafter returns) the first trip.
+  Status Check();
+  // Check(), throwing Tripped{status} when not ok.
+  void CheckOrThrow();
+
+  bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+  // The sticky first-trip status (kOk while nothing tripped).
+  Status status() const;
+
+ private:
+  void RecordTrip(StatusCode code, std::string message);
+
+  Limits limits_;
+  std::chrono::steady_clock::time_point start_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  std::atomic<std::uint64_t> sim_cycles_{0};
+  std::atomic<bool> tripped_{false};
+  mutable std::mutex mu_;
+  Status first_;
+};
+
+// Message of the in-flight exception; call only from a catch block. Used
+// to turn quarantined units' exceptions into FailedUnit records.
+std::string CurrentExceptionMessage();
+
+// A work unit that threw (after its one serial retry).
+struct FailedUnit {
+  std::size_t index = 0;
+  std::string what;
+};
+
+// Outcome of a guarded run: the partial-result contract every engine
+// returns alongside its data.
+struct RunStatus {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::vector<FailedUnit> failed_units;   // sorted by index
+  std::size_t total_units = 0;
+  std::vector<std::size_t> completed;     // sorted unit indices that finished
+
+  bool ok() const { return code == StatusCode::kOk; }
+  // True for the limit-trip codes (not kOk / kPartialFailure).
+  bool tripped() const;
+  // Folds a stage's status into a campaign-level one: the most severe code
+  // wins (trip > partial failure > ok; first trip sticks), failed units are
+  // carried over with `stage` prefixed to their messages, and the per-stage
+  // completed sets are dropped (they only mean something per engine).
+  void MergeFrom(const RunStatus& stage_status, std::string_view stage);
+  // One line: "deadline exceeded: 3/17 units completed, 1 failed".
+  std::string Describe() const;
+};
+
+// --- failpoints -------------------------------------------------------------
+
+// Injection points compiled into the engine stages. Arm any of them with
+// ArmFailpoint / PFD_FAILPOINTS to inject a deterministic synthetic failure.
+inline constexpr const char* kEngineFailpoints[] = {
+    "fault_sim.shard",        // one 63-fault lane group (parallel engine)
+    "fault_sim.serial_fault", // one fault (serial engine)
+    "pipeline.step3.trace",   // one per-fault controller trace extraction
+    "pipeline.step4.decider", // one per-fault symbolic/gate SFR decision
+    "power.mc_batch",         // one Monte Carlo 64-pattern batch
+    "power.test_set_batch",   // one fixed-test-set 64-pattern batch
+};
+
+// Arms `name` with `spec`: "throw" (every hit throws) or "throw@K" (only
+// hit number K throws, 0-based, counted per failpoint since arming).
+// Re-arming a name resets its hit counter. Throws pfd::Error on a bad spec.
+void ArmFailpoint(std::string_view name, std::string_view spec);
+// Parses $PFD_FAILPOINTS ("name=spec,name=spec"); malformed entries are
+// reported on stderr and skipped (the env var must never crash a run at
+// static-init time). Called automatically before main; call again after
+// changing the variable programmatically.
+void ArmFailpointsFromEnv();
+// Disarms everything and zeroes all hit counters.
+void ClearFailpoints();
+// Hits observed at `name` since it was last armed (0 when never armed).
+std::uint64_t FailpointHits(std::string_view name);
+
+namespace detail {
+extern std::atomic<int> g_armed_failpoints;
+void MaybeFailSlow(const char* name);
+}  // namespace detail
+
+// The per-unit check each engine stage compiles in. Disarmed cost: one
+// relaxed atomic load. Armed: counts the hit and throws pfd::Error when the
+// spec fires.
+inline void MaybeFail(const char* name) {
+  if (detail::g_armed_failpoints.load(std::memory_order_relaxed) == 0) return;
+  detail::MaybeFailSlow(name);
+}
+
+}  // namespace pfd::guard

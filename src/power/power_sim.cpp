@@ -91,7 +91,10 @@ std::uint64_t TotalToggles(const logicsim::Simulator& sim) {
 // and the convergence rule is evaluated at each fold — so the stopping
 // batch, the mean, and the CI are a pure function of the config, never of
 // the thread count or the wave split (a converged wave's surplus batches
-// are discarded, not folded).
+// are discarded, not folded). A batch quarantined by ParallelForGuarded and
+// still failing after its retry is excluded from the fold and listed in
+// run_status; a guard trip ends the run after the current wave, and the
+// estimate covers exactly the batches folded so far.
 PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
                                     const fault::TestPlan& plan,
                                     const PowerModel& model,
@@ -101,6 +104,11 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(faults.size())},
                       {"max_batches", config.max_batches}}));
+  guard::Checker local_check(config.limits);
+  guard::Checker& check =
+      config.checker != nullptr ? *config.checker : local_check;
+
+  PowerResult result;
   logicsim::Simulator base(nl);
   for (const fault::StuckFault& f : faults) {
     fault::InjectFault(base, f, ~0ULL);
@@ -114,50 +122,79 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
   const std::uint64_t det_seed = config.exec.deterministic_seed;
 
   // Warm-up batch (stream 0): flushes power-up X state so every measured
-  // batch starts from the same steady-state machine.
+  // batch starts from the same steady-state machine. An already-tripped
+  // guard skips even this: the result is then empty with zero batches.
+  if (!check.Check().ok()) {
+    const guard::Status s = check.status();
+    result.run_status.code = s.code;
+    result.run_status.message = s.message;
+    return result;
+  }
   {
     std::vector<std::vector<std::uint32_t>> lane_values(
         n_ops, std::vector<std::uint32_t>(64));
     Rng rng(exec::ShardSeed(config.seed, det_seed, 0));
     FillRandomLanes(rng, plan, lane_values);
     RunBatch(base, plan, lane_values);
+    check.AddSimCycles(static_cast<std::uint64_t>(plan.cycles_per_pattern));
   }
 
   exec::Pool pool(config.exec);
   std::vector<PowerBreakdown> results(
       static_cast<std::size_t>(config.max_batches));
+  std::vector<char> batch_ok(static_cast<std::size_t>(config.max_batches), 0);
 
   RunningStat datapath_stat;
   BreakdownAccumulator acc;
-  int used = 0;       // batches folded into the estimate
-  int computed = 0;   // batches simulated (>= used after convergence)
+  int used = 0;         // batches folded into the estimate
+  int fold_cursor = 0;  // next batch index the ordered fold will examine
+  int computed = 0;     // batches dispatched (>= used after convergence)
   bool converged = false;
-  while (!converged && computed < config.max_batches) {
+  while (!converged && computed < config.max_batches && !check.tripped()) {
     const int wave =
         std::min(config.max_batches - computed,
                  computed == 0 ? std::max(config.min_batches, pool.threads())
                                : pool.threads());
-    pool.ParallelFor(static_cast<std::size_t>(wave), [&](std::size_t k) {
-      const int b = computed + static_cast<int>(k);
-      logicsim::Simulator sim = base;  // copy of the warmed machine
-      sim.ResetToggleCounts();
-      std::vector<std::vector<std::uint32_t>> lane_values(
-          n_ops, std::vector<std::uint32_t>(64));
-      Rng rng(exec::ShardSeed(config.seed, det_seed,
-                              static_cast<std::uint64_t>(b) + 1));
-      FillRandomLanes(rng, plan, lane_values);
-      RunBatch(sim, plan, lane_values);
-      results[static_cast<std::size_t>(b)] = model.Compute(sim, batch_cycles);
-      if (obs::Enabled()) {
-        obs::Registry::Global().GetCounter("power.toggles")
-            .Add(TotalToggles(sim));
-      }
-    });
+    const guard::RunStatus wave_status = pool.ParallelForGuarded(
+        static_cast<std::size_t>(wave),
+        [&](std::size_t k) {
+          guard::MaybeFail("power.mc_batch");
+          const int b = computed + static_cast<int>(k);
+          logicsim::Simulator sim = base;  // copy of the warmed machine
+          sim.ResetToggleCounts();
+          std::vector<std::vector<std::uint32_t>> lane_values(
+              n_ops, std::vector<std::uint32_t>(64));
+          Rng rng(exec::ShardSeed(config.seed, det_seed,
+                                  static_cast<std::uint64_t>(b) + 1));
+          FillRandomLanes(rng, plan, lane_values);
+          RunBatch(sim, plan, lane_values);
+          check.AddSimCycles(
+              static_cast<std::uint64_t>(plan.cycles_per_pattern));
+          results[static_cast<std::size_t>(b)] =
+              model.Compute(sim, batch_cycles);
+          if (obs::Enabled()) {
+            obs::Registry::Global().GetCounter("power.toggles")
+                .Add(TotalToggles(sim));
+          }
+        },
+        &check);
+    // The wave ran unit indices [0, wave); remap to batch indices.
+    for (const std::size_t k : wave_status.completed) {
+      batch_ok[static_cast<std::size_t>(computed) + k] = 1;
+    }
+    for (const guard::FailedUnit& f : wave_status.failed_units) {
+      result.run_status.failed_units.push_back(
+          {static_cast<std::size_t>(computed) + f.index, f.what});
+    }
     computed += wave;
     // Ordered reduction: fold batch by batch, stop at the first batch where
-    // the convergence rule fires.
-    for (int b = used; b < computed && !converged; ++b) {
-      const PowerBreakdown& pb = results[static_cast<std::size_t>(b)];
+    // the convergence rule fires. Permanently failed batches are skipped —
+    // their RNG streams are independent, so the fold stays a pure function
+    // of which batches completed.
+    for (; fold_cursor < computed && !converged; ++fold_cursor) {
+      if (batch_ok[static_cast<std::size_t>(fold_cursor)] == 0) continue;
+      const PowerBreakdown& pb =
+          results[static_cast<std::size_t>(fold_cursor)];
       RunningStat sample;
       sample.Add(pb.datapath_uw);
       datapath_stat.Merge(sample);
@@ -168,6 +205,23 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
         converged = true;
       }
     }
+  }
+
+  result.run_status.total_units = static_cast<std::size_t>(computed);
+  for (int b = 0; b < computed; ++b) {
+    if (batch_ok[static_cast<std::size_t>(b)] != 0) {
+      result.run_status.completed.push_back(static_cast<std::size_t>(b));
+    }
+  }
+  if (check.tripped()) {
+    const guard::Status s = check.status();
+    result.run_status.code = s.code;
+    result.run_status.message = s.message;
+  } else if (!result.run_status.failed_units.empty()) {
+    result.run_status.code = guard::StatusCode::kPartialFailure;
+    result.run_status.message =
+        std::to_string(result.run_status.failed_units.size()) +
+        " Monte Carlo batch(es) failed";
   }
 
   if (obs::Enabled()) {
@@ -182,7 +236,7 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
         .Set(datapath_stat.RelativeHalfWidth95());
   }
 
-  PowerResult result;
+  if (acc.n == 0) return result;  // nothing folded: zero estimate + status
   result.breakdown = acc.Mean();
   result.ci95_rel = datapath_stat.RelativeHalfWidth95();
   result.batches = used;
@@ -200,6 +254,9 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(faults.size())},
                       {"patterns", config.patterns}}));
+  guard::Checker local_check(config.limits);
+  guard::Checker& check =
+      config.checker != nullptr ? *config.checker : local_check;
   logicsim::Simulator sim(nl);
   for (const fault::StuckFault& f : faults) {
     fault::InjectFault(sim, f, ~0ULL);
@@ -215,32 +272,89 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
   // The test set length is rounded up to a whole number of 64-lane batches
   // by continuing the TPGR stream (documented in DESIGN.md; identical
   // protocol for baseline and faulty runs, so percentage changes are exact).
+  //
+  // The engine is serial and stateful (one machine, one TPGR stream), so
+  // isolation works per batch: operands are drawn *before* the failpoint /
+  // batch body, keeping the stream intact, and a failing batch is retried
+  // once against the same operands (the reset cycle at each batch start
+  // re-initialises the machine). A batch that still fails is skipped and
+  // listed; its patterns are excluded from the cycle normalisation.
   const int batches = (config.patterns + 63) / 64;
+  PowerResult result;
+  result.run_status.total_units = static_cast<std::size_t>(batches);
+  const bool obs_on = obs::Enabled();
   std::uint64_t machine_cycles = 0;
   for (int batch = 0; batch < batches; ++batch) {
+    if (!check.Check().ok()) break;
     for (int lane = 0; lane < 64; ++lane) {
       for (std::size_t op = 0; op < n_ops; ++op) {
         const int width = static_cast<int>(plan.operand_bits[op].size());
         lane_values[op][lane] = tpgr.NextOperand(width).value();
       }
     }
-    RunBatch(sim, plan, lane_values);
-    machine_cycles +=
-        64ULL * static_cast<std::uint64_t>(plan.cycles_per_pattern);
+    bool batch_done = false;
+    bool tripped_mid_batch = false;
+    try {
+      guard::MaybeFail("power.test_set_batch");
+      RunBatch(sim, plan, lane_values);
+      batch_done = true;
+    } catch (const guard::Tripped&) {
+      tripped_mid_batch = true;
+    } catch (...) {
+      guard::FailedUnit failed{static_cast<std::size_t>(batch),
+                               guard::CurrentExceptionMessage()};
+      if (obs_on) {
+        obs::Registry& reg = obs::Registry::Global();
+        reg.GetCounter("guard.quarantined_units").Add(1);
+        reg.GetCounter("guard.retries").Add(1);
+      }
+      try {
+        RunBatch(sim, plan, lane_values);
+        batch_done = true;
+        if (obs_on) {
+          obs::Registry::Global().GetCounter("guard.retry_successes").Add(1);
+        }
+      } catch (const guard::Tripped&) {
+        tripped_mid_batch = true;
+      } catch (...) {
+        failed.what += "; retry: " + guard::CurrentExceptionMessage();
+        result.run_status.failed_units.push_back(std::move(failed));
+      }
+    }
+    if (tripped_mid_batch) break;
+    if (batch_done) {
+      result.run_status.completed.push_back(static_cast<std::size_t>(batch));
+      machine_cycles +=
+          64ULL * static_cast<std::uint64_t>(plan.cycles_per_pattern);
+      check.AddSimCycles(static_cast<std::uint64_t>(plan.cycles_per_pattern));
+    }
   }
 
-  if (obs::Enabled()) {
+  if (check.tripped()) {
+    const guard::Status s = check.status();
+    result.run_status.code = s.code;
+    result.run_status.message = s.message;
+  } else if (!result.run_status.failed_units.empty()) {
+    result.run_status.code = guard::StatusCode::kPartialFailure;
+    result.run_status.message =
+        std::to_string(result.run_status.failed_units.size()) +
+        " test-set batch(es) failed";
+  }
+
+  if (obs_on) {
     obs::Registry& reg = obs::Registry::Global();
     reg.GetCounter("power.test_set_runs").Add(1);
     reg.GetCounter("power.test_set_patterns")
-        .Add(64ULL * static_cast<std::uint64_t>(batches));
+        .Add(64ULL * static_cast<std::uint64_t>(
+                         result.run_status.completed.size()));
     reg.GetCounter("power.toggles").Add(TotalToggles(sim));
   }
 
-  PowerResult result;
+  if (machine_cycles == 0) return result;  // nothing completed
   result.breakdown = model.Compute(sim, machine_cycles);
-  result.batches = batches;
-  result.patterns = 64ULL * static_cast<std::uint64_t>(batches);
+  result.batches = static_cast<int>(result.run_status.completed.size());
+  result.patterns =
+      64ULL * static_cast<std::uint64_t>(result.run_status.completed.size());
   return result;
 }
 

@@ -15,6 +15,16 @@
 //     1200-pattern sets). Serial by construction: the TPGR stream is one
 //     sequential whole.
 //
+// Robustness (pfd::guard): both modes honour guard::Limits (or an external
+// shared checker) at batch boundaries and always return a PowerResult — a
+// deadline, cancellation, or budget trip yields the estimate over the
+// batches that completed, with run_status saying why and which batch
+// indices made it. A throwing Monte Carlo batch is quarantined, retried
+// once, and (if still failing) excluded from the fold as a listed
+// FailedUnit. Failpoints: "power.mc_batch", "power.test_set_batch" (both
+// fire before the batch mutates any state, so a retried batch reproduces
+// the uninjected result exactly).
+//
 // Both accept an optional stuck-at fault to inject, so the same code path
 // produces the fault-free baseline and every faulty measurement.
 #pragma once
@@ -26,6 +36,7 @@
 #include "exec/exec.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
+#include "guard/guard.hpp"
 #include "power/power_model.hpp"
 #include "tpg/lfsr.hpp"
 
@@ -42,6 +53,11 @@ struct MonteCarloConfig {
   // Worker threads for the batch fan-out; a performance knob only — the
   // result is bit-identical for every thread count.
   exec::Options exec;
+  // Cooperative limits for this run; ignored when `checker` is set.
+  guard::Limits limits;
+  // Optional external checker for callers pooling one budget across
+  // several engine runs. Not owned.
+  guard::Checker* checker = nullptr;
 };
 
 struct PowerResult {
@@ -50,6 +66,10 @@ struct PowerResult {
   double ci95_rel = 0.0;
   int batches = 0;
   std::uint64_t patterns = 0;
+  // Partial-result contract: kOk for a clean run; otherwise the trip code
+  // or kPartialFailure, the completed batch indices, and any quarantined
+  // batches that failed their retry.
+  guard::RunStatus run_status;
 };
 
 // Monte Carlo average power with the (optional) faults injected in every
@@ -73,6 +93,9 @@ struct TestSetPowerConfig {
   std::uint32_t seed = tpg::kTestSetSeed1;
   int patterns = 1200;
   bool unit_delay = false;
+  // Cooperative limits for this run; ignored when `checker` is set.
+  guard::Limits limits;
+  guard::Checker* checker = nullptr;  // not owned
 };
 
 // Average power over the fixed test set `config` describes.
@@ -81,20 +104,5 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
                                 const PowerModel& model,
                                 std::span<const fault::StuckFault> faults,
                                 const TestSetPowerConfig& config);
-
-// Deprecated positional-argument shim, kept for one release; pass a
-// TestSetPowerConfig instead.
-[[deprecated("pass TestSetPowerConfig{seed, patterns, unit_delay}")]]
-inline PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
-                                       const fault::TestPlan& plan,
-                                       const PowerModel& model,
-                                       std::span<const fault::StuckFault> faults,
-                                       std::uint32_t tpgr_seed,
-                                       int num_patterns,
-                                       bool unit_delay = false) {
-  return MeasureTestSetPower(nl, plan, model, faults,
-                             TestSetPowerConfig{tpgr_seed, num_patterns,
-                                                unit_delay});
-}
 
 }  // namespace pfd::power

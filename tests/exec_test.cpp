@@ -7,10 +7,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "base/error.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "designs/designs.hpp"
@@ -59,9 +62,34 @@ TEST(ResolveThreads, EnvVariableUsedWhenAuto) {
   EXPECT_EQ(ResolveThreads(Options{}), 5);
 }
 
-TEST(ResolveThreads, GarbageEnvFallsBackToHardware) {
-  ScopedEnv env("PFD_THREADS", "zero");
-  EXPECT_GE(ResolveThreads(Options{}), 1);
+// A malformed PFD_THREADS is a configuration error, not a silent fallback:
+// the wrong thread count would make a benchmark lie about its own setup.
+TEST(ResolveThreads, GarbageEnvIsRejected) {
+  for (const char* bad : {"zero", "", "4x", "-2", "0", "1e3",
+                          "99999999999999999999", "5000"}) {
+    ScopedEnv env("PFD_THREADS", bad);
+    EXPECT_THROW(ResolveThreads(Options{}), pfd::Error) << "'" << bad << "'";
+  }
+}
+
+TEST(ResolveThreads, ValidEnvBoundsAccepted) {
+  {
+    ScopedEnv env("PFD_THREADS", "1");
+    EXPECT_EQ(ResolveThreads(Options{}), 1);
+  }
+  {
+    ScopedEnv env("PFD_THREADS", "4096");  // kMaxThreads
+    EXPECT_EQ(ResolveThreads(Options{}), kMaxThreads);
+  }
+}
+
+// An explicit Options::threads wins without even parsing the variable, so a
+// broken environment cannot poison a caller who chose their count.
+TEST(ResolveThreads, ExplicitCountSkipsBrokenEnv) {
+  ScopedEnv env("PFD_THREADS", "garbage");
+  Options opt;
+  opt.threads = 2;
+  EXPECT_EQ(ResolveThreads(opt), 2);
 }
 
 TEST(ResolveThreads, DefaultIsAtLeastOne) {
@@ -135,6 +163,64 @@ TEST(ParallelFor, ExceptionPropagatesAndPoolStaysUsable) {
     count.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(count.load(), 256);
+}
+
+// Satellite (c) of the guard issue: when several units throw simultaneously,
+// exactly one exception propagates, and which one is deterministic — the
+// lowest throwing unit index — for every thread count and steal order.
+TEST(ParallelFor, SimultaneousFailuresPropagateLowestIndexDeterministically) {
+  for (const int threads : {1, 2, 8}) {
+    Options opt;
+    opt.threads = threads;
+    Pool pool(opt);
+    for (int round = 0; round < 3; ++round) {
+      std::string caught;
+      try {
+        pool.ParallelFor(512, [&](std::size_t i) {
+          if (i % 37 == 5) {  // 14 throwing units: 5, 42, 79, ...
+            throw std::runtime_error("unit " + std::to_string(i));
+          }
+        });
+        FAIL() << "no exception propagated (threads=" << threads << ")";
+      } catch (const std::runtime_error& e) {
+        caught = e.what();
+      }
+      EXPECT_EQ(caught, "unit 5")
+          << "threads=" << threads << " round=" << round;
+    }
+  }
+}
+
+// Same-pool re-entry from a loop body would deadlock the join; it must be
+// rejected loudly instead. (A nested loop on a *different* pool is fine.)
+TEST(ParallelFor, ReentryFromBodyIsRejected) {
+  Options opt;
+  opt.threads = 2;
+  Pool pool(opt);
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&](std::size_t) {
+                                  pool.ParallelFor(1, [](std::size_t) {});
+                                }),
+               pfd::Error);
+  // The pool survives the rejected call.
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 8);
+
+  // Nesting onto a *different* pool is allowed. One top-level call per pool
+  // at a time (Pool is not a concurrent entry point), hence the mutex.
+  Pool other(opt);
+  std::mutex nest_mu;
+  std::atomic<int> nested{0};
+  pool.ParallelFor(2, [&](std::size_t) {
+    std::lock_guard<std::mutex> lock(nest_mu);
+    other.ParallelFor(2, [&](std::size_t) {
+      nested.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(nested.load(), 4);
 }
 
 TEST(ParallelFor, ScopedHelperMatchesPool) {

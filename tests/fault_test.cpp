@@ -332,24 +332,6 @@ TEST(FaultSim, ResultIsThreadCountInvariant) {
   }
 }
 
-// The deprecated wrappers must stay behaviourally identical to the request
-// API while they live out their release.
-TEST(FaultSim, DeprecatedWrappersMatchRequestApi) {
-  const RandomCircuit rc = MakeRandomCircuit(31, 4, 30, 3);
-  const TestPlan plan = PlanFor(rc);
-  const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const FaultSimResult par = RunParallelFaultSim(rc.nl, plan, all, 0xACE1, 24);
-  const FaultSimResult ser = RunSerialFaultSim(rc.nl, plan, all, 0xACE1, 24);
-#pragma GCC diagnostic pop
-  const FaultSimResult req_par = ParSim(rc.nl, plan, all, 0xACE1, 24);
-  const FaultSimResult req_ser = SerSim(rc.nl, plan, all, 0xACE1, 24);
-  EXPECT_EQ(par.status, req_par.status);
-  EXPECT_EQ(ser.status, req_ser.status);
-  EXPECT_EQ(par.first_detect_pattern, req_par.first_detect_pattern);
-}
-
 TEST(FaultSim, InjectFaultMapsPins) {
   Netlist nl;
   const GateId a = nl.AddInput("a");

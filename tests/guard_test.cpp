@@ -1,0 +1,538 @@
+// Tests for pfd::guard — the status taxonomy, cooperative limits
+// (deadline / cancellation / cycle budget), per-unit failure isolation in
+// exec::Pool::ParallelForGuarded, the failpoint injection harness, and the
+// end-to-end degradation contract of the engines and the classification
+// pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "designs/designs.hpp"
+#include "exec/exec.hpp"
+#include "fault/fault_sim.hpp"
+#include "guard/guard.hpp"
+#include "obs/obs.hpp"
+#include "power/power_model.hpp"
+#include "power/power_sim.hpp"
+
+namespace pfd::guard {
+namespace {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+using netlist::Netlist;
+
+// Failpoints are process-global; every test that arms one cleans up even on
+// assertion failure.
+struct FailpointScope {
+  ~FailpointScope() { ClearFailpoints(); }
+};
+
+Limits ExpiredDeadline() {
+  Limits limits;
+  limits.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);
+  return limits;
+}
+
+// --- Status / CancelToken / Checker ----------------------------------------
+
+TEST(Status, CodeNamesAndOk) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "deadline-exceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kBudgetExhausted),
+               "budget-exhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kPartialFailure), "partial-failure");
+  EXPECT_TRUE(Status{}.ok());
+  EXPECT_FALSE((Status{StatusCode::kCancelled, ""}).ok());
+}
+
+TEST(CancelToken, CopiesShareState) {
+  CancelToken a;
+  CancelToken b = a;  // same underlying flag
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+  b.RequestCancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_GE(a.MsSinceRequest(), 0.0);
+}
+
+TEST(Checker, DefaultLimitsNeverTrip) {
+  Checker check((Limits()));
+  check.AddSimCycles(1u << 20);
+  EXPECT_TRUE(check.Check().ok());
+  EXPECT_FALSE(check.tripped());
+  EXPECT_NO_THROW(check.CheckOrThrow());
+}
+
+TEST(Checker, DeadlineTripIsSticky) {
+  Checker check(ExpiredDeadline());
+  EXPECT_EQ(check.Check().code, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(check.tripped());
+  // Sticky: the first trip keeps deciding the status.
+  EXPECT_EQ(check.Check().code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(check.status().code, StatusCode::kDeadlineExceeded);
+}
+
+TEST(Checker, CycleBudgetTrips) {
+  Limits limits;
+  limits.max_sim_cycles = 100;
+  Checker check(limits);
+  check.AddSimCycles(99);
+  EXPECT_TRUE(check.Check().ok());
+  check.AddSimCycles(1);
+  EXPECT_EQ(check.Check().code, StatusCode::kBudgetExhausted);
+}
+
+TEST(Checker, CancelTripsAndCheckOrThrowThrowsTripped) {
+  Limits limits;
+  Checker check(limits);
+  EXPECT_TRUE(check.Check().ok());
+  limits.cancel.RequestCancel();
+  try {
+    check.CheckOrThrow();
+    FAIL() << "expected Tripped";
+  } catch (const Tripped& t) {
+    EXPECT_EQ(t.status.code, StatusCode::kCancelled);
+  }
+}
+
+TEST(RunStatus, MergeKeepsMostSevereAndPrefixesFailures) {
+  RunStatus campaign;
+  RunStatus stage1;
+  stage1.code = StatusCode::kPartialFailure;
+  stage1.failed_units.push_back({7, "boom"});
+  campaign.MergeFrom(stage1, "step1");
+  EXPECT_EQ(campaign.code, StatusCode::kPartialFailure);
+  ASSERT_EQ(campaign.failed_units.size(), 1u);
+  EXPECT_EQ(campaign.failed_units[0].what, "step1: boom");
+
+  RunStatus stage2;
+  stage2.code = StatusCode::kDeadlineExceeded;
+  stage2.message = "deadline exceeded";
+  campaign.MergeFrom(stage2, "step4");
+  EXPECT_EQ(campaign.code, StatusCode::kDeadlineExceeded);  // trip outranks
+  EXPECT_TRUE(campaign.tripped());
+
+  RunStatus stage3;
+  stage3.code = StatusCode::kCancelled;
+  campaign.MergeFrom(stage3, "later");
+  EXPECT_EQ(campaign.code, StatusCode::kDeadlineExceeded);  // first trip wins
+  EXPECT_FALSE(campaign.Describe().empty());
+}
+
+// --- failpoint registry ------------------------------------------------------
+
+TEST(Failpoints, BadSpecThrowsGoodSpecsFire) {
+  FailpointScope scope;
+  EXPECT_THROW(ArmFailpoint("x", "explode"), pfd::Error);
+  EXPECT_THROW(ArmFailpoint("x", "throw@"), pfd::Error);
+  EXPECT_THROW(ArmFailpoint("x", "throw@12a"), pfd::Error);
+  EXPECT_THROW(ArmFailpoint("", "throw"), pfd::Error);
+
+  ArmFailpoint("x", "throw@1");
+  EXPECT_NO_THROW(MaybeFail("x"));          // hit 0
+  EXPECT_THROW(MaybeFail("x"), pfd::Error);  // hit 1 fires
+  EXPECT_NO_THROW(MaybeFail("x"));          // hit 2
+  EXPECT_EQ(FailpointHits("x"), 3u);
+  EXPECT_EQ(FailpointHits("unarmed"), 0u);
+
+  ArmFailpoint("y", "throw");  // every hit
+  EXPECT_THROW(MaybeFail("y"), pfd::Error);
+  EXPECT_THROW(MaybeFail("y"), pfd::Error);
+
+  ClearFailpoints();
+  EXPECT_NO_THROW(MaybeFail("y"));
+  EXPECT_EQ(FailpointHits("x"), 0u);
+}
+
+TEST(Failpoints, EnvParsingSkipsMalformedEntries) {
+  FailpointScope scope;
+  ::setenv("PFD_FAILPOINTS",
+           "a=throw@2,garbage,=throw,b=explode,c=throw", 1);
+  ArmFailpointsFromEnv();  // must not throw on the malformed entries
+  ::unsetenv("PFD_FAILPOINTS");
+  EXPECT_NO_THROW(MaybeFail("a"));
+  EXPECT_NO_THROW(MaybeFail("a"));
+  EXPECT_THROW(MaybeFail("a"), pfd::Error);
+  EXPECT_THROW(MaybeFail("c"), pfd::Error);
+  EXPECT_NO_THROW(MaybeFail("b"));        // bad spec was skipped
+  EXPECT_NO_THROW(MaybeFail("garbage"));  // no '=': skipped
+}
+
+// --- ParallelForGuarded ------------------------------------------------------
+
+TEST(ParallelForGuarded, TransientFailureIsRetriedAndRecovered) {
+  exec::Options opt;
+  opt.threads = 4;
+  exec::Pool pool(opt);
+  std::atomic<bool> failed_once{false};
+  const RunStatus status = pool.ParallelForGuarded(64, [&](std::size_t i) {
+    if (i == 17 && !failed_once.exchange(true)) {
+      throw std::runtime_error("transient");
+    }
+  });
+  EXPECT_TRUE(status.ok()) << status.Describe();
+  EXPECT_TRUE(status.failed_units.empty());
+  EXPECT_EQ(status.completed.size(), 64u);  // the retry completed unit 17
+}
+
+TEST(ParallelForGuarded, PermanentFailuresAreDeterministicAcrossThreads) {
+  for (const int threads : {1, 2, 8}) {
+    exec::Options opt;
+    opt.threads = threads;
+    exec::Pool pool(opt);
+    const RunStatus status = pool.ParallelForGuarded(100, [&](std::size_t i) {
+      if (i == 13 || i == 77) throw std::runtime_error("permanent");
+    });
+    EXPECT_EQ(status.code, StatusCode::kPartialFailure);
+    ASSERT_EQ(status.failed_units.size(), 2u) << "threads=" << threads;
+    EXPECT_EQ(status.failed_units[0].index, 13u);  // sorted by index
+    EXPECT_EQ(status.failed_units[1].index, 77u);
+    EXPECT_EQ(status.completed.size(), 98u);
+    EXPECT_EQ(status.total_units, 100u);
+  }
+}
+
+TEST(ParallelForGuarded, PreTrippedCheckerSkipsAllUnits) {
+  exec::Options opt;
+  opt.threads = 4;
+  exec::Pool pool(opt);
+  Checker check(ExpiredDeadline());
+  std::atomic<int> ran{0};
+  const RunStatus status = pool.ParallelForGuarded(
+      32,
+      [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); },
+      &check);
+  EXPECT_EQ(status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_TRUE(status.completed.empty());
+  EXPECT_TRUE(status.failed_units.empty());  // skipped, not failed
+}
+
+TEST(ParallelForGuarded, CancellationStopsAtUnitBoundary) {
+  exec::Options opt;
+  opt.threads = 1;  // serial path: units run in index order
+  exec::Pool pool(opt);
+  Limits limits;
+  Checker check(limits);
+  const RunStatus status = pool.ParallelForGuarded(
+      16,
+      [&](std::size_t i) {
+        if (i == 2) limits.cancel.RequestCancel();
+      },
+      &check);
+  EXPECT_EQ(status.code, StatusCode::kCancelled);
+  // Units 0..2 ran (the cancel lands before unit 3's pre-check).
+  EXPECT_EQ(status.completed, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParallelForGuarded, TrippedExceptionMeansAbandonedNotFailed) {
+  exec::Options opt;
+  opt.threads = 2;
+  exec::Pool pool(opt);
+  Limits limits;
+  Checker check(limits);
+  const RunStatus status = pool.ParallelForGuarded(
+      8,
+      [&](std::size_t i) {
+        if (i == 3) {
+          limits.cancel.RequestCancel();
+          check.CheckOrThrow();  // abandon this unit mid-body
+        }
+      },
+      &check);
+  EXPECT_EQ(status.code, StatusCode::kCancelled);
+  EXPECT_TRUE(status.failed_units.empty());
+  // Unit 3 was abandoned by the trip, so it must not be listed completed.
+  for (const std::size_t i : status.completed) EXPECT_NE(i, 3u);
+}
+
+// --- engine-level degradation -----------------------------------------------
+
+// A tiny system with controller-tagged gates, so GenerateFaults yields a
+// handful of controller faults for the fault-sim engines.
+struct MiniFaultSystem {
+  Netlist nl;
+  fault::TestPlan plan;
+  std::vector<fault::StuckFault> faults;
+  MiniFaultSystem() {
+    const GateId a0 = nl.AddInput("a0");
+    const GateId a1 = nl.AddInput("a1");
+    const GateId x =
+        nl.AddGate(GateKind::kXor, ModuleTag::kController, {{a0, a1}});
+    const GateId n =
+        nl.AddGate(GateKind::kAnd, ModuleTag::kController, {{x, a0}});
+    const GateId o =
+        nl.AddGate(GateKind::kOr, ModuleTag::kDatapath, {{n, a1}});
+    nl.AddOutput(o, "o");
+    plan.operand_bits = {{a0, a1}};
+    plan.cycles_per_pattern = 2;
+    plan.strobe_cycles = {1};
+    plan.observe = {o};
+    faults = fault::GenerateFaults(nl, ModuleTag::kController);
+  }
+};
+
+fault::FaultSimResult RunMini(const MiniFaultSystem& ms,
+                              fault::FaultSimEngine engine) {
+  fault::FaultSimRequest request{ms.nl, ms.plan, ms.faults, 0xACE1, 16,
+                                 engine};
+  request.exec.threads = 2;
+  return fault::RunFaultSim(request);
+}
+
+TEST(FaultSimGuard, ShardFailpointIsRetriedWithIdenticalResults) {
+  MiniFaultSystem ms;
+  const fault::FaultSimResult baseline =
+      RunMini(ms, fault::FaultSimEngine::kParallel);
+  ASSERT_TRUE(baseline.run_status.ok());
+
+  FailpointScope scope;
+  ArmFailpoint("fault_sim.shard", "throw@0");
+  const fault::FaultSimResult injected =
+      RunMini(ms, fault::FaultSimEngine::kParallel);
+  EXPECT_GT(FailpointHits("fault_sim.shard"), 0u);
+  // The single-shot failure is absorbed by the retry: same result, clean
+  // status (the failpoint fires before the shard mutates anything).
+  EXPECT_TRUE(injected.run_status.ok()) << injected.run_status.Describe();
+  EXPECT_EQ(injected.status, baseline.status);
+  EXPECT_EQ(injected.first_detect_pattern, baseline.first_detect_pattern);
+}
+
+TEST(FaultSimGuard, SerialFaultFailpointIsRetriedWithIdenticalResults) {
+  MiniFaultSystem ms;
+  const fault::FaultSimResult baseline =
+      RunMini(ms, fault::FaultSimEngine::kSerial);
+  FailpointScope scope;
+  ArmFailpoint("fault_sim.serial_fault", "throw@0");
+  const fault::FaultSimResult injected =
+      RunMini(ms, fault::FaultSimEngine::kSerial);
+  EXPECT_TRUE(injected.run_status.ok()) << injected.run_status.Describe();
+  EXPECT_EQ(injected.status, baseline.status);
+}
+
+TEST(FaultSimGuard, PermanentShardFailureYieldsNotRunFaults) {
+  MiniFaultSystem ms;
+  FailpointScope scope;
+  ArmFailpoint("fault_sim.shard", "throw");  // first attempt AND retry fail
+  const fault::FaultSimResult result =
+      RunMini(ms, fault::FaultSimEngine::kParallel);
+  EXPECT_EQ(result.run_status.code, StatusCode::kPartialFailure);
+  EXPECT_FALSE(result.run_status.failed_units.empty());
+  for (std::size_t i = 0; i < ms.faults.size(); ++i) {
+    EXPECT_EQ(result.status[i], fault::FaultStatus::kNotRun);
+  }
+}
+
+TEST(FaultSimGuard, ExpiredDeadlineReturnsPartialResultWithoutThrowing) {
+  MiniFaultSystem ms;
+  fault::FaultSimRequest request{ms.nl, ms.plan, ms.faults, 0xACE1, 16,
+                                 fault::FaultSimEngine::kParallel};
+  request.limits = ExpiredDeadline();
+  const fault::FaultSimResult result = fault::RunFaultSim(request);
+  EXPECT_EQ(result.run_status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.CountWithStatus(fault::FaultStatus::kNotRun),
+            ms.faults.size());
+}
+
+struct MiniPowerSystem {
+  Netlist nl;
+  fault::TestPlan plan;
+  MiniPowerSystem() {
+    const GateId a0 = nl.AddInput("a0");
+    const GateId a1 = nl.AddInput("a1");
+    const GateId x =
+        nl.AddGate(GateKind::kXor, ModuleTag::kDatapath, {{a0, a1}});
+    const GateId n = nl.AddGate(GateKind::kNot, ModuleTag::kDatapath, {{x}});
+    nl.AddOutput(n, "o");
+    plan.operand_bits = {{a0, a1}};
+    plan.cycles_per_pattern = 2;
+    plan.strobe_cycles = {1};
+    plan.observe = {n};
+  }
+};
+
+TEST(PowerGuard, McBatchFailpointIsRetriedWithIdenticalEstimate) {
+  MiniPowerSystem ms;
+  const power::PowerModel model(ms.nl, power::TechModel::Vsc450());
+  power::MonteCarloConfig cfg;
+  cfg.rel_tol = 0.01;
+  const power::PowerResult baseline =
+      power::EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+  FailpointScope scope;
+  ArmFailpoint("power.mc_batch", "throw@0");
+  const power::PowerResult injected =
+      power::EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+  EXPECT_TRUE(injected.run_status.ok()) << injected.run_status.Describe();
+  EXPECT_DOUBLE_EQ(injected.breakdown.datapath_uw,
+                   baseline.breakdown.datapath_uw);
+  EXPECT_EQ(injected.batches, baseline.batches);
+}
+
+TEST(PowerGuard, AllMcBatchesFailingDegradesToZeroEstimate) {
+  MiniPowerSystem ms;
+  const power::PowerModel model(ms.nl, power::TechModel::Vsc450());
+  power::MonteCarloConfig cfg;
+  cfg.min_batches = 2;
+  cfg.max_batches = 8;
+  FailpointScope scope;
+  ArmFailpoint("power.mc_batch", "throw");
+  const power::PowerResult result =
+      power::EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+  EXPECT_EQ(result.run_status.code, StatusCode::kPartialFailure);
+  EXPECT_EQ(result.batches, 0);
+  EXPECT_EQ(result.breakdown.datapath_uw, 0.0);
+  EXPECT_EQ(result.run_status.failed_units.size(), 8u);
+}
+
+TEST(PowerGuard, TestSetBatchFailpointIsRetriedWithIdenticalResult) {
+  MiniPowerSystem ms;
+  const power::PowerModel model(ms.nl, power::TechModel::Vsc450());
+  power::TestSetPowerConfig cfg{tpg::kTestSetSeed1, 256};
+  const power::PowerResult baseline =
+      power::MeasureTestSetPower(ms.nl, ms.plan, model, {}, cfg);
+  FailpointScope scope;
+  ArmFailpoint("power.test_set_batch", "throw@0");
+  const power::PowerResult injected =
+      power::MeasureTestSetPower(ms.nl, ms.plan, model, {}, cfg);
+  EXPECT_TRUE(injected.run_status.ok()) << injected.run_status.Describe();
+  EXPECT_DOUBLE_EQ(injected.breakdown.datapath_uw,
+                   baseline.breakdown.datapath_uw);
+}
+
+TEST(PowerGuard, McDeadlineReturnsPartialConvergence) {
+  MiniPowerSystem ms;
+  const power::PowerModel model(ms.nl, power::TechModel::Vsc450());
+  power::MonteCarloConfig cfg;
+  cfg.limits = ExpiredDeadline();
+  const power::PowerResult result =
+      power::EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+  EXPECT_EQ(result.run_status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.batches, 0);
+}
+
+// --- pipeline degradation ----------------------------------------------------
+
+core::PipelineConfig FastConfig() {
+  core::PipelineConfig cfg;
+  cfg.tpgr_patterns = 100;
+  cfg.exec.threads = 2;
+  return cfg;
+}
+
+// Acceptance: a pipeline run under a ~1 ms deadline returns a partial
+// ClassificationReport with RunStatus kDeadlineExceeded — no throw, no
+// crash, every unfinished fault explicitly kUndecided.
+TEST(PipelineGuard, MillisecondDeadlineYieldsPartialReport) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  core::PipelineConfig cfg = FastConfig();
+  cfg.limits.max_wall_ms = 1.0;
+  const core::ClassificationReport report =
+      core::ClassifyControllerFaults(d.system, d.hls, cfg);
+  EXPECT_EQ(report.run_status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_GT(report.undecided, 0u);
+  EXPECT_EQ(report.metrics.undecided, report.undecided);
+  EXPECT_EQ(report.sfi_sim + report.sfi_potential + report.sfi_analysis +
+                report.cfr + report.sfr + report.undecided,
+            report.total);
+  // The summary names the degradation; the CSV still renders every fault.
+  EXPECT_NE(report.Summary().find("UNDECIDED"), std::string::npos);
+  EXPECT_FALSE(core::ClassificationCsv(report).empty());
+}
+
+TEST(PipelineGuard, CycleBudgetTripsAsBudgetExhausted) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  core::PipelineConfig cfg = FastConfig();
+  cfg.limits.max_sim_cycles = 50;
+  const core::ClassificationReport report =
+      core::ClassifyControllerFaults(d.system, d.hls, cfg);
+  EXPECT_EQ(report.run_status.code, StatusCode::kBudgetExhausted);
+  EXPECT_GT(report.undecided, 0u);
+}
+
+// Acceptance: a single-shot failpoint in each pipeline-reachable stage is
+// absorbed by quarantine + retry, leaving the report byte-identical to the
+// uninjected run.
+TEST(PipelineGuard, SingleShotFailpointInEachStageLeavesReportIdentical) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  const core::ClassificationReport baseline =
+      core::ClassifyControllerFaults(d.system, d.hls, FastConfig());
+  ASSERT_TRUE(baseline.run_status.ok());
+  const std::string baseline_csv = core::ClassificationCsv(baseline);
+
+  for (const char* stage : {"fault_sim.shard", "pipeline.step3.trace",
+                            "pipeline.step4.decider"}) {
+    FailpointScope scope;
+    ArmFailpoint(stage, "throw@0");
+    const core::ClassificationReport injected =
+        core::ClassifyControllerFaults(d.system, d.hls, FastConfig());
+    EXPECT_GT(FailpointHits(stage), 0u) << stage;
+    EXPECT_TRUE(injected.run_status.ok())
+        << stage << ": " << injected.run_status.Describe();
+    EXPECT_EQ(core::ClassificationCsv(injected), baseline_csv) << stage;
+    ClearFailpoints();
+  }
+}
+
+TEST(PipelineGuard, PermanentDeciderFailureMarksFaultsUndecided) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  const core::ClassificationReport baseline =
+      core::ClassifyControllerFaults(d.system, d.hls, FastConfig());
+  const std::size_t step4_faults = baseline.sfr + baseline.sfi_analysis;
+  ASSERT_GT(step4_faults, 0u);
+
+  FailpointScope scope;
+  ArmFailpoint("pipeline.step4.decider", "throw");  // retry fails too
+  const core::ClassificationReport report =
+      core::ClassifyControllerFaults(d.system, d.hls, FastConfig());
+  EXPECT_EQ(report.run_status.code, StatusCode::kPartialFailure);
+  EXPECT_EQ(report.undecided, step4_faults);
+  EXPECT_EQ(report.run_status.failed_units.size(), step4_faults);
+  EXPECT_EQ(report.sfr, 0u);
+  EXPECT_EQ(report.sfi_analysis, 0u);
+  // Every other class is untouched by the step-4 failure.
+  EXPECT_EQ(report.sfi_sim, baseline.sfi_sim);
+  EXPECT_EQ(report.sfi_potential, baseline.sfi_potential);
+  EXPECT_EQ(report.cfr, baseline.cfr);
+}
+
+TEST(PipelineGuard, QuarantineCountersTickWhenObsEnabled) {
+  obs::Registry& reg = obs::Registry::Global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const std::uint64_t quarantined0 =
+      reg.CounterValue("guard.quarantined_units");
+  const std::uint64_t retries0 = reg.CounterValue("guard.retries");
+  const std::uint64_t successes0 = reg.CounterValue("guard.retry_successes");
+  const std::uint64_t fires0 = reg.CounterValue("guard.failpoint_fires");
+
+  {
+    MiniFaultSystem ms;
+    FailpointScope scope;
+    ArmFailpoint("fault_sim.shard", "throw@0");
+    const fault::FaultSimResult result =
+        RunMini(ms, fault::FaultSimEngine::kParallel);
+    EXPECT_TRUE(result.run_status.ok());
+  }
+
+  EXPECT_GT(reg.CounterValue("guard.quarantined_units"), quarantined0);
+  EXPECT_GT(reg.CounterValue("guard.retries"), retries0);
+  EXPECT_GT(reg.CounterValue("guard.retry_successes"), successes0);
+  EXPECT_GT(reg.CounterValue("guard.failpoint_fires"), fires0);
+  reg.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace pfd::guard

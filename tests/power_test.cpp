@@ -209,20 +209,6 @@ TEST(TestSetPower, RoundsUpToLaneMultiples) {
   EXPECT_EQ(r.patterns, 128u);  // 100 -> 2 batches of 64
 }
 
-TEST(TestSetPower, DeprecatedPositionalShimMatchesConfig) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  MiniSystem ms;
-  const PowerModel model(ms.nl, TechModel::Vsc450());
-  const PowerResult shim = MeasureTestSetPower(ms.nl, ms.plan, model, {},
-                                               tpg::kTestSetSeed1, 256);
-#pragma GCC diagnostic pop
-  const PowerResult cfg = MeasureTestSetPower(
-      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed1, 256});
-  EXPECT_DOUBLE_EQ(shim.breakdown.datapath_uw, cfg.breakdown.datapath_uw);
-  EXPECT_EQ(shim.patterns, cfg.patterns);
-}
-
 TEST(FaultyPower, StuckGateChangesPower) {
   MiniSystem ms;
   const PowerModel model(ms.nl, TechModel::Vsc450());

@@ -19,9 +19,22 @@
 //   --threads N          worker threads for the parallel engine stages
 //                        (default: hardware concurrency, or $PFD_THREADS);
 //                        results are bit-identical for every N
+//   --deadline-ms N      wall-clock budget per pipeline run; on expiry the
+//                        run stops at the next shard/batch boundary and the
+//                        partial report is printed (exit code 3)
+//   --max-cycles N       simulated-cycle budget, same degradation contract
+//
+// Ctrl-C (SIGINT) during classify/grade/diagnose requests cooperative
+// cancellation: the run stops at the next check point, prints what it has,
+// and exits 3. A second Ctrl-C kills the process the usual way.
+//
+// Failpoint injection for robustness testing (see DESIGN.md):
+//   PFD_FAILPOINTS=name=throw[@K][,name=...]   e.g. fault_sim.shard=throw@0
 //
 // Designs: diffeq, facet, poly, diffeq-loop, ewf.
-// Exit codes: 0 success, 1 runtime error (incl. unknown design), 2 usage.
+// Exit codes: 0 success, 1 runtime error (incl. unknown design), 2 usage,
+// 3 partial result (deadline / cancellation / budget / quarantined units).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,12 +47,16 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "designs/designs.hpp"
+#include "guard/guard.hpp"
 #include "logicsim/vcd.hpp"
 #include "obs/trace.hpp"
 
 namespace {
 
 using namespace pfd;
+
+// Exit code for a run that completed with a partial result.
+constexpr int kExitPartial = 3;
 
 struct Options {
   std::string command;
@@ -51,11 +68,43 @@ struct Options {
   double measured_uw = 0.0;
   int fault_index = -1;
   int threads = 0;  // 0 = auto (PFD_THREADS, then hardware concurrency)
+  double deadline_ms = 0.0;      // 0 = unlimited
+  std::uint64_t max_cycles = 0;  // 0 = unlimited
   bool csv = false;
   bool verbose = false;
   std::string trace_path;
   std::string metrics_path;
 };
+
+// Flipped by the SIGINT handler; built before the handler is installed.
+// RequestCancel is async-signal-safe (lock-free atomic stores).
+guard::CancelToken& SigintToken() {
+  static guard::CancelToken token;
+  return token;
+}
+
+void HandleSigint(int) {
+  SigintToken().RequestCancel();
+  // Restore the default disposition: a second Ctrl-C kills the process even
+  // if the run never reaches a cooperative check point.
+  std::signal(SIGINT, SIG_DFL);
+}
+
+guard::Limits MakeLimits(const Options& opt) {
+  guard::Limits limits;
+  limits.max_wall_ms = opt.deadline_ms;
+  limits.max_sim_cycles = opt.max_cycles;
+  limits.cancel = SigintToken();
+  return limits;
+}
+
+// Prints the degradation note for a tripped/partial run and maps it to the
+// process exit code.
+int FinishRun(const guard::RunStatus& status) {
+  if (status.ok()) return 0;
+  std::fprintf(stderr, "partial result: %s\n", status.Describe().c_str());
+  return kExitPartial;
+}
 
 [[noreturn]] void Usage() {
   std::fprintf(
@@ -65,6 +114,7 @@ struct Options {
       "designs: diffeq facet poly diffeq-loop ewf\n"
       "options: --width N --patterns N --threshold PCT --sigma PCT "
       "--fault INDEX --threads N --csv\n"
+      "         --deadline-ms N --max-cycles N\n"
       "         --trace FILE --metrics-json FILE -v|--verbose\n");
   std::exit(2);
 }
@@ -89,6 +139,7 @@ core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
   core::PipelineConfig cfg;
   cfg.tpgr_patterns = opt.patterns;
   cfg.exec.threads = opt.threads;
+  cfg.limits = MakeLimits(opt);
   if (d.system.has_feedback) {
     cfg.gate_check.max_exhaustive_bits = 14;
     cfg.gate_check.sample_patterns = 4096;
@@ -141,7 +192,7 @@ int CmdClassify(const Options& opt) {
     std::printf("%s\n%s", report.Summary().c_str(),
                 core::ClassificationTable(report, /*sfr_only=*/true).c_str());
   }
-  return 0;
+  return FinishRun(report.run_status);
 }
 
 int CmdGrade(const Options& opt) {
@@ -150,6 +201,7 @@ int CmdGrade(const Options& opt) {
   core::GradeConfig cfg;
   cfg.threshold_percent = opt.threshold;
   cfg.mc.exec.threads = opt.threads;
+  cfg.mc.limits = MakeLimits(opt);
   const core::PowerGradeReport graded =
       core::GradeSfrFaults(d.system, report, cfg);
   if (opt.csv) {
@@ -161,7 +213,9 @@ int CmdGrade(const Options& opt) {
     std::printf("%zu of %zu SFR faults detected\n", graded.DetectedCount(),
                 graded.faults.size());
   }
-  return 0;
+  guard::RunStatus merged = report.run_status;
+  merged.MergeFrom(graded.run_status, "grade");
+  return FinishRun(merged);
 }
 
 int CmdDiagnose(const Options& opt) {
@@ -169,6 +223,7 @@ int CmdDiagnose(const Options& opt) {
   const core::ClassificationReport report = Classify(d, opt);
   core::GradeConfig grade_cfg;
   grade_cfg.mc.exec.threads = opt.threads;
+  grade_cfg.mc.limits = MakeLimits(opt);
   const core::PowerGradeReport graded =
       core::GradeSfrFaults(d.system, report, grade_cfg);
   const core::DiagnosisResult dx = core::DiagnoseFromPower(
@@ -182,7 +237,9 @@ int CmdDiagnose(const Options& opt) {
                 c.fault == nullptr ? "fault-free" : c.fault->record->name.c_str(),
                 c.signature_uw);
   }
-  return 0;
+  guard::RunStatus merged = report.run_status;
+  merged.MergeFrom(graded.run_status, "grade");
+  return FinishRun(merged);
 }
 
 int CmdDot(const Options& opt) {
@@ -279,6 +336,10 @@ int main(int argc, char** argv) {
       opt.fault_index = std::atoi(next());
     } else if (arg == "--threads") {
       opt.threads = std::atoi(next());
+    } else if (arg == "--deadline-ms") {
+      opt.deadline_ms = std::atof(next());
+    } else if (arg == "--max-cycles") {
+      opt.max_cycles = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--csv") {
       opt.csv = true;
     } else if (arg == "--trace") {
@@ -311,6 +372,14 @@ int main(int argc, char** argv) {
   }
   if (trace != nullptr || !opt.metrics_path.empty() || opt.verbose) {
     reg.set_enabled(true);
+  }
+
+  // Cooperative Ctrl-C for the long-running commands only; the short ones
+  // keep the default kill-on-SIGINT (they never reach a check point).
+  if (opt.command == "classify" || opt.command == "grade" ||
+      opt.command == "diagnose") {
+    SigintToken();  // construct the token before the handler can fire
+    std::signal(SIGINT, HandleSigint);
   }
 
   int rc = -1;
