@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validate the schema of a google-benchmark JSON output file.
+
+Used by the bench-smoke CI job to catch a benchmark binary that runs but
+emits a malformed or empty BENCH_engines.json (wrong flags, a crashed
+benchmark mid-run, an aggregate-only file with no aggregates). Checks:
+
+  * top-level "context" and "benchmarks" keys exist;
+  * "benchmarks" is a non-empty list;
+  * every entry has a "name" and finite, positive "real_time"/"cpu_time"
+    and a positive "iterations" count (error entries fail the check);
+  * every benchmark named via --require is present.
+
+Usage:
+  bench/check_bench_json.py BENCH_engines.json \
+      --require BM_LogicSimStep --require BM_CompiledKernelStep
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="benchmark that must appear (prefix match on the run name, "
+        "so BM_Foo also matches BM_Foo/64 and BM_Foo_mean)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.json_file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.json_file}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    for key in ("context", "benchmarks"):
+        if key not in doc:
+            fail(f"missing top-level key '{key}'")
+    benchmarks = doc["benchmarks"]
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail("'benchmarks' is not a non-empty list")
+
+    names = []
+    for i, b in enumerate(benchmarks):
+        if not isinstance(b, dict) or "name" not in b:
+            fail(f"benchmarks[{i}] has no 'name'")
+        name = b["name"]
+        if "error_occurred" in b and b["error_occurred"]:
+            fail(f"{name}: benchmark reported an error: "
+                 f"{b.get('error_message', '?')}")
+        for field in ("real_time", "cpu_time"):
+            v = b.get(field)
+            if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
+                fail(f"{name}: '{field}' is not a positive finite number: {v!r}")
+        iters = b.get("iterations")
+        if not isinstance(iters, int) or iters <= 0:
+            fail(f"{name}: 'iterations' is not a positive integer: {iters!r}")
+        names.append(name)
+
+    for req in args.require:
+        if not any(n == req or n.startswith(req + "/") or
+                   n.startswith(req + "_") for n in names):
+            fail(f"required benchmark '{req}' not found "
+                 f"(got: {', '.join(names)})")
+
+    print(f"check_bench_json: OK: {len(names)} benchmark entr"
+          f"{'y' if len(names) == 1 else 'ies'} validated")
+
+
+if __name__ == "__main__":
+    main()

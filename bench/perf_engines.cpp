@@ -79,6 +79,61 @@ void BM_LogicSimStepObsEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_LogicSimStepObsEnabled);
 
+// X-free steady state on the compiled kernel: the reset protocol is run
+// once until the power-up X's flush and the two-valued fast path engages,
+// then the measured loop steps the known-plane-free program. This is the
+// regime the pipeline engines spend almost all their cycles in.
+void BM_CompiledKernelStep(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  logicsim::Simulator sim(d.system.nl);
+  for (const synth::Bus& bus : d.system.operand_bits) {
+    for (netlist::GateId g : bus) sim.SetInputAllLanes(g, Trit::kZero);
+  }
+  // Warm-up: one full pattern flushes every power-up X.
+  for (int c = 0; c < d.system.cycles_per_pattern; ++c) {
+    sim.SetInputAllLanes(d.system.reset, c == 0 ? Trit::kOne : Trit::kZero);
+    sim.Step();
+  }
+  if (!sim.last_step_two_valued()) {
+    state.SkipWithError("fast path did not engage after the warm-up pattern");
+    return;
+  }
+  int c = 0;
+  for (auto _ : state) {
+    sim.SetInputAllLanes(d.system.reset, c == 0 ? Trit::kOne : Trit::kZero);
+    sim.Step();
+    c = (c + 1) % d.system.cycles_per_pattern;
+  }
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(d.system.nl.size()));
+}
+BENCHMARK(BM_CompiledKernelStep);
+
+// The same workload with one operand bit held at X: every step stays on
+// the three-valued plane, bounding the cost of the general path (and the
+// fast-path eligibility scan that keeps rejecting it).
+void BM_CompiledKernelStepThreeValued(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  logicsim::Simulator sim(d.system.nl);
+  for (const synth::Bus& bus : d.system.operand_bits) {
+    for (netlist::GateId g : bus) sim.SetInputAllLanes(g, Trit::kZero);
+  }
+  sim.SetInputAllLanes(d.system.operand_bits[0][0], Trit::kX);
+  int c = 0;
+  for (auto _ : state) {
+    sim.SetInputAllLanes(d.system.reset, c == 0 ? Trit::kOne : Trit::kZero);
+    sim.Step();
+    c = (c + 1) % d.system.cycles_per_pattern;
+  }
+  if (sim.last_step_two_valued()) {
+    state.SkipWithError("expected the X input to hold the three-valued path");
+    return;
+  }
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(d.system.nl.size()));
+}
+BENCHMARK(BM_CompiledKernelStepThreeValued);
+
 void BM_ParallelFaultSim(benchmark::State& state) {
   const designs::BenchmarkDesign& d = Diffeq();
   const auto all =

@@ -1,15 +1,68 @@
 #include "analysis/trace.hpp"
 
+#include <memory>
 #include <sstream>
 
 #include "fault/fault_sim.hpp"
+#include "logicsim/golden_cache.hpp"
 #include "logicsim/simulator.hpp"
 
 namespace pfd::analysis {
 
+namespace {
+
+// Cache key for the fault-free ("golden") control trace: the netlist hash
+// plus a digest of everything else that shapes the run — the reset
+// protocol, the zero-held operand inputs, the observed nets, and the
+// pattern count. Faulty traces are not cached (one fresh key per fault
+// would only churn the cache).
+logicsim::GoldenKey GoldenControlTraceKey(const synth::System& sys,
+                                          int num_patterns) {
+  logicsim::Fnv1a h;
+  h.AddBytes("ctrl_trace", 10);  // consumer domain tag
+  h.Add(static_cast<std::uint64_t>(sys.reset));
+  h.Add(static_cast<std::uint64_t>(sys.cycles_per_pattern));
+  for (const synth::Bus& bus : sys.operand_bits) {
+    h.Add(bus.size());
+    for (netlist::GateId g : bus) h.Add(g);
+  }
+  h.Add(sys.line_nets.size());
+  for (netlist::GateId g : sys.line_nets) h.Add(g);
+  logicsim::GoldenKey key;
+  key.netlist_hash = sys.nl.StructuralHash();
+  key.stimulus_hash = h.hash();
+  key.cycles = static_cast<std::uint64_t>(num_patterns) *
+               static_cast<std::uint64_t>(sys.cycles_per_pattern);
+  return key;
+}
+
+ControlTrace TraceFromEntry(const synth::System& sys, int num_patterns,
+                            const logicsim::GoldenEntry& entry) {
+  ControlTrace trace;
+  trace.cycles_per_pattern = sys.cycles_per_pattern;
+  trace.num_patterns = num_patterns;
+  const std::size_t width = sys.line_nets.size();
+  trace.lines.reserve(entry.trits.size() / (width == 0 ? 1 : width));
+  for (std::size_t at = 0; at + width <= entry.trits.size(); at += width) {
+    trace.lines.emplace_back(entry.trits.begin() + at,
+                             entry.trits.begin() + at + width);
+  }
+  return trace;
+}
+
+}  // namespace
+
 ControlTrace ExtractControlTrace(const synth::System& sys,
                                  const fault::StuckFault* fault,
                                  int num_patterns) {
+  logicsim::GoldenKey key;
+  if (fault == nullptr) {
+    key = GoldenControlTraceKey(sys, num_patterns);
+    if (const auto entry = logicsim::GoldenTraceCache::Global().Find(key)) {
+      return TraceFromEntry(sys, num_patterns, *entry);
+    }
+  }
+
   logicsim::Simulator sim(sys.nl);
   if (fault != nullptr) {
     fault::InjectFault(sim, *fault, ~0ULL);
@@ -36,6 +89,15 @@ ControlTrace ExtractControlTrace(const synth::System& sys,
       }
       trace.lines.push_back(std::move(row));
     }
+  }
+
+  if (fault == nullptr) {
+    auto entry = std::make_shared<logicsim::GoldenEntry>();
+    entry->trits.reserve(trace.lines.size() * sys.line_nets.size());
+    for (const std::vector<Trit>& row : trace.lines) {
+      entry->trits.insert(entry->trits.end(), row.begin(), row.end());
+    }
+    logicsim::GoldenTraceCache::Global().Insert(key, std::move(entry));
   }
   return trace;
 }

@@ -1,10 +1,69 @@
 #include "core/grading.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <memory>
 
 #include "base/stats.hpp"
+#include "logicsim/golden_cache.hpp"
 
 namespace pfd::core {
+
+namespace {
+
+// Cache key for the fault-free Monte Carlo power baseline: netlist hash
+// plus a digest of every knob that shapes the estimate — the MC sampling
+// configuration, the timing model, the full test plan stimulus, the tech
+// model constants, and the clock-gate groups. Thread count and guard
+// limits are deliberately excluded: the engine is bit-identical across
+// both. Only the fault-free baseline is cached; per-fault runs get a
+// distinct simulator configuration each and would just churn the cache.
+logicsim::GoldenKey BaselinePowerKey(const synth::System& sys,
+                                     const fault::TestPlan& plan,
+                                     const power::TechModel& tech,
+                                     const power::MonteCarloConfig& mc) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  logicsim::Fnv1a h;
+  h.AddBytes("grade_baseline_mc", 17);  // consumer domain tag
+  h.Add(mc.seed);
+  h.Add(static_cast<std::uint64_t>(mc.min_batches));
+  h.Add(static_cast<std::uint64_t>(mc.max_batches));
+  h.Add(bits(mc.rel_tol));
+  h.Add(mc.unit_delay ? 1 : 0);
+  h.Add(static_cast<std::uint64_t>(plan.cycles_per_pattern));
+  h.Add(static_cast<std::uint64_t>(plan.reset));
+  h.Add(plan.operand_bits.size());
+  for (const auto& op : plan.operand_bits) {
+    h.Add(op.size());
+    for (netlist::GateId g : op) h.Add(g);
+  }
+  h.Add(plan.pinned.size());
+  for (const auto& [gate, value] : plan.pinned) {
+    h.Add(gate);
+    h.Add(static_cast<std::uint64_t>(value));
+  }
+  h.Add(bits(tech.vdd_v));
+  h.Add(bits(tech.clock_hz));
+  h.Add(bits(tech.input_cap_f));
+  h.Add(bits(tech.drain_cap_f));
+  h.Add(bits(tech.wire_cap_f));
+  h.Add(bits(tech.dff_q_extra_cap_f));
+  h.Add(bits(tech.dff_clock_energy_j));
+  h.Add(sys.clock_gates.size());
+  for (const auto& [enable, dffs] : sys.clock_gates) {
+    h.Add(enable);
+    h.Add(dffs.size());
+    for (netlist::GateId d : dffs) h.Add(d);
+  }
+  logicsim::GoldenKey key;
+  key.netlist_hash = sys.nl.StructuralHash();
+  key.stimulus_hash = h.hash();
+  key.cycles = 64ULL * static_cast<std::uint64_t>(mc.max_batches) *
+               static_cast<std::uint64_t>(plan.cycles_per_pattern);
+  return key;
+}
+
+}  // namespace
 
 std::size_t PowerGradeReport::DetectedCount() const {
   std::size_t n = 0;
@@ -56,8 +115,30 @@ PowerGradeReport GradeSfrFaults(const synth::System& sys,
   PowerGradeReport report;
   report.threshold_percent = config.threshold_percent;
   {
-    const power::PowerResult base =
-        power::EstimatePowerMonteCarlo(sys.nl, plan, model, mc);
+    const logicsim::GoldenKey key =
+        BaselinePowerKey(sys, plan, config.tech, config.mc);
+    power::PowerResult base;
+    if (const auto entry = logicsim::GoldenTraceCache::Global().Find(key)) {
+      base.breakdown.datapath_uw = entry->scalars[0];
+      base.breakdown.controller_uw = entry->scalars[1];
+      base.breakdown.interface_uw = entry->scalars[2];
+      base.breakdown.total_uw = entry->scalars[3];
+      base.ci95_rel = entry->scalars[4];
+      base.batches = static_cast<int>(entry->counts[0]);
+      base.patterns = entry->counts[1];
+    } else {
+      base = power::EstimatePowerMonteCarlo(sys.nl, plan, model, mc);
+      if (base.run_status.ok() && base.run_status.failed_units.empty()) {
+        auto fresh = std::make_shared<logicsim::GoldenEntry>();
+        fresh->scalars = {base.breakdown.datapath_uw,
+                          base.breakdown.controller_uw,
+                          base.breakdown.interface_uw,
+                          base.breakdown.total_uw, base.ci95_rel};
+        fresh->counts = {static_cast<std::uint64_t>(base.batches),
+                         base.patterns};
+        logicsim::GoldenTraceCache::Global().Insert(key, std::move(fresh));
+      }
+    }
     report.fault_free_uw = base.breakdown.datapath_uw;
     report.run_status.MergeFrom(base.run_status, "baseline");
     if (check.tripped() || base.run_status.tripped()) return report;

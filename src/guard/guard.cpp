@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "base/error.hpp"
 #include "obs/obs.hpp"
@@ -206,7 +207,9 @@ void RecountArmed() {
   detail::g_armed_failpoints.store(armed, std::memory_order_relaxed);
 }
 
-// Parses "throw" / "throw@K" into `st`; returns false on malformed input.
+// Parses "throw" / "throw@K" into `st`; returns false on malformed input:
+// anything but the exact keyword, an empty or non-digit K, trailing
+// garbage, or a K that overflows 64 bits.
 bool ParseSpec(std::string_view spec, FailpointState& st) {
   constexpr std::string_view kThrow = "throw";
   if (spec == kThrow) {
@@ -221,7 +224,9 @@ bool ParseSpec(std::string_view spec, FailpointState& st) {
     std::uint64_t k = 0;
     for (char c : num) {
       if (c < '0' || c > '9') return false;
-      k = k * 10 + static_cast<std::uint64_t>(c - '0');
+      const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+      if (k > (~0ULL - digit) / 10) return false;  // K overflows
+      k = k * 10 + digit;
     }
     st.armed = true;
     st.always = false;
@@ -244,26 +249,58 @@ void ArmFailpoint(std::string_view name, std::string_view spec) {
   RecountArmed();
 }
 
+void ArmFailpoints(std::string_view list) {
+  // Parse the whole list before touching any global state: a malformed
+  // entry (or a duplicate name) rejects the list as a unit, so a typo can
+  // never half-arm a failpoint configuration.
+  std::vector<std::pair<std::string, FailpointState>> parsed;
+  std::string_view rest(list);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const std::string quoted = "'" + std::string(entry) + "'";
+    PFD_CHECK_MSG(!entry.empty(), "empty failpoint entry in list");
+    const std::size_t eq = entry.find('=');
+    PFD_CHECK_MSG(eq != std::string_view::npos,
+                  "failpoint entry " + quoted + " has no '='");
+    PFD_CHECK_MSG(eq != 0, "failpoint entry " + quoted + " has no name");
+    const std::string_view name = entry.substr(0, eq);
+    FailpointState st;
+    PFD_CHECK_MSG(ParseSpec(entry.substr(eq + 1), st),
+                  "bad failpoint spec in " + quoted +
+                      " (expected 'throw' or 'throw@K')");
+    for (const auto& [seen, unused] : parsed) {
+      PFD_CHECK_MSG(seen != name, "duplicate failpoint name '" +
+                                      std::string(name) + "' in list");
+    }
+    parsed.emplace_back(std::string(name), st);
+  }
+  std::lock_guard<std::mutex> lock(FailpointMu());
+  for (auto& [name, st] : parsed) Failpoints()[name] = st;
+  RecountArmed();
+}
+
 void ArmFailpointsFromEnv() {
   const char* env = std::getenv("PFD_FAILPOINTS");
   if (env == nullptr || *env == '\0') return;
+  // Per-entry tolerance: the variable reaches this code before main, so a
+  // typo in one entry must not crash every binary in the environment (and
+  // should still arm the well-formed entries). Each entry goes through the
+  // strict parser individually.
   std::string_view rest(env);
   while (!rest.empty()) {
     const std::size_t comma = rest.find(',');
-    std::string_view entry = rest.substr(0, comma);
+    const std::string_view entry = rest.substr(0, comma);
     rest = comma == std::string_view::npos ? std::string_view()
                                            : rest.substr(comma + 1);
-    const std::size_t eq = entry.find('=');
-    FailpointState st;
-    if (eq == std::string_view::npos || eq == 0 ||
-        !ParseSpec(entry.substr(eq + 1), st)) {
-      std::fprintf(stderr, "PFD_FAILPOINTS: ignoring malformed entry '%.*s'\n",
-                   static_cast<int>(entry.size()), entry.data());
-      continue;
+    try {
+      ArmFailpoints(entry);
+    } catch (const pfd::Error& e) {
+      std::fprintf(stderr, "PFD_FAILPOINTS: ignoring malformed entry: %s\n",
+                   e.what());
     }
-    std::lock_guard<std::mutex> lock(FailpointMu());
-    Failpoints()[std::string(entry.substr(0, eq))] = st;
-    RecountArmed();
   }
 }
 

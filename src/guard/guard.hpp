@@ -185,10 +185,16 @@ inline constexpr const char* kEngineFailpoints[] = {
 // hit number K throws, 0-based, counted per failpoint since arming).
 // Re-arming a name resets its hit counter. Throws pfd::Error on a bad spec.
 void ArmFailpoint(std::string_view name, std::string_view spec);
-// Parses $PFD_FAILPOINTS ("name=spec,name=spec"); malformed entries are
-// reported on stderr and skipped (the env var must never crash a run at
-// static-init time). Called automatically before main; call again after
-// changing the variable programmatically.
+// Parses and arms a whole "name=spec,name=spec" list (the $PFD_FAILPOINTS
+// syntax). Strict, all-or-nothing: throws pfd::Error — arming nothing — on
+// an empty entry, a missing '=' or name, a bad spec (anything but "throw"
+// or "throw@K": "@0", "throw@", non-digit or overflowing K, trailing
+// garbage), or a point name appearing twice in one list.
+void ArmFailpoints(std::string_view list);
+// Parses $PFD_FAILPOINTS entry by entry through the strict parser;
+// malformed entries are reported on stderr and skipped (the env var must
+// never crash a run at static-init time). Called automatically before
+// main; call again after changing the variable programmatically.
 void ArmFailpointsFromEnv();
 // Disarms everything and zeroes all hit counters.
 void ClearFailpoints();

@@ -1,0 +1,138 @@
+#include "logicsim/compiled.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace pfd::logicsim {
+
+using netlist::GateId;
+using netlist::GateKind;
+
+namespace {
+
+Op Specialize(GateKind kind, std::size_t arity) {
+  switch (kind) {
+    case GateKind::kBuf: return Op::kBuf;
+    case GateKind::kNot: return Op::kNot;
+    case GateKind::kAnd: return arity == 2 ? Op::kAnd2 : Op::kAndN;
+    case GateKind::kOr: return arity == 2 ? Op::kOr2 : Op::kOrN;
+    case GateKind::kNand: return arity == 2 ? Op::kNand2 : Op::kNandN;
+    case GateKind::kNor: return arity == 2 ? Op::kNor2 : Op::kNorN;
+    case GateKind::kXor: return Op::kXor2;
+    case GateKind::kXnor: return Op::kXnor2;
+    case GateKind::kMux2: return Op::kMux2;
+    default:
+      PFD_CHECK_MSG(false, "Specialize on non-combinational gate");
+      return Op::kBuf;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledNetlist> CompiledNetlist::Compile(
+    const netlist::Netlist& nl) {
+  nl.Validate();
+  auto prog = std::shared_ptr<CompiledNetlist>(new CompiledNetlist());
+  const std::size_t n = nl.size();
+  prog->num_gates_ = n;
+  prog->structural_hash_ = nl.StructuralHash();
+
+  prog->kind_.resize(n);
+  prog->is_comb_.resize(n);
+  for (GateId g = 0; g < n; ++g) {
+    const GateKind kind = nl.gate(g).kind;
+    prog->kind_[g] = kind;
+    prog->is_comb_[g] = netlist::IsCombinational(kind) ? 1 : 0;
+    switch (kind) {
+      case GateKind::kInput:
+        prog->input_ids_.push_back(g);
+        break;
+      case GateKind::kDff:
+        prog->dff_ids_.push_back(g);
+        prog->dff_d_.push_back(nl.Fanins(g)[0]);
+        break;
+      default:
+        break;
+    }
+  }
+  prog->source_ids_ = prog->input_ids_;
+  prog->source_ids_.insert(prog->source_ids_.end(), prog->dff_ids_.begin(),
+                           prog->dff_ids_.end());
+
+  // Levelize: level(g) = 1 + max level over combinational fanins (sources
+  // are level 0). CombinationalOrder is a valid topological order, so one
+  // forward pass computes every level.
+  std::vector<std::uint32_t> level_of(n, 0);
+  std::uint32_t max_level = 0;
+  const std::vector<GateId>& order = nl.CombinationalOrder();
+  for (GateId g : order) {
+    std::uint32_t lvl = 1;
+    for (GateId f : nl.Fanins(g)) {
+      if (prog->is_comb_[f]) lvl = std::max(lvl, level_of[f] + 1);
+    }
+    level_of[g] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+
+  // Bucket the instructions level-major; within a level keep id order so
+  // the layout (and therefore any evaluation-order-dependent observation)
+  // is deterministic.
+  const std::size_t num_comb = order.size();
+  std::vector<GateId> by_level(order);
+  std::sort(by_level.begin(), by_level.end(), [&](GateId a, GateId b) {
+    return level_of[a] != level_of[b] ? level_of[a] < level_of[b] : a < b;
+  });
+
+  prog->op_.reserve(num_comb);
+  prog->out_.reserve(num_comb);
+  prog->fanin_begin_.reserve(num_comb);
+  prog->fanin_count_.reserve(num_comb);
+  prog->levels_.resize(max_level);  // levels 1..max_level
+  std::uint32_t cursor = 0;
+  for (std::uint32_t lvl = 1; lvl <= max_level; ++lvl) {
+    Level& out_level = prog->levels_[lvl - 1];
+    out_level.begin = cursor;
+    while (cursor < by_level.size() && level_of[by_level[cursor]] == lvl) {
+      const GateId g = by_level[cursor];
+      const auto fanins = nl.Fanins(g);
+      prog->op_.push_back(Specialize(nl.gate(g).kind, fanins.size()));
+      prog->out_.push_back(g);
+      prog->fanin_begin_.push_back(
+          static_cast<std::uint32_t>(prog->fanins_.size()));
+      prog->fanin_count_.push_back(static_cast<std::uint32_t>(fanins.size()));
+      prog->fanins_.insert(prog->fanins_.end(), fanins.begin(), fanins.end());
+      ++cursor;
+    }
+    out_level.end = cursor;
+  }
+
+  // Combinational fanout adjacency (CSR over gate ids): which instructions
+  // read gate g. Counting pass, prefix sum, fill pass.
+  prog->fanout_begin_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < prog->op_.size(); ++i) {
+    const std::uint32_t begin = prog->fanin_begin_[i];
+    const std::uint32_t count = prog->fanin_count_[i];
+    for (std::uint32_t k = 0; k < count; ++k) {
+      ++prog->fanout_begin_[prog->fanins_[begin + k] + 1];
+    }
+  }
+  for (std::size_t g = 0; g < n; ++g) {
+    prog->fanout_begin_[g + 1] += prog->fanout_begin_[g];
+  }
+  prog->fanout_instrs_.resize(prog->fanout_begin_[n]);
+  std::vector<std::uint32_t> fill(prog->fanout_begin_.begin(),
+                                  prog->fanout_begin_.end() - 1);
+  for (std::size_t i = 0; i < prog->op_.size(); ++i) {
+    const std::uint32_t begin = prog->fanin_begin_[i];
+    const std::uint32_t count = prog->fanin_count_[i];
+    for (std::uint32_t k = 0; k < count; ++k) {
+      prog->fanout_instrs_[fill[prog->fanins_[begin + k]]++] =
+          static_cast<std::uint32_t>(i);
+    }
+  }
+
+  return prog;
+}
+
+}  // namespace pfd::logicsim

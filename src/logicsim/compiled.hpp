@@ -1,0 +1,138 @@
+// Compiled form of a netlist for the simulation hot path.
+//
+// `Netlist` is built for construction and analysis: per-gate structs, name
+// tables, span accessors. The settle loop wants none of that — it wants
+// contiguous instruction streams it can march through without pointer
+// chasing. `CompiledNetlist` levelizes the combinational gates (level =
+// 1 + max level of combinational fanins; sources are level 0) and lays the
+// instructions out level-major in structure-of-arrays form:
+//
+//   op_[i]           specialized opcode (And2 vs AndN, ...) — the generic
+//                    GateKind switch plus arity loop becomes one dispatch
+//   out_[i]          gate id whose value plane the instruction writes
+//   fanin_begin_[i]  } flattened fanin gate ids in fanins_
+//   fanin_count_[i]  }
+//
+// Level boundaries are preserved (levels()): within a level no instruction
+// reads another's output, which is what lets the simulator put cooperative
+// guard checkpoints between levels, and record a per-level "any X present"
+// watermark during three-valued settles.
+//
+// The compiled program also carries the data the per-cycle loop needs
+// without allocating: cached input/DFF/source id lists (Netlist::InputIds
+// returns a fresh vector per call), DFF D fanins, a combinational-fanout
+// adjacency (gate id -> instruction indices reading it) for the unit-delay
+// dirty worklist, and the netlist's StructuralHash for golden-trace cache
+// keys.
+//
+// A CompiledNetlist is immutable after Compile and shared by every copy of
+// the owning Simulator (shared_ptr<const>), so copying a warmed simulator —
+// the Monte Carlo power engine does this per batch — shares one program.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pfd::logicsim {
+
+// Specialized opcodes. The two-input forms of the commutative gates are by
+// far the most common after synthesis; splitting them from the N-ary forms
+// removes the inner fanin loop (and its trip-count branch) from most
+// instructions.
+enum class Op : std::uint8_t {
+  kBuf,
+  kNot,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kMux2,
+  kAndN,
+  kOrN,
+  kNandN,
+  kNorN,
+};
+
+class CompiledNetlist {
+ public:
+  // Half-open instruction range [begin, end) of one level.
+  struct Level {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  // Validates and compiles. The returned program is tied to the structure
+  // of `nl` at compile time; it holds no reference to the Netlist itself.
+  static std::shared_ptr<const CompiledNetlist> Compile(
+      const netlist::Netlist& nl);
+
+  std::size_t num_gates() const { return num_gates_; }
+  std::size_t num_instructions() const { return op_.size(); }
+
+  const std::vector<Level>& levels() const { return levels_; }
+
+  // Instruction streams (index = instruction position, level-major).
+  const std::vector<Op>& op() const { return op_; }
+  const std::vector<netlist::GateId>& out() const { return out_; }
+  const std::vector<std::uint32_t>& fanin_begin() const {
+    return fanin_begin_;
+  }
+  const std::vector<std::uint32_t>& fanin_count() const {
+    return fanin_count_;
+  }
+  const std::vector<netlist::GateId>& fanins() const { return fanins_; }
+
+  // Cached id lists (creation order, matching Netlist::InputIds/DffIds).
+  const std::vector<netlist::GateId>& input_ids() const { return input_ids_; }
+  const std::vector<netlist::GateId>& dff_ids() const { return dff_ids_; }
+  // D-pin fanin of dff_ids()[k].
+  const std::vector<netlist::GateId>& dff_d() const { return dff_d_; }
+  // Inputs and DFFs — the gates whose known-planes decide two-valued
+  // eligibility (constants are known from Reset and never revert).
+  const std::vector<netlist::GateId>& source_ids() const {
+    return source_ids_;
+  }
+
+  // Combinational fanout adjacency: instruction indices reading gate g's
+  // output, for g in [0, num_gates). CSR layout.
+  const std::vector<std::uint32_t>& fanout_begin() const {
+    return fanout_begin_;
+  }
+  const std::vector<std::uint32_t>& fanout_instrs() const {
+    return fanout_instrs_;
+  }
+
+  // Per-gate kind snapshot (avoids touching the Netlist on the hot path).
+  const std::vector<netlist::GateKind>& kind() const { return kind_; }
+  // 1 for combinational gates (kBuf..kMux2).
+  const std::vector<std::uint8_t>& is_comb() const { return is_comb_; }
+
+  std::uint64_t structural_hash() const { return structural_hash_; }
+
+ private:
+  CompiledNetlist() = default;
+
+  std::size_t num_gates_ = 0;
+  std::vector<Level> levels_;
+  std::vector<Op> op_;
+  std::vector<netlist::GateId> out_;
+  std::vector<std::uint32_t> fanin_begin_;
+  std::vector<std::uint32_t> fanin_count_;
+  std::vector<netlist::GateId> fanins_;
+  std::vector<netlist::GateId> input_ids_;
+  std::vector<netlist::GateId> dff_ids_;
+  std::vector<netlist::GateId> dff_d_;
+  std::vector<netlist::GateId> source_ids_;
+  std::vector<std::uint32_t> fanout_begin_;
+  std::vector<std::uint32_t> fanout_instrs_;
+  std::vector<netlist::GateKind> kind_;
+  std::vector<std::uint8_t> is_comb_;
+  std::uint64_t structural_hash_ = 0;
+};
+
+}  // namespace pfd::logicsim

@@ -1,0 +1,61 @@
+#include "logicsim/golden_cache.hpp"
+
+#include "obs/obs.hpp"
+
+namespace pfd::logicsim {
+
+GoldenTraceCache& GoldenTraceCache::Global() {
+  static GoldenTraceCache* cache = new GoldenTraceCache();
+  return *cache;
+}
+
+std::shared_ptr<const GoldenEntry> GoldenTraceCache::Find(
+    const GoldenKey& key) {
+  std::shared_ptr<const GoldenEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) entry = it->second;
+  }
+  if (obs::Enabled()) {
+    obs::Registry::Global()
+        .GetCounter(entry != nullptr ? "logicsim.golden_cache.hits"
+                                     : "logicsim.golden_cache.misses")
+        .Add(1);
+  }
+  return entry;
+}
+
+void GoldenTraceCache::Insert(const GoldenKey& key,
+                              std::shared_ptr<const GoldenEntry> entry) {
+  if (entry == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // First insert wins: concurrent producers computed identical artefacts,
+    // so keeping the incumbent preserves pointer stability for held refs.
+    if (!entries_.emplace(key, std::move(entry)).second) return;
+    insertion_order_.push_back(key);
+    while (entries_.size() > kMaxEntries) {
+      entries_.erase(insertion_order_.front());
+      insertion_order_.erase(insertion_order_.begin());
+    }
+  }
+  if (obs::Enabled()) {
+    obs::Registry::Global()
+        .GetCounter("logicsim.golden_cache.insertions")
+        .Add(1);
+  }
+}
+
+std::size_t GoldenTraceCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void GoldenTraceCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+}
+
+}  // namespace pfd::logicsim

@@ -1,0 +1,118 @@
+// Process-wide memoization of fault-free ("golden") reference artefacts.
+//
+// Every engine in the flow re-derives the same fault-free machine over and
+// over: pipeline step 3 extracts the golden control trace, the serial fault
+// engine simulates a golden response pass per campaign, SFR grading runs a
+// fault-free Monte Carlo power baseline, and the benches repeat all of the
+// above per iteration. The inputs are identical each time — same netlist,
+// same stimulus, same cycle count — and the engines are deterministic, so
+// the outputs are bit-identical. This cache keys those artefacts by
+//
+//   GoldenKey{netlist hash, stimulus hash, cycles}
+//
+// where the netlist component is netlist::Netlist::StructuralHash() and the
+// stimulus component is a caller-built Fnv1a digest of *everything else
+// that feeds the run* (pattern seed and count, reset protocol, observed
+// nets, pinned inputs, Monte Carlo configuration, ... — each consumer
+// documents its digest at the call site, and starts it with a distinct
+// domain tag so different consumers can never collide). Any structural
+// edit, pattern change, or configuration change lands on a new key; stale
+// entries are never returned, only evicted.
+//
+// Entries are immutable shared_ptrs, so a hit is a pointer copy under one
+// mutex acquisition. Consumers must only insert results of *clean* runs
+// (no guard trip, no failed unit): a partial artefact under a complete
+// key would poison every later lookup.
+//
+// Consumers must keep their own request-level accounting (obs counters,
+// metrics) identical on hit and miss; only the simulation itself is
+// skipped. The cache bumps logicsim.golden_cache.{hits,misses,insertions}
+// when the obs registry is enabled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logic.hpp"
+
+namespace pfd::logicsim {
+
+struct GoldenKey {
+  std::uint64_t netlist_hash = 0;
+  std::uint64_t stimulus_hash = 0;
+  std::uint64_t cycles = 0;
+
+  friend bool operator==(const GoldenKey&, const GoldenKey&) = default;
+};
+
+// One memoized fault-free artefact. The cache is a dumb content-addressed
+// store: `trits` carries ternary traces (strobed responses, control-line
+// rows), `scalars`/`counts` carry numeric summaries (the grading power
+// baseline). Each consumer owns the layout of the fields it uses.
+struct GoldenEntry {
+  std::vector<Trit> trits;
+  std::vector<double> scalars;
+  std::vector<std::uint64_t> counts;
+};
+
+// Streaming FNV-1a (64-bit) for building stimulus digests. Feed fixed-width
+// values only (Add(std::uint64_t)) so digests are layout-independent.
+class Fnv1a {
+ public:
+  Fnv1a& Add(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (v >> (8 * byte)) & 0xFF;
+      hash_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+  Fnv1a& AddBytes(const char* data, std::size_t size) {
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= static_cast<unsigned char>(data[i]);
+      hash_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class GoldenTraceCache {
+ public:
+  // FIFO eviction above this many entries: the working set of a campaign
+  // is a handful of keys; the cap only bounds pathological churn.
+  static constexpr std::size_t kMaxEntries = 128;
+
+  static GoldenTraceCache& Global();
+
+  // Returns the entry for `key`, or nullptr on miss.
+  std::shared_ptr<const GoldenEntry> Find(const GoldenKey& key);
+  // Registers `entry` under `key` (first insert wins on a race). Only call
+  // with artefacts of clean, untripped runs.
+  void Insert(const GoldenKey& key, std::shared_ptr<const GoldenEntry> entry);
+
+  std::size_t size() const;
+  // Drops every entry (tests; long-lived processes cycling many netlists).
+  void Clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const GoldenKey& k) const {
+      Fnv1a h;
+      h.Add(k.netlist_hash).Add(k.stimulus_hash).Add(k.cycles);
+      return static_cast<std::size_t>(h.hash());
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<GoldenKey, std::shared_ptr<const GoldenEntry>, KeyHash>
+      entries_;
+  std::vector<GoldenKey> insertion_order_;
+};
+
+}  // namespace pfd::logicsim

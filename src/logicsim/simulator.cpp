@@ -1,202 +1,538 @@
 #include "logicsim/simulator.hpp"
 
+#include <algorithm>
 #include <bit>
+
+#include "guard/guard.hpp"
 
 namespace pfd::logicsim {
 
 using netlist::GateId;
 using netlist::GateKind;
 
-Simulator::Simulator(const netlist::Netlist& nl) : nl_(&nl) {
-  nl.Validate();
+Simulator::Simulator(const netlist::Netlist& nl)
+    : nl_(&nl), prog_(CompiledNetlist::Compile(nl)) {
   obs::Registry& reg = obs::Registry::Global();
   obs_cycles_ = &reg.GetCounter("logicsim.cycles");
   obs_gate_evals_ = &reg.GetCounter("logicsim.gate_evals");
   obs_substeps_ = &reg.GetCounter("logicsim.settle_substeps");
+  obs_two_valued_ = &reg.GetCounter("logicsim.two_valued_steps");
   if (reg.enabled()) reg.GetCounter("logicsim.simulators").Add(1);
   const std::size_t n = nl.size();
-  value_.assign(n, kAllX);
-  dff_next_.assign(n, kAllX);
-  prev_value_.assign(n, kAllX);
+  val_.assign(n, 0);
+  known_.assign(n, 0);
+  dff_next_val_.assign(n, 0);
+  dff_next_known_.assign(n, 0);
+  prev_val_.assign(n, 0);
+  prev_known_.assign(n, 0);
   out_sa0_.assign(n, 0);
   out_sa1_.assign(n, 0);
   has_pin_force_.assign(n, 0);
+  level_x_.assign(prog_->levels().size(), 0);
   toggles_.assign(n, 0);
   duty_.assign(n, 0);
+  ud_flag_.assign(prog_->num_instructions(), 0);
   Reset();
 }
 
 void Simulator::Reset() {
-  for (std::size_t g = 0; g < value_.size(); ++g) {
-    const GateKind kind = nl_->gate(static_cast<GateId>(g)).kind;
+  const auto& kinds = prog_->kind();
+  for (std::size_t g = 0; g < val_.size(); ++g) {
     Word3 w = kAllX;
-    if (kind == GateKind::kConst0) w = kAllZero;
-    if (kind == GateKind::kConst1) w = kAllOne;
-    value_[g] = w;
-    dff_next_[g] = kAllX;
-    prev_value_[g] = w;
+    if (kinds[g] == GateKind::kConst0) w = kAllZero;
+    if (kinds[g] == GateKind::kConst1) w = kAllOne;
+    val_[g] = w.val;
+    known_[g] = w.known;
+    dff_next_val_[g] = 0;
+    dff_next_known_[g] = 0;
+    prev_val_[g] = w.val;
+    prev_known_[g] = w.known;
     toggles_[g] = 0;
     duty_[g] = 0;
   }
+  std::fill(level_x_.begin(), level_x_.end(), 0);
   cycles_ = 0;
+  two_valued_ = false;
+  knowns_saturated_ = false;
+  prev_fully_known_ = false;
+  ud_all_dirty_ = true;
+  DropPendingDirt();
+}
+
+void Simulator::MarkSourceDirty(GateId g) {
+  if (ud_all_dirty_) return;
+  const auto& begin = prog_->fanout_begin();
+  const auto& instrs = prog_->fanout_instrs();
+  for (std::uint32_t k = begin[g]; k < begin[g + 1]; ++k) {
+    const std::uint32_t i = instrs[k];
+    if (!ud_flag_[i]) {
+      ud_flag_[i] = 1;
+      ud_pending_.push_back(i);
+    }
+  }
+}
+
+void Simulator::DropPendingDirt() {
+  for (std::uint32_t i : ud_pending_) ud_flag_[i] = 0;
+  ud_pending_.clear();
 }
 
 void Simulator::SetInput(GateId input, Word3 w) {
-  PFD_CHECK_MSG(nl_->gate(input).kind == GateKind::kInput,
+  PFD_CHECK_MSG(prog_->kind()[input] == GateKind::kInput,
                 "SetInput on a non-input gate");
   PFD_CHECK_MSG(IsCanonical(w), "non-canonical input word");
-  value_[input] = w;
+  if (unit_delay_ && (val_[input] != w.val || known_[input] != w.known)) {
+    MarkSourceDirty(input);
+  }
+  val_[input] = w.val;
+  known_[input] = w.known;
 }
 
-Word3 Simulator::ReadFanin(GateId g, std::uint32_t pin, GateId src) const {
-  Word3 w = value_[src];
-  if (has_pin_force_[g]) {
-    for (const PinForce& pf : pin_forces_) {
-      if (pf.gate == g && pf.pin == pin) {
-        w = ApplyForce(w, pf.sa0, pf.sa1);
-      }
-    }
+Word3 Simulator::ReadFanin3(GateId g, std::uint32_t pin, GateId src) const {
+  Word3 w = Load(src);
+  for (const PinForce& pf : pin_forces_) {
+    if (pf.gate == g && pf.pin == pin) w = ApplyForce(w, pf.sa0, pf.sa1);
   }
   return w;
 }
 
-Word3 Simulator::EvalGate(GateId g) const {
-  const auto fanins = nl_->Fanins(g);
-  const GateKind kind = nl_->gate(g).kind;
-  switch (kind) {
-    case GateKind::kBuf:
-      return ReadFanin(g, 0, fanins[0]);
-    case GateKind::kNot:
-      return Not3(ReadFanin(g, 0, fanins[0]));
-    case GateKind::kAnd:
-    case GateKind::kNand: {
-      Word3 w = ReadFanin(g, 0, fanins[0]);
-      for (std::uint32_t i = 1; i < fanins.size(); ++i) {
-        w = And3(w, ReadFanin(g, i, fanins[i]));
-      }
-      return kind == GateKind::kNand ? Not3(w) : w;
+std::uint64_t Simulator::ReadFanin2(GateId g, std::uint32_t pin,
+                                    GateId src) const {
+  std::uint64_t v = val_[src];
+  for (const PinForce& pf : pin_forces_) {
+    if (pf.gate == g && pf.pin == pin) v = (v | pf.sa1) & ~pf.sa0;
+  }
+  return v;
+}
+
+Word3 Simulator::EvalInstr3(std::uint32_t i) const {
+  const CompiledNetlist& p = *prog_;
+  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
+  switch (p.op()[i]) {
+    case Op::kBuf: return Load(f[0]);
+    case Op::kNot: return Not3(Load(f[0]));
+    case Op::kAnd2: return And3(Load(f[0]), Load(f[1]));
+    case Op::kOr2: return Or3(Load(f[0]), Load(f[1]));
+    case Op::kNand2: return Not3(And3(Load(f[0]), Load(f[1])));
+    case Op::kNor2: return Not3(Or3(Load(f[0]), Load(f[1])));
+    case Op::kXor2: return Xor3(Load(f[0]), Load(f[1]));
+    case Op::kXnor2: return Xnor3(Load(f[0]), Load(f[1]));
+    case Op::kMux2: return Mux3(Load(f[0]), Load(f[1]), Load(f[2]));
+    case Op::kAndN:
+    case Op::kNandN: {
+      Word3 w = Load(f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) w = And3(w, Load(f[k]));
+      return p.op()[i] == Op::kNandN ? Not3(w) : w;
     }
-    case GateKind::kOr:
-    case GateKind::kNor: {
-      Word3 w = ReadFanin(g, 0, fanins[0]);
-      for (std::uint32_t i = 1; i < fanins.size(); ++i) {
-        w = Or3(w, ReadFanin(g, i, fanins[i]));
-      }
-      return kind == GateKind::kNor ? Not3(w) : w;
+    case Op::kOrN:
+    case Op::kNorN: {
+      Word3 w = Load(f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) w = Or3(w, Load(f[k]));
+      return p.op()[i] == Op::kNorN ? Not3(w) : w;
     }
-    case GateKind::kXor:
-      return Xor3(ReadFanin(g, 0, fanins[0]), ReadFanin(g, 1, fanins[1]));
-    case GateKind::kXnor:
-      return Xnor3(ReadFanin(g, 0, fanins[0]), ReadFanin(g, 1, fanins[1]));
-    case GateKind::kMux2:
-      return Mux3(ReadFanin(g, 0, fanins[0]), ReadFanin(g, 1, fanins[1]),
-                  ReadFanin(g, 2, fanins[2]));
-    default:
-      PFD_CHECK_MSG(false, "EvalGate on non-combinational gate");
-      return kAllX;
+  }
+  return kAllX;
+}
+
+Word3 Simulator::EvalInstrPinForced3(std::uint32_t i) const {
+  const CompiledNetlist& p = *prog_;
+  const GateId g = p.out()[i];
+  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
+  switch (p.op()[i]) {
+    case Op::kBuf: return ReadFanin3(g, 0, f[0]);
+    case Op::kNot: return Not3(ReadFanin3(g, 0, f[0]));
+    case Op::kAnd2:
+      return And3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]));
+    case Op::kOr2: return Or3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]));
+    case Op::kNand2:
+      return Not3(And3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1])));
+    case Op::kNor2:
+      return Not3(Or3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1])));
+    case Op::kXor2:
+      return Xor3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]));
+    case Op::kXnor2:
+      return Xnor3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]));
+    case Op::kMux2:
+      return Mux3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]),
+                  ReadFanin3(g, 2, f[2]));
+    case Op::kAndN:
+    case Op::kNandN: {
+      Word3 w = ReadFanin3(g, 0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) {
+        w = And3(w, ReadFanin3(g, k, f[k]));
+      }
+      return p.op()[i] == Op::kNandN ? Not3(w) : w;
+    }
+    case Op::kOrN:
+    case Op::kNorN: {
+      Word3 w = ReadFanin3(g, 0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) {
+        w = Or3(w, ReadFanin3(g, k, f[k]));
+      }
+      return p.op()[i] == Op::kNorN ? Not3(w) : w;
+    }
+  }
+  return kAllX;
+}
+
+std::uint64_t Simulator::EvalInstr2(std::uint32_t i) const {
+  const CompiledNetlist& p = *prog_;
+  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
+  const std::uint64_t* v = val_.data();
+  switch (p.op()[i]) {
+    case Op::kBuf: return v[f[0]];
+    case Op::kNot: return ~v[f[0]];
+    case Op::kAnd2: return v[f[0]] & v[f[1]];
+    case Op::kOr2: return v[f[0]] | v[f[1]];
+    case Op::kNand2: return ~(v[f[0]] & v[f[1]]);
+    case Op::kNor2: return ~(v[f[0]] | v[f[1]]);
+    case Op::kXor2: return v[f[0]] ^ v[f[1]];
+    case Op::kXnor2: return ~(v[f[0]] ^ v[f[1]]);
+    case Op::kMux2: {
+      const std::uint64_t sel = v[f[0]];
+      return (v[f[1]] & ~sel) | (v[f[2]] & sel);
+    }
+    case Op::kAndN:
+    case Op::kNandN: {
+      std::uint64_t acc = v[f[0]];
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) acc &= v[f[k]];
+      return p.op()[i] == Op::kNandN ? ~acc : acc;
+    }
+    case Op::kOrN:
+    case Op::kNorN: {
+      std::uint64_t acc = v[f[0]];
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) acc |= v[f[k]];
+      return p.op()[i] == Op::kNorN ? ~acc : acc;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t Simulator::EvalInstrPinForced2(std::uint32_t i) const {
+  const CompiledNetlist& p = *prog_;
+  const GateId g = p.out()[i];
+  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
+  switch (p.op()[i]) {
+    case Op::kBuf: return ReadFanin2(g, 0, f[0]);
+    case Op::kNot: return ~ReadFanin2(g, 0, f[0]);
+    case Op::kAnd2: return ReadFanin2(g, 0, f[0]) & ReadFanin2(g, 1, f[1]);
+    case Op::kOr2: return ReadFanin2(g, 0, f[0]) | ReadFanin2(g, 1, f[1]);
+    case Op::kNand2:
+      return ~(ReadFanin2(g, 0, f[0]) & ReadFanin2(g, 1, f[1]));
+    case Op::kNor2:
+      return ~(ReadFanin2(g, 0, f[0]) | ReadFanin2(g, 1, f[1]));
+    case Op::kXor2: return ReadFanin2(g, 0, f[0]) ^ ReadFanin2(g, 1, f[1]);
+    case Op::kXnor2:
+      return ~(ReadFanin2(g, 0, f[0]) ^ ReadFanin2(g, 1, f[1]));
+    case Op::kMux2: {
+      const std::uint64_t sel = ReadFanin2(g, 0, f[0]);
+      return (ReadFanin2(g, 1, f[1]) & ~sel) | (ReadFanin2(g, 2, f[2]) & sel);
+    }
+    case Op::kAndN:
+    case Op::kNandN: {
+      std::uint64_t acc = ReadFanin2(g, 0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) acc &= ReadFanin2(g, k, f[k]);
+      return p.op()[i] == Op::kNandN ? ~acc : acc;
+    }
+    case Op::kOrN:
+    case Op::kNorN: {
+      std::uint64_t acc = ReadFanin2(g, 0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) acc |= ReadFanin2(g, k, f[k]);
+      return p.op()[i] == Op::kNorN ? ~acc : acc;
+    }
+  }
+  return 0;
+}
+
+void Simulator::ProbeGuard() const {
+  if (guard_probe_ != nullptr && guard_probe_->tripped()) {
+    throw guard::Tripped{guard_probe_->status()};
+  }
+}
+
+template <bool kForces>
+void Simulator::SettleThreeValued() {
+  const CompiledNetlist& p = *prog_;
+  const auto& levels = p.levels();
+  const GateId* out = p.out().data();
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    std::uint64_t xmask = 0;
+    const std::uint32_t end = levels[li].end;
+    for (std::uint32_t i = levels[li].begin; i < end; ++i) {
+      const GateId g = out[i];
+      Word3 w;
+      if (kForces && has_pin_force_[g]) {
+        w = EvalInstrPinForced3(i);
+      } else {
+        w = EvalInstr3(i);
+      }
+      if constexpr (kForces) {
+        const std::uint64_t sa0 = out_sa0_[g];
+        const std::uint64_t sa1 = out_sa1_[g];
+        if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+      }
+      val_[g] = w.val;
+      known_[g] = w.known;
+      xmask |= ~w.known;
+    }
+    level_x_[li] = xmask;
+    ProbeGuard();
+  }
+}
+
+template <bool kForces>
+void Simulator::SettleTwoValued() {
+  const CompiledNetlist& p = *prog_;
+  const auto& levels = p.levels();
+  const GateId* out = p.out().data();
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const std::uint32_t end = levels[li].end;
+    for (std::uint32_t i = levels[li].begin; i < end; ++i) {
+      const GateId g = out[i];
+      std::uint64_t v;
+      if (kForces && has_pin_force_[g]) {
+        v = EvalInstrPinForced2(i);
+      } else {
+        v = EvalInstr2(i);
+      }
+      if constexpr (kForces) {
+        v = (v | out_sa1_[g]) & ~out_sa0_[g];
+      }
+      val_[g] = v;
+    }
+    ProbeGuard();
+  }
+}
+
+void Simulator::SettleUnitDelay(std::uint64_t& substeps,
+                                std::uint64_t& evals) {
+  const CompiledNetlist& p = *prog_;
+  const GateId* out = p.out().data();
+  const auto& fanout_begin = p.fanout_begin();
+  const auto& fanout_instrs = p.fanout_instrs();
+
+  ud_frontier_.clear();
+  if (ud_all_dirty_) {
+    DropPendingDirt();
+    ud_frontier_.resize(p.num_instructions());
+    for (std::uint32_t i = 0; i < ud_frontier_.size(); ++i) {
+      ud_frontier_[i] = i;
+    }
+    ud_all_dirty_ = false;
+  } else {
+    ud_frontier_.swap(ud_pending_);
+    for (std::uint32_t i : ud_frontier_) ud_flag_[i] = 0;
+  }
+
+  // Acyclic logic stabilises within depth+1 sub-steps; the bound only
+  // protects against structural corruption.
+  const std::size_t bound = p.num_instructions() + 1;
+  std::size_t rounds = 0;
+  while (!ud_frontier_.empty()) {
+    PFD_CHECK_MSG(rounds++ <= bound, "unit-delay settle did not stabilise");
+    ++substeps;
+    evals += ud_frontier_.size();
+
+    // Jacobi sub-step: evaluate the whole frontier against the previous
+    // sub-step's planes before committing anything, so evaluation order
+    // within a sub-step cannot matter.
+    ud_scratch_val_.resize(ud_frontier_.size());
+    ud_scratch_known_.resize(ud_frontier_.size());
+    for (std::size_t k = 0; k < ud_frontier_.size(); ++k) {
+      const std::uint32_t i = ud_frontier_[k];
+      const GateId g = out[i];
+      Word3 w;
+      if (has_any_force_ && has_pin_force_[g]) {
+        w = EvalInstrPinForced3(i);
+      } else {
+        w = EvalInstr3(i);
+      }
+      if (has_any_force_) {
+        const std::uint64_t sa0 = out_sa0_[g];
+        const std::uint64_t sa1 = out_sa1_[g];
+        if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+      }
+      ud_scratch_val_[k] = w.val;
+      ud_scratch_known_[k] = w.known;
+    }
+
+    ud_next_.clear();
+    for (std::size_t k = 0; k < ud_frontier_.size(); ++k) {
+      const std::uint32_t i = ud_frontier_[k];
+      const GateId g = out[i];
+      const std::uint64_t nv = ud_scratch_val_[k];
+      const std::uint64_t nk = ud_scratch_known_[k];
+      if (nv == val_[g] && nk == known_[g]) continue;
+      if (count_toggles_) {
+        toggles_[g] += static_cast<std::uint64_t>(
+            std::popcount((val_[g] ^ nv) & known_[g] & nk));
+      }
+      val_[g] = nv;
+      known_[g] = nk;
+      for (std::uint32_t fk = fanout_begin[g]; fk < fanout_begin[g + 1];
+           ++fk) {
+        const std::uint32_t j = fanout_instrs[fk];
+        if (!ud_flag_[j]) {
+          ud_flag_[j] = 1;
+          ud_next_.push_back(j);
+        }
+      }
+    }
+    ud_frontier_.swap(ud_next_);
+    for (std::uint32_t i : ud_frontier_) ud_flag_[i] = 0;
+    ProbeGuard();
   }
 }
 
 void Simulator::Step() {
+  const CompiledNetlist& p = *prog_;
+  const auto& dff_ids = p.dff_ids();
+  const auto& dff_d = p.dff_d();
+
   // 1. Clock edge: DFFs take on the value captured at the end of the
   //    previous cycle. (First cycle: they stay at their power-up X.)
   if (cycles_ > 0) {
-    for (GateId d : nl_->DffIds()) {
-      Word3 w = dff_next_[d];
-      const std::uint64_t sa0 = out_sa0_[d];
-      const std::uint64_t sa1 = out_sa1_[d];
-      if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
-      value_[d] = w;
+    for (GateId d : dff_ids) {
+      std::uint64_t v = dff_next_val_[d];
+      std::uint64_t kn = dff_next_known_[d];
+      if (has_any_force_) {
+        const std::uint64_t sa0 = out_sa0_[d];
+        const std::uint64_t sa1 = out_sa1_[d];
+        if ((sa0 | sa1) != 0) {
+          kn |= sa0 | sa1;
+          v = (v | sa1) & ~sa0;
+        }
+      }
+      if (unit_delay_ && (v != val_[d] || kn != known_[d])) {
+        MarkSourceDirty(d);
+      }
+      val_[d] = v;
+      known_[d] = kn;
     }
-  } else {
-    for (GateId d : nl_->DffIds()) {
+  } else if (has_any_force_) {
+    for (GateId d : dff_ids) {
       const std::uint64_t sa0 = out_sa0_[d];
       const std::uint64_t sa1 = out_sa1_[d];
-      if ((sa0 | sa1) != 0) value_[d] = ApplyForce(value_[d], sa0, sa1);
+      if ((sa0 | sa1) != 0) {
+        Store(d, ApplyForce(Load(d), sa0, sa1));
+      }
     }
   }
 
   // 2. Inputs may carry output forces too (a stuck primary input).
-  for (GateId in : nl_->InputIds()) {
-    const std::uint64_t sa0 = out_sa0_[in];
-    const std::uint64_t sa1 = out_sa1_[in];
-    if ((sa0 | sa1) != 0) value_[in] = ApplyForce(value_[in], sa0, sa1);
-  }
-
-  // 3. Combinational settle.
-  std::uint64_t settle_substeps = 0;  // unit-delay only
-  if (!unit_delay_) {
-    // Zero-delay: settle once in topological order.
-    for (GateId g : nl_->CombinationalOrder()) {
-      Word3 w = EvalGate(g);
-      const std::uint64_t sa0 = out_sa0_[g];
-      const std::uint64_t sa1 = out_sa1_[g];
-      if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
-      value_[g] = w;
-    }
-  } else {
-    // Unit-delay: each sub-step evaluates every gate from the previous
-    // sub-step's values, counting every intermediate (glitch) transition.
-    // Acyclic logic stabilises within depth+1 sub-steps.
-    sub_next_ = value_;
-    const auto& order = nl_->CombinationalOrder();
-    for (std::size_t substep = 0; substep <= order.size(); ++substep) {
-      ++settle_substeps;
-      bool changed = false;
-      for (GateId g : order) {
-        Word3 w = EvalGate(g);  // reads value_ = previous sub-step
-        const std::uint64_t sa0 = out_sa0_[g];
-        const std::uint64_t sa1 = out_sa1_[g];
-        if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
-        if (!(w == value_[g])) changed = true;
-        sub_next_[g] = w;
-      }
-      if (!changed) break;
-      if (count_toggles_) {
-        for (GateId g : order) {
-          const Word3 prev = value_[g];
-          const Word3 cur = sub_next_[g];
-          toggles_[g] += static_cast<std::uint64_t>(
-              std::popcount((prev.val ^ cur.val) & prev.known & cur.known));
+  if (has_any_force_) {
+    for (GateId in : p.input_ids()) {
+      const std::uint64_t sa0 = out_sa0_[in];
+      const std::uint64_t sa1 = out_sa1_[in];
+      if ((sa0 | sa1) != 0) {
+        const Word3 w = ApplyForce(Load(in), sa0, sa1);
+        if (unit_delay_ && (w.val != val_[in] || w.known != known_[in])) {
+          MarkSourceDirty(in);
         }
+        Store(in, w);
       }
-      std::swap(value_, sub_next_);
     }
   }
 
-  // 4. Switching activity: one potential transition per net per cycle in
+  // 3. Pick the settle mode. The fast path is exact: when every source is
+  //    fully known, every Word3 operator (and every force) produces fully
+  //    known outputs, so the known planes would all saturate anyway — we
+  //    saturate them once on entry and stop maintaining them.
+  bool two_valued = false;
+  if (!unit_delay_) {
+    std::uint64_t unknown = 0;
+    for (GateId s : p.source_ids()) unknown |= ~known_[s];
+    two_valued = unknown == 0;
+    if (two_valued && !knowns_saturated_) {
+      std::fill(known_.begin(), known_.end(), ~0ULL);
+      std::fill(level_x_.begin(), level_x_.end(), 0);
+      knowns_saturated_ = true;
+    }
+    if (!two_valued) knowns_saturated_ = false;
+  } else {
+    knowns_saturated_ = false;
+  }
+
+  // 4. Combinational settle.
+  std::uint64_t settle_substeps = 0;  // unit-delay only
+  std::uint64_t gate_evals = 0;
+  if (!unit_delay_) {
+    if (two_valued) {
+      has_any_force_ ? SettleTwoValued<true>() : SettleTwoValued<false>();
+    } else {
+      has_any_force_ ? SettleThreeValued<true>() : SettleThreeValued<false>();
+    }
+    gate_evals = p.num_instructions();
+    // Everything is settled, so dirt queued for the unit-delay worklist
+    // (input edits, DFF commits) is consumed.
+    DropPendingDirt();
+    ud_all_dirty_ = false;
+  } else {
+    SettleUnitDelay(settle_substeps, gate_evals);
+  }
+  two_valued_ = two_valued;
+
+  // 5. Switching activity: one potential transition per net per cycle in
   //    the zero-delay model; the unit-delay path already counted
   //    combinational (glitch) transitions per sub-step, so here it only
   //    accounts the sequential/input nets and the duty cycle.
   if (count_toggles_) {
-    for (std::size_t g = 0; g < value_.size(); ++g) {
-      const Word3 cur = value_[g];
-      if (!unit_delay_ ||
-          !netlist::IsCombinational(nl_->gate(static_cast<GateId>(g)).kind)) {
-        const Word3 prev = prev_value_[g];
-        const std::uint64_t both_known = prev.known & cur.known;
-        toggles_[g] += static_cast<std::uint64_t>(
-            std::popcount((prev.val ^ cur.val) & both_known));
+    const std::size_t n = val_.size();
+    if (two_valued && prev_fully_known_) {
+      // Steady-state fast path: every lane of every net is known, in this
+      // cycle and the previous one.
+      for (std::size_t g = 0; g < n; ++g) {
+        toggles_[g] +=
+            static_cast<std::uint64_t>(std::popcount(prev_val_[g] ^ val_[g]));
+        duty_[g] += static_cast<std::uint64_t>(std::popcount(val_[g]));
       }
-      duty_[g] += static_cast<std::uint64_t>(
-          std::popcount(cur.val & cur.known));
+      prev_val_ = val_;
+    } else {
+      const auto& is_comb = p.is_comb();
+      for (std::size_t g = 0; g < n; ++g) {
+        const std::uint64_t cur_v = val_[g];
+        const std::uint64_t cur_k = known_[g];
+        if (!unit_delay_ || !is_comb[g]) {
+          toggles_[g] += static_cast<std::uint64_t>(std::popcount(
+              (prev_val_[g] ^ cur_v) & prev_known_[g] & cur_k));
+        }
+        duty_[g] +=
+            static_cast<std::uint64_t>(std::popcount(cur_v & cur_k));
+      }
+      prev_val_ = val_;
+      prev_known_ = known_;
     }
-    prev_value_ = value_;
+    prev_fully_known_ = two_valued;
   }
 
-  // 5. Capture next DFF state from the settled D pins (with pin forces).
-  for (GateId d : nl_->DffIds()) {
-    dff_next_[d] = ReadFanin(d, 0, nl_->Fanins(d)[0]);
+  // 6. Capture next DFF state from the settled D pins (with pin forces).
+  for (std::size_t k = 0; k < dff_ids.size(); ++k) {
+    const GateId d = dff_ids[k];
+    Word3 w = Load(dff_d[k]);
+    if (has_pin_force_[d]) {
+      for (const PinForce& pf : pin_forces_) {
+        if (pf.gate == d && pf.pin == 0) w = ApplyForce(w, pf.sa0, pf.sa1);
+      }
+    }
+    dff_next_val_[d] = w.val;
+    dff_next_known_[d] = w.known;
   }
 
   // Counter updates happen once per Step (64 machine-cycles), so the guard
   // is a single relaxed load per ~N gate evaluations.
   if (obs::Enabled()) {
-    const std::uint64_t order_size = nl_->CombinationalOrder().size();
     obs_cycles_->Add(1);
-    obs_gate_evals_->Add(unit_delay_ ? settle_substeps * order_size
-                                     : order_size);
+    obs_gate_evals_->Add(gate_evals);
     if (unit_delay_) obs_substeps_->Add(settle_substeps);
+    if (two_valued) obs_two_valued_->Add(1);
   }
 
   ++cycles_;
@@ -209,12 +545,16 @@ void Simulator::ForceOutput(GateId g, Trit value, std::uint64_t lane_mask) {
   } else {
     out_sa1_[g] |= lane_mask;
   }
+  has_any_force_ = true;
+  ud_all_dirty_ = true;
 }
 
 void Simulator::ForcePin(GateId g, std::uint32_t pin, Trit value,
                          std::uint64_t lane_mask) {
   PFD_CHECK_MSG(value != Trit::kX, "cannot force X");
   PFD_CHECK_MSG(pin < nl_->Fanins(g).size(), "pin out of range");
+  has_any_force_ = true;
+  ud_all_dirty_ = true;
   for (PinForce& pf : pin_forces_) {
     if (pf.gate == g && pf.pin == pin) {
       (value == Trit::kZero ? pf.sa0 : pf.sa1) |= lane_mask;
@@ -232,12 +572,18 @@ void Simulator::ClearForces() {
   std::fill(out_sa1_.begin(), out_sa1_.end(), 0);
   std::fill(has_pin_force_.begin(), has_pin_force_.end(), 0);
   pin_forces_.clear();
+  has_any_force_ = false;
+  ud_all_dirty_ = true;
 }
 
 void Simulator::EnableToggleCounting(bool enable) {
   // Sync the snapshot so enabling mid-run does not count a bogus transition
   // from stale values.
-  if (enable && !count_toggles_) prev_value_ = value_;
+  if (enable && !count_toggles_) {
+    prev_val_ = val_;
+    prev_known_ = known_;
+    prev_fully_known_ = false;
+  }
   count_toggles_ = enable;
 }
 

@@ -8,13 +8,36 @@
 //     machine and lanes 1..63 each carry one injected stuck-at fault,
 //     sharing a single test pattern.
 //
+// Evaluation runs on a compiled program (logicsim/compiled.hpp): the gate
+// graph is levelized once into contiguous instruction streams, and gate
+// state lives in structure-of-arrays val/known planes. Two settle kernels
+// share that program:
+//
+//   * three-valued (general): full Word3 semantics, used while any X can
+//     reach the logic. Each level records an "any X present" watermark.
+//   * two-valued fast path: once every source (primary input and committed
+//     DFF) is fully known, every downstream value is fully known too — the
+//     Word3 operators map known inputs to known outputs, and forces only
+//     add known-ness. The kernel then drops the known plane entirely
+//     (boolean ops on the val plane, half the memory traffic). Entering the
+//     fast path saturates the known planes once; X reintroduction
+//     (Reset(), an X driven on an input) falls back to three-valued on the
+//     next Step. The mode is re-decided every Step from the sources, so
+//     the switchover is exact, never heuristic.
+//
 // Two timing models:
 //   * zero-delay (default): combinational gates settle once per cycle in
-//     topological order — one potential transition per net per cycle;
+//     level order — one potential transition per net per cycle;
 //   * unit-delay: every gate takes one sub-step, so hazards (glitches)
 //     propagate and are counted as real transitions. The settled values are
 //     provably identical to zero-delay (acyclic logic), only the switching
-//     activity differs; the glitch-power ablation uses this mode.
+//     activity differs; the glitch-power ablation uses this mode. The
+//     sub-step sweep is event-driven: only instructions whose fanins
+//     changed in the previous sub-step are re-evaluated (Jacobi commits —
+//     a sub-step reads only the previous sub-step's values — so the
+//     fixpoint and the per-sub-step transition counts are identical to the
+//     full re-sweep it replaces). The unit-delay path always runs
+//     three-valued.
 // DFFs commit at the clock edge that starts a cycle. A cycle proceeds as:
 //
 //   sim.SetInput(...);   // drive primary inputs for cycle t
@@ -26,19 +49,37 @@
 // Stuck-at forcing: the simulator supports forcing lanes of a gate's output
 // (stem fault) or of one gate's reading of a fanin (branch / input-pin
 // fault). The fault module drives these hooks; they are inert (and nearly
-// free) when no forces are registered.
+// free) when no forces are registered. A force can only make a lane more
+// known, so forcing never exits the two-valued fast path.
 //
 // Toggle counting: when enabled, counts 0<->1 output transitions per gate
 // summed over lanes — exactly the switching activity the power model needs.
 // Transitions to or from X are not counted.
+//
+// Guard probe: SetGuardProbe attaches a guard::Checker that the settle
+// loops poll at level (zero-delay) / sub-step (unit-delay) boundaries; a
+// tripped checker aborts the Step by throwing guard::Tripped. After such a
+// throw the simulator state is mid-settle and must be Reset() before
+// reuse. Not attached by default — Step() then costs one null check per
+// level.
+//
+// Simulators are copyable; copies share the immutable compiled program but
+// own their state planes (the Monte Carlo power engine copies a warmed-up
+// simulator per batch).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "base/logic.hpp"
+#include "logicsim/compiled.hpp"
 #include "netlist/netlist.hpp"
 #include "obs/obs.hpp"
+
+namespace pfd::guard {
+class Checker;
+}  // namespace pfd::guard
 
 namespace pfd::logicsim {
 
@@ -47,6 +88,8 @@ class Simulator {
   explicit Simulator(const netlist::Netlist& nl);
 
   const netlist::Netlist& nl() const { return *nl_; }
+  // The shared compiled program this simulator executes.
+  const CompiledNetlist& program() const { return *prog_; }
 
   // Returns all state (DFFs, values, cycle/toggle counters) to power-up;
   // keeps registered forces.
@@ -65,13 +108,33 @@ class Simulator {
   std::uint64_t cycles() const { return cycles_; }
 
   // Unit-delay timing (see header comment). May be toggled between cycles.
-  void EnableUnitDelay(bool enable) { unit_delay_ = enable; }
+  void EnableUnitDelay(bool enable) {
+    if (enable && !unit_delay_) ud_all_dirty_ = true;
+    unit_delay_ = enable;
+  }
   bool unit_delay() const { return unit_delay_; }
 
+  // True when the previous Step() ran the two-valued fast path (all
+  // sources fully known, zero-delay timing).
+  bool last_step_two_valued() const { return two_valued_; }
+
+  // Per-level "any X present" watermark recorded by the last three-valued
+  // zero-delay settle: bit-OR over the level's gates of ~known. All zero
+  // after a two-valued step. Index space is program().levels().
+  const std::vector<std::uint64_t>& level_x_watermark() const {
+    return level_x_;
+  }
+
+  // Attach (or detach, with nullptr) a cooperative-cancellation probe; see
+  // header comment. The pointer is borrowed and copied by simulator copies.
+  void SetGuardProbe(const guard::Checker* checker) {
+    guard_probe_ = checker;
+  }
+
   // --- observation --------------------------------------------------------
-  Word3 Value(netlist::GateId g) const { return value_[g]; }
+  Word3 Value(netlist::GateId g) const { return {val_[g], known_[g]}; }
   Trit ValueLane(netlist::GateId g, int lane) const {
-    return GetLane(value_[g], lane);
+    return GetLane(Value(g), lane);
   }
 
   // --- stuck-at forcing ----------------------------------------------------
@@ -101,19 +164,56 @@ class Simulator {
     std::uint64_t sa1 = 0;
   };
 
-  Word3 ReadFanin(netlist::GateId g, std::uint32_t pin,
-                  netlist::GateId src) const;
-  Word3 EvalGate(netlist::GateId g) const;
   static Word3 ApplyForce(Word3 w, std::uint64_t sa0, std::uint64_t sa1) {
     w.known |= sa0 | sa1;
     w.val = (w.val | sa1) & ~sa0;
     return w;
   }
 
+  Word3 Load(netlist::GateId g) const { return {val_[g], known_[g]}; }
+  void Store(netlist::GateId g, Word3 w) {
+    val_[g] = w.val;
+    known_[g] = w.known;
+  }
+
+  // Fanin read with this gate's pin forces applied (three-valued / val-only).
+  Word3 ReadFanin3(netlist::GateId g, std::uint32_t pin,
+                   netlist::GateId src) const;
+  std::uint64_t ReadFanin2(netlist::GateId g, std::uint32_t pin,
+                           netlist::GateId src) const;
+
+  // Instruction evaluation. The PinForced variants route every fanin read
+  // through the pin-force scan; the plain ones read the planes directly.
+  Word3 EvalInstr3(std::uint32_t i) const;
+  Word3 EvalInstrPinForced3(std::uint32_t i) const;
+  std::uint64_t EvalInstr2(std::uint32_t i) const;
+  std::uint64_t EvalInstrPinForced2(std::uint32_t i) const;
+
+  template <bool kForces>
+  void SettleThreeValued();
+  template <bool kForces>
+  void SettleTwoValued();
+  void SettleUnitDelay(std::uint64_t& substeps, std::uint64_t& evals);
+
+  void ProbeGuard() const;  // throws guard::Tripped when the probe tripped
+
+  // Queues the combinational readers of `g` for the next unit-delay settle.
+  void MarkSourceDirty(netlist::GateId g);
+  void DropPendingDirt();
+
   const netlist::Netlist* nl_;
-  std::vector<Word3> value_;
-  std::vector<Word3> dff_next_;
-  std::vector<Word3> prev_value_;  // settled values of the previous cycle
+  std::shared_ptr<const CompiledNetlist> prog_;
+
+  // Gate state, structure-of-arrays planes indexed by gate id. While the
+  // two-valued fast path is active the known planes are saturated (~0) and
+  // only val planes are read or written.
+  std::vector<std::uint64_t> val_;
+  std::vector<std::uint64_t> known_;
+  std::vector<std::uint64_t> dff_next_val_;
+  std::vector<std::uint64_t> dff_next_known_;
+  // Settled values of the previous cycle (toggle counting only).
+  std::vector<std::uint64_t> prev_val_;
+  std::vector<std::uint64_t> prev_known_;
 
   // Output forces, dense (two words per gate; zero when inactive).
   std::vector<std::uint64_t> out_sa0_;
@@ -121,19 +221,40 @@ class Simulator {
   // Pin forces, sparse; per-gate flag avoids the scan on the fast path.
   std::vector<PinForce> pin_forces_;
   std::vector<std::uint8_t> has_pin_force_;
+  // Any force registered at all: selects the force-checking kernels.
+  bool has_any_force_ = false;
 
   bool count_toggles_ = false;
   bool unit_delay_ = false;
-  std::vector<Word3> sub_next_;  // unit-delay double buffer
+  bool two_valued_ = false;         // last Step ran the fast path
+  bool knowns_saturated_ = false;   // known planes are all-ones everywhere
+  bool prev_fully_known_ = false;   // prev_* planes are all-known
+  std::vector<std::uint64_t> level_x_;
   std::vector<std::uint64_t> toggles_;
   std::vector<std::uint64_t> duty_;
   std::uint64_t cycles_ = 0;
+
+  // Unit-delay event-driven settle state. `ud_pending_` holds instruction
+  // indices whose fanins changed since the last settle (dirty worklist
+  // seeds); `ud_flag_` dedups both the pending list and the in-settle
+  // frontiers. `ud_all_dirty_` forces a full first sub-step (power-up,
+  // force changes, timing-model switch).
+  bool ud_all_dirty_ = true;
+  std::vector<std::uint32_t> ud_pending_;
+  std::vector<std::uint32_t> ud_frontier_;
+  std::vector<std::uint32_t> ud_next_;
+  std::vector<std::uint8_t> ud_flag_;
+  std::vector<std::uint64_t> ud_scratch_val_;
+  std::vector<std::uint64_t> ud_scratch_known_;
+
+  const guard::Checker* guard_probe_ = nullptr;
 
   // Observability counters (cached handles; bumped once per Step, and only
   // when the registry is enabled — see obs/obs.hpp).
   obs::Counter* obs_cycles_ = nullptr;
   obs::Counter* obs_gate_evals_ = nullptr;
   obs::Counter* obs_substeps_ = nullptr;
+  obs::Counter* obs_two_valued_ = nullptr;
 };
 
 }  // namespace pfd::logicsim

@@ -230,6 +230,27 @@ const std::vector<GateId>& Netlist::CombinationalOrder() const {
   return topo_cache_;
 }
 
+std::uint64_t Netlist::StructuralHash() const {
+  // FNV-1a, 64-bit. Byte-feeding a fixed-width little-endian encoding keeps
+  // the digest independent of host layout.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(gates_.size());
+  for (const Gate& g : gates_) {
+    mix(static_cast<std::uint64_t>(g.kind) |
+        (static_cast<std::uint64_t>(g.module) << 8) |
+        (static_cast<std::uint64_t>(g.fanin_count) << 16));
+  }
+  mix(fanin_pool_.size());
+  for (GateId f : fanin_pool_) mix(f);
+  return h;
+}
+
 std::string Netlist::ToDot() const {
   std::ostringstream os;
   os << "digraph netlist {\n  rankdir=LR;\n";

@@ -125,6 +125,14 @@ class Netlist {
   // Graphviz dump (module-coloured) for documentation and debugging.
   std::string ToDot() const;
 
+  // FNV-1a digest of the structure that determines simulation behaviour:
+  // gate kinds, module tags, and the fanin graph. Names and output ports do
+  // not contribute (they never change simulated values), so two netlists
+  // with the same hash produce identical traces under identical stimulus.
+  // Used as the netlist component of golden-trace cache keys. O(gates),
+  // not cached: callers that key caches should hash once per run.
+  std::uint64_t StructuralHash() const;
+
  private:
   void CheckId(GateId id) const {
     PFD_CHECK_MSG(id < gates_.size(), "gate id out of range");

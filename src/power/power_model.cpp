@@ -31,9 +31,16 @@ void PowerModel::AddClockGate(GateId enable_net, std::vector<GateId> dffs) {
   clock_gates_.push_back({enable_net, std::move(dffs)});
 }
 
-PowerBreakdown PowerModel::Compute(const logicsim::Simulator& sim,
-                                   std::uint64_t machine_cycles) const {
-  PFD_CHECK_MSG(machine_cycles > 0, "no simulated cycles");
+PowerComputeResult PowerModel::Compute(const logicsim::Simulator& sim,
+                                       std::uint64_t machine_cycles) const {
+  if (machine_cycles == 0) {
+    // A guard can legitimately trip a run before its first cycle; report
+    // the empty accumulation as a partial result, never abort.
+    PowerComputeResult out;
+    out.status.code = guard::StatusCode::kPartialFailure;
+    out.status.message = "no simulated machine-cycles to average over";
+    return out;
+  }
   double energy_by_module[3] = {0.0, 0.0, 0.0};
   // Switching (toggle) energy.
   for (GateId g = 0; g < nl_->size(); ++g) {
@@ -57,11 +64,13 @@ PowerBreakdown PowerModel::Compute(const logicsim::Simulator& sim,
   }
   const double seconds =
       static_cast<double>(machine_cycles) / tech_.clock_hz;
-  PowerBreakdown out;
-  out.datapath_uw = energy_by_module[0] / seconds * 1e6;
-  out.controller_uw = energy_by_module[1] / seconds * 1e6;
-  out.interface_uw = energy_by_module[2] / seconds * 1e6;
-  out.total_uw = out.datapath_uw + out.controller_uw + out.interface_uw;
+  PowerComputeResult out;
+  out.breakdown.datapath_uw = energy_by_module[0] / seconds * 1e6;
+  out.breakdown.controller_uw = energy_by_module[1] / seconds * 1e6;
+  out.breakdown.interface_uw = energy_by_module[2] / seconds * 1e6;
+  out.breakdown.total_uw = out.breakdown.datapath_uw +
+                           out.breakdown.controller_uw +
+                           out.breakdown.interface_uw;
   return out;
 }
 

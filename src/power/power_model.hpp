@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "guard/guard.hpp"
 #include "logicsim/simulator.hpp"
 #include "netlist/netlist.hpp"
 
@@ -55,6 +56,17 @@ struct PowerBreakdown {
   double total_uw = 0.0;
 };
 
+// Compute() result: the breakdown plus a status. A zero-cycle request —
+// which happens legitimately when a guard deadline or cancellation trips
+// before the first simulated cycle of a run — yields kPartialFailure with
+// an all-zero breakdown instead of aborting the process.
+struct PowerComputeResult {
+  PowerBreakdown breakdown;
+  guard::Status status;
+
+  bool ok() const { return status.ok(); }
+};
+
 // Precomputes per-net toggle energy; converts a simulator's accumulated
 // toggle counts into average power.
 class PowerModel {
@@ -74,9 +86,14 @@ class PowerModel {
 
   // Converts accumulated toggle counts into average power. `machine_cycles`
   // is the total number of simulated machine-cycles the counts cover (lanes
-  // x cycles for a pattern-parallel run).
-  PowerBreakdown Compute(const logicsim::Simulator& sim,
-                         std::uint64_t machine_cycles) const;
+  // x cycles for a pattern-parallel run); the per-machine-cycle
+  // normalization and the lane-summed ToggleCount/DutyCount inputs agree by
+  // construction — N patterns simulated 64-wide report the same average
+  // power as the same N patterns simulated one lane at a time.
+  // machine_cycles == 0 returns a kPartialFailure status (see
+  // PowerComputeResult) rather than dividing by zero or aborting.
+  PowerComputeResult Compute(const logicsim::Simulator& sim,
+                             std::uint64_t machine_cycles) const;
 
  private:
   struct ClockGate {

@@ -171,7 +171,7 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
           check.AddSimCycles(
               static_cast<std::uint64_t>(plan.cycles_per_pattern));
           results[static_cast<std::size_t>(b)] =
-              model.Compute(sim, batch_cycles);
+              model.Compute(sim, batch_cycles).breakdown;
           if (obs::Enabled()) {
             obs::Registry::Global().GetCounter("power.toggles")
                 .Add(TotalToggles(sim));
@@ -350,8 +350,16 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
     reg.GetCounter("power.toggles").Add(TotalToggles(sim));
   }
 
+  const PowerComputeResult pc = model.Compute(sim, machine_cycles);
+  result.breakdown = pc.breakdown;
+  if (!pc.ok() && result.run_status.code == guard::StatusCode::kOk) {
+    // Nothing completed but no trip or failure was recorded (e.g. a
+    // 0-pattern request): surface the zero-cycle condition as a partial
+    // result rather than returning a silently-ok all-zero breakdown.
+    result.run_status.code = pc.status.code;
+    result.run_status.message = pc.status.message;
+  }
   if (machine_cycles == 0) return result;  // nothing completed
-  result.breakdown = model.Compute(sim, machine_cycles);
   result.batches = static_cast<int>(result.run_status.completed.size());
   result.patterns =
       64ULL * static_cast<std::uint64_t>(result.run_status.completed.size());

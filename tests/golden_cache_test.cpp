@@ -1,0 +1,166 @@
+// Tests for the golden-trace cache: key/entry discipline, FIFO eviction,
+// and the fault-free consumers (control-trace extraction and the serial
+// fault-sim golden pass) — including that a netlist or stimulus change
+// misses the cache instead of replaying a stale golden run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <span>
+
+#include "analysis/trace.hpp"
+#include "designs/designs.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "logicsim/golden_cache.hpp"
+
+namespace pfd::logicsim {
+namespace {
+
+GoldenKey MakeKey(std::uint64_t netlist_hash, std::uint64_t stimulus_hash,
+                  std::uint64_t cycles) {
+  GoldenKey k;
+  k.netlist_hash = netlist_hash;
+  k.stimulus_hash = stimulus_hash;
+  k.cycles = cycles;
+  return k;
+}
+
+std::shared_ptr<GoldenEntry> MakeEntry(double scalar) {
+  auto e = std::make_shared<GoldenEntry>();
+  e->scalars = {scalar};
+  return e;
+}
+
+TEST(GoldenTraceCache, InsertFindRoundtripAndFirstWins) {
+  GoldenTraceCache& cache = GoldenTraceCache::Global();
+  cache.Clear();
+  const GoldenKey k = MakeKey(1, 2, 3);
+  EXPECT_EQ(cache.Find(k), nullptr);
+
+  cache.Insert(k, MakeEntry(42.0));
+  const auto hit = cache.Find(k);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->scalars[0], 42.0);
+
+  // A second insert under the same key must not replace the first entry:
+  // consumers race to publish identical golden runs, so first-wins is safe
+  // and keeps outstanding shared_ptrs consistent.
+  cache.Insert(k, MakeEntry(99.0));
+  EXPECT_DOUBLE_EQ(cache.Find(k)->scalars[0], 42.0);
+
+  // Any key component change is a miss.
+  EXPECT_EQ(cache.Find(MakeKey(9, 2, 3)), nullptr);
+  EXPECT_EQ(cache.Find(MakeKey(1, 9, 3)), nullptr);
+  EXPECT_EQ(cache.Find(MakeKey(1, 2, 9)), nullptr);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Find(k), nullptr);
+}
+
+TEST(GoldenTraceCache, FifoEvictionBoundsTheCache) {
+  GoldenTraceCache& cache = GoldenTraceCache::Global();
+  cache.Clear();
+  for (std::uint64_t i = 0; i < GoldenTraceCache::kMaxEntries + 8; ++i) {
+    cache.Insert(MakeKey(i, 0, 0), MakeEntry(static_cast<double>(i)));
+  }
+  EXPECT_EQ(cache.size(), GoldenTraceCache::kMaxEntries);
+  // Oldest entries left first.
+  EXPECT_EQ(cache.Find(MakeKey(0, 0, 0)), nullptr);
+  EXPECT_EQ(cache.Find(MakeKey(7, 0, 0)), nullptr);
+  EXPECT_NE(cache.Find(MakeKey(8, 0, 0)), nullptr);
+  EXPECT_NE(cache.Find(
+                MakeKey(GoldenTraceCache::kMaxEntries + 7, 0, 0)),
+            nullptr);
+  cache.Clear();
+}
+
+// --- consumer: fault-free control-trace extraction ---------------------------
+
+TEST(GoldenTraceCache, GoldenControlTraceIsCachedAndBitIdentical) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  GoldenTraceCache& cache = GoldenTraceCache::Global();
+  cache.Clear();
+
+  const analysis::ControlTrace first =
+      analysis::ExtractControlTrace(d.system, nullptr, 3);
+  const std::size_t populated = cache.size();
+  EXPECT_EQ(populated, 1u);
+
+  const analysis::ControlTrace second =
+      analysis::ExtractControlTrace(d.system, nullptr, 3);
+  EXPECT_EQ(cache.size(), populated);  // replayed, not recomputed
+  EXPECT_EQ(first.lines, second.lines);
+  EXPECT_EQ(first.cycles_per_pattern, second.cycles_per_pattern);
+  EXPECT_EQ(first.num_patterns, second.num_patterns);
+  cache.Clear();
+}
+
+TEST(GoldenTraceCache, FaultyTracesBypassTheCache) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  GoldenTraceCache& cache = GoldenTraceCache::Global();
+  cache.Clear();
+
+  const fault::StuckFault f{0, 0, Trit::kZero};
+  const analysis::ControlTrace faulty =
+      analysis::ExtractControlTrace(d.system, &f, 3);
+  EXPECT_EQ(cache.size(), 0u);  // faulty runs are never published
+
+  // And a cached golden run must not leak into a faulty extraction.
+  const analysis::ControlTrace golden =
+      analysis::ExtractControlTrace(d.system, nullptr, 3);
+  EXPECT_EQ(cache.size(), 1u);
+  const analysis::ControlTrace faulty2 =
+      analysis::ExtractControlTrace(d.system, &f, 3);
+  EXPECT_NE(golden.lines, faulty2.lines);
+  cache.Clear();
+}
+
+TEST(GoldenTraceCache, StimulusOrNetlistChangeMissesTheCache) {
+  const designs::BenchmarkDesign narrow = designs::BuildDiffeq(4);
+  const designs::BenchmarkDesign wide = designs::BuildDiffeq(8);
+  GoldenTraceCache& cache = GoldenTraceCache::Global();
+  cache.Clear();
+
+  (void)analysis::ExtractControlTrace(narrow.system, nullptr, 2);
+  EXPECT_EQ(cache.size(), 1u);
+  // More patterns: same netlist, different stimulus => new entry.
+  (void)analysis::ExtractControlTrace(narrow.system, nullptr, 3);
+  EXPECT_EQ(cache.size(), 2u);
+  // Different datapath width: different netlist hash => new entry.
+  (void)analysis::ExtractControlTrace(wide.system, nullptr, 2);
+  EXPECT_EQ(cache.size(), 3u);
+  cache.Clear();
+}
+
+// --- consumer: serial fault-sim golden pass ----------------------------------
+
+TEST(GoldenTraceCache, SerialGoldenPassIsCachedAndResultsStable) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  const std::vector<fault::StuckFault> faults = fault::GenerateFaults(
+      d.system.nl, netlist::ModuleTag::kController);
+  ASSERT_FALSE(faults.empty());
+  const std::span<const fault::StuckFault> some(faults.data(),
+                                                std::min<std::size_t>(
+                                                    faults.size(), 8));
+
+  GoldenTraceCache& cache = GoldenTraceCache::Global();
+  cache.Clear();
+  fault::FaultSimRequest req{d.system.nl, plan, some, 7, 16,
+                             fault::FaultSimEngine::kSerial};
+  const fault::FaultSimResult first = fault::RunFaultSim(req);
+  EXPECT_TRUE(first.run_status.ok());
+  const std::size_t populated = cache.size();
+  EXPECT_GE(populated, 1u);
+
+  const fault::FaultSimResult second = fault::RunFaultSim(req);
+  EXPECT_EQ(cache.size(), populated);  // golden pass replayed from cache
+  EXPECT_EQ(first.status, second.status);
+  EXPECT_EQ(first.first_detect_pattern, second.first_detect_pattern);
+  cache.Clear();
+}
+
+}  // namespace
+}  // namespace pfd::logicsim

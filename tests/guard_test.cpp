@@ -157,6 +157,42 @@ TEST(Failpoints, BadSpecThrowsGoodSpecsFire) {
   EXPECT_EQ(FailpointHits("x"), 0u);
 }
 
+TEST(Failpoints, ArmFailpointsAcceptsWellFormedLists) {
+  FailpointScope scope;
+  ArmFailpoints("a=throw@2,b=throw,c=throw@1");
+  EXPECT_NO_THROW(MaybeFail("a"));
+  EXPECT_NO_THROW(MaybeFail("a"));
+  EXPECT_THROW(MaybeFail("a"), pfd::Error);  // hit 2 fires
+  EXPECT_THROW(MaybeFail("b"), pfd::Error);  // every hit
+  EXPECT_NO_THROW(MaybeFail("c"));
+  EXPECT_THROW(MaybeFail("c"), pfd::Error);
+}
+
+TEST(Failpoints, ArmFailpointsRejectsMalformedLists) {
+  FailpointScope scope;
+  EXPECT_THROW(ArmFailpoints("a=@0"), pfd::Error);         // no 'throw'
+  EXPECT_THROW(ArmFailpoints("a=throw@0x"), pfd::Error);   // trailing garbage
+  EXPECT_THROW(ArmFailpoints("a=throw@"), pfd::Error);     // no count digits
+  EXPECT_THROW(ArmFailpoints("a=throwing"), pfd::Error);   // unknown verb
+  EXPECT_THROW(ArmFailpoints("=throw"), pfd::Error);       // empty name
+  EXPECT_THROW(ArmFailpoints("a"), pfd::Error);            // no '='
+  EXPECT_THROW(ArmFailpoints("a=throw,,b=throw"), pfd::Error);  // empty entry
+  EXPECT_THROW(ArmFailpoints("a=throw@99999999999999999999"),
+               pfd::Error);                                // count overflow
+}
+
+TEST(Failpoints, ArmFailpointsRejectsDuplicateNames) {
+  FailpointScope scope;
+  EXPECT_THROW(ArmFailpoints("a=throw,b=throw,a=throw@3"), pfd::Error);
+}
+
+TEST(Failpoints, ArmFailpointsIsAllOrNothing) {
+  FailpointScope scope;
+  // The malformed tail entry must keep the valid head entries from arming.
+  EXPECT_THROW(ArmFailpoints("good=throw,bad=throw@2x"), pfd::Error);
+  EXPECT_NO_THROW(MaybeFail("good"));
+}
+
 TEST(Failpoints, EnvParsingSkipsMalformedEntries) {
   FailpointScope scope;
   ::setenv("PFD_FAILPOINTS",

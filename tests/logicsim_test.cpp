@@ -3,6 +3,11 @@
 // accounting.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "guard/guard.hpp"
 #include "logicsim/simulator.hpp"
 
 namespace pfd::logicsim {
@@ -225,6 +230,183 @@ TEST(Simulator, NandNorXnorMuxSemantics) {
       }
     }
   }
+}
+
+// --- compiled program / two-valued fast path ---------------------------------
+
+// Sequential fixture whose power-up X state flushes after one captured
+// cycle: r <- in, so the first capture of a known input makes r known.
+struct FlushFixture {
+  Netlist nl;
+  GateId in, r, and_g, or_g;
+  FlushFixture() {
+    in = nl.AddInput("in");
+    r = nl.AddDff(ModuleTag::kDatapath, "r");
+    nl.ConnectDff(r, in);
+    and_g = nl.AddGate(GateKind::kAnd, ModuleTag::kDatapath, {{in, r}});
+    or_g = nl.AddGate(GateKind::kOr, ModuleTag::kDatapath, {{in, r}});
+    nl.AddOutput(or_g, "o");
+  }
+};
+
+TEST(TwoValued, CompiledProgramLevelizesFaninsBeforeReaders) {
+  FlushFixture f;
+  Simulator sim(f.nl);
+  const CompiledNetlist& prog = sim.program();
+  EXPECT_EQ(prog.num_gates(), f.nl.size());
+  // Instructions cover exactly the combinational gates.
+  std::size_t comb = 0;
+  for (GateId g = 0; g < f.nl.size(); ++g) {
+    if (f.nl.gate(g).kind != GateKind::kInput &&
+        f.nl.gate(g).kind != GateKind::kDff) {
+      ++comb;
+    }
+  }
+  EXPECT_EQ(prog.num_instructions(), comb);
+  // Every instruction's combinational fanins were emitted at lower levels.
+  std::vector<int> level_of(f.nl.size(), -1);
+  for (std::size_t li = 0; li < prog.levels().size(); ++li) {
+    for (std::uint32_t i = prog.levels()[li].begin;
+         i < prog.levels()[li].end; ++i) {
+      level_of[prog.out()[i]] = static_cast<int>(li);
+    }
+  }
+  for (std::uint32_t i = 0; i < prog.num_instructions(); ++i) {
+    const GateId out = prog.out()[i];
+    for (std::uint32_t k = 0; k < prog.fanin_count()[i]; ++k) {
+      const GateId fi = prog.fanins()[prog.fanin_begin()[i] + k];
+      if (prog.is_comb()[fi] == 0) continue;
+      EXPECT_LT(level_of[fi], level_of[out]);
+    }
+  }
+}
+
+TEST(TwoValued, EngagesOnceXFlushesAndValuesStayExact) {
+  FlushFixture f;
+  Simulator sim(f.nl);
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  sim.Step();  // r still shows the power-up X
+  EXPECT_FALSE(sim.last_step_two_valued());
+  EXPECT_EQ(sim.ValueLane(f.r, 0), Trit::kX);
+  EXPECT_EQ(sim.ValueLane(f.or_g, 0), Trit::kX);  // 0 | X = X
+
+  sim.Step();  // r committed its capture of in=0: every source is now known
+  EXPECT_TRUE(sim.last_step_two_valued());
+  EXPECT_EQ(sim.ValueLane(f.r, 0), Trit::kZero);
+  EXPECT_EQ(sim.ValueLane(f.or_g, 0), Trit::kZero);
+
+  // Fast-path evaluation stays exact on known data.
+  sim.SetInputAllLanes(f.in, Trit::kOne);
+  sim.Step();
+  EXPECT_TRUE(sim.last_step_two_valued());
+  EXPECT_EQ(sim.ValueLane(f.and_g, 0), Trit::kZero);  // 1 & r(0)
+  EXPECT_EQ(sim.ValueLane(f.or_g, 0), Trit::kOne);
+  sim.Step();  // r captures the 1
+  EXPECT_TRUE(sim.last_step_two_valued());
+  EXPECT_EQ(sim.ValueLane(f.r, 0), Trit::kOne);
+}
+
+TEST(TwoValued, ResetReturnsToThreeValued) {
+  FlushFixture f;
+  Simulator sim(f.nl);
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  sim.Step();
+  sim.Step();
+  ASSERT_TRUE(sim.last_step_two_valued());
+
+  sim.Reset();  // power-up X is back
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  sim.Step();
+  EXPECT_FALSE(sim.last_step_two_valued());
+  EXPECT_EQ(sim.ValueLane(f.r, 0), Trit::kX);
+}
+
+TEST(TwoValued, XInputAfterSwitchoverFallsBackAndPropagates) {
+  FlushFixture f;
+  Simulator sim(f.nl);
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  sim.Step();
+  sim.Step();
+  ASSERT_TRUE(sim.last_step_two_valued());
+
+  // Reintroduce X through a primary input: the step must drop back to the
+  // three-valued plane and propagate the X faithfully.
+  sim.SetInputAllLanes(f.in, Trit::kX);
+  sim.Step();
+  EXPECT_FALSE(sim.last_step_two_valued());
+  EXPECT_EQ(sim.ValueLane(f.and_g, 0), Trit::kZero);  // X & r(0) = 0
+  EXPECT_EQ(sim.ValueLane(f.or_g, 0), Trit::kX);      // X | 0 = X
+}
+
+TEST(TwoValued, KnownForcesStayOnFastPath) {
+  FlushFixture f;
+  Simulator sim(f.nl);
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  sim.Step();
+  sim.Step();
+  ASSERT_TRUE(sim.last_step_two_valued());
+
+  // A stuck-at force only adds known-ness, so the fast path remains exact.
+  sim.ForceOutput(f.r, Trit::kOne, ~0ULL);  // r stuck-at-1, every lane
+  sim.Step();
+  EXPECT_TRUE(sim.last_step_two_valued());
+  EXPECT_EQ(sim.ValueLane(f.r, 0), Trit::kOne);
+  EXPECT_EQ(sim.ValueLane(f.or_g, 0), Trit::kOne);
+  sim.ClearForces();
+}
+
+TEST(TwoValued, LevelXWatermarkClearsAfterFlush) {
+  FlushFixture f;
+  Simulator sim(f.nl);
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  sim.Step();  // three-valued: the OR level carries the DFF's X
+  bool any_x = false;
+  for (const std::uint64_t w : sim.level_x_watermark()) any_x |= w != 0;
+  EXPECT_TRUE(any_x);
+
+  sim.Step();  // two-valued: the watermark is cleared wholesale
+  ASSERT_TRUE(sim.last_step_two_valued());
+  for (const std::uint64_t w : sim.level_x_watermark()) EXPECT_EQ(w, 0u);
+}
+
+TEST(TwoValued, ToggleCountsSpanTheSwitchover) {
+  // The 3V->2V handoff must not lose or double-count transitions: with in
+  // toggling every cycle, in toggles each step, the DFF follows one cycle
+  // behind (so its first measured step is a 0->0 non-toggle), and the OR
+  // of the two saturates at 1 after its first rise.
+  FlushFixture f;
+  Simulator sim(f.nl);
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  sim.Step();  // flush cycle 1 (3V)
+  sim.Step();  // 2V from here on
+  ASSERT_TRUE(sim.last_step_two_valued());
+  sim.EnableToggleCounting(true);
+  for (int c = 0; c < 6; ++c) {
+    sim.SetInputAllLanes(f.in, (c & 1) ? Trit::kZero : Trit::kOne);
+    sim.Step();
+    EXPECT_TRUE(sim.last_step_two_valued());
+  }
+  EXPECT_EQ(sim.ToggleCount(f.in), 64u * 6u);
+  EXPECT_EQ(sim.ToggleCount(f.r), 64u * 5u);
+  EXPECT_EQ(sim.ToggleCount(f.or_g), 64u * 1u);
+}
+
+TEST(TwoValued, GuardProbeTripsTheStep) {
+  FlushFixture f;
+  Simulator sim(f.nl);
+  guard::Limits limits;
+  limits.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);
+  guard::Checker check(limits);
+  ASSERT_FALSE(check.Check().ok());  // latch the trip: the probe is a
+                                     // cheap sticky-flag read, not a clock
+  sim.SetGuardProbe(&check);
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  EXPECT_THROW(sim.Step(), guard::Tripped);
+  sim.SetGuardProbe(nullptr);
+  sim.Reset();  // contract: a tripped step leaves the machine mid-settle
+  sim.SetInputAllLanes(f.in, Trit::kZero);
+  EXPECT_NO_THROW(sim.Step());
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Tests for the power model and the Monte Carlo / test-set power engines.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "power/power_model.hpp"
 #include "power/power_sim.hpp"
 #include "tpg/lfsr.hpp"
@@ -63,7 +65,7 @@ TEST(PowerModel, ComputeConvertsTogglesToMicrowatts) {
   sim.Step();
   sim.SetInputAllLanes(f.in, Trit::kOne);
   sim.Step();  // 64 lanes toggle on both nets
-  const PowerBreakdown b = model.Compute(sim, 2 * 64);
+  const PowerBreakdown b = model.Compute(sim, 2 * 64).breakdown;
   const double expected_uw =
       64.0 * (model.ToggleEnergy(f.in) + model.ToggleEnergy(f.buf)) /
       (128.0 / tech.clock_hz) * 1e6;
@@ -94,13 +96,13 @@ TEST(PowerModel, UngatedDffChargedEveryCycleGatedOnlyWhenEnabled) {
   sim.Step();                             // settle, then measure
   sim.ResetToggleCounts();
   for (int i = 0; i < 4; ++i) sim.Step();
-  const PowerBreakdown closed = model.Compute(sim, 4 * 64);
+  const PowerBreakdown closed = model.Compute(sim, 4 * 64).breakdown;
 
   sim.SetInputAllLanes(en, Trit::kOne);  // gate open
   sim.Step();                            // absorb the en transition itself
   sim.ResetToggleCounts();
   for (int i = 0; i < 4; ++i) sim.Step();
-  const PowerBreakdown open = model.Compute(sim, 4 * 64);
+  const PowerBreakdown open = model.Compute(sim, 4 * 64).breakdown;
   EXPECT_GT(open.datapath_uw, closed.datapath_uw);
 
   // The difference is exactly one DFF's clock energy per cycle: the data
@@ -223,6 +225,91 @@ TEST(FaultyPower, StuckGateChangesPower) {
                               std::span<const fault::StuckFault>(&f, 1), cfg)
           .breakdown.datapath_uw;
   EXPECT_LT(faulty, base);
+}
+
+// --- zero-cycle / guard-trip seams ------------------------------------------
+
+TEST(PowerModel, ZeroCyclesIsPartialFailureNotAbort) {
+  // A guard can trip a run before its first machine-cycle completes; the
+  // model must report that as a partial result, never abort the process.
+  ToggleFixture f;
+  const PowerModel model(f.nl, TechModel::Vsc450());
+  logicsim::Simulator sim(f.nl);
+  sim.EnableToggleCounting(true);
+  const PowerComputeResult r = model.Compute(sim, 0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code, guard::StatusCode::kPartialFailure);
+  EXPECT_FALSE(r.status.message.empty());
+  EXPECT_DOUBLE_EQ(r.breakdown.datapath_uw, 0.0);
+  EXPECT_DOUBLE_EQ(r.breakdown.total_uw, 0.0);
+}
+
+TEST(MonteCarlo, ExpiredDeadlineReturnsEmptyResultGracefully) {
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  MonteCarloConfig cfg;
+  cfg.limits.deadline = std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(1);
+  const PowerResult r = EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+  EXPECT_EQ(r.run_status.code, guard::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.batches, 0);
+  EXPECT_DOUBLE_EQ(r.breakdown.total_uw, 0.0);
+}
+
+TEST(TestSetPower, ExpiredDeadlineReturnsEmptyResultGracefully) {
+  // The trip lands before the first batch, so zero machine-cycles reach
+  // PowerModel::Compute; the engine must still return (with the trip code
+  // winning over the zero-cycle partial failure), not abort.
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  TestSetPowerConfig cfg{tpg::kTestSetSeed1, 256};
+  cfg.limits.deadline = std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(1);
+  const PowerResult r = MeasureTestSetPower(ms.nl, ms.plan, model, {}, cfg);
+  EXPECT_EQ(r.run_status.code, guard::StatusCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(r.breakdown.total_uw, 0.0);
+  EXPECT_EQ(r.patterns, 0u);
+}
+
+// --- lane normalization ------------------------------------------------------
+
+TEST(PowerModel, WidePatternsAverageSameAsNarrowPatterns) {
+  // N patterns packed 64-wide must report the same average power as the
+  // same N patterns run one lane at a time: Compute normalizes by machine
+  // cycles = simulated cycles x active lanes, so lane packing is purely a
+  // throughput optimization. Here the "pattern" is a square wave; the wide
+  // run drives it in every lane, the narrow run in lane 0 only.
+  ToggleFixture f;
+  TechModel tech;
+  const PowerModel model(f.nl, tech);
+  constexpr int kCycles = 8;
+
+  logicsim::Simulator wide(f.nl);
+  wide.SetInputAllLanes(f.in, Trit::kZero);
+  wide.Step();  // settle before measuring
+  wide.EnableToggleCounting(true);
+  for (int c = 0; c < kCycles; ++c) {
+    wide.SetInputAllLanes(f.in, (c & 1) ? Trit::kZero : Trit::kOne);
+    wide.Step();
+  }
+  const PowerBreakdown wide_b =
+      model.Compute(wide, 64ULL * kCycles).breakdown;
+
+  logicsim::Simulator narrow(f.nl);
+  narrow.SetInputAllLanes(f.in, Trit::kZero);
+  narrow.Step();
+  narrow.EnableToggleCounting(true);
+  for (int c = 0; c < kCycles; ++c) {
+    const Trit t = (c & 1) ? Trit::kZero : Trit::kOne;
+    narrow.SetInput(f.in, SetLane(kAllZero, 0, t));  // lanes 1..63 idle
+    narrow.Step();
+  }
+  const PowerBreakdown narrow_b =
+      model.Compute(narrow, 1ULL * kCycles).breakdown;
+
+  EXPECT_GT(narrow_b.datapath_uw, 0.0);
+  EXPECT_DOUBLE_EQ(wide_b.datapath_uw, narrow_b.datapath_uw);
+  EXPECT_DOUBLE_EQ(wide_b.total_uw, narrow_b.total_uw);
 }
 
 }  // namespace
