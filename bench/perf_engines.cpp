@@ -30,6 +30,9 @@
 #include "obs/obs.hpp"
 #include "power/power_sim.hpp"
 #include "synth/qm.hpp"
+#include "xcheck/gen.hpp"
+#include "xcheck/ref_sim.hpp"
+#include "xcheck/xcheck.hpp"
 
 namespace {
 
@@ -133,6 +136,48 @@ void BM_CompiledKernelStepThreeValued(benchmark::State& state) {
                           static_cast<std::int64_t>(d.system.nl.size()));
 }
 BENCHMARK(BM_CompiledKernelStepThreeValued);
+
+// The deliberately-naive xcheck oracle on the same design: the ratio to
+// BM_CompiledKernelStep is the price of obvious correctness (full-netlist
+// scalar resweeps, one lane, no levelization). It bounds how many
+// differential cases a CI fuzz budget buys.
+void BM_RefSimStep(benchmark::State& state) {
+  const designs::BenchmarkDesign& d = Diffeq();
+  xcheck::RefSimulator ref(d.system.nl);
+  for (const synth::Bus& bus : d.system.operand_bits) {
+    for (netlist::GateId g : bus) ref.SetInput(g, Trit::kZero);
+  }
+  int c = 0;
+  for (auto _ : state) {
+    ref.SetInput(d.system.reset, c == 0 ? Trit::kOne : Trit::kZero);
+    ref.Step();
+    c = (c + 1) % d.system.cycles_per_pattern;
+  }
+  // One machine-cycle per Step (scalar, single-lane).
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(d.system.nl.size()));
+}
+BENCHMARK(BM_RefSimStep);
+
+// One full differential case — generate, build, run compiled and reference
+// side by side, compare every node/counter. This is the unit the fuzz-smoke
+// CI job repeats, so cases/second here sets its iteration budget.
+void BM_XcheckDifferentialCase(benchmark::State& state) {
+  const xcheck::GenConfig gen;
+  std::uint32_t index = 0;
+  for (auto _ : state) {
+    Rng rng(xcheck::CaseSeed(0xBE7C4, index++));
+    const xcheck::Scenario s = xcheck::GenerateScenario(rng, gen);
+    const xcheck::CaseResult r = xcheck::RunScenario(s);
+    if (!r.ok) {
+      state.SkipWithError("miscompare in the differential benchmark");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XcheckDifferentialCase);
 
 void BM_ParallelFaultSim(benchmark::State& state) {
   const designs::BenchmarkDesign& d = Diffeq();

@@ -1,0 +1,75 @@
+// Strict numeric parsing for CLI flags and environment variables.
+//
+// std::atoi / std::strtoull silently turn garbage into 0 and wrap negative
+// or overflowing values into huge unsigned numbers — "--max-cycles -1"
+// becoming an 18-quintillion-cycle budget makes a typo look like an
+// unlimited run. These helpers mirror the strict $PFD_THREADS contract from
+// exec::ResolveThreads: the whole token must parse, the value must be in
+// range, and anything else throws pfd::Error (which the tools map to exit
+// code 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/error.hpp"
+
+namespace pfd {
+
+// Non-negative decimal integer, digits only (no sign, no whitespace, no
+// trailing garbage), rejecting values that overflow 64 bits. `flag` names
+// the offending option in the error message.
+inline std::uint64_t ParseUint64Flag(std::string_view flag,
+                                     std::string_view text) {
+  const auto fail = [&]() {
+    throw Error(std::string(flag) + "='" + std::string(text) +
+                "' is not a non-negative integer");
+  };
+  if (text.empty()) fail();
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') fail();
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~0ULL - digit) / 10) fail();  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+// Like ParseUint64Flag, additionally rejecting values above `max`.
+inline std::uint64_t ParseUint64FlagInRange(std::string_view flag,
+                                            std::string_view text,
+                                            std::uint64_t max) {
+  const std::uint64_t value = ParseUint64Flag(flag, text);
+  if (value > max) {
+    throw Error(std::string(flag) + "='" + std::string(text) +
+                "' exceeds the maximum of " + std::to_string(max));
+  }
+  return value;
+}
+
+// Non-negative finite decimal number (digits with an optional fractional
+// part; no sign, no exponent, no trailing garbage). Covers every duration
+// flag; scientific notation on a CLI deadline is a typo, not a feature.
+inline double ParseNonNegativeDoubleFlag(std::string_view flag,
+                                         std::string_view text) {
+  const auto fail = [&]() {
+    throw Error(std::string(flag) + "='" + std::string(text) +
+                "' is not a non-negative number");
+  };
+  if (text.empty()) fail();
+  std::size_t dot = std::string_view::npos;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '.') {
+      if (dot != std::string_view::npos) fail();  // second '.'
+      dot = i;
+      continue;
+    }
+    if (text[i] < '0' || text[i] > '9') fail();
+  }
+  if (text.size() == 1 && dot == 0) fail();  // "." alone
+  return std::stod(std::string(text));
+}
+
+}  // namespace pfd

@@ -185,6 +185,7 @@ namespace {
 struct FailpointState {
   bool armed = false;
   bool always = false;       // "throw": every hit
+  bool flag = false;         // "flag": non-throwing, polled via FailpointFlagged
   std::uint64_t fire_at = 0; // "throw@K": hit number K (0-based)
   std::uint64_t hits = 0;
 };
@@ -207,14 +208,19 @@ void RecountArmed() {
   detail::g_armed_failpoints.store(armed, std::memory_order_relaxed);
 }
 
-// Parses "throw" / "throw@K" into `st`; returns false on malformed input:
-// anything but the exact keyword, an empty or non-digit K, trailing
+// Parses "throw" / "throw@K" / "flag" into `st`; returns false on malformed
+// input: anything but the exact keywords, an empty or non-digit K, trailing
 // garbage, or a K that overflows 64 bits.
 bool ParseSpec(std::string_view spec, FailpointState& st) {
   constexpr std::string_view kThrow = "throw";
   if (spec == kThrow) {
     st.armed = true;
     st.always = true;
+    return true;
+  }
+  if (spec == "flag") {
+    st.armed = true;
+    st.flag = true;
     return true;
   }
   if (spec.size() > kThrow.size() + 1 &&
@@ -243,7 +249,7 @@ void ArmFailpoint(std::string_view name, std::string_view spec) {
   PFD_CHECK_MSG(!name.empty(), "empty failpoint name");
   PFD_CHECK_MSG(ParseSpec(spec, st),
                 "bad failpoint spec '" + std::string(spec) +
-                    "' (expected 'throw' or 'throw@K')");
+                    "' (expected 'throw', 'throw@K', or 'flag')");
   std::lock_guard<std::mutex> lock(FailpointMu());
   Failpoints()[std::string(name)] = st;
   RecountArmed();
@@ -270,7 +276,7 @@ void ArmFailpoints(std::string_view list) {
     FailpointState st;
     PFD_CHECK_MSG(ParseSpec(entry.substr(eq + 1), st),
                   "bad failpoint spec in " + quoted +
-                      " (expected 'throw' or 'throw@K')");
+                      " (expected 'throw', 'throw@K', or 'flag')");
     for (const auto& [seen, unused] : parsed) {
       PFD_CHECK_MSG(seen != name, "duplicate failpoint name '" +
                                       std::string(name) + "' in list");
@@ -325,7 +331,7 @@ void MaybeFailSlow(const char* name) {
     const auto it = Failpoints().find(std::string_view(name));
     if (it == Failpoints().end() || !it->second.armed) return;
     FailpointState& st = it->second;
-    fire = st.always || st.hits == st.fire_at;
+    fire = !st.flag && (st.always || st.hits == st.fire_at);
     ++st.hits;
   }
   if (fire) {
@@ -334,6 +340,16 @@ void MaybeFailSlow(const char* name) {
     }
     throw pfd::Error(std::string("failpoint '") + name + "' fired");
   }
+}
+
+bool FailpointFlaggedSlow(const char* name) {
+  std::lock_guard<std::mutex> lock(FailpointMu());
+  const auto it = Failpoints().find(std::string_view(name));
+  if (it == Failpoints().end() || !it->second.armed || !it->second.flag) {
+    return false;
+  }
+  ++it->second.hits;
+  return true;
 }
 
 // Arms from $PFD_FAILPOINTS before main so a CI-wide variable reaches every

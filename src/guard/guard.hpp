@@ -181,15 +181,17 @@ inline constexpr const char* kEngineFailpoints[] = {
     "power.test_set_batch",   // one fixed-test-set 64-pattern batch
 };
 
-// Arms `name` with `spec`: "throw" (every hit throws) or "throw@K" (only
-// hit number K throws, 0-based, counted per failpoint since arming).
-// Re-arming a name resets its hit counter. Throws pfd::Error on a bad spec.
+// Arms `name` with `spec`: "throw" (every hit throws), "throw@K" (only
+// hit number K throws, 0-based, counted per failpoint since arming), or
+// "flag" (non-throwing: instrumented code polls FailpointFlagged(name) and
+// takes a deliberately-wrong branch — the xcheck kernel mutations). Re-arming
+// a name resets its hit counter. Throws pfd::Error on a bad spec.
 void ArmFailpoint(std::string_view name, std::string_view spec);
 // Parses and arms a whole "name=spec,name=spec" list (the $PFD_FAILPOINTS
 // syntax). Strict, all-or-nothing: throws pfd::Error — arming nothing — on
-// an empty entry, a missing '=' or name, a bad spec (anything but "throw"
-// or "throw@K": "@0", "throw@", non-digit or overflowing K, trailing
-// garbage), or a point name appearing twice in one list.
+// an empty entry, a missing '=' or name, a bad spec (anything but "throw",
+// "throw@K", or "flag": "@0", "throw@", non-digit or overflowing K,
+// trailing garbage), or a point name appearing twice in one list.
 void ArmFailpoints(std::string_view list);
 // Parses $PFD_FAILPOINTS entry by entry through the strict parser;
 // malformed entries are reported on stderr and skipped (the env var must
@@ -204,14 +206,30 @@ std::uint64_t FailpointHits(std::string_view name);
 namespace detail {
 extern std::atomic<int> g_armed_failpoints;
 void MaybeFailSlow(const char* name);
+bool FailpointFlaggedSlow(const char* name);
 }  // namespace detail
+
+// True when at least one failpoint (of any spec) is armed. One relaxed
+// atomic load; instrumented hot paths use it to skip per-point lookups.
+inline bool AnyFailpointsArmed() {
+  return detail::g_armed_failpoints.load(std::memory_order_relaxed) != 0;
+}
 
 // The per-unit check each engine stage compiles in. Disarmed cost: one
 // relaxed atomic load. Armed: counts the hit and throws pfd::Error when the
-// spec fires.
+// spec fires. A name armed with "flag" counts the hit but never throws.
 inline void MaybeFail(const char* name) {
-  if (detail::g_armed_failpoints.load(std::memory_order_relaxed) == 0) return;
+  if (!AnyFailpointsArmed()) return;
   detail::MaybeFailSlow(name);
+}
+
+// The poll a "flag" failpoint site compiles in: true only while `name` is
+// armed with spec "flag" (a "throw" arming does not flag, and vice versa a
+// flag arming never throws). Each poll that observes the armed flag counts
+// as a hit. Disarmed cost: one relaxed atomic load.
+inline bool FailpointFlagged(const char* name) {
+  if (!AnyFailpointsArmed()) return false;
+  return detail::FailpointFlaggedSlow(name);
 }
 
 }  // namespace pfd::guard

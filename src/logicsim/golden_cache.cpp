@@ -26,25 +26,39 @@ std::shared_ptr<const GoldenEntry> GoldenTraceCache::Find(
   return entry;
 }
 
-void GoldenTraceCache::Insert(const GoldenKey& key,
-                              std::shared_ptr<const GoldenEntry> entry) {
-  if (entry == nullptr) return;
+std::shared_ptr<const GoldenEntry> GoldenTraceCache::Insert(
+    const GoldenKey& key, std::shared_ptr<const GoldenEntry> entry) {
+  if (entry == nullptr) return nullptr;
+  bool inserted = false;
+  std::shared_ptr<const GoldenEntry> resident;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // First insert wins: concurrent producers computed identical artefacts,
     // so keeping the incumbent preserves pointer stability for held refs.
-    if (!entries_.emplace(key, std::move(entry)).second) return;
-    insertion_order_.push_back(key);
-    while (entries_.size() > kMaxEntries) {
-      entries_.erase(insertion_order_.front());
-      insertion_order_.erase(insertion_order_.begin());
+    // Probe before emplacing — emplace may move from `entry` even when the
+    // key already exists, and the loser's pointer must survive to be
+    // handed back as the resident artefact.
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      resident = it->second;
+    } else {
+      resident = entry;
+      entries_.emplace(key, std::move(entry));
+      insertion_order_.push_back(key);
+      inserted = true;
+      while (entries_.size() > kMaxEntries) {
+        entries_.erase(insertion_order_.front());
+        insertion_order_.erase(insertion_order_.begin());
+      }
     }
   }
   if (obs::Enabled()) {
     obs::Registry::Global()
-        .GetCounter("logicsim.golden_cache.insertions")
+        .GetCounter(inserted ? "logicsim.golden_cache.insertions"
+                             : "logicsim.golden_cache.dropped_inserts")
         .Add(1);
   }
+  return resident;
 }
 
 std::size_t GoldenTraceCache::size() const {

@@ -58,8 +58,14 @@ struct GoldenEntry {
   std::vector<std::uint64_t> counts;
 };
 
-// Streaming FNV-1a (64-bit) for building stimulus digests. Feed fixed-width
-// values only (Add(std::uint64_t)) so digests are layout-independent.
+// Streaming FNV-1a (64-bit) for building stimulus digests. Every field is
+// self-delimiting — Add feeds a fixed 8-byte little-endian block and
+// AddBytes length-prefixes its payload — so no two distinct *sequences* of
+// Add/AddBytes calls produce the same byte stream (a raw concatenation
+// would make AddBytes("ab")+AddBytes("c") collide with
+// AddBytes("a")+AddBytes("bc"), and a colliding stimulus digest serves a
+// wrong golden trace). Callers hashing variable-size containers must still
+// prefix their element count, as the call sites document.
 class Fnv1a {
  public:
   Fnv1a& Add(std::uint64_t v) {
@@ -70,6 +76,7 @@ class Fnv1a {
     return *this;
   }
   Fnv1a& AddBytes(const char* data, std::size_t size) {
+    Add(static_cast<std::uint64_t>(size));
     for (std::size_t i = 0; i < size; ++i) {
       hash_ ^= static_cast<unsigned char>(data[i]);
       hash_ *= 0x100000001b3ULL;
@@ -92,9 +99,14 @@ class GoldenTraceCache {
 
   // Returns the entry for `key`, or nullptr on miss.
   std::shared_ptr<const GoldenEntry> Find(const GoldenKey& key);
-  // Registers `entry` under `key` (first insert wins on a race). Only call
-  // with artefacts of clean, untripped runs.
-  void Insert(const GoldenKey& key, std::shared_ptr<const GoldenEntry> entry);
+  // Registers `entry` under `key` and returns the resident entry: `entry`
+  // itself when it was inserted, or the incumbent when another producer won
+  // the first-insert race (racing producers computed identical artefacts,
+  // so callers converging on the returned pointer all see one object). A
+  // dropped insert bumps logicsim.golden_cache.dropped_inserts, never
+  // .insertions. Only call with artefacts of clean, untripped runs.
+  std::shared_ptr<const GoldenEntry> Insert(
+      const GoldenKey& key, std::shared_ptr<const GoldenEntry> entry);
 
   std::size_t size() const;
   // Drops every entry (tests; long-lived processes cycling many netlists).

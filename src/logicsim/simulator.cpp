@@ -258,6 +258,19 @@ void Simulator::ProbeGuard() const {
   }
 }
 
+void Simulator::RefreshKernelMutations() {
+  if (!guard::AnyFailpointsArmed()) {
+    mut_ = {};
+    return;
+  }
+  mut_.skip_last_level = guard::FailpointFlagged("xcheck.mutate.skip_level");
+  mut_.stale_known = guard::FailpointFlagged("xcheck.mutate.stale_known");
+  mut_.frontier_off_by_one =
+      guard::FailpointFlagged("xcheck.mutate.frontier_off_by_one");
+  mut_.toggle_undercount =
+      guard::FailpointFlagged("xcheck.mutate.toggle_undercount");
+}
+
 template <bool kForces>
 void Simulator::SettleThreeValued() {
   const CompiledNetlist& p = *prog_;
@@ -293,7 +306,10 @@ void Simulator::SettleTwoValued() {
   const CompiledNetlist& p = *prog_;
   const auto& levels = p.levels();
   const GateId* out = p.out().data();
-  for (std::size_t li = 0; li < levels.size(); ++li) {
+  const std::size_t num_levels =
+      mut_.skip_last_level && !levels.empty() ? levels.size() - 1
+                                              : levels.size();
+  for (std::size_t li = 0; li < num_levels; ++li) {
     const std::uint32_t end = levels[li].end;
     for (std::uint32_t i = levels[li].begin; i < end; ++i) {
       const GateId g = out[i];
@@ -338,6 +354,9 @@ void Simulator::SettleUnitDelay(std::uint64_t& substeps,
   std::size_t rounds = 0;
   while (!ud_frontier_.empty()) {
     PFD_CHECK_MSG(rounds++ <= bound, "unit-delay settle did not stabilise");
+    if (mut_.frontier_off_by_one && ud_frontier_.size() > 1) {
+      ud_frontier_.pop_back();  // planted bug: one instruction never settles
+    }
     ++substeps;
     evals += ud_frontier_.size();
 
@@ -393,6 +412,7 @@ void Simulator::SettleUnitDelay(std::uint64_t& substeps,
 }
 
 void Simulator::Step() {
+  RefreshKernelMutations();
   const CompiledNetlist& p = *prog_;
   const auto& dff_ids = p.dff_ids();
   const auto& dff_d = p.dff_d();
@@ -452,8 +472,10 @@ void Simulator::Step() {
     for (GateId s : p.source_ids()) unknown |= ~known_[s];
     two_valued = unknown == 0;
     if (two_valued && !knowns_saturated_) {
-      std::fill(known_.begin(), known_.end(), ~0ULL);
-      std::fill(level_x_.begin(), level_x_.end(), 0);
+      if (!mut_.stale_known) {  // planted bug: keep stale planes/watermark
+        std::fill(known_.begin(), known_.end(), ~0ULL);
+        std::fill(level_x_.begin(), level_x_.end(), 0);
+      }
       knowns_saturated_ = true;
     }
     if (!two_valued) knowns_saturated_ = false;
@@ -485,7 +507,10 @@ void Simulator::Step() {
   //    combinational (glitch) transitions per sub-step, so here it only
   //    accounts the sequential/input nets and the duty cycle.
   if (count_toggles_) {
-    const std::size_t n = val_.size();
+    // Planted bug (xcheck.mutate.toggle_undercount): the last gate's
+    // switching activity is silently dropped.
+    const std::size_t n =
+        mut_.toggle_undercount && !val_.empty() ? val_.size() - 1 : val_.size();
     if (two_valued && prev_fully_known_) {
       // Steady-state fast path: every lane of every net is known, in this
       // cycle and the previous one.

@@ -83,6 +83,22 @@ class Checker;
 
 namespace pfd::logicsim {
 
+// Kernel mutation failpoints: guard "flag" failpoints compiled into the
+// settle kernels that, when armed (ArmFailpoint(name, "flag") or
+// PFD_FAILPOINTS=name=flag), plant a deliberate, deterministic bug. They
+// exist to prove the xcheck differential harness actually catches kernel
+// miscompiles — a harness that passes with a planted bug is not testing
+// anything. Disarmed cost: one relaxed atomic load per Step.
+inline constexpr const char* kKernelMutationFailpoints[] = {
+    "xcheck.mutate.skip_level",     // two-valued settle skips the last level
+    "xcheck.mutate.stale_known",    // fast-path entry skips the known-plane
+                                    // saturation and watermark clear
+    "xcheck.mutate.frontier_off_by_one",  // unit-delay settle drops the last
+                                          // frontier instruction per sub-step
+    "xcheck.mutate.toggle_undercount",    // last gate's toggles/duty not
+                                          // accumulated
+};
+
 class Simulator {
  public:
   explicit Simulator(const netlist::Netlist& nl);
@@ -195,6 +211,16 @@ class Simulator {
   void SettleTwoValued();
   void SettleUnitDelay(std::uint64_t& substeps, std::uint64_t& evals);
 
+  // Armed kernel mutations (kKernelMutationFailpoints), snapshotted once
+  // per Step; all false when no failpoint is armed.
+  struct KernelMutations {
+    bool skip_last_level = false;
+    bool stale_known = false;
+    bool frontier_off_by_one = false;
+    bool toggle_undercount = false;
+  };
+  void RefreshKernelMutations();
+
   void ProbeGuard() const;  // throws guard::Tripped when the probe tripped
 
   // Queues the combinational readers of `g` for the next unit-delay settle.
@@ -248,6 +274,7 @@ class Simulator {
   std::vector<std::uint64_t> ud_scratch_known_;
 
   const guard::Checker* guard_probe_ = nullptr;
+  KernelMutations mut_;
 
   // Observability counters (cached handles; bumped once per Step, and only
   // when the registry is enabled — see obs/obs.hpp).

@@ -1,0 +1,265 @@
+#include "xcheck/gen.hpp"
+
+#include <iterator>
+#include <string>
+
+#include "base/error.hpp"
+
+namespace pfd::xcheck {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+
+namespace {
+
+std::uint32_t ArityFor(GateKind kind, Rng& rng) {
+  switch (kind) {
+    case GateKind::kBuf:
+    case GateKind::kNot: return 1;
+    case GateKind::kXor:
+    case GateKind::kXnor: return 2;
+    case GateKind::kMux2: return 3;
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kNand:
+    case GateKind::kNor:
+      return 2 + static_cast<std::uint32_t>(rng.Below(3));  // 2..4
+    default: return 0;
+  }
+}
+
+GateKind PickCombKind(Rng& rng) {
+  static constexpr GateKind kCombKinds[] = {
+      GateKind::kBuf,  GateKind::kNot,  GateKind::kAnd,
+      GateKind::kOr,   GateKind::kNand, GateKind::kNor,
+      GateKind::kXor,  GateKind::kXnor, GateKind::kMux2,
+  };
+  return kCombKinds[rng.Below(std::size(kCombKinds))];
+}
+
+}  // namespace
+
+Scenario GenerateScenario(Rng& rng, const GenConfig& cfg) {
+  PFD_CHECK_MSG(cfg.min_gates >= 1 && cfg.min_gates <= cfg.max_gates,
+                "bad gate count range");
+  PFD_CHECK_MSG(cfg.min_cycles >= 1 && cfg.min_cycles <= cfg.max_cycles,
+                "bad cycle count range");
+  Scenario s;
+  const std::uint32_t n =
+      cfg.min_gates +
+      static_cast<std::uint32_t>(rng.Below(cfg.max_gates - cfg.min_gates + 1));
+
+  std::uint32_t dffs = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NodeSpec node;
+    if (i == 0) {
+      node.kind = GateKind::kInput;  // guarantees a fanin pool and stimulus
+    } else if (i + 1 == n) {
+      // The last node is always combinational: it is the gate the
+      // toggle_undercount kernel mutation silently drops, so it must carry
+      // observable switching activity.
+      node.kind = PickCombKind(rng);
+    } else {
+      const std::uint64_t roll = rng.Below(100);
+      if (roll < 8) {
+        node.kind = GateKind::kInput;
+      } else if (roll < 12) {
+        node.kind = rng.Chance(0.5) ? GateKind::kConst0 : GateKind::kConst1;
+      } else if (roll < 26 && dffs < cfg.max_dffs) {
+        node.kind = GateKind::kDff;
+        ++dffs;
+      } else {
+        node.kind = PickCombKind(rng);
+      }
+    }
+    if (netlist::IsCombinational(node.kind)) {
+      const std::uint32_t arity = ArityFor(node.kind, rng);
+      for (std::uint32_t k = 0; k < arity; ++k) {
+        node.fanins.push_back(static_cast<std::uint32_t>(rng.Below(i)));
+      }
+    }
+    s.nodes.push_back(std::move(node));
+  }
+  // DFF D-pins may reference any node (feedback loops included), so they
+  // are filled once the full node list exists.
+  for (NodeSpec& node : s.nodes) {
+    if (node.kind == GateKind::kDff) {
+      node.fanins.push_back(static_cast<std::uint32_t>(rng.Below(n)));
+    }
+  }
+
+  std::vector<std::uint32_t> input_nodes;
+  std::vector<std::uint32_t> forceable;  // anything but constants
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (s.nodes[i].kind == GateKind::kInput) input_nodes.push_back(i);
+    if (s.nodes[i].kind != GateKind::kConst0 &&
+        s.nodes[i].kind != GateKind::kConst1) {
+      forceable.push_back(i);
+    }
+  }
+
+  const std::uint32_t cycles =
+      cfg.min_cycles + static_cast<std::uint32_t>(
+                           rng.Below(cfg.max_cycles - cfg.min_cycles + 1));
+  bool unit_delay = false;
+  for (std::uint32_t c = 0; c < cycles; ++c) {
+    CycleSpec cy;
+    cy.reset = rng.Chance(cfg.reset_prob);
+    if (rng.Chance(cfg.unit_delay_toggle_prob)) unit_delay = !unit_delay;
+    cy.unit_delay = unit_delay;
+
+    if (rng.Chance(cfg.clear_forces_prob)) {
+      cy.forces.push_back(ForceOp{ForceOp::kClear, 0, 0, Trit::kZero});
+    }
+    while (cy.forces.size() < 3 && rng.Chance(cfg.force_prob)) {
+      const std::uint32_t g =
+          forceable[rng.Below(forceable.size())];
+      const Trit v = rng.Chance(0.5) ? Trit::kOne : Trit::kZero;
+      const std::uint32_t arity =
+          static_cast<std::uint32_t>(s.nodes[g].fanins.size());
+      if (arity > 0 && rng.Chance(0.4)) {
+        cy.forces.push_back(ForceOp{
+            ForceOp::kPin, g, static_cast<std::uint32_t>(rng.Below(arity)),
+            v});
+      } else {
+        cy.forces.push_back(ForceOp{ForceOp::kOutput, g, 0, v});
+      }
+    }
+
+    for (const std::uint32_t in : input_nodes) {
+      if (rng.Chance(cfg.skip_input_prob)) continue;
+      Trit v = Trit::kX;
+      if (!rng.Chance(cfg.x_input_prob)) {
+        v = rng.Chance(0.5) ? Trit::kOne : Trit::kZero;
+      }
+      cy.inputs.emplace_back(in, v);
+    }
+    s.cycles.push_back(std::move(cy));
+  }
+  return s;
+}
+
+netlist::Netlist BuildNetlist(const Scenario& s) {
+  PFD_CHECK_MSG(!s.nodes.empty(), "scenario has no nodes");
+  netlist::Netlist nl;
+  std::vector<GateId> ids;
+  ids.reserve(s.nodes.size());
+  for (std::size_t i = 0; i < s.nodes.size(); ++i) {
+    const NodeSpec& node = s.nodes[i];
+    // Alternate module tags so every downstream module filter sees both.
+    const ModuleTag tag =
+        (i % 2 == 0) ? ModuleTag::kDatapath : ModuleTag::kController;
+    const std::string name = "n" + std::to_string(i);
+    GateId id = netlist::kNoGate;
+    switch (node.kind) {
+      case GateKind::kInput:
+        id = nl.AddInput(name, tag);
+        break;
+      case GateKind::kDff:
+        id = nl.AddDff(tag, name);
+        break;
+      default: {
+        std::vector<GateId> fanins;
+        for (const std::uint32_t f : node.fanins) fanins.push_back(ids[f]);
+        id = nl.AddGate(node.kind, tag, fanins, name);
+        break;
+      }
+    }
+    PFD_CHECK_MSG(id == static_cast<GateId>(i),
+                  "BuildNetlist id does not match node index");
+    ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < s.nodes.size(); ++i) {
+    if (s.nodes[i].kind == GateKind::kDff) {
+      nl.ConnectDff(ids[i], ids[s.nodes[i].fanins[0]]);
+    }
+  }
+  nl.AddOutput(ids.back(), "out");
+  return nl;
+}
+
+namespace {
+
+const char* KindToken(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput: return "kInput";
+    case GateKind::kConst0: return "kConst0";
+    case GateKind::kConst1: return "kConst1";
+    case GateKind::kBuf: return "kBuf";
+    case GateKind::kNot: return "kNot";
+    case GateKind::kAnd: return "kAnd";
+    case GateKind::kOr: return "kOr";
+    case GateKind::kNand: return "kNand";
+    case GateKind::kNor: return "kNor";
+    case GateKind::kXor: return "kXor";
+    case GateKind::kXnor: return "kXnor";
+    case GateKind::kMux2: return "kMux2";
+    case GateKind::kDff: return "kDff";
+  }
+  return "kInput";
+}
+
+const char* TritToken(Trit t) {
+  switch (t) {
+    case Trit::kZero: return "Trit::kZero";
+    case Trit::kOne: return "Trit::kOne";
+    default: return "Trit::kX";
+  }
+}
+
+}  // namespace
+
+std::string ScenarioToCpp(const Scenario& s) {
+  std::string out;
+  out += "// xcheck repro: " + std::to_string(s.nodes.size()) + " nodes, " +
+         std::to_string(s.cycles.size()) + " cycles.\n";
+  out += "pfd::xcheck::Scenario s;\n";
+  out += "using pfd::Trit;\n";
+  out += "using pfd::netlist::GateKind;\n";
+  out += "s.nodes = {\n";
+  for (const NodeSpec& node : s.nodes) {
+    out += "    {GateKind::";
+    out += KindToken(node.kind);
+    out += ", {";
+    for (std::size_t k = 0; k < node.fanins.size(); ++k) {
+      if (k > 0) out += ", ";
+      out += std::to_string(node.fanins[k]);
+    }
+    out += "}},\n";
+  }
+  out += "};\n";
+  for (const CycleSpec& cy : s.cycles) {
+    out += "{\n  pfd::xcheck::CycleSpec c;\n";
+    if (cy.reset) out += "  c.reset = true;\n";
+    if (cy.unit_delay) out += "  c.unit_delay = true;\n";
+    if (!cy.forces.empty()) {
+      out += "  c.forces = {\n";
+      for (const ForceOp& f : cy.forces) {
+        const char* kind = f.kind == ForceOp::kOutput ? "kOutput"
+                           : f.kind == ForceOp::kPin  ? "kPin"
+                                                      : "kClear";
+        out += "      {pfd::xcheck::ForceOp::";
+        out += kind;
+        out += ", " + std::to_string(f.node) + ", " + std::to_string(f.pin) +
+               ", " + TritToken(f.value) + "},\n";
+      }
+      out += "  };\n";
+    }
+    if (!cy.inputs.empty()) {
+      out += "  c.inputs = {";
+      for (std::size_t k = 0; k < cy.inputs.size(); ++k) {
+        if (k > 0) out += ", ";
+        out += "{" + std::to_string(cy.inputs[k].first) + ", " +
+               TritToken(cy.inputs[k].second) + "}";
+      }
+      out += "};\n";
+    }
+    out += "  s.cycles.push_back(c);\n}\n";
+  }
+  out += "const pfd::xcheck::CaseResult r = pfd::xcheck::RunScenario(s);\n";
+  out += "EXPECT_TRUE(r.ok) << r.detail;\n";
+  return out;
+}
+
+}  // namespace pfd::xcheck

@@ -1,0 +1,96 @@
+// Randomized well-formed netlist + stimulus scenarios for the differential
+// harness.
+//
+// A Scenario is a self-contained, serializable description of one
+// differential test case: the circuit as an ordered list of NodeSpecs
+// (node index == GateId after BuildNetlist — gates are created in list
+// order) and the per-cycle stimulus program (input drives, stuck-at
+// force/release, mid-run Reset, timing-model switches). Keeping the case
+// in this plain-data form — rather than as a built Netlist — is what makes
+// greedy shrinking (xcheck.hpp) and the ready-to-paste C++ repro emitter
+// trivial.
+//
+// Well-formedness invariants (GenerateScenario produces them, the shrinker
+// preserves them, BuildNetlist assumes them; Netlist::Validate re-checks):
+//   * node 0 is a primary input;
+//   * combinational fanins reference strictly earlier nodes (acyclic by
+//     construction); DFF D-fanins may reference any node, including the
+//     DFF itself (the register breaks the loop);
+//   * fanin counts match ExpectedArity;
+//   * forces never target constant gates (the production simulator
+//     silently ignores output forces on constants — see ref_sim.hpp — so
+//     such a force would test nothing), and never force X;
+//   * pin-force pins are in range for the target's arity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/logic.hpp"
+#include "base/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pfd::xcheck {
+
+struct NodeSpec {
+  netlist::GateKind kind = netlist::GateKind::kInput;
+  // Indices into Scenario::nodes. Combinational: strictly earlier nodes.
+  // DFF: exactly one entry, any node (forward references allowed).
+  std::vector<std::uint32_t> fanins;
+};
+
+struct ForceOp {
+  enum Kind : std::uint8_t {
+    kOutput,  // stuck-at on node's output, all lanes
+    kPin,     // stuck-at on node's reading of fanin `pin`
+    kClear,   // release every registered force
+  };
+  Kind kind = kOutput;
+  std::uint32_t node = 0;
+  std::uint32_t pin = 0;
+  Trit value = Trit::kZero;
+};
+
+struct CycleSpec {
+  bool reset = false;       // Reset() both simulators before this cycle
+  bool unit_delay = false;  // timing model for this cycle
+  std::vector<ForceOp> forces;
+  // Input drives for this cycle: (node index, value). Inputs not listed
+  // keep their previous value — deliberately, to cover the stored-state
+  // path of SetInput.
+  std::vector<std::pair<std::uint32_t, Trit>> inputs;
+};
+
+struct Scenario {
+  std::vector<NodeSpec> nodes;
+  std::vector<CycleSpec> cycles;
+};
+
+struct GenConfig {
+  std::uint32_t min_gates = 4;
+  std::uint32_t max_gates = 40;
+  std::uint32_t max_dffs = 6;
+  std::uint32_t min_cycles = 2;
+  std::uint32_t max_cycles = 24;
+  double x_input_prob = 0.15;          // X instead of a known input value
+  double skip_input_prob = 0.10;       // leave an input un-driven this cycle
+  double force_prob = 0.12;            // geometric: chance of each next force
+  double clear_forces_prob = 0.06;
+  double reset_prob = 0.04;
+  double unit_delay_toggle_prob = 0.15;  // flip the timing model (sticky)
+};
+
+// Draws one well-formed scenario. Deterministic in (rng state, cfg).
+Scenario GenerateScenario(Rng& rng, const GenConfig& cfg);
+
+// Materializes the scenario's circuit. Gates are created in node order, so
+// GateId == node index; the last node is registered as an output port.
+netlist::Netlist BuildNetlist(const Scenario& s);
+
+// Renders the scenario as a ready-to-paste C++ test-case body that rebuilds
+// it and asserts RunScenario(s).ok.
+std::string ScenarioToCpp(const Scenario& s);
+
+}  // namespace pfd::xcheck

@@ -1,0 +1,228 @@
+#include "xcheck/ref_sim.hpp"
+
+#include "base/error.hpp"
+
+namespace pfd::xcheck {
+
+using netlist::GateId;
+using netlist::GateKind;
+
+RefSimulator::RefSimulator(const netlist::Netlist& nl) : nl_(&nl) {
+  value_.assign(nl.size(), Trit::kX);
+  dff_next_.assign(nl.size(), Trit::kX);
+  prev_.assign(nl.size(), Trit::kX);
+  toggles_.assign(nl.size(), 0);
+  duty_.assign(nl.size(), 0);
+  out_force_.assign(nl.size(), OutForce{});
+  Reset();
+}
+
+void RefSimulator::Reset() {
+  for (GateId g = 0; g < value_.size(); ++g) {
+    Trit t = Trit::kX;
+    if (nl_->gate(g).kind == GateKind::kConst0) t = Trit::kZero;
+    if (nl_->gate(g).kind == GateKind::kConst1) t = Trit::kOne;
+    value_[g] = t;
+    dff_next_[g] = Trit::kX;
+    prev_[g] = t;
+    toggles_[g] = 0;
+    duty_[g] = 0;
+  }
+  cycles_ = 0;
+  two_valued_ = false;
+}
+
+void RefSimulator::SetInput(GateId input, Trit t) {
+  PFD_CHECK_MSG(nl_->gate(input).kind == GateKind::kInput,
+                "SetInput on a non-input gate");
+  value_[input] = t;
+}
+
+void RefSimulator::EnableToggleCounting(bool enable) {
+  if (enable && !count_toggles_) prev_ = value_;
+  count_toggles_ = enable;
+}
+
+void RefSimulator::ForceOutput(GateId g, Trit value) {
+  PFD_CHECK_MSG(value != Trit::kX, "cannot force X");
+  (value == Trit::kZero ? out_force_[g].sa0 : out_force_[g].sa1) = true;
+}
+
+void RefSimulator::ForcePin(GateId g, std::uint32_t pin, Trit value) {
+  PFD_CHECK_MSG(value != Trit::kX, "cannot force X");
+  PFD_CHECK_MSG(pin < nl_->Fanins(g).size(), "pin out of range");
+  for (PinForce& pf : pin_forces_) {
+    if (pf.gate == g && pf.pin == pin) {
+      (value == Trit::kZero ? pf.sa0 : pf.sa1) = true;
+      return;
+    }
+  }
+  PinForce pf{g, pin};
+  (value == Trit::kZero ? pf.sa0 : pf.sa1) = true;
+  pin_forces_.push_back(pf);
+}
+
+void RefSimulator::ClearForces() {
+  out_force_.assign(nl_->size(), OutForce{});
+  pin_forces_.clear();
+}
+
+Trit RefSimulator::ApplyOutForce(GateId g, Trit t) const {
+  const GateKind kind = nl_->gate(g).kind;
+  // The production simulator never applies output forces to constants:
+  // they are neither sources (step 1/2) nor instructions (settle), so the
+  // registered masks are dead. Mirror that, don't "fix" it here.
+  if (kind == GateKind::kConst0 || kind == GateKind::kConst1) return t;
+  return Forced(t, out_force_[g].sa0, out_force_[g].sa1);
+}
+
+Trit RefSimulator::ReadFanin(GateId g, std::uint32_t pin,
+                             const std::vector<Trit>& state) const {
+  Trit t = state[nl_->Fanins(g)[pin]];
+  for (const PinForce& pf : pin_forces_) {
+    if (pf.gate == g && pf.pin == pin) t = Forced(t, pf.sa0, pf.sa1);
+  }
+  return t;
+}
+
+Trit RefSimulator::EvalGate(GateId g, const std::vector<Trit>& state) const {
+  const GateKind kind = nl_->gate(g).kind;
+  const std::size_t arity = nl_->Fanins(g).size();
+  switch (kind) {
+    case GateKind::kBuf: return ReadFanin(g, 0, state);
+    case GateKind::kNot: return Not3(ReadFanin(g, 0, state));
+    case GateKind::kAnd:
+    case GateKind::kNand: {
+      Trit acc = ReadFanin(g, 0, state);
+      for (std::uint32_t k = 1; k < arity; ++k) {
+        acc = And3(acc, ReadFanin(g, k, state));
+      }
+      return kind == GateKind::kNand ? Not3(acc) : acc;
+    }
+    case GateKind::kOr:
+    case GateKind::kNor: {
+      Trit acc = ReadFanin(g, 0, state);
+      for (std::uint32_t k = 1; k < arity; ++k) {
+        acc = Or3(acc, ReadFanin(g, k, state));
+      }
+      return kind == GateKind::kNor ? Not3(acc) : acc;
+    }
+    case GateKind::kXor:
+      return Xor3(ReadFanin(g, 0, state), ReadFanin(g, 1, state));
+    case GateKind::kXnor:
+      return Not3(Xor3(ReadFanin(g, 0, state), ReadFanin(g, 1, state)));
+    case GateKind::kMux2:
+      return Mux3(ReadFanin(g, 0, state), ReadFanin(g, 1, state),
+                  ReadFanin(g, 2, state));
+    default:
+      PFD_CHECK_MSG(false, "EvalGate on a non-combinational gate");
+      return Trit::kX;
+  }
+}
+
+void RefSimulator::SettleZeroDelay() {
+  // Full re-sweeps in creation order until a sweep changes nothing. The
+  // combinational graph is acyclic (Validate enforces it), so this reaches
+  // the same unique fixpoint as level-order evaluation, within at most
+  // depth+1 sweeps; the bound only guards structural corruption.
+  const std::size_t bound = nl_->size() + 2;
+  for (std::size_t sweep = 0;; ++sweep) {
+    PFD_CHECK_MSG(sweep <= bound, "reference zero-delay settle diverged");
+    bool changed = false;
+    for (GateId g = 0; g < value_.size(); ++g) {
+      if (!netlist::IsCombinational(nl_->gate(g).kind)) continue;
+      const Trit nv = ApplyOutForce(g, EvalGate(g, value_));
+      if (nv != value_[g]) {
+        value_[g] = nv;
+        changed = true;
+      }
+    }
+    if (!changed) return;
+  }
+}
+
+void RefSimulator::SettleUnitDelay() {
+  // Jacobi full sweeps: one sub-step evaluates every combinational gate
+  // against the previous sub-step's values, then commits all at once. A
+  // gate whose fanins did not change re-evaluates to its old value, so the
+  // per-sub-step transition sequence is identical to the production
+  // simulator's event-driven frontier.
+  const std::size_t bound = nl_->size() + 2;
+  std::vector<Trit> next = value_;
+  for (std::size_t substep = 0;; ++substep) {
+    PFD_CHECK_MSG(substep <= bound, "reference unit-delay settle diverged");
+    bool changed = false;
+    for (GateId g = 0; g < value_.size(); ++g) {
+      if (!netlist::IsCombinational(nl_->gate(g).kind)) continue;
+      next[g] = ApplyOutForce(g, EvalGate(g, value_));
+      if (next[g] == value_[g]) continue;
+      changed = true;
+      if (count_toggles_ && next[g] != Trit::kX && value_[g] != Trit::kX) {
+        ++toggles_[g];  // a known 0<->1 edge of this sub-step
+      }
+    }
+    if (!changed) return;
+    value_ = next;
+  }
+}
+
+void RefSimulator::Step() {
+  const std::vector<GateId> dffs = nl_->DffIds();
+  const std::vector<GateId> inputs = nl_->InputIds();
+
+  // 1. Clock edge: commit captured D (first cycle keeps power-up X), then
+  //    output forces on the register outputs.
+  for (GateId d : dffs) {
+    const Trit base = cycles_ > 0 ? dff_next_[d] : value_[d];
+    value_[d] = ApplyOutForce(d, base);
+  }
+
+  // 2. Output forces on primary inputs. Stored, exactly like the compiled
+  //    simulator: clearing the force later leaves the forced value behind
+  //    until the input is driven again.
+  for (GateId in : inputs) {
+    value_[in] = ApplyOutForce(in, value_[in]);
+  }
+
+  // 3. Fast-path predicate (zero-delay only): every source fully known.
+  bool two_valued = false;
+  if (!unit_delay_) {
+    two_valued = true;
+    for (GateId in : inputs) two_valued &= value_[in] != Trit::kX;
+    for (GateId d : dffs) two_valued &= value_[d] != Trit::kX;
+  }
+
+  // 4. Combinational settle.
+  if (!unit_delay_) {
+    SettleZeroDelay();
+  } else {
+    SettleUnitDelay();
+  }
+  two_valued_ = two_valued;
+
+  // 5. Switching activity. Zero-delay: settled-to-settled for every net;
+  //    unit-delay: combinational glitches were counted per sub-step, so
+  //    only sequential/input nets count here. Transitions to or from X are
+  //    never transitions; duty counts known-1 cycles of every net.
+  if (count_toggles_) {
+    for (GateId g = 0; g < value_.size(); ++g) {
+      if (!unit_delay_ || !netlist::IsCombinational(nl_->gate(g).kind)) {
+        if (prev_[g] != Trit::kX && value_[g] != Trit::kX &&
+            prev_[g] != value_[g]) {
+          ++toggles_[g];
+        }
+      }
+      if (value_[g] == Trit::kOne) ++duty_[g];
+    }
+    prev_ = value_;
+  }
+
+  // 6. Capture next DFF state from the settled D pins (with pin forces).
+  for (GateId d : dffs) {
+    dff_next_[d] = ReadFanin(d, 0, value_);
+  }
+
+  ++cycles_;
+}
+
+}  // namespace pfd::xcheck

@@ -1,0 +1,115 @@
+// Deliberately naive reference simulator — the differential oracle.
+//
+// The production simulator (logicsim/simulator.hpp) earns its speed from
+// machinery that is easy to get subtly wrong: levelized SoA instruction
+// streams, a two-valued fast path that drops the known planes, an
+// event-driven unit-delay worklist, packed 64-lane words. RefSimulator is
+// the opposite end of the trade: one scalar Trit per net, the raw
+// netlist::Netlist graph walked directly (no CompiledNetlist anywhere),
+// full re-sweeps to fixpoint instead of levelization, and no caching of any
+// kind. Every line is meant to be checkable against the semantics contract
+// in simulator.hpp by inspection.
+//
+// The contract it mirrors, in Step() order:
+//   1. DFF commit from the captured D (power-up X kept on the first cycle),
+//      then output forces on DFFs;
+//   2. output forces on primary inputs (stored, like the compiled sim —
+//      a cleared force leaves the forced value behind until re-driven);
+//   3. zero-delay: combinational re-sweeps in creation order until a sweep
+//      changes nothing (the unique fixpoint of the acyclic graph — the same
+//      values level-order evaluation produces);
+//      unit-delay: Jacobi full sweeps, one sub-step per sweep, counting
+//      known 0<->1 transitions of combinational nets per sub-step;
+//   4. toggle/duty accounting (zero-delay: settled-to-settled for every
+//      net; unit-delay: settled-to-settled for sequential/input nets only,
+//      glitches were counted in 3); transitions to or from X never count;
+//   5. DFF next-state capture from D with pin-0 forces applied.
+//
+// Forces mirror Simulator::ApplyForce exactly: stuck-at-0 wins where both
+// polarities are registered, forcing only ever adds known-ness, and output
+// forces on constant gates are ignored (the compiled simulator never
+// applies them — constants are neither sources nor instructions).
+//
+// One scalar value per net corresponds to all 64 lanes of the production
+// simulator carrying the same splat value; the differential driver
+// (xcheck.hpp) drives both sides that way and multiplies reference toggle
+// counts by 64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logic.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pfd::xcheck {
+
+class RefSimulator {
+ public:
+  explicit RefSimulator(const netlist::Netlist& nl);
+
+  // Power-up: every net X (constants excepted), counters zeroed; registered
+  // forces survive, as in the production simulator.
+  void Reset();
+
+  void SetInput(netlist::GateId input, Trit t);
+  void EnableUnitDelay(bool enable) { unit_delay_ = enable; }
+  void EnableToggleCounting(bool enable);
+
+  void ForceOutput(netlist::GateId g, Trit value);
+  void ForcePin(netlist::GateId g, std::uint32_t pin, Trit value);
+  void ClearForces();
+
+  void Step();
+
+  Trit Value(netlist::GateId g) const { return value_[g]; }
+  std::uint64_t ToggleCount(netlist::GateId g) const { return toggles_[g]; }
+  std::uint64_t DutyCount(netlist::GateId g) const { return duty_[g]; }
+  std::uint64_t cycles() const { return cycles_; }
+  // True when the last Step ran with every source (input and committed DFF)
+  // known under zero-delay timing — the fast-path predicate the compiled
+  // simulator must agree on.
+  bool last_step_two_valued() const { return two_valued_; }
+
+ private:
+  struct OutForce {
+    bool sa0 = false;
+    bool sa1 = false;
+  };
+  struct PinForce {
+    netlist::GateId gate;
+    std::uint32_t pin;
+    bool sa0 = false;
+    bool sa1 = false;
+  };
+
+  static Trit Forced(Trit t, bool sa0, bool sa1) {
+    // Matches Simulator::ApplyForce bit algebra: sa0 wins over sa1.
+    if (sa0) return Trit::kZero;
+    if (sa1) return Trit::kOne;
+    return t;
+  }
+
+  Trit ApplyOutForce(netlist::GateId g, Trit t) const;
+  Trit ReadFanin(netlist::GateId g, std::uint32_t pin,
+                 const std::vector<Trit>& state) const;
+  Trit EvalGate(netlist::GateId g, const std::vector<Trit>& state) const;
+
+  void SettleZeroDelay();
+  void SettleUnitDelay();
+
+  const netlist::Netlist* nl_;
+  std::vector<Trit> value_;
+  std::vector<Trit> dff_next_;
+  std::vector<Trit> prev_;  // last counted settled values (toggle counting)
+  std::vector<std::uint64_t> toggles_;
+  std::vector<std::uint64_t> duty_;
+  std::vector<OutForce> out_force_;
+  std::vector<PinForce> pin_forces_;
+  std::uint64_t cycles_ = 0;
+  bool unit_delay_ = false;
+  bool count_toggles_ = false;
+  bool two_valued_ = false;
+};
+
+}  // namespace pfd::xcheck

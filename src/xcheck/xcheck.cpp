@@ -1,0 +1,339 @@
+#include "xcheck/xcheck.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "base/error.hpp"
+#include "guard/guard.hpp"
+#include "logicsim/simulator.hpp"
+#include "obs/obs.hpp"
+#include "xcheck/ref_sim.hpp"
+
+namespace pfd::xcheck {
+
+using netlist::GateId;
+using netlist::GateKind;
+
+namespace {
+
+std::string Describe(const char* what, std::uint64_t cycle, GateId g,
+                     const std::string& rest) {
+  return std::string(what) + " miscompare at cycle " + std::to_string(cycle) +
+         ", gate " + std::to_string(g) + ": " + rest;
+}
+
+// One post-Step comparison of every observable the kernel promises to keep
+// bit-identical to the reference. Returns the first divergence found.
+CaseResult CompareStates(const logicsim::Simulator& sim,
+                         const RefSimulator& ref, const CycleSpec& cy,
+                         std::uint64_t cycle) {
+  const std::size_t n = sim.nl().size();
+  if (sim.cycles() != ref.cycles()) {
+    return {false, Describe("cycle-counter", cycle, 0,
+                            "compiled=" + std::to_string(sim.cycles()) +
+                                " ref=" + std::to_string(ref.cycles()))};
+  }
+  if (sim.last_step_two_valued() != ref.last_step_two_valued()) {
+    return {false,
+            Describe("fast-path predicate", cycle, 0,
+                     std::string("compiled=") +
+                         (sim.last_step_two_valued() ? "true" : "false") +
+                         " ref=" +
+                         (ref.last_step_two_valued() ? "true" : "false"))};
+  }
+  for (GateId g = 0; g < n; ++g) {
+    const Word3 got = sim.Value(g);
+    const Word3 want = Splat(ref.Value(g));
+    if (got != want) {
+      return {false,
+              Describe("value", cycle, g,
+                       std::string("compiled={val=") +
+                           std::to_string(got.val) +
+                           ",known=" + std::to_string(got.known) + "} ref=" +
+                           TritChar(ref.Value(g)))};
+    }
+  }
+  for (GateId g = 0; g < n; ++g) {
+    if (sim.ToggleCount(g) != 64 * ref.ToggleCount(g)) {
+      return {false, Describe("toggle-count", cycle, g,
+                              "compiled=" + std::to_string(sim.ToggleCount(g)) +
+                                  " ref=64*" +
+                                  std::to_string(ref.ToggleCount(g)))};
+    }
+    if (sim.DutyCount(g) != 64 * ref.DutyCount(g)) {
+      return {false, Describe("duty-count", cycle, g,
+                              "compiled=" + std::to_string(sim.DutyCount(g)) +
+                                  " ref=64*" +
+                                  std::to_string(ref.DutyCount(g)))};
+    }
+  }
+  // The watermark is only defined after zero-delay settles; the unit-delay
+  // path leaves it stale by contract.
+  if (!cy.unit_delay) {
+    const logicsim::CompiledNetlist& prog = sim.program();
+    const auto& levels = prog.levels();
+    const auto& out = prog.out();
+    const auto& watermark = sim.level_x_watermark();
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+      bool any_x = false;
+      for (std::uint32_t i = levels[li].begin; i < levels[li].end; ++i) {
+        any_x |= ref.Value(out[i]) == Trit::kX;
+      }
+      const std::uint64_t want = any_x ? ~0ULL : 0;
+      if (watermark[li] != want) {
+        return {false,
+                Describe("X-watermark", cycle, 0,
+                         "level " + std::to_string(li) + " compiled=" +
+                             std::to_string(watermark[li]) +
+                             " expected=" + std::to_string(want))};
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+CaseResult RunScenario(const Scenario& s) {
+  netlist::Netlist nl = BuildNetlist(s);
+  nl.Validate();
+
+  logicsim::Simulator sim(nl);
+  RefSimulator ref(nl);
+
+  // Rebuilding the circuit must land on the very hash the compiled program
+  // cached: the golden-trace cache keys on it, so any instability here
+  // aliases cache entries across distinct circuits.
+  {
+    const netlist::Netlist rebuilt = BuildNetlist(s);
+    const std::uint64_t h1 = nl.StructuralHash();
+    const std::uint64_t h2 = rebuilt.StructuralHash();
+    if (h1 != h2 || h1 != sim.program().structural_hash()) {
+      return {false, "structural-hash instability: build=" +
+                         std::to_string(h1) +
+                         " rebuild=" + std::to_string(h2) + " compiled=" +
+                         std::to_string(sim.program().structural_hash())};
+    }
+  }
+
+  // A never-tripping guard probe keeps the kernel's cooperative
+  // checkpoints on the differential path.
+  guard::Checker probe{guard::Limits{}};
+  sim.SetGuardProbe(&probe);
+
+  sim.EnableToggleCounting(true);
+  ref.EnableToggleCounting(true);
+
+  for (std::uint64_t c = 0; c < s.cycles.size(); ++c) {
+    const CycleSpec& cy = s.cycles[c];
+    if (cy.reset) {
+      sim.Reset();
+      ref.Reset();
+    }
+    sim.EnableUnitDelay(cy.unit_delay);
+    ref.EnableUnitDelay(cy.unit_delay);
+    for (const ForceOp& f : cy.forces) {
+      switch (f.kind) {
+        case ForceOp::kClear:
+          sim.ClearForces();
+          ref.ClearForces();
+          break;
+        case ForceOp::kOutput:
+          sim.ForceOutput(f.node, f.value, ~0ULL);
+          ref.ForceOutput(f.node, f.value);
+          break;
+        case ForceOp::kPin:
+          sim.ForcePin(f.node, f.pin, f.value, ~0ULL);
+          ref.ForcePin(f.node, f.pin, f.value);
+          break;
+      }
+    }
+    for (const auto& [in, v] : cy.inputs) {
+      sim.SetInputAllLanes(in, v);
+      ref.SetInput(in, v);
+    }
+    sim.Step();
+    ref.Step();
+    const CaseResult r = CompareStates(sim, ref, cy, c);
+    if (!r.ok) return r;
+  }
+  return {};
+}
+
+std::uint64_t CaseSeed(std::uint64_t seed, std::uint32_t index) {
+  // splitmix64 of (seed, index) so case streams are pairwise unrelated.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+XcheckResult RunXcheck(const XcheckConfig& cfg) {
+  XcheckResult out;
+  obs::Registry& reg = obs::Registry::Global();
+  for (std::uint32_t i = 0; i < cfg.iters; ++i) {
+    const std::uint64_t case_seed = CaseSeed(cfg.seed, i);
+    Rng rng(case_seed);
+    const Scenario s = GenerateScenario(rng, cfg.gen);
+    if (obs::Enabled()) reg.GetCounter("xcheck.runs").Add(1);
+    const CaseResult r = RunScenario(s);
+    ++out.cases_run;
+    if (r.ok) continue;
+    if (obs::Enabled()) reg.GetCounter("xcheck.miscompares").Add(1);
+    out.miscompares = 1;
+    out.failing_case_seed = case_seed;
+    out.failing_case_index = i;
+    out.failure_detail = r.detail;
+    out.repro = cfg.shrink ? Shrink(s, &out.shrink_steps) : s;
+    out.repro_cpp = ScenarioToCpp(out.repro);
+    break;
+  }
+  return out;
+}
+
+namespace {
+
+bool StillFails(const Scenario& s) {
+  try {
+    return !RunScenario(s).ok;
+  } catch (const Error&) {
+    return false;  // a reduction that broke well-formedness is rejected
+  }
+}
+
+// Deletes node k, remapping every reference to an earlier node: a
+// combinational victim donates its first fanin (strictly earlier than both
+// k and any reader), anything else is replaced by node 0. Cycle ops
+// touching the victim are dropped; indices above k shift down.
+std::optional<Scenario> RemoveNode(const Scenario& s, std::uint32_t k) {
+  if (k == 0 || s.nodes.size() <= 1) return std::nullopt;
+  const std::uint32_t repl =
+      netlist::IsCombinational(s.nodes[k].kind) && !s.nodes[k].fanins.empty()
+          ? s.nodes[k].fanins[0]
+          : 0;
+  const auto remap = [&](std::uint32_t f) {
+    if (f == k) f = repl;
+    return f > k ? f - 1 : f;
+  };
+  Scenario out;
+  for (std::uint32_t i = 0; i < s.nodes.size(); ++i) {
+    if (i == k) continue;
+    NodeSpec node = s.nodes[i];
+    for (std::uint32_t& f : node.fanins) f = remap(f);
+    out.nodes.push_back(std::move(node));
+  }
+  for (const CycleSpec& cy : s.cycles) {
+    CycleSpec nc;
+    nc.reset = cy.reset;
+    nc.unit_delay = cy.unit_delay;
+    for (const ForceOp& f : cy.forces) {
+      if (f.kind != ForceOp::kClear && f.node == k) continue;
+      ForceOp nf = f;
+      if (nf.kind != ForceOp::kClear) nf.node = remap(nf.node);
+      nc.forces.push_back(nf);
+    }
+    for (const auto& [in, v] : cy.inputs) {
+      if (in == k) continue;
+      nc.inputs.emplace_back(remap(in), v);
+    }
+    out.cycles.push_back(std::move(nc));
+  }
+  return out;
+}
+
+}  // namespace
+
+Scenario Shrink(const Scenario& failing, std::uint64_t* steps) {
+  obs::Registry& reg = obs::Registry::Global();
+  const auto accept = [&](Scenario& cur, Scenario cand) {
+    if (!StillFails(cand)) return false;
+    cur = std::move(cand);
+    if (steps != nullptr) ++*steps;
+    if (obs::Enabled()) reg.GetCounter("xcheck.shrink_steps").Add(1);
+    return true;
+  };
+
+  Scenario cur = failing;
+  bool progressed = true;
+  for (int round = 0; progressed && round < 50; ++round) {
+    progressed = false;
+    // Drop whole cycles, latest first (later cycles depend on earlier state,
+    // so trailing ones are the cheapest to lose).
+    for (std::size_t c = cur.cycles.size(); c-- > 0 && cur.cycles.size() > 1;) {
+      Scenario cand = cur;
+      cand.cycles.erase(cand.cycles.begin() + static_cast<std::ptrdiff_t>(c));
+      progressed |= accept(cur, std::move(cand));
+    }
+    // Delete gates.
+    for (std::uint32_t k = static_cast<std::uint32_t>(cur.nodes.size());
+         k-- > 1;) {
+      if (k >= cur.nodes.size()) continue;
+      std::optional<Scenario> cand = RemoveNode(cur, k);
+      if (cand.has_value()) progressed |= accept(cur, *std::move(cand));
+    }
+    // Simplify surviving cycles field by field.
+    for (std::size_t c = 0; c < cur.cycles.size(); ++c) {
+      if (cur.cycles[c].reset) {
+        Scenario cand = cur;
+        cand.cycles[c].reset = false;
+        progressed |= accept(cur, std::move(cand));
+      }
+      if (cur.cycles[c].unit_delay) {
+        Scenario cand = cur;
+        cand.cycles[c].unit_delay = false;
+        progressed |= accept(cur, std::move(cand));
+      }
+      if (!cur.cycles[c].forces.empty()) {
+        Scenario cand = cur;
+        cand.cycles[c].forces.clear();
+        progressed |= accept(cur, std::move(cand));
+      }
+      if (!cur.cycles[c].inputs.empty()) {
+        Scenario cand = cur;
+        cand.cycles[c].inputs.clear();
+        progressed |= accept(cur, std::move(cand));
+        bool any_x = false;
+        for (const auto& [in, v] : cur.cycles[c].inputs) {
+          any_x |= v == Trit::kX;
+        }
+        if (any_x) {
+          cand = cur;
+          for (auto& [in, v] : cand.cycles[c].inputs) {
+            if (v == Trit::kX) v = Trit::kZero;
+          }
+          progressed |= accept(cur, std::move(cand));
+        }
+      }
+    }
+  }
+  return cur;
+}
+
+MutationResult RunMutationCheck(const XcheckConfig& cfg) {
+  MutationResult mr;
+  mr.all_detected = true;
+  for (const char* name : logicsim::kKernelMutationFailpoints) {
+    guard::ClearFailpoints();
+    guard::ArmFailpoint(name, "flag");
+    MutationResult::PerMutation pm;
+    pm.name = name;
+    for (std::uint32_t i = 0; i < cfg.iters && !pm.detected; ++i) {
+      Rng rng(CaseSeed(cfg.seed, i));
+      const Scenario s = GenerateScenario(rng, cfg.gen);
+      ++pm.cases_to_detect;
+      const CaseResult r = RunScenario(s);
+      if (!r.ok) {
+        pm.detected = true;
+        pm.detail = r.detail;
+      }
+    }
+    mr.all_detected &= pm.detected;
+    mr.mutations.push_back(std::move(pm));
+  }
+  // Leave the process in the state $PFD_FAILPOINTS asked for, not ours.
+  guard::ClearFailpoints();
+  guard::ArmFailpointsFromEnv();
+  return mr;
+}
+
+}  // namespace pfd::xcheck

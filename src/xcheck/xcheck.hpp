@@ -1,0 +1,98 @@
+// Differential-oracle fuzzing of the compiled simulation kernel.
+//
+// RunScenario drives the production Simulator (levelized SoA kernel, fast
+// paths, event-driven unit delay) and the naive RefSimulator (ref_sim.hpp)
+// through the same scenario and miscompare-checks, after every cycle:
+//
+//   * every gate's full 64-lane value word against the splat of the
+//     reference scalar (a lane-dependent bug cannot hide in lane 0);
+//   * toggle and duty counters (compiled == 64 x reference);
+//   * the per-level X watermark (zero-delay cycles only — the unit-delay
+//     path leaves it stale by contract);
+//   * the last_step_two_valued fast-path predicate;
+//   * cycle counters; and, once per case, that rebuilding the netlist
+//     reproduces the same StructuralHash the compiled program cached (the
+//     golden-trace cache key would silently alias otherwise).
+//
+// On a miscompare, Shrink greedily minimizes the scenario — dropping
+// cycles, deleting nodes (fanins remapped to earlier nodes), clearing
+// forces/resets/X — as long as the case still fails, and ScenarioToCpp
+// turns the survivor into a ready-to-paste regression test.
+//
+// RunMutationCheck is the harness's own proof of life: it arms each
+// logicsim::kKernelMutationFailpoints entry (a "flag" guard failpoint
+// compiled into the kernels that plants a deterministic bug) and requires
+// the differential sweep to catch every one. A fuzzing harness that passes
+// with a planted kernel bug is measuring nothing.
+//
+// Obs counters: xcheck.runs, xcheck.miscompares, xcheck.shrink_steps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xcheck/gen.hpp"
+
+namespace pfd::xcheck {
+
+// Outcome of one differential case. `ok == false` carries a human-readable
+// first-divergence description in `detail`.
+struct CaseResult {
+  bool ok = true;
+  std::string detail;
+};
+
+// Runs one scenario compiled-vs-reference. Throws pfd::Error only on a
+// malformed scenario (the generator and shrinker never produce one).
+CaseResult RunScenario(const Scenario& s);
+
+struct XcheckConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t iters = 200;
+  bool shrink = true;
+  GenConfig gen;
+};
+
+// The seed of sweep case `index`: splitmix-style mix so neighbouring
+// indices land in unrelated Rng streams. Exposed so a failure printed as
+// (seed, index) can be replayed as a single case.
+std::uint64_t CaseSeed(std::uint64_t seed, std::uint32_t index);
+
+struct XcheckResult {
+  std::uint64_t cases_run = 0;
+  std::uint64_t miscompares = 0;  // sweep stops at the first one
+  // Valid when miscompares > 0:
+  std::uint64_t failing_case_seed = 0;
+  std::uint32_t failing_case_index = 0;
+  std::string failure_detail;
+  std::uint64_t shrink_steps = 0;
+  Scenario repro;          // shrunk when cfg.shrink, else the raw case
+  std::string repro_cpp;   // ScenarioToCpp(repro)
+};
+
+// Differential sweep over cfg.iters generated cases; stops at the first
+// miscompare (shrinking it when cfg.shrink).
+XcheckResult RunXcheck(const XcheckConfig& cfg);
+
+// Greedy scenario minimization: returns the smallest found scenario that
+// still fails RunScenario, bumping *steps once per accepted reduction.
+Scenario Shrink(const Scenario& failing, std::uint64_t* steps);
+
+struct MutationResult {
+  struct PerMutation {
+    std::string name;
+    bool detected = false;
+    std::uint64_t cases_to_detect = 0;  // sweep cases until first miscompare
+    std::string detail;                 // the detecting divergence
+  };
+  std::vector<PerMutation> mutations;
+  bool all_detected = false;
+};
+
+// Arms each kernel mutation failpoint in turn and re-runs the sweep,
+// requiring a miscompare for every planted bug. Restores the failpoint
+// state armed from $PFD_FAILPOINTS before returning.
+MutationResult RunMutationCheck(const XcheckConfig& cfg);
+
+}  // namespace pfd::xcheck

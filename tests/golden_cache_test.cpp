@@ -5,14 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <initializer_list>
 #include <memory>
 #include <span>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "analysis/trace.hpp"
 #include "designs/designs.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
 #include "logicsim/golden_cache.hpp"
+#include "obs/obs.hpp"
 
 namespace pfd::logicsim {
 namespace {
@@ -73,6 +78,71 @@ TEST(GoldenTraceCache, FifoEvictionBoundsTheCache) {
   EXPECT_NE(cache.Find(
                 MakeKey(GoldenTraceCache::kMaxEntries + 7, 0, 0)),
             nullptr);
+  cache.Clear();
+}
+
+// Regression for a digest ambiguity: without length prefixes, AddBytes
+// streams concatenate, so ("ab","c") and ("a","bc") hash identically and
+// two different stimulus programs can share a golden entry.
+TEST(Fnv1a, AddBytesIsSelfDelimiting) {
+  const auto digest = [](std::initializer_list<const char*> parts) {
+    Fnv1a h;
+    for (const char* p : parts) h.AddBytes(p, std::char_traits<char>::length(p));
+    return h.hash();
+  };
+  EXPECT_NE(digest({"ab", "c"}), digest({"a", "bc"}));
+  EXPECT_NE(digest({"abc"}), digest({"a", "bc"}));
+  EXPECT_NE(digest({"abc"}), digest({"ab", "c"}));
+  EXPECT_NE(digest({"", "abc"}), digest({"abc", ""}));
+  // Splitting never collides with shifting content between fields either.
+  EXPECT_NE(digest({"x", ""}), digest({"", "x"}));
+  // Identical sequences still agree, and AddBytes stays distinct from an
+  // Add of the same payload bytes.
+  EXPECT_EQ(digest({"ab", "c"}), digest({"ab", "c"}));
+  EXPECT_NE(Fnv1a().AddBytes("\x2a\0\0\0\0\0\0\0", 8).hash(),
+            Fnv1a().Add(0x2a).hash());
+}
+
+TEST(GoldenTraceCache, ConcurrentFirstInsertConvergesOnOneEntry) {
+  GoldenTraceCache& cache = GoldenTraceCache::Global();
+  cache.Clear();
+  obs::Registry& reg = obs::Registry::Global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const std::uint64_t ins_before =
+      reg.CounterValue("logicsim.golden_cache.insertions");
+  const std::uint64_t drop_before =
+      reg.CounterValue("logicsim.golden_cache.dropped_inserts");
+
+  const GoldenKey k = MakeKey(11, 22, 33);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const GoldenEntry>> resident(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        // Racing producers of a key hold identical artefacts; distinct
+        // payloads here only make it observable which insert won.
+        resident[t] = cache.Insert(k, MakeEntry(static_cast<double>(t)));
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+
+  // Exactly one producer published; everyone else got the incumbent back.
+  EXPECT_EQ(cache.size(), 1u);
+  const auto winner = cache.Find(k);
+  ASSERT_NE(winner, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(resident[t], winner) << "thread " << t;
+  }
+  EXPECT_EQ(reg.CounterValue("logicsim.golden_cache.insertions") - ins_before,
+            1u);
+  EXPECT_EQ(reg.CounterValue("logicsim.golden_cache.dropped_inserts") -
+                drop_before,
+            static_cast<std::uint64_t>(kThreads - 1));
+
+  reg.set_enabled(was_enabled);
   cache.Clear();
 }
 

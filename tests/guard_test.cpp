@@ -157,6 +157,42 @@ TEST(Failpoints, BadSpecThrowsGoodSpecsFire) {
   EXPECT_EQ(FailpointHits("x"), 0u);
 }
 
+TEST(Failpoints, FlagSpecFlagsWithoutThrowing) {
+  FailpointScope scope;
+  ArmFailpoint("mut", "flag");
+  ArmFailpoint("boom", "throw");
+
+  // A "flag" arming never throws; each poll that sees it counts as a hit.
+  EXPECT_NO_THROW(MaybeFail("mut"));
+  EXPECT_TRUE(FailpointFlagged("mut"));
+  EXPECT_TRUE(FailpointFlagged("mut"));
+  EXPECT_GE(FailpointHits("mut"), 3u);
+
+  // The specs do not cross over: a throw arming doesn't flag, a flag
+  // arming doesn't throw, and unarmed names do neither.
+  EXPECT_FALSE(FailpointFlagged("boom"));
+  EXPECT_THROW(MaybeFail("boom"), pfd::Error);
+  EXPECT_FALSE(FailpointFlagged("unarmed"));
+
+  ClearFailpoints();
+  EXPECT_FALSE(FailpointFlagged("mut"));
+  EXPECT_EQ(FailpointHits("mut"), 0u);
+}
+
+TEST(Failpoints, FlagSpecParsesInListsAndRejectsVariants) {
+  FailpointScope scope;
+  ArmFailpoints("a=flag,b=throw@1");
+  EXPECT_TRUE(FailpointFlagged("a"));
+  EXPECT_NO_THROW(MaybeFail("b"));
+  EXPECT_THROW(MaybeFail("b"), pfd::Error);
+  ClearFailpoints();
+  // "flag" takes no @K count and no trailing garbage.
+  EXPECT_THROW(ArmFailpoint("x", "flag@1"), pfd::Error);
+  EXPECT_THROW(ArmFailpoint("x", "flagged"), pfd::Error);
+  EXPECT_THROW(ArmFailpoints("x=flag@2"), pfd::Error);
+  EXPECT_FALSE(FailpointFlagged("x"));
+}
+
 TEST(Failpoints, ArmFailpointsAcceptsWellFormedLists) {
   FailpointScope scope;
   ArmFailpoints("a=throw@2,b=throw,c=throw@1");

@@ -3,6 +3,7 @@
 
 #include <chrono>
 
+#include "obs/obs.hpp"
 #include "power/power_model.hpp"
 #include "power/power_sim.hpp"
 #include "tpg/lfsr.hpp"
@@ -187,6 +188,46 @@ TEST(MonteCarlo, ResultIsThreadCountInvariant) {
     EXPECT_DOUBLE_EQ(tn.ci95_rel, t1.ci95_rel);
     EXPECT_EQ(tn.batches, t1.batches);
   }
+}
+
+TEST(MonteCarlo, FastPathStepsStayBitIdenticalAcrossThreadCounts) {
+  // The two-valued kernel fast path reorders nothing observable: with the
+  // fast path provably engaged (logicsim.two_valued_steps ticking), the
+  // floating-point accumulation must still be bit-exact across thread
+  // counts — batches fold in batch order regardless of which worker ran
+  // them, so 1, 2, and 8 threads add the same doubles in the same order.
+  obs::Registry& reg = obs::Registry::Global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const std::uint64_t fast_before =
+      reg.CounterValue("logicsim.two_valued_steps");
+
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  MonteCarloConfig cfg;
+  cfg.rel_tol = 0.01;
+  cfg.exec.threads = 1;
+  const PowerResult t1 = EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+  ASSERT_TRUE(t1.run_status.ok());
+  // The mini system is combinational with fully-known stimulus, so its
+  // steps run two-valued; a zero delta here means the fast path was not
+  // exercised and the test would prove nothing.
+  EXPECT_GT(reg.CounterValue("logicsim.two_valued_steps"), fast_before);
+
+  for (const int threads : {2, 8}) {
+    cfg.exec.threads = threads;
+    const std::uint64_t before = reg.CounterValue("logicsim.two_valued_steps");
+    const PowerResult tn = EstimatePowerMonteCarlo(ms.nl, ms.plan, model, cfg);
+    EXPECT_GT(reg.CounterValue("logicsim.two_valued_steps"), before)
+        << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(tn.breakdown.datapath_uw, t1.breakdown.datapath_uw);
+    EXPECT_DOUBLE_EQ(tn.breakdown.controller_uw, t1.breakdown.controller_uw);
+    EXPECT_DOUBLE_EQ(tn.breakdown.interface_uw, t1.breakdown.interface_uw);
+    EXPECT_DOUBLE_EQ(tn.breakdown.total_uw, t1.breakdown.total_uw);
+    EXPECT_DOUBLE_EQ(tn.ci95_rel, t1.ci95_rel);
+    EXPECT_EQ(tn.batches, t1.batches);
+  }
+  reg.set_enabled(was_enabled);
 }
 
 TEST(TestSetPower, DeterministicPerSeedAndSensitiveToSeed) {

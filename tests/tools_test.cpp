@@ -1,7 +1,8 @@
-// Tests for the supporting tools: dead-logic sweeping, VCD export, and
-// power-signature diagnosis.
+// Tests for the supporting tools: dead-logic sweeping, VCD export,
+// power-signature diagnosis, and the strict CLI flag parsers.
 #include <gtest/gtest.h>
 
+#include "base/parse.hpp"
 #include "base/stats.hpp"
 #include "core/diagnosis.hpp"
 #include "core/grading.hpp"
@@ -18,6 +19,54 @@ using netlist::GateId;
 using netlist::GateKind;
 using netlist::ModuleTag;
 using netlist::Netlist;
+
+// --- strict flag parsing --------------------------------------------------------
+
+// Regression for the atoi-era CLI: "--max-cycles -1" used to wrap into an
+// 18-quintillion-cycle budget and "--deadline-ms banana" into 0 (unlimited).
+// The strict parsers reject anything but a plain non-negative decimal.
+TEST(ParseFlags, Uint64AcceptsPlainDecimals) {
+  EXPECT_EQ(ParseUint64Flag("--seed", "0"), 0u);
+  EXPECT_EQ(ParseUint64Flag("--seed", "42"), 42u);
+  EXPECT_EQ(ParseUint64Flag("--seed", "007"), 7u);
+  EXPECT_EQ(ParseUint64Flag("--seed", "18446744073709551615"), ~0ULL);
+}
+
+TEST(ParseFlags, Uint64RejectsSignsGarbageAndOverflow) {
+  for (const char* bad : {"-1", "+1", "", " 1", "1 ", "1e3", "0x12", "12a",
+                          "3.5", "18446744073709551616",  // 2^64
+                          "99999999999999999999"}) {
+    EXPECT_THROW(ParseUint64Flag("--max-cycles", bad), Error) << bad;
+  }
+  // The error message names the flag and echoes the offending text.
+  try {
+    ParseUint64Flag("--max-cycles", "-1");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--max-cycles"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-1"), std::string::npos);
+  }
+}
+
+TEST(ParseFlags, Uint64InRangeEnforcesTheCeiling) {
+  EXPECT_EQ(ParseUint64FlagInRange("--iters", "1000", 1000), 1000u);
+  EXPECT_THROW(ParseUint64FlagInRange("--iters", "1001", 1000), Error);
+}
+
+TEST(ParseFlags, NonNegativeDoubleAcceptsPlainDecimals) {
+  EXPECT_DOUBLE_EQ(ParseNonNegativeDoubleFlag("--deadline-ms", "0"), 0.0);
+  EXPECT_DOUBLE_EQ(ParseNonNegativeDoubleFlag("--deadline-ms", "2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(ParseNonNegativeDoubleFlag("--deadline-ms", "10."), 10.0);
+  EXPECT_DOUBLE_EQ(ParseNonNegativeDoubleFlag("--deadline-ms", ".5"), 0.5);
+}
+
+TEST(ParseFlags, NonNegativeDoubleRejectsSignsExponentsAndGarbage) {
+  for (const char* bad : {"-1", "-0.5", "+1", "", ".", "1e3", "1.2.3", "inf",
+                          "nan", "1,5", "1 "}) {
+    EXPECT_THROW(ParseNonNegativeDoubleFlag("--deadline-ms", bad), Error)
+        << bad;
+  }
+}
 
 // --- dead-logic sweep ---------------------------------------------------------
 

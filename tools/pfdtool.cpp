@@ -7,6 +7,14 @@
 //   pfdtool diagnose <design> <measured_uW> [--sigma PCT]
 //   pfdtool dot      <design> [--width N]
 //   pfdtool vcd      <design> [--fault INDEX] [--patterns N]
+//   pfdtool xcheck   [--seed N] [--iters N] [--no-shrink] [--mutations]
+//                    [--max-gates N]
+//
+// xcheck fuzzes the compiled simulation kernel against a naive reference
+// simulator (differential oracle; see DESIGN.md). A miscompare prints a
+// shrunk, ready-to-paste repro and exits 1. --mutations instead arms each
+// planted kernel bug (guard flag failpoints) and requires the harness to
+// catch every one — exit 1 if any survives.
 //
 // Observability options (any command):
 //   --trace FILE         write a Chrome trace_event JSON of the run; open
@@ -42,6 +50,7 @@
 #include <string>
 
 #include "analysis/trace.hpp"
+#include "base/parse.hpp"
 #include "core/diagnosis.hpp"
 #include "core/grading.hpp"
 #include "core/pipeline.hpp"
@@ -50,6 +59,7 @@
 #include "guard/guard.hpp"
 #include "logicsim/vcd.hpp"
 #include "obs/trace.hpp"
+#include "xcheck/xcheck.hpp"
 
 namespace {
 
@@ -70,6 +80,11 @@ struct Options {
   int threads = 0;  // 0 = auto (PFD_THREADS, then hardware concurrency)
   double deadline_ms = 0.0;      // 0 = unlimited
   std::uint64_t max_cycles = 0;  // 0 = unlimited
+  std::uint64_t seed = 1;        // xcheck sweep seed
+  std::uint64_t iters = 1000;    // xcheck cases per sweep
+  std::uint64_t max_gates = 0;   // xcheck generator cap; 0 = default
+  bool shrink = true;            // xcheck: shrink the first miscompare
+  bool mutations = false;        // xcheck: mutation-testing mode
   bool csv = false;
   bool verbose = false;
   std::string trace_path;
@@ -109,13 +124,14 @@ int FinishRun(const guard::RunStatus& status) {
 [[noreturn]] void Usage() {
   std::fprintf(
       stderr,
-      "usage: pfdtool <list|info|classify|grade|diagnose|dot|vcd> "
+      "usage: pfdtool <list|info|classify|grade|diagnose|dot|vcd|xcheck> "
       "[design] [options]\n"
       "designs: diffeq facet poly diffeq-loop ewf\n"
       "options: --width N --patterns N --threshold PCT --sigma PCT "
       "--fault INDEX --threads N --csv\n"
       "         --deadline-ms N --max-cycles N\n"
-      "         --trace FILE --metrics-json FILE -v|--verbose\n");
+      "         --trace FILE --metrics-json FILE -v|--verbose\n"
+      "xcheck:  --seed N --iters N --no-shrink --mutations --max-gates N\n");
   std::exit(2);
 }
 
@@ -291,6 +307,61 @@ int CmdVcd(const Options& opt) {
   return 0;
 }
 
+int CmdXcheck(const Options& opt) {
+  xcheck::XcheckConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.iters = static_cast<std::uint32_t>(opt.iters);
+  cfg.shrink = opt.shrink;
+  if (opt.max_gates > 0) {
+    cfg.gen.max_gates = static_cast<std::uint32_t>(opt.max_gates);
+    if (cfg.gen.min_gates > cfg.gen.max_gates) {
+      cfg.gen.min_gates = cfg.gen.max_gates;
+    }
+  }
+
+  if (opt.mutations) {
+    const xcheck::MutationResult mr = xcheck::RunMutationCheck(cfg);
+    for (const auto& pm : mr.mutations) {
+      if (pm.detected) {
+        std::printf("mutation %-36s caught after %llu case(s)\n",
+                    pm.name.c_str(),
+                    static_cast<unsigned long long>(pm.cases_to_detect));
+      } else {
+        std::printf("mutation %-36s NOT DETECTED in %llu case(s)\n",
+                    pm.name.c_str(),
+                    static_cast<unsigned long long>(pm.cases_to_detect));
+      }
+    }
+    if (!mr.all_detected) {
+      std::fprintf(stderr,
+                   "xcheck: planted kernel bug(s) survived the sweep — the "
+                   "harness is not sensitive enough\n");
+      return 1;
+    }
+    std::printf("xcheck: all %zu planted kernel mutations detected\n",
+                mr.mutations.size());
+    return 0;
+  }
+
+  const xcheck::XcheckResult r = xcheck::RunXcheck(cfg);
+  if (r.miscompares == 0) {
+    std::printf("xcheck: %llu/%llu cases clean (seed %llu)\n",
+                static_cast<unsigned long long>(r.cases_run),
+                static_cast<unsigned long long>(opt.iters),
+                static_cast<unsigned long long>(opt.seed));
+    return 0;
+  }
+  std::fprintf(stderr,
+               "xcheck: MISCOMPARE at case %u (case seed %llu):\n  %s\n",
+               r.failing_case_index,
+               static_cast<unsigned long long>(r.failing_case_seed),
+               r.failure_detail.c_str());
+  std::fprintf(stderr, "shrunk repro (%llu shrink steps):\n%s",
+               static_cast<unsigned long long>(r.shrink_steps),
+               r.repro_cpp.c_str());
+  return 1;
+}
+
 int Dispatch(const Options& opt) {
   if (opt.command == "info") return CmdInfo(opt);
   if (opt.command == "classify") return CmdClassify(opt);
@@ -298,6 +369,7 @@ int Dispatch(const Options& opt) {
   if (opt.command == "diagnose") return CmdDiagnose(opt);
   if (opt.command == "dot") return CmdDot(opt);
   if (opt.command == "vcd") return CmdVcd(opt);
+  if (opt.command == "xcheck") return CmdXcheck(opt);
   return -1;  // unknown command -> Usage
 }
 
@@ -308,7 +380,7 @@ int main(int argc, char** argv) {
   if (argc < 2) Usage();
   opt.command = argv[1];
   int pos = 2;
-  if (opt.command != "list") {
+  if (opt.command != "list" && opt.command != "xcheck") {
     if (argc < 3) Usage();
     opt.design = argv[2];
     pos = 3;
@@ -318,42 +390,60 @@ int main(int argc, char** argv) {
     opt.measured_uw = std::atof(argv[3]);
     pos = 4;
   }
-  for (int i = pos; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) Usage();
-      return argv[++i];
-    };
-    if (arg == "--width") {
-      opt.width = std::atoi(next());
-    } else if (arg == "--patterns") {
-      opt.patterns = std::atoi(next());
-    } else if (arg == "--threshold") {
-      opt.threshold = std::atof(next());
-    } else if (arg == "--sigma") {
-      opt.sigma = std::atof(next());
-    } else if (arg == "--fault") {
-      opt.fault_index = std::atoi(next());
-    } else if (arg == "--threads") {
-      opt.threads = std::atoi(next());
-    } else if (arg == "--deadline-ms") {
-      opt.deadline_ms = std::atof(next());
-    } else if (arg == "--max-cycles") {
-      opt.max_cycles = std::strtoull(next(), nullptr, 10);
-    } else if (arg == "--csv") {
-      opt.csv = true;
-    } else if (arg == "--trace") {
-      opt.trace_path = next();
-    } else if (arg == "--metrics-json") {
-      opt.metrics_path = next();
-    } else if (arg == "-v" || arg == "--verbose") {
-      opt.verbose = true;
-    } else {
-      // Unknown flags are rejected loudly: a silently ignored flag makes a
-      // misspelled experiment look like a finished one.
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      Usage();
+  // Numeric flags parse strictly (base/parse.hpp): "--max-cycles -1" or
+  // "--iters 10x" is a runtime error (exit 1), never a silent 0 or a
+  // wrapped-around unlimited budget.
+  try {
+    for (int i = pos; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) Usage();
+        return argv[++i];
+      };
+      if (arg == "--width") {
+        opt.width = std::atoi(next());
+      } else if (arg == "--patterns") {
+        opt.patterns = std::atoi(next());
+      } else if (arg == "--threshold") {
+        opt.threshold = std::atof(next());
+      } else if (arg == "--sigma") {
+        opt.sigma = std::atof(next());
+      } else if (arg == "--fault") {
+        opt.fault_index = std::atoi(next());
+      } else if (arg == "--threads") {
+        opt.threads = std::atoi(next());
+      } else if (arg == "--deadline-ms") {
+        opt.deadline_ms = ParseNonNegativeDoubleFlag("--deadline-ms", next());
+      } else if (arg == "--max-cycles") {
+        opt.max_cycles = ParseUint64Flag("--max-cycles", next());
+      } else if (arg == "--seed") {
+        opt.seed = ParseUint64Flag("--seed", next());
+      } else if (arg == "--iters") {
+        opt.iters = ParseUint64FlagInRange("--iters", next(), 100000000);
+      } else if (arg == "--max-gates") {
+        opt.max_gates = ParseUint64FlagInRange("--max-gates", next(), 100000);
+      } else if (arg == "--no-shrink") {
+        opt.shrink = false;
+      } else if (arg == "--mutations") {
+        opt.mutations = true;
+      } else if (arg == "--csv") {
+        opt.csv = true;
+      } else if (arg == "--trace") {
+        opt.trace_path = next();
+      } else if (arg == "--metrics-json") {
+        opt.metrics_path = next();
+      } else if (arg == "-v" || arg == "--verbose") {
+        opt.verbose = true;
+      } else {
+        // Unknown flags are rejected loudly: a silently ignored flag makes a
+        // misspelled experiment look like a finished one.
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        Usage();
+      }
     }
+  } catch (const pfd::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
   if (!opt.metrics_path.empty() && opt.command != "classify" &&
       opt.command != "grade" && opt.command != "diagnose") {
