@@ -9,10 +9,15 @@ benchmark mid-run, an aggregate-only file with no aggregates). Checks:
   * "benchmarks" is a non-empty list;
   * every entry has a "name" and finite, positive "real_time"/"cpu_time"
     and a positive "iterations" count (error entries fail the check);
-  * every benchmark named via --require is present.
+  * every benchmark named via --require is present;
+  * with --require-release, the file must come from a Release build of the
+    pfd library (context.pfd_build_type == "Release", stamped by
+    perf_engines itself) and must not carry the run_bench.sh --allow-debug
+    tag (context.pfd_allow_debug) — the guard against the debug-numbers
+    incident recurring in a committed BENCH_engines.json.
 
 Usage:
-  bench/check_bench_json.py BENCH_engines.json \
+  bench/check_bench_json.py BENCH_engines.json --require-release \
       --require BM_LogicSimStep --require BM_CompiledKernelStep
 """
 
@@ -38,6 +43,12 @@ def main() -> None:
         help="benchmark that must appear (prefix match on the run name, "
         "so BM_Foo also matches BM_Foo/64 and BM_Foo_mean)",
     )
+    parser.add_argument(
+        "--require-release",
+        action="store_true",
+        help="fail unless context.pfd_build_type is 'Release' and the file "
+        "is not tagged pfd_allow_debug",
+    )
     args = parser.parse_args()
 
     try:
@@ -54,6 +65,17 @@ def main() -> None:
     benchmarks = doc["benchmarks"]
     if not isinstance(benchmarks, list) or not benchmarks:
         fail("'benchmarks' is not a non-empty list")
+
+    if args.require_release:
+        context = doc.get("context", {})
+        build_type = context.get("pfd_build_type")
+        if build_type != "Release":
+            fail(f"context.pfd_build_type is {build_type!r}, not 'Release' "
+                 "(numbers from a non-Release pfd build are not trajectory "
+                 "records)")
+        if context.get("pfd_allow_debug"):
+            fail("file is tagged context.pfd_allow_debug (recorded with "
+                 "run_bench.sh --allow-debug); refusing it as a record")
 
     names = []
     for i, b in enumerate(benchmarks):

@@ -82,6 +82,22 @@ void BM_LogicSimStepObsEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_LogicSimStepObsEnabled);
 
+// Cost of one enabled histogram Record: two relaxed fetch_adds plus the
+// min/max CAS pair on a thread-sharded slot. The disabled cost is the
+// obs::Enabled() branch already bounded by the pair above.
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("bench.histogram_record");
+  std::uint64_t v = 12345;
+  for (auto _ : state) {
+    h.Record(v & 0xffff);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // vary the bucket
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
 // X-free steady state on the compiled kernel: the reset protocol is run
 // once until the power-up X's flush and the two-valued fast path engages,
 // then the measured loop steps the known-plane-free program. This is the
@@ -324,4 +340,24 @@ BENCHMARK(BM_FullPipeline);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamps the *library under test*'s
+// build type into the JSON context. google-benchmark's own
+// "library_build_type" describes the benchmark library, which can be a
+// release apt package while pfd itself was built Debug — exactly the
+// debug-numbers incident bench/run_bench.sh now refuses.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+#ifndef PFD_BENCH_BUILD_TYPE
+#define PFD_BENCH_BUILD_TYPE "unknown"
+#endif
+  benchmark::AddCustomContext("pfd_build_type", PFD_BENCH_BUILD_TYPE);
+#ifdef NDEBUG
+  benchmark::AddCustomContext("pfd_assertions", "disabled");
+#else
+  benchmark::AddCustomContext("pfd_assertions", "enabled");
+#endif
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

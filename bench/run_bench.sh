@@ -7,19 +7,66 @@
 #   BUILD_DIR=/tmp/b ./bench/run_bench.sh
 #
 # Extra arguments are passed through to the perf_engines binary.
+#
+# Numbers from a non-Release build of the pfd library are refused: the
+# emitted JSON's context.pfd_build_type (stamped by perf_engines itself)
+# must be "Release", or the script deletes the file and fails. Pass
+# --allow-debug to keep going for local experiments — the JSON is then
+# loudly tagged with context.pfd_allow_debug so it can never be mistaken
+# for (or committed as) a real trajectory record.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 
+ALLOW_DEBUG=0
+PASSTHROUGH=()
+for arg in "$@"; do
+  if [[ "$arg" == "--allow-debug" ]]; then
+    ALLOW_DEBUG=1
+  else
+    PASSTHROUGH+=("$arg")
+  fi
+done
+
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j --target perf_engines >/dev/null
 
+OUT="$ROOT/BENCH_engines.json"
 "$BUILD/bench/perf_engines" \
-  --benchmark_out="$ROOT/BENCH_engines.json" \
+  --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   --benchmark_repetitions="${REPS:-1}" \
   --benchmark_report_aggregates_only=true \
-  "$@"
+  ${PASSTHROUGH[@]+"${PASSTHROUGH[@]}"}
 
-echo "wrote $ROOT/BENCH_engines.json"
+BUILD_TYPE="$(python3 -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print(doc.get('context', {}).get('pfd_build_type', 'unknown'))
+" "$OUT")"
+
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  if [[ "$ALLOW_DEBUG" -eq 1 ]]; then
+    python3 - "$OUT" <<'EOF'
+import json, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+doc.setdefault("context", {})["pfd_allow_debug"] = True
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+EOF
+    echo "run_bench.sh: WARNING: pfd was built '$BUILD_TYPE', not Release." >&2
+    echo "run_bench.sh: WARNING: numbers are NOT comparable; the JSON is" >&2
+    echo "run_bench.sh: WARNING: tagged context.pfd_allow_debug=true." >&2
+  else
+    rm -f "$OUT"
+    echo "run_bench.sh: FAIL: pfd was built '$BUILD_TYPE', not Release —" >&2
+    echo "run_bench.sh: refusing to record benchmark numbers (a stale" >&2
+    echo "run_bench.sh: CMakeCache in $BUILD can cause this; remove it or" >&2
+    echo "run_bench.sh: set BUILD_DIR). Use --allow-debug to override." >&2
+    exit 1
+  fi
+fi
+
+echo "wrote $OUT"

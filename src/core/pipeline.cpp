@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace pfd::core {
@@ -243,16 +244,28 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
           reg.GetCounter("guard.quarantined_units").Add(1);
           reg.GetCounter("guard.retries").Add(1);
         }
+        if (obs::FlightEnabled()) {
+          obs::RecordFlight(obs::FlightKind::kQuarantine, "pipeline.step3",
+                            "fault " + rec.name + ": " + failed.what);
+        }
         try {
           out = attempt(i);
           done = true;
           if (obs_on) {
             obs::Registry::Global().GetCounter("guard.retry_successes").Add(1);
           }
+          if (obs::FlightEnabled()) {
+            obs::RecordFlight(obs::FlightKind::kRetryOutcome, "pipeline.step3",
+                              "fault " + rec.name + ": success");
+          }
         } catch (const guard::Tripped&) {
           tripped_mid_fault = true;
         } catch (...) {
           failed.what += "; retry: " + guard::CurrentExceptionMessage();
+          if (obs::FlightEnabled()) {
+            obs::RecordFlight(obs::FlightKind::kRetryOutcome, "pipeline.step3",
+                              "fault " + rec.name + ": failed again");
+          }
           stage.failed_units.push_back(std::move(failed));
         }
       }

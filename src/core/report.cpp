@@ -121,8 +121,26 @@ std::string JsonDouble(double v) {
 
 }  // namespace
 
+std::string HistogramTable() {
+  const std::vector<obs::HistogramSnapshot> hists =
+      obs::Registry::Global().HistogramSnapshots();
+  bool any = false;
+  TextTable t({"histogram", "count", "p50", "p90", "p99", "max", "mean"});
+  for (const obs::HistogramSnapshot& h : hists) {
+    if (h.count == 0) continue;
+    any = true;
+    t.AddRow({h.name, std::to_string(h.count), std::to_string(h.Quantile(0.5)),
+              std::to_string(h.Quantile(0.9)), std::to_string(h.Quantile(0.99)),
+              std::to_string(h.max), TextTable::FormatDouble(h.Mean(), 1)});
+  }
+  return any ? t.ToString() : std::string();
+}
+
 std::string MetricsJson(const ClassificationReport& report) {
-  const PipelineMetrics& m = report.metrics;
+  return MetricsJson(report.metrics);
+}
+
+std::string MetricsJson(const PipelineMetrics& m) {
   std::string out = "{\n";
   AppendJsonKv(out, "total_faults", m.faults_total, false);
   out += ",\n\"classes\":{";
@@ -146,15 +164,10 @@ std::string MetricsJson(const ClassificationReport& report) {
   AppendJsonKv(out, "gate_checks", m.gate_checks);
   AppendJsonKv(out, "sim_cycles", m.sim_cycles);
   AppendJsonKv(out, "gate_evals", m.gate_evals, false);
-  out += "},\n\"counters\":{";
-  bool first = true;
-  for (const auto& [name, value] :
-       obs::Registry::Global().CounterSnapshot()) {
-    if (!first) out += ",";
-    first = false;
-    out += "\"" + obs::JsonEscape(name) + "\":" + std::to_string(value);
-  }
-  out += "}\n}\n";
+  out += "},\n\"counters\":" + obs::CountersJsonObject();
+  out += ",\n\"gauges\":" + obs::GaugesJsonObject();
+  out += ",\n\"histograms\":" + obs::HistogramsJsonObject();
+  out += "\n}\n";
   return out;
 }
 

@@ -27,10 +27,15 @@ std::string SummaryLine(const std::string& design,
 // Per-stage wall times and engine counts of one pipeline run, as an aligned
 // text table (pfdtool -v) ...
 std::string MetricsTable(const PipelineMetrics& metrics);
+// ... plus the registry's non-empty histograms (p50/p90/p99/max/mean) as a
+// second table; empty string when nothing was recorded.
+std::string HistogramTable();
 // ... and as a JSON object (pfdtool --metrics-json): per-class fault
 // counts, stage wall times, engine invocation counts, plus a snapshot of
-// the obs::Registry counters (empty when the registry is disabled).
+// the obs::Registry counters, gauges, and histograms (empty when the
+// registry is disabled).
 std::string MetricsJson(const ClassificationReport& report);
+std::string MetricsJson(const PipelineMetrics& metrics);
 
 // Joins a record's effect descriptions ("1. ...; 2. ...").
 std::string EffectsSummary(const FaultRecord& record);

@@ -1,0 +1,219 @@
+#include "core/run_report.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+#include "core/report.hpp"
+#include "logicsim/golden_cache.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__has_include)
+#if __has_include(<sys/utsname.h>)
+#include <sys/utsname.h>
+#define PFD_HAVE_UTSNAME 1
+#endif
+#endif
+
+// Build provenance is injected per-source-file from CMake
+// (src/core/CMakeLists.txt) so only this translation unit recompiles when
+// the git head moves; everything falls back to "unknown" for build systems
+// that do not define it.
+#ifndef PFD_GIT_DESCRIBE
+#define PFD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef PFD_BUILD_TYPE
+#define PFD_BUILD_TYPE "unknown"
+#endif
+#ifndef PFD_CXX_FLAGS
+#define PFD_CXX_FLAGS ""
+#endif
+
+namespace pfd::core {
+
+namespace {
+
+std::string Quoted(const std::string& s) {
+  return "\"" + obs::JsonEscape(s) + "\"";
+}
+
+const char* CompilerId() {
+#if defined(__clang__)
+  return "clang";
+#elif defined(__GNUC__)
+  return "gcc";
+#else
+  return "unknown";
+#endif
+}
+
+std::string CompilerVersion() {
+#if defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string ProvenanceJson() {
+  std::string out = "{";
+  out += "\"compiler\":" + Quoted(CompilerId());
+  out += ",\"compiler_version\":" + Quoted(CompilerVersion());
+  out += ",\"build_type\":" + Quoted(PFD_BUILD_TYPE);
+  out += ",\"cxx_flags\":" + Quoted(PFD_CXX_FLAGS);
+  out += ",\"git_describe\":" + Quoted(PFD_GIT_DESCRIBE);
+#if defined(NDEBUG)
+  out += ",\"assertions_disabled\":true";
+#else
+  out += ",\"assertions_disabled\":false";
+#endif
+  out += "}";
+  return out;
+}
+
+std::string HostJson() {
+  std::string os = "unknown", os_release = "unknown", arch = "unknown",
+              hostname = "unknown";
+#if defined(PFD_HAVE_UTSNAME)
+  utsname u{};
+  if (uname(&u) == 0) {
+    os = u.sysname;
+    os_release = u.release;
+    arch = u.machine;
+    hostname = u.nodename;
+  }
+#endif
+  std::string out = "{";
+  out += "\"os\":" + Quoted(os);
+  out += ",\"os_release\":" + Quoted(os_release);
+  out += ",\"arch\":" + Quoted(arch);
+  out += ",\"hostname\":" + Quoted(hostname);
+  out += ",\"hardware_concurrency\":" +
+         std::to_string(std::thread::hardware_concurrency());
+  out += "}";
+  return out;
+}
+
+std::string RunStatusJson(const guard::RunStatus* status, int exit_code) {
+  std::string out = "{";
+  if (status == nullptr) {
+    out += "\"code\":\"ok\",\"message\":\"\"";
+    out += ",\"total_units\":0,\"completed_units\":0";
+    out += ",\"failed_units\":[],\"failed_units_truncated\":false";
+  } else {
+    out += "\"code\":" + Quoted(guard::StatusCodeName(status->code));
+    out += ",\"message\":" + Quoted(status->message);
+    out += ",\"total_units\":" + std::to_string(status->total_units);
+    out += ",\"completed_units\":" + std::to_string(status->completed.size());
+    // Cap the listing: a pathological run could quarantine thousands of
+    // units, and the report should stay a small artifact.
+    constexpr std::size_t kMaxListed = 100;
+    out += ",\"failed_units\":[";
+    std::size_t listed = 0;
+    for (const guard::FailedUnit& f : status->failed_units) {
+      if (listed == kMaxListed) break;
+      if (listed != 0) out += ",";
+      out += "{\"index\":" + std::to_string(f.index) +
+             ",\"what\":" + Quoted(f.what) + "}";
+      ++listed;
+    }
+    out += "],\"failed_units_truncated\":";
+    out += status->failed_units.size() > kMaxListed ? "true" : "false";
+  }
+  out += ",\"exit_code\":" + std::to_string(exit_code);
+  out += "}";
+  return out;
+}
+
+std::string CacheJson() {
+  obs::Registry& reg = obs::Registry::Global();
+  std::string out = "{\"golden_trace\":{";
+  out += "\"entries\":" +
+         std::to_string(logicsim::GoldenTraceCache::Global().size());
+  out += ",\"hits\":" +
+         std::to_string(reg.CounterValue("logicsim.golden_cache.hits"));
+  out += ",\"misses\":" +
+         std::to_string(reg.CounterValue("logicsim.golden_cache.misses"));
+  out += ",\"insertions\":" +
+         std::to_string(reg.CounterValue("logicsim.golden_cache.insertions"));
+  out += ",\"dropped_inserts\":" +
+         std::to_string(
+             reg.CounterValue("logicsim.golden_cache.dropped_inserts"));
+  out += "}}";
+  return out;
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> RequestStr(std::string key,
+                                               const std::string& value) {
+  return {std::move(key), Quoted(value)};
+}
+
+std::pair<std::string, std::string> RequestInt(std::string key,
+                                               std::int64_t value) {
+  return {std::move(key), std::to_string(value)};
+}
+
+std::pair<std::string, std::string> RequestDouble(std::string key,
+                                                  double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return {std::move(key), buf};
+}
+
+std::pair<std::string, std::string> RequestBool(std::string key, bool value) {
+  return {std::move(key), value ? "true" : "false"};
+}
+
+std::string RunReportJson(const RunReportInputs& inputs) {
+  std::string out = "{\n";
+  out += "\"schema\":\"pfd.run_report\",\n";
+  out += "\"schema_version\":" + std::to_string(kRunReportSchemaVersion) +
+         ",\n";
+  out += "\"generated_unix_time\":" +
+         std::to_string(static_cast<long long>(std::time(nullptr))) + ",\n";
+  out += "\"provenance\":" + ProvenanceJson() + ",\n";
+  out += "\"host\":" + HostJson() + ",\n";
+  out += "\"request\":{\"command\":" + Quoted(inputs.command);
+  for (const auto& [key, value] : inputs.request) {
+    out += ",\"" + obs::JsonEscape(key) + "\":" + value;
+  }
+  out += "},\n";
+  out += "\"run_status\":" + RunStatusJson(inputs.run_status,
+                                           inputs.exit_code) + ",\n";
+  if (inputs.metrics != nullptr) {
+    std::string metrics = MetricsJson(*inputs.metrics);
+    while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+    out += "\"metrics\":" + metrics + ",\n";
+  } else {
+    out += "\"metrics\":null,\n";
+  }
+  out += "\"cache\":" + CacheJson() + ",\n";
+  out += "\"counters\":" + obs::CountersJsonObject() + ",\n";
+  out += "\"gauges\":" + obs::GaugesJsonObject() + ",\n";
+  out += "\"histograms\":" + obs::HistogramsJsonObject() + ",\n";
+  const obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  out += "\"flight_recorder\":{\"enabled\":";
+  out += flight.enabled() ? "true" : "false";
+  out += ",\"total_recorded\":" + std::to_string(flight.total_recorded());
+  out += "}\n}\n";
+  return out;
+}
+
+bool WriteRunReportFile(const RunReportInputs& inputs,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string body = RunReportJson(inputs);
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  if (written != body.size()) {
+    std::fclose(f);
+    return false;
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace pfd::core

@@ -1,0 +1,54 @@
+// RunReport: a versioned, self-describing JSON artifact stamped onto every
+// run that asks for one (pfdtool --report run.json). The report is the
+// durable record the perf-trajectory work keys off: build provenance
+// (compiler, build type, flags, git describe), host context, the full
+// request, the guard RunStatus, pipeline metrics when the run produced
+// them, golden-cache stats, and a complete obs snapshot (counters, gauges,
+// histogram quantiles).
+//
+// Schema contract: the document carries `"schema": "pfd.run_report"` and an
+// integer `"schema_version"`. Additive changes (new keys) do not bump the
+// version; removing or renaming a key does. tools/check_run_report.py is
+// the executable definition of the schema and must be updated in the same
+// change as any version bump.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "guard/guard.hpp"
+
+namespace pfd::core {
+
+inline constexpr int kRunReportSchemaVersion = 1;
+
+// Everything the caller supplies; registry/cache/provenance/host sections
+// are collected by RunReportJson itself.
+struct RunReportInputs {
+  std::string command;  // pfdtool subcommand ("classify", "xcheck", ...)
+  // Request key/values; `second` is a pre-rendered JSON value (callers use
+  // RequestStr/RequestInt below so quoting stays in one place).
+  std::vector<std::pair<std::string, std::string>> request;
+  int exit_code = 0;
+  const guard::RunStatus* run_status = nullptr;   // optional
+  const PipelineMetrics* metrics = nullptr;       // optional
+};
+
+// Renders a request field as key + JSON value.
+std::pair<std::string, std::string> RequestStr(std::string key,
+                                               const std::string& value);
+std::pair<std::string, std::string> RequestInt(std::string key,
+                                               std::int64_t value);
+std::pair<std::string, std::string> RequestDouble(std::string key,
+                                                  double value);
+std::pair<std::string, std::string> RequestBool(std::string key, bool value);
+
+std::string RunReportJson(const RunReportInputs& inputs);
+
+// Writes RunReportJson(inputs) to `path`. Returns false on I/O failure.
+bool WriteRunReportFile(const RunReportInputs& inputs,
+                        const std::string& path);
+
+}  // namespace pfd::core

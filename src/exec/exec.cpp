@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "base/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 
@@ -57,6 +58,24 @@ constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
 // to reject same-pool re-entry (which would deadlock the job join).
 thread_local const void* tls_running_pool = nullptr;
 
+// Handles the chunk loop touches when obs is on; resolved once so the hot
+// path never takes the registry mutex. exec.queue_depth tracks unclaimed
+// chunks of the job in flight; the histograms attribute tail latency to
+// queue wait vs. long bodies.
+struct PoolObsHandles {
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_queue_us;
+  obs::Histogram& task_run_us;
+};
+
+PoolObsHandles& PoolObs() {
+  static PoolObsHandles* handles = new PoolObsHandles{
+      obs::Registry::Global().GetGauge("exec.queue_depth"),
+      obs::Registry::Global().GetHistogram("exec.task_queue_us"),
+      obs::Registry::Global().GetHistogram("exec.task_run_us")};
+  return *handles;
+}
+
 }  // namespace
 
 // One ParallelFor invocation: per-participant chunk deques (own queue popped
@@ -72,7 +91,8 @@ struct Pool::Job {
     std::deque<std::pair<std::size_t, std::size_t>> chunks;  // [begin, end)
   };
 
-  explicit Job(std::size_t participants) : queues(participants) {}
+  explicit Job(std::size_t participants)
+      : queues(participants), tasks_by_slot(participants) {}
 
   const std::function<void(std::size_t)>* body = nullptr;
   std::vector<Queue> queues;
@@ -88,6 +108,16 @@ struct Pool::Job {
   std::mutex error_mu;
   std::exception_ptr error;
   std::size_t error_index = kNoIndex;  // guarded by error_mu
+
+  // obs v2 instrumentation. `obs_on` is latched once in RunJob so every
+  // participant agrees on whether to record; the per-job accumulators are
+  // published into registry counters after the join (cold path), keeping
+  // RunChunks free of name lookups.
+  bool obs_on = false;
+  double publish_ts_us = 0.0;                   // when chunks became visible
+  std::atomic<std::uint64_t> steals{0};         // chunks taken from a victim
+  std::atomic<std::uint64_t> pending_chunks{0};  // queue-depth gauge source
+  std::vector<std::atomic<std::uint64_t>> tasks_by_slot;  // units attempted
 
   // Guarded mode (quarantine instead of rethrow).
   bool guarded = false;
@@ -152,10 +182,13 @@ void Pool::WorkerMain(std::size_t slot) {
 void Pool::RunChunks(Job& job, std::size_t home) {
   const void* const saved_pool = tls_running_pool;
   tls_running_pool = this;
+  const bool obs_on = job.obs_on;
+  std::uint64_t attempted = 0;  // units this call ran a body for
   const std::size_t participants = job.queues.size();
   while (true) {
     std::pair<std::size_t, std::size_t> chunk;
     bool found = false;
+    bool stolen = false;
     for (std::size_t k = 0; k < participants && !found; ++k) {
       Job::Queue& q = job.queues[(home + k) % participants];
       std::lock_guard<std::mutex> lock(q.mu);
@@ -166,10 +199,21 @@ void Pool::RunChunks(Job& job, std::size_t home) {
       } else {
         chunk = q.chunks.back();
         q.chunks.pop_back();
+        stolen = true;
       }
       found = true;
     }
     if (!found) break;
+    if (obs_on) {
+      if (stolen) job.steals.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t left =
+          job.pending_chunks.fetch_sub(1, std::memory_order_relaxed) - 1;
+      PoolObs().queue_depth.Set(static_cast<double>(left));
+      // Wait of this chunk between publication and claim; with a single
+      // publication instant per job this is exactly time-to-first-touch.
+      PoolObs().task_queue_us.RecordDouble(obs::NowMicros() -
+                                           job.publish_ts_us);
+    }
     for (std::size_t i = chunk.first; i < chunk.second; ++i) {
       if (job.guarded) {
         // A tripped guard stops claiming units; chunks are still drained so
@@ -179,6 +223,7 @@ void Pool::RunChunks(Job& job, std::size_t home) {
           job.stop.store(true, std::memory_order_relaxed);
           continue;
         }
+        const double t0 = obs_on ? obs::NowMicros() : 0.0;
         try {
           (*job.body)(i);
           (*job.completed)[i] = 1;
@@ -190,11 +235,16 @@ void Pool::RunChunks(Job& job, std::size_t home) {
           std::lock_guard<std::mutex> lock(job.fail_mu);
           job.failures.push_back({i, guard::CurrentExceptionMessage()});
         }
+        if (obs_on) {
+          PoolObs().task_run_us.RecordDouble(obs::NowMicros() - t0);
+          ++attempted;
+        }
       } else {
         // Deterministic propagation: only run indices below the current
         // minimum failing index; on a throw, keep the exception iff it
         // lowers the minimum.
         if (i >= job.min_failed.load(std::memory_order_relaxed)) continue;
+        const double t0 = obs_on ? obs::NowMicros() : 0.0;
         try {
           (*job.body)(i);
         } catch (...) {
@@ -209,8 +259,15 @@ void Pool::RunChunks(Job& job, std::size_t home) {
             job.error = std::current_exception();
           }
         }
+        if (obs_on) {
+          PoolObs().task_run_us.RecordDouble(obs::NowMicros() - t0);
+          ++attempted;
+        }
       }
     }
+  }
+  if (obs_on && attempted != 0) {
+    job.tasks_by_slot[home].fetch_add(attempted, std::memory_order_relaxed);
   }
   tls_running_pool = saved_pool;
 }
@@ -228,6 +285,12 @@ void Pool::RunJob(Job& job, std::size_t n) {
     const std::size_t size = base + (c < extra ? 1 : 0);
     job.queues[c % participants].chunks.emplace_back(begin, begin + size);
     begin += size;
+  }
+  job.obs_on = obs::Enabled();
+  if (job.obs_on) {
+    job.publish_ts_us = obs::NowMicros();
+    job.pending_chunks.store(num_chunks, std::memory_order_relaxed);
+    PoolObs().queue_depth.Set(static_cast<double>(num_chunks));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -247,6 +310,24 @@ void Pool::RunJob(Job& job, std::size_t n) {
     job.done_cv.wait(lock, [&] {
       return job.active.load(std::memory_order_acquire) == 0;
     });
+  }
+  if (job.obs_on) {
+    // Publish the per-job accumulators. Name lookups are fine here: one
+    // registry scan per job, not per chunk. Slot numbering matches homes
+    // in RunChunks; the last slot is the calling thread.
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter("exec.jobs").Add(1);
+    const std::uint64_t steals = job.steals.load(std::memory_order_relaxed);
+    if (steals != 0) reg.GetCounter("exec.steals").Add(steals);
+    std::uint64_t total = 0;
+    for (std::size_t w = 0; w < job.tasks_by_slot.size(); ++w) {
+      const std::uint64_t t =
+          job.tasks_by_slot[w].load(std::memory_order_relaxed);
+      if (t == 0) continue;
+      total += t;
+      reg.GetCounter("exec.worker" + std::to_string(w) + ".tasks").Add(t);
+    }
+    reg.GetCounter("exec.tasks").Add(total);
   }
 }
 
@@ -316,9 +397,16 @@ guard::RunStatus Pool::ParallelForGuarded(
   // thread) before they are reported: transient failures — OOM pressure, a
   // failpoint's single shot — should not cost their unit's result.
   const bool obs_on = obs::Enabled();
+  const bool flight_on = obs::FlightEnabled();
   if (obs_on && !failures.empty()) {
     obs::Registry::Global().GetCounter("guard.quarantined_units")
         .Add(failures.size());
+  }
+  if (flight_on) {
+    for (const guard::FailedUnit& f : failures) {
+      obs::RecordFlight(obs::FlightKind::kQuarantine, "exec.parallel_for",
+                        "unit " + std::to_string(f.index) + ": " + f.what);
+    }
   }
   for (guard::FailedUnit& f : failures) {
     if (checker != nullptr && !checker->Check().ok()) {
@@ -332,11 +420,26 @@ guard::RunStatus Pool::ParallelForGuarded(
       if (obs_on) {
         obs::Registry::Global().GetCounter("guard.retry_successes").Add(1);
       }
+      if (flight_on) {
+        obs::RecordFlight(obs::FlightKind::kRetryOutcome, "exec.parallel_for",
+                          "unit " + std::to_string(f.index) + ": success");
+      }
     } catch (const guard::Tripped&) {
       // The retry itself hit a tripped guard; the original failure stands.
+      if (flight_on) {
+        obs::RecordFlight(
+            obs::FlightKind::kRetryOutcome, "exec.parallel_for",
+            "unit " + std::to_string(f.index) + ": abandoned (guard trip)");
+      }
       status.failed_units.push_back(std::move(f));
     } catch (...) {
       f.what += "; retry: " + guard::CurrentExceptionMessage();
+      if (flight_on) {
+        obs::RecordFlight(obs::FlightKind::kRetryOutcome, "exec.parallel_for",
+                          "unit " + std::to_string(f.index) +
+                              ": failed again: " +
+                              guard::CurrentExceptionMessage());
+      }
       status.failed_units.push_back(std::move(f));
     }
   }

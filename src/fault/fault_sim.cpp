@@ -236,8 +236,15 @@ FaultSimResult RunParallel(const FaultSimRequest& req,
         const std::size_t shard_size =
             std::min(kFaultLanes, req.faults.size() - shard_start);
         obs::Span shard_span("fault_sim.shard");
+        const bool obs_on = obs::Enabled();
+        const double t0 = obs_on ? obs::NowMicros() : 0.0;
         SimulateParallelShard(req, widths, shard_start, shard_size, check,
                               result);
+        if (obs_on) {
+          static obs::Histogram& hist =
+              obs::Registry::Global().GetHistogram("fault_sim.shard_us");
+          hist.RecordDouble(obs::NowMicros() - t0);
+        }
       },
       &check);
   return result;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "base/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 
 namespace pfd::guard {
@@ -72,6 +73,11 @@ Status Checker::Check() {
       obs::Registry::Global().GetGauge("guard.cancel_latency_ms")
           .Set(latency_ms);
     }
+    if (obs::FlightEnabled() && !tripped_.load(std::memory_order_acquire)) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "latency_ms=%.3f", latency_ms);
+      obs::RecordFlight(obs::FlightKind::kCancel, "guard.cancel", buf);
+    }
     RecordTrip(StatusCode::kCancelled, "run cancelled");
     return status();
   }
@@ -106,6 +112,11 @@ void Checker::RecordTrip(StatusCode code, std::string message) {
     first_.message = std::move(message);
     if (obs::Enabled()) {
       obs::Registry::Global().GetCounter("guard.trips").Add(1);
+    }
+    if (obs::FlightEnabled()) {
+      obs::RecordFlight(obs::FlightKind::kGuardTrip, "guard.checker",
+                        std::string(StatusCodeName(code)) + ": " +
+                            first_.message);
     }
   }
   tripped_.store(true, std::memory_order_release);
@@ -337,6 +348,9 @@ void MaybeFailSlow(const char* name) {
   if (fire) {
     if (obs::Enabled()) {
       obs::Registry::Global().GetCounter("guard.failpoint_fires").Add(1);
+    }
+    if (obs::FlightEnabled()) {
+      obs::RecordFlight(obs::FlightKind::kFailpointFire, name, "fired");
     }
     throw pfd::Error(std::string("failpoint '") + name + "' fired");
   }

@@ -1,8 +1,25 @@
 #include "logicsim/golden_cache.hpp"
 
+#include <cstdio>
+
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace pfd::logicsim {
+
+namespace {
+
+std::string KeyString(const GoldenKey& key) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "nl=%016llx stim=%016llx cycles=%llu",
+                static_cast<unsigned long long>(key.netlist_hash),
+                static_cast<unsigned long long>(key.stimulus_hash),
+                static_cast<unsigned long long>(key.cycles));
+  return buf;
+}
+
+}  // namespace
 
 GoldenTraceCache& GoldenTraceCache::Global() {
   static GoldenTraceCache* cache = new GoldenTraceCache();
@@ -11,17 +28,21 @@ GoldenTraceCache& GoldenTraceCache::Global() {
 
 std::shared_ptr<const GoldenEntry> GoldenTraceCache::Find(
     const GoldenKey& key) {
+  const bool obs_on = obs::Enabled();
+  const double t0 = obs_on ? obs::NowMicros() : 0.0;
   std::shared_ptr<const GoldenEntry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) entry = it->second;
   }
-  if (obs::Enabled()) {
-    obs::Registry::Global()
-        .GetCounter(entry != nullptr ? "logicsim.golden_cache.hits"
-                                     : "logicsim.golden_cache.misses")
+  if (obs_on) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter(entry != nullptr ? "logicsim.golden_cache.hits"
+                                    : "logicsim.golden_cache.misses")
         .Add(1);
+    reg.GetHistogram("logicsim.golden_cache.lookup_us")
+        .RecordDouble(obs::NowMicros() - t0);
   }
   return entry;
 }
@@ -30,6 +51,7 @@ std::shared_ptr<const GoldenEntry> GoldenTraceCache::Insert(
     const GoldenKey& key, std::shared_ptr<const GoldenEntry> entry) {
   if (entry == nullptr) return nullptr;
   bool inserted = false;
+  std::vector<GoldenKey> evicted;
   std::shared_ptr<const GoldenEntry> resident;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -47,6 +69,7 @@ std::shared_ptr<const GoldenEntry> GoldenTraceCache::Insert(
       insertion_order_.push_back(key);
       inserted = true;
       while (entries_.size() > kMaxEntries) {
+        evicted.push_back(insertion_order_.front());
         entries_.erase(insertion_order_.front());
         insertion_order_.erase(insertion_order_.begin());
       }
@@ -57,6 +80,15 @@ std::shared_ptr<const GoldenEntry> GoldenTraceCache::Insert(
         .GetCounter(inserted ? "logicsim.golden_cache.insertions"
                              : "logicsim.golden_cache.dropped_inserts")
         .Add(1);
+  }
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(inserted ? obs::FlightKind::kCacheInsert
+                               : obs::FlightKind::kCacheDrop,
+                      "logicsim.golden_cache", KeyString(key));
+    for (const GoldenKey& k : evicted) {
+      obs::RecordFlight(obs::FlightKind::kCacheEvict, "logicsim.golden_cache",
+                        KeyString(k));
+    }
   }
   return resident;
 }

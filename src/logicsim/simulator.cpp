@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "guard/guard.hpp"
+#include "obs/flight.hpp"
 
 namespace pfd::logicsim {
 
@@ -17,6 +18,7 @@ Simulator::Simulator(const netlist::Netlist& nl)
   obs_gate_evals_ = &reg.GetCounter("logicsim.gate_evals");
   obs_substeps_ = &reg.GetCounter("logicsim.settle_substeps");
   obs_two_valued_ = &reg.GetCounter("logicsim.two_valued_steps");
+  obs_settle_hist_ = &reg.GetHistogram("logicsim.settle_substeps_per_step");
   if (reg.enabled()) reg.GetCounter("logicsim.simulators").Add(1);
   const std::size_t n = nl.size();
   val_.assign(n, 0);
@@ -500,6 +502,13 @@ void Simulator::Step() {
   } else {
     SettleUnitDelay(settle_substeps, gate_evals);
   }
+  // Falling off the two-valued fast path is a (rare) cost cliff worth a
+  // post-mortem timeline entry: an X crept into a source mid-run.
+  if (two_valued_ && !two_valued && obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightKind::kFallback3V, "logicsim.step",
+                      "cycle " + std::to_string(cycles_) +
+                          ": left the two-valued fast path");
+  }
   two_valued_ = two_valued;
 
   // 5. Switching activity: one potential transition per net per cycle in
@@ -556,7 +565,10 @@ void Simulator::Step() {
   if (obs::Enabled()) {
     obs_cycles_->Add(1);
     obs_gate_evals_->Add(gate_evals);
-    if (unit_delay_) obs_substeps_->Add(settle_substeps);
+    if (unit_delay_) {
+      obs_substeps_->Add(settle_substeps);
+      obs_settle_hist_->Record(settle_substeps);
+    }
     if (two_valued) obs_two_valued_->Add(1);
   }
 

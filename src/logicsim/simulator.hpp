@@ -282,6 +282,7 @@ class Simulator {
   obs::Counter* obs_gate_evals_ = nullptr;
   obs::Counter* obs_substeps_ = nullptr;
   obs::Counter* obs_two_valued_ = nullptr;
+  obs::Histogram* obs_settle_hist_ = nullptr;  // substeps per unit-delay Step
 };
 
 }  // namespace pfd::logicsim

@@ -1,0 +1,118 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace pfd::obs {
+
+const char* FlightKindName(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kGuardTrip: return "guard_trip";
+    case FlightKind::kFailpointFire: return "failpoint_fire";
+    case FlightKind::kQuarantine: return "quarantine";
+    case FlightKind::kRetryOutcome: return "retry_outcome";
+    case FlightKind::kFallback3V: return "3v_fallback";
+    case FlightKind::kCacheInsert: return "cache_insert";
+    case FlightKind::kCacheDrop: return "cache_drop";
+    case FlightKind::kCacheEvict: return "cache_evict";
+    case FlightKind::kCancel: return "cancel";
+    case FlightKind::kNote: return "note";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder =
+      new FlightRecorder();  // never destroyed, like Registry::Global()
+  return *recorder;
+}
+
+void FlightRecorder::Record(FlightKind kind, std::string name,
+                            std::string detail) {
+  // Sites guard on FlightEnabled() before paying for the strings, but the
+  // recorder itself is also gated so a missed guard cannot pollute a ring
+  // that was explicitly turned off.
+  if (!enabled()) return;
+  const double now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) ring_.resize(ring_.size() + 1);
+  FlightEvent& e = ring_[static_cast<std::size_t>(next_seq_ % capacity_)];
+  e.seq = next_seq_++;
+  e.ts_us = now;
+  e.kind = kind;
+  e.name = std::move(name);
+  e.detail = std::move(detail);
+}
+
+std::vector<FlightEvent> FlightRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  const std::uint64_t held = ring_.size();
+  for (std::uint64_t i = 0; i < held; ++i) {
+    const std::uint64_t seq = next_seq_ - held + i;
+    out.push_back(ring_[static_cast<std::size_t>(seq % capacity_)]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+void FlightRecorder::SetCapacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_seq_ = 0;
+}
+
+std::string FlightRecorder::ToJsonl() const {
+  const std::uint64_t total = total_recorded();
+  const std::vector<FlightEvent> events = Events();
+  std::string out;
+  out += "{\"flight_recorder\":{\"total_recorded\":" + std::to_string(total) +
+         ",\"held\":" + std::to_string(events.size()) +
+         ",\"dropped\":" + std::to_string(total - events.size()) + "}}\n";
+  char ts[32];
+  for (const FlightEvent& e : events) {
+    std::snprintf(ts, sizeof ts, "%.3f", e.ts_us);
+    out += "{\"seq\":" + std::to_string(e.seq) + ",\"ts_us\":" + ts +
+           ",\"kind\":\"" + FlightKindName(e.kind) + "\",\"name\":\"" +
+           JsonEscape(e.name) + "\",\"detail\":\"" + JsonEscape(e.detail) +
+           "\"}\n";
+  }
+  return out;
+}
+
+bool FlightEnabled() { return FlightRecorder::Global().enabled(); }
+
+void RecordFlight(FlightKind kind, std::string name, std::string detail) {
+  FlightRecorder::Global().Record(kind, std::move(name), std::move(detail));
+}
+
+bool WriteFlightFile(const FlightRecorder& recorder, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string body = recorder.ToJsonl();
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = written == body.size() && std::fclose(f) == 0;
+  if (written != body.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace pfd::obs

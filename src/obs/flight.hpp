@@ -1,0 +1,100 @@
+// Flight recorder: a fixed-size ring of structured runtime events kept
+// cheap enough to leave on for every production run, dumped after the fact
+// to explain *why* a run degraded — which guard tripped, which failpoint
+// fired, which units were quarantined and whether their retries succeeded,
+// when the simulator fell off the two-valued fast path, what the golden
+// cache inserted or evicted.
+//
+// This is the offline half of the detect-then-explain split: the guard
+// layer detects (trips, partial results, exit code 3) online; the recorder
+// preserves the timeline so a post-mortem does not have to reproduce the
+// failure. pfdtool dumps it automatically on partial-result exits and
+// SIGINT, or to a JSONL file via --flight-recorder.
+//
+// Cost model: recording sites guard on `obs::FlightEnabled()` (one relaxed
+// load), and every recorded event is on a cold path already (a trip, an
+// exception, a cache eviction) — so a mutex-protected ring is fine; there
+// is no lock-free requirement here, unlike Counter/Histogram.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pfd::obs {
+
+enum class FlightKind : std::uint8_t {
+  kGuardTrip,       // guard::Checker recorded its first trip
+  kFailpointFire,   // an armed failpoint threw
+  kQuarantine,      // a unit failed its first attempt and was set aside
+  kRetryOutcome,    // serial retry of a quarantined unit finished
+  kFallback3V,      // simulator left the two-valued fast path
+  kCacheInsert,     // golden-trace cache accepted an entry
+  kCacheDrop,       // golden-trace cache refused a duplicate insert
+  kCacheEvict,      // golden-trace cache evicted FIFO-oldest
+  kCancel,          // cooperative cancellation first observed
+  kNote,            // free-form marker (tests, tooling)
+};
+
+// Stable wire name ("guard_trip", "failpoint_fire", ...), used in JSONL.
+const char* FlightKindName(FlightKind kind);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;  // monotonic since process start / Clear()
+  double ts_us = 0.0;     // obs::NowMicros() timebase, same as traces
+  FlightKind kind = FlightKind::kNote;
+  std::string name;    // site, "<subsystem>.<what>" (e.g. "fault_sim.shard")
+  std::string detail;  // free text, e.g. "unit 17: boom (retry ok)"
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  static FlightRecorder& Global();
+
+  // Independent of Registry::enabled(): counters can stay off while the
+  // recorder runs (it only costs on already-cold paths), and vice versa.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void Record(FlightKind kind, std::string name, std::string detail = {});
+
+  // Events still in the ring, oldest first. total_recorded() counts every
+  // Record() since the last Clear(), including overwritten ones.
+  std::vector<FlightEvent> Events() const;
+  std::uint64_t total_recorded() const;
+  std::size_t capacity() const;
+
+  // Drops buffered events and resets seq. SetCapacity also clears.
+  void Clear();
+  void SetCapacity(std::size_t capacity);
+
+  // One JSON object per line: {"seq":..,"ts_us":..,"kind":"..","name":"..",
+  // "detail":".."}; a leading meta line carries total/dropped counts.
+  std::string ToJsonl() const;
+
+ private:
+  FlightRecorder() = default;
+
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;  // ring_[seq % capacity_]
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<bool> enabled_{false};
+};
+
+// The guard every recording site checks first (one relaxed load).
+bool FlightEnabled();
+
+// Shorthand used by instrumentation sites after the FlightEnabled() check.
+void RecordFlight(FlightKind kind, std::string name, std::string detail = {});
+
+// Writes recorder.ToJsonl() to `path`. Returns false on I/O failure.
+bool WriteFlightFile(const FlightRecorder& recorder, const std::string& path);
+
+}  // namespace pfd::obs

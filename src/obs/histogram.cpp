@@ -1,0 +1,124 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace pfd::obs {
+
+namespace {
+
+// Shard selection: a process-wide thread enumeration hashed onto the shard
+// array. Stable per thread, no syscalls on the hot path.
+std::size_t ThisThreadShard() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<std::size_t>(id) & (Histogram::kNumShards - 1);
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(std::uint64_t value) {
+  if (value < (std::uint64_t{1} << kSubBits)) {
+    return static_cast<int>(value);  // exact unit buckets
+  }
+  const int exp = std::bit_width(value) - 1;  // >= kSubBits
+  const int sub = static_cast<int>((value >> (exp - kSubBits)) &
+                                   ((std::uint64_t{1} << kSubBits) - 1));
+  return ((exp - kSubBits + 1) << kSubBits) + sub;
+}
+
+std::uint64_t Histogram::BucketLowerBound(int index) {
+  const std::uint64_t sub_count = std::uint64_t{1} << kSubBits;
+  if (index < static_cast<int>(sub_count)) return static_cast<std::uint64_t>(index);
+  const int block = index >> kSubBits;  // >= 1
+  const int sub = index & static_cast<int>(sub_count - 1);
+  const int exp = block + kSubBits - 1;
+  return (sub_count + static_cast<std::uint64_t>(sub)) << (exp - kSubBits);
+}
+
+void Histogram::Record(std::uint64_t value) {
+  Shard& s = shards_[ThisThreadShard()];
+  s.buckets[static_cast<std::size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (value < cur && !s.min.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (value > cur && !s.max.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::RecordDouble(double value) {
+  if (!(value > 0.0)) {  // also catches NaN
+    Record(0);
+    return;
+  }
+  Record(static_cast<std::uint64_t>(std::llround(value)));
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.name = name_;
+  out.buckets.assign(kNumBuckets, 0);
+  std::uint64_t min = ~std::uint64_t{0};
+  for (const Shard& s : shards_) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      out.buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    min = std::min(min, s.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+  }
+  out.min = out.count == 0 ? 0 : min;
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t n = buckets[b];
+    if (n == 0) continue;
+    if (cum + n >= rank) {
+      const std::uint64_t lo = Histogram::BucketLowerBound(static_cast<int>(b));
+      const std::uint64_t hi =
+          b + 1 < buckets.size()
+              ? Histogram::BucketLowerBound(static_cast<int>(b) + 1)
+              : ~std::uint64_t{0};
+      // Position of the target inside this bucket, midpoint-of-slot rule.
+      const double frac =
+          (static_cast<double>(rank - cum) - 0.5) / static_cast<double>(n);
+      const double width = static_cast<double>(hi - lo);
+      std::uint64_t v = lo + static_cast<std::uint64_t>(width * frac);
+      return std::clamp(v, min, max);
+    }
+    cum += n;
+  }
+  return max;  // unreachable when bucket totals match count
+}
+
+}  // namespace pfd::obs

@@ -1,0 +1,93 @@
+// Lock-free log-bucketed histograms for latency / size distributions.
+//
+// Same discipline as Counter (obs/obs.hpp): near-zero cost when disabled —
+// every recording site guards on `obs::Enabled()` — and a lock-free hot
+// path when enabled. Record() touches only relaxed atomics in one of a
+// small fixed set of cache-line-aligned shards selected by thread id, so
+// exec::Pool workers hammering the same histogram never contend on a lock
+// or (usually) a cache line. Snapshot() merges the shards; it is taken
+// once per run, not on the hot path.
+//
+// Bucketing is log-linear: values below 2^kSubBits get exact unit buckets,
+// above that each power-of-two range is split into 2^kSubBits linear
+// sub-buckets, so the relative error of a bucket midpoint is bounded by
+// ~2^-(kSubBits+1) (12.5% for kSubBits=2) at every scale up to 2^64-1.
+// Quantiles are interpolated inside the containing bucket and clamped to
+// the exact observed [min, max].
+//
+// Unit convention: histograms carry their unit in the name suffix
+// ("fault_sim.shard_us", "logicsim.settle_substeps") — the registry does
+// not interpret values.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfd::obs {
+
+// Merged view of one histogram at snapshot time. Totals are exact once
+// writers quiesce (relaxed atomics, same contract as Counter).
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  // size Histogram::kNumBuckets
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+  // Quantile estimate for q in [0, 1]: linear interpolation inside the
+  // bucket holding the ceil(q * count)-th sample, clamped to [min, max].
+  std::uint64_t Quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  // Sub-bucket resolution: each power-of-two range splits into
+  // 2^kSubBits linear buckets. 2 → 4 sub-buckets, ≤12.5% midpoint error.
+  static constexpr int kSubBits = 2;
+  // Enough for the full uint64 range: 2^kSubBits exact unit buckets plus
+  // (64 - kSubBits) * 2^kSubBits log-linear ones, rounded up.
+  static constexpr int kNumBuckets = 256;
+  // Power of two; threads map onto shards by thread-id hash.
+  static constexpr std::size_t kNumShards = 8;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Lock-free: one fetch_add into the calling thread's shard bucket, one
+  // into its sum, and (rarely looping) relaxed CAS min/max updates.
+  void Record(std::uint64_t value);
+  // Convenience for duration-style doubles (obs::NowMicros() deltas);
+  // clamps negatives to 0 and rounds to nearest.
+  void RecordDouble(double value);
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+  // Exposed for tests: the bucket a value lands in, and the smallest
+  // value mapping to bucket `index` (buckets partition [0, 2^64)).
+  static int BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketLowerBound(int index);
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+  };
+
+  std::string name_;
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace pfd::obs

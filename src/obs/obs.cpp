@@ -1,6 +1,9 @@
 #include "obs/obs.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.hpp"
 
 namespace pfd::obs {
 
@@ -23,6 +26,14 @@ Gauge& Registry::GetGauge(std::string_view name) {
     if (g.name() == name) return g;
   }
   return gauges_.emplace_back(std::string(name));
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Histogram& h : histograms_) {
+    if (h.name() == name) return h;
+  }
+  return histograms_.emplace_back(std::string(name));
 }
 
 std::uint64_t Registry::CounterValue(std::string_view name) const {
@@ -64,10 +75,89 @@ std::vector<std::pair<std::string, double>> Registry::GaugeSnapshot() const {
   return out;
 }
 
+std::vector<HistogramSnapshot> Registry::HistogramSnapshots() const {
+  std::vector<HistogramSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(histograms_.size());
+    for (const Histogram& h : histograms_) out.push_back(h.Snapshot());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
 void Registry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (Counter& c : counters_) c.Reset();
   for (Gauge& g : gauges_) g.Reset();
+  for (Histogram& h : histograms_) h.Reset();
+}
+
+namespace {
+
+std::string JsonDoubleCompact(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string CountersJsonObject() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : Registry::Global().CounterSnapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
+std::string GaugesJsonObject() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : Registry::Global().GaugeSnapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + JsonDoubleCompact(value);
+  }
+  out += "}";
+  return out;
+}
+
+std::string HistogramsJsonObject() {
+  std::string out = "{";
+  bool first = true;
+  for (const HistogramSnapshot& h : Registry::Global().HistogramSnapshots()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(h.name) + "\":{";
+    out += "\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"min\":" + std::to_string(h.min);
+    out += ",\"max\":" + std::to_string(h.max);
+    out += ",\"mean\":" + JsonDoubleCompact(h.Mean());
+    out += ",\"p50\":" + std::to_string(h.Quantile(0.50));
+    out += ",\"p90\":" + std::to_string(h.Quantile(0.90));
+    out += ",\"p99\":" + std::to_string(h.Quantile(0.99));
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string SnapshotJson() {
+  std::string out = "{\n";
+  out += "  \"counters\": " + CountersJsonObject() + ",\n";
+  out += "  \"gauges\": " + GaugesJsonObject() + ",\n";
+  out += "  \"histograms\": " + HistogramsJsonObject() + "\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace pfd::obs

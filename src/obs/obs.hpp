@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace pfd::obs {
 
 class Trace;
@@ -80,6 +82,7 @@ class Registry {
   // Create-or-get; the returned reference is valid forever.
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
 
   // Value of a counter/gauge by name; 0 when it was never registered.
   std::uint64_t CounterValue(std::string_view name) const;
@@ -88,8 +91,9 @@ class Registry {
   // Name-sorted snapshots of everything ever registered.
   std::vector<std::pair<std::string, std::uint64_t>> CounterSnapshot() const;
   std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
+  std::vector<HistogramSnapshot> HistogramSnapshots() const;
 
-  // Zeroes every counter and gauge (handles stay valid).
+  // Zeroes every counter, gauge, and histogram (handles stay valid).
   void ResetAll();
 
   // Trace sink. The registry does not own the sink; the installer must
@@ -103,11 +107,22 @@ class Registry {
   mutable std::mutex mu_;
   std::deque<Counter> counters_;  // deque: stable addresses
   std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
   std::atomic<bool> enabled_{false};
   std::atomic<Trace*> trace_{nullptr};
 };
 
 // The single guard every instrumentation site checks before counting.
 inline bool Enabled() { return Registry::Global().enabled(); }
+
+// Pre-rendered JSON objects over the global registry, shared by the
+// metrics renderers (core/report) and the RunReport artifact. Histogram
+// entries carry count/sum/min/max/mean plus interpolated p50/p90/p99.
+std::string CountersJsonObject();
+std::string GaugesJsonObject();
+std::string HistogramsJsonObject();
+// {"counters":{...},"gauges":{...},"histograms":{...}} — the generic
+// metrics document for commands with no PipelineMetrics of their own.
+std::string SnapshotJson();
 
 }  // namespace pfd::obs

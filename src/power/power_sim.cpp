@@ -5,6 +5,7 @@
 
 #include "base/rng.hpp"
 #include "base/stats.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "tpg/lfsr.hpp"
 
@@ -159,6 +160,8 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
         static_cast<std::size_t>(wave),
         [&](std::size_t k) {
           guard::MaybeFail("power.mc_batch");
+          const bool batch_obs_on = obs::Enabled();
+          const double t0 = batch_obs_on ? obs::NowMicros() : 0.0;
           const int b = computed + static_cast<int>(k);
           logicsim::Simulator sim = base;  // copy of the warmed machine
           sim.ResetToggleCounts();
@@ -172,9 +175,12 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
               static_cast<std::uint64_t>(plan.cycles_per_pattern));
           results[static_cast<std::size_t>(b)] =
               model.Compute(sim, batch_cycles).breakdown;
-          if (obs::Enabled()) {
-            obs::Registry::Global().GetCounter("power.toggles")
-                .Add(TotalToggles(sim));
+          if (batch_obs_on) {
+            obs::Registry& reg = obs::Registry::Global();
+            reg.GetCounter("power.toggles").Add(TotalToggles(sim));
+            static obs::Histogram& hist =
+                reg.GetHistogram("power.mc_batch_us");
+            hist.RecordDouble(obs::NowMicros() - t0);
           }
         },
         &check);
@@ -308,16 +314,30 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
         reg.GetCounter("guard.quarantined_units").Add(1);
         reg.GetCounter("guard.retries").Add(1);
       }
+      if (obs::FlightEnabled()) {
+        obs::RecordFlight(obs::FlightKind::kQuarantine, "power.test_set",
+                          "batch " + std::to_string(batch) + ": " +
+                              failed.what);
+      }
       try {
         RunBatch(sim, plan, lane_values);
         batch_done = true;
         if (obs_on) {
           obs::Registry::Global().GetCounter("guard.retry_successes").Add(1);
         }
+        if (obs::FlightEnabled()) {
+          obs::RecordFlight(obs::FlightKind::kRetryOutcome, "power.test_set",
+                            "batch " + std::to_string(batch) + ": success");
+        }
       } catch (const guard::Tripped&) {
         tripped_mid_batch = true;
       } catch (...) {
         failed.what += "; retry: " + guard::CurrentExceptionMessage();
+        if (obs::FlightEnabled()) {
+          obs::RecordFlight(obs::FlightKind::kRetryOutcome, "power.test_set",
+                            "batch " + std::to_string(batch) +
+                                ": failed again");
+        }
         result.run_status.failed_units.push_back(std::move(failed));
       }
     }

@@ -1,0 +1,239 @@
+// Tests for the obs::FlightRecorder: ring wraparound and seq ordering,
+// enable gating, JSONL dump shape (parsed line by line), file writing, and
+// the guard-layer integration points — a tripped Checker and a fired
+// failpoint must each leave a structured event in the ring.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "guard/guard.hpp"
+#include "obs/flight.hpp"
+#include "test_json.hpp"
+
+namespace pfd::obs {
+namespace {
+
+// Restores the global recorder to "disabled, default capacity, empty" so
+// tests compose in any order within this binary.
+class FlightGuard {
+ public:
+  FlightGuard() { Cleanup(); }
+  ~FlightGuard() { Cleanup(); }
+
+ private:
+  static void Cleanup() {
+    guard::ClearFailpoints();
+    FlightRecorder::Global().set_enabled(false);
+    FlightRecorder::Global().SetCapacity(FlightRecorder::kDefaultCapacity);
+  }
+};
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  FlightGuard guard;
+  FlightRecorder& rec = FlightRecorder::Global();
+  EXPECT_FALSE(FlightEnabled());
+  RecordFlight(FlightKind::kNote, "test.disabled", "dropped");
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.Events().empty());
+}
+
+TEST(FlightRecorder, EventsComeBackOldestFirstWithMonotonicSeq) {
+  FlightGuard guard;
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    rec.Record(FlightKind::kNote, "test.seq", "event " + std::to_string(i));
+  }
+  const std::vector<FlightEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].detail, "event " + std::to_string(i));
+    if (i > 0) EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+  }
+  EXPECT_EQ(rec.total_recorded(), 5u);
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheLatestEvents) {
+  FlightGuard guard;
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.SetCapacity(4);
+  rec.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(FlightKind::kNote, "test.wrap", std::to_string(i));
+  }
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  const std::vector<FlightEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);  // capacity bounds what is held
+  // The survivors are the last 4, oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(events[i].detail, std::to_string(6 + i));
+  }
+}
+
+TEST(FlightRecorder, ClearResetsSeqAndCounts) {
+  FlightGuard guard;
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.set_enabled(true);
+  rec.Record(FlightKind::kNote, "test.clear");
+  rec.Clear();
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.Events().empty());
+  rec.Record(FlightKind::kNote, "test.clear");
+  EXPECT_EQ(rec.Events().at(0).seq, 0u);
+}
+
+TEST(FlightRecorder, KindNamesAreStableWireNames) {
+  EXPECT_STREQ(FlightKindName(FlightKind::kGuardTrip), "guard_trip");
+  EXPECT_STREQ(FlightKindName(FlightKind::kFailpointFire), "failpoint_fire");
+  EXPECT_STREQ(FlightKindName(FlightKind::kQuarantine), "quarantine");
+  EXPECT_STREQ(FlightKindName(FlightKind::kRetryOutcome), "retry_outcome");
+  EXPECT_STREQ(FlightKindName(FlightKind::kFallback3V), "3v_fallback");
+  EXPECT_STREQ(FlightKindName(FlightKind::kCacheInsert), "cache_insert");
+  EXPECT_STREQ(FlightKindName(FlightKind::kCacheDrop), "cache_drop");
+  EXPECT_STREQ(FlightKindName(FlightKind::kCacheEvict), "cache_evict");
+  EXPECT_STREQ(FlightKindName(FlightKind::kCancel), "cancel");
+  EXPECT_STREQ(FlightKindName(FlightKind::kNote), "note");
+}
+
+TEST(FlightRecorder, JsonlEveryLineParsesAndMetaCountsDropped) {
+  FlightGuard guard;
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.SetCapacity(3);
+  rec.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    rec.Record(FlightKind::kCacheInsert, "test.jsonl",
+               "entry \"quoted\" #" + std::to_string(i));
+  }
+  const std::string jsonl = rec.ToJsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    testutil::JsonValue v;
+    ASSERT_TRUE(testutil::JsonParser(line).Parse(v)) << line;
+    ASSERT_TRUE(v.is_object());
+    if (line_no == 0) {
+      // Leading meta line: totals so a reader knows what was overwritten.
+      const auto& meta = v.obj().at("flight_recorder").obj();
+      EXPECT_EQ(meta.at("total_recorded").num(), 5.0);
+      EXPECT_EQ(meta.at("held").num(), 3.0);
+      EXPECT_EQ(meta.at("dropped").num(), 2.0);
+    } else {
+      const auto& o = v.obj();
+      EXPECT_EQ(o.at("kind").str(), "cache_insert");
+      EXPECT_EQ(o.at("name").str(), "test.jsonl");
+      EXPECT_TRUE(o.count("seq"));
+      EXPECT_TRUE(o.count("ts_us"));
+      EXPECT_NE(o.at("detail").str().find("\"quoted\""), std::string::npos);
+    }
+    ++line_no;
+  }
+  EXPECT_EQ(line_no, 1 + 3);  // meta + the held events
+}
+
+TEST(FlightRecorder, WriteFlightFileRoundTrips) {
+  FlightGuard guard;
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.set_enabled(true);
+  rec.Record(FlightKind::kNote, "test.file", "persisted");
+  const std::string path = ::testing::TempDir() + "pfd_flight_test.jsonl";
+  ASSERT_TRUE(WriteFlightFile(rec, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"test.file\""), std::string::npos);
+  EXPECT_NE(buf.str().find("persisted"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_FALSE(WriteFlightFile(rec, "/nonexistent-dir/flight.jsonl"));
+}
+
+// --- guard-layer integration ---------------------------------------------
+
+TEST(FlightIntegration, GuardTripLandsInTheRing) {
+  FlightGuard fg;
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.set_enabled(true);
+
+  guard::Limits limits;
+  limits.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);  // already expired
+  guard::Checker checker(limits);
+  EXPECT_FALSE(checker.Check().ok());
+
+  bool saw_trip = false;
+  for (const FlightEvent& ev : rec.Events()) {
+    if (ev.kind == FlightKind::kGuardTrip) {
+      saw_trip = true;
+      EXPECT_EQ(ev.name, "guard.checker");
+      EXPECT_NE(ev.detail.find("deadline"), std::string::npos) << ev.detail;
+    }
+  }
+  EXPECT_TRUE(saw_trip);
+}
+
+TEST(FlightIntegration, GuardTripIsRecordedOnceDespiteRepeatedChecks) {
+  FlightGuard fg;
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.set_enabled(true);
+
+  guard::Limits limits;
+  limits.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);
+  guard::Checker checker(limits);
+  for (int i = 0; i < 5; ++i) checker.Check();
+
+  int trips = 0;
+  for (const FlightEvent& ev : rec.Events()) {
+    if (ev.kind == FlightKind::kGuardTrip) ++trips;
+  }
+  EXPECT_EQ(trips, 1);  // the sticky first trip, not one per Check()
+}
+
+TEST(FlightIntegration, FailpointFireLandsInTheRing) {
+  FlightGuard fg;
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.set_enabled(true);
+
+  guard::ArmFailpoint("flight.test_fp", "throw@0");
+  EXPECT_THROW(guard::MaybeFail("flight.test_fp"), pfd::Error);
+  guard::ClearFailpoints();
+
+  bool saw_fire = false;
+  for (const FlightEvent& ev : rec.Events()) {
+    if (ev.kind == FlightKind::kFailpointFire) {
+      saw_fire = true;
+      EXPECT_EQ(ev.name, "flight.test_fp");
+    }
+  }
+  EXPECT_TRUE(saw_fire);
+}
+
+TEST(FlightIntegration, NothingRecordedWhenDisabled) {
+  FlightGuard fg;
+  FlightRecorder& rec = FlightRecorder::Global();
+  ASSERT_FALSE(rec.enabled());
+
+  guard::Limits limits;
+  limits.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);
+  guard::Checker checker(limits);
+  checker.Check();
+  guard::ArmFailpoint("flight.test_fp_off", "throw@0");
+  EXPECT_THROW(guard::MaybeFail("flight.test_fp_off"), pfd::Error);
+  guard::ClearFailpoints();
+
+  EXPECT_EQ(rec.total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace pfd::obs

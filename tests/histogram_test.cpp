@@ -1,0 +1,273 @@
+// Tests for obs::Histogram: bucket-map properties across the full uint64
+// range, exact count/sum/min/max accounting, quantile interpolation and
+// clamping, multi-threaded recording into the sharded slots (run under
+// ASan/TSan in CI), registry integration, and the JSON snapshot shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/obs.hpp"
+#include "test_json.hpp"
+
+namespace pfd::obs {
+namespace {
+
+class RegistryGuard {
+ public:
+  RegistryGuard() { Cleanup(); }
+  ~RegistryGuard() { Cleanup(); }
+
+ private:
+  static void Cleanup() {
+    Registry::Global().set_enabled(false);
+    Registry::Global().ResetAll();
+  }
+};
+
+// --- bucket map -----------------------------------------------------------
+
+TEST(HistogramBuckets, SmallValuesGetExactUnitBuckets) {
+  // Below 2^kSubBits the map is the identity: exact buckets, zero error.
+  for (std::uint64_t v = 0; v < (1u << Histogram::kSubBits); ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<int>(v)) << "v=" << v;
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(HistogramBuckets, IndexIsMonotoneAndLowerBoundInverts) {
+  // Probe around every power of two plus a spread of odd values; the index
+  // must be non-decreasing in the value, and every value must land in
+  // [BucketLowerBound(i), BucketLowerBound(i + 1)).
+  std::vector<std::uint64_t> probes = {0, 1, 2, 3, 5, 7, 100, 12345};
+  for (int e = 2; e < 64; ++e) {
+    const std::uint64_t p = std::uint64_t{1} << e;
+    probes.push_back(p - 1);
+    probes.push_back(p);
+    probes.push_back(p + 1);
+    probes.push_back(p + (p >> 1));  // mid-range of the power-of-two band
+  }
+  probes.push_back(std::numeric_limits<std::uint64_t>::max());
+
+  int prev_index = -1;
+  std::uint64_t prev_value = 0;
+  std::sort(probes.begin(), probes.end());
+  for (std::uint64_t v : probes) {
+    const int idx = Histogram::BucketIndex(v);
+    ASSERT_GE(idx, 0) << "v=" << v;
+    ASSERT_LT(idx, Histogram::kNumBuckets) << "v=" << v;
+    if (v >= prev_value) {
+      EXPECT_GE(idx, prev_index) << "v=" << v << " prev=" << prev_value;
+    }
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v) << "v=" << v;
+    if (idx + 1 < Histogram::kNumBuckets) {
+      const std::uint64_t next = Histogram::BucketLowerBound(idx + 1);
+      // Buckets partition the range: the next bucket starts above v unless
+      // the map has saturated at the top.
+      if (next > Histogram::BucketLowerBound(idx)) {
+        EXPECT_GT(next, v) << "v=" << v << " idx=" << idx;
+      }
+    }
+    prev_index = idx;
+    prev_value = v;
+  }
+}
+
+TEST(HistogramBuckets, RelativeErrorBoundHolds) {
+  // The log-linear split promises a bucket width of at most 2^-kSubBits of
+  // the value's power-of-two band, i.e. <= 25% relative width for
+  // kSubBits=2 (12.5% to the midpoint).
+  for (int e = Histogram::kSubBits; e < 63; ++e) {
+    const std::uint64_t v = (std::uint64_t{1} << e) + (std::uint64_t{1} << (e - 1));
+    const int idx = Histogram::BucketIndex(v);
+    const std::uint64_t lo = Histogram::BucketLowerBound(idx);
+    ASSERT_LT(idx + 1, Histogram::kNumBuckets);
+    const std::uint64_t hi = Histogram::BucketLowerBound(idx + 1);
+    ASSERT_GT(hi, lo);
+    EXPECT_LE(hi - lo, v >> Histogram::kSubBits << 1)
+        << "bucket [" << lo << "," << hi << ") too wide for v=" << v;
+  }
+}
+
+// --- recording / snapshot -------------------------------------------------
+
+TEST(Histogram, ExactTotalsAndMinMax) {
+  Histogram h("test.h");
+  const std::vector<std::uint64_t> values = {3, 3, 7, 100, 100000, 0, 42};
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : values) {
+    h.Record(v);
+    sum += v;
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.name, "test.h");
+  EXPECT_EQ(snap.count, values.size());
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 100000u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), static_cast<double>(sum) / values.size());
+
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, values.size());
+}
+
+TEST(Histogram, RecordDoubleClampsAndRounds) {
+  Histogram h("test.double");
+  h.RecordDouble(-5.0);  // clamped to 0
+  h.RecordDouble(2.6);   // rounds to 3
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 3u);
+  EXPECT_EQ(snap.sum, 3u);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h("test.empty");
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.Quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram h("test.reset");
+  h.Record(17);
+  h.Record(1 << 20);
+  h.Reset();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+// --- quantiles ------------------------------------------------------------
+
+TEST(HistogramQuantiles, ClampedToObservedRange) {
+  Histogram h("test.q");
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  const HistogramSnapshot snap = h.Snapshot();
+  // Every sample is 1000; interpolation inside the bucket must still be
+  // clamped to the exact observed min/max.
+  EXPECT_EQ(snap.Quantile(0.0), 1000u);
+  EXPECT_EQ(snap.Quantile(0.5), 1000u);
+  EXPECT_EQ(snap.Quantile(0.99), 1000u);
+  EXPECT_EQ(snap.Quantile(1.0), 1000u);
+}
+
+TEST(HistogramQuantiles, OrderedAndWithinBucketError) {
+  Histogram h("test.q2");
+  // Uniform 1..1000: p50 should land near 500, p90 near 900, within the
+  // 25% bucket-width bound.
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  const std::uint64_t p50 = snap.Quantile(0.50);
+  const std::uint64_t p90 = snap.Quantile(0.90);
+  const std::uint64_t p99 = snap.Quantile(0.99);
+  EXPECT_LE(snap.min, p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, snap.max);
+  EXPECT_NEAR(static_cast<double>(p50), 500.0, 500.0 * 0.25);
+  EXPECT_NEAR(static_cast<double>(p90), 900.0, 900.0 * 0.25);
+}
+
+// --- concurrency ----------------------------------------------------------
+
+TEST(HistogramThreads, EightThreadHammerKeepsExactTotals) {
+  // 8 threads × 64k records into one histogram: totals must be exact after
+  // join (relaxed atomics, single-writer-free contract). This is the test
+  // the ASan/TSan CI jobs lean on for the sharded hot path.
+  Histogram h("test.hammer");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 1 << 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record((i % 1000) + static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      expected_sum += (i % 1000) + static_cast<std::uint64_t>(t);
+    }
+  }
+  EXPECT_EQ(snap.sum, expected_sum);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 999u + (kThreads - 1));
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// --- registry integration -------------------------------------------------
+
+TEST(HistogramRegistry, SameNameSameSlotAndResetAll) {
+  RegistryGuard guard;
+  Registry& reg = Registry::Global();
+  Histogram& a = reg.GetHistogram("test.reg_hist");
+  Histogram& b = reg.GetHistogram("test.reg_hist");
+  EXPECT_EQ(&a, &b);
+  a.Record(5);
+  b.Record(9);
+
+  bool found = false;
+  for (const HistogramSnapshot& snap : reg.HistogramSnapshots()) {
+    if (snap.name == "test.reg_hist") {
+      found = true;
+      EXPECT_EQ(snap.count, 2u);
+      EXPECT_EQ(snap.sum, 14u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  reg.ResetAll();
+  for (const HistogramSnapshot& snap : reg.HistogramSnapshots()) {
+    if (snap.name == "test.reg_hist") {
+      EXPECT_EQ(snap.count, 0u);
+      EXPECT_EQ(snap.sum, 0u);
+    }
+  }
+}
+
+TEST(HistogramRegistry, SnapshotJsonParsesAndCarriesQuantiles) {
+  RegistryGuard guard;
+  Registry& reg = Registry::Global();
+  Histogram& h = reg.GetHistogram("test.json_hist_us");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Record(v);
+
+  const std::string json = SnapshotJson();
+  testutil::JsonValue root;
+  ASSERT_TRUE(testutil::JsonParser(json).Parse(root)) << json;
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.obj().count("histograms"));
+  const auto& hists = root.obj().at("histograms").obj();
+  ASSERT_TRUE(hists.count("test.json_hist_us"));
+  const auto& entry = hists.at("test.json_hist_us").obj();
+  EXPECT_EQ(entry.at("count").num(), 100.0);
+  EXPECT_EQ(entry.at("min").num(), 1.0);
+  EXPECT_EQ(entry.at("max").num(), 100.0);
+  EXPECT_LE(entry.at("p50").num(), entry.at("p90").num());
+  EXPECT_LE(entry.at("p90").num(), entry.at("p99").num());
+  EXPECT_LE(entry.at("p99").num(), entry.at("max").num());
+}
+
+}  // namespace
+}  // namespace pfd::obs

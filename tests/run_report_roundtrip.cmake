@@ -1,0 +1,59 @@
+# End-to-end RunReport round trip, run as a ctest: every design goes through
+# `pfdtool classify --report`, plus one grade and one xcheck run, and every
+# emitted report must pass tools/check_run_report.py (the executable schema
+# definition). Invoked from tests/CMakeLists.txt as
+#   cmake -DPFDTOOL=... -DPYTHON3=... -DCHECKER=... -DOUT_DIR=... -P this.cmake
+foreach(var PFDTOOL PYTHON3 CHECKER OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_report_roundtrip: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+function(check_report path command)
+  execute_process(
+    COMMAND "${PYTHON3}" "${CHECKER}" "${path}"
+            --expect-command "${command}" --expect-exit-code 0
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "check_run_report.py rejected ${path}")
+  endif()
+endfunction()
+
+# classify on every design; --patterns 100 keeps the sweep test-sized while
+# still driving the fault-sim, power, and cache layers for real.
+foreach(design diffeq diffeq-loop ewf facet poly)
+  set(report "${OUT_DIR}/classify_${design}.json")
+  execute_process(
+    COMMAND "${PFDTOOL}" classify "${design}" --patterns 100
+            --report "${report}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "pfdtool classify ${design} failed (rc=${rc})")
+  endif()
+  check_report("${report}" classify)
+endforeach()
+
+set(report "${OUT_DIR}/grade_diffeq.json")
+execute_process(
+  COMMAND "${PFDTOOL}" grade diffeq --patterns 100 --report "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pfdtool grade diffeq failed (rc=${rc})")
+endif()
+check_report("${report}" grade)
+
+set(report "${OUT_DIR}/xcheck.json")
+execute_process(
+  COMMAND "${PFDTOOL}" xcheck --seed 20260807 --iters 50 --report "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pfdtool xcheck failed (rc=${rc})")
+endif()
+check_report("${report}" xcheck)
+
+message(STATUS "run_report_roundtrip: all reports validated")

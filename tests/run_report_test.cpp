@@ -1,0 +1,183 @@
+// Tests for core::RunReportJson: the emitted artifact must parse as JSON,
+// carry every schema-v1 top-level section, render the request fields with
+// correct quoting, fold the guard RunStatus (including the failed-unit cap)
+// in faithfully, and round-trip histograms/counters from the registry.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/run_report.hpp"
+#include "guard/guard.hpp"
+#include "obs/obs.hpp"
+#include "test_json.hpp"
+
+namespace pfd::core {
+namespace {
+
+using testutil::JsonObject;
+using testutil::JsonParser;
+using testutil::JsonValue;
+
+class RegistryGuard {
+ public:
+  RegistryGuard() { Cleanup(); }
+  ~RegistryGuard() { Cleanup(); }
+
+ private:
+  static void Cleanup() {
+    obs::Registry::Global().set_enabled(false);
+    obs::Registry::Global().ResetAll();
+  }
+};
+
+JsonValue ParseReport(const RunReportInputs& inputs) {
+  const std::string json = RunReportJson(inputs);
+  JsonValue root;
+  EXPECT_TRUE(JsonParser(json).Parse(root)) << json;
+  EXPECT_TRUE(root.is_object());
+  return root;
+}
+
+TEST(RunReport, CarriesEverySchemaV1Section) {
+  RegistryGuard guard;
+  RunReportInputs inputs;
+  inputs.command = "classify";
+  inputs.request.push_back(RequestStr("design", "diffeq"));
+  inputs.request.push_back(RequestInt("threads", 4));
+  inputs.exit_code = 0;
+
+  const JsonValue root = ParseReport(inputs);
+  const JsonObject& o = root.obj();
+  for (const char* key :
+       {"schema", "schema_version", "generated_unix_time", "provenance",
+        "host", "request", "run_status", "metrics", "cache", "counters",
+        "gauges", "histograms", "flight_recorder"}) {
+    EXPECT_TRUE(o.count(key)) << "missing top-level key: " << key;
+  }
+  EXPECT_EQ(o.at("schema").str(), "pfd.run_report");
+  EXPECT_EQ(o.at("schema_version").num(), kRunReportSchemaVersion);
+
+  const JsonObject& prov = o.at("provenance").obj();
+  for (const char* key : {"compiler", "compiler_version", "build_type",
+                          "cxx_flags", "git_describe", "assertions_disabled"}) {
+    EXPECT_TRUE(prov.count(key)) << "missing provenance key: " << key;
+  }
+
+  const JsonObject& req = o.at("request").obj();
+  EXPECT_EQ(req.at("command").str(), "classify");
+  EXPECT_EQ(req.at("design").str(), "diffeq");
+  EXPECT_EQ(req.at("threads").num(), 4.0);
+
+  // No metrics supplied: the section must be an explicit null, never
+  // absent (additive-schema contract).
+  EXPECT_TRUE(o.at("metrics").is_null());
+}
+
+TEST(RunReport, NullStatusReadsAsCleanOkRun) {
+  RegistryGuard guard;
+  RunReportInputs inputs;
+  inputs.command = "xcheck";
+  inputs.exit_code = 0;
+
+  const JsonValue root = ParseReport(inputs);
+  const JsonObject& rs = root.obj().at("run_status").obj();
+  EXPECT_EQ(rs.at("code").str(), "ok");
+  EXPECT_EQ(rs.at("exit_code").num(), 0.0);
+  EXPECT_EQ(rs.at("failed_units").arr().size(), 0u);
+  EXPECT_EQ(rs.at("failed_units_truncated").v, JsonValue{false}.v);
+}
+
+TEST(RunReport, RunStatusFoldsInFailuresAndCapsTheList) {
+  RegistryGuard guard;
+  guard::RunStatus status;
+  status.code = guard::StatusCode::kPartialFailure;
+  status.message = "2 units failed";
+  status.total_units = 500;
+  // 150 failures: the report lists at most 100 and flags the truncation.
+  for (std::size_t i = 0; i < 150; ++i) {
+    status.failed_units.push_back({i, "unit exploded: \"boom\""});
+  }
+  for (std::size_t i = 150; i < 500; ++i) status.completed.push_back(i);
+
+  RunReportInputs inputs;
+  inputs.command = "classify";
+  inputs.exit_code = 3;
+  inputs.run_status = &status;
+
+  const JsonValue root = ParseReport(inputs);
+  const JsonObject& rs = root.obj().at("run_status").obj();
+  EXPECT_EQ(rs.at("code").str(), "partial-failure");
+  EXPECT_EQ(rs.at("exit_code").num(), 3.0);
+  EXPECT_EQ(rs.at("total_units").num(), 500.0);
+  EXPECT_EQ(rs.at("completed_units").num(), 350.0);
+  const auto& failed = rs.at("failed_units").arr();
+  ASSERT_EQ(failed.size(), 100u);
+  EXPECT_EQ(failed.at(0).obj().at("index").num(), 0.0);
+  // The quoted message must survive JSON escaping.
+  EXPECT_NE(failed.at(0).obj().at("what").str().find("\"boom\""),
+            std::string::npos);
+  EXPECT_EQ(rs.at("failed_units_truncated").v, JsonValue{true}.v);
+}
+
+TEST(RunReport, RequestHelpersQuoteCorrectly) {
+  RegistryGuard guard;
+  RunReportInputs inputs;
+  inputs.command = "grade";
+  inputs.request.push_back(RequestStr("path", "a\\b \"c\"\n"));
+  inputs.request.push_back(RequestDouble("threshold", 0.25));
+  inputs.request.push_back(RequestBool("shrink", true));
+
+  const JsonValue root = ParseReport(inputs);
+  const JsonObject& req = root.obj().at("request").obj();
+  EXPECT_EQ(req.at("path").str(), "a\\b \"c\"\n");
+  EXPECT_DOUBLE_EQ(req.at("threshold").num(), 0.25);
+  EXPECT_EQ(req.at("shrink").v, JsonValue{true}.v);
+}
+
+TEST(RunReport, RegistrySnapshotLandsInTheReport) {
+  RegistryGuard guard;
+  obs::Registry& reg = obs::Registry::Global();
+  reg.set_enabled(true);
+  reg.GetCounter("report.test_counter").Add(7);
+  obs::Histogram& h = reg.GetHistogram("report.test_hist_us");
+  for (std::uint64_t v = 1; v <= 10; ++v) h.Record(v * 100);
+
+  RunReportInputs inputs;
+  inputs.command = "diagnose";
+  const JsonValue root = ParseReport(inputs);
+  const JsonObject& o = root.obj();
+
+  EXPECT_EQ(o.at("counters").obj().at("report.test_counter").num(), 7.0);
+  const JsonObject& hist = o.at("histograms").obj()
+                               .at("report.test_hist_us").obj();
+  EXPECT_EQ(hist.at("count").num(), 10.0);
+  EXPECT_EQ(hist.at("min").num(), 100.0);
+  EXPECT_EQ(hist.at("max").num(), 1000.0);
+  EXPECT_LE(hist.at("p50").num(), hist.at("p99").num());
+}
+
+TEST(RunReport, WriteRunReportFileRoundTrips) {
+  RegistryGuard guard;
+  RunReportInputs inputs;
+  inputs.command = "classify";
+  inputs.request.push_back(RequestStr("design", "ewf"));
+
+  const std::string path = ::testing::TempDir() + "pfd_run_report_test.json";
+  ASSERT_TRUE(WriteRunReportFile(inputs, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue root;
+  EXPECT_TRUE(JsonParser(buf.str()).Parse(root));
+  EXPECT_EQ(root.obj().at("request").obj().at("design").str(), "ewf");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(WriteRunReportFile(inputs, "/nonexistent-dir/report.json"));
+}
+
+}  // namespace
+}  // namespace pfd::core

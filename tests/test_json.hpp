@@ -1,0 +1,190 @@
+// Minimal JSON reader shared by tests that validate emitted JSON (trace
+// files, metrics snapshots, run reports, flight-recorder JSONL). Kept
+// deliberately small: objects, arrays, strings with the common escapes,
+// numbers via std::stod, true/false/null. Parse() returns false instead of
+// asserting so tests can EXPECT on well-formedness.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace pfd::testutil {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  const JsonObject& obj() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  const JsonArray& arr() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  double num() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  // Returns false (instead of asserting) on malformed input so tests can
+  // EXPECT on well-formedness.
+  bool Parse(JsonValue& out) {
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ParseString(std::string& out) {
+    if (!Eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return false;
+            }
+            out += static_cast<char>(code);  // BMP only; enough for tests
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Eat('"');
+  }
+  bool ParseValue(JsonValue& out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      auto obj = std::make_shared<JsonObject>();
+      SkipWs();
+      if (Eat('}')) {
+        out.v = obj;
+        return true;
+      }
+      for (;;) {
+        std::string key;
+        JsonValue val;
+        if (!ParseString(key) || !Eat(':') || !ParseValue(val)) return false;
+        (*obj)[key] = val;
+        if (Eat(',')) continue;
+        if (Eat('}')) break;
+        return false;
+      }
+      out.v = obj;
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      auto arr = std::make_shared<JsonArray>();
+      SkipWs();
+      if (Eat(']')) {
+        out.v = arr;
+        return true;
+      }
+      for (;;) {
+        JsonValue val;
+        if (!ParseValue(val)) return false;
+        arr->push_back(val);
+        if (Eat(',')) continue;
+        if (Eat(']')) break;
+        return false;
+      }
+      out.v = arr;
+      return true;
+    }
+    if (c == '"') {
+      std::string str;
+      if (!ParseString(str)) return false;
+      out.v = str;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out.v = true;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out.v = false;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out.v = nullptr;
+      return true;
+    }
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    out.v = std::stod(std::string(s_.substr(pos_, end - pos_)));
+    pos_ = end;
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pfd::testutil

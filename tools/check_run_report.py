@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Schema validator for pfd RunReport artifacts (pfdtool --report).
+
+This file is the executable definition of the "pfd.run_report" schema
+(src/core/run_report.hpp): additive keys are allowed without a version
+bump, removing or renaming a key bumps schema_version and must update the
+checks here in the same change.
+
+Usage:
+  tools/check_run_report.py run.json [run2.json ...]
+      [--expect-command CMD] [--expect-exit-code N]
+
+Exit code 0 when every report validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "pfd.run_report"
+SCHEMA_VERSION = 1
+
+STATUS_CODES = {
+    "ok",
+    "cancelled",
+    "deadline-exceeded",
+    "budget-exhausted",
+    "partial-failure",
+}
+
+COMMANDS = {"list", "info", "classify", "grade", "diagnose", "dot", "vcd",
+            "xcheck"}
+
+
+class Err(Exception):
+    pass
+
+
+def expect(cond, msg):
+    if not cond:
+        raise Err(msg)
+
+
+def check_type(obj, key, typ, where):
+    expect(key in obj, f"{where}: missing key '{key}'")
+    val = obj[key]
+    # bool is an int subclass in python; keep the check strict.
+    if typ is int:
+        expect(isinstance(val, int) and not isinstance(val, bool),
+               f"{where}.{key}: expected int, got {type(val).__name__}")
+    elif typ is float:
+        expect(isinstance(val, (int, float)) and not isinstance(val, bool),
+               f"{where}.{key}: expected number, got {type(val).__name__}")
+    else:
+        expect(isinstance(val, typ),
+               f"{where}.{key}: expected {typ.__name__}, "
+               f"got {type(val).__name__}")
+    return val
+
+
+def check_histogram(name, h):
+    where = f"histograms['{name}']"
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+        v = check_type(h, key, int, where)
+        expect(v >= 0, f"{where}.{key}: negative")
+    check_type(h, "mean", float, where)
+    if h["count"] == 0:
+        expect(h["sum"] == 0 and h["max"] == 0,
+               f"{where}: empty histogram with nonzero sum/max")
+        return
+    expect(h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"],
+           f"{where}: quantiles not monotone: "
+           f"min={h['min']} p50={h['p50']} p90={h['p90']} "
+           f"p99={h['p99']} max={h['max']}")
+    expect(h["min"] <= h["sum"] and h["max"] <= h["sum"],
+           f"{where}: sum smaller than an observed value")
+
+
+def check_report(path, doc, args):
+    expect(isinstance(doc, dict), "top level: expected JSON object")
+    expect(doc.get("schema") == SCHEMA,
+           f"schema: expected '{SCHEMA}', got {doc.get('schema')!r}")
+    version = check_type(doc, "schema_version", int, "top level")
+    expect(version == SCHEMA_VERSION,
+           f"schema_version: expected {SCHEMA_VERSION}, got {version}")
+    check_type(doc, "generated_unix_time", int, "top level")
+
+    prov = check_type(doc, "provenance", dict, "top level")
+    for key in ("compiler", "compiler_version", "build_type", "cxx_flags",
+                "git_describe"):
+        check_type(prov, key, str, "provenance")
+    for key in ("compiler", "build_type", "git_describe"):
+        expect(prov[key] != "", f"provenance.{key}: empty")
+    check_type(prov, "assertions_disabled", bool, "provenance")
+
+    host = check_type(doc, "host", dict, "top level")
+    for key in ("os", "os_release", "arch", "hostname"):
+        check_type(host, key, str, "host")
+    hc = check_type(host, "hardware_concurrency", int, "host")
+    expect(hc >= 0, "host.hardware_concurrency: negative")
+
+    request = check_type(doc, "request", dict, "top level")
+    command = check_type(request, "command", str, "request")
+    expect(command in COMMANDS, f"request.command: unknown '{command}'")
+    if args.expect_command is not None:
+        expect(command == args.expect_command,
+               f"request.command: expected '{args.expect_command}', "
+               f"got '{command}'")
+
+    status = check_type(doc, "run_status", dict, "top level")
+    code = check_type(status, "code", str, "run_status")
+    expect(code in STATUS_CODES, f"run_status.code: unknown '{code}'")
+    check_type(status, "message", str, "run_status")
+    total = check_type(status, "total_units", int, "run_status")
+    done = check_type(status, "completed_units", int, "run_status")
+    expect(0 <= done <= total,
+           f"run_status: completed_units {done} not in [0, {total}]")
+    failed = check_type(status, "failed_units", list, "run_status")
+    for i, f in enumerate(failed):
+        check_type(f, "index", int, f"run_status.failed_units[{i}]")
+        check_type(f, "what", str, f"run_status.failed_units[{i}]")
+    check_type(status, "failed_units_truncated", bool, "run_status")
+    exit_code = check_type(status, "exit_code", int, "run_status")
+    if args.expect_exit_code is not None:
+        expect(exit_code == args.expect_exit_code,
+               f"run_status.exit_code: expected {args.expect_exit_code}, "
+               f"got {exit_code}")
+    if code == "ok":
+        expect(not failed, "run_status: code 'ok' but failed_units nonempty")
+
+    expect("metrics" in doc, "top level: missing key 'metrics'")
+    metrics = doc["metrics"]
+    if metrics is not None:
+        expect(isinstance(metrics, dict), "metrics: expected object or null")
+        check_type(metrics, "total_faults", int, "metrics")
+        classes = check_type(metrics, "classes", dict, "metrics")
+        for key in ("SFI(sim)", "SFI(potential)", "SFI(analysis)", "CFR",
+                    "SFR"):
+            check_type(classes, key, int, "metrics.classes")
+        wall = check_type(metrics, "wall_ms", dict, "metrics")
+        for key in ("step1", "step2", "step3", "step4", "total"):
+            check_type(wall, key, float, "metrics.wall_ms")
+        check_type(metrics, "engine", dict, "metrics")
+
+    cache = check_type(doc, "cache", dict, "top level")
+    golden = check_type(cache, "golden_trace", dict, "cache")
+    for key in ("entries", "hits", "misses", "insertions", "dropped_inserts"):
+        v = check_type(golden, key, int, "cache.golden_trace")
+        expect(v >= 0, f"cache.golden_trace.{key}: negative")
+
+    counters = check_type(doc, "counters", dict, "top level")
+    for name, v in counters.items():
+        expect(isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+               f"counters['{name}']: expected non-negative int")
+    gauges = check_type(doc, "gauges", dict, "top level")
+    for name, v in gauges.items():
+        expect(isinstance(v, (int, float)) and not isinstance(v, bool),
+               f"gauges['{name}']: expected number")
+    hists = check_type(doc, "histograms", dict, "top level")
+    for name, h in hists.items():
+        expect(isinstance(h, dict), f"histograms['{name}']: expected object")
+        check_histogram(name, h)
+
+    flight = check_type(doc, "flight_recorder", dict, "top level")
+    check_type(flight, "enabled", bool, "flight_recorder")
+    tr = check_type(flight, "total_recorded", int, "flight_recorder")
+    expect(tr >= 0, "flight_recorder.total_recorded: negative")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reports", nargs="+", help="RunReport JSON file(s)")
+    parser.add_argument("--expect-command", default=None,
+                        help="require request.command to match")
+    parser.add_argument("--expect-exit-code", type=int, default=None,
+                        help="require run_status.exit_code to match")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.reports:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            check_report(path, doc, args)
+        except (OSError, json.JSONDecodeError, Err) as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            failed = True
+            continue
+        print(f"OK {path}: schema v{doc['schema_version']}, "
+              f"command={doc['request']['command']}, "
+              f"status={doc['run_status']['code']}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

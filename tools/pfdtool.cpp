@@ -19,8 +19,17 @@
 // Observability options (any command):
 //   --trace FILE         write a Chrome trace_event JSON of the run; open
 //                        it in chrome://tracing or ui.perfetto.dev
-//   --metrics-json FILE  (classify/grade) write per-stage wall times and
-//                        fault counts as JSON
+//   --metrics-json FILE  write metrics as JSON: pipeline commands (classify/
+//                        grade/diagnose) get per-stage wall times and fault
+//                        counts plus the full counter/gauge/histogram
+//                        snapshot; every other command gets the snapshot
+//   --report FILE        write a versioned RunReport JSON artifact: build
+//                        provenance, host context, request, RunStatus,
+//                        metrics, cache stats (tools/check_run_report.py
+//                        validates the schema)
+//   --flight-recorder FILE  write the flight-recorder event ring as JSONL;
+//                        without this flag the ring is still dumped to
+//                        stderr whenever a run degrades (exit code 3)
 //   -v / --verbose       stage progress lines + metrics table on stderr
 //
 // Execution options (classify/grade/diagnose):
@@ -55,9 +64,11 @@
 #include "core/grading.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/run_report.hpp"
 #include "designs/designs.hpp"
 #include "guard/guard.hpp"
 #include "logicsim/vcd.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "xcheck/xcheck.hpp"
 
@@ -89,7 +100,18 @@ struct Options {
   bool verbose = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string report_path;
+  std::string flight_path;
 };
+
+// Captured for the end-of-run artifacts (--metrics-json on any command,
+// --report): the last pipeline metrics produced and the final merged
+// RunStatus. The artifacts are written at the end of main, after grading
+// and every other stage has counted, so no command "loses" its tail
+// metrics (the old in-Classify write snapshotted counters before grading).
+core::PipelineMetrics g_last_metrics;
+bool g_have_metrics = false;
+guard::RunStatus g_run_status;
 
 // Flipped by the SIGINT handler; built before the handler is installed.
 // RequestCancel is async-signal-safe (lock-free atomic stores).
@@ -114,8 +136,9 @@ guard::Limits MakeLimits(const Options& opt) {
 }
 
 // Prints the degradation note for a tripped/partial run and maps it to the
-// process exit code.
+// process exit code; keeps the merged status for the RunReport artifact.
 int FinishRun(const guard::RunStatus& status) {
+  g_run_status = status;
   if (status.ok()) return 0;
   std::fprintf(stderr, "partial result: %s\n", status.Describe().c_str());
   return kExitPartial;
@@ -130,7 +153,8 @@ int FinishRun(const guard::RunStatus& status) {
       "options: --width N --patterns N --threshold PCT --sigma PCT "
       "--fault INDEX --threads N --csv\n"
       "         --deadline-ms N --max-cycles N\n"
-      "         --trace FILE --metrics-json FILE -v|--verbose\n"
+      "         --trace FILE --metrics-json FILE --report FILE\n"
+      "         --flight-recorder FILE -v|--verbose\n"
       "xcheck:  --seed N --iters N --no-shrink --mutations --max-gates N\n");
   std::exit(2);
 }
@@ -169,18 +193,11 @@ core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
       core::ClassifyControllerFaults(d.system, d.hls, cfg);
   if (opt.verbose) {
     std::fprintf(stderr, "%s", core::MetricsTable(report.metrics).c_str());
+    const std::string hists = core::HistogramTable();
+    if (!hists.empty()) std::fprintf(stderr, "%s", hists.c_str());
   }
-  if (!opt.metrics_path.empty()) {
-    const std::string json = core::MetricsJson(report);
-    std::FILE* f = std::fopen(opt.metrics_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write metrics file: %s\n",
-                   opt.metrics_path.c_str());
-      std::exit(1);
-    }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-  }
+  g_last_metrics = report.metrics;
+  g_have_metrics = true;
   return report;
 }
 
@@ -432,6 +449,10 @@ int main(int argc, char** argv) {
         opt.trace_path = next();
       } else if (arg == "--metrics-json") {
         opt.metrics_path = next();
+      } else if (arg == "--report") {
+        opt.report_path = next();
+      } else if (arg == "--flight-recorder") {
+        opt.flight_path = next();
       } else if (arg == "-v" || arg == "--verbose") {
         opt.verbose = true;
       } else {
@@ -445,23 +466,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  if (!opt.metrics_path.empty() && opt.command != "classify" &&
-      opt.command != "grade" && opt.command != "diagnose") {
-    std::fprintf(stderr, "--metrics-json requires classify, grade, or "
-                         "diagnose\n");
-    Usage();
-  }
-
   // Observability: counters (and per-stage metrics deltas) switch on for
-  // either sink; the trace additionally records spans.
+  // any sink that will render them; the trace additionally records spans.
   std::unique_ptr<obs::Trace> trace;
   obs::Registry& reg = obs::Registry::Global();
   if (!opt.trace_path.empty()) {
     trace = std::make_unique<obs::Trace>();
     reg.InstallTrace(trace.get());
   }
-  if (trace != nullptr || !opt.metrics_path.empty() || opt.verbose) {
+  if (trace != nullptr || !opt.metrics_path.empty() ||
+      !opt.report_path.empty() || opt.verbose) {
     reg.set_enabled(true);
+  }
+  // The flight recorder stays on for every engine-running command (it only
+  // costs on cold paths — trips, failpoints, evictions) so a degraded run
+  // can always dump its timeline; short pure-print commands skip it unless
+  // a dump file was requested explicitly.
+  const bool runs_engines = opt.command == "classify" ||
+                            opt.command == "grade" ||
+                            opt.command == "diagnose" ||
+                            opt.command == "xcheck";
+  if (runs_engines || !opt.flight_path.empty()) {
+    obs::FlightRecorder::Global().set_enabled(true);
   }
 
   // Cooperative Ctrl-C for the long-running commands only; the short ones
@@ -497,6 +523,81 @@ int main(int argc, char** argv) {
     if (opt.verbose) {
       std::fprintf(stderr, "trace: %zu events -> %s\n", trace->size(),
                    opt.trace_path.c_str());
+    }
+  }
+
+  // Metrics are written here, after every stage (including grading) has
+  // counted. Pipeline commands render the full per-stage document; other
+  // commands get the generic counter/gauge/histogram snapshot.
+  if (!opt.metrics_path.empty()) {
+    const std::string json =
+        g_have_metrics ? core::MetricsJson(g_last_metrics) : obs::SnapshotJson();
+    std::FILE* f = std::fopen(opt.metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics file: %s\n",
+                   opt.metrics_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+
+  // Flight recorder: always dumped to the requested file; a degraded run
+  // without one dumps the timeline to stderr so exit code 3 is never a
+  // dead end.
+  const obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  if (!opt.flight_path.empty()) {
+    if (!obs::WriteFlightFile(flight, opt.flight_path)) {
+      std::fprintf(stderr, "cannot write flight-recorder file: %s\n",
+                   opt.flight_path.c_str());
+      return 1;
+    }
+    if (rc == kExitPartial) {
+      std::fprintf(stderr, "flight recorder: %llu event(s) -> %s\n",
+                   static_cast<unsigned long long>(flight.total_recorded()),
+                   opt.flight_path.c_str());
+    }
+  } else if (rc == kExitPartial && flight.enabled() &&
+             flight.total_recorded() > 0) {
+    std::fprintf(stderr, "flight recorder (%llu event(s)):\n%s",
+                 static_cast<unsigned long long>(flight.total_recorded()),
+                 flight.ToJsonl().c_str());
+  }
+
+  if (!opt.report_path.empty()) {
+    core::RunReportInputs in;
+    in.command = opt.command;
+    in.exit_code = rc;
+    in.run_status = &g_run_status;
+    if (g_have_metrics) in.metrics = &g_last_metrics;
+    if (!opt.design.empty()) {
+      in.request.push_back(core::RequestStr("design", opt.design));
+      in.request.push_back(core::RequestInt("width", opt.width));
+      in.request.push_back(core::RequestInt("patterns", opt.patterns));
+    }
+    in.request.push_back(core::RequestInt("threads", opt.threads));
+    in.request.push_back(core::RequestDouble("deadline_ms", opt.deadline_ms));
+    in.request.push_back(core::RequestInt(
+        "max_cycles", static_cast<std::int64_t>(opt.max_cycles)));
+    if (opt.command == "grade") {
+      in.request.push_back(core::RequestDouble("threshold", opt.threshold));
+    }
+    if (opt.command == "diagnose") {
+      in.request.push_back(core::RequestDouble("measured_uw", opt.measured_uw));
+      in.request.push_back(core::RequestDouble("sigma", opt.sigma));
+    }
+    if (opt.command == "xcheck") {
+      in.request.push_back(core::RequestInt(
+          "seed", static_cast<std::int64_t>(opt.seed)));
+      in.request.push_back(core::RequestInt(
+          "iters", static_cast<std::int64_t>(opt.iters)));
+      in.request.push_back(core::RequestBool("shrink", opt.shrink));
+      in.request.push_back(core::RequestBool("mutations", opt.mutations));
+    }
+    if (!core::WriteRunReportFile(in, opt.report_path)) {
+      std::fprintf(stderr, "cannot write report file: %s\n",
+                   opt.report_path.c_str());
+      return 1;
     }
   }
   return rc;
