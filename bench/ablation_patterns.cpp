@@ -60,15 +60,15 @@ int main() {
       probe->record->name.c_str(), probe->percent_change);
   TextTable len({"patterns", "fault-free uW", "faulty uW", "change"});
   for (int patterns : {64, 128, 320, 640, 1200, 2560}) {
-    const power::TestSetPowerConfig set_cfg{tpg::kTestSetSeed1, patterns};
+    const fault::StimulusSpec stim{plan, tpg::kTestSetSeed1, patterns};
     const double base =
-        power::MeasureTestSetPower(d.system.nl, plan, model, {}, set_cfg)
+        power::MeasureTestSetPower(d.system.nl, stim, model, {}, {})
             .breakdown.datapath_uw;
     const fault::StuckFault f = probe->record->fault;
     const double faulty =
-        power::MeasureTestSetPower(d.system.nl, plan, model,
+        power::MeasureTestSetPower(d.system.nl, stim, model,
                                    std::span<const fault::StuckFault>(&f, 1),
-                                   set_cfg)
+                                   {})
             .breakdown.datapath_uw;
     len.AddRow({std::to_string(patterns), TextTable::FormatDouble(base, 2),
                 TextTable::FormatDouble(faulty, 2),

@@ -16,9 +16,15 @@ benchmark mid-run, an aggregate-only file with no aggregates). Checks:
     tag (context.pfd_allow_debug) — the guard against the debug-numbers
     incident recurring in a committed BENCH_engines.json.
 
+  * every --require-speedup NEW BASE MIN triple holds: the NEW benchmark's
+    faults_per_sec rate counter (falling back to inverse real_time when the
+    counter is absent) is at least MIN times the BASE benchmark's.
+
 Usage:
   bench/check_bench_json.py BENCH_engines.json --require-release \
-      --require BM_LogicSimStep --require BM_CompiledKernelStep
+      --require BM_LogicSimStep --require BM_CompiledKernelStep \
+      --require-speedup BM_EngineEndToEnd/ewf_differential \
+          BM_EngineEndToEnd/ewf_parallel 5.0
 """
 
 import argparse
@@ -42,6 +48,16 @@ def main() -> None:
         metavar="NAME",
         help="benchmark that must appear (prefix match on the run name, "
         "so BM_Foo also matches BM_Foo/64 and BM_Foo_mean)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        action="append",
+        nargs=3,
+        default=[],
+        metavar=("NEW", "BASE", "MIN"),
+        help="require benchmark NEW's faults_per_sec (or inverse real_time) "
+        "to be at least MIN times benchmark BASE's (prefix match as with "
+        "--require)",
     )
     parser.add_argument(
         "--require-release",
@@ -99,6 +115,34 @@ def main() -> None:
                    n.startswith(req + "_") for n in names):
             fail(f"required benchmark '{req}' not found "
                  f"(got: {', '.join(names)})")
+
+    def find_entry(name: str) -> dict:
+        for b in benchmarks:
+            n = b["name"]
+            if n == name or n.startswith(name + "/") or n.startswith(name + "_"):
+                return b
+        fail(f"speedup benchmark '{name}' not found "
+             f"(got: {', '.join(names)})")
+        raise AssertionError  # unreachable
+
+    def rate_of(b: dict) -> float:
+        v = b.get("faults_per_sec")
+        if isinstance(v, (int, float)) and math.isfinite(v) and v > 0:
+            return float(v)
+        return 1.0 / float(b["real_time"])  # same unit across one file
+
+    for new, base, minimum in args.require_speedup:
+        try:
+            min_ratio = float(minimum)
+        except ValueError:
+            fail(f"--require-speedup minimum '{minimum}' is not a number")
+        bn, bb = find_entry(new), find_entry(base)
+        ratio = rate_of(bn) / rate_of(bb)
+        if ratio < min_ratio:
+            fail(f"speedup {bn['name']} vs {bb['name']} is {ratio:.2f}x, "
+                 f"below the required {min_ratio:.2f}x")
+        print(f"check_bench_json: speedup {bn['name']} vs {bb['name']}: "
+              f"{ratio:.2f}x (>= {min_ratio:.2f}x)")
 
     print(f"check_bench_json: OK: {len(names)} benchmark entr"
           f"{'y' if len(names) == 1 else 'ies'} validated")

@@ -44,8 +44,8 @@ int main() {
     std::vector<bool> caught(faults.size(), false);
     for (int session = 0; session < dft.sessions; ++session) {
       const fault::FaultSimResult r = fault::RunFaultSim(
-          {dft.system.nl, dft.MakeDftPlan(session), faults,
-           cfg.tpgr_seed, 64});
+          {dft.system.nl, {dft.MakeDftPlan(session), cfg.tpgr_seed, 64},
+           faults});
       for (std::size_t i = 0; i < faults.size(); ++i) {
         if (r.status[i] != fault::FaultStatus::kUndetected) {
           caught[i] = true;

@@ -42,8 +42,7 @@ void RunOne(const pfd::designs::BenchmarkDesign& d) {
     std::span<const fault::StuckFault> faults;
     if (f != nullptr) faults = {f, 1};
     return power::MeasureTestSetPower(
-               d.system.nl, plan, model, faults,
-               power::TestSetPowerConfig{seed, kPatternsPerSet})
+               d.system.nl, {plan, seed, kPatternsPerSet}, model, faults, {})
         .breakdown.datapath_uw;
   };
 

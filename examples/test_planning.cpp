@@ -43,8 +43,8 @@ int main() {
     for (std::uint32_t seed :
          {tpg::kTestSetSeed1, tpg::kTestSetSeed2, tpg::kTestSetSeed3}) {
       row.push_back(TextTable::FormatDouble(
-          power::MeasureTestSetPower(sys.nl, plan, model, {},
-                                     power::TestSetPowerConfig{seed, patterns})
+          power::MeasureTestSetPower(sys.nl, {plan, seed, patterns}, model,
+                                     {}, {})
               .breakdown.datapath_uw,
           2));
     }

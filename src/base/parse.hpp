@@ -10,12 +10,33 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 
 #include "base/error.hpp"
 
 namespace pfd {
+
+// Enumerated-choice flag: the token must equal one of `choices` exactly
+// (case-sensitive — CLI vocabularies are lowercase by convention here);
+// anything else throws pfd::Error listing the legal values. Returns the
+// matched choice so callers can hand it to an enum parser without
+// re-validating.
+inline std::string_view ParseChoiceFlag(
+    std::string_view flag, std::string_view text,
+    std::initializer_list<std::string_view> choices) {
+  for (const std::string_view c : choices) {
+    if (text == c) return c;
+  }
+  std::string legal;
+  for (const std::string_view c : choices) {
+    if (!legal.empty()) legal += ", ";
+    legal += std::string(c);
+  }
+  throw Error(std::string(flag) + "='" + std::string(text) +
+              "' is not one of: " + legal);
+}
 
 // Non-negative decimal integer, digits only (no sign, no whitespace, no
 // trailing garbage), rejecting values that overflow 64 bits. `flag` names

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "logicsim/compiled.hpp"
 #include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
@@ -99,11 +100,17 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
     plan = config.observation == ObservationPolicy::kAtHold
                ? sys.MakeTestPlan()
                : sys.MakeEveryCyclePlan();
-    fault::FaultSimRequest request{sys.nl, plan, collapsed.representatives,
-                                   config.tpgr_seed, config.tpgr_patterns,
-                                   fault::FaultSimEngine::kParallel,
-                                   config.exec};
+    fault::FaultSimRequest request{
+        sys.nl,
+        {plan, config.tpgr_seed, config.tpgr_patterns},
+        collapsed.representatives,
+        config.fault_engine,
+        config.exec};
     request.checker = &check;
+    // Compile the system once up front; later stages (step-3 traces, step-4
+    // gate checks) construct their own simulators over the same netlist and
+    // hit the same memoized program.
+    request.compiled = logicsim::CompiledNetlist::Compile(sys.nl);
     sim = fault::RunFaultSim(request);
     report.run_status.MergeFrom(sim.run_status, "step1");
     ++m.sim_invocations;

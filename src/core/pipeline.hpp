@@ -80,6 +80,10 @@ struct PipelineConfig {
   std::uint32_t tpgr_seed = tpg::kTestSetSeed1;
   int trace_patterns = 3;
   ObservationPolicy observation = ObservationPolicy::kAtHold;
+  // Step-1 fault-simulation engine (pfdtool --fault-engine). The report is
+  // bit-identical across engines; kDifferential is the fast production
+  // engine, the others exist for validation and cross-checking.
+  fault::FaultSimEngine fault_engine = fault::FaultSimEngine::kDifferential;
   analysis::GateCheckConfig gate_check;
   // Worker threads for the parallel stages (step-1 fault-sim shards, step-4
   // per-fault deciders). A performance knob only: the ClassificationReport

@@ -128,7 +128,9 @@ struct Pool::Job {
   std::vector<char>* completed = nullptr;   // per-unit flags, disjoint writes
 };
 
-Pool::Pool(const Options& options) : threads_(ResolveThreads(options)) {
+Pool::Pool(const Options& options)
+    : threads_(ResolveThreads(options)),
+      max_chunk_units_(options.max_chunk_units) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int w = 0; w + 1 < threads_; ++w) {
     workers_.emplace_back(&Pool::WorkerMain, this,
@@ -276,8 +278,14 @@ void Pool::RunChunks(Job& job, std::size_t home) {
 void Pool::RunJob(Job& job, std::size_t n) {
   const std::size_t participants = job.queues.size();
   // Several chunks per participant so stealing can rebalance uneven bodies;
-  // capped at n so tiny loops stay one index per chunk.
-  const std::size_t num_chunks = std::min(n, participants * 4);
+  // capped at n so tiny loops stay one index per chunk. A caller-set
+  // Options::max_chunk_units forces finer chunks for loops whose unit
+  // costs shrink or vary wildly (shrinking-work fault shards).
+  std::size_t num_chunks = std::min(n, participants * 4);
+  if (max_chunk_units_ > 0) {
+    num_chunks = std::min(
+        n, std::max(num_chunks, (n + max_chunk_units_ - 1) / max_chunk_units_));
+  }
   const std::size_t base = n / num_chunks;
   const std::size_t extra = n % num_chunks;
   std::size_t begin = 0;

@@ -56,6 +56,14 @@ struct Options {
   // Monte Carlo power engine). Changing it selects a different — still
   // fully deterministic — sample sequence; the thread count never does.
   std::uint64_t deterministic_seed = 0;
+  // Chunking granularity for ParallelFor/ParallelForGuarded: the maximum
+  // number of loop indices grouped into one steal-able chunk. 0 = auto
+  // (~4 chunks per participant). Engines whose units shrink as the loop
+  // progresses — the differential fault engine retires detected lanes, so
+  // shard costs vary by orders of magnitude — set 1 so work stealing
+  // rebalances per unit instead of per block. Scheduling only; results are
+  // bit-identical for every value.
+  std::size_t max_chunk_units = 0;
 };
 
 // Resolved worker count for the options (always >= 1). Throws pfd::Error
@@ -112,6 +120,7 @@ class Pool {
   void RunJob(Job& job, std::size_t n);
 
   int threads_ = 1;
+  std::size_t max_chunk_units_ = 0;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;

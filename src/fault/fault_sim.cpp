@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <string>
 
+#include "base/error.hpp"
 #include "logicsim/golden_cache.hpp"
 #include "obs/trace.hpp"
 #include "tpg/lfsr.hpp"
@@ -20,6 +22,23 @@ const char* FaultStatusName(FaultStatus s) {
     case FaultStatus::kNotRun: return "not-run";
   }
   return "?";
+}
+
+const char* FaultSimEngineName(FaultSimEngine e) {
+  switch (e) {
+    case FaultSimEngine::kParallel: return "parallel";
+    case FaultSimEngine::kSerial: return "serial";
+    case FaultSimEngine::kDifferential: return "differential";
+  }
+  return "?";
+}
+
+FaultSimEngine ParseFaultSimEngine(std::string_view name) {
+  if (name == "parallel") return FaultSimEngine::kParallel;
+  if (name == "serial") return FaultSimEngine::kSerial;
+  if (name == "differential") return FaultSimEngine::kDifferential;
+  throw Error("unknown fault engine '" + std::string(name) +
+              "' (expected parallel, serial, or differential)");
 }
 
 std::size_t FaultSimResult::CountWithStatus(FaultStatus s) const {
@@ -40,6 +59,9 @@ namespace {
 
 // Faults per 64-lane shard; lane 0 carries the fault-free machine.
 constexpr std::size_t kFaultLanes = 63;
+// The differential engine diffs against a recorded golden trace instead of
+// carrying the fault-free machine in lane 0, so all 64 lanes carry faults.
+constexpr std::size_t kDiffLanes = 64;
 
 void CheckPlan(const netlist::Netlist& nl, const TestPlan& plan) {
   PFD_CHECK_MSG(plan.cycles_per_pattern > 0, "empty test plan");
@@ -63,26 +85,16 @@ void CheckPlan(const netlist::Netlist& nl, const TestPlan& plan) {
   }
 }
 
-// Cache key for the serial engine's golden response pass: netlist hash plus
-// a digest of the full stimulus/observation contract — TPGR seed, pattern
-// count, reset protocol, strobe schedule, observed nets, operand wiring,
-// and pinned inputs. Identical runs (the benches, repeated campaigns over
-// one design) replay the recorded strobe responses instead of
-// re-simulating the fault-free machine.
-logicsim::GoldenKey SerialGoldenKey(const netlist::Netlist& nl,
-                                    const TestPlan& plan,
-                                    std::uint32_t tpgr_seed,
-                                    int num_patterns) {
-  logicsim::Fnv1a h;
-  h.AddBytes("serial_golden", 13);  // consumer domain tag
-  h.Add(tpgr_seed);
-  h.Add(static_cast<std::uint64_t>(num_patterns));
+// Digest of the fields of the stimulus that drive the machine: TPGR stream,
+// pattern count and length, reset protocol, operand wiring, pinned inputs.
+// Shared by the per-engine golden-trace keys below; each adds its own domain
+// tag first plus any observation fields its artefact depends on.
+void AddDriveDigest(logicsim::Fnv1a& h, const StimulusSpec& stimulus) {
+  const TestPlan& plan = stimulus.plan;
+  h.Add(stimulus.tpgr_seed);
+  h.Add(static_cast<std::uint64_t>(stimulus.num_patterns));
   h.Add(static_cast<std::uint64_t>(plan.cycles_per_pattern));
   h.Add(static_cast<std::uint64_t>(plan.reset));
-  h.Add(plan.strobe_cycles.size());
-  for (int c : plan.strobe_cycles) h.Add(static_cast<std::uint64_t>(c));
-  h.Add(plan.observe.size());
-  for (GateId g : plan.observe) h.Add(g);
   h.Add(plan.operand_bits.size());
   for (const auto& op : plan.operand_bits) {
     h.Add(op.size());
@@ -93,11 +105,46 @@ logicsim::GoldenKey SerialGoldenKey(const netlist::Netlist& nl,
     h.Add(gate);
     h.Add(static_cast<std::uint64_t>(value));
   }
+}
+
+// Cache key for the serial engine's golden response pass. The artefact is
+// the strobed response stream, so the digest adds the strobe schedule and
+// observed nets on top of the drive digest. Identical runs (the benches,
+// repeated campaigns over one design) replay the recorded responses instead
+// of re-simulating the fault-free machine.
+logicsim::GoldenKey SerialGoldenKey(const netlist::Netlist& nl,
+                                    const StimulusSpec& stimulus) {
+  const TestPlan& plan = stimulus.plan;
+  logicsim::Fnv1a h;
+  h.AddBytes("serial_golden", 13);  // consumer domain tag
+  AddDriveDigest(h, stimulus);
+  h.Add(plan.strobe_cycles.size());
+  for (int c : plan.strobe_cycles) h.Add(static_cast<std::uint64_t>(c));
+  h.Add(plan.observe.size());
+  for (GateId g : plan.observe) h.Add(g);
   logicsim::GoldenKey key;
   key.netlist_hash = nl.StructuralHash();
   key.stimulus_hash = h.hash();
-  key.cycles = static_cast<std::uint64_t>(num_patterns) *
+  key.cycles = static_cast<std::uint64_t>(stimulus.num_patterns) *
                static_cast<std::uint64_t>(plan.cycles_per_pattern);
+  return key;
+}
+
+// Cache key for the differential engine's golden plane trace. The artefact
+// is the full per-cycle machine state, which depends only on what *drives*
+// the machine — deliberately not on strobe_cycles/observe, so campaigns
+// differing only in what they watch (the CFR check observes control lines,
+// classification observes datapath outputs) share one recorded trace.
+logicsim::GoldenKey DiffGoldenKey(const netlist::Netlist& nl,
+                                  const StimulusSpec& stimulus) {
+  logicsim::Fnv1a h;
+  h.AddBytes("diff_golden", 11);  // consumer domain tag
+  AddDriveDigest(h, stimulus);
+  logicsim::GoldenKey key;
+  key.netlist_hash = nl.StructuralHash();
+  key.stimulus_hash = h.hash();
+  key.cycles = static_cast<std::uint64_t>(stimulus.num_patterns) *
+               static_cast<std::uint64_t>(stimulus.plan.cycles_per_pattern);
   return key;
 }
 
@@ -134,21 +181,22 @@ void DriveOperands(logicsim::Simulator& sim, const TestPlan& plan,
 // same bits no matter which thread runs them, or in what order. The guard
 // check runs once per pattern; an abandoned shard leaves its faults at
 // kNotRun (statuses are only written after the full pattern sweep).
-void SimulateParallelShard(const FaultSimRequest& req,
-                           const std::vector<int>& widths,
-                           std::size_t shard_start, std::size_t shard_size,
-                           guard::Checker& check, FaultSimResult& result) {
-  const TestPlan& plan = req.plan;
-  logicsim::Simulator sim(req.nl);
+void SimulateParallelShard(
+    const FaultSimRequest& req,
+    const std::shared_ptr<const logicsim::CompiledNetlist>& prog,
+    const std::vector<int>& widths, std::size_t shard_start,
+    std::size_t shard_size, guard::Checker& check, FaultSimResult& result) {
+  const TestPlan& plan = req.stimulus.plan;
+  logicsim::Simulator sim(req.nl, prog);
   for (std::size_t i = 0; i < shard_size; ++i) {
     InjectFault(sim, req.faults[shard_start + i], 1ULL << (i + 1));
   }
 
-  tpg::Tpgr tpgr(req.tpgr_seed);
+  tpg::Tpgr tpgr(req.stimulus.tpgr_seed);
   std::uint64_t detected = 0;    // lanes with a hard mismatch
   std::uint64_t potential = 0;   // lanes with known-vs-X mismatch only
 
-  for (int p = 0; p < req.num_patterns; ++p) {
+  for (int p = 0; p < req.stimulus.num_patterns; ++p) {
     check.CheckOrThrow();
     const std::vector<BitVec> pattern = tpgr.NextPattern(widths);
     DriveOperands(sim, plan, pattern);
@@ -198,7 +246,7 @@ void SimulateParallelShard(const FaultSimRequest& req,
     reg.GetCounter("fault_sim.batches").Add(1);
     reg.GetCounter("fault_sim.lanes").Add(shard_size);
     reg.GetCounter("fault_sim.patterns")
-        .Add(static_cast<std::uint64_t>(req.num_patterns));
+        .Add(static_cast<std::uint64_t>(req.stimulus.num_patterns));
     reg.GetCounter("fault_sim.detected")
         .Add(static_cast<std::uint64_t>(std::popcount(detected)));
     reg.GetCounter("fault_sim.potential")
@@ -207,26 +255,25 @@ void SimulateParallelShard(const FaultSimRequest& req,
   }
 }
 
-FaultSimResult RunParallel(const FaultSimRequest& req,
-                           guard::Checker& check) {
+FaultSimResult RunParallel(
+    const FaultSimRequest& req,
+    const std::shared_ptr<const logicsim::CompiledNetlist>& prog,
+    guard::Checker& check) {
   obs::Span span("fault_sim.parallel",
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(req.faults.size())},
-                      {"patterns", req.num_patterns}}));
+                      {"patterns", req.stimulus.num_patterns}}));
   FaultSimResult result;
   result.status.assign(req.faults.size(), FaultStatus::kNotRun);
   result.first_detect_pattern.assign(req.faults.size(), -1);
-  result.patterns = req.num_patterns;
+  result.patterns = req.stimulus.num_patterns;
 
-  const std::vector<int> widths = OperandWidths(req.plan);
+  const std::vector<int> widths = OperandWidths(req.stimulus.plan);
   // An empty fault list still runs one (golden-only) shard, preserving the
   // engine's warm-up/counter behaviour for coverage probes.
   const std::size_t num_shards =
       req.faults.empty() ? 1
                          : (req.faults.size() + kFaultLanes - 1) / kFaultLanes;
-  // The netlist's topo-order cache is built lazily on first use; force it
-  // here so the shard workers' Simulator constructions only ever read it.
-  req.nl.CombinationalOrder();
   exec::Pool pool(req.exec);
   result.run_status = pool.ParallelForGuarded(
       num_shards,
@@ -238,8 +285,8 @@ FaultSimResult RunParallel(const FaultSimRequest& req,
         obs::Span shard_span("fault_sim.shard");
         const bool obs_on = obs::Enabled();
         const double t0 = obs_on ? obs::NowMicros() : 0.0;
-        SimulateParallelShard(req, widths, shard_start, shard_size, check,
-                              result);
+        SimulateParallelShard(req, prog, widths, shard_start, shard_size,
+                              check, result);
         if (obs_on) {
           static obs::Histogram& hist =
               obs::Registry::Global().GetHistogram("fault_sim.shard_us");
@@ -250,33 +297,36 @@ FaultSimResult RunParallel(const FaultSimRequest& req,
   return result;
 }
 
-FaultSimResult RunSerial(const FaultSimRequest& req, guard::Checker& check) {
+FaultSimResult RunSerial(
+    const FaultSimRequest& req,
+    const std::shared_ptr<const logicsim::CompiledNetlist>& prog,
+    logicsim::GoldenTraceCache& cache, guard::Checker& check) {
   obs::Span span("fault_sim.serial",
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(req.faults.size())},
-                      {"patterns", req.num_patterns}}));
-  const TestPlan& plan = req.plan;
+                      {"patterns", req.stimulus.num_patterns}}));
+  const TestPlan& plan = req.stimulus.plan;
+  const int num_patterns = req.stimulus.num_patterns;
   const std::vector<int> widths = OperandWidths(plan);
 
   FaultSimResult result;
   result.status.assign(req.faults.size(), FaultStatus::kNotRun);
   result.first_detect_pattern.assign(req.faults.size(), -1);
-  result.patterns = req.num_patterns;
+  result.patterns = num_patterns;
 
   // Golden pass: record the fault-free response at every strobe, memoized
   // in the golden-trace cache (a hit replays the recorded responses and
   // spends no simulation budget). A guard trip here means no fault can be
   // decided at all: report the trip with every fault at kNotRun.
-  const logicsim::GoldenKey golden_key =
-      SerialGoldenKey(req.nl, plan, req.tpgr_seed, req.num_patterns);
+  const logicsim::GoldenKey golden_key = SerialGoldenKey(req.nl, req.stimulus);
   std::vector<Trit> golden;
-  if (const auto entry = logicsim::GoldenTraceCache::Global().Find(golden_key)) {
+  if (const auto entry = cache.Find(golden_key)) {
     golden = entry->trits;
   } else {
     try {
-      logicsim::Simulator sim(req.nl);
-      tpg::Tpgr tpgr(req.tpgr_seed);
-      for (int p = 0; p < req.num_patterns; ++p) {
+      logicsim::Simulator sim(req.nl, prog);
+      tpg::Tpgr tpgr(req.stimulus.tpgr_seed);
+      for (int p = 0; p < num_patterns; ++p) {
         check.CheckOrThrow();
         DriveOperands(sim, plan, tpgr.NextPattern(widths));
         for (int c = 0; c < plan.cycles_per_pattern; ++c) {
@@ -303,7 +353,7 @@ FaultSimResult RunSerial(const FaultSimRequest& req, guard::Checker& check) {
     // Only a clean, complete pass is publishable under the complete key.
     auto fresh = std::make_shared<logicsim::GoldenEntry>();
     fresh->trits = golden;
-    logicsim::GoldenTraceCache::Global().Insert(golden_key, std::move(fresh));
+    cache.Insert(golden_key, std::move(fresh));
   }
 
   // Each fault is an independent shard: private simulator, private TPGR
@@ -313,14 +363,14 @@ FaultSimResult RunSerial(const FaultSimRequest& req, guard::Checker& check) {
       req.faults.size(),
       [&](std::size_t fi) {
         guard::MaybeFail("fault_sim.serial_fault");
-        logicsim::Simulator sim(req.nl);
+        logicsim::Simulator sim(req.nl, prog);
         InjectFault(sim, req.faults[fi], ~0ULL);
-        tpg::Tpgr tpgr(req.tpgr_seed);
+        tpg::Tpgr tpgr(req.stimulus.tpgr_seed);
         bool detected = false;
         bool potential = false;
         std::size_t cursor = 0;
         int first_detect = -1;
-        for (int p = 0; p < req.num_patterns && !detected; ++p) {
+        for (int p = 0; p < num_patterns && !detected; ++p) {
           check.CheckOrThrow();
           DriveOperands(sim, plan, tpgr.NextPattern(widths));
           for (int c = 0; c < plan.cycles_per_pattern; ++c) {
@@ -367,16 +417,1377 @@ FaultSimResult RunSerial(const FaultSimRequest& req, guard::Checker& check) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Differential engine.
+//
+// The golden machine is simulated once (memoized in the golden-trace cache)
+// and its full lane-0 state — one val bit and one known bit per gate per
+// cycle — is recorded as packed planes. Each shard then carries 64 faults
+// and never simulates the whole machine: per cycle it seeds a ConeWalker at
+// the fault sites and at sequential state that diverged from the recorded
+// golden planes, evaluates only the drained (dirty-cone) instructions, and
+// represents every gate outside the cone implicitly by its golden value.
+// A lane retires the pattern it is hard-detected, and the per-lane force
+// tables are rebuilt without it, so late patterns propagate only the cones
+// of still-live faults. DESIGN.md argues bit-identity with kParallel.
+
+// The recorded golden planes: counts[(2t)W .. (2t+1)W) is the val plane of
+// cycle t, counts[(2t+1)W .. (2t+2)W) the known plane, bit g of word g/64.
+struct DiffGolden {
+  const std::uint64_t* planes = nullptr;
+  std::size_t words = 0;  // words per plane = (num_gates + 63) / 64
+
+  std::uint64_t ValBit(std::uint64_t t, GateId g) const {
+    return (planes[2 * t * words + (g >> 6)] >> (g & 63)) & 1ULL;
+  }
+  std::uint64_t KnownBit(std::uint64_t t, GateId g) const {
+    return (planes[(2 * t + 1) * words + (g >> 6)] >> (g & 63)) & 1ULL;
+  }
+  // 64-lane splat of the golden machine's state of gate g at cycle t.
+  Word3 Splat(std::uint64_t t, GateId g) const {
+    return {0ULL - ValBit(t, g), 0ULL - KnownBit(t, g)};
+  }
+};
+
+// Per-lane state carried across a compaction boundary. A fault lane at a
+// pattern boundary is fully characterized by its fault, its accumulated
+// potential-detection flag, and the sparse set of captured-DFF bits that
+// diverge from the golden commit; everything else (force tables, per-cycle
+// divergence) is rebuilt from those. Lanes are bitwise-independent, so
+// re-packing live lanes into fewer shards between rounds is invisible to
+// the per-fault results.
+struct CarriedCap {
+  GateId dff;
+  std::uint8_t val = 0;
+  std::uint8_t known = 0;  // 0: the lane captured X
+};
+struct CarriedLane {
+  std::uint32_t fault = 0;  // index into req.faults
+  bool potential = false;
+  bool has_x = false;  // any carried cap bit is X (compaction sort key)
+  std::vector<CarriedCap> caps;
+};
+
+// One shard (up to 64 fault lanes) of the differential engine. The
+// fault-free machine is the recorded golden trace, not a lane. All
+// per-cycle state is sparse: a gate is materialized (is_diff_) only while
+// its word differs from the golden splat, and retired lanes are
+// canonicalized back to the golden value in every stored word so they can
+// never re-enter a cone. Shards are built either from a static slice of
+// the fault list (t_first == 0, no carried caps) or, after a compaction,
+// from the live lanes extracted out of earlier shards.
+class DifferentialShard {
+ public:
+  DifferentialShard(const FaultSimRequest& req,
+                    const logicsim::CompiledNetlist& prog,
+                    const DiffGolden& golden,
+                    const std::vector<std::uint8_t>& known_full,
+                    const std::vector<std::uint8_t>& strobe_mask,
+                    std::vector<CarriedLane> lanes, std::uint64_t t_first,
+                    guard::Checker& check, FaultSimResult& result)
+      : req_(req),
+        prog_(prog),
+        golden_(golden),
+        known_full_(known_full),
+        strobe_mask_(strobe_mask),
+        shard_size_(lanes.size()),
+        check_(check),
+        result_(result),
+        walker_(prog) {
+    const std::size_t n = prog.num_gates();
+    out_sa0_.assign(n, 0);
+    out_sa1_.assign(n, 0);
+    has_pin_force_.assign(n, 0);
+    fval_.assign(n, 0);
+    fknown_.assign(n, 0);
+    is_diff_.assign(n, 0);
+    cap_val_.assign(n, 0);
+    cap_known_.assign(n, 0);
+    cap_diff_.assign(n, 0);
+    live_ = shard_size_ == 64 ? ~0ULL : (1ULL << shard_size_) - 1;
+    lane_fault_.reserve(shard_size_);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      const CarriedLane& ln = lanes[i];
+      const std::uint64_t bit = 1ULL << i;
+      lane_fault_.push_back(ln.fault);
+      if (ln.potential) potential_ |= bit;
+      for (const CarriedCap& c : ln.caps) {
+        if (!cap_diff_[c.dff]) {
+          cap_diff_[c.dff] = 1;
+          cap_list_.push_back(c.dff);
+          // Lanes not carrying this DFF sit at the golden commit value, so
+          // the assembled word diverges exactly where the lanes do.
+          cap_val_[c.dff] = 0ULL - golden.ValBit(t_first, c.dff);
+          cap_known_[c.dff] = 0ULL - golden.KnownBit(t_first, c.dff);
+        }
+        cap_val_[c.dff] = (cap_val_[c.dff] & ~bit) | (c.val ? bit : 0ULL);
+        cap_known_[c.dff] =
+            (cap_known_[c.dff] & ~bit) | (c.known ? bit : 0ULL);
+      }
+    }
+    for (GateId d : cap_list_) {
+      if (cap_known_[d] != ~0ULL) caps_known_full_ = false;
+    }
+    BuildForceTables();
+    const auto& kind = prog.kind();
+    for (GateId g = 0; g < static_cast<GateId>(n); ++g) {
+      if (kind[g] == netlist::GateKind::kInput) {
+        input_gates_.push_back(g);
+      } else if (kind[g] == netlist::GateKind::kConst0 ||
+                 kind[g] == netlist::GateKind::kConst1) {
+        const_gates_.push_back(g);
+      }
+    }
+    // Planted-bug snapshot: one relaxed load per name when armed, nothing
+    // hot-path otherwise (FailpointFlagged is gated on any-armed).
+    mut_stale_cone_ = guard::FailpointFlagged("fault_sim.diff.stale_cone");
+    mut_premature_drop_ =
+        guard::FailpointFlagged("fault_sim.diff.premature_drop");
+    mut_dense_skip_ =
+        guard::FailpointFlagged("fault_sim.diff.dense_skip_observe");
+  }
+
+  // Simulates patterns [p_begin, p_end); resumable round by round.
+  void Run(int p_begin, int p_end);
+
+  std::size_t live_count() const {
+    return static_cast<std::size_t>(std::popcount(live_));
+  }
+  // Set while a Run round is in flight; a shard whose round threw has
+  // advanced some unknown prefix of its state and must not be retried.
+  bool poisoned() const { return poisoned_; }
+  void set_poisoned(bool v) { poisoned_ = v; }
+
+  // Appends every still-live lane (in lane order) with its sparse
+  // divergent captured-DFF state relative to the golden commit at t_next.
+  void ExtractLanes(std::uint64_t t_next, std::vector<CarriedLane>* out) const;
+
+  // Final statuses for lanes that survived every pattern.
+  void FinalizeUndecided();
+
+ private:
+  struct PinForce {
+    GateId gate;
+    std::uint32_t pin;
+    std::uint64_t sa0 = 0;
+    std::uint64_t sa1 = 0;
+  };
+
+  static Word3 ApplyForce(Word3 w, std::uint64_t sa0, std::uint64_t sa1) {
+    w.known |= sa0 | sa1;
+    w.val = (w.val | sa1) & ~sa0;
+    return w;
+  }
+
+  // Pins retired lanes to the golden splat, so a dead lane's bits can never
+  // differ from golden anywhere downstream.
+  Word3 Canon(Word3 w, Word3 g) const {
+    return {(w.val & live_) | (g.val & ~live_),
+            (w.known & live_) | (g.known & ~live_)};
+  }
+
+  // Faulty-machine read of gate g at cycle t: the stored word while the
+  // gate is materialized as divergent, the golden splat otherwise. The
+  // branch beats a branch-free XOR-vs-golden encoding here (measured):
+  // inside a walked cone most fanins are divergent, so the predictor
+  // resolves it almost for free and the hot branch skips the golden
+  // plane extraction entirely.
+  Word3 LoadF(std::uint64_t t, GateId g) const {
+    if (is_diff_[g]) return {fval_[g], fknown_[g]};
+    return golden_.Splat(t, g);
+  }
+
+  void Mark(GateId g, Word3 w) {
+    if (!is_diff_[g]) {
+      is_diff_[g] = 1;
+      diff_list_.push_back(g);
+    }
+    fval_[g] = w.val;
+    fknown_[g] = w.known;
+  }
+
+  void BuildForceTables();
+  Word3 ReadFaninF(std::uint64_t t, GateId g, std::uint32_t pin,
+                   GateId src) const {
+    Word3 w = LoadF(t, src);
+    for (const PinForce& pf : pin_forces_) {
+      if (pf.gate == g && pf.pin == pin) w = ApplyForce(w, pf.sa0, pf.sa1);
+    }
+    return w;
+  }
+  // One op table per value domain, parameterized over the fanin reader so
+  // the sparse walk (golden-splat-or-stored reads) and the dense sweep
+  // (flat plane reads) share it. `load(g)` returns gate g's word;
+  // `read(pin, g)` additionally applies the instruction's input-pin forces.
+  template <typename Load>
+  Word3 Eval3With(Load&& load, std::uint32_t i) const;
+  template <typename Read>
+  Word3 EvalPinForced3With(Read&& read, std::uint32_t i) const;
+  template <typename Load>
+  std::uint64_t Eval2With(Load&& load, std::uint32_t i) const;
+  template <typename Read>
+  std::uint64_t EvalPinForced2With(Read&& read, std::uint32_t i) const;
+  Word3 Eval(std::uint64_t t, std::uint32_t i) const;
+  Word3 EvalPinForced(std::uint64_t t, std::uint32_t i) const;
+  std::uint64_t Eval2(std::uint64_t t, std::uint32_t i) const;
+  std::uint64_t EvalPinForced2(std::uint64_t t, std::uint32_t i) const;
+  void StepCycle(std::uint64_t t, bool strobed, std::uint64_t& pattern_detects);
+  void StepCycleFast(std::uint64_t t, bool strobed,
+                     std::uint64_t& pattern_detects);
+  void DenseCycle2(std::uint64_t t, bool strobed,
+                   std::uint64_t& pattern_detects);
+  void DenseCycle3(std::uint64_t t, bool strobed,
+                   std::uint64_t& pattern_detects);
+
+  const FaultSimRequest& req_;
+  const logicsim::CompiledNetlist& prog_;
+  const DiffGolden& golden_;
+  // Per-cycle "the golden known plane is all-ones" bitmap and per-cycle
+  // strobe membership, both precomputed by the driver.
+  const std::vector<std::uint8_t>& known_full_;
+  const std::vector<std::uint8_t>& strobe_mask_;
+  const std::size_t shard_size_;
+  guard::Checker& check_;
+  FaultSimResult& result_;
+  logicsim::ConeWalker walker_;
+
+  std::vector<std::uint32_t> lane_fault_;  // lane -> index into req_.faults
+  std::uint64_t live_ = 0;
+  std::uint64_t detected_ = 0;
+  std::uint64_t potential_ = 0;
+  // True while no captured word carries an X: together with the golden
+  // known plane being full, the whole next cycle is two-valued and takes
+  // the val-plane-only fast path (StepCycleFast).
+  bool caps_known_full_ = true;
+  bool poisoned_ = false;
+  // Dense-mode machinery: once the sampled dirty cone stops being sparse
+  // (>= ~20% of the program, typical after compaction packs a shard with
+  // persistent faults), the walker no longer pays for itself and the shard
+  // switches to a kernel-style full sweep over flat value planes. The first
+  // pattern of every round runs sparse to re-sample the cone size. The
+  // threshold is measured, not derived: the sparse walk costs ~3-4x per
+  // instruction what the dense sweep does, so break-even sits near a
+  // quarter of the program.
+  bool dense_mode_ = false;
+  std::uint64_t cone_sample_ = 0;
+  std::vector<std::uint64_t> dval_;   // dense planes, allocated on first use
+  std::vector<std::uint64_t> dknown_;
+  std::vector<GateId> input_gates_;
+  std::vector<GateId> const_gates_;
+
+  // Per-lane force tables over the live lanes only (rebuilt on retirement);
+  // layout mirrors Simulator's so force application is bit-identical.
+  std::vector<std::uint64_t> out_sa0_;
+  std::vector<std::uint64_t> out_sa1_;
+  std::vector<PinForce> pin_forces_;
+  std::vector<std::uint8_t> has_pin_force_;
+  // Force sites by category (deduplicated, sorted): output-forced primary
+  // inputs and DFFs re-diverge at every commit; forced combinational
+  // instructions re-enter the cone at every settle. Output forces on
+  // constant gates are dropped entirely — Step() never applies them (a
+  // const is not an instruction, DFF, or input), so the lane's machine is
+  // the golden machine.
+  std::vector<GateId> forced_inputs_;
+  std::vector<GateId> forced_dffs_;
+  std::vector<std::uint32_t> comb_seed_instrs_;
+
+  // Per-cycle divergence state (diff_list_ is the cycle's materialized set).
+  std::vector<std::uint64_t> fval_;
+  std::vector<std::uint64_t> fknown_;
+  std::vector<std::uint8_t> is_diff_;
+  std::vector<GateId> diff_list_;
+  // Divergent captured DFF state, carried to the next cycle's commit.
+  std::vector<std::uint64_t> cap_val_;
+  std::vector<std::uint64_t> cap_known_;
+  std::vector<std::uint8_t> cap_diff_;
+  std::vector<GateId> cap_list_;
+
+  bool mut_stale_cone_ = false;
+  bool mut_premature_drop_ = false;
+  bool mut_dense_skip_ = false;
+  bool stale_used_ = false;  // per cycle: the planted bug fires once
+
+  std::uint64_t cone_instrs_ = 0;  // stats: instructions drained
+};
+
+void DifferentialShard::BuildForceTables() {
+  std::fill(out_sa0_.begin(), out_sa0_.end(), 0);
+  std::fill(out_sa1_.begin(), out_sa1_.end(), 0);
+  std::fill(has_pin_force_.begin(), has_pin_force_.end(), 0);
+  pin_forces_.clear();
+  forced_inputs_.clear();
+  forced_dffs_.clear();
+  comb_seed_instrs_.clear();
+  const auto& kind = prog_.kind();
+  for (std::size_t i = 0; i < shard_size_; ++i) {
+    if (((live_ >> i) & 1ULL) == 0) continue;
+    const StuckFault& f = req_.faults[lane_fault_[i]];
+    const std::uint64_t bit = 1ULL << i;
+    PFD_CHECK_MSG(f.value != Trit::kX, "cannot force X");
+    const netlist::GateKind k = kind[f.gate];
+    if (f.pin == 0) {
+      if (k == netlist::GateKind::kConst0 || k == netlist::GateKind::kConst1) {
+        continue;  // inert, matching Simulator::Step
+      }
+      (f.value == Trit::kZero ? out_sa0_ : out_sa1_)[f.gate] |= bit;
+      if (k == netlist::GateKind::kInput) {
+        forced_inputs_.push_back(f.gate);
+      } else if (k == netlist::GateKind::kDff) {
+        forced_dffs_.push_back(f.gate);
+      } else {
+        comb_seed_instrs_.push_back(prog_.instr_of_gate()[f.gate]);
+      }
+    } else {
+      const std::uint32_t pin = f.pin - 1;
+      PFD_CHECK_MSG(pin < req_.nl.Fanins(f.gate).size(), "pin out of range");
+      bool merged = false;
+      for (PinForce& pf : pin_forces_) {
+        if (pf.gate == f.gate && pf.pin == pin) {
+          (f.value == Trit::kZero ? pf.sa0 : pf.sa1) |= bit;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        PinForce pf{f.gate, pin, 0, 0};
+        (f.value == Trit::kZero ? pf.sa0 : pf.sa1) = bit;
+        pin_forces_.push_back(pf);
+      }
+      has_pin_force_[f.gate] = 1;
+      if (k != netlist::GateKind::kDff) {
+        // A DFF pin-0 force applies at D capture, handled in StepCycle's
+        // capture phase; everything else is a combinational read force.
+        comb_seed_instrs_.push_back(prog_.instr_of_gate()[f.gate]);
+      }
+    }
+  }
+  auto dedup = [](auto& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(forced_inputs_);
+  dedup(forced_dffs_);
+  dedup(comb_seed_instrs_);
+}
+
+// Mirrors Simulator::EvalInstr3 over the caller's fanin reader.
+template <typename Load>
+Word3 DifferentialShard::Eval3With(Load&& load, std::uint32_t i) const {
+  using logicsim::Op;
+  const logicsim::CompiledNetlist& p = prog_;
+  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
+  switch (p.op()[i]) {
+    case Op::kBuf: return load(f[0]);
+    case Op::kNot: return Not3(load(f[0]));
+    case Op::kAnd2: return And3(load(f[0]), load(f[1]));
+    case Op::kOr2: return Or3(load(f[0]), load(f[1]));
+    case Op::kNand2: return Not3(And3(load(f[0]), load(f[1])));
+    case Op::kNor2: return Not3(Or3(load(f[0]), load(f[1])));
+    case Op::kXor2: return Xor3(load(f[0]), load(f[1]));
+    case Op::kXnor2: return Xnor3(load(f[0]), load(f[1]));
+    case Op::kMux2: return Mux3(load(f[0]), load(f[1]), load(f[2]));
+    case Op::kAndN:
+    case Op::kNandN: {
+      Word3 w = load(f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) w = And3(w, load(f[k]));
+      return p.op()[i] == Op::kNandN ? Not3(w) : w;
+    }
+    case Op::kOrN:
+    case Op::kNorN: {
+      Word3 w = load(f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) w = Or3(w, load(f[k]));
+      return p.op()[i] == Op::kNorN ? Not3(w) : w;
+    }
+  }
+  return kAllX;
+}
+
+// Mirrors Simulator::EvalInstrPinForced3 over the caller's pin reader.
+template <typename Read>
+Word3 DifferentialShard::EvalPinForced3With(Read&& read,
+                                            std::uint32_t i) const {
+  using logicsim::Op;
+  const logicsim::CompiledNetlist& p = prog_;
+  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
+  switch (p.op()[i]) {
+    case Op::kBuf: return read(0, f[0]);
+    case Op::kNot: return Not3(read(0, f[0]));
+    case Op::kAnd2: return And3(read(0, f[0]), read(1, f[1]));
+    case Op::kOr2: return Or3(read(0, f[0]), read(1, f[1]));
+    case Op::kNand2: return Not3(And3(read(0, f[0]), read(1, f[1])));
+    case Op::kNor2: return Not3(Or3(read(0, f[0]), read(1, f[1])));
+    case Op::kXor2: return Xor3(read(0, f[0]), read(1, f[1]));
+    case Op::kXnor2: return Xnor3(read(0, f[0]), read(1, f[1]));
+    case Op::kMux2:
+      return Mux3(read(0, f[0]), read(1, f[1]), read(2, f[2]));
+    case Op::kAndN:
+    case Op::kNandN: {
+      Word3 w = read(0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) w = And3(w, read(k, f[k]));
+      return p.op()[i] == Op::kNandN ? Not3(w) : w;
+    }
+    case Op::kOrN:
+    case Op::kNorN: {
+      Word3 w = read(0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) w = Or3(w, read(k, f[k]));
+      return p.op()[i] == Op::kNorN ? Not3(w) : w;
+    }
+  }
+  return kAllX;
+}
+
+Word3 DifferentialShard::Eval(std::uint64_t t, std::uint32_t i) const {
+  return Eval3With([&](GateId g) { return LoadF(t, g); }, i);
+}
+
+Word3 DifferentialShard::EvalPinForced(std::uint64_t t,
+                                       std::uint32_t i) const {
+  const GateId g = prog_.out()[i];
+  return EvalPinForced3With(
+      [&](std::uint32_t pin, GateId src) { return ReadFaninF(t, g, pin, src); },
+      i);
+}
+
+// Two-valued (val-plane-only) twins, used on cycles where every word is
+// provably known: the Word3 operators restricted to known == ~0 collapse to
+// plain bitwise logic, and the golden splat needs only the val plane.
+// Bit-identical to the three-valued path by the known-inputs-give-known-
+// outputs property of the Word3 algebra.
+template <typename Load>
+std::uint64_t DifferentialShard::Eval2With(Load&& load,
+                                           std::uint32_t i) const {
+  using logicsim::Op;
+  const logicsim::CompiledNetlist& p = prog_;
+  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
+  switch (p.op()[i]) {
+    case Op::kBuf: return load(f[0]);
+    case Op::kNot: return ~load(f[0]);
+    case Op::kAnd2: return load(f[0]) & load(f[1]);
+    case Op::kOr2: return load(f[0]) | load(f[1]);
+    case Op::kNand2: return ~(load(f[0]) & load(f[1]));
+    case Op::kNor2: return ~(load(f[0]) | load(f[1]));
+    case Op::kXor2: return load(f[0]) ^ load(f[1]);
+    case Op::kXnor2: return ~(load(f[0]) ^ load(f[1]));
+    case Op::kMux2: {
+      const std::uint64_t s = load(f[0]);
+      return (~s & load(f[1])) | (s & load(f[2]));
+    }
+    case Op::kAndN:
+    case Op::kNandN: {
+      std::uint64_t v = load(f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) v &= load(f[k]);
+      return p.op()[i] == Op::kNandN ? ~v : v;
+    }
+    case Op::kOrN:
+    case Op::kNorN: {
+      std::uint64_t v = load(f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) v |= load(f[k]);
+      return p.op()[i] == Op::kNorN ? ~v : v;
+    }
+  }
+  return 0;
+}
+
+template <typename Read>
+std::uint64_t DifferentialShard::EvalPinForced2With(Read&& read,
+                                                    std::uint32_t i) const {
+  using logicsim::Op;
+  const logicsim::CompiledNetlist& p = prog_;
+  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
+  switch (p.op()[i]) {
+    case Op::kBuf: return read(0, f[0]);
+    case Op::kNot: return ~read(0, f[0]);
+    case Op::kAnd2: return read(0, f[0]) & read(1, f[1]);
+    case Op::kOr2: return read(0, f[0]) | read(1, f[1]);
+    case Op::kNand2: return ~(read(0, f[0]) & read(1, f[1]));
+    case Op::kNor2: return ~(read(0, f[0]) | read(1, f[1]));
+    case Op::kXor2: return read(0, f[0]) ^ read(1, f[1]);
+    case Op::kXnor2: return ~(read(0, f[0]) ^ read(1, f[1]));
+    case Op::kMux2: {
+      const std::uint64_t s = read(0, f[0]);
+      return (~s & read(1, f[1])) | (s & read(2, f[2]));
+    }
+    case Op::kAndN:
+    case Op::kNandN: {
+      std::uint64_t v = read(0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) v &= read(k, f[k]);
+      return p.op()[i] == Op::kNandN ? ~v : v;
+    }
+    case Op::kOrN:
+    case Op::kNorN: {
+      std::uint64_t v = read(0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) v |= read(k, f[k]);
+      return p.op()[i] == Op::kNorN ? ~v : v;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t DifferentialShard::Eval2(std::uint64_t t,
+                                       std::uint32_t i) const {
+  return Eval2With(
+      [&](GateId g) -> std::uint64_t {
+        return is_diff_[g] ? fval_[g] : (0ULL - golden_.ValBit(t, g));
+      },
+      i);
+}
+
+std::uint64_t DifferentialShard::EvalPinForced2(std::uint64_t t,
+                                                std::uint32_t i) const {
+  const GateId g = prog_.out()[i];
+  return EvalPinForced2With(
+      [&](std::uint32_t pin, GateId src) -> std::uint64_t {
+        std::uint64_t v =
+            is_diff_[src] ? fval_[src] : (0ULL - golden_.ValBit(t, src));
+        for (const PinForce& pf : pin_forces_) {
+          if (pf.gate == g && pf.pin == pin) v = (v | pf.sa1) & ~pf.sa0;
+        }
+        return v;
+      },
+      i);
+}
+
+void DifferentialShard::StepCycle(std::uint64_t t, bool strobed,
+                                  std::uint64_t& pattern_detects) {
+  const TestPlan& plan = req_.stimulus.plan;
+
+  for (GateId g : diff_list_) is_diff_[g] = 0;
+  diff_list_.clear();
+  stale_used_ = false;
+
+  // Commit/seed phase, mirroring Step()'s edge: a DFF's committed word is
+  // the captured divergent word when one exists, the golden commit
+  // otherwise (at t == 0 the golden plane is the power-up X, so the forced
+  // power-up case falls out of the same expression); output forces land on
+  // the committed word exactly as in Step()'s phase 1, and on inputs as in
+  // its phase 2 (golden inputs are re-driven identically every pattern, and
+  // ApplyForce is idempotent, so force-on-golden-splat is the input's
+  // stored word on every cycle, not just the first).
+  auto commit_dff = [&](GateId d) {
+    const Word3 g = golden_.Splat(t, d);
+    Word3 w = cap_diff_[d] ? Word3{cap_val_[d], cap_known_[d]} : g;
+    const std::uint64_t sa0 = out_sa0_[d];
+    const std::uint64_t sa1 = out_sa1_[d];
+    if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+    w = Canon(w, g);
+    if (w.val != g.val || w.known != g.known) {
+      Mark(d, w);
+      walker_.SeedReadersOf(d);
+    }
+  };
+  for (GateId d : forced_dffs_) commit_dff(d);
+  for (GateId d : cap_list_) {
+    // Output-forced DFFs were just committed above (they consult cap too).
+    if ((out_sa0_[d] | out_sa1_[d]) == 0) commit_dff(d);
+  }
+  for (GateId in : forced_inputs_) {
+    const Word3 g = golden_.Splat(t, in);
+    Word3 w = Canon(ApplyForce(g, out_sa0_[in], out_sa1_[in]), g);
+    if (w.val != g.val || w.known != g.known) {
+      Mark(in, w);
+      walker_.SeedReadersOf(in);
+    }
+  }
+
+  // Settle phase: forced combinational instructions re-enter the cone every
+  // cycle (their output differs from golden even with clean fanins); the
+  // walker then drains the dirty cone in level order, divergence seeding
+  // readers at strictly higher levels.
+  for (std::uint32_t i : comb_seed_instrs_) walker_.SeedInstr(i);
+  walker_.Drain([&](std::uint32_t i) {
+    const GateId g = prog_.out()[i];
+    Word3 w = has_pin_force_[g] ? EvalPinForced(t, i) : Eval(t, i);
+    const std::uint64_t sa0 = out_sa0_[g];
+    const std::uint64_t sa1 = out_sa1_[g];
+    if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+    const Word3 gw = golden_.Splat(t, g);
+    w = Canon(w, gw);
+    if (w.val == gw.val && w.known == gw.known) return false;
+    Mark(g, w);
+    if (mut_stale_cone_ && !stale_used_) {
+      stale_used_ = true;  // planted bug: first divergence doesn't propagate
+      return false;
+    }
+    return true;
+  });
+  cone_instrs_ += walker_.drained();
+
+  // Strobe phase: a gate outside the cone equals the golden machine on
+  // every lane, so only materialized gates can contribute mismatches.
+  if (strobed) {
+    for (GateId g : plan.observe) {
+      if (golden_.KnownBit(t, g) == 0) continue;  // fault-free response X
+      if (!is_diff_[g]) continue;
+      const std::uint64_t gval = 0ULL - golden_.ValBit(t, g);
+      pattern_detects |= fknown_[g] & (fval_[g] ^ gval) & live_;
+      potential_ |= ~fknown_[g] & live_;
+    }
+  }
+
+  // Capture phase, mirroring Step()'s phase 6: rebuild the divergent
+  // captured-D set for the next cycle's commit. Only DFFs whose D net is in
+  // the cone, or whose D pin carries a force, can capture a non-golden word.
+  for (GateId d : cap_list_) cap_diff_[d] = 0;
+  cap_list_.clear();
+  const auto& dff_ids = prog_.dff_ids();
+  const auto& dff_d = prog_.dff_d();
+  for (std::size_t k = 0; k < dff_ids.size(); ++k) {
+    const GateId d = dff_ids[k];
+    const GateId dn = dff_d[k];
+    if (!is_diff_[dn] && !has_pin_force_[d]) continue;
+    Word3 w = LoadF(t, dn);
+    if (has_pin_force_[d]) {
+      for (const PinForce& pf : pin_forces_) {
+        if (pf.gate == d && pf.pin == 0) w = ApplyForce(w, pf.sa0, pf.sa1);
+      }
+    }
+    const Word3 g = golden_.Splat(t, dn);
+    w = Canon(w, g);
+    if (w.val != g.val || w.known != g.known) {
+      cap_diff_[d] = 1;
+      cap_val_[d] = w.val;
+      cap_known_[d] = w.known;
+      cap_list_.push_back(d);
+    }
+  }
+  caps_known_full_ = true;
+  for (GateId d : cap_list_) {
+    if (cap_known_[d] != ~0ULL) {
+      caps_known_full_ = false;
+      break;
+    }
+  }
+}
+
+// The val-plane-only twin of StepCycle, valid when the cycle's golden known
+// plane is full and no captured word carries an X (no force can introduce
+// one, so the whole cycle stays two-valued). Mark still stores a full-known
+// word so the shared strobe/capture invariants hold.
+void DifferentialShard::StepCycleFast(std::uint64_t t, bool strobed,
+                                      std::uint64_t& pattern_detects) {
+  const TestPlan& plan = req_.stimulus.plan;
+
+  for (GateId g : diff_list_) is_diff_[g] = 0;
+  diff_list_.clear();
+  stale_used_ = false;
+
+  const auto gval = [&](GateId g) -> std::uint64_t {
+    return 0ULL - golden_.ValBit(t, g);
+  };
+
+  auto commit_dff = [&](GateId d) {
+    const std::uint64_t gv = gval(d);
+    std::uint64_t v = cap_diff_[d] ? cap_val_[d] : gv;
+    const std::uint64_t sa0 = out_sa0_[d];
+    const std::uint64_t sa1 = out_sa1_[d];
+    if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
+    v = (v & live_) | (gv & ~live_);
+    if (v != gv) {
+      Mark(d, {v, ~0ULL});
+      walker_.SeedReadersOf(d);
+    }
+  };
+  for (GateId d : forced_dffs_) commit_dff(d);
+  for (GateId d : cap_list_) {
+    if ((out_sa0_[d] | out_sa1_[d]) == 0) commit_dff(d);
+  }
+  for (GateId in : forced_inputs_) {
+    const std::uint64_t gv = gval(in);
+    std::uint64_t v = (gv | out_sa1_[in]) & ~out_sa0_[in];
+    v = (v & live_) | (gv & ~live_);
+    if (v != gv) {
+      Mark(in, {v, ~0ULL});
+      walker_.SeedReadersOf(in);
+    }
+  }
+
+  for (std::uint32_t i : comb_seed_instrs_) walker_.SeedInstr(i);
+  walker_.Drain([&](std::uint32_t i) {
+    const GateId g = prog_.out()[i];
+    std::uint64_t v = has_pin_force_[g] ? EvalPinForced2(t, i) : Eval2(t, i);
+    const std::uint64_t sa0 = out_sa0_[g];
+    const std::uint64_t sa1 = out_sa1_[g];
+    if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
+    const std::uint64_t gv = gval(g);
+    v = (v & live_) | (gv & ~live_);
+    if (v == gv) return false;
+    Mark(g, {v, ~0ULL});
+    if (mut_stale_cone_ && !stale_used_) {
+      stale_used_ = true;  // planted bug: first divergence doesn't propagate
+      return false;
+    }
+    return true;
+  });
+  cone_instrs_ += walker_.drained();
+
+  if (strobed) {
+    for (GateId g : plan.observe) {
+      if (!is_diff_[g]) continue;
+      pattern_detects |= (fval_[g] ^ gval(g)) & live_;
+    }
+  }
+
+  for (GateId d : cap_list_) cap_diff_[d] = 0;
+  cap_list_.clear();
+  const auto& dff_ids = prog_.dff_ids();
+  const auto& dff_d = prog_.dff_d();
+  for (std::size_t k = 0; k < dff_ids.size(); ++k) {
+    const GateId d = dff_ids[k];
+    const GateId dn = dff_d[k];
+    if (!is_diff_[dn] && !has_pin_force_[d]) continue;
+    std::uint64_t v = is_diff_[dn] ? fval_[dn] : gval(dn);
+    if (has_pin_force_[d]) {
+      for (const PinForce& pf : pin_forces_) {
+        if (pf.gate == d && pf.pin == 0) v = (v | pf.sa1) & ~pf.sa0;
+      }
+    }
+    const std::uint64_t gv = gval(dn);
+    v = (v & live_) | (gv & ~live_);
+    if (v != gv) {
+      cap_diff_[d] = 1;
+      cap_val_[d] = v;
+      cap_known_[d] = ~0ULL;
+      cap_list_.push_back(d);
+    }
+  }
+  caps_known_full_ = true;
+}
+
+// Dense two-valued cycle: evaluate the whole level-major program over a
+// flat val plane — no walker, no divergence bitmaps, no per-read golden
+// splats. Once compaction packs a shard with persistent faults the union
+// cone approaches the full program and the sparse walk's per-instruction
+// overhead stops paying for itself; this is the kernel-style sweep for that
+// regime. Values equal the sparse path's by construction: every gate off a
+// lane's cone computes exactly its golden value (same function, same
+// inputs), so strobes and captures diff against golden identically.
+void DifferentialShard::DenseCycle2(std::uint64_t t, bool strobed,
+                                    std::uint64_t& pattern_detects) {
+  const TestPlan& plan = req_.stimulus.plan;
+  const std::size_t n = prog_.num_gates();
+  if (dval_.empty()) {
+    dval_.assign(n, 0);
+    dknown_.assign(n, 0);
+  }
+  // Sparse residue must not leak into a later sparse cycle.
+  for (GateId g : diff_list_) is_diff_[g] = 0;
+  diff_list_.clear();
+
+  const auto gval = [&](GateId g) -> std::uint64_t {
+    return 0ULL - golden_.ValBit(t, g);
+  };
+  for (GateId g : const_gates_) dval_[g] = gval(g);
+  for (GateId g : input_gates_) {
+    std::uint64_t v = gval(g);
+    const std::uint64_t sa0 = out_sa0_[g];
+    const std::uint64_t sa1 = out_sa1_[g];
+    if ((sa0 | sa1) != 0) v = ((((v | sa1) & ~sa0) & live_)) | (v & ~live_);
+    dval_[g] = v;
+  }
+  const auto& dff_ids = prog_.dff_ids();
+  for (const GateId d : dff_ids) {
+    const std::uint64_t gv = gval(d);
+    std::uint64_t v = cap_diff_[d] ? cap_val_[d] : gv;
+    const std::uint64_t sa0 = out_sa0_[d];
+    const std::uint64_t sa1 = out_sa1_[d];
+    if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
+    dval_[d] = (v & live_) | (gv & ~live_);
+  }
+
+  const std::uint32_t ni =
+      static_cast<std::uint32_t>(prog_.num_instructions());
+  const auto& outs = prog_.out();
+  for (std::uint32_t i = 0; i < ni; ++i) {
+    const GateId g = outs[i];
+    std::uint64_t v;
+    if (has_pin_force_[g]) {
+      v = EvalPinForced2With(
+          [&](std::uint32_t pin, GateId src) -> std::uint64_t {
+            std::uint64_t w = dval_[src];
+            for (const PinForce& pf : pin_forces_) {
+              if (pf.gate == g && pf.pin == pin) w = (w | pf.sa1) & ~pf.sa0;
+            }
+            return w;
+          },
+          i);
+    } else {
+      v = Eval2With([&](GateId src) { return dval_[src]; }, i);
+    }
+    const std::uint64_t sa0 = out_sa0_[g];
+    const std::uint64_t sa1 = out_sa1_[g];
+    if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
+    // No per-gate canon needed: a retired lane carries no forces and
+    // golden state, so its dense bits are golden everywhere already.
+    dval_[g] = v;
+  }
+  cone_instrs_ += ni;
+
+  if (strobed) {
+    bool first = true;
+    for (GateId g : plan.observe) {
+      if (mut_dense_skip_ && first) {
+        first = false;  // planted bug: the first observe net never strobes
+        continue;
+      }
+      first = false;
+      pattern_detects |= (dval_[g] ^ gval(g)) & live_;
+    }
+  }
+
+  for (GateId d : cap_list_) cap_diff_[d] = 0;
+  cap_list_.clear();
+  const auto& dff_d = prog_.dff_d();
+  for (std::size_t k = 0; k < dff_ids.size(); ++k) {
+    const GateId d = dff_ids[k];
+    const GateId dn = dff_d[k];
+    std::uint64_t v = dval_[dn];
+    if (has_pin_force_[d]) {
+      for (const PinForce& pf : pin_forces_) {
+        if (pf.gate == d && pf.pin == 0) v = (v | pf.sa1) & ~pf.sa0;
+      }
+    }
+    const std::uint64_t gv = gval(dn);
+    v = (v & live_) | (gv & ~live_);
+    if (v != gv) {
+      cap_diff_[d] = 1;
+      cap_val_[d] = v;
+      cap_known_[d] = ~0ULL;
+      cap_list_.push_back(d);
+    }
+  }
+  caps_known_full_ = true;
+}
+
+// The three-valued dense sweep, for X-carrying shards (potential-detect
+// lanes trap power-up X in state loops and stay three-valued forever).
+// Full Word3 planes, same phase structure as DenseCycle2.
+void DifferentialShard::DenseCycle3(std::uint64_t t, bool strobed,
+                                    std::uint64_t& pattern_detects) {
+  const TestPlan& plan = req_.stimulus.plan;
+  const std::size_t n = prog_.num_gates();
+  if (dval_.empty()) {
+    dval_.assign(n, 0);
+    dknown_.assign(n, 0);
+  }
+  for (GateId g : diff_list_) is_diff_[g] = 0;
+  diff_list_.clear();
+
+  const auto gsplat = [&](GateId g) { return golden_.Splat(t, g); };
+  for (GateId g : const_gates_) {
+    const Word3 w = gsplat(g);
+    dval_[g] = w.val;
+    dknown_[g] = w.known;
+  }
+  for (GateId g : input_gates_) {
+    const Word3 gw = gsplat(g);
+    Word3 w = gw;
+    const std::uint64_t sa0 = out_sa0_[g];
+    const std::uint64_t sa1 = out_sa1_[g];
+    if ((sa0 | sa1) != 0) w = Canon(ApplyForce(w, sa0, sa1), gw);
+    dval_[g] = w.val;
+    dknown_[g] = w.known;
+  }
+  const auto& dff_ids = prog_.dff_ids();
+  for (const GateId d : dff_ids) {
+    const Word3 gw = gsplat(d);
+    Word3 w = cap_diff_[d] ? Word3{cap_val_[d], cap_known_[d]} : gw;
+    const std::uint64_t sa0 = out_sa0_[d];
+    const std::uint64_t sa1 = out_sa1_[d];
+    if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+    w = Canon(w, gw);
+    dval_[d] = w.val;
+    dknown_[d] = w.known;
+  }
+
+  const std::uint32_t ni =
+      static_cast<std::uint32_t>(prog_.num_instructions());
+  const auto& outs = prog_.out();
+  for (std::uint32_t i = 0; i < ni; ++i) {
+    const GateId g = outs[i];
+    Word3 w;
+    if (has_pin_force_[g]) {
+      w = EvalPinForced3With(
+          [&](std::uint32_t pin, GateId src) {
+            Word3 x{dval_[src], dknown_[src]};
+            for (const PinForce& pf : pin_forces_) {
+              if (pf.gate == g && pf.pin == pin) {
+                x = ApplyForce(x, pf.sa0, pf.sa1);
+              }
+            }
+            return x;
+          },
+          i);
+    } else {
+      w = Eval3With([&](GateId src) { return Word3{dval_[src], dknown_[src]}; },
+                    i);
+    }
+    const std::uint64_t sa0 = out_sa0_[g];
+    const std::uint64_t sa1 = out_sa1_[g];
+    if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+    dval_[g] = w.val;
+    dknown_[g] = w.known;
+  }
+  cone_instrs_ += ni;
+
+  if (strobed) {
+    bool first = true;
+    for (GateId g : plan.observe) {
+      if (mut_dense_skip_ && first) {
+        first = false;  // planted bug: the first observe net never strobes
+        continue;
+      }
+      first = false;
+      if (golden_.KnownBit(t, g) == 0) continue;  // fault-free response X
+      const std::uint64_t gv = 0ULL - golden_.ValBit(t, g);
+      pattern_detects |= dknown_[g] & (dval_[g] ^ gv) & live_;
+      potential_ |= ~dknown_[g] & live_;
+    }
+  }
+
+  for (GateId d : cap_list_) cap_diff_[d] = 0;
+  cap_list_.clear();
+  const auto& dff_d = prog_.dff_d();
+  for (std::size_t k = 0; k < dff_ids.size(); ++k) {
+    const GateId d = dff_ids[k];
+    const GateId dn = dff_d[k];
+    Word3 w{dval_[dn], dknown_[dn]};
+    if (has_pin_force_[d]) {
+      for (const PinForce& pf : pin_forces_) {
+        if (pf.gate == d && pf.pin == 0) w = ApplyForce(w, pf.sa0, pf.sa1);
+      }
+    }
+    const Word3 gw = gsplat(dn);
+    w = Canon(w, gw);
+    if (w.val != gw.val || w.known != gw.known) {
+      cap_diff_[d] = 1;
+      cap_val_[d] = w.val;
+      cap_known_[d] = w.known;
+      cap_list_.push_back(d);
+    }
+  }
+  caps_known_full_ = true;
+  for (GateId d : cap_list_) {
+    if (cap_known_[d] != ~0ULL) {
+      caps_known_full_ = false;
+      break;
+    }
+  }
+}
+
+void DifferentialShard::Run(int p_begin, int p_end) {
+  const int cpp = req_.stimulus.plan.cycles_per_pattern;
+
+  const bool obs_on = obs::Enabled();
+  obs::Histogram* hist_cone = nullptr;
+  obs::Histogram* hist_live = nullptr;
+  obs::Histogram* hist_dropped = nullptr;
+  if (obs_on) {
+    obs::Registry& reg = obs::Registry::Global();
+    hist_cone = &reg.GetHistogram("fault_sim.diff.cone_instrs_per_cycle");
+    hist_live = &reg.GetHistogram("fault_sim.diff.live_lanes_per_pattern");
+    hist_dropped =
+        &reg.GetHistogram("fault_sim.diff.dropped_lanes_per_pattern");
+  }
+
+  int patterns_run = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t two_valued_cycles = 0;
+  std::uint64_t dense_cycles = 0;
+  for (int p = p_begin; p < p_end; ++p) {
+    if (live_ == 0) break;  // every fault decided: hard-detected lanes only
+    check_.CheckOrThrow();
+    ++patterns_run;
+    if (obs_on) {
+      hist_live->RecordDouble(static_cast<double>(std::popcount(live_)));
+    }
+    // The first pattern of each Run call samples the sparse walk's union
+    // cone; when it exceeds ~20% of the program the walker's per-instruction
+    // overhead costs more than a dense kernel-style sweep, so the rest of
+    // the round goes dense. Each mutation failpoint pins the mode its
+    // planted bug lives in so the xcheck harness always exercises it.
+    const bool sampling = (p == p_begin);
+    if (sampling) cone_sample_ = 0;
+    std::uint64_t pattern_detects = 0;
+    for (int c = 0; c < cpp; ++c) {
+      const std::uint64_t t =
+          static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(cpp) +
+          static_cast<std::uint64_t>(c);
+      const bool strobed = strobe_mask_[static_cast<std::size_t>(c)] != 0;
+      const bool two_valued = known_full_[t] != 0 && caps_known_full_;
+      bool dense = dense_mode_ && !sampling;
+      if (mut_stale_cone_) {
+        dense = false;
+      } else if (mut_dense_skip_) {
+        dense = true;
+      }
+      cone_instrs_ = 0;
+      if (dense) {
+        ++dense_cycles;
+        if (two_valued) {
+          ++two_valued_cycles;
+          DenseCycle2(t, strobed, pattern_detects);
+        } else {
+          DenseCycle3(t, strobed, pattern_detects);
+        }
+      } else if (two_valued) {
+        ++two_valued_cycles;
+        StepCycleFast(t, strobed, pattern_detects);
+      } else {
+        StepCycle(t, strobed, pattern_detects);
+      }
+      if (sampling) cone_sample_ += cone_instrs_;
+      if (obs_on) {
+        hist_cone->RecordDouble(static_cast<double>(cone_instrs_));
+      }
+    }
+    if (sampling) {
+      const std::uint64_t full = static_cast<std::uint64_t>(cpp) *
+                                 static_cast<std::uint64_t>(
+                                     prog_.num_instructions());
+      dense_mode_ = 5 * cone_sample_ >= full;
+    }
+    check_.AddSimCycles(static_cast<std::uint64_t>(cpp));
+    const std::uint64_t newly = pattern_detects & ~detected_;
+    if (newly != 0) {
+      detected_ |= newly;
+      for (std::size_t i = 0; i < shard_size_; ++i) {
+        if ((newly >> i) & 1ULL) {
+          result_.first_detect_pattern[lane_fault_[i]] = p;
+          result_.status[lane_fault_[i]] = FaultStatus::kDetected;
+        }
+      }
+    }
+    std::uint64_t to_retire = newly;
+    if (mut_premature_drop_) {
+      // Planted bug: lanes with only an X mismatch are dropped as if their
+      // fate were sealed, freezing faults a later pattern would detect.
+      const std::uint64_t dropped = potential_ & ~detected_ & live_;
+      to_retire |= dropped;
+      for (std::size_t i = 0; i < shard_size_; ++i) {
+        if ((dropped >> i) & 1ULL) {
+          result_.status[lane_fault_[i]] =
+              FaultStatus::kPotentiallyDetected;
+        }
+      }
+    }
+    if (to_retire != 0) {
+      live_ &= ~to_retire;
+      retired += static_cast<std::uint64_t>(std::popcount(to_retire));
+      BuildForceTables();
+    }
+    if (obs_on) {
+      hist_dropped->RecordDouble(
+          static_cast<double>(std::popcount(to_retire)));
+    }
+  }
+
+  if (obs_on) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter("fault_sim.diff.patterns")
+        .Add(static_cast<std::uint64_t>(patterns_run));
+    reg.GetCounter("fault_sim.diff.retired_lanes").Add(retired);
+    reg.GetCounter("fault_sim.diff.two_valued_cycles").Add(two_valued_cycles);
+    reg.GetCounter("fault_sim.diff.dense_cycles").Add(dense_cycles);
+    if (patterns_run < p_end - p_begin) {
+      reg.GetCounter("fault_sim.diff.early_exit_patterns")
+          .Add(static_cast<std::uint64_t>(p_end - p_begin - patterns_run));
+    }
+  }
+}
+
+void DifferentialShard::ExtractLanes(std::uint64_t t_next,
+                                     std::vector<CarriedLane>* out) const {
+  for (std::size_t i = 0; i < shard_size_; ++i) {
+    if (((live_ >> i) & 1ULL) == 0) continue;
+    const std::uint64_t bit = 1ULL << i;
+    CarriedLane ln;
+    ln.fault = lane_fault_[i];
+    ln.potential = (potential_ & bit) != 0;
+    for (GateId d : cap_list_) {
+      const std::uint8_t v = (cap_val_[d] & bit) != 0 ? 1 : 0;
+      const std::uint8_t k = (cap_known_[d] & bit) != 0 ? 1 : 0;
+      // Only genuinely divergent bits travel; everything else is golden.
+      // (A captured D bit equals the golden commit of the next cycle.)
+      if (v == golden_.ValBit(t_next, d) && k == golden_.KnownBit(t_next, d)) {
+        continue;
+      }
+      ln.caps.push_back({d, v, k});
+      if (k == 0) ln.has_x = true;
+    }
+    out->push_back(std::move(ln));
+  }
+}
+
+void DifferentialShard::FinalizeUndecided() {
+  for (std::size_t i = 0; i < shard_size_; ++i) {
+    if (((live_ >> i) & 1ULL) == 0) continue;
+    result_.status[lane_fault_[i]] = (potential_ >> i) & 1ULL
+                                         ? FaultStatus::kPotentiallyDetected
+                                         : FaultStatus::kUndetected;
+  }
+}
+
+FaultSimResult RunDifferential(
+    const FaultSimRequest& req,
+    const std::shared_ptr<const logicsim::CompiledNetlist>& prog,
+    logicsim::GoldenTraceCache& cache, guard::Checker& check) {
+  obs::Span span("fault_sim.differential",
+                 obs::Span::Args(
+                     {{"faults", static_cast<std::int64_t>(req.faults.size())},
+                      {"patterns", req.stimulus.num_patterns}}));
+  const TestPlan& plan = req.stimulus.plan;
+  const int num_patterns = req.stimulus.num_patterns;
+  const std::vector<int> widths = OperandWidths(plan);
+
+  FaultSimResult result;
+  result.status.assign(req.faults.size(), FaultStatus::kNotRun);
+  result.first_detect_pattern.assign(req.faults.size(), -1);
+  result.patterns = num_patterns;
+
+  // Golden pass: simulate the fault-free machine once and record its full
+  // per-cycle planes, memoized in the golden-trace cache. A guard trip here
+  // means no fault can be decided at all (mirrors the serial engine).
+  const std::size_t words = (prog->num_gates() + 63) / 64;
+  const std::uint64_t total_cycles =
+      static_cast<std::uint64_t>(num_patterns) *
+      static_cast<std::uint64_t>(plan.cycles_per_pattern);
+  const logicsim::GoldenKey golden_key = DiffGoldenKey(req.nl, req.stimulus);
+  std::shared_ptr<const logicsim::GoldenEntry> entry = cache.Find(golden_key);
+  if (entry == nullptr) {
+    auto fresh = std::make_shared<logicsim::GoldenEntry>();
+    fresh->counts.assign(2 * words * total_cycles, 0);
+    try {
+      logicsim::Simulator sim(req.nl, prog);
+      tpg::Tpgr tpgr(req.stimulus.tpgr_seed);
+      std::uint64_t t = 0;
+      for (int p = 0; p < num_patterns; ++p) {
+        check.CheckOrThrow();
+        DriveOperands(sim, plan, tpgr.NextPattern(widths));
+        for (int c = 0; c < plan.cycles_per_pattern; ++c) {
+          if (plan.reset != netlist::kNoGate) {
+            sim.SetInputAllLanes(plan.reset,
+                                 c == 0 ? Trit::kOne : Trit::kZero);
+          }
+          sim.Step();
+          sim.PackLane0(fresh->counts.data() + 2 * t * words,
+                        fresh->counts.data() + (2 * t + 1) * words);
+          ++t;
+        }
+        check.AddSimCycles(
+            static_cast<std::uint64_t>(plan.cycles_per_pattern));
+      }
+    } catch (const guard::Tripped& trip) {
+      result.run_status.code = trip.status.code;
+      result.run_status.message = trip.status.message;
+      result.run_status.total_units = req.faults.size();
+      return result;
+    }
+    // Only a clean, complete pass is publishable under the complete key.
+    entry = cache.Insert(golden_key, std::move(fresh));
+  }
+  PFD_CHECK_MSG(entry->counts.size() == 2 * words * total_cycles,
+                "differential golden entry has the wrong shape");
+  const DiffGolden golden{entry->counts.data(), words};
+
+  // Per-cycle "golden known plane is full" bitmap (tail bits beyond
+  // num_gates are zero in the packed planes and masked off here): the gate
+  // for the shards' two-valued fast path.
+  const std::size_t tail_gates = prog->num_gates() % 64;
+  const std::uint64_t tail_mask =
+      tail_gates != 0 ? (1ULL << tail_gates) - 1 : ~0ULL;
+  std::vector<std::uint8_t> known_full(total_cycles, 0);
+  for (std::uint64_t t = 0; t < total_cycles; ++t) {
+    const std::uint64_t* kp = entry->counts.data() + (2 * t + 1) * words;
+    bool full = words > 0;
+    for (std::size_t w = 0; full && w + 1 < words; ++w) full = kp[w] == ~0ULL;
+    if (full) full = (kp[words - 1] | ~tail_mask) == ~0ULL;
+    known_full[t] = full ? 1 : 0;
+  }
+  std::vector<std::uint8_t> strobe_mask(
+      static_cast<std::size_t>(plan.cycles_per_pattern), 0);
+  for (int c : plan.strobe_cycles) strobe_mask[static_cast<std::size_t>(c)] = 1;
+
+  // Initial static partition: kDiffLanes consecutive faults per shard.
+  std::vector<std::unique_ptr<DifferentialShard>> shards;
+  {
+    std::vector<CarriedLane> lanes;
+    for (std::size_t k = 0; k < req.faults.size(); ++k) {
+      CarriedLane ln;
+      ln.fault = static_cast<std::uint32_t>(k);
+      lanes.push_back(std::move(ln));
+      if (lanes.size() == kDiffLanes || k + 1 == req.faults.size()) {
+        shards.push_back(std::make_unique<DifferentialShard>(
+            req, *prog, golden, known_full, strobe_mask, std::move(lanes), 0,
+            check, result));
+        lanes.clear();
+      }
+    }
+  }
+
+  // Round/compaction loop. Rounds double in length (1, 2, 4, ... patterns);
+  // after each round the still-live lanes are counted and, once they fit in
+  // fewer shards, re-packed — deterministically, in fault-index order with
+  // X-carrying lanes segregated last so fully two-valued shards stay on the
+  // fast path. Lane independence makes the repack invisible to results:
+  // each lane's carried state is exactly its divergent captured-DFF bits.
+  // Shards shrink at wildly different rates, so every round schedules one
+  // shard per steal-able chunk (scheduling only; results are identical).
+  exec::Options exec_opts = req.exec;
+  exec_opts.max_chunk_units = 1;
+  exec::Pool pool(exec_opts);
+  const bool obs_on = obs::Enabled();
+  if (obs_on) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter("fault_sim.diff.shards").Add(shards.size());
+    reg.GetCounter("fault_sim.diff.lanes").Add(req.faults.size());
+  }
+  guard::RunStatus campaign;
+  campaign.total_units = req.faults.size();
+  int p = 0;
+  int round_len = 1;
+  int round = 0;
+  bool aborted = false;
+  while (p < num_patterns && !shards.empty()) {
+    const int p_end =
+        num_patterns - p > round_len ? p + round_len : num_patterns;
+    if (round_len < (1 << 20)) round_len *= 2;
+    ++round;
+    const guard::RunStatus st = pool.ParallelForGuarded(
+        shards.size(),
+        [&](std::size_t s) {
+          guard::MaybeFail("fault_sim.diff.shard");
+          DifferentialShard& shard = *shards[s];
+          // A round that threw mid-flight has advanced an unknown prefix of
+          // the shard's state; a retry would double-step it, so it stays
+          // quarantined instead (its undecided lanes keep kNotRun).
+          PFD_CHECK_MSG(!shard.poisoned(),
+                        "differential shard poisoned by an earlier failure");
+          shard.set_poisoned(true);
+          obs::Span shard_span("fault_sim.diff.shard");
+          const double t0 = obs_on ? obs::NowMicros() : 0.0;
+          shard.Run(p, p_end);
+          shard.set_poisoned(false);
+          if (obs_on) {
+            static obs::Histogram& hist =
+                obs::Registry::Global().GetHistogram(
+                    "fault_sim.diff.shard_us");
+            hist.RecordDouble(obs::NowMicros() - t0);
+          }
+        },
+        &check);
+    if (st.tripped()) {
+      campaign.MergeFrom(st, "round " + std::to_string(round));
+      aborted = true;  // undecided lanes stay kNotRun
+      break;
+    }
+    if (!st.ok()) {
+      campaign.MergeFrom(st, "round " + std::to_string(round));
+      // Quarantine every unit that failed this round: shards that threw
+      // mid-Run marked themselves poisoned, but a unit that failed before
+      // entering Run (both attempts) did not — without this its lanes would
+      // be finalized as undetected despite never having been simulated.
+      for (const guard::FailedUnit& fu : st.failed_units) {
+        shards[fu.index]->set_poisoned(true);
+      }
+      std::erase_if(shards, [](const std::unique_ptr<DifferentialShard>& sh) {
+        return sh->poisoned();
+      });
+    }
+    p = p_end;
+    if (p >= num_patterns) break;
+    std::size_t live = 0;
+    for (const auto& sh : shards) live += sh->live_count();
+    const std::size_t want = (live + kDiffLanes - 1) / kDiffLanes;
+    if (want < shards.size()) {
+      const std::uint64_t t_next = static_cast<std::uint64_t>(p) *
+                                   static_cast<std::uint64_t>(
+                                       plan.cycles_per_pattern);
+      std::vector<CarriedLane> lanes;
+      lanes.reserve(live);
+      for (const auto& sh : shards) sh->ExtractLanes(t_next, &lanes);
+      std::sort(lanes.begin(), lanes.end(),
+                [](const CarriedLane& a, const CarriedLane& b) {
+                  if (a.has_x != b.has_x) return !a.has_x;
+                  return a.fault < b.fault;
+                });
+      shards.clear();
+      std::vector<CarriedLane> chunk;
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        chunk.push_back(std::move(lanes[k]));
+        if (chunk.size() == kDiffLanes || k + 1 == lanes.size()) {
+          shards.push_back(std::make_unique<DifferentialShard>(
+              req, *prog, golden, known_full, strobe_mask, std::move(chunk),
+              t_next, check, result));
+          chunk.clear();
+        }
+      }
+      if (obs_on) {
+        obs::Registry& reg = obs::Registry::Global();
+        reg.GetCounter("fault_sim.diff.compactions").Add(1);
+        reg.GetCounter("fault_sim.diff.shards").Add(shards.size());
+      }
+    }
+  }
+  if (!aborted) {
+    for (const auto& sh : shards) sh->FinalizeUndecided();
+  }
+  for (std::size_t k = 0; k < req.faults.size(); ++k) {
+    if (result.status[k] != FaultStatus::kNotRun) {
+      campaign.completed.push_back(k);
+    }
+  }
+  if (obs_on) {
+    obs::Registry& reg = obs::Registry::Global();
+    std::uint64_t detected = 0;
+    std::uint64_t potential = 0;
+    for (const FaultStatus s : result.status) {
+      detected += s == FaultStatus::kDetected ? 1 : 0;
+      potential += s == FaultStatus::kPotentiallyDetected ? 1 : 0;
+    }
+    reg.GetCounter("fault_sim.diff.detected").Add(detected);
+    reg.GetCounter("fault_sim.diff.potential").Add(potential);
+  }
+  result.run_status = std::move(campaign);
+  return result;
+}
+
 }  // namespace
 
 FaultSimResult RunFaultSim(const FaultSimRequest& request) {
-  CheckPlan(request.nl, request.plan);
+  CheckPlan(request.nl, request.stimulus.plan);
+  // Resolve the shared artefacts once, on the calling thread: shards only
+  // ever read the compiled program, and a caller-provided program must
+  // actually match the netlist it will simulate.
+  std::shared_ptr<const logicsim::CompiledNetlist> prog = request.compiled;
+  if (prog != nullptr) {
+    PFD_CHECK_MSG(prog->structural_hash() == request.nl.StructuralHash(),
+                  "compiled program does not match the netlist");
+  } else {
+    prog = logicsim::CompiledNetlist::Compile(request.nl);
+  }
+  logicsim::GoldenTraceCache& cache =
+      request.golden_cache != nullptr ? *request.golden_cache
+                                      : logicsim::GoldenTraceCache::Global();
   guard::Checker local(request.limits);
   guard::Checker& check =
       request.checker != nullptr ? *request.checker : local;
-  return request.engine == FaultSimEngine::kParallel
-             ? RunParallel(request, check)
-             : RunSerial(request, check);
+  switch (request.engine) {
+    case FaultSimEngine::kParallel:
+      return RunParallel(request, prog, check);
+    case FaultSimEngine::kSerial:
+      return RunSerial(request, prog, cache, check);
+    case FaultSimEngine::kDifferential:
+      return RunDifferential(request, prog, cache, check);
+  }
+  throw Error("unknown fault engine");
 }
 
 }  // namespace pfd::fault

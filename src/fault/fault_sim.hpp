@@ -1,19 +1,34 @@
 // Stuck-at fault simulation engines behind one request-based entry point.
 //
-// RunFaultSim(request) owns all fault-simulation work. Two engines with
+// RunFaultSim(request) owns all fault-simulation work. Three engines with
 // identical semantics select via FaultSimRequest::engine:
 //   * kParallel — 64-lane parallel-fault simulation: lane 0 is the
 //     fault-free machine and up to 63 faults ride along in the other lanes,
-//     giving a ~60x speedup. This is the production engine the Section-5
-//     pipeline uses for its TPGR pre-pass.
+//     giving a ~60x speedup.
 //   * kSerial — one faulty machine at a time; the straightforward reference
 //     implementation used for validation.
+//   * kDifferential — 64 faults per shard diffed against the cached golden
+//     trace: each cycle only the dirty cone (fault sites plus fan-out of
+//     state that diverged from the fault-free machine) is evaluated, and a
+//     fault lane retires the pattern it is hard-detected, so late patterns
+//     simulate only still-live faults. The production engine; results are
+//     bit-identical to the other two (see DESIGN.md for the argument).
 //
-// Both shard across worker threads (exec::Options): the parallel engine
-// splits the fault list into 63-fault lane groups and the serial engine
-// fans out single faults; every shard owns its logicsim::Simulator and its
-// own TPGR stream seeded identically, and writes disjoint result slots, so
-// results are bit-identical for any thread count.
+// All engines shard across worker threads (exec::Options): every shard owns
+// its simulator state, derives stimulus deterministically, and writes
+// disjoint result slots, so results are bit-identical for any thread count.
+//
+// The request is built around shared artefacts:
+//   * StimulusSpec bundles the {TestPlan, TPGR seed, pattern count} triple
+//     that every stimulus-driven engine (fault sim, test-set power) needs —
+//     one spec, dealt to each engine, instead of three copies drifting.
+//   * FaultSimRequest::compiled optionally carries a pre-compiled
+//     logicsim::CompiledNetlist so callers running several campaigns over
+//     one design (the pipeline, grading, benches) compile once; absent, the
+//     program is resolved once per call (memoized process-wide).
+//   * FaultSimRequest::golden_cache selects the golden-trace cache the
+//     serial and differential engines memoize their fault-free passes in;
+//     nullptr means the process-wide cache.
 //
 // Robustness (pfd::guard): shards run under exec::ParallelForGuarded — a
 // throwing shard is quarantined and retried once instead of aborting the
@@ -22,9 +37,11 @@
 // Faults whose shard never completed keep FaultStatus::kNotRun and the
 // returned FaultSimResult::run_status says why (deadline, cancellation,
 // cycle budget, or per-unit failures) plus which shards completed.
-// Failpoints: "fault_sim.shard" (parallel), "fault_sim.serial_fault".
+// Failpoints: "fault_sim.shard" (parallel), "fault_sim.serial_fault",
+// "fault_sim.diff.shard" (differential), plus the planted-bug flag
+// failpoints in kFaultSimMutationFailpoints.
 //
-// Both reproduce the "potentially detected" semantics of the GENTEST
+// All engines reproduce the "potentially detected" semantics of the GENTEST
 // simulator the paper used: if the fault-free response is known but the
 // faulty response is X at a strobe point, the fault is only *potentially*
 // detected (the real hardware would show whatever the register held at
@@ -33,7 +50,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "exec/exec.hpp"
@@ -41,6 +60,10 @@
 #include "guard/guard.hpp"
 #include "logicsim/simulator.hpp"
 #include "netlist/netlist.hpp"
+
+namespace pfd::logicsim {
+class GoldenTraceCache;
+}  // namespace pfd::logicsim
 
 namespace pfd::fault {
 
@@ -64,6 +87,16 @@ struct TestPlan {
   // Primary inputs held at a constant value for the whole run (e.g. a DFT
   // test_mode pin or observation-session selects).
   std::vector<std::pair<netlist::GateId, Trit>> pinned;
+};
+
+// The complete stimulus contract of one campaign: which plan drives the
+// machine, which TPGR stream deals the operands, and for how many patterns.
+// Shared verbatim between the fault engines and the test-set power engine
+// so one campaign's stimulus can never drift apart across engines.
+struct StimulusSpec {
+  const TestPlan& plan;
+  std::uint32_t tpgr_seed = 0;
+  int num_patterns = 0;
 };
 
 enum class FaultStatus : std::uint8_t {
@@ -93,29 +126,70 @@ void InjectFault(logicsim::Simulator& sim, const StuckFault& f,
                  std::uint64_t lane_mask);
 
 enum class FaultSimEngine : std::uint8_t {
-  kParallel,  // 63 faults per 64-lane shard (production)
-  kSerial,    // one faulty machine per shard (reference)
+  kParallel,      // 63 faults + golden lane per 64-lane shard
+  kSerial,        // one faulty machine per shard (reference)
+  kDifferential,  // 64 faults per shard, golden-diffed dirty cone
+};
+
+// Engine <-> CLI name mapping ("parallel" / "serial" / "differential").
+// ParseFaultSimEngine throws pfd::Error on anything else.
+const char* FaultSimEngineName(FaultSimEngine e);
+FaultSimEngine ParseFaultSimEngine(std::string_view name);
+
+// Planted differential-engine bugs behind guard "flag" failpoints, polled
+// once per shard; the xcheck fault harness must catch every one of them
+// (same discipline as logicsim::kKernelMutationFailpoints).
+inline constexpr const char* kFaultSimMutationFailpoints[] = {
+    "fault_sim.diff.stale_cone",      // readers of the first divergent
+                                      // instruction each cycle not seeded
+                                      // (sparse cone walk; forces it)
+    "fault_sim.diff.premature_drop",  // lanes retired on a potential
+                                      // (X) mismatch, not only a hard one
+    "fault_sim.diff.dense_skip_observe",  // dense sweeps skip the first
+                                          // observe net's strobe (forces
+                                          // the dense path)
 };
 
 // A complete fault-simulation request. Aggregate-initialize in call order:
-//   RunFaultSim({nl, plan, faults, seed, patterns});
+//   RunFaultSim({nl, {plan, seed, patterns}, faults});
+//   RunFaultSim({nl, {plan, seed, patterns}, faults,
+//                FaultSimEngine::kDifferential});
 // `exec` controls only how the shards are scheduled; the result is
-// bit-identical for every thread count (given no guard trips).
+// bit-identical for every thread count and engine (given no guard trips).
 struct FaultSimRequest {
   const netlist::Netlist& nl;
-  const TestPlan& plan;
+  StimulusSpec stimulus;
   std::span<const StuckFault> faults;
-  std::uint32_t tpgr_seed = 0;
-  int num_patterns = 0;
   FaultSimEngine engine = FaultSimEngine::kParallel;
-  exec::Options exec;
+  exec::Options exec = {};
   // Cooperative limits for this run; ignored when `checker` is set.
-  guard::Limits limits;
+  guard::Limits limits = {};
   // Optional external checker, for callers (the pipeline) that pool one
   // deadline/cycle budget across several engine runs. Not owned.
   guard::Checker* checker = nullptr;
+  // Optional pre-compiled program for `nl` (see header comment); when
+  // nullptr the program is resolved once per call.
+  std::shared_ptr<const logicsim::CompiledNetlist> compiled = {};
+  // Golden-trace cache for the serial/differential golden passes; nullptr
+  // selects logicsim::GoldenTraceCache::Global(). Not owned.
+  logicsim::GoldenTraceCache* golden_cache = nullptr;
 };
 
 FaultSimResult RunFaultSim(const FaultSimRequest& request);
+
+// PR-2-style transition shim for the pre-StimulusSpec positional shape.
+// New code aggregate-initializes FaultSimRequest directly.
+[[deprecated(
+    "aggregate-initialize FaultSimRequest with a StimulusSpec: "
+    "RunFaultSim({nl, {plan, seed, patterns}, faults, engine})")]]
+inline FaultSimResult RunFaultSim(const netlist::Netlist& nl,
+                                  const TestPlan& plan,
+                                  std::span<const StuckFault> faults,
+                                  std::uint32_t tpgr_seed, int num_patterns,
+                                  FaultSimEngine engine =
+                                      FaultSimEngine::kParallel) {
+  return RunFaultSim(
+      {nl, {plan, tpgr_seed, num_patterns}, faults, engine});
+}
 
 }  // namespace pfd::fault

@@ -1,8 +1,11 @@
 #include "logicsim/compiled.hpp"
 
 #include <algorithm>
+#include <mutex>
+#include <unordered_map>
 
 #include "base/error.hpp"
+#include "obs/obs.hpp"
 
 namespace pfd::logicsim {
 
@@ -10,6 +13,23 @@ using netlist::GateId;
 using netlist::GateKind;
 
 namespace {
+
+// Process-wide Compile() memoization, keyed by StructuralHash (the same
+// key discipline as the golden-trace cache). FIFO-capped: a long-lived
+// process cycling many generated netlists (the xcheck sweeps) must not
+// accumulate programs without bound.
+struct CompileCache {
+  static constexpr std::size_t kMaxEntries = 64;
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CompiledNetlist>>
+      entries;
+  std::vector<std::uint64_t> insertion_order;
+};
+
+CompileCache& GlobalCompileCache() {
+  static CompileCache* cache = new CompileCache();  // leaked: process-long
+  return *cache;
+}
 
 Op Specialize(GateKind kind, std::size_t arity) {
   switch (kind) {
@@ -32,11 +52,28 @@ Op Specialize(GateKind kind, std::size_t arity) {
 
 std::shared_ptr<const CompiledNetlist> CompiledNetlist::Compile(
     const netlist::Netlist& nl) {
+  const std::uint64_t hash = nl.StructuralHash();
+  CompileCache& cache = GlobalCompileCache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto it = cache.entries.find(hash);
+    if (it != cache.entries.end()) {
+      if (obs::Enabled()) {
+        obs::Registry::Global().GetCounter("logicsim.compile_cache.hits")
+            .Add(1);
+      }
+      return it->second;
+    }
+  }
+  if (obs::Enabled()) {
+    obs::Registry::Global().GetCounter("logicsim.compile_cache.misses").Add(1);
+  }
+
   nl.Validate();
   auto prog = std::shared_ptr<CompiledNetlist>(new CompiledNetlist());
   const std::size_t n = nl.size();
   prog->num_gates_ = n;
-  prog->structural_hash_ = nl.StructuralHash();
+  prog->structural_hash_ = hash;
 
   prog->kind_.resize(n);
   prog->is_comb_.resize(n);
@@ -88,6 +125,8 @@ std::shared_ptr<const CompiledNetlist> CompiledNetlist::Compile(
   prog->out_.reserve(num_comb);
   prog->fanin_begin_.reserve(num_comb);
   prog->fanin_count_.reserve(num_comb);
+  prog->instr_level_.reserve(num_comb);
+  prog->instr_of_gate_.assign(n, kNoInstr);
   prog->levels_.resize(max_level);  // levels 1..max_level
   std::uint32_t cursor = 0;
   for (std::uint32_t lvl = 1; lvl <= max_level; ++lvl) {
@@ -102,6 +141,8 @@ std::shared_ptr<const CompiledNetlist> CompiledNetlist::Compile(
           static_cast<std::uint32_t>(prog->fanins_.size()));
       prog->fanin_count_.push_back(static_cast<std::uint32_t>(fanins.size()));
       prog->fanins_.insert(prog->fanins_.end(), fanins.begin(), fanins.end());
+      prog->instr_level_.push_back(lvl - 1);
+      prog->instr_of_gate_[g] = cursor;
       ++cursor;
     }
     out_level.end = cursor;
@@ -132,7 +173,26 @@ std::shared_ptr<const CompiledNetlist> CompiledNetlist::Compile(
     }
   }
 
-  return prog;
+  // Publish under first-insert-wins semantics: racing compilers of the same
+  // structure produced identical programs, so everyone converges on the
+  // resident pointer and later constructions share it.
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto [it, inserted] = cache.entries.emplace(hash, prog);
+    if (inserted) {
+      cache.insertion_order.push_back(hash);
+      if (cache.insertion_order.size() > CompileCache::kMaxEntries) {
+        cache.entries.erase(cache.insertion_order.front());
+        cache.insertion_order.erase(cache.insertion_order.begin());
+        if (obs::Enabled()) {
+          obs::Registry::Global()
+              .GetCounter("logicsim.compile_cache.evictions")
+              .Add(1);
+        }
+      }
+    }
+    return it->second;
+  }
 }
 
 }  // namespace pfd::logicsim

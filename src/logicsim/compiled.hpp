@@ -28,6 +28,14 @@
 // A CompiledNetlist is immutable after Compile and shared by every copy of
 // the owning Simulator (shared_ptr<const>), so copying a warmed simulator —
 // the Monte Carlo power engine does this per batch — shares one program.
+//
+// Compile() memoizes process-wide by Netlist::StructuralHash(): the fault
+// engines construct one Simulator per shard (the serial engine one per
+// fault), and before the cache each construction re-levelized the same
+// graph. The hash covers everything Compile reads (gate count, kinds,
+// module tags, fanin arities and ids), so structurally identical netlists
+// share one immutable program; the usual 64-bit-collision caveat applies
+// and is accepted, matching the golden-trace cache's use of the same hash.
 #pragma once
 
 #include <cstdint>
@@ -66,8 +74,9 @@ class CompiledNetlist {
     std::uint32_t end = 0;
   };
 
-  // Validates and compiles. The returned program is tied to the structure
-  // of `nl` at compile time; it holds no reference to the Netlist itself.
+  // Validates and compiles, memoized process-wide by StructuralHash (see
+  // header comment). The returned program is tied to the structure of `nl`
+  // at compile time; it holds no reference to the Netlist itself.
   static std::shared_ptr<const CompiledNetlist> Compile(
       const netlist::Netlist& nl);
 
@@ -86,6 +95,18 @@ class CompiledNetlist {
     return fanin_count_;
   }
   const std::vector<netlist::GateId>& fanins() const { return fanins_; }
+
+  // Level of each instruction as an index into levels() (i.e. level-1 in
+  // the 1-based levelization). The cone walker buckets dirty instructions
+  // by this.
+  const std::vector<std::uint32_t>& instr_level() const {
+    return instr_level_;
+  }
+  // Instruction index writing gate g, or kNoInstr for sources/constants.
+  static constexpr std::uint32_t kNoInstr = ~0u;
+  const std::vector<std::uint32_t>& instr_of_gate() const {
+    return instr_of_gate_;
+  }
 
   // Cached id lists (creation order, matching Netlist::InputIds/DffIds).
   const std::vector<netlist::GateId>& input_ids() const { return input_ids_; }
@@ -124,6 +145,8 @@ class CompiledNetlist {
   std::vector<std::uint32_t> fanin_begin_;
   std::vector<std::uint32_t> fanin_count_;
   std::vector<netlist::GateId> fanins_;
+  std::vector<std::uint32_t> instr_level_;
+  std::vector<std::uint32_t> instr_of_gate_;
   std::vector<netlist::GateId> input_ids_;
   std::vector<netlist::GateId> dff_ids_;
   std::vector<netlist::GateId> dff_d_;
@@ -133,6 +156,83 @@ class CompiledNetlist {
   std::vector<netlist::GateKind> kind_;
   std::vector<std::uint8_t> is_comb_;
   std::uint64_t structural_hash_ = 0;
+};
+
+// Cone-restricted step entry over a compiled program: a reusable dirty
+// worklist that visits only the instructions inside the fan-out cone of a
+// set of seed gates, in level order. The differential fault engine seeds it
+// at the fault sites (and at sequential state that diverged from the golden
+// machine) each cycle, evaluates the drained instructions against the
+// cached golden planes, and lets divergence auto-extend the cone:
+//
+//   walker.SeedReadersOf(diverged_source);     // phase A: sources
+//   walker.SeedInstr(forced_instr);            // fault sites
+//   walker.Drain([&](std::uint32_t i) {        // level-ascending sweep
+//     ... evaluate instruction i ...
+//     return output_diverged_from_golden;      // true -> readers seeded
+//   });
+//
+// Correctness of the restriction relies on levelization: a reader of a
+// combinational output always sits at a strictly higher level, so Drain
+// never revisits a processed bucket, and a gate outside the cone (no
+// divergent fanin, no force) provably equals the golden machine.
+// Not thread-safe; one walker per shard.
+class ConeWalker {
+ public:
+  explicit ConeWalker(const CompiledNetlist& prog)
+      : prog_(&prog),
+        dirty_(prog.num_instructions(), 0),
+        buckets_(prog.levels().size()) {}
+
+  // Marks every instruction reading gate g's output.
+  void SeedReadersOf(netlist::GateId g) {
+    const auto& begin = prog_->fanout_begin();
+    const auto& instrs = prog_->fanout_instrs();
+    for (std::uint32_t k = begin[g]; k < begin[g + 1]; ++k) {
+      SeedInstr(instrs[k]);
+    }
+  }
+
+  void SeedInstr(std::uint32_t i) {
+    if (dirty_[i]) return;
+    dirty_[i] = 1;
+    buckets_[prog_->instr_level()[i]].push_back(i);
+    ++pending_;
+  }
+
+  bool pending() const { return pending_ != 0; }
+
+  // Instructions processed by the last Drain (the cycle's cone size).
+  std::uint64_t drained() const { return drained_; }
+
+  // Processes every dirty instruction in ascending level order; fn(i)
+  // returns true when instruction i's output diverged, which seeds its
+  // readers (all at strictly higher levels). Leaves the walker empty.
+  template <typename Fn>
+  void Drain(Fn&& fn) {
+    drained_ = 0;
+    for (std::size_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+      std::vector<std::uint32_t>& bucket = buckets_[lvl];
+      // SeedInstr appends only to higher-level buckets during the sweep,
+      // so indexing (not iterators) is required only for hygiene here.
+      for (std::size_t k = 0; k < bucket.size(); ++k) {
+        const std::uint32_t i = bucket[k];
+        dirty_[i] = 0;
+        --pending_;
+        ++drained_;
+        if (fn(i)) SeedReadersOf(prog_->out()[i]);
+      }
+      bucket.clear();
+      if (pending_ == 0) break;
+    }
+  }
+
+ private:
+  const CompiledNetlist* prog_;
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::vector<std::uint32_t>> buckets_;  // per level
+  std::size_t pending_ = 0;
+  std::uint64_t drained_ = 0;
 };
 
 }  // namespace pfd::logicsim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "guard/guard.hpp"
 #include "obs/flight.hpp"
@@ -12,7 +13,14 @@ using netlist::GateId;
 using netlist::GateKind;
 
 Simulator::Simulator(const netlist::Netlist& nl)
-    : nl_(&nl), prog_(CompiledNetlist::Compile(nl)) {
+    : Simulator(nl, CompiledNetlist::Compile(nl)) {}
+
+Simulator::Simulator(const netlist::Netlist& nl,
+                     std::shared_ptr<const CompiledNetlist> program)
+    : nl_(&nl), prog_(std::move(program)) {
+  PFD_CHECK_MSG(prog_ != nullptr, "null compiled program");
+  PFD_CHECK_MSG(prog_->structural_hash() == nl.StructuralHash(),
+                "compiled program does not match the netlist");
   obs::Registry& reg = obs::Registry::Global();
   obs_cycles_ = &reg.GetCounter("logicsim.cycles");
   obs_gate_evals_ = &reg.GetCounter("logicsim.gate_evals");
@@ -573,6 +581,18 @@ void Simulator::Step() {
   }
 
   ++cycles_;
+}
+
+void Simulator::PackLane0(std::uint64_t* val_bits,
+                          std::uint64_t* known_bits) const {
+  const std::size_t n = val_.size();
+  const std::size_t words = (n + 63) / 64;
+  std::fill(val_bits, val_bits + words, 0);
+  std::fill(known_bits, known_bits + words, 0);
+  for (std::size_t g = 0; g < n; ++g) {
+    val_bits[g >> 6] |= (val_[g] & 1ULL) << (g & 63);
+    known_bits[g >> 6] |= (known_[g] & 1ULL) << (g & 63);
+  }
 }
 
 void Simulator::ForceOutput(GateId g, Trit value, std::uint64_t lane_mask) {

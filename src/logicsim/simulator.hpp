@@ -102,6 +102,13 @@ inline constexpr const char* kKernelMutationFailpoints[] = {
 class Simulator {
  public:
   explicit Simulator(const netlist::Netlist& nl);
+  // Construct on a pre-compiled program for `nl` (skips Compile; callers
+  // constructing many simulators over one netlist — the fault engines —
+  // resolve the program once and share it). `program` must have been
+  // compiled from a netlist structurally identical to `nl` (checked via
+  // StructuralHash).
+  Simulator(const netlist::Netlist& nl,
+            std::shared_ptr<const CompiledNetlist> program);
 
   const netlist::Netlist& nl() const { return *nl_; }
   // The shared compiled program this simulator executes.
@@ -152,6 +159,13 @@ class Simulator {
   Trit ValueLane(netlist::GateId g, int lane) const {
     return GetLane(Value(g), lane);
   }
+
+  // Packs lane 0 of every gate's settled val/known planes into bit arrays
+  // (bit g of word g/64; both arrays hold (num_gates+63)/64 words, zeroed
+  // here). This is the per-cycle golden snapshot the differential fault
+  // engine records: the golden machine is lane-uniform, so one bit per gate
+  // per plane captures the whole state.
+  void PackLane0(std::uint64_t* val_bits, std::uint64_t* known_bits) const;
 
   // --- stuck-at forcing ----------------------------------------------------
   // Forces lanes of gate g's *output*: lanes in mask read as `value`.

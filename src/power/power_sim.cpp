@@ -251,15 +251,16 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
 }
 
 PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
-                                const fault::TestPlan& plan,
+                                const fault::StimulusSpec& stimulus,
                                 const PowerModel& model,
                                 std::span<const fault::StuckFault> faults,
                                 const TestSetPowerConfig& config) {
-  PFD_CHECK_MSG(config.patterns > 0, "empty test set");
+  const fault::TestPlan& plan = stimulus.plan;
+  PFD_CHECK_MSG(stimulus.num_patterns > 0, "empty test set");
   obs::Span span("power.test_set",
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(faults.size())},
-                      {"patterns", config.patterns}}));
+                      {"patterns", stimulus.num_patterns}}));
   guard::Checker local_check(config.limits);
   guard::Checker& check =
       config.checker != nullptr ? *config.checker : local_check;
@@ -270,7 +271,7 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
   sim.EnableToggleCounting(true);
   sim.EnableUnitDelay(config.unit_delay);
 
-  tpg::Tpgr tpgr(config.seed);
+  tpg::Tpgr tpgr(stimulus.tpgr_seed);
   const std::size_t n_ops = plan.operand_bits.size();
   std::vector<std::vector<std::uint32_t>> lane_values(
       n_ops, std::vector<std::uint32_t>(64));
@@ -285,7 +286,7 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
   // once against the same operands (the reset cycle at each batch start
   // re-initialises the machine). A batch that still fails is skipped and
   // listed; its patterns are excluded from the cycle normalisation.
-  const int batches = (config.patterns + 63) / 64;
+  const int batches = (stimulus.num_patterns + 63) / 64;
   PowerResult result;
   result.run_status.total_units = static_cast<std::size_t>(batches);
   const bool obs_on = obs::Enabled();

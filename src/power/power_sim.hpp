@@ -10,10 +10,10 @@
 //     exec::ShardSeed and starts from one shared warmed-up machine state,
 //     and per-batch statistics fold in batch order via RunningStat::Merge —
 //     so the estimate is bit-identical for every thread count.
-//   * MeasureTestSetPower — power over a fixed TPGR test set
-//     (TestSetPowerConfig: seed, length, timing model; Table 3 uses three
-//     1200-pattern sets). Serial by construction: the TPGR stream is one
-//     sequential whole.
+//   * MeasureTestSetPower — power over a fixed TPGR test set, described by
+//     the same fault::StimulusSpec the fault engines consume (Table 3 uses
+//     three 1200-pattern sets). Serial by construction: the TPGR stream is
+//     one sequential whole.
 //
 // Robustness (pfd::guard): both modes honour guard::Limits (or an external
 // shared checker) at batch boundaries and always return a PowerResult — a
@@ -88,19 +88,21 @@ inline PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
   return EstimatePowerMonteCarlo(nl, plan, model, {}, config);
 }
 
-// A fixed pseudorandom test set: TPGR seed, length, timing model.
+// Measurement knobs for a fixed-test-set run. The test set itself — plan,
+// TPGR seed, pattern count — arrives as a fault::StimulusSpec, the same
+// bundle the fault engines consume, so one campaign's stimulus is built
+// once and dealt to both detection and power measurement without drifting.
 struct TestSetPowerConfig {
-  std::uint32_t seed = tpg::kTestSetSeed1;
-  int patterns = 1200;
   bool unit_delay = false;
   // Cooperative limits for this run; ignored when `checker` is set.
   guard::Limits limits;
   guard::Checker* checker = nullptr;  // not owned
 };
 
-// Average power over the fixed test set `config` describes.
+// Average power over the fixed test set `stimulus` describes (Table 3 uses
+// three 1200-pattern sets seeded with tpg::kTestSetSeed1..3).
 PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
-                                const fault::TestPlan& plan,
+                                const fault::StimulusSpec& stimulus,
                                 const PowerModel& model,
                                 std::span<const fault::StuckFault> faults,
                                 const TestSetPowerConfig& config);

@@ -1,0 +1,467 @@
+#include "xcheck/fault_xcheck.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "base/error.hpp"
+#include "guard/guard.hpp"
+#include "logicsim/golden_cache.hpp"
+#include "netlist/netlist.hpp"
+#include "obs/obs.hpp"
+
+namespace pfd::xcheck {
+
+using netlist::GateId;
+using netlist::GateKind;
+
+fault::TestPlan BuildTestPlan(const FaultCase& fc) {
+  fault::TestPlan plan;
+  if (fc.reset_node != FaultCase::kNoNode) plan.reset = fc.reset_node;
+  for (const auto& op : fc.operand_bits) {
+    plan.operand_bits.emplace_back(op.begin(), op.end());
+  }
+  plan.cycles_per_pattern = fc.cycles_per_pattern;
+  plan.strobe_cycles = fc.strobe_cycles;
+  plan.observe.assign(fc.observe.begin(), fc.observe.end());
+  return plan;
+}
+
+namespace {
+
+std::string DescribeFault(const netlist::Netlist& nl,
+                          const fault::StuckFault& f, std::size_t index) {
+  return "fault #" + std::to_string(index) + " (" + fault::FaultName(nl, f) +
+         ")";
+}
+
+// One engine run of the campaign. Every engine shares one private golden
+// cache (the serial and differential passes would otherwise populate the
+// process-wide cache with thousands of throwaway fuzz circuits) and two
+// worker threads, so the shard fan-out and lane compaction paths stay hot.
+fault::FaultSimResult RunEngine(const netlist::Netlist& nl,
+                                const fault::TestPlan& plan,
+                                const FaultCase& fc,
+                                fault::FaultSimEngine engine,
+                                logicsim::GoldenTraceCache& cache) {
+  fault::FaultSimRequest req{nl,
+                             {plan, fc.tpgr_seed, fc.num_patterns},
+                             fc.faults,
+                             engine};
+  req.exec.threads = 2;
+  req.golden_cache = &cache;
+  return fault::RunFaultSim(req);
+}
+
+}  // namespace
+
+CaseResult RunFaultCase(const FaultCase& fc) {
+  Scenario shell;
+  shell.nodes = fc.nodes;
+  const netlist::Netlist nl = BuildNetlist(shell);
+  nl.Validate();
+  const fault::TestPlan plan = BuildTestPlan(fc);
+
+  logicsim::GoldenTraceCache cache;
+  const fault::FaultSimResult ref =
+      RunEngine(nl, plan, fc, fault::FaultSimEngine::kSerial, cache);
+  if (!ref.run_status.ok()) {
+    throw Error("fault xcheck reference run was not clean: " +
+                ref.run_status.Describe());
+  }
+
+  for (const fault::FaultSimEngine engine :
+       {fault::FaultSimEngine::kParallel,
+        fault::FaultSimEngine::kDifferential}) {
+    const char* name = fault::FaultSimEngineName(engine);
+    const fault::FaultSimResult got = RunEngine(nl, plan, fc, engine, cache);
+    if (!got.run_status.ok()) {
+      return {false, std::string(name) + " run was not clean: " +
+                         got.run_status.Describe()};
+    }
+    if (got.patterns != ref.patterns) {
+      return {false, std::string(name) + " pattern-count miscompare: got " +
+                         std::to_string(got.patterns) + ", serial ran " +
+                         std::to_string(ref.patterns)};
+    }
+    for (std::size_t i = 0; i < fc.faults.size(); ++i) {
+      if (got.status[i] != ref.status[i]) {
+        return {false, std::string(name) + " status miscompare on " +
+                           DescribeFault(nl, fc.faults[i], i) + ": got " +
+                           fault::FaultStatusName(got.status[i]) +
+                           ", serial says " +
+                           fault::FaultStatusName(ref.status[i])};
+      }
+      if (got.first_detect_pattern[i] != ref.first_detect_pattern[i]) {
+        return {false,
+                std::string(name) + " first-detect miscompare on " +
+                    DescribeFault(nl, fc.faults[i], i) + ": got pattern " +
+                    std::to_string(got.first_detect_pattern[i]) +
+                    ", serial says " +
+                    std::to_string(ref.first_detect_pattern[i])};
+      }
+    }
+  }
+  return {};
+}
+
+FaultCase GenerateFaultCase(Rng& rng, const GenConfig& cfg) {
+  FaultCase fc;
+  {
+    Scenario s = GenerateScenario(rng, cfg);
+    fc.nodes = std::move(s.nodes);
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(fc.nodes.size());
+
+  std::vector<std::uint32_t> inputs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (fc.nodes[i].kind == GateKind::kInput) inputs.push_back(i);
+  }
+
+  // Carve the inputs into a reset pin (sometimes), TPGR operands of mixed
+  // widths, and the occasional deliberately undriven input (held at
+  // power-up X for the whole campaign — the engines must agree on X
+  // propagation, not just on clean two-valued runs).
+  std::size_t next_input = 0;
+  if (inputs.size() >= 2 && rng.Chance(0.35)) {
+    fc.reset_node = inputs[0];
+    next_input = 1;
+  }
+  while (next_input < inputs.size()) {
+    if (rng.Chance(0.10)) {  // leave this input undriven
+      ++next_input;
+      continue;
+    }
+    const std::size_t width = std::min<std::size_t>(
+        1 + rng.Below(4), inputs.size() - next_input);
+    fc.operand_bits.emplace_back(inputs.begin() + next_input,
+                                 inputs.begin() + next_input + width);
+    next_input += width;
+  }
+
+  fc.cycles_per_pattern = 1 + static_cast<int>(rng.Below(5));
+  for (int c = 0; c < fc.cycles_per_pattern; ++c) {
+    if (rng.Chance(0.4)) fc.strobe_cycles.push_back(c);
+  }
+  if (fc.strobe_cycles.empty()) {
+    fc.strobe_cycles.push_back(
+        static_cast<int>(rng.Below(fc.cycles_per_pattern)));
+  }
+
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    if (rng.Chance(0.25)) fc.observe.push_back(i);
+  }
+  fc.observe.push_back(n - 1);  // the output port is always watched
+
+  // Candidate faults: stem stuck-at-0/1 on every node (constants included —
+  // a constant-stem force is inert in every engine, and staying inert in
+  // *all* of them is part of the contract), plus branch faults on every
+  // fanin pin.
+  std::vector<fault::StuckFault> candidates;
+  for (std::uint32_t g = 0; g < n; ++g) {
+    const std::uint32_t arity =
+        static_cast<std::uint32_t>(fc.nodes[g].fanins.size());
+    for (std::uint32_t pin = 0; pin <= arity; ++pin) {
+      candidates.push_back({g, pin, Trit::kZero});
+      candidates.push_back({g, pin, Trit::kOne});
+    }
+  }
+  // Sample without replacement (partial Fisher-Yates). The count crosses 64
+  // often enough to exercise multi-shard campaigns in every engine.
+  const std::size_t want = static_cast<std::size_t>(
+      1 + rng.Below(std::min<std::uint64_t>(candidates.size(), 96)));
+  for (std::size_t k = 0; k < want; ++k) {
+    const std::size_t pick = k + rng.Below(candidates.size() - k);
+    std::swap(candidates[k], candidates[pick]);
+    fc.faults.push_back(candidates[k]);
+  }
+
+  fc.tpgr_seed = static_cast<std::uint32_t>(rng.Next()) | 1u;
+  fc.num_patterns = 1 + static_cast<int>(rng.Below(20));
+  return fc;
+}
+
+FaultXcheckResult RunFaultXcheck(const XcheckConfig& cfg) {
+  FaultXcheckResult out;
+  obs::Registry& reg = obs::Registry::Global();
+  for (std::uint32_t i = 0; i < cfg.iters; ++i) {
+    const std::uint64_t case_seed = CaseSeed(cfg.seed, i);
+    Rng rng(case_seed);
+    const FaultCase fc = GenerateFaultCase(rng, cfg.gen);
+    if (obs::Enabled()) reg.GetCounter("fault_xcheck.runs").Add(1);
+    const CaseResult r = RunFaultCase(fc);
+    ++out.cases_run;
+    if (r.ok) continue;
+    if (obs::Enabled()) reg.GetCounter("fault_xcheck.miscompares").Add(1);
+    out.miscompares = 1;
+    out.failing_case_seed = case_seed;
+    out.failing_case_index = i;
+    out.failure_detail = r.detail;
+    out.repro = cfg.shrink ? ShrinkFaultCase(fc, &out.shrink_steps) : fc;
+    out.repro_cpp = FaultCaseToCpp(out.repro);
+    break;
+  }
+  return out;
+}
+
+namespace {
+
+bool StillFails(const FaultCase& fc) {
+  try {
+    return !RunFaultCase(fc).ok;
+  } catch (const Error&) {
+    return false;  // a reduction that broke well-formedness is rejected
+  }
+}
+
+// Deletes node k, remapping every reference to an earlier node exactly like
+// xcheck's scenario reducer: a combinational victim donates its first fanin,
+// anything else is replaced by node 0. Campaign references to the victim
+// are dropped (faults, operand bits, observations) rather than remapped —
+// a fault migrating to another gate would not be a reduction of the same
+// failure.
+std::optional<FaultCase> RemoveFaultNode(const FaultCase& fc,
+                                         std::uint32_t k) {
+  if (k == 0 || fc.nodes.size() <= 1) return std::nullopt;
+  const std::uint32_t repl =
+      netlist::IsCombinational(fc.nodes[k].kind) && !fc.nodes[k].fanins.empty()
+          ? fc.nodes[k].fanins[0]
+          : 0;
+  const auto remap = [&](std::uint32_t f) {
+    if (f == k) f = repl;
+    return f > k ? f - 1 : f;
+  };
+  FaultCase out;
+  for (std::uint32_t i = 0; i < fc.nodes.size(); ++i) {
+    if (i == k) continue;
+    NodeSpec node = fc.nodes[i];
+    for (std::uint32_t& f : node.fanins) f = remap(f);
+    out.nodes.push_back(std::move(node));
+  }
+  out.reset_node = fc.reset_node == k || fc.reset_node == FaultCase::kNoNode
+                       ? FaultCase::kNoNode
+                       : remap(fc.reset_node);
+  for (const auto& op : fc.operand_bits) {
+    std::vector<std::uint32_t> bits;
+    for (const std::uint32_t b : op) {
+      if (b != k) bits.push_back(remap(b));
+    }
+    if (!bits.empty()) out.operand_bits.push_back(std::move(bits));
+  }
+  out.cycles_per_pattern = fc.cycles_per_pattern;
+  out.strobe_cycles = fc.strobe_cycles;
+  for (const std::uint32_t g : fc.observe) {
+    if (g != k) out.observe.push_back(remap(g));
+  }
+  if (out.observe.empty()) return std::nullopt;
+  for (const fault::StuckFault& f : fc.faults) {
+    if (f.gate == k) continue;
+    fault::StuckFault nf = f;
+    nf.gate = remap(nf.gate);
+    // The remap can shrink a donor gate's arity only by deleting the gate
+    // itself, so surviving pin faults stay in range; stem faults always do.
+    out.faults.push_back(nf);
+  }
+  if (out.faults.empty()) return std::nullopt;
+  out.tpgr_seed = fc.tpgr_seed;
+  out.num_patterns = fc.num_patterns;
+  return out;
+}
+
+}  // namespace
+
+FaultCase ShrinkFaultCase(const FaultCase& failing, std::uint64_t* steps) {
+  obs::Registry& reg = obs::Registry::Global();
+  const auto accept = [&](FaultCase& cur, FaultCase cand) {
+    if (!StillFails(cand)) return false;
+    cur = std::move(cand);
+    if (steps != nullptr) ++*steps;
+    if (obs::Enabled()) reg.GetCounter("fault_xcheck.shrink_steps").Add(1);
+    return true;
+  };
+
+  FaultCase cur = failing;
+  bool progressed = true;
+  for (int round = 0; progressed && round < 50; ++round) {
+    progressed = false;
+    // Drop faults, latest first — the usual failure needs exactly one.
+    for (std::size_t i = cur.faults.size(); i-- > 0 && cur.faults.size() > 1;) {
+      FaultCase cand = cur;
+      cand.faults.erase(cand.faults.begin() + static_cast<std::ptrdiff_t>(i));
+      progressed |= accept(cur, std::move(cand));
+    }
+    // Fewer patterns: halve, then peel one at a time.
+    while (cur.num_patterns > 1) {
+      FaultCase cand = cur;
+      cand.num_patterns = std::max(1, cur.num_patterns / 2);
+      if (!accept(cur, std::move(cand))) break;
+      progressed = true;
+    }
+    if (cur.num_patterns > 1) {
+      FaultCase cand = cur;
+      --cand.num_patterns;
+      progressed |= accept(cur, std::move(cand));
+    }
+    // Delete gates.
+    for (std::uint32_t k = static_cast<std::uint32_t>(cur.nodes.size());
+         k-- > 1;) {
+      if (k >= cur.nodes.size()) continue;
+      std::optional<FaultCase> cand = RemoveFaultNode(cur, k);
+      if (cand.has_value()) progressed |= accept(cur, *std::move(cand));
+    }
+    // Trim the plan: strobes, observation nets, operands, reset.
+    for (std::size_t i = cur.strobe_cycles.size();
+         i-- > 0 && cur.strobe_cycles.size() > 1;) {
+      FaultCase cand = cur;
+      cand.strobe_cycles.erase(cand.strobe_cycles.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      progressed |= accept(cur, std::move(cand));
+    }
+    for (std::size_t i = cur.observe.size();
+         i-- > 0 && cur.observe.size() > 1;) {
+      FaultCase cand = cur;
+      cand.observe.erase(cand.observe.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      progressed |= accept(cur, std::move(cand));
+    }
+    for (std::size_t i = cur.operand_bits.size(); i-- > 0;) {
+      FaultCase cand = cur;
+      cand.operand_bits.erase(cand.operand_bits.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      progressed |= accept(cur, std::move(cand));
+    }
+    if (cur.reset_node != FaultCase::kNoNode) {
+      FaultCase cand = cur;
+      cand.reset_node = FaultCase::kNoNode;
+      progressed |= accept(cur, std::move(cand));
+    }
+    // Shorter patterns, keeping the surviving strobes in range.
+    if (cur.cycles_per_pattern > 1) {
+      FaultCase cand = cur;
+      --cand.cycles_per_pattern;
+      std::erase_if(cand.strobe_cycles, [&](int c) {
+        return c >= cand.cycles_per_pattern;
+      });
+      if (!cand.strobe_cycles.empty()) {
+        progressed |= accept(cur, std::move(cand));
+      }
+    }
+  }
+  return cur;
+}
+
+namespace {
+
+const char* NodeKindToken(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput: return "kInput";
+    case GateKind::kConst0: return "kConst0";
+    case GateKind::kConst1: return "kConst1";
+    case GateKind::kBuf: return "kBuf";
+    case GateKind::kNot: return "kNot";
+    case GateKind::kAnd: return "kAnd";
+    case GateKind::kOr: return "kOr";
+    case GateKind::kNand: return "kNand";
+    case GateKind::kNor: return "kNor";
+    case GateKind::kXor: return "kXor";
+    case GateKind::kXnor: return "kXnor";
+    case GateKind::kMux2: return "kMux2";
+    case GateKind::kDff: return "kDff";
+  }
+  return "kInput";
+}
+
+}  // namespace
+
+std::string FaultCaseToCpp(const FaultCase& fc) {
+  std::string out;
+  out += "// fault xcheck repro: " + std::to_string(fc.nodes.size()) +
+         " nodes, " + std::to_string(fc.faults.size()) + " faults, " +
+         std::to_string(fc.num_patterns) + " patterns.\n";
+  out += "pfd::xcheck::FaultCase fc;\n";
+  out += "using pfd::Trit;\n";
+  out += "using pfd::netlist::GateKind;\n";
+  out += "fc.nodes = {\n";
+  for (const NodeSpec& node : fc.nodes) {
+    out += "    {GateKind::";
+    out += NodeKindToken(node.kind);
+    out += ", {";
+    for (std::size_t k = 0; k < node.fanins.size(); ++k) {
+      if (k > 0) out += ", ";
+      out += std::to_string(node.fanins[k]);
+    }
+    out += "}},\n";
+  }
+  out += "};\n";
+  if (fc.reset_node != FaultCase::kNoNode) {
+    out += "fc.reset_node = " + std::to_string(fc.reset_node) + ";\n";
+  }
+  if (!fc.operand_bits.empty()) {
+    out += "fc.operand_bits = {";
+    for (std::size_t i = 0; i < fc.operand_bits.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{";
+      for (std::size_t b = 0; b < fc.operand_bits[i].size(); ++b) {
+        if (b > 0) out += ", ";
+        out += std::to_string(fc.operand_bits[i][b]);
+      }
+      out += "}";
+    }
+    out += "};\n";
+  }
+  out += "fc.cycles_per_pattern = " + std::to_string(fc.cycles_per_pattern) +
+         ";\n";
+  out += "fc.strobe_cycles = {";
+  for (std::size_t i = 0; i < fc.strobe_cycles.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(fc.strobe_cycles[i]);
+  }
+  out += "};\n";
+  out += "fc.observe = {";
+  for (std::size_t i = 0; i < fc.observe.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(fc.observe[i]);
+  }
+  out += "};\n";
+  out += "fc.faults = {\n";
+  for (const fault::StuckFault& f : fc.faults) {
+    out += "    {" + std::to_string(f.gate) + ", " + std::to_string(f.pin) +
+           ", " + (f.value == Trit::kOne ? "Trit::kOne" : "Trit::kZero") +
+           "},\n";
+  }
+  out += "};\n";
+  out += "fc.tpgr_seed = " + std::to_string(fc.tpgr_seed) + "u;\n";
+  out += "fc.num_patterns = " + std::to_string(fc.num_patterns) + ";\n";
+  out += "const pfd::xcheck::CaseResult r = pfd::xcheck::RunFaultCase(fc);\n";
+  out += "EXPECT_TRUE(r.ok) << r.detail;\n";
+  return out;
+}
+
+MutationResult RunFaultMutationCheck(const XcheckConfig& cfg) {
+  MutationResult mr;
+  mr.all_detected = true;
+  for (const char* name : fault::kFaultSimMutationFailpoints) {
+    guard::ClearFailpoints();
+    guard::ArmFailpoint(name, "flag");
+    MutationResult::PerMutation pm;
+    pm.name = name;
+    for (std::uint32_t i = 0; i < cfg.iters && !pm.detected; ++i) {
+      Rng rng(CaseSeed(cfg.seed, i));
+      const FaultCase fc = GenerateFaultCase(rng, cfg.gen);
+      ++pm.cases_to_detect;
+      const CaseResult r = RunFaultCase(fc);
+      if (!r.ok) {
+        pm.detected = true;
+        pm.detail = r.detail;
+      }
+    }
+    mr.all_detected &= pm.detected;
+    mr.mutations.push_back(std::move(pm));
+  }
+  // Leave the process in the state $PFD_FAILPOINTS asked for, not ours.
+  guard::ClearFailpoints();
+  guard::ArmFailpointsFromEnv();
+  return mr;
+}
+
+}  // namespace pfd::xcheck

@@ -1,0 +1,99 @@
+// Differential fuzzing of the fault-simulation engines against each other.
+//
+// The three fault::RunFaultSim engines promise bit-identical results; this
+// harness earns that promise the same way xcheck.hpp earns the kernel's.
+// A FaultCase is one complete campaign in plain, shrinkable data form: a
+// generated circuit (the Scenario node list from gen.hpp), a TestPlan
+// carved out of it (reset protocol, operand wiring, strobes, observation
+// nets), a sampled stuck-at fault list and the TPGR stimulus. RunFaultCase
+// runs the campaign through kSerial (the reference), kParallel and
+// kDifferential and miscompare-checks per fault: final status, first
+// hard-detecting pattern, and the pattern count.
+//
+// On a miscompare, ShrinkFaultCase greedily minimizes the campaign —
+// dropping faults, patterns, strobes, observation nets, operands and
+// gates — while it still fails, and FaultCaseToCpp renders the survivor as
+// a ready-to-paste regression test.
+//
+// RunFaultMutationCheck is the proof of life: it arms each
+// fault::kFaultSimMutationFailpoints entry (a planted differential-engine
+// bug behind a guard "flag" failpoint) and requires the sweep to catch
+// every one. An engine cross-checker that passes with a planted cone bug
+// is measuring nothing.
+//
+// Obs counters: fault_xcheck.runs, .miscompares, .shrink_steps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "xcheck/gen.hpp"
+#include "xcheck/xcheck.hpp"
+
+namespace pfd::xcheck {
+
+// One engine-equivalence campaign. Node indices double as GateIds (the
+// BuildNetlist contract), so the plan fields and fault list reference nodes
+// directly. Invariants (the generator produces them, the shrinker preserves
+// them): operand bits and reset_node are kInput nodes; strobes lie in
+// [0, cycles_per_pattern); observe is non-empty; fault pins are in range
+// for the target's arity; num_patterns >= 1.
+struct FaultCase {
+  static constexpr std::uint32_t kNoNode = ~0u;
+
+  std::vector<NodeSpec> nodes;
+  std::uint32_t reset_node = kNoNode;  // kNoNode = no reset protocol
+  std::vector<std::vector<std::uint32_t>> operand_bits;
+  int cycles_per_pattern = 1;
+  std::vector<int> strobe_cycles;
+  std::vector<std::uint32_t> observe;
+  std::vector<fault::StuckFault> faults;
+  std::uint32_t tpgr_seed = 1;
+  int num_patterns = 1;
+};
+
+// Draws one well-formed campaign. Deterministic in (rng state, cfg); the
+// circuit shape is governed by the same GenConfig knobs as the kernel
+// fuzzer (cycle knobs are reinterpreted as pattern knobs).
+FaultCase GenerateFaultCase(Rng& rng, const GenConfig& cfg);
+
+// Materializes the campaign's TestPlan against its built netlist.
+fault::TestPlan BuildTestPlan(const FaultCase& fc);
+
+// Runs the campaign through every engine and returns the first divergence
+// from the serial reference (ok == true when all three agree everywhere).
+CaseResult RunFaultCase(const FaultCase& fc);
+
+// Greedy campaign minimization: the smallest found FaultCase that still
+// fails RunFaultCase, bumping *steps once per accepted reduction.
+FaultCase ShrinkFaultCase(const FaultCase& failing, std::uint64_t* steps);
+
+// Renders the campaign as a ready-to-paste C++ test-case body.
+std::string FaultCaseToCpp(const FaultCase& fc);
+
+struct FaultXcheckResult {
+  std::uint64_t cases_run = 0;
+  std::uint64_t miscompares = 0;  // sweep stops at the first one
+  // Valid when miscompares > 0:
+  std::uint64_t failing_case_seed = 0;
+  std::uint32_t failing_case_index = 0;
+  std::string failure_detail;
+  std::uint64_t shrink_steps = 0;
+  FaultCase repro;         // shrunk when cfg.shrink, else the raw case
+  std::string repro_cpp;   // FaultCaseToCpp(repro)
+};
+
+// Engine-equivalence sweep over cfg.iters generated campaigns; stops at the
+// first miscompare (shrinking it when cfg.shrink). Case seeds come from the
+// same CaseSeed(cfg.seed, index) stream as the kernel fuzzer.
+FaultXcheckResult RunFaultXcheck(const XcheckConfig& cfg);
+
+// Arms each fault::kFaultSimMutationFailpoints entry in turn and re-runs
+// the sweep, requiring a miscompare for every planted differential-engine
+// bug. Restores the failpoint state armed from $PFD_FAILPOINTS.
+MutationResult RunFaultMutationCheck(const XcheckConfig& cfg);
+
+}  // namespace pfd::xcheck

@@ -131,7 +131,7 @@ TEST_F(DftOnPoly, DftCatchesFaultsTheIntegratedTestCannot) {
   std::vector<bool> caught(faults.size(), false);
   for (int session = 0; session < dft_->sessions; ++session) {
     const fault::FaultSimResult r = fault::RunFaultSim(
-        {dft_->system.nl, dft_->MakeDftPlan(session), faults, 0xACE1, 48});
+        {dft_->system.nl, {dft_->MakeDftPlan(session), 0xACE1, 48}, faults});
     for (std::size_t i = 0; i < faults.size(); ++i) {
       if (r.status[i] != fault::FaultStatus::kUndetected) caught[i] = true;
     }

@@ -1,8 +1,8 @@
-// Tests for the stuck-at fault model, equivalence collapsing, and the two
+// Tests for the stuck-at fault model, equivalence collapsing, and the three
 // fault-simulation engines — including the central cross-engine property:
-// the 64-lane parallel-fault simulator must report exactly the same
-// detections as the straightforward serial engine, on random sequential
-// circuits.
+// the 64-lane parallel-fault simulator and the golden-diffed differential
+// engine must report exactly the same detections as the straightforward
+// serial engine, on random sequential circuits.
 #include <gtest/gtest.h>
 
 #include <span>
@@ -10,6 +10,8 @@
 #include "base/rng.hpp"
 #include "fault/fault.hpp"
 #include "fault/fault_sim.hpp"
+#include "logicsim/compiled.hpp"
+#include "logicsim/golden_cache.hpp"
 #include "logicsim/simulator.hpp"
 
 namespace pfd::fault {
@@ -90,7 +92,7 @@ TestPlan PlanFor(const RandomCircuit& rc, int cycles = 4) {
 FaultSimResult ParSim(const Netlist& nl, const TestPlan& plan,
                       std::span<const StuckFault> faults, std::uint32_t seed,
                       int patterns, int threads = 0) {
-  FaultSimRequest req{nl, plan, faults, seed, patterns,
+  FaultSimRequest req{nl, {plan, seed, patterns}, faults,
                       FaultSimEngine::kParallel};
   req.exec.threads = threads;
   return RunFaultSim(req);
@@ -100,7 +102,28 @@ FaultSimResult SerSim(const Netlist& nl, const TestPlan& plan,
                       std::span<const StuckFault> faults, std::uint32_t seed,
                       int patterns) {
   return RunFaultSim(
-      {nl, plan, faults, seed, patterns, FaultSimEngine::kSerial});
+      {nl, {plan, seed, patterns}, faults, FaultSimEngine::kSerial});
+}
+
+FaultSimResult DiffSim(const Netlist& nl, const TestPlan& plan,
+                       std::span<const StuckFault> faults, std::uint32_t seed,
+                       int patterns, int threads = 0) {
+  FaultSimRequest req{nl, {plan, seed, patterns}, faults,
+                      FaultSimEngine::kDifferential};
+  req.exec.threads = threads;
+  return RunFaultSim(req);
+}
+
+void ExpectSameVerdicts(const Netlist& nl, std::span<const StuckFault> faults,
+                        const FaultSimResult& got, const FaultSimResult& want,
+                        const char* label) {
+  ASSERT_EQ(got.status.size(), want.status.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(got.status[i], want.status[i])
+        << label << ": " << FaultName(nl, faults[i]);
+    EXPECT_EQ(got.first_detect_pattern[i], want.first_detect_pattern[i])
+        << label << ": " << FaultName(nl, faults[i]);
+  }
 }
 
 // --- fault list generation ---------------------------------------------------
@@ -272,20 +295,17 @@ struct EngineSweepParam {
 
 class EngineEquivalence : public ::testing::TestWithParam<EngineSweepParam> {};
 
-TEST_P(EngineEquivalence, SerialAndParallelAgree) {
+TEST_P(EngineEquivalence, AllThreeEnginesAgree) {
   const auto p = GetParam();
   const RandomCircuit rc = MakeRandomCircuit(p.seed, p.inputs, p.gates, p.dffs);
   const TestPlan plan = PlanFor(rc);
   const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
   const auto faults = Collapse(rc.nl, all).representatives;
-  const FaultSimResult par = ParSim(rc.nl, plan, faults, 0xACE1, 24);
   const FaultSimResult ser = SerSim(rc.nl, plan, faults, 0xACE1, 24);
-  ASSERT_EQ(par.status.size(), ser.status.size());
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    EXPECT_EQ(par.status[i], ser.status[i]) << FaultName(rc.nl, faults[i]);
-    EXPECT_EQ(par.first_detect_pattern[i], ser.first_detect_pattern[i])
-        << FaultName(rc.nl, faults[i]);
-  }
+  ExpectSameVerdicts(rc.nl, faults, ParSim(rc.nl, plan, faults, 0xACE1, 24),
+                     ser, "parallel");
+  ExpectSameVerdicts(rc.nl, faults, DiffSim(rc.nl, plan, faults, 0xACE1, 24),
+                     ser, "differential");
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -330,6 +350,65 @@ TEST(FaultSim, ResultIsThreadCountInvariant) {
       EXPECT_EQ(tn.first_detect_pattern[i], t1.first_detect_pattern[i]);
     }
   }
+}
+
+// The differential engine repacks live lanes into fewer shards between
+// rounds; with several times 64 faults the campaign exercises multi-shard
+// seeding, retirement, and at least one compaction, and must still match
+// the reference exactly.
+TEST(FaultSim, DifferentialSpansAndCompactsShards) {
+  const RandomCircuit rc = MakeRandomCircuit(424242, 5, 90, 5);
+  const TestPlan plan = PlanFor(rc);
+  const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
+  ASSERT_GT(all.size(), 128u);  // at least three 64-lane shards
+  const FaultSimResult ser = SerSim(rc.nl, plan, all, 5, 48);
+  ExpectSameVerdicts(rc.nl, all, DiffSim(rc.nl, plan, all, 5, 48), ser,
+                     "differential");
+}
+
+// Compaction order and shard re-partitioning are deterministic functions of
+// the retirement history, never of the scheduler — so the differential
+// result must be bit-identical for every thread count too.
+TEST(FaultSim, DifferentialResultIsThreadCountInvariant) {
+  const RandomCircuit rc = MakeRandomCircuit(777, 5, 90, 5);
+  const TestPlan plan = PlanFor(rc);
+  const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
+  ASSERT_GT(all.size(), 126u);
+  const FaultSimResult t1 = DiffSim(rc.nl, plan, all, 0xBEEF, 20, 1);
+  for (int threads : {2, 8}) {
+    const FaultSimResult tn = DiffSim(rc.nl, plan, all, 0xBEEF, 20, threads);
+    ASSERT_EQ(tn.status.size(), t1.status.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(tn.status[i], t1.status[i]) << FaultName(rc.nl, all[i]);
+      EXPECT_EQ(tn.first_detect_pattern[i], t1.first_detect_pattern[i]);
+    }
+  }
+}
+
+// The shared-artefact request shape: one pre-compiled program and one
+// private golden cache serve several campaigns. The second run hits the
+// cached golden trace (no new insertions) and the verdicts never change.
+TEST(FaultSim, DifferentialReusesCompiledProgramAndGoldenCache) {
+  const RandomCircuit rc = MakeRandomCircuit(31337, 4, 60, 4);
+  const TestPlan plan = PlanFor(rc);
+  const auto all = GenerateFaults(rc.nl, ModuleTag::kController);
+  const auto faults = Collapse(rc.nl, all).representatives;
+  const auto compiled = logicsim::CompiledNetlist::Compile(rc.nl);
+  logicsim::GoldenTraceCache cache;
+  auto run = [&] {
+    FaultSimRequest req{rc.nl, {plan, 99, 24}, faults,
+                        FaultSimEngine::kDifferential};
+    req.compiled = compiled;
+    req.golden_cache = &cache;
+    return RunFaultSim(req);
+  };
+  const FaultSimResult first = run();
+  EXPECT_EQ(cache.size(), 1u);  // the campaign's golden trace, privately held
+  const FaultSimResult second = run();
+  EXPECT_EQ(cache.size(), 1u);  // second run reused it
+  ExpectSameVerdicts(rc.nl, faults, second, first, "cached rerun");
+  ExpectSameVerdicts(rc.nl, faults, first,
+                     SerSim(rc.nl, plan, faults, 99, 24), "vs serial");
 }
 
 TEST(FaultSim, InjectFaultMapsPins) {

@@ -218,7 +218,7 @@ TEST(GoldenTraceCache, SerialGoldenPassIsCachedAndResultsStable) {
 
   GoldenTraceCache& cache = GoldenTraceCache::Global();
   cache.Clear();
-  fault::FaultSimRequest req{d.system.nl, plan, some, 7, 16,
+  fault::FaultSimRequest req{d.system.nl, {plan, 7, 16}, some,
                              fault::FaultSimEngine::kSerial};
   const fault::FaultSimResult first = fault::RunFaultSim(req);
   EXPECT_TRUE(first.run_status.ok());
@@ -230,6 +230,42 @@ TEST(GoldenTraceCache, SerialGoldenPassIsCachedAndResultsStable) {
   EXPECT_EQ(first.status, second.status);
   EXPECT_EQ(first.first_detect_pattern, second.first_detect_pattern);
   cache.Clear();
+}
+
+// --- consumer: differential golden pass --------------------------------------
+
+// The differential engine records its packed per-cycle golden planes from a
+// cache-resident trace; a second campaign over the same stimulus replays it
+// (no new insertion) and a *different* stimulus misses, each with verdicts
+// identical to the uncached run.
+TEST(GoldenTraceCache, DifferentialGoldenPassIsCachedPerStimulus) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  const std::vector<fault::StuckFault> faults = fault::GenerateFaults(
+      d.system.nl, netlist::ModuleTag::kController);
+  const std::span<const fault::StuckFault> some(faults.data(),
+                                                std::min<std::size_t>(
+                                                    faults.size(), 8));
+
+  GoldenTraceCache cache;  // private: the request's golden_cache handle
+  auto run = [&](std::uint32_t seed) {
+    fault::FaultSimRequest req{d.system.nl, {plan, seed, 16}, some,
+                               fault::FaultSimEngine::kDifferential};
+    req.golden_cache = &cache;
+    return fault::RunFaultSim(req);
+  };
+  const fault::FaultSimResult first = run(7);
+  EXPECT_TRUE(first.run_status.ok());
+  const std::size_t populated = cache.size();
+  EXPECT_GE(populated, 1u);
+
+  const fault::FaultSimResult replay = run(7);
+  EXPECT_EQ(cache.size(), populated);  // same stimulus: replayed, not re-run
+  EXPECT_EQ(first.status, replay.status);
+  EXPECT_EQ(first.first_detect_pattern, replay.first_detect_pattern);
+
+  (void)run(8);
+  EXPECT_GT(cache.size(), populated);  // new TPGR seed: a distinct trace
 }
 
 }  // namespace

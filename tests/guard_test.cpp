@@ -359,7 +359,7 @@ struct MiniFaultSystem {
 
 fault::FaultSimResult RunMini(const MiniFaultSystem& ms,
                               fault::FaultSimEngine engine) {
-  fault::FaultSimRequest request{ms.nl, ms.plan, ms.faults, 0xACE1, 16,
+  fault::FaultSimRequest request{ms.nl, {ms.plan, 0xACE1, 16}, ms.faults,
                                  engine};
   request.exec.threads = 2;
   return fault::RunFaultSim(request);
@@ -410,8 +410,55 @@ TEST(FaultSimGuard, PermanentShardFailureYieldsNotRunFaults) {
 
 TEST(FaultSimGuard, ExpiredDeadlineReturnsPartialResultWithoutThrowing) {
   MiniFaultSystem ms;
-  fault::FaultSimRequest request{ms.nl, ms.plan, ms.faults, 0xACE1, 16,
+  fault::FaultSimRequest request{ms.nl, {ms.plan, 0xACE1, 16}, ms.faults,
                                  fault::FaultSimEngine::kParallel};
+  request.limits = ExpiredDeadline();
+  const fault::FaultSimResult result = fault::RunFaultSim(request);
+  EXPECT_EQ(result.run_status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.CountWithStatus(fault::FaultStatus::kNotRun),
+            ms.faults.size());
+}
+
+// The differential engine's recovery path: a shard that throws once (before
+// it has simulated anything) is retried and the campaign ends clean and
+// bit-identical to the fault-free run.
+TEST(FaultSimGuard, DifferentialShardFailpointIsRetriedWithIdenticalResults) {
+  MiniFaultSystem ms;
+  const fault::FaultSimResult baseline =
+      RunMini(ms, fault::FaultSimEngine::kDifferential);
+  ASSERT_TRUE(baseline.run_status.ok());
+  FailpointScope scope;
+  ArmFailpoint("fault_sim.diff.shard", "throw@0");
+  const fault::FaultSimResult injected =
+      RunMini(ms, fault::FaultSimEngine::kDifferential);
+  EXPECT_GT(FailpointHits("fault_sim.diff.shard"), 0u);
+  EXPECT_TRUE(injected.run_status.ok()) << injected.run_status.Describe();
+  EXPECT_EQ(injected.status, baseline.status);
+  EXPECT_EQ(injected.first_detect_pattern, baseline.first_detect_pattern);
+}
+
+// A shard that keeps failing is quarantined: its faults stay kNotRun (never
+// kUndetected — the campaign must not claim coverage it didn't earn) and
+// the run reports partial failure instead of aborting.
+TEST(FaultSimGuard, DifferentialPermanentShardFailureYieldsNotRunFaults) {
+  MiniFaultSystem ms;
+  FailpointScope scope;
+  ArmFailpoint("fault_sim.diff.shard", "throw");
+  const fault::FaultSimResult result =
+      RunMini(ms, fault::FaultSimEngine::kDifferential);
+  EXPECT_EQ(result.run_status.code, StatusCode::kPartialFailure);
+  EXPECT_FALSE(result.run_status.failed_units.empty());
+  for (std::size_t i = 0; i < ms.faults.size(); ++i) {
+    EXPECT_EQ(result.status[i], fault::FaultStatus::kNotRun);
+  }
+}
+
+// Guard-trip semantics match the other engines: undecided faults map to
+// kNotRun, not to a fabricated verdict, and the trip code is surfaced.
+TEST(FaultSimGuard, DifferentialExpiredDeadlineMapsUndecidedToNotRun) {
+  MiniFaultSystem ms;
+  fault::FaultSimRequest request{ms.nl, {ms.plan, 0xACE1, 16}, ms.faults,
+                                 fault::FaultSimEngine::kDifferential};
   request.limits = ExpiredDeadline();
   const fault::FaultSimResult result = fault::RunFaultSim(request);
   EXPECT_EQ(result.run_status.code, StatusCode::kDeadlineExceeded);
@@ -472,13 +519,13 @@ TEST(PowerGuard, AllMcBatchesFailingDegradesToZeroEstimate) {
 TEST(PowerGuard, TestSetBatchFailpointIsRetriedWithIdenticalResult) {
   MiniPowerSystem ms;
   const power::PowerModel model(ms.nl, power::TechModel::Vsc450());
-  power::TestSetPowerConfig cfg{tpg::kTestSetSeed1, 256};
+  const fault::StimulusSpec stim{ms.plan, tpg::kTestSetSeed1, 256};
   const power::PowerResult baseline =
-      power::MeasureTestSetPower(ms.nl, ms.plan, model, {}, cfg);
+      power::MeasureTestSetPower(ms.nl, stim, model, {}, {});
   FailpointScope scope;
   ArmFailpoint("power.test_set_batch", "throw@0");
   const power::PowerResult injected =
-      power::MeasureTestSetPower(ms.nl, ms.plan, model, {}, cfg);
+      power::MeasureTestSetPower(ms.nl, stim, model, {}, {});
   EXPECT_TRUE(injected.run_status.ok()) << injected.run_status.Describe();
   EXPECT_DOUBLE_EQ(injected.breakdown.datapath_uw,
                    baseline.breakdown.datapath_uw);
@@ -544,7 +591,7 @@ TEST(PipelineGuard, SingleShotFailpointInEachStageLeavesReportIdentical) {
   ASSERT_TRUE(baseline.run_status.ok());
   const std::string baseline_csv = core::ClassificationCsv(baseline);
 
-  for (const char* stage : {"fault_sim.shard", "pipeline.step3.trace",
+  for (const char* stage : {"fault_sim.diff.shard", "pipeline.step3.trace",
                             "pipeline.step4.decider"}) {
     FailpointScope scope;
     ArmFailpoint(stage, "throw@0");

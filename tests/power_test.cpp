@@ -234,11 +234,11 @@ TEST(TestSetPower, DeterministicPerSeedAndSensitiveToSeed) {
   MiniSystem ms;
   const PowerModel model(ms.nl, TechModel::Vsc450());
   const PowerResult a = MeasureTestSetPower(
-      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed1, 256});
+      ms.nl, {ms.plan, tpg::kTestSetSeed1, 256}, model, {}, {});
   const PowerResult b = MeasureTestSetPower(
-      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed1, 256});
+      ms.nl, {ms.plan, tpg::kTestSetSeed1, 256}, model, {}, {});
   const PowerResult c = MeasureTestSetPower(
-      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed2, 256});
+      ms.nl, {ms.plan, tpg::kTestSetSeed2, 256}, model, {}, {});
   EXPECT_DOUBLE_EQ(a.breakdown.datapath_uw, b.breakdown.datapath_uw);
   EXPECT_NE(a.breakdown.datapath_uw, c.breakdown.datapath_uw);
   EXPECT_EQ(a.patterns, 256u);
@@ -248,7 +248,7 @@ TEST(TestSetPower, RoundsUpToLaneMultiples) {
   MiniSystem ms;
   const PowerModel model(ms.nl, TechModel::Vsc450());
   const PowerResult r = MeasureTestSetPower(
-      ms.nl, ms.plan, model, {}, TestSetPowerConfig{tpg::kTestSetSeed1, 100});
+      ms.nl, {ms.plan, tpg::kTestSetSeed1, 100}, model, {}, {});
   EXPECT_EQ(r.patterns, 128u);  // 100 -> 2 batches of 64
 }
 
@@ -303,10 +303,11 @@ TEST(TestSetPower, ExpiredDeadlineReturnsEmptyResultGracefully) {
   // winning over the zero-cycle partial failure), not abort.
   MiniSystem ms;
   const PowerModel model(ms.nl, TechModel::Vsc450());
-  TestSetPowerConfig cfg{tpg::kTestSetSeed1, 256};
+  TestSetPowerConfig cfg;
   cfg.limits.deadline = std::chrono::steady_clock::now() -
                         std::chrono::milliseconds(1);
-  const PowerResult r = MeasureTestSetPower(ms.nl, ms.plan, model, {}, cfg);
+  const PowerResult r = MeasureTestSetPower(
+      ms.nl, {ms.plan, tpg::kTestSetSeed1, 256}, model, {}, cfg);
   EXPECT_EQ(r.run_status.code, guard::StatusCode::kDeadlineExceeded);
   EXPECT_DOUBLE_EQ(r.breakdown.total_uw, 0.0);
   EXPECT_EQ(r.patterns, 0u);

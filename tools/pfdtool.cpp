@@ -3,18 +3,26 @@
 //   pfdtool list
 //   pfdtool info     <design> [--width N]
 //   pfdtool classify <design> [--width N] [--patterns N] [--csv]
+//                    [--fault-engine parallel|serial|differential]
 //   pfdtool grade    <design> [--width N] [--threshold PCT] [--csv]
 //   pfdtool diagnose <design> <measured_uW> [--sigma PCT]
 //   pfdtool dot      <design> [--width N]
 //   pfdtool vcd      <design> [--fault INDEX] [--patterns N]
 //   pfdtool xcheck   [--seed N] [--iters N] [--no-shrink] [--mutations]
-//                    [--max-gates N]
+//                    [--max-gates N] [--engines]
+//
+// --fault-engine selects the step-1 fault-simulation engine (classify/
+// grade/diagnose); the report is bit-identical across engines —
+// differential is the fast production engine, serial the reference.
 //
 // xcheck fuzzes the compiled simulation kernel against a naive reference
 // simulator (differential oracle; see DESIGN.md). A miscompare prints a
 // shrunk, ready-to-paste repro and exits 1. --mutations instead arms each
 // planted kernel bug (guard flag failpoints) and requires the harness to
-// catch every one — exit 1 if any survives.
+// catch every one — exit 1 if any survives. --engines switches both modes
+// to the fault-engine harness: generated fault campaigns are run through
+// kDifferential / kParallel and compared against kSerial fault by fault
+// (--engines --mutations arms the planted differential-engine bugs).
 //
 // Observability options (any command):
 //   --trace FILE         write a Chrome trace_event JSON of the run; open
@@ -70,6 +78,7 @@
 #include "logicsim/vcd.hpp"
 #include "obs/flight.hpp"
 #include "obs/trace.hpp"
+#include "xcheck/fault_xcheck.hpp"
 #include "xcheck/xcheck.hpp"
 
 namespace {
@@ -96,6 +105,8 @@ struct Options {
   std::uint64_t max_gates = 0;   // xcheck generator cap; 0 = default
   bool shrink = true;            // xcheck: shrink the first miscompare
   bool mutations = false;        // xcheck: mutation-testing mode
+  bool engines = false;          // xcheck: fault-engine harness mode
+  std::string fault_engine = "differential";  // step-1 engine (classify et al)
   bool csv = false;
   bool verbose = false;
   std::string trace_path;
@@ -152,10 +163,12 @@ int FinishRun(const guard::RunStatus& status) {
       "designs: diffeq facet poly diffeq-loop ewf\n"
       "options: --width N --patterns N --threshold PCT --sigma PCT "
       "--fault INDEX --threads N --csv\n"
+      "         --fault-engine parallel|serial|differential\n"
       "         --deadline-ms N --max-cycles N\n"
       "         --trace FILE --metrics-json FILE --report FILE\n"
       "         --flight-recorder FILE -v|--verbose\n"
-      "xcheck:  --seed N --iters N --no-shrink --mutations --max-gates N\n");
+      "xcheck:  --seed N --iters N --no-shrink --mutations --max-gates N "
+      "--engines\n");
   std::exit(2);
 }
 
@@ -178,6 +191,7 @@ core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
                                     const Options& opt) {
   core::PipelineConfig cfg;
   cfg.tpgr_patterns = opt.patterns;
+  cfg.fault_engine = fault::ParseFaultSimEngine(opt.fault_engine);
   cfg.exec.threads = opt.threads;
   cfg.limits = MakeLimits(opt);
   if (d.system.has_feedback) {
@@ -337,7 +351,9 @@ int CmdXcheck(const Options& opt) {
   }
 
   if (opt.mutations) {
-    const xcheck::MutationResult mr = xcheck::RunMutationCheck(cfg);
+    const xcheck::MutationResult mr = opt.engines
+                                          ? xcheck::RunFaultMutationCheck(cfg)
+                                          : xcheck::RunMutationCheck(cfg);
     for (const auto& pm : mr.mutations) {
       if (pm.detected) {
         std::printf("mutation %-36s caught after %llu case(s)\n",
@@ -349,15 +365,38 @@ int CmdXcheck(const Options& opt) {
                     static_cast<unsigned long long>(pm.cases_to_detect));
       }
     }
+    const char* what = opt.engines ? "fault-engine" : "kernel";
     if (!mr.all_detected) {
       std::fprintf(stderr,
-                   "xcheck: planted kernel bug(s) survived the sweep — the "
-                   "harness is not sensitive enough\n");
+                   "xcheck: planted %s bug(s) survived the sweep — the "
+                   "harness is not sensitive enough\n",
+                   what);
       return 1;
     }
-    std::printf("xcheck: all %zu planted kernel mutations detected\n",
-                mr.mutations.size());
+    std::printf("xcheck: all %zu planted %s mutations detected\n",
+                mr.mutations.size(), what);
     return 0;
+  }
+
+  if (opt.engines) {
+    const xcheck::FaultXcheckResult r = xcheck::RunFaultXcheck(cfg);
+    if (r.miscompares == 0) {
+      std::printf("xcheck (engines): %llu/%llu campaigns agree (seed %llu)\n",
+                  static_cast<unsigned long long>(r.cases_run),
+                  static_cast<unsigned long long>(opt.iters),
+                  static_cast<unsigned long long>(opt.seed));
+      return 0;
+    }
+    std::fprintf(
+        stderr,
+        "xcheck (engines): MISCOMPARE at case %u (case seed %llu):\n  %s\n",
+        r.failing_case_index,
+        static_cast<unsigned long long>(r.failing_case_seed),
+        r.failure_detail.c_str());
+    std::fprintf(stderr, "shrunk repro (%llu shrink steps):\n%s",
+                 static_cast<unsigned long long>(r.shrink_steps),
+                 r.repro_cpp.c_str());
+    return 1;
   }
 
   const xcheck::XcheckResult r = xcheck::RunXcheck(cfg);
@@ -443,6 +482,12 @@ int main(int argc, char** argv) {
         opt.shrink = false;
       } else if (arg == "--mutations") {
         opt.mutations = true;
+      } else if (arg == "--engines") {
+        opt.engines = true;
+      } else if (arg == "--fault-engine") {
+        opt.fault_engine = std::string(ParseChoiceFlag(
+            "--fault-engine", next(),
+            {"parallel", "serial", "differential"}));
       } else if (arg == "--csv") {
         opt.csv = true;
       } else if (arg == "--trace") {
@@ -574,6 +619,7 @@ int main(int argc, char** argv) {
       in.request.push_back(core::RequestStr("design", opt.design));
       in.request.push_back(core::RequestInt("width", opt.width));
       in.request.push_back(core::RequestInt("patterns", opt.patterns));
+      in.request.push_back(core::RequestStr("fault_engine", opt.fault_engine));
     }
     in.request.push_back(core::RequestInt("threads", opt.threads));
     in.request.push_back(core::RequestDouble("deadline_ms", opt.deadline_ms));
@@ -593,6 +639,7 @@ int main(int argc, char** argv) {
           "iters", static_cast<std::int64_t>(opt.iters)));
       in.request.push_back(core::RequestBool("shrink", opt.shrink));
       in.request.push_back(core::RequestBool("mutations", opt.mutations));
+      in.request.push_back(core::RequestBool("engines", opt.engines));
     }
     if (!core::WriteRunReportFile(in, opt.report_path)) {
       std::fprintf(stderr, "cannot write report file: %s\n",
