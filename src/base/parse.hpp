@@ -70,6 +70,24 @@ inline std::uint64_t ParseUint64FlagInRange(std::string_view flag,
   return value;
 }
 
+// File-path flag value. Paths carry almost any byte, so the only rejected
+// shapes are the ones that are always operator error: an empty token (a
+// stray "--checkpoint" eating the next flag) and a token that itself looks
+// like a flag ("--checkpoint --resume" leaving the path out). A file that
+// genuinely starts with "--" can still be reached via "./--odd-name".
+inline std::string ParsePathFlag(std::string_view flag,
+                                 std::string_view text) {
+  if (text.empty()) {
+    throw Error(std::string(flag) + " requires a non-empty path");
+  }
+  if (text.size() >= 2 && text.substr(0, 2) == "--") {
+    throw Error(std::string(flag) + "='" + std::string(text) +
+                "' looks like a flag, not a path (prefix it with ./ if the "
+                "file name really starts with --)");
+  }
+  return std::string(text);
+}
+
 // Non-negative finite decimal number (digits with an optional fractional
 // part; no sign, no exponent, no trailing garbage). Covers every duration
 // flag; scientific notation on a CLI deadline is a typo, not a feature.

@@ -1,0 +1,418 @@
+#include "ckpt/journal.hpp"
+
+#include <cstring>
+
+#include "base/error.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace pfd::ckpt {
+
+namespace {
+
+constexpr std::uint32_t kKindFaultSpan = 1;
+constexpr std::uint32_t kKindPower = 2;
+// Frame overhead: u32 kind + u32 payload_len + u64 checksum.
+constexpr std::size_t kFrameBytes = 16;
+// Per-fault payload: u8 status + i32 first_detect.
+constexpr std::size_t kPerFaultBytes = 5;
+constexpr std::size_t kFaultSpanFixedBytes = 12;  // u64 begin + u32 count
+constexpr std::size_t kPowerPayloadBytes = 68;
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutF64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  PutU64(out, bits);
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double GetF64(const std::uint8_t* p) {
+  const std::uint64_t bits = GetU64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void BumpCounter(const char* name, std::uint64_t by = 1) {
+  if (obs::Enabled()) obs::Registry::Global().GetCounter(name).Add(by);
+}
+
+void Flight(const std::string& name, std::string detail) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightKind::kCheckpoint, name, std::move(detail));
+  }
+}
+
+std::string Hex(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::vector<std::uint8_t> SerializeHeader(const Binding& b) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes);
+  out.insert(out.end(), kMagic, kMagic + 8);
+  PutU32(out, kFormatVersion);
+  out.push_back(b.engine);
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  PutU64(out, b.netlist_hash);
+  PutU64(out, b.stimulus_hash);
+  PutU64(out, Fnv1a(out.data(), out.size()));
+  return out;
+}
+
+std::vector<std::uint8_t> ReadAll(const std::string& path, std::FILE* f) {
+  std::vector<std::uint8_t> bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  if (std::ferror(f)) {
+    throw Error("error reading checkpoint journal '" + path + "'");
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::unique_ptr<Journal> Journal::Open(const std::string& path, bool resume) {
+  std::unique_ptr<Journal> j(new Journal());
+  j->path_ = path;
+  j->resume_ = resume;
+
+  if (!resume) {
+    j->file_ = std::fopen(path.c_str(), "wb");
+    if (j->file_ == nullptr) {
+      throw Error("cannot open checkpoint journal '" + path +
+                  "' for writing");
+    }
+    Flight("ckpt.open", "fresh path=" + path);
+    return j;
+  }
+
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    throw Error("cannot resume: checkpoint journal '" + path +
+                "' does not exist or is unreadable");
+  }
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = ReadAll(path, in);
+  } catch (...) {
+    std::fclose(in);
+    throw;
+  }
+  std::fclose(in);
+
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, 8) != 0) {
+    throw Error("'" + path + "' is not a pfd checkpoint journal");
+  }
+  if (GetU64(bytes.data() + 32) != Fnv1a(bytes.data(), 32)) {
+    throw Error("checkpoint journal '" + path +
+                "' has a corrupt header (checksum mismatch)");
+  }
+  const std::uint32_t version = GetU32(bytes.data() + 8);
+  if (version != kFormatVersion) {
+    throw Error("checkpoint journal '" + path + "' has format version " +
+                std::to_string(version) + "; this build reads version " +
+                std::to_string(kFormatVersion));
+  }
+  j->header_.engine = bytes[12];
+  j->header_.netlist_hash = GetU64(bytes.data() + 16);
+  j->header_.stimulus_hash = GetU64(bytes.data() + 24);
+
+  // Walk the record stream front to back. The first bad frame — short,
+  // oversized length field, or checksum mismatch — marks the torn tail;
+  // everything before it replays. A frame whose checksum verifies but
+  // whose payload does not parse is writer corruption, not a torn tail:
+  // refuse rather than guess (never silently mis-replay).
+  std::size_t off = kHeaderBytes;
+  std::size_t valid_end = kHeaderBytes;
+  bool torn = false;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kFrameBytes) {
+      torn = true;
+      break;
+    }
+    const std::uint32_t kind = GetU32(bytes.data() + off);
+    const std::uint64_t len = GetU32(bytes.data() + off + 4);
+    if (len > bytes.size() - off - kFrameBytes) {
+      torn = true;
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + off + 8;
+    if (GetU64(payload + len) != Fnv1a(bytes.data() + off, 8 + len)) {
+      torn = true;
+      break;
+    }
+    const auto corrupt = [&](const std::string& what) {
+      return Error("checkpoint journal '" + path + "': " + what +
+                   " (record at byte " + std::to_string(off) + ")");
+    };
+    if (kind == kKindFaultSpan) {
+      if (len < kFaultSpanFixedBytes) throw corrupt("short fault-span record");
+      FaultSpan span;
+      span.begin = GetU64(payload);
+      const std::uint32_t count = GetU32(payload + 8);
+      if (len != kFaultSpanFixedBytes +
+                     static_cast<std::uint64_t>(count) * kPerFaultBytes) {
+        throw corrupt("fault-span length disagrees with its fault count");
+      }
+      span.status.resize(count);
+      span.first_detect.resize(count);
+      const std::uint8_t* per = payload + kFaultSpanFixedBytes;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint8_t s = per[i * kPerFaultBytes];
+        // 0..2 = kUndetected/kDetected/kPotentiallyDetected; kNotRun is
+        // never journaled, so anything else is corruption.
+        if (s > 2) throw corrupt("invalid fault status value");
+        span.status[i] = s;
+        span.first_detect[i] = static_cast<std::int32_t>(
+            GetU32(per + i * kPerFaultBytes + 1));
+      }
+      if (!j->span_begins_seen_.insert(span.begin).second) {
+        throw corrupt("duplicate fault-span record");
+      }
+      j->spans_.push_back(std::move(span));
+    } else if (kind == kKindPower) {
+      if (len != kPowerPayloadBytes) throw corrupt("bad power-record length");
+      PowerRecord rec;
+      rec.ordinal = static_cast<std::int64_t>(GetU64(payload));
+      rec.config_digest = GetU64(payload + 8);
+      rec.datapath_uw = GetF64(payload + 16);
+      rec.controller_uw = GetF64(payload + 24);
+      rec.interface_uw = GetF64(payload + 32);
+      rec.total_uw = GetF64(payload + 40);
+      rec.ci95_rel = GetF64(payload + 48);
+      rec.batches = GetU32(payload + 56);
+      rec.patterns = GetU64(payload + 60);
+      if (!j->power_ordinals_seen_.insert(rec.ordinal).second) {
+        throw corrupt("duplicate power record");
+      }
+      j->power_[rec.ordinal] = rec;
+    } else {
+      throw corrupt("unknown record kind " + std::to_string(kind));
+    }
+    ++j->records_replayed_;
+    valid_end = off + kFrameBytes + len;
+    off = valid_end;
+  }
+
+  if (torn) {
+    ++j->torn_truncations_;
+    BumpCounter("ckpt.torn_tail_truncations");
+    Flight("ckpt.torn_tail",
+           "truncated '" + path + "' from " + std::to_string(bytes.size()) +
+               " to " + std::to_string(valid_end) + " bytes");
+    // Truncate by rewriting the valid prefix; a crash mid-rewrite just
+    // recreates a torn tail for the next resume to cut again.
+    j->file_ = std::fopen(path.c_str(), "wb");
+    if (j->file_ == nullptr ||
+        std::fwrite(bytes.data(), 1, valid_end, j->file_) != valid_end ||
+        std::fflush(j->file_) != 0) {
+      if (j->file_ != nullptr) std::fclose(j->file_);
+      j->file_ = nullptr;
+      throw Error("cannot truncate torn tail of checkpoint journal '" +
+                  path + "'");
+    }
+  } else {
+    j->file_ = std::fopen(path.c_str(), "ab");
+    if (j->file_ == nullptr) {
+      throw Error("cannot open checkpoint journal '" + path +
+                  "' for appending");
+    }
+  }
+
+  BumpCounter("ckpt.records_replayed", j->records_replayed_);
+  Flight("ckpt.open", "resume path=" + path + " replayed=" +
+                          std::to_string(j->records_replayed_) +
+                          (torn ? " torn_tail=1" : ""));
+  return j;
+}
+
+Journal::~Journal() { Close(); }
+
+void Journal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void Journal::Bind(const Binding& binding) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bound_) return;
+  if (resume_) {
+    const auto refuse = [&](const std::string& field, std::uint64_t have,
+                            std::uint64_t want) {
+      throw Error("cannot resume from '" + path_ +
+                  "': the journal was recorded for a different " + field +
+                  " (journal " + Hex(have) + ", this run " + Hex(want) + ")");
+    };
+    if (header_.netlist_hash != binding.netlist_hash) {
+      refuse("design (netlist structural hash)", header_.netlist_hash,
+             binding.netlist_hash);
+    }
+    if (header_.stimulus_hash != binding.stimulus_hash) {
+      refuse("stimulus (test-set digest)", header_.stimulus_hash,
+             binding.stimulus_hash);
+    }
+    if (header_.engine != binding.engine) {
+      throw Error("cannot resume from '" + path_ +
+                  "': the journal was recorded with fault engine " +
+                  std::to_string(header_.engine) + ", this run uses engine " +
+                  std::to_string(binding.engine));
+    }
+  } else {
+    header_ = binding;
+    const std::vector<std::uint8_t> header = SerializeHeader(binding);
+    if (file_ == nullptr ||
+        std::fwrite(header.data(), 1, header.size(), file_) !=
+            header.size() ||
+        std::fflush(file_) != 0) {
+      throw Error("cannot write checkpoint journal header to '" + path_ +
+                  "'");
+    }
+  }
+  bound_ = true;
+  Flight("ckpt.bind", std::string(resume_ ? "resume" : "fresh") +
+                          " nl=" + Hex(header_.netlist_hash) +
+                          " stim=" + Hex(header_.stimulus_hash) +
+                          " engine=" + std::to_string(header_.engine));
+}
+
+void Journal::AppendRecord(std::uint32_t kind,
+                           const std::vector<std::uint8_t>& payload) {
+  // Caller holds mu_ and has checked bound_/broken_/file_.
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameBytes + payload.size());
+  PutU32(frame, kind);
+  PutU32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  PutU64(frame, Fnv1a(frame.data(), frame.size()));
+
+  const bool obs_on = obs::Enabled();
+  const double t0 = obs_on ? obs::NowMicros() : 0.0;
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    MarkBroken("append failed");
+    return;
+  }
+  ++records_written_;
+  if (obs_on) {
+    obs::Registry::Global().GetCounter("ckpt.records_written").Add(1);
+    obs::Registry::Global()
+        .GetHistogram("ckpt.flush_us")
+        .RecordDouble(obs::NowMicros() - t0);
+  }
+}
+
+void Journal::MarkBroken(const char* what) {
+  // Caller holds mu_. A broken journal must never fail the campaign: the
+  // run carries on without checkpoints, the flight recorder keeps the why.
+  broken_ = true;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  BumpCounter("ckpt.append_failures");
+  Flight("ckpt.broken", std::string(what) + " path=" + path_);
+}
+
+void Journal::AppendFaultSpan(std::uint64_t begin, const std::uint8_t* status,
+                              const std::int32_t* first_detect,
+                              std::size_t count) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!bound_ || broken_ || file_ == nullptr || count == 0) return;
+  if (!span_begins_seen_.insert(begin).second) return;  // replayed already
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kFaultSpanFixedBytes + count * kPerFaultBytes);
+  PutU64(payload, begin);
+  PutU32(payload, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    payload.push_back(status[i]);
+    PutU32(payload, static_cast<std::uint32_t>(first_detect[i]));
+  }
+  AppendRecord(kKindFaultSpan, payload);
+}
+
+void Journal::AppendPower(const PowerRecord& rec) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!bound_ || broken_ || file_ == nullptr) return;
+  if (!power_ordinals_seen_.insert(rec.ordinal).second) return;
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kPowerPayloadBytes);
+  PutU64(payload, static_cast<std::uint64_t>(rec.ordinal));
+  PutU64(payload, rec.config_digest);
+  PutF64(payload, rec.datapath_uw);
+  PutF64(payload, rec.controller_uw);
+  PutF64(payload, rec.interface_uw);
+  PutF64(payload, rec.total_uw);
+  PutF64(payload, rec.ci95_rel);
+  PutU32(payload, rec.batches);
+  PutU64(payload, rec.patterns);
+  AppendRecord(kKindPower, payload);
+}
+
+const PowerRecord* Journal::FindPower(std::int64_t ordinal,
+                                      std::uint64_t config_digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = power_.find(ordinal);
+  if (it == power_.end()) return nullptr;
+  if (it->second.config_digest != config_digest) {
+    throw Error("checkpoint journal '" + path_ + "' holds a power record " +
+                "for ordinal " + std::to_string(ordinal) +
+                " measured under a different Monte-Carlo configuration (" +
+                Hex(it->second.config_digest) + " vs " + Hex(config_digest) +
+                ")");
+  }
+  return &it->second;
+}
+
+std::uint64_t Journal::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_written_;
+}
+
+bool Journal::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+}  // namespace pfd::ckpt

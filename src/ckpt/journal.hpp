@@ -1,0 +1,164 @@
+// Durable campaign checkpointing: an append-only, crash-tolerant journal of
+// completed fault-sim shards and Monte-Carlo power measurements, plus the
+// resume engine that replays them.
+//
+// Format (all integers little-endian, fixed width):
+//
+//   header (40 bytes, written by Bind on a fresh journal):
+//     [0..7]   magic "pfdckpt1"
+//     [8..11]  u32 format version (kFormatVersion)
+//     [12]     u8 engine kind (fault::FaultSimEngine)
+//     [13..15] zero padding
+//     [16..23] u64 Netlist::StructuralHash of the design under test
+//     [24..31] u64 fault::StimulusDigest of the stimulus spec
+//     [32..39] u64 FNV-1a checksum of bytes [0..31]
+//
+//   records, back to back until EOF:
+//     [u32 kind][u32 payload_len][payload][u64 FNV-1a over kind+len+payload]
+//
+//   kind 1 (fault span): u64 first fault index, u32 fault count, then per
+//     fault a u8 FaultStatus and an i32 first-detect pattern.
+//   kind 2 (power measure): i64 ordinal (-1 = fault-free baseline, else the
+//     index in the SFR grading sequence), u64 MC-config digest, five f64s
+//     (datapath/controller/interface/total uW, ci95_rel), u32 batches,
+//     u64 patterns.
+//
+// Durability contract: every append is fflush()ed, so a SIGKILL'd process
+// leaves at most one torn record at the tail (the bytes an interrupted
+// fwrite managed to push). Resume validates records front to back and
+// truncates the file at the first bad checksum / short frame — the torn
+// tail rule. fsync durability across power loss is explicitly out of
+// scope: the journal protects against process death, not kernel death.
+//
+// Determinism contract: engines append records in unit-index order (via the
+// exec::ParallelForGuarded ordered-completion hook), so journal contents
+// are independent of thread count, and a resumed campaign produces output
+// byte-identical to an uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pfd::ckpt {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr char kMagic[8] = {'p', 'f', 'd', 'c', 'k', 'p', 't', '1'};
+inline constexpr std::size_t kHeaderBytes = 40;
+
+// What a journal is bound to. A resume refuses (pfd::Error) when any field
+// disagrees with the header on disk; a fresh journal writes these into the
+// header. `engine` is the numeric fault::FaultSimEngine value (kept as a
+// raw byte here so ckpt does not depend on the fault library).
+struct Binding {
+  std::uint64_t netlist_hash = 0;
+  std::uint64_t stimulus_hash = 0;
+  std::uint8_t engine = 0;
+};
+
+// A replayed kind-1 record: per-fault statuses for a contiguous span.
+struct FaultSpan {
+  std::uint64_t begin = 0;
+  std::vector<std::uint8_t> status;        // fault::FaultStatus values
+  std::vector<std::int32_t> first_detect;  // parallel to `status`
+};
+
+// A replayed (or appended) kind-2 record.
+struct PowerRecord {
+  std::int64_t ordinal = -1;  // -1 = baseline, else SFR sequence index
+  std::uint64_t config_digest = 0;
+  double datapath_uw = 0.0;
+  double controller_uw = 0.0;
+  double interface_uw = 0.0;
+  double total_uw = 0.0;
+  double ci95_rel = 0.0;
+  std::uint32_t batches = 0;
+  std::uint64_t patterns = 0;
+};
+
+class Journal {
+ public:
+  // Opens `path`. Fresh mode (resume = false) truncates any existing file
+  // and starts an empty journal. Resume mode scans an existing journal:
+  // throws pfd::Error when the file is missing or its header is not a
+  // valid pfd checkpoint journal (bad magic, bad header checksum,
+  // unsupported format version); a corrupt or incomplete record tail is
+  // truncated to the last valid record (counted in
+  // ckpt.torn_tail_truncations) and the surviving records are held for
+  // replay until Bind() validates them.
+  static std::unique_ptr<Journal> Open(const std::string& path, bool resume);
+
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Fresh journal: writes the provenance header. Resume: validates the
+  // on-disk header against `binding`, throwing pfd::Error naming the first
+  // mismatching field (design, stimulus, or engine). Appends and replay
+  // accessors require a successful Bind.
+  void Bind(const Binding& binding);
+  bool bound() const { return bound_; }
+
+  // Appends never throw: an I/O failure marks the journal broken (flight
+  // event + ckpt.append_failures counter) and the campaign carries on
+  // without checkpoints. Both appends are idempotent per key (span begin /
+  // power ordinal), so engines may call them uniformly for replayed and
+  // freshly computed units.
+  void AppendFaultSpan(std::uint64_t begin,
+                       const std::uint8_t* status,
+                       const std::int32_t* first_detect,
+                       std::size_t count) noexcept;
+  void AppendPower(const PowerRecord& rec) noexcept;
+
+  // Replayed records, valid after a successful resume Bind. fault_spans()
+  // is in journal (= unit index) order. FindPower returns nullptr when the
+  // ordinal has no record; it throws pfd::Error when a record exists but
+  // its MC-config digest disagrees — replaying power numbers measured
+  // under a different configuration would silently corrupt the report.
+  const std::vector<FaultSpan>& fault_spans() const { return spans_; }
+  const PowerRecord* FindPower(std::int64_t ordinal,
+                               std::uint64_t config_digest) const;
+
+  const std::string& path() const { return path_; }
+  std::uint64_t records_written() const;
+  std::uint64_t records_replayed() const { return records_replayed_; }
+  std::uint64_t torn_tail_truncations() const { return torn_truncations_; }
+  bool broken() const;
+
+  // Flushes and closes the underlying file early (the destructor also
+  // does). Safe to call twice.
+  void Close();
+
+ private:
+  Journal() = default;
+
+  void AppendRecord(std::uint32_t kind, const std::vector<std::uint8_t>& payload);
+  void MarkBroken(const char* what);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;  // append position; null once closed/broken
+  bool resume_ = false;
+  bool bound_ = false;
+  bool broken_ = false;
+  Binding header_;  // resume: parsed from disk; fresh: set by Bind
+
+  // Replayed state (resume only; exposed after Bind).
+  std::vector<FaultSpan> spans_;
+  std::map<std::int64_t, PowerRecord> power_;
+  std::uint64_t records_replayed_ = 0;
+  std::uint64_t torn_truncations_ = 0;
+
+  // Idempotency keys for appends (seeded from the replayed records).
+  std::set<std::uint64_t> span_begins_seen_;
+  std::set<std::int64_t> power_ordinals_seen_;
+  std::uint64_t records_written_ = 0;
+
+  mutable std::mutex mu_;
+};
+
+}  // namespace pfd::ckpt

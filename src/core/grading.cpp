@@ -4,6 +4,7 @@
 #include <bit>
 #include <memory>
 
+#include "base/error.hpp"
 #include "base/stats.hpp"
 #include "logicsim/golden_cache.hpp"
 
@@ -11,17 +12,17 @@ namespace pfd::core {
 
 namespace {
 
-// Cache key for the fault-free Monte Carlo power baseline: netlist hash
-// plus a digest of every knob that shapes the estimate — the MC sampling
-// configuration, the timing model, the full test plan stimulus, the tech
-// model constants, and the clock-gate groups. Thread count and guard
-// limits are deliberately excluded: the engine is bit-identical across
-// both. Only the fault-free baseline is cached; per-fault runs get a
-// distinct simulator configuration each and would just churn the cache.
-logicsim::GoldenKey BaselinePowerKey(const synth::System& sys,
-                                     const fault::TestPlan& plan,
-                                     const power::TechModel& tech,
-                                     const power::MonteCarloConfig& mc) {
+// Digest of every knob that shapes a Monte Carlo power estimate — the MC
+// sampling configuration, the timing model, the full test plan stimulus,
+// the tech model constants, and the clock-gate groups. Thread count and
+// guard limits are deliberately excluded: the engine is bit-identical
+// across both. Shared by the baseline golden-cache key and the checkpoint
+// journal's power-record digests (the per-fault digest folds the fault
+// identity in on top).
+std::uint64_t GradeMcDigest(const synth::System& sys,
+                            const fault::TestPlan& plan,
+                            const power::TechModel& tech,
+                            const power::MonteCarloConfig& mc) {
   const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
   logicsim::Fnv1a h;
   h.AddBytes("grade_baseline_mc", 17);  // consumer domain tag
@@ -55,12 +56,51 @@ logicsim::GoldenKey BaselinePowerKey(const synth::System& sys,
     h.Add(dffs.size());
     for (netlist::GateId d : dffs) h.Add(d);
   }
+  return h.hash();
+}
+
+// Cache key for the fault-free Monte Carlo power baseline. Only the
+// fault-free baseline is cached; per-fault runs get a distinct simulator
+// configuration each and would just churn the cache.
+logicsim::GoldenKey BaselinePowerKey(const synth::System& sys,
+                                     const fault::TestPlan& plan,
+                                     const power::TechModel& tech,
+                                     const power::MonteCarloConfig& mc) {
   logicsim::GoldenKey key;
   key.netlist_hash = sys.nl.StructuralHash();
-  key.stimulus_hash = h.hash();
+  key.stimulus_hash = GradeMcDigest(sys, plan, tech, mc);
   key.cycles = 64ULL * static_cast<std::uint64_t>(mc.max_batches) *
                static_cast<std::uint64_t>(plan.cycles_per_pattern);
   return key;
+}
+
+// Journal-record digest for one graded fault: the shared MC digest plus the
+// fault's identity, so a resumed grade refuses records written for a
+// different fault sequence (FindPower throws on digest mismatch).
+std::uint64_t FaultPowerDigest(std::uint64_t mc_digest,
+                               const fault::StuckFault& f) {
+  logicsim::Fnv1a h;
+  h.AddBytes("grade_fault_mc", 14);  // consumer domain tag
+  h.Add(mc_digest);
+  h.Add(f.gate);
+  h.Add(static_cast<std::uint64_t>(f.pin));
+  h.Add(static_cast<std::uint64_t>(f.value));
+  return h.hash();
+}
+
+ckpt::PowerRecord MakePowerRecord(std::int64_t ordinal, std::uint64_t digest,
+                                  const power::PowerResult& pr) {
+  ckpt::PowerRecord rec;
+  rec.ordinal = ordinal;
+  rec.config_digest = digest;
+  rec.datapath_uw = pr.breakdown.datapath_uw;
+  rec.controller_uw = pr.breakdown.controller_uw;
+  rec.interface_uw = pr.breakdown.interface_uw;
+  rec.total_uw = pr.breakdown.total_uw;
+  rec.ci95_rel = pr.ci95_rel;
+  rec.batches = static_cast<std::uint32_t>(pr.batches);
+  rec.patterns = pr.patterns;
+  return rec;
 }
 
 }  // namespace
@@ -112,31 +152,70 @@ PowerGradeReport GradeSfrFaults(const synth::System& sys,
   power::MonteCarloConfig mc = config.mc;
   mc.checker = &check;
 
+  PFD_CHECK_MSG(config.journal == nullptr || config.journal->bound(),
+                "GradeConfig::journal must be bound before GradeSfrFaults");
+  // One MC digest covers every estimate this grade issues; per-fault
+  // records fold the fault identity in on top. Baseline is ordinal -1,
+  // SFR faults are numbered by grading sequence.
+  const std::uint64_t mc_digest =
+      config.journal != nullptr
+          ? GradeMcDigest(sys, plan, config.tech, config.mc)
+          : 0;
+  // Replays a journal power record into a PowerResult (clean by
+  // construction: only complete, failure-free estimates are journaled).
+  const auto from_record = [](const ckpt::PowerRecord& rec) {
+    power::PowerResult pr;
+    pr.breakdown.datapath_uw = rec.datapath_uw;
+    pr.breakdown.controller_uw = rec.controller_uw;
+    pr.breakdown.interface_uw = rec.interface_uw;
+    pr.breakdown.total_uw = rec.total_uw;
+    pr.ci95_rel = rec.ci95_rel;
+    pr.batches = static_cast<int>(rec.batches);
+    pr.patterns = rec.patterns;
+    return pr;
+  };
+
   PowerGradeReport report;
   report.threshold_percent = config.threshold_percent;
   {
-    const logicsim::GoldenKey key =
-        BaselinePowerKey(sys, plan, config.tech, config.mc);
     power::PowerResult base;
-    if (const auto entry = logicsim::GoldenTraceCache::Global().Find(key)) {
-      base.breakdown.datapath_uw = entry->scalars[0];
-      base.breakdown.controller_uw = entry->scalars[1];
-      base.breakdown.interface_uw = entry->scalars[2];
-      base.breakdown.total_uw = entry->scalars[3];
-      base.ci95_rel = entry->scalars[4];
-      base.batches = static_cast<int>(entry->counts[0]);
-      base.patterns = entry->counts[1];
-    } else {
-      base = power::EstimatePowerMonteCarlo(sys.nl, plan, model, mc);
-      if (base.run_status.ok() && base.run_status.failed_units.empty()) {
-        auto fresh = std::make_shared<logicsim::GoldenEntry>();
-        fresh->scalars = {base.breakdown.datapath_uw,
-                          base.breakdown.controller_uw,
-                          base.breakdown.interface_uw,
-                          base.breakdown.total_uw, base.ci95_rel};
-        fresh->counts = {static_cast<std::uint64_t>(base.batches),
-                         base.patterns};
-        logicsim::GoldenTraceCache::Global().Insert(key, std::move(fresh));
+    bool replayed = false;
+    if (config.journal != nullptr) {
+      if (const ckpt::PowerRecord* jr =
+              config.journal->FindPower(-1, mc_digest)) {
+        base = from_record(*jr);
+        replayed = true;
+      }
+    }
+    if (!replayed) {
+      const logicsim::GoldenKey key =
+          BaselinePowerKey(sys, plan, config.tech, config.mc);
+      if (const auto entry = logicsim::GoldenTraceCache::Global().Find(key)) {
+        base.breakdown.datapath_uw = entry->scalars[0];
+        base.breakdown.controller_uw = entry->scalars[1];
+        base.breakdown.interface_uw = entry->scalars[2];
+        base.breakdown.total_uw = entry->scalars[3];
+        base.ci95_rel = entry->scalars[4];
+        base.batches = static_cast<int>(entry->counts[0]);
+        base.patterns = entry->counts[1];
+      } else {
+        base = power::EstimatePowerMonteCarlo(sys.nl, plan, model, mc);
+        if (base.run_status.ok() && base.run_status.failed_units.empty()) {
+          auto fresh = std::make_shared<logicsim::GoldenEntry>();
+          fresh->scalars = {base.breakdown.datapath_uw,
+                            base.breakdown.controller_uw,
+                            base.breakdown.interface_uw,
+                            base.breakdown.total_uw, base.ci95_rel};
+          fresh->counts = {static_cast<std::uint64_t>(base.batches),
+                           base.patterns};
+          logicsim::GoldenTraceCache::Global().Insert(key, std::move(fresh));
+        }
+      }
+      // Only a complete, failure-free estimate is journal-worthy: a partial
+      // estimate would replay as authoritative on resume.
+      if (config.journal != nullptr && base.run_status.ok() &&
+          base.run_status.failed_units.empty()) {
+        config.journal->AppendPower(MakePowerRecord(-1, mc_digest, base));
       }
     }
     report.fault_free_uw = base.breakdown.datapath_uw;
@@ -144,18 +223,39 @@ PowerGradeReport GradeSfrFaults(const synth::System& sys,
     if (check.tripped() || base.run_status.tripped()) return report;
   }
 
+  std::int64_t sfr_ordinal = -1;
   for (const FaultRecord& rec : classification.records) {
     if (rec.cls != FaultClass::kSfr) continue;
+    ++sfr_ordinal;
     ++report.run_status.total_units;
     if (check.tripped()) continue;
     const fault::StuckFault f = rec.fault;
-    const power::PowerResult pr = power::EstimatePowerMonteCarlo(
-        sys.nl, plan, model, std::span<const fault::StuckFault>(&f, 1), mc);
-    if (pr.run_status.tripped()) {
-      // Mid-run trip: this fault's estimate is over a truncated batch set,
-      // so it is not graded; the trip code lands in the merged status.
-      report.run_status.MergeFrom(pr.run_status, rec.name);
-      continue;
+    const std::uint64_t digest =
+        config.journal != nullptr ? FaultPowerDigest(mc_digest, f) : 0;
+    power::PowerResult pr;
+    bool replayed = false;
+    if (config.journal != nullptr) {
+      if (const ckpt::PowerRecord* jr =
+              config.journal->FindPower(sfr_ordinal, digest)) {
+        pr = from_record(*jr);
+        replayed = true;
+      }
+    }
+    if (!replayed) {
+      pr = power::EstimatePowerMonteCarlo(
+          sys.nl, plan, model, std::span<const fault::StuckFault>(&f, 1), mc);
+      if (pr.run_status.tripped()) {
+        // Mid-run trip: this fault's estimate is over a truncated batch
+        // set, so it is not graded; the trip code lands in the merged
+        // status.
+        report.run_status.MergeFrom(pr.run_status, rec.name);
+        continue;
+      }
+      if (config.journal != nullptr && pr.run_status.ok() &&
+          pr.run_status.failed_units.empty()) {
+        config.journal->AppendPower(
+            MakePowerRecord(sfr_ordinal, digest, pr));
+      }
     }
     report.run_status.MergeFrom(pr.run_status, rec.name);
     report.run_status.completed.push_back(report.run_status.total_units - 1);

@@ -22,6 +22,16 @@ struct GradeConfig {
   double threshold_percent = 5.0;
   power::TechModel tech = power::TechModel::Vsc450();
   power::MonteCarloConfig mc;
+  // Optional bound checkpoint journal (pfdtool --checkpoint): the baseline
+  // and every graded SFR fault append one power record, in grading order;
+  // on resume the recorded estimates replay instead of re-running Monte
+  // Carlo. Each record's digest covers the MC configuration, tech model,
+  // plan, clock gates, and (per fault) the fault identity — but NOT the
+  // threshold: percent_change/outside_band are recomputed from the stored
+  // raw power, so a resume may re-grade under a different threshold.
+  // Not owned; must already be bound (the classification pipeline binds it
+  // before grading runs).
+  ckpt::Journal* journal = nullptr;
 };
 
 struct GradedFault {

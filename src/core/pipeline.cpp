@@ -107,6 +107,17 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
         config.fault_engine,
         config.exec};
     request.checker = &check;
+    if (config.journal != nullptr) {
+      // Bind (and on resume: validate) the journal against this campaign's
+      // identity. A mismatched resume throws pfd::Error out of the pipeline
+      // before any simulation runs.
+      config.journal->Bind(ckpt::Binding{
+          sys.nl.StructuralHash(),
+          fault::StimulusDigest(
+              {plan, config.tpgr_seed, config.tpgr_patterns}),
+          static_cast<std::uint8_t>(config.fault_engine)});
+      request.journal = config.journal;
+    }
     // Compile the system once up front; later stages (step-3 traces, step-4
     // gate checks) construct their own simulators over the same netlist and
     // hit the same memoized program.

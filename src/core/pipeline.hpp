@@ -98,6 +98,12 @@ struct PipelineConfig {
   // Stage-progress callback (one line per stage boundary); pfdtool -v wires
   // this to stderr. Null = silent.
   std::function<void(const std::string&)> progress;
+  // Optional checkpoint journal (pfdtool --checkpoint). The pipeline binds
+  // it to {netlist structural hash, stimulus digest, engine} at the start of
+  // step 1 (a resume against a mismatched journal throws pfd::Error) and
+  // hands it to the step-1 fault simulation, which replays completed spans
+  // and appends new ones. Not owned.
+  ckpt::Journal* journal = nullptr;
 };
 
 // Where the cycles and simulations went during one ClassifyControllerFaults

@@ -191,6 +191,18 @@ std::string RunReportJson(const RunReportInputs& inputs) {
   } else {
     out += "\"metrics\":null,\n";
   }
+  if (inputs.checkpoint != nullptr) {
+    out += "\"checkpoint\":{\"path\":" + Quoted(inputs.checkpoint->path);
+    out += ",\"records_written\":" +
+           std::to_string(inputs.checkpoint->records_written);
+    out += ",\"records_replayed\":" +
+           std::to_string(inputs.checkpoint->records_replayed);
+    out += ",\"torn_tail_truncations\":" +
+           std::to_string(inputs.checkpoint->torn_tail_truncations);
+    out += "},\n";
+  } else {
+    out += "\"checkpoint\":null,\n";
+  }
   out += "\"cache\":" + CacheJson() + ",\n";
   out += "\"counters\":" + obs::CountersJsonObject() + ",\n";
   out += "\"gauges\":" + obs::GaugesJsonObject() + ",\n";

@@ -24,6 +24,17 @@ namespace pfd::core {
 
 inline constexpr int kRunReportSchemaVersion = 1;
 
+// Checkpoint-journal summary for runs started with --checkpoint (additive
+// "checkpoint" key; absent — JSON null — otherwise). After a guard trip
+// this is what tells the operator the journal is resumable and how much of
+// the campaign it holds.
+struct RunReportCheckpoint {
+  std::string path;
+  std::uint64_t records_written = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t torn_tail_truncations = 0;
+};
+
 // Everything the caller supplies; registry/cache/provenance/host sections
 // are collected by RunReportJson itself.
 struct RunReportInputs {
@@ -34,6 +45,7 @@ struct RunReportInputs {
   int exit_code = 0;
   const guard::RunStatus* run_status = nullptr;   // optional
   const PipelineMetrics* metrics = nullptr;       // optional
+  const RunReportCheckpoint* checkpoint = nullptr;  // optional
 };
 
 // Renders a request field as key + JSON value.

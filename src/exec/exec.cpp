@@ -76,6 +76,42 @@ PoolObsHandles& PoolObs() {
   return *handles;
 }
 
+// Ordered-completion bookkeeping for ParallelForGuarded: Complete(i) marks
+// unit i done and fires the hook for every unit of the now-contiguous
+// completed prefix, under one mutex so hooks are serialized in index order.
+// The mutex also carries the happens-before from each unit body's writes
+// (done[i] is set under the lock by the thread that ran the body) to the
+// hook invocation, whichever thread that lands on.
+struct OrderedCommit {
+  const std::function<void(std::size_t)>* hook = nullptr;
+  std::mutex mu;
+  std::vector<char> done;
+  std::size_t next = 0;
+  bool disabled = false;
+
+  void Complete(std::size_t i) {
+    if (hook == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu);
+    done[i] = 1;
+    while (!disabled && next < done.size() && done[next] != 0) {
+      try {
+        (*hook)(next);
+      } catch (...) {
+        // The hook contract is no-throw (journal appends absorb their own
+        // I/O failures); a hook that throws anyway disables itself for the
+        // rest of the loop instead of taking down a worker thread.
+        disabled = true;
+        if (obs::FlightEnabled()) {
+          obs::RecordFlight(obs::FlightKind::kNote, "exec.ordered_done",
+                            "hook threw: " +
+                                guard::CurrentExceptionMessage());
+        }
+      }
+      ++next;
+    }
+  }
+};
+
 }  // namespace
 
 // One ParallelFor invocation: per-participant chunk deques (own queue popped
@@ -126,6 +162,7 @@ struct Pool::Job {
   std::mutex fail_mu;
   std::vector<guard::FailedUnit> failures;  // first-attempt failures
   std::vector<char>* completed = nullptr;   // per-unit flags, disjoint writes
+  OrderedCommit* ordered = nullptr;         // optional in-order hook state
 };
 
 Pool::Pool(const Options& options)
@@ -229,6 +266,7 @@ void Pool::RunChunks(Job& job, std::size_t home) {
         try {
           (*job.body)(i);
           (*job.completed)[i] = 1;
+          if (job.ordered != nullptr) job.ordered->Complete(i);
         } catch (const guard::Tripped&) {
           // The body abandoned the unit at a mid-unit check point; the
           // checker already recorded the trip status.
@@ -362,7 +400,8 @@ void Pool::ParallelFor(std::size_t n,
 
 guard::RunStatus Pool::ParallelForGuarded(
     std::size_t n, const std::function<void(std::size_t)>& body,
-    guard::Checker* checker) {
+    guard::Checker* checker,
+    const std::function<void(std::size_t)>* ordered_done) {
   PFD_CHECK_MSG(tls_running_pool != this,
                 "exec::Pool::ParallelForGuarded re-entered from one of its "
                 "own loop bodies");
@@ -373,6 +412,9 @@ guard::RunStatus Pool::ParallelForGuarded(
   std::vector<char> completed(n, 0);
   std::vector<guard::FailedUnit> failures;
   bool stopped = false;
+  OrderedCommit ordered;
+  ordered.hook = ordered_done;
+  if (ordered_done != nullptr) ordered.done.assign(n, 0);
 
   if (workers_.empty() || n == 1) {
     // Plain loop on the caller; same per-unit semantics as the pooled path.
@@ -381,6 +423,7 @@ guard::RunStatus Pool::ParallelForGuarded(
       try {
         body(i);
         completed[i] = 1;
+        ordered.Complete(i);
       } catch (const guard::Tripped&) {
         stopped = true;
       } catch (...) {
@@ -393,6 +436,7 @@ guard::RunStatus Pool::ParallelForGuarded(
     job.guarded = true;
     job.checker = checker;
     job.completed = &completed;
+    if (ordered_done != nullptr) job.ordered = &ordered;
     RunJob(job, n);
     failures = std::move(job.failures);
   }
@@ -425,6 +469,7 @@ guard::RunStatus Pool::ParallelForGuarded(
     try {
       body(f.index);
       completed[f.index] = 1;
+      ordered.Complete(f.index);
       if (obs_on) {
         obs::Registry::Global().GetCounter("guard.retry_successes").Add(1);
       }

@@ -109,9 +109,22 @@ class Pool {
   // checker->CheckOrThrow() inside their own loops to abandon a unit
   // mid-flight (guard::Tripped is not a failure). RunStatus::completed
   // lists exactly the unit indices whose body ran to completion.
+  //
+  // `ordered_done`, when non-null, is fired exactly once per completed unit
+  // in strict unit-index order: unit i's hook runs only after units
+  // 0..i-1 all completed and fired theirs (the contiguous completed
+  // prefix). The order is therefore independent of thread count and steal
+  // order — this is what lets the checkpoint journal promise
+  // thread-count-invariant record sequences. A unit that permanently fails
+  // stalls the prefix: later units still run, but their hooks never fire
+  // in this invocation. The hook runs under an internal mutex on whichever
+  // thread completed the prefix-advancing unit, with the unit body's
+  // writes visible; it must not throw (a throwing hook disables itself for
+  // the rest of the loop rather than crash a worker).
   guard::RunStatus ParallelForGuarded(
       std::size_t n, const std::function<void(std::size_t)>& body,
-      guard::Checker* checker = nullptr);
+      guard::Checker* checker = nullptr,
+      const std::function<void(std::size_t)>* ordered_done = nullptr);
 
  private:
   struct Job;

@@ -148,6 +148,36 @@ logicsim::GoldenKey DiffGoldenKey(const netlist::Netlist& nl,
   return key;
 }
 
+// Prefills `result` from a bound journal's replayed fault spans and returns
+// per-fault coverage flags. Bind already proved the journal belongs to this
+// design/stimulus/engine; the bounds check guards against a hand-edited but
+// checksum-valid file, refusing (pfd::Error) instead of mis-replaying.
+std::vector<char> ReplayJournal(const ckpt::Journal& journal,
+                                std::size_t num_faults,
+                                FaultSimResult& result) {
+  std::vector<char> covered(num_faults, 0);
+  std::uint64_t replayed = 0;
+  for (const ckpt::FaultSpan& span : journal.fault_spans()) {
+    PFD_CHECK_MSG(span.begin <= num_faults &&
+                      span.status.size() <= num_faults - span.begin,
+                  "checkpoint journal '" + journal.path() +
+                      "' holds a fault span outside this campaign's fault "
+                      "list");
+    for (std::size_t i = 0; i < span.status.size(); ++i) {
+      result.status[span.begin + i] =
+          static_cast<FaultStatus>(span.status[i]);
+      result.first_detect_pattern[span.begin + i] = span.first_detect[i];
+      covered[span.begin + i] = 1;
+    }
+    replayed += span.status.size();
+  }
+  if (replayed != 0 && obs::Enabled()) {
+    obs::Registry::Global().GetCounter("fault_sim.replayed_faults")
+        .Add(replayed);
+  }
+  return covered;
+}
+
 std::vector<int> OperandWidths(const TestPlan& plan) {
   std::vector<int> widths;
   widths.reserve(plan.operand_bits.size());
@@ -274,10 +304,43 @@ FaultSimResult RunParallel(
   const std::size_t num_shards =
       req.faults.empty() ? 1
                          : (req.faults.size() + kFaultLanes - 1) / kFaultLanes;
+
+  // Checkpointing: replay journal spans into the result, mark fully covered
+  // shards (their bodies early-return), and commit each newly completed
+  // shard's span through the ordered hook so records land in shard order
+  // for every thread count. AppendFaultSpan skips replayed begins.
+  std::vector<char> shard_covered(num_shards, 0);
+  std::function<void(std::size_t)> journal_commit;
+  if (req.journal != nullptr) {
+    const std::vector<char> covered =
+        ReplayJournal(*req.journal, req.faults.size(), result);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const std::size_t begin = s * kFaultLanes;
+      const std::size_t size =
+          std::min(kFaultLanes, req.faults.size() - begin);
+      bool all = size > 0;
+      for (std::size_t i = 0; i < size && all; ++i) {
+        all = covered[begin + i] != 0;
+      }
+      shard_covered[s] = all ? 1 : 0;
+    }
+    journal_commit = [&result, &req](std::size_t shard) {
+      const std::size_t begin = shard * kFaultLanes;
+      if (begin >= req.faults.size()) return;  // golden-only shard
+      const std::size_t size =
+          std::min(kFaultLanes, req.faults.size() - begin);
+      req.journal->AppendFaultSpan(
+          begin,
+          reinterpret_cast<const std::uint8_t*>(result.status.data() + begin),
+          result.first_detect_pattern.data() + begin, size);
+    };
+  }
+
   exec::Pool pool(req.exec);
   result.run_status = pool.ParallelForGuarded(
       num_shards,
       [&](std::size_t shard) {
+        if (shard_covered[shard] != 0) return;  // replayed from the journal
         guard::MaybeFail("fault_sim.shard");
         const std::size_t shard_start = shard * kFaultLanes;
         const std::size_t shard_size =
@@ -293,7 +356,7 @@ FaultSimResult RunParallel(
           hist.RecordDouble(obs::NowMicros() - t0);
         }
       },
-      &check);
+      &check, req.journal != nullptr ? &journal_commit : nullptr);
   return result;
 }
 
@@ -356,12 +419,29 @@ FaultSimResult RunSerial(
     cache.Insert(golden_key, std::move(fresh));
   }
 
+  // Checkpointing: each serial unit is one fault, so journal spans are
+  // single-fault spans committed in fault order by the ordered hook.
+  std::vector<char> fault_covered;
+  std::function<void(std::size_t)> journal_commit;
+  if (req.journal != nullptr) {
+    fault_covered = ReplayJournal(*req.journal, req.faults.size(), result);
+    journal_commit = [&result, &req](std::size_t fi) {
+      const std::uint8_t status =
+          static_cast<std::uint8_t>(result.status[fi]);
+      const std::int32_t first_detect = result.first_detect_pattern[fi];
+      req.journal->AppendFaultSpan(fi, &status, &first_detect, 1);
+    };
+  }
+
   // Each fault is an independent shard: private simulator, private TPGR
   // stream, disjoint result slot.
   exec::Pool pool(req.exec);
   result.run_status = pool.ParallelForGuarded(
       req.faults.size(),
       [&](std::size_t fi) {
+        if (!fault_covered.empty() && fault_covered[fi] != 0) {
+          return;  // replayed from the journal
+        }
         guard::MaybeFail("fault_sim.serial_fault");
         logicsim::Simulator sim(req.nl, prog);
         InjectFault(sim, req.faults[fi], ~0ULL);
@@ -413,7 +493,7 @@ FaultSimResult RunSerial(
           if (detected) reg.GetCounter("fault_sim.serial_early_drops").Add(1);
         }
       },
-      &check);
+      &check, req.journal != nullptr ? &journal_commit : nullptr);
   return result;
 }
 
@@ -1615,6 +1695,107 @@ FaultSimResult RunDifferential(
       static_cast<std::size_t>(plan.cycles_per_pattern), 0);
   for (int c : plan.strobe_cycles) strobe_mask[static_cast<std::size_t>(c)] = 1;
 
+  // Checkpointable static-shard mode: with a journal bound, the round/
+  // compaction driver below is replaced by fixed groups of kDiffLanes
+  // consecutive faults, each swept to completion as one guarded unit. A
+  // group's results depend only on (stimulus, faults, group index) — lane
+  // independence makes them bit-identical to the compacting driver (see
+  // DESIGN.md) — so a completed group's span can be journaled and replayed
+  // on resume. The shard object is built fresh inside the unit body, so a
+  // retried unit restarts from pattern 0 instead of double-stepping
+  // carried state (no poisoning needed).
+  if (req.journal != nullptr) {
+    const std::size_t num_groups =
+        req.faults.empty() ? 0
+                           : (req.faults.size() + kDiffLanes - 1) / kDiffLanes;
+    std::vector<char> group_covered(num_groups, 0);
+    {
+      const std::vector<char> covered =
+          ReplayJournal(*req.journal, req.faults.size(), result);
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        const std::size_t begin = g * kDiffLanes;
+        const std::size_t size =
+            std::min(kDiffLanes, req.faults.size() - begin);
+        bool all = size > 0;
+        for (std::size_t i = 0; i < size && all; ++i) {
+          all = covered[begin + i] != 0;
+        }
+        group_covered[g] = all ? 1 : 0;
+      }
+    }
+    const std::function<void(std::size_t)> journal_commit =
+        [&result, &req](std::size_t g) {
+          const std::size_t begin = g * kDiffLanes;
+          const std::size_t size =
+              std::min(kDiffLanes, req.faults.size() - begin);
+          req.journal->AppendFaultSpan(
+              begin,
+              reinterpret_cast<const std::uint8_t*>(result.status.data() +
+                                                    begin),
+              result.first_detect_pattern.data() + begin, size);
+        };
+    exec::Options exec_opts = req.exec;
+    exec_opts.max_chunk_units = 1;
+    exec::Pool pool(exec_opts);
+    const bool obs_on = obs::Enabled();
+    if (obs_on) {
+      obs::Registry& reg = obs::Registry::Global();
+      reg.GetCounter("fault_sim.diff.shards").Add(num_groups);
+      reg.GetCounter("fault_sim.diff.lanes").Add(req.faults.size());
+    }
+    const guard::RunStatus st = pool.ParallelForGuarded(
+        num_groups,
+        [&](std::size_t g) {
+          if (group_covered[g] != 0) return;  // replayed from the journal
+          guard::MaybeFail("fault_sim.diff.shard");
+          const std::size_t begin = g * kDiffLanes;
+          const std::size_t size =
+              std::min(kDiffLanes, req.faults.size() - begin);
+          std::vector<CarriedLane> lanes;
+          lanes.reserve(size);
+          for (std::size_t i = 0; i < size; ++i) {
+            CarriedLane ln;
+            ln.fault = static_cast<std::uint32_t>(begin + i);
+            lanes.push_back(std::move(ln));
+          }
+          obs::Span shard_span("fault_sim.diff.shard");
+          const double t0 = obs_on ? obs::NowMicros() : 0.0;
+          DifferentialShard shard(req, *prog, golden, known_full,
+                                  strobe_mask, std::move(lanes), 0, check,
+                                  result);
+          shard.Run(0, num_patterns);
+          shard.FinalizeUndecided();
+          if (obs_on) {
+            static obs::Histogram& hist =
+                obs::Registry::Global().GetHistogram(
+                    "fault_sim.diff.shard_us");
+            hist.RecordDouble(obs::NowMicros() - t0);
+          }
+        },
+        &check, &journal_commit);
+    guard::RunStatus campaign_static;
+    campaign_static.total_units = req.faults.size();
+    campaign_static.MergeFrom(st, "static shard");
+    for (std::size_t k = 0; k < req.faults.size(); ++k) {
+      if (result.status[k] != FaultStatus::kNotRun) {
+        campaign_static.completed.push_back(k);
+      }
+    }
+    if (obs_on) {
+      obs::Registry& reg = obs::Registry::Global();
+      std::uint64_t detected = 0;
+      std::uint64_t potential = 0;
+      for (const FaultStatus s : result.status) {
+        detected += s == FaultStatus::kDetected ? 1 : 0;
+        potential += s == FaultStatus::kPotentiallyDetected ? 1 : 0;
+      }
+      reg.GetCounter("fault_sim.diff.detected").Add(detected);
+      reg.GetCounter("fault_sim.diff.potential").Add(potential);
+    }
+    result.run_status = std::move(campaign_static);
+    return result;
+  }
+
   // Initial static partition: kDiffLanes consecutive faults per shard.
   std::vector<std::unique_ptr<DifferentialShard>> shards;
   {
@@ -1761,8 +1942,28 @@ FaultSimResult RunDifferential(
 
 }  // namespace
 
+std::uint64_t StimulusDigest(const StimulusSpec& stimulus) {
+  // Drive digest plus the observation schedule: unlike the golden-trace
+  // keys, a checkpoint binds the *complete* stimulus contract — two
+  // campaigns that drive identically but strobe or observe different nets
+  // classify faults differently, so their journals must not interchange.
+  const TestPlan& plan = stimulus.plan;
+  logicsim::Fnv1a h;
+  h.AddBytes("ckpt_stimulus", 13);  // consumer domain tag
+  AddDriveDigest(h, stimulus);
+  h.Add(plan.strobe_cycles.size());
+  for (int c : plan.strobe_cycles) h.Add(static_cast<std::uint64_t>(c));
+  h.Add(plan.observe.size());
+  for (GateId g : plan.observe) h.Add(g);
+  return h.hash();
+}
+
 FaultSimResult RunFaultSim(const FaultSimRequest& request) {
   CheckPlan(request.nl, request.stimulus.plan);
+  PFD_CHECK_MSG(request.journal == nullptr || request.journal->bound(),
+                "FaultSimRequest::journal must be bound before RunFaultSim "
+                "(ckpt::Journal::Bind validates the design/stimulus/engine "
+                "binding)");
   // Resolve the shared artefacts once, on the calling thread: shards only
   // ever read the compiled program, and a caller-provided program must
   // actually match the netlist it will simulate.

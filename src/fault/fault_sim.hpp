@@ -55,6 +55,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ckpt/journal.hpp"
 #include "exec/exec.hpp"
 #include "fault/fault.hpp"
 #include "guard/guard.hpp"
@@ -98,6 +99,12 @@ struct StimulusSpec {
   std::uint32_t tpgr_seed = 0;
   int num_patterns = 0;
 };
+
+// Order-independent digest of the complete stimulus contract — seed,
+// pattern count, and every field of the plan. This is the value a
+// checkpoint journal header binds (ckpt::Binding::stimulus_hash): a resume
+// against a journal recorded under any other stimulus must refuse.
+std::uint64_t StimulusDigest(const StimulusSpec& stimulus);
 
 enum class FaultStatus : std::uint8_t {
   kUndetected = 0,
@@ -173,6 +180,15 @@ struct FaultSimRequest {
   // Golden-trace cache for the serial/differential golden passes; nullptr
   // selects logicsim::GoldenTraceCache::Global(). Not owned.
   logicsim::GoldenTraceCache* golden_cache = nullptr;
+  // Optional bound checkpoint journal (see ckpt/journal.hpp). When set, the
+  // engines prefill results from its replayed fault spans, skip the covered
+  // units, and append every newly completed unit's span in unit-index order
+  // (via the exec ordered-completion hook), so a resumed campaign is
+  // byte-identical to an uninterrupted one and journal contents are
+  // thread-count-independent. The differential engine runs its
+  // checkpointable static-shard mode when a journal is present (results
+  // are bit-identical either way; see DESIGN.md). Not owned.
+  ckpt::Journal* journal = nullptr;
 };
 
 FaultSimResult RunFaultSim(const FaultSimRequest& request);

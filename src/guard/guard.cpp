@@ -195,9 +195,10 @@ namespace {
 
 struct FailpointState {
   bool armed = false;
-  bool always = false;       // "throw": every hit
+  bool always = false;       // "throw"/"abort": every hit
   bool flag = false;         // "flag": non-throwing, polled via FailpointFlagged
-  std::uint64_t fire_at = 0; // "throw@K": hit number K (0-based)
+  bool abort_mode = false;   // "abort"/"abort@K": std::abort() instead of throw
+  std::uint64_t fire_at = 0; // "throw@K"/"abort@K": hit number K (0-based)
   std::uint64_t hits = 0;
 };
 
@@ -219,14 +220,42 @@ void RecountArmed() {
   detail::g_armed_failpoints.store(armed, std::memory_order_relaxed);
 }
 
-// Parses "throw" / "throw@K" / "flag" into `st`; returns false on malformed
-// input: anything but the exact keywords, an empty or non-digit K, trailing
-// garbage, or a K that overflows 64 bits.
+// Parses the "@K" suffix of "<verb>@K"; returns false on an empty or
+// non-digit K, or a K that overflows 64 bits.
+bool ParseFireAt(std::string_view num, FailpointState& st) {
+  if (num.empty()) return false;
+  std::uint64_t k = 0;
+  for (char c : num) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (k > (~0ULL - digit) / 10) return false;  // K overflows
+    k = k * 10 + digit;
+  }
+  st.armed = true;
+  st.always = false;
+  st.fire_at = k;
+  return true;
+}
+
+// Parses "throw" / "throw@K" / "abort" / "abort@K" / "flag" into `st`;
+// returns false on malformed input: anything but the exact keywords, an
+// empty or non-digit K, trailing garbage, or a K that overflows 64 bits.
+// "abort" variants call std::abort() at the firing hit — a crash-injection
+// primitive for the checkpoint kill-and-resume tests, where a clean throw
+// would let destructors and catch blocks tidy up the very state the test
+// wants torn.
 bool ParseSpec(std::string_view spec, FailpointState& st) {
   constexpr std::string_view kThrow = "throw";
+  constexpr std::string_view kAbort = "abort";
   if (spec == kThrow) {
     st.armed = true;
     st.always = true;
+    return true;
+  }
+  if (spec == kAbort) {
+    st.armed = true;
+    st.always = true;
+    st.abort_mode = true;
     return true;
   }
   if (spec == "flag") {
@@ -237,17 +266,13 @@ bool ParseSpec(std::string_view spec, FailpointState& st) {
   if (spec.size() > kThrow.size() + 1 &&
       spec.substr(0, kThrow.size()) == kThrow &&
       spec[kThrow.size()] == '@') {
-    const std::string_view num = spec.substr(kThrow.size() + 1);
-    std::uint64_t k = 0;
-    for (char c : num) {
-      if (c < '0' || c > '9') return false;
-      const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
-      if (k > (~0ULL - digit) / 10) return false;  // K overflows
-      k = k * 10 + digit;
-    }
-    st.armed = true;
-    st.always = false;
-    st.fire_at = k;
+    return ParseFireAt(spec.substr(kThrow.size() + 1), st);
+  }
+  if (spec.size() > kAbort.size() + 1 &&
+      spec.substr(0, kAbort.size()) == kAbort &&
+      spec[kAbort.size()] == '@') {
+    if (!ParseFireAt(spec.substr(kAbort.size() + 1), st)) return false;
+    st.abort_mode = true;
     return true;
   }
   return false;
@@ -260,7 +285,7 @@ void ArmFailpoint(std::string_view name, std::string_view spec) {
   PFD_CHECK_MSG(!name.empty(), "empty failpoint name");
   PFD_CHECK_MSG(ParseSpec(spec, st),
                 "bad failpoint spec '" + std::string(spec) +
-                    "' (expected 'throw', 'throw@K', or 'flag')");
+                    "' (expected 'throw', 'throw@K', 'abort', 'abort@K', or 'flag')");
   std::lock_guard<std::mutex> lock(FailpointMu());
   Failpoints()[std::string(name)] = st;
   RecountArmed();
@@ -287,7 +312,7 @@ void ArmFailpoints(std::string_view list) {
     FailpointState st;
     PFD_CHECK_MSG(ParseSpec(entry.substr(eq + 1), st),
                   "bad failpoint spec in " + quoted +
-                      " (expected 'throw', 'throw@K', or 'flag')");
+                      " (expected 'throw', 'throw@K', 'abort', 'abort@K', or 'flag')");
     for (const auto& [seen, unused] : parsed) {
       PFD_CHECK_MSG(seen != name, "duplicate failpoint name '" +
                                       std::string(name) + "' in list");
@@ -337,12 +362,14 @@ namespace detail {
 
 void MaybeFailSlow(const char* name) {
   bool fire = false;
+  bool abort_mode = false;
   {
     std::lock_guard<std::mutex> lock(FailpointMu());
     const auto it = Failpoints().find(std::string_view(name));
     if (it == Failpoints().end() || !it->second.armed) return;
     FailpointState& st = it->second;
     fire = !st.flag && (st.always || st.hits == st.fire_at);
+    abort_mode = st.abort_mode;
     ++st.hits;
   }
   if (fire) {
@@ -350,7 +377,15 @@ void MaybeFailSlow(const char* name) {
       obs::Registry::Global().GetCounter("guard.failpoint_fires").Add(1);
     }
     if (obs::FlightEnabled()) {
-      obs::RecordFlight(obs::FlightKind::kFailpointFire, name, "fired");
+      obs::RecordFlight(obs::FlightKind::kFailpointFire, name,
+                        abort_mode ? "abort" : "fired");
+    }
+    if (abort_mode) {
+      // Simulated crash: no unwinding, no destructors — the process dies
+      // here just as it would on kill -9 (modulo the stdio flush the
+      // checkpoint journal already forces per record).
+      std::fprintf(stderr, "pfd: failpoint '%s' aborting process\n", name);
+      std::abort();
     }
     throw pfd::Error(std::string("failpoint '") + name + "' fired");
   }

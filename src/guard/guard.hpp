@@ -182,16 +182,20 @@ inline constexpr const char* kEngineFailpoints[] = {
 };
 
 // Arms `name` with `spec`: "throw" (every hit throws), "throw@K" (only
-// hit number K throws, 0-based, counted per failpoint since arming), or
-// "flag" (non-throwing: instrumented code polls FailpointFlagged(name) and
-// takes a deliberately-wrong branch — the xcheck kernel mutations). Re-arming
+// hit number K throws, 0-based, counted per failpoint since arming),
+// "abort" / "abort@K" (the firing hit calls std::abort() — a simulated
+// crash for the checkpoint kill-and-resume tests: no unwinding, no
+// destructors, the process dies as if kill -9'd), or "flag" (non-throwing:
+// instrumented code polls FailpointFlagged(name) and takes a
+// deliberately-wrong branch — the xcheck kernel mutations). Re-arming
 // a name resets its hit counter. Throws pfd::Error on a bad spec.
 void ArmFailpoint(std::string_view name, std::string_view spec);
 // Parses and arms a whole "name=spec,name=spec" list (the $PFD_FAILPOINTS
 // syntax). Strict, all-or-nothing: throws pfd::Error — arming nothing — on
 // an empty entry, a missing '=' or name, a bad spec (anything but "throw",
-// "throw@K", or "flag": "@0", "throw@", non-digit or overflowing K,
-// trailing garbage), or a point name appearing twice in one list.
+// "throw@K", "abort", "abort@K", or "flag": "@0", "throw@", non-digit or
+// overflowing K, trailing garbage), or a point name appearing twice in one
+// list.
 void ArmFailpoints(std::string_view list);
 // Parses $PFD_FAILPOINTS entry by entry through the strict parser;
 // malformed entries are reported on stderr and skipped (the env var must

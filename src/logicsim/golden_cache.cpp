@@ -19,11 +19,64 @@ std::string KeyString(const GoldenKey& key) {
   return buf;
 }
 
+// Accounted payload size of one entry. The fixed overhead stands in for the
+// map node, key, and LRU link, so even an all-empty entry has nonzero cost
+// and a churn of empty entries still hits the capacity.
+std::size_t EntryBytes(const GoldenEntry& e) {
+  constexpr std::size_t kPerEntryOverhead = 96;
+  return kPerEntryOverhead + sizeof(GoldenEntry) +
+         e.trits.size() * sizeof(Trit) + e.scalars.size() * sizeof(double) +
+         e.counts.size() * sizeof(std::uint64_t);
+}
+
+void RecordEvictions(const std::vector<GoldenKey>& evicted) {
+  if (evicted.empty()) return;
+  if (obs::Enabled()) {
+    obs::Registry::Global()
+        .GetCounter("logicsim.golden_cache.evictions")
+        .Add(evicted.size());
+  }
+  if (obs::FlightEnabled()) {
+    for (const GoldenKey& k : evicted) {
+      obs::RecordFlight(obs::FlightKind::kCacheEvict, "logicsim.golden_cache",
+                        KeyString(k));
+    }
+  }
+}
+
 }  // namespace
 
 GoldenTraceCache& GoldenTraceCache::Global() {
   static GoldenTraceCache* cache = new GoldenTraceCache();
   return *cache;
+}
+
+void GoldenTraceCache::EvictLocked(const GoldenKey* keep,
+                                   std::vector<GoldenKey>& evicted) {
+  while (total_bytes_ > capacity_bytes_ && entries_.size() > 1) {
+    // Victim partition: most resident bytes; map order (ascending hash)
+    // breaks ties toward the smaller hash. A partition whose only entry is
+    // the just-inserted key is exempt — the newest entry always survives.
+    Partition* victim_part = nullptr;
+    for (auto& [hash, part] : partitions_) {
+      if (keep != nullptr && part.order.size() == 1 &&
+          part.order.front() == *keep) {
+        continue;
+      }
+      if (victim_part == nullptr || part.bytes > victim_part->bytes) {
+        victim_part = &part;
+      }
+    }
+    if (victim_part == nullptr) return;  // only the kept entry is evictable
+    const GoldenKey victim = victim_part->order.front();
+    const auto it = entries_.find(victim);
+    victim_part->order.pop_front();
+    victim_part->bytes -= it->second.bytes;
+    total_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    if (victim_part->order.empty()) partitions_.erase(victim.netlist_hash);
+    evicted.push_back(victim);
+  }
 }
 
 std::shared_ptr<const GoldenEntry> GoldenTraceCache::Find(
@@ -34,7 +87,12 @@ std::shared_ptr<const GoldenEntry> GoldenTraceCache::Find(
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(key);
-    if (it != entries_.end()) entry = it->second;
+    if (it != entries_.end()) {
+      entry = it->second.entry;
+      // Touch: most-recently-used within the design's partition.
+      Partition& part = partitions_[key.netlist_hash];
+      part.order.splice(part.order.end(), part.order, it->second.pos);
+    }
   }
   if (obs_on) {
     obs::Registry& reg = obs::Registry::Global();
@@ -53,6 +111,7 @@ std::shared_ptr<const GoldenEntry> GoldenTraceCache::Insert(
   bool inserted = false;
   std::vector<GoldenKey> evicted;
   std::shared_ptr<const GoldenEntry> resident;
+  std::size_t bytes_after = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // First insert wins: concurrent producers computed identical artefacts,
@@ -62,34 +121,37 @@ std::shared_ptr<const GoldenEntry> GoldenTraceCache::Insert(
     // handed back as the resident artefact.
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
-      resident = it->second;
+      resident = it->second.entry;
     } else {
-      resident = entry;
-      entries_.emplace(key, std::move(entry));
-      insertion_order_.push_back(key);
+      Node node;
+      node.bytes = EntryBytes(*entry);
+      node.entry = std::move(entry);
+      resident = node.entry;
+      Partition& part = partitions_[key.netlist_hash];
+      part.order.push_back(key);
+      node.pos = std::prev(part.order.end());
+      part.bytes += node.bytes;
+      total_bytes_ += node.bytes;
+      entries_.emplace(key, std::move(node));
       inserted = true;
-      while (entries_.size() > kMaxEntries) {
-        evicted.push_back(insertion_order_.front());
-        entries_.erase(insertion_order_.front());
-        insertion_order_.erase(insertion_order_.begin());
-      }
+      EvictLocked(&key, evicted);
     }
+    bytes_after = total_bytes_;
   }
   if (obs::Enabled()) {
-    obs::Registry::Global()
-        .GetCounter(inserted ? "logicsim.golden_cache.insertions"
-                             : "logicsim.golden_cache.dropped_inserts")
+    obs::Registry& reg = obs::Registry::Global();
+    reg.GetCounter(inserted ? "logicsim.golden_cache.insertions"
+                            : "logicsim.golden_cache.dropped_inserts")
         .Add(1);
+    reg.GetGauge("logicsim.golden_cache.bytes")
+        .Set(static_cast<double>(bytes_after));
   }
   if (obs::FlightEnabled()) {
     obs::RecordFlight(inserted ? obs::FlightKind::kCacheInsert
                                : obs::FlightKind::kCacheDrop,
                       "logicsim.golden_cache", KeyString(key));
-    for (const GoldenKey& k : evicted) {
-      obs::RecordFlight(obs::FlightKind::kCacheEvict, "logicsim.golden_cache",
-                        KeyString(k));
-    }
   }
+  RecordEvictions(evicted);
   return resident;
 }
 
@@ -98,10 +160,33 @@ std::size_t GoldenTraceCache::size() const {
   return entries_.size();
 }
 
+std::size_t GoldenTraceCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+std::size_t GoldenTraceCache::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_bytes_;
+}
+
+void GoldenTraceCache::SetCapacityBytes(std::size_t capacity) {
+  std::vector<GoldenKey> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_bytes_ = capacity;
+    EvictLocked(nullptr, evicted);
+    // With no protected key, a final over-capacity single entry is allowed
+    // to remain: the newest-survives rule degenerates to last-one-stays.
+  }
+  RecordEvictions(evicted);
+}
+
 void GoldenTraceCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
-  insertion_order_.clear();
+  partitions_.clear();
+  total_bytes_ = 0;
 }
 
 }  // namespace pfd::logicsim

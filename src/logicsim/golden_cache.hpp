@@ -26,11 +26,14 @@
 //
 // Consumers must keep their own request-level accounting (obs counters,
 // metrics) identical on hit and miss; only the simulation itself is
-// skipped. The cache bumps logicsim.golden_cache.{hits,misses,insertions}
-// when the obs registry is enabled.
+// skipped. The cache bumps
+// logicsim.golden_cache.{hits,misses,insertions,evictions} when the obs
+// registry is enabled.
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -89,26 +92,47 @@ class Fnv1a {
   std::uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
+// Byte-sized LRU with per-design partitions. Entries are grouped by their
+// netlist hash (one partition per design); when the payload bytes exceed
+// the capacity, the least-recently-used entry of the *largest* partition is
+// evicted (ties broken toward the smaller hash) — a long multi-design
+// process (pfdd-style servers, the benches) cannot let one design's churn
+// wash out every other design's working set. A Find refreshes recency; the
+// just-inserted entry always survives, even when it alone exceeds the
+// capacity. Eviction order is a pure function of the call sequence, so
+// tests and reports can pin it.
 class GoldenTraceCache {
  public:
-  // FIFO eviction above this many entries: the working set of a campaign
-  // is a handful of keys; the cap only bounds pathological churn.
-  static constexpr std::size_t kMaxEntries = 128;
+  // Default payload capacity. The biggest single artefact in the flow (a
+  // differential golden plane trace of a large design) is tens of MiB, so
+  // this comfortably holds several designs' working sets while bounding a
+  // pathological many-stimulus churn.
+  static constexpr std::size_t kDefaultCapacityBytes =
+      std::size_t{256} << 20;  // 256 MiB
 
   static GoldenTraceCache& Global();
 
-  // Returns the entry for `key`, or nullptr on miss.
+  // Returns the entry for `key`, or nullptr on miss. A hit marks the entry
+  // most-recently-used in its design partition.
   std::shared_ptr<const GoldenEntry> Find(const GoldenKey& key);
   // Registers `entry` under `key` and returns the resident entry: `entry`
   // itself when it was inserted, or the incumbent when another producer won
   // the first-insert race (racing producers computed identical artefacts,
   // so callers converging on the returned pointer all see one object). A
   // dropped insert bumps logicsim.golden_cache.dropped_inserts, never
-  // .insertions. Only call with artefacts of clean, untripped runs.
+  // .insertions. Evictions bump logicsim.golden_cache.evictions. Only call
+  // with artefacts of clean, untripped runs.
   std::shared_ptr<const GoldenEntry> Insert(
       const GoldenKey& key, std::shared_ptr<const GoldenEntry> entry);
 
   std::size_t size() const;
+  // Total payload bytes currently resident / the eviction threshold.
+  std::size_t bytes() const;
+  std::size_t capacity_bytes() const;
+  // Re-sizes the cache (pfdtool --golden-cache-bytes), evicting immediately
+  // when the resident payload exceeds the new capacity. 0 is allowed: every
+  // insert then evicts all but the newest entry.
+  void SetCapacityBytes(std::size_t capacity);
   // Drops every entry (tests; long-lived processes cycling many netlists).
   void Clear();
 
@@ -120,11 +144,28 @@ class GoldenTraceCache {
       return static_cast<std::size_t>(h.hash());
     }
   };
+  // One per netlist hash: LRU list (front = coldest) plus the partition's
+  // resident payload bytes. std::map keeps partition iteration ordered by
+  // hash, which is what makes the eviction tie-break deterministic.
+  struct Partition {
+    std::list<GoldenKey> order;
+    std::size_t bytes = 0;
+  };
+  struct Node {
+    std::shared_ptr<const GoldenEntry> entry;
+    std::size_t bytes = 0;
+    std::list<GoldenKey>::iterator pos;  // into its partition's order list
+  };
+
+  // Evicts until bytes() <= capacity (or only `keep` remains), appending
+  // the victims to `evicted`. Caller holds mu_; `keep` may be null.
+  void EvictLocked(const GoldenKey* keep, std::vector<GoldenKey>& evicted);
 
   mutable std::mutex mu_;
-  std::unordered_map<GoldenKey, std::shared_ptr<const GoldenEntry>, KeyHash>
-      entries_;
-  std::vector<GoldenKey> insertion_order_;
+  std::unordered_map<GoldenKey, Node, KeyHash> entries_;
+  std::map<std::uint64_t, Partition> partitions_;
+  std::size_t capacity_bytes_ = kDefaultCapacityBytes;
+  std::size_t total_bytes_ = 0;
 };
 
 }  // namespace pfd::logicsim

@@ -17,6 +17,7 @@ const char* FlightKindName(FlightKind kind) {
     case FlightKind::kCacheDrop: return "cache_drop";
     case FlightKind::kCacheEvict: return "cache_evict";
     case FlightKind::kCancel: return "cancel";
+    case FlightKind::kCheckpoint: return "checkpoint";
     case FlightKind::kNote: return "note";
   }
   return "unknown";

@@ -35,6 +35,7 @@ enum class FlightKind : std::uint8_t {
   kCacheDrop,       // golden-trace cache refused a duplicate insert
   kCacheEvict,      // golden-trace cache evicted FIFO-oldest
   kCancel,          // cooperative cancellation first observed
+  kCheckpoint,      // ckpt journal lifecycle (open, bind, torn tail, broken)
   kNote,            // free-form marker (tests, tooling)
 };
 

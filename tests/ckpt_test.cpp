@@ -1,0 +1,510 @@
+// Tests for the crash-tolerant checkpoint journal (src/ckpt) and its resume
+// engine: round trips, header binding refusals, torn-tail truncation, a
+// corruption fuzz over every byte offset (truncate + bit-flip), byte-identity
+// of resumed campaigns across all three fault engines and thread counts, and
+// the strict CLI parsers/failpoint specs the checkpoint flags ride on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/parse.hpp"
+#include "base/rng.hpp"
+#include "ckpt/journal.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "guard/guard.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pfd::ckpt {
+namespace {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::ModuleTag;
+using netlist::Netlist;
+
+// --- file helpers -----------------------------------------------------------
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "pfd_ckpt_" + name;
+}
+
+std::vector<std::uint8_t> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<std::uint8_t> bytes;
+  if (f != nullptr) {
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::uint8_t* data,
+               std::size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(data, 1, size, f), size);
+  std::fclose(f);
+}
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint32_t GetU32At(const std::vector<std::uint8_t>& b, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[off + i]) << (8 * i);
+  return v;
+}
+
+// Builds a journal with three fault spans and two power records; returns its
+// bytes. The content is deterministic, so every test derived from it is too.
+std::vector<std::uint8_t> MakeSampleJournal(const std::string& path) {
+  auto j = Journal::Open(path, /*resume=*/false);
+  j->Bind(Binding{0x1111, 0x2222, 1});
+  const std::uint8_t status[3] = {0, 1, 2};
+  const std::int32_t detect[3] = {-1, 4, 7};
+  j->AppendFaultSpan(0, status, detect, 3);
+  j->AppendFaultSpan(3, status, detect, 2);
+  j->AppendFaultSpan(5, status + 1, detect + 1, 1);
+  PowerRecord base;
+  base.ordinal = -1;
+  base.config_digest = 0xABCD;
+  base.total_uw = 12.5;
+  base.batches = 4;
+  base.patterns = 256;
+  j->AppendPower(base);
+  PowerRecord f0 = base;
+  f0.ordinal = 0;
+  f0.total_uw = 13.25;
+  j->AppendPower(f0);
+  EXPECT_EQ(j->records_written(), 5u);
+  j->Close();
+  return ReadFile(path);
+}
+
+// --- journal round trips ----------------------------------------------------
+
+TEST(CkptJournal, FreshWriteThenResumeReplaysEveryRecord) {
+  const std::string path = TempPath("roundtrip.ckpt");
+  MakeSampleJournal(path);
+
+  auto j = Journal::Open(path, /*resume=*/true);
+  j->Bind(Binding{0x1111, 0x2222, 1});
+  EXPECT_EQ(j->records_replayed(), 5u);
+  EXPECT_EQ(j->torn_tail_truncations(), 0u);
+  ASSERT_EQ(j->fault_spans().size(), 3u);
+  const FaultSpan& s0 = j->fault_spans()[0];
+  EXPECT_EQ(s0.begin, 0u);
+  EXPECT_EQ(s0.status, (std::vector<std::uint8_t>{0, 1, 2}));
+  EXPECT_EQ(s0.first_detect, (std::vector<std::int32_t>{-1, 4, 7}));
+  EXPECT_EQ(j->fault_spans()[1].begin, 3u);
+  EXPECT_EQ(j->fault_spans()[2].begin, 5u);
+
+  const PowerRecord* base = j->FindPower(-1, 0xABCD);
+  ASSERT_NE(base, nullptr);
+  EXPECT_DOUBLE_EQ(base->total_uw, 12.5);
+  EXPECT_EQ(base->batches, 4u);
+  EXPECT_EQ(base->patterns, 256u);
+  ASSERT_NE(j->FindPower(0, 0xABCD), nullptr);
+  EXPECT_EQ(j->FindPower(1, 0xABCD), nullptr);  // absent ordinal: miss
+  // Present ordinal measured under a different MC config: refuse, never
+  // serve numbers from another configuration.
+  EXPECT_THROW((void)j->FindPower(-1, 0xDEAD), Error);
+}
+
+TEST(CkptJournal, AppendsAreIdempotentPerKey) {
+  const std::string path = TempPath("idempotent.ckpt");
+  const std::vector<std::uint8_t> full = MakeSampleJournal(path);
+
+  // Re-appending every record of a resumed journal must write nothing: the
+  // engines call Append uniformly for replayed and fresh units.
+  auto j = Journal::Open(path, /*resume=*/true);
+  j->Bind(Binding{0x1111, 0x2222, 1});
+  const std::uint8_t status[3] = {0, 1, 2};
+  const std::int32_t detect[3] = {-1, 4, 7};
+  j->AppendFaultSpan(0, status, detect, 3);
+  j->AppendFaultSpan(3, status, detect, 2);
+  PowerRecord base;
+  base.ordinal = -1;
+  base.config_digest = 0xABCD;
+  j->AppendPower(base);
+  EXPECT_EQ(j->records_written(), 0u);
+  j->Close();
+  EXPECT_EQ(ReadFile(path), full);
+}
+
+// --- header binding refusals ------------------------------------------------
+
+TEST(CkptJournal, ResumeRefusesMissingOrForeignFile) {
+  EXPECT_THROW((void)Journal::Open(TempPath("nonexistent.ckpt"), true), Error);
+
+  const std::string path = TempPath("foreign.ckpt");
+  const char text[] = "this is not a checkpoint journal, not even close....";
+  WriteFile(path, reinterpret_cast<const std::uint8_t*>(text), sizeof text);
+  EXPECT_THROW((void)Journal::Open(path, true), Error);
+}
+
+TEST(CkptJournal, ResumeRefusesMismatchedBinding) {
+  const std::string path = TempPath("binding.ckpt");
+  MakeSampleJournal(path);
+  const auto expect_refusal = [&](const Binding& b, const char* needle) {
+    auto j = Journal::Open(path, true);
+    try {
+      j->Bind(b);
+      FAIL() << "Bind accepted a mismatched " << needle;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_refusal(Binding{0x9999, 0x2222, 1}, "design");
+  expect_refusal(Binding{0x1111, 0x9999, 1}, "stimulus");
+  expect_refusal(Binding{0x1111, 0x2222, 2}, "engine");
+}
+
+TEST(CkptJournal, ResumeRefusesFutureFormatVersion) {
+  const std::string path = TempPath("version.ckpt");
+  std::vector<std::uint8_t> bytes = MakeSampleJournal(path);
+  // Stamp version 2 and recompute the header checksum so only the version
+  // check can refuse (a stale checksum would mask it).
+  bytes[8] = 2;
+  const std::uint64_t sum = Fnv1a(bytes.data(), 32);
+  for (int i = 0; i < 8; ++i) {
+    bytes[32 + i] = static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+  WriteFile(path, bytes.data(), bytes.size());
+  try {
+    (void)Journal::Open(path, true);
+    FAIL() << "resume accepted format version 2";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("format version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CkptJournal, HeaderChecksumRegressionPinned) {
+  // Pins the FNV-1a header checksum for a fixed binding. If this test
+  // breaks, the on-disk format changed: bump kFormatVersion instead of
+  // updating the constant.
+  const std::string path = TempPath("pinned.ckpt");
+  {
+    auto j = Journal::Open(path, false);
+    j->Bind(Binding{0x1122334455667788ULL, 0x99aabbccddeeff00ULL, 7});
+    j->Close();
+  }
+  const std::vector<std::uint8_t> bytes = ReadFile(path);
+  ASSERT_EQ(bytes.size(), kHeaderBytes);
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    sum |= static_cast<std::uint64_t>(bytes[32 + i]) << (8 * i);
+  }
+  EXPECT_EQ(sum, 0x4d8caf5328632e34ULL);
+}
+
+// --- torn tails and corruption ----------------------------------------------
+
+TEST(CkptJournal, TornTailIsTruncatedToLastValidRecord) {
+  const std::string path = TempPath("torn.ckpt");
+  std::vector<std::uint8_t> bytes = MakeSampleJournal(path);
+  // A SIGKILL mid-append leaves part of a frame: simulate with half a
+  // record's worth of garbage.
+  const std::uint8_t garbage[9] = {1, 0, 0, 0, 42, 42, 42, 42, 42};
+  std::vector<std::uint8_t> torn = bytes;
+  torn.insert(torn.end(), garbage, garbage + sizeof garbage);
+  WriteFile(path, torn.data(), torn.size());
+
+  auto j = Journal::Open(path, true);
+  EXPECT_EQ(j->torn_tail_truncations(), 1u);
+  EXPECT_EQ(j->records_replayed(), 5u);
+  j->Close();
+  // The truncation is durable: the file is back to the valid prefix.
+  EXPECT_EQ(ReadFile(path), bytes);
+}
+
+// Shared oracle for the fuzz tests: opening a mangled journal must either
+// throw pfd::Error or replay records that are a *prefix-consistent subset*
+// of the original — identical content for every surviving key. Crashes and
+// silently altered records are the two forbidden outcomes.
+void ExpectSaneReplay(const std::string& path, const Journal& original) {
+  std::unique_ptr<Journal> j;
+  try {
+    j = Journal::Open(path, true);
+  } catch (const Error&) {
+    return;  // refusal is always acceptable for corrupt input
+  }
+  ASSERT_LE(j->fault_spans().size(), original.fault_spans().size());
+  for (std::size_t i = 0; i < j->fault_spans().size(); ++i) {
+    const FaultSpan& got = j->fault_spans()[i];
+    const FaultSpan& want = original.fault_spans()[i];
+    // Spans replay in journal order, so position i must match exactly; a
+    // record surviving with different content means a checksum collision.
+    EXPECT_EQ(got.begin, want.begin);
+    EXPECT_EQ(got.status, want.status);
+    EXPECT_EQ(got.first_detect, want.first_detect);
+  }
+  for (std::int64_t ord : {std::int64_t{-1}, std::int64_t{0}}) {
+    const PowerRecord* got = nullptr;
+    try {
+      got = j->FindPower(ord, 0xABCD);
+    } catch (const Error&) {
+      ADD_FAILURE() << "replayed power record for ordinal " << ord
+                    << " has a mangled config digest";
+      continue;
+    }
+    if (got == nullptr) continue;  // dropped by truncation: fine
+    const PowerRecord* want = original.FindPower(ord, 0xABCD);
+    ASSERT_NE(want, nullptr);
+    EXPECT_EQ(got->total_uw, want->total_uw);
+    EXPECT_EQ(got->batches, want->batches);
+    EXPECT_EQ(got->patterns, want->patterns);
+  }
+}
+
+TEST(CkptJournalFuzz, TruncationAtEveryByteOffset) {
+  const std::string ref_path = TempPath("fuzz_ref.ckpt");
+  const std::vector<std::uint8_t> bytes = MakeSampleJournal(ref_path);
+  auto original = Journal::Open(ref_path, true);
+
+  const std::string path = TempPath("fuzz_trunc.ckpt");
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + " bytes");
+    WriteFile(path, bytes.data(), len);
+    ExpectSaneReplay(path, *original);
+  }
+}
+
+TEST(CkptJournalFuzz, BitFlipAtEveryByteOffset) {
+  const std::string ref_path = TempPath("fuzz_ref2.ckpt");
+  const std::vector<std::uint8_t> bytes = MakeSampleJournal(ref_path);
+  auto original = Journal::Open(ref_path, true);
+
+  const std::string path = TempPath("fuzz_flip.ckpt");
+  for (std::size_t off = 0; off < bytes.size(); ++off) {
+    for (const std::uint8_t mask : {0x01, 0x80}) {
+      SCOPED_TRACE("bit flip 0x" + std::to_string(mask) + " at byte " +
+                   std::to_string(off));
+      std::vector<std::uint8_t> mangled = bytes;
+      mangled[off] ^= mask;
+      WriteFile(path, mangled.data(), mangled.size());
+      ExpectSaneReplay(path, *original);
+    }
+  }
+}
+
+// --- end-to-end resume through the fault engines ----------------------------
+
+struct TestCircuit {
+  Netlist nl;
+  std::vector<GateId> inputs;
+  std::vector<GateId> outputs;
+};
+
+TestCircuit MakeCircuit(std::uint64_t seed, int num_inputs, int num_gates,
+                        int num_dffs) {
+  Rng rng(seed);
+  TestCircuit tc;
+  std::vector<GateId> pool;
+  for (int i = 0; i < num_inputs; ++i) {
+    const GateId g =
+        tc.nl.AddInput("in" + std::to_string(i), ModuleTag::kController);
+    tc.inputs.push_back(g);
+    pool.push_back(g);
+  }
+  std::vector<GateId> dffs;
+  for (int i = 0; i < num_dffs; ++i) {
+    const GateId d =
+        tc.nl.AddDff(ModuleTag::kController, "r" + std::to_string(i));
+    dffs.push_back(d);
+    pool.push_back(d);
+  }
+  const GateKind kinds[] = {GateKind::kAnd, GateKind::kOr, GateKind::kNand,
+                            GateKind::kNor, GateKind::kXor, GateKind::kNot};
+  for (int i = 0; i < num_gates; ++i) {
+    const GateKind kind = kinds[rng.Below(std::size(kinds))];
+    const int arity = netlist::ExpectedArity(kind) < 0
+                          ? 2 + static_cast<int>(rng.Below(2))
+                          : netlist::ExpectedArity(kind);
+    std::vector<GateId> fanins;
+    for (int a = 0; a < arity; ++a) {
+      fanins.push_back(pool[rng.Below(pool.size())]);
+    }
+    pool.push_back(tc.nl.AddGate(kind, ModuleTag::kController, fanins,
+                                 "g" + std::to_string(i)));
+  }
+  for (GateId d : dffs) tc.nl.ConnectDff(d, pool[rng.Below(pool.size())]);
+  for (int i = 0; i < 4; ++i) {
+    const GateId g = pool[pool.size() - 1 - rng.Below(pool.size() / 2)];
+    tc.outputs.push_back(g);
+    tc.nl.AddOutput(g, "out" + std::to_string(i));
+  }
+  tc.nl.Validate();
+  return tc;
+}
+
+fault::TestPlan PlanFor(const TestCircuit& tc) {
+  fault::TestPlan plan;
+  for (GateId in : tc.inputs) plan.operand_bits.push_back({in});
+  plan.cycles_per_pattern = 4;
+  for (int c = 0; c < 4; ++c) plan.strobe_cycles.push_back(c);
+  plan.observe = tc.outputs;
+  return plan;
+}
+
+TEST(CkptResume, InterruptedCampaignResumesByteIdenticalAcrossEnginesAndThreads) {
+  const TestCircuit tc = MakeCircuit(7, 6, 160, 5);
+  const fault::TestPlan plan = PlanFor(tc);
+  const std::vector<fault::StuckFault> faults =
+      fault::GenerateFaults(tc.nl, ModuleTag::kController);
+  ASSERT_GT(faults.size(), 130u);  // several shards for every engine
+
+  const auto run = [&](fault::FaultSimEngine engine, int threads,
+                       Journal* journal) {
+    fault::FaultSimRequest req{tc.nl, {plan, 11, 24}, faults, engine};
+    req.exec.threads = threads;
+    req.journal = journal;
+    return fault::RunFaultSim(req);
+  };
+
+  for (const fault::FaultSimEngine engine :
+       {fault::FaultSimEngine::kParallel, fault::FaultSimEngine::kSerial,
+        fault::FaultSimEngine::kDifferential}) {
+    SCOPED_TRACE("engine " + std::to_string(static_cast<int>(engine)));
+    const Binding binding{tc.nl.StructuralHash(),
+                          fault::StimulusDigest({plan, 11, 24}),
+                          static_cast<std::uint8_t>(engine)};
+    const fault::FaultSimResult want = run(engine, 1, nullptr);
+
+    std::vector<std::uint8_t> uninterrupted;
+    for (const int threads : {1, 2, 8}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      const std::string path = TempPath("resume.ckpt");
+      {
+        auto j = Journal::Open(path, false);
+        j->Bind(binding);
+        const fault::FaultSimResult got = run(engine, threads, j.get());
+        EXPECT_EQ(got.status, want.status);
+        EXPECT_EQ(got.first_detect_pattern, want.first_detect_pattern);
+      }
+      const std::vector<std::uint8_t> full = ReadFile(path);
+      if (uninterrupted.empty()) {
+        uninterrupted = full;
+      } else {
+        // The journal is a pure function of the campaign, not the thread
+        // count: ordered completion makes the bytes identical.
+        EXPECT_EQ(full, uninterrupted);
+      }
+
+      // Simulate a kill after the first record (header + one frame), then
+      // resume: the finished journal and the verdicts must be identical to
+      // the uninterrupted run's.
+      ASSERT_GT(full.size(), kHeaderBytes + 16);
+      const std::size_t first_frame_end =
+          kHeaderBytes + 16 + GetU32At(full, kHeaderBytes + 4);
+      WriteFile(path, full.data(), first_frame_end);
+      {
+        auto j = Journal::Open(path, true);
+        j->Bind(binding);
+        EXPECT_EQ(j->records_replayed(), 1u);
+        const fault::FaultSimResult got = run(engine, threads, j.get());
+        EXPECT_EQ(got.status, want.status);
+        EXPECT_EQ(got.first_detect_pattern, want.first_detect_pattern);
+      }
+      EXPECT_EQ(ReadFile(path), full);
+    }
+  }
+}
+
+TEST(CkptResume, RunFaultSimRequiresBoundJournal) {
+  const TestCircuit tc = MakeCircuit(3, 4, 40, 2);
+  const fault::TestPlan plan = PlanFor(tc);
+  const std::vector<fault::StuckFault> faults =
+      fault::GenerateFaults(tc.nl, ModuleTag::kController);
+  auto j = Journal::Open(TempPath("unbound.ckpt"), false);
+  fault::FaultSimRequest req{tc.nl, {plan, 1, 8}, faults,
+                             fault::FaultSimEngine::kParallel};
+  req.journal = j.get();  // never Bind()ed
+  EXPECT_THROW((void)fault::RunFaultSim(req), Error);
+}
+
+TEST(CkptResume, OutOfRangeSpanIsRejectedNotReplayed) {
+  const TestCircuit tc = MakeCircuit(3, 4, 40, 2);
+  const fault::TestPlan plan = PlanFor(tc);
+  const std::vector<fault::StuckFault> faults =
+      fault::GenerateFaults(tc.nl, ModuleTag::kController);
+  const Binding binding{tc.nl.StructuralHash(),
+                        fault::StimulusDigest({plan, 1, 8}),
+                        static_cast<std::uint8_t>(fault::FaultSimEngine::kSerial)};
+  const std::string path = TempPath("range.ckpt");
+  {
+    // A journal holding a span past this campaign's fault list (same header
+    // binding, e.g. hand-edited) must refuse, not write out of bounds.
+    auto j = Journal::Open(path, false);
+    j->Bind(binding);
+    const std::uint8_t status = 1;
+    const std::int32_t detect = 0;
+    j->AppendFaultSpan(faults.size() + 100, &status, &detect, 1);
+  }
+  auto j = Journal::Open(path, true);
+  j->Bind(binding);
+  fault::FaultSimRequest req{tc.nl, {plan, 1, 8}, faults,
+                             fault::FaultSimEngine::kSerial};
+  req.journal = j.get();
+  EXPECT_THROW((void)fault::RunFaultSim(req), Error);
+}
+
+// --- CLI parsers and failpoint specs ----------------------------------------
+
+TEST(CkptParsers, ParsePathFlagRejectsGarbage) {
+  EXPECT_EQ(ParsePathFlag("--checkpoint", "run.ckpt"), "run.ckpt");
+  EXPECT_EQ(ParsePathFlag("--checkpoint", "./--odd-name"), "./--odd-name");
+  EXPECT_EQ(ParsePathFlag("--checkpoint", "-"), "-");
+  EXPECT_THROW((void)ParsePathFlag("--checkpoint", ""), Error);
+  EXPECT_THROW((void)ParsePathFlag("--checkpoint", "--resume"), Error);
+}
+
+TEST(CkptParsers, AbortFailpointSpecParsesStrictly) {
+  guard::ClearFailpoints();
+  guard::ArmFailpoint("ckpt_test.a", "abort");
+  guard::ArmFailpoint("ckpt_test.b", "abort@3");
+  EXPECT_THROW(guard::ArmFailpoint("ckpt_test.c", "abort@"), Error);
+  EXPECT_THROW(guard::ArmFailpoint("ckpt_test.c", "abort@x"), Error);
+  EXPECT_THROW(guard::ArmFailpoint("ckpt_test.c", "abort@1x"), Error);
+  try {
+    guard::ArmFailpoint("ckpt_test.c", "explode");
+    FAIL() << "bogus spec accepted";
+  } catch (const Error& e) {
+    // The error enumerates the legal vocabulary, including the abort forms.
+    EXPECT_NE(std::string(e.what()).find("abort@K"), std::string::npos)
+        << e.what();
+  }
+  guard::ClearFailpoints();
+}
+
+TEST(CkptDeathTest, AbortFailpointAbortsTheProcess) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        guard::ArmFailpoint("ckpt_test.die", "abort");
+        guard::MaybeFail("ckpt_test.die");
+      },
+      "aborting process");
+}
+
+}  // namespace
+}  // namespace pfd::ckpt

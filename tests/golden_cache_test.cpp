@@ -1,7 +1,8 @@
-// Tests for the golden-trace cache: key/entry discipline, FIFO eviction,
-// and the fault-free consumers (control-trace extraction and the serial
-// fault-sim golden pass) — including that a netlist or stimulus change
-// misses the cache instead of replaying a stale golden run.
+// Tests for the golden-trace cache: key/entry discipline, the byte-sized
+// per-design LRU eviction policy, and the fault-free consumers
+// (control-trace extraction and the serial fault-sim golden pass) —
+// including that a netlist or stimulus change misses the cache instead of
+// replaying a stale golden run.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -64,21 +65,75 @@ TEST(GoldenTraceCache, InsertFindRoundtripAndFirstWins) {
   EXPECT_EQ(cache.Find(k), nullptr);
 }
 
-TEST(GoldenTraceCache, FifoEvictionBoundsTheCache) {
-  GoldenTraceCache& cache = GoldenTraceCache::Global();
-  cache.Clear();
-  for (std::uint64_t i = 0; i < GoldenTraceCache::kMaxEntries + 8; ++i) {
-    cache.Insert(MakeKey(i, 0, 0), MakeEntry(static_cast<double>(i)));
+std::shared_ptr<GoldenEntry> MakeSized(std::size_t counts) {
+  auto e = std::make_shared<GoldenEntry>();
+  e->counts.assign(counts, 0);
+  return e;
+}
+
+TEST(GoldenTraceCache, ByteLruEvictsColdestEntryOfLargestPartition) {
+  obs::Registry& reg = obs::Registry::Global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const std::uint64_t evict_before =
+      reg.CounterValue("logicsim.golden_cache.evictions");
+
+  GoldenTraceCache cache;
+  // Learn the accounted size of one entry rather than hardcoding the
+  // overhead constant; all entries in this test are the same size.
+  cache.Insert(MakeKey(1, 1, 0), MakeSized(100));
+  const std::size_t one = cache.bytes();
+  ASSERT_GT(one, 0u);
+  cache.SetCapacityBytes(3 * one + one / 2);  // room for three entries
+
+  cache.Insert(MakeKey(1, 2, 0), MakeSized(100));  // design 1, second entry
+  cache.Insert(MakeKey(2, 1, 0), MakeSized(100));  // design 2
+  EXPECT_EQ(cache.size(), 3u);
+  // Refresh (1,1): design 1's coldest entry is now (1,2).
+  EXPECT_NE(cache.Find(MakeKey(1, 1, 0)), nullptr);
+
+  // The fourth insert exceeds capacity. Both partitions hold two entries
+  // (tie), so the smaller netlist hash — design 1 — gives up its LRU entry.
+  cache.Insert(MakeKey(2, 2, 0), MakeSized(100));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_LE(cache.bytes(), cache.capacity_bytes());
+  EXPECT_EQ(cache.Find(MakeKey(1, 2, 0)), nullptr);  // evicted
+  EXPECT_NE(cache.Find(MakeKey(1, 1, 0)), nullptr);  // survived: refreshed
+  EXPECT_NE(cache.Find(MakeKey(2, 1, 0)), nullptr);
+  EXPECT_NE(cache.Find(MakeKey(2, 2, 0)), nullptr);
+  EXPECT_EQ(reg.CounterValue("logicsim.golden_cache.evictions") -
+                evict_before,
+            1u);
+  reg.set_enabled(was_enabled);
+}
+
+TEST(GoldenTraceCache, OversizeNewestEntrySurvives) {
+  GoldenTraceCache cache;
+  cache.Insert(MakeKey(1, 1, 0), MakeSized(8));
+  cache.SetCapacityBytes(cache.bytes());  // exactly one small entry fits
+  // An entry larger than the whole cache still gets resident — evicting
+  // the artefact that was just computed would livelock its producer.
+  cache.Insert(MakeKey(2, 1, 0), MakeSized(1 << 16));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Find(MakeKey(1, 1, 0)), nullptr);
+  EXPECT_NE(cache.Find(MakeKey(2, 1, 0)), nullptr);
+  EXPECT_GT(cache.bytes(), cache.capacity_bytes());
+}
+
+TEST(GoldenTraceCache, SetCapacityBytesEvictsImmediatelyInLruOrder) {
+  GoldenTraceCache cache;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    cache.Insert(MakeKey(1, i, 0), MakeSized(100));
   }
-  EXPECT_EQ(cache.size(), GoldenTraceCache::kMaxEntries);
-  // Oldest entries left first.
-  EXPECT_EQ(cache.Find(MakeKey(0, 0, 0)), nullptr);
-  EXPECT_EQ(cache.Find(MakeKey(7, 0, 0)), nullptr);
-  EXPECT_NE(cache.Find(MakeKey(8, 0, 0)), nullptr);
-  EXPECT_NE(cache.Find(
-                MakeKey(GoldenTraceCache::kMaxEntries + 7, 0, 0)),
-            nullptr);
-  cache.Clear();
+  EXPECT_EQ(cache.size(), 4u);
+  cache.SetCapacityBytes(cache.bytes() / 2);
+  EXPECT_LE(cache.bytes(), cache.capacity_bytes());
+  EXPECT_EQ(cache.size(), 2u);
+  // Insertion order is the recency order here, so the two oldest left.
+  EXPECT_EQ(cache.Find(MakeKey(1, 0, 0)), nullptr);
+  EXPECT_EQ(cache.Find(MakeKey(1, 1, 0)), nullptr);
+  EXPECT_NE(cache.Find(MakeKey(1, 2, 0)), nullptr);
+  EXPECT_NE(cache.Find(MakeKey(1, 3, 0)), nullptr);
 }
 
 // Regression for a digest ambiguity: without length prefixes, AddBytes

@@ -142,6 +142,21 @@ def check_report(path, doc, args):
             check_type(wall, key, float, "metrics.wall_ms")
         check_type(metrics, "engine", dict, "metrics")
 
+    expect("checkpoint" in doc, "top level: missing key 'checkpoint'")
+    ckpt = doc["checkpoint"]
+    if args.expect_checkpoint:
+        expect(ckpt is not None,
+               "checkpoint: expected an object (--expect-checkpoint), "
+               "got null")
+    if ckpt is not None:
+        expect(isinstance(ckpt, dict), "checkpoint: expected object or null")
+        path_val = check_type(ckpt, "path", str, "checkpoint")
+        expect(path_val != "", "checkpoint.path: empty")
+        for key in ("records_written", "records_replayed",
+                    "torn_tail_truncations"):
+            v = check_type(ckpt, key, int, "checkpoint")
+            expect(v >= 0, f"checkpoint.{key}: negative")
+
     cache = check_type(doc, "cache", dict, "top level")
     golden = check_type(cache, "golden_trace", dict, "cache")
     for key in ("entries", "hits", "misses", "insertions", "dropped_inserts"):
@@ -174,6 +189,9 @@ def main():
                         help="require request.command to match")
     parser.add_argument("--expect-exit-code", type=int, default=None,
                         help="require run_status.exit_code to match")
+    parser.add_argument("--expect-checkpoint", action="store_true",
+                        help="require a non-null checkpoint object "
+                             "(--checkpoint runs)")
     args = parser.parse_args()
 
     failed = False

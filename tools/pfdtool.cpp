@@ -4,7 +4,9 @@
 //   pfdtool info     <design> [--width N]
 //   pfdtool classify <design> [--width N] [--patterns N] [--csv]
 //                    [--fault-engine parallel|serial|differential]
+//                    [--checkpoint FILE [--resume]]
 //   pfdtool grade    <design> [--width N] [--threshold PCT] [--csv]
+//                    [--checkpoint FILE [--resume]]
 //   pfdtool diagnose <design> <measured_uW> [--sigma PCT]
 //   pfdtool dot      <design> [--width N]
 //   pfdtool vcd      <design> [--fault INDEX] [--patterns N]
@@ -48,10 +50,25 @@
 //                        run stops at the next shard/batch boundary and the
 //                        partial report is printed (exit code 3)
 //   --max-cycles N       simulated-cycle budget, same degradation contract
+//   --golden-cache-bytes N  capacity of the process-wide golden-trace cache
 //
-// Ctrl-C (SIGINT) during classify/grade/diagnose requests cooperative
-// cancellation: the run stops at the next check point, prints what it has,
-// and exits 3. A second Ctrl-C kills the process the usual way.
+// Checkpointing (classify/grade; see DESIGN.md, src/ckpt/journal.hpp):
+//   --checkpoint FILE    journal every completed fault-sim shard span and
+//                        power estimate to FILE (crash-tolerant append-only
+//                        format); a killed or tripped run leaves a journal
+//                        that a later --resume replays
+//   --resume             with --checkpoint: open FILE as an existing
+//                        journal, validate its design/stimulus/engine
+//                        binding (mismatch = exit 1), truncate any torn
+//                        tail, and skip every unit whose record replays.
+//                        The resumed output is byte-identical to an
+//                        uninterrupted run
+//
+// Ctrl-C (SIGINT) or SIGTERM during classify/grade/diagnose requests
+// cooperative cancellation: the run stops at the next check point, prints
+// what it has (checkpointing completed work when --checkpoint is active),
+// and exits 3. A second signal of either kind kills the process the usual
+// way.
 //
 // Failpoint injection for robustness testing (see DESIGN.md):
 //   PFD_FAILPOINTS=name=throw[@K][,name=...]   e.g. fault_sim.shard=throw@0
@@ -68,6 +85,7 @@
 
 #include "analysis/trace.hpp"
 #include "base/parse.hpp"
+#include "ckpt/journal.hpp"
 #include "core/diagnosis.hpp"
 #include "core/grading.hpp"
 #include "core/pipeline.hpp"
@@ -75,6 +93,7 @@
 #include "core/run_report.hpp"
 #include "designs/designs.hpp"
 #include "guard/guard.hpp"
+#include "logicsim/golden_cache.hpp"
 #include "logicsim/vcd.hpp"
 #include "obs/flight.hpp"
 #include "obs/trace.hpp"
@@ -113,6 +132,9 @@ struct Options {
   std::string metrics_path;
   std::string report_path;
   std::string flight_path;
+  std::string checkpoint_path;  // empty = no journal
+  bool resume = false;
+  std::uint64_t golden_cache_bytes = ~0ULL;  // ~0 = keep the default
 };
 
 // Captured for the end-of-run artifacts (--metrics-json on any command,
@@ -124,18 +146,23 @@ core::PipelineMetrics g_last_metrics;
 bool g_have_metrics = false;
 guard::RunStatus g_run_status;
 
-// Flipped by the SIGINT handler; built before the handler is installed.
-// RequestCancel is async-signal-safe (lock-free atomic stores).
+// The open checkpoint journal (--checkpoint), shared by the pipeline and
+// grading; lives to the end of main so the RunReport can quote its stats.
+std::unique_ptr<ckpt::Journal> g_journal;
+
+// Flipped by the SIGINT/SIGTERM handler; built before either handler is
+// installed. RequestCancel is async-signal-safe (lock-free atomic stores).
 guard::CancelToken& SigintToken() {
   static guard::CancelToken token;
   return token;
 }
 
-void HandleSigint(int) {
+void HandleCancelSignal(int) {
   SigintToken().RequestCancel();
-  // Restore the default disposition: a second Ctrl-C kills the process even
-  // if the run never reaches a cooperative check point.
+  // Restore the default dispositions: a second Ctrl-C *or* SIGTERM kills
+  // the process even if the run never reaches a cooperative check point.
   std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
 }
 
 guard::Limits MakeLimits(const Options& opt) {
@@ -164,7 +191,8 @@ int FinishRun(const guard::RunStatus& status) {
       "options: --width N --patterns N --threshold PCT --sigma PCT "
       "--fault INDEX --threads N --csv\n"
       "         --fault-engine parallel|serial|differential\n"
-      "         --deadline-ms N --max-cycles N\n"
+      "         --deadline-ms N --max-cycles N --golden-cache-bytes N\n"
+      "         --checkpoint FILE [--resume]\n"
       "         --trace FILE --metrics-json FILE --report FILE\n"
       "         --flight-recorder FILE -v|--verbose\n"
       "xcheck:  --seed N --iters N --no-shrink --mutations --max-gates N "
@@ -203,6 +231,7 @@ core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
       std::fprintf(stderr, "%s\n", line.c_str());
     };
   }
+  cfg.journal = g_journal.get();
   core::ClassificationReport report =
       core::ClassifyControllerFaults(d.system, d.hls, cfg);
   if (opt.verbose) {
@@ -249,6 +278,7 @@ int CmdGrade(const Options& opt) {
   cfg.threshold_percent = opt.threshold;
   cfg.mc.exec.threads = opt.threads;
   cfg.mc.limits = MakeLimits(opt);
+  cfg.journal = g_journal.get();
   const core::PowerGradeReport graded =
       core::GradeSfrFaults(d.system, report, cfg);
   if (opt.csv) {
@@ -472,6 +502,13 @@ int main(int argc, char** argv) {
         opt.deadline_ms = ParseNonNegativeDoubleFlag("--deadline-ms", next());
       } else if (arg == "--max-cycles") {
         opt.max_cycles = ParseUint64Flag("--max-cycles", next());
+      } else if (arg == "--golden-cache-bytes") {
+        opt.golden_cache_bytes =
+            ParseUint64Flag("--golden-cache-bytes", next());
+      } else if (arg == "--checkpoint") {
+        opt.checkpoint_path = ParsePathFlag("--checkpoint", next());
+      } else if (arg == "--resume") {
+        opt.resume = true;
       } else if (arg == "--seed") {
         opt.seed = ParseUint64Flag("--seed", next());
       } else if (arg == "--iters") {
@@ -511,6 +548,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  // Flag-combination validation (runtime errors, not usage: the shape was
+  // fine, the combination is not).
+  if (opt.resume && opt.checkpoint_path.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint FILE\n");
+    return 1;
+  }
+  if (!opt.checkpoint_path.empty() && opt.command != "classify" &&
+      opt.command != "grade") {
+    std::fprintf(stderr,
+                 "error: --checkpoint is only supported for classify and "
+                 "grade\n");
+    return 1;
+  }
+  if (opt.golden_cache_bytes != ~0ULL) {
+    logicsim::GoldenTraceCache::Global().SetCapacityBytes(
+        static_cast<std::size_t>(opt.golden_cache_bytes));
+  }
   // Observability: counters (and per-stage metrics deltas) switch on for
   // any sink that will render them; the trace additionally records spans.
   std::unique_ptr<obs::Trace> trace;
@@ -535,16 +589,25 @@ int main(int argc, char** argv) {
     obs::FlightRecorder::Global().set_enabled(true);
   }
 
-  // Cooperative Ctrl-C for the long-running commands only; the short ones
-  // keep the default kill-on-SIGINT (they never reach a check point).
+  // Cooperative cancellation (Ctrl-C and `kill`) for the long-running
+  // commands only; the short ones keep the default kill-on-signal (they
+  // never reach a check point). SIGTERM takes the same path as SIGINT: the
+  // first signal requests a clean drain, the second of either kind kills.
   if (opt.command == "classify" || opt.command == "grade" ||
       opt.command == "diagnose") {
-    SigintToken();  // construct the token before the handler can fire
-    std::signal(SIGINT, HandleSigint);
+    SigintToken();  // construct the token before a handler can fire
+    std::signal(SIGINT, HandleCancelSignal);
+    std::signal(SIGTERM, HandleCancelSignal);
   }
 
   int rc = -1;
   try {
+    // The journal opens inside the try block: a mismatched resume header
+    // (different design, stimulus, engine, or format version) is a
+    // pfd::Error and exits 1 before any engine runs.
+    if (!opt.checkpoint_path.empty()) {
+      g_journal = ckpt::Journal::Open(opt.checkpoint_path, opt.resume);
+    }
     if (opt.command == "list") {
       std::printf("diffeq facet poly diffeq-loop ewf\n");
       rc = 0;
@@ -557,6 +620,25 @@ int main(int argc, char** argv) {
     rc = 1;
   }
   if (rc < 0) Usage();
+
+  // Snapshot journal statistics before closing; the RunReport below and the
+  // partial-exit hint both reference them after the file is flushed shut.
+  core::RunReportCheckpoint ckpt_info;
+  const bool have_ckpt = g_journal != nullptr;
+  if (have_ckpt) {
+    ckpt_info.path = g_journal->path();
+    ckpt_info.records_written = g_journal->records_written();
+    ckpt_info.records_replayed = g_journal->records_replayed();
+    ckpt_info.torn_tail_truncations = g_journal->torn_tail_truncations();
+    g_journal->Close();
+    if (rc == kExitPartial) {
+      std::fprintf(stderr,
+                   "checkpoint: %llu record(s) journaled to %s; rerun with "
+                   "--checkpoint %s --resume to finish\n",
+                   static_cast<unsigned long long>(ckpt_info.records_written),
+                   ckpt_info.path.c_str(), ckpt_info.path.c_str());
+    }
+  }
 
   if (trace != nullptr) {
     reg.InstallTrace(nullptr);
@@ -615,6 +697,7 @@ int main(int argc, char** argv) {
     in.exit_code = rc;
     in.run_status = &g_run_status;
     if (g_have_metrics) in.metrics = &g_last_metrics;
+    if (have_ckpt) in.checkpoint = &ckpt_info;
     if (!opt.design.empty()) {
       in.request.push_back(core::RequestStr("design", opt.design));
       in.request.push_back(core::RequestInt("width", opt.width));
