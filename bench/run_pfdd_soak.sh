@@ -1,0 +1,193 @@
+#!/usr/bin/env bash
+# Soak-benchmarks the pfdd daemon and proves its service contract end to
+# end, writing BENCH_pfdd.json at the repo root:
+#
+#   * starts `pfdtool serve` on an ephemeral loopback port
+#   * drives it with `pfdtool loadgen` (concurrent mixed
+#     classify/grade/xcheck jobs on one shared pool), recording per-kind
+#     p50/p99 latency into BENCH_pfdd.json
+#   * validates every dumped per-job RunReport with check_run_report.py
+#   * byte-compares every served classify/grade/xcheck result against the
+#     solo CLI run of the same request
+#   * scrapes the metrics endpoint over the same protocol
+#   * SIGTERMs the server and requires a graceful drain with exit code 0
+#
+#   ./bench/run_pfdd_soak.sh                 # defaults: 25 jobs, 8 clients
+#   JOBS=50 CONCURRENCY=16 ./bench/run_pfdd_soak.sh
+#
+# Like run_bench.sh, numbers from a non-Release build are refused: the
+# JSON's context.pfd_build_type (stamped by loadgen itself) must be
+# "Release" or the file is deleted and the script fails. --allow-debug
+# keeps the file for local experiments, loudly tagged pfd_allow_debug.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+JOBS="${JOBS:-25}"
+CONCURRENCY="${CONCURRENCY:-8}"
+PATTERNS="${PATTERNS:-120}"
+ITERS="${ITERS:-400}"
+SEED="${SEED:-1}"
+
+ALLOW_DEBUG=0
+for arg in "$@"; do
+  if [[ "$arg" == "--allow-debug" ]]; then
+    ALLOW_DEBUG=1
+  else
+    echo "run_pfdd_soak.sh: unknown argument '$arg'" >&2
+    exit 2
+  fi
+done
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j --target pfdtool >/dev/null
+PFDTOOL="$BUILD/tools/pfdtool"
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# --- start the daemon and discover its ephemeral port --------------------
+"$PFDTOOL" serve --port 0 --service-threads "$CONCURRENCY" \
+  --queue-capacity 64 >"$WORK/serve.out" 2>"$WORK/serve.err" &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^pfdd: listening port=\([0-9]*\).*/\1/p' \
+    "$WORK/serve.out" 2>/dev/null || true)"
+  [[ -n "$PORT" ]] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "run_pfdd_soak.sh: FAIL: server died during startup:" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "run_pfdd_soak.sh: FAIL: no 'pfdd: listening port=' line" >&2
+  exit 1
+fi
+echo "run_pfdd_soak.sh: serving on port $PORT (pid $SERVE_PID)"
+
+# --- soak: concurrent mixed jobs, latency into BENCH_pfdd.json -----------
+OUT="$ROOT/BENCH_pfdd.json"
+mkdir -p "$WORK/dump"
+"$PFDTOOL" loadgen --port "$PORT" --jobs "$JOBS" \
+  --concurrency "$CONCURRENCY" --patterns "$PATTERNS" \
+  --seed "$SEED" --iters "$ITERS" \
+  --bench-json "$OUT" --dump-dir "$WORK/dump"
+
+# --- every served RunReport validates against the schema checker ---------
+REPORTS=("$WORK"/dump/*.report.json)
+echo "run_pfdd_soak.sh: validating ${#REPORTS[@]} run report(s)"
+for report in "${REPORTS[@]}"; do
+  python3 "$ROOT/tools/check_run_report.py" "$report" >/dev/null
+done
+
+# --- byte-identity: every served result == the solo CLI run --------------
+# loadgen's job list is deterministic: kind = mix[i % 5] with the default
+# mix, design = {diffeq,facet,poly}[i % 3], xcheck seed = SEED + i.
+MIX=(classify classify classify grade xcheck)
+DESIGNS=(diffeq facet poly)
+for design in "${DESIGNS[@]}"; do
+  "$PFDTOOL" classify "$design" --patterns "$PATTERNS" --csv \
+    >"$WORK/solo_classify_$design.csv"
+  "$PFDTOOL" grade "$design" --patterns "$PATTERNS" --csv \
+    >"$WORK/solo_grade_$design.csv"
+done
+CHECKED=0
+for ((i = 0; i < JOBS; ++i)); do
+  kind="${MIX[$((i % 5))]}"
+  dump="$WORK/dump/job_${i}_${kind}.csv"
+  [[ -f "$dump" ]] || {
+    echo "run_pfdd_soak.sh: FAIL: missing dump $dump" >&2
+    exit 1
+  }
+  case "$kind" in
+  classify | grade)
+    design="${DESIGNS[$((i % 3))]}"
+    cmp "$dump" "$WORK/solo_${kind}_${design}.csv" || {
+      echo "run_pfdd_soak.sh: FAIL: job $i ($kind $design) is not" \
+        "byte-identical to the solo CLI run" >&2
+      exit 1
+    }
+    ;;
+  xcheck)
+    "$PFDTOOL" xcheck --seed "$((SEED + i))" --iters "$ITERS" \
+      >"$WORK/solo_xcheck.csv"
+    cmp "$dump" "$WORK/solo_xcheck.csv" || {
+      echo "run_pfdd_soak.sh: FAIL: job $i (xcheck seed $((SEED + i)))" \
+        "is not byte-identical to the solo CLI run" >&2
+      exit 1
+    }
+    ;;
+  esac
+  CHECKED=$((CHECKED + 1))
+done
+echo "run_pfdd_soak.sh: $CHECKED served result(s) byte-identical to solo"
+
+# --- metrics endpoint answers over the same socket -----------------------
+"$PFDTOOL" call --port "$PORT" metrics >"$WORK/metrics.txt"
+for metric in pfdd.accepted pfdd.served pfdd.request_us.p99; do
+  grep -q "^$metric " "$WORK/metrics.txt" || {
+    echo "run_pfdd_soak.sh: FAIL: metrics output lacks $metric" >&2
+    exit 1
+  }
+done
+
+# --- SIGTERM => graceful drain, exit 0 -----------------------------------
+kill -TERM "$SERVE_PID"
+RC=0
+wait "$SERVE_PID" || RC=$?
+SERVE_PID=""
+if [[ "$RC" -ne 0 ]]; then
+  echo "run_pfdd_soak.sh: FAIL: server exited $RC after SIGTERM" >&2
+  exit 1
+fi
+echo "run_pfdd_soak.sh: graceful drain OK ($(cat "$WORK/serve.err"))"
+
+# --- refuse non-Release numbers, then schema-check the artifact ----------
+BUILD_TYPE="$(python3 -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print(doc.get('context', {}).get('pfd_build_type', 'unknown'))
+" "$OUT")"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  if [[ "$ALLOW_DEBUG" -eq 1 ]]; then
+    python3 - "$OUT" <<'EOF'
+import json, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+doc.setdefault("context", {})["pfd_allow_debug"] = True
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+EOF
+    echo "run_pfdd_soak.sh: WARNING: pfd was built '$BUILD_TYPE', not" >&2
+    echo "run_pfdd_soak.sh: WARNING: Release; JSON tagged allow_debug." >&2
+  else
+    rm -f "$OUT"
+    echo "run_pfdd_soak.sh: FAIL: pfd was built '$BUILD_TYPE', not" >&2
+    echo "run_pfdd_soak.sh: Release — refusing to record soak numbers" >&2
+    echo "run_pfdd_soak.sh: (stale CMakeCache in $BUILD? remove it or" >&2
+    echo "run_pfdd_soak.sh: set BUILD_DIR). --allow-debug overrides." >&2
+    exit 1
+  fi
+  python3 "$ROOT/bench/check_bench_json.py" "$OUT" \
+    --require pfdd_soak/all
+else
+  python3 "$ROOT/bench/check_bench_json.py" "$OUT" \
+    --require-release \
+    --require pfdd_soak/all \
+    --require pfdd_soak/classify \
+    --require pfdd_soak/grade \
+    --require pfdd_soak/xcheck
+fi
+
+echo "wrote $OUT"

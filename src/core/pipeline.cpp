@@ -64,8 +64,13 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
                                               const hls::HlsResult& hls,
                                               const PipelineConfig& config) {
   obs::Registry& reg = obs::Registry::Global();
-  const std::uint64_t cycles_before = reg.CounterValue("logicsim.cycles");
-  const std::uint64_t evals_before = reg.CounterValue("logicsim.gate_evals");
+  // Scoped reads: under a per-request obs::MetricScope (a served request)
+  // the deltas see only this request's simulation work, not concurrent
+  // requests hammering the same global counters. Unscoped (CLI) runs read
+  // the global registry exactly as before.
+  const std::uint64_t cycles_before = obs::ScopedCounterValue("logicsim.cycles");
+  const std::uint64_t evals_before =
+      obs::ScopedCounterValue("logicsim.gate_evals");
   const SteadyClock::time_point t_run = SteadyClock::now();
   obs::Span classify_span("pipeline.classify");
   const bool tracing = reg.trace() != nullptr;
@@ -107,6 +112,7 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
         config.fault_engine,
         config.exec};
     request.checker = &check;
+    request.pool = config.pool;
     if (config.journal != nullptr) {
       // Bind (and on resume: validate) the journal against this campaign's
       // identity. A mismatched resume throws pfd::Error out of the pipeline
@@ -364,8 +370,8 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
     // The guarded fan-out quarantines a throwing decider (one serial
     // retry); the record writes all happen after the last throwing call,
     // so a retried unit reproduces the same record bit-for-bit.
-    exec::Pool pool(config.exec);
-    const guard::RunStatus stage = pool.ParallelForGuarded(
+    exec::PoolLease pool(config.pool, config.exec);
+    const guard::RunStatus stage = pool->ParallelForGuarded(
         pending.size(),
         [&](std::size_t k) {
           guard::MaybeFail("pipeline.step4.decider");
@@ -457,11 +463,20 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
   m.cfr = report.cfr;
   m.sfr = report.sfr;
   m.undecided = report.undecided;
-  m.sim_cycles = reg.CounterValue("logicsim.cycles") - cycles_before;
-  m.gate_evals = reg.CounterValue("logicsim.gate_evals") - evals_before;
+  m.sim_cycles = obs::ScopedCounterValue("logicsim.cycles") - cycles_before;
+  m.gate_evals =
+      obs::ScopedCounterValue("logicsim.gate_evals") - evals_before;
   m.wall_ms_total = MsSince(t_run);
   progress("classify: " + report.Summary());
   return report;
+}
+
+void ApplyFeedbackGateCheckDefaults(const synth::System& sys,
+                                    PipelineConfig* config) {
+  if (sys.has_feedback) {
+    config->gate_check.max_exhaustive_bits = 14;
+    config->gate_check.sample_patterns = 4096;
+  }
 }
 
 }  // namespace pfd::core

@@ -89,6 +89,11 @@ struct PipelineConfig {
   // per-fault deciders). A performance knob only: the ClassificationReport
   // is bit-identical for every thread count.
   exec::Options exec;
+  // Optional injected shared pool for those stages (a long-lived service
+  // multiplexing many requests onto one worker set); nullptr builds private
+  // pools from `exec`. Scheduling only — the report is bit-identical either
+  // way. Not owned.
+  exec::Pool* pool = nullptr;
   // Cooperative run limits, pooled across all four stages through one
   // guard::Checker: the deadline / cycle budget is for the whole
   // classification, not per stage. A trip never throws out of the pipeline —
@@ -169,5 +174,13 @@ struct ClassificationReport {
 ClassificationReport ClassifyControllerFaults(const synth::System& sys,
                                               const hls::HlsResult& hls,
                                               const PipelineConfig& config);
+
+// Shared front-end default: feedback designs (while-loop controllers) make
+// the step-4 exhaustive gate decider intractable, so the exhaustive cap is
+// lowered and the sampled fallback widened. Both pfdtool and the pfdd
+// service resolve requests through this one function — that is what keeps
+// a served classification byte-identical to the solo CLI run.
+void ApplyFeedbackGateCheckDefaults(const synth::System& sys,
+                                    PipelineConfig* config);
 
 }  // namespace pfd::core

@@ -164,9 +164,22 @@ std::string MetricsJson(const PipelineMetrics& m) {
   AppendJsonKv(out, "gate_checks", m.gate_checks);
   AppendJsonKv(out, "sim_cycles", m.sim_cycles);
   AppendJsonKv(out, "gate_evals", m.gate_evals, false);
-  out += "},\n\"counters\":" + obs::CountersJsonObject();
-  out += ",\n\"gauges\":" + obs::GaugesJsonObject();
-  out += ",\n\"histograms\":" + obs::HistogramsJsonObject();
+  // Registry state as seen by the rendering thread: under a per-request
+  // MetricScope (pfdd service) the embedded snapshot covers only this
+  // request's deltas — a served report must not leak the totals of
+  // concurrent or prior requests. Unscoped CLI runs keep the process-global
+  // view.
+  if (const obs::MetricScope* scope = obs::CurrentScope()) {
+    out += "},\n\"counters\":" +
+           obs::CountersJsonObject(scope->CounterSnapshot());
+    out += ",\n\"gauges\":" + obs::GaugesJsonObject(scope->GaugeSnapshot());
+    out += ",\n\"histograms\":" +
+           obs::HistogramsJsonObject(scope->HistogramSnapshots());
+  } else {
+    out += "},\n\"counters\":" + obs::CountersJsonObject();
+    out += ",\n\"gauges\":" + obs::GaugesJsonObject();
+    out += ",\n\"histograms\":" + obs::HistogramsJsonObject();
+  }
   out += "\n}\n";
   return out;
 }

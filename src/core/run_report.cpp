@@ -127,25 +127,33 @@ std::string RunStatusJson(const guard::RunStatus* status, int exit_code) {
   return out;
 }
 
-std::string CacheJson() {
-  obs::Registry& reg = obs::Registry::Global();
+std::string CacheJson(const obs::MetricScope* scope) {
+  // Counter reads go through the request's scope when one is attached, so
+  // a served report counts its own hits/misses, not its neighbours'. The
+  // entry count is the shared cache's actual size either way — the cache
+  // itself is process-wide by design.
+  const auto counter = [scope](std::string_view name) {
+    return scope != nullptr ? scope->CounterValue(name)
+                            : obs::Registry::Global().CounterValue(name);
+  };
   std::string out = "{\"golden_trace\":{";
   out += "\"entries\":" +
          std::to_string(logicsim::GoldenTraceCache::Global().size());
   out += ",\"hits\":" +
-         std::to_string(reg.CounterValue("logicsim.golden_cache.hits"));
+         std::to_string(counter("logicsim.golden_cache.hits"));
   out += ",\"misses\":" +
-         std::to_string(reg.CounterValue("logicsim.golden_cache.misses"));
+         std::to_string(counter("logicsim.golden_cache.misses"));
   out += ",\"insertions\":" +
-         std::to_string(reg.CounterValue("logicsim.golden_cache.insertions"));
+         std::to_string(counter("logicsim.golden_cache.insertions"));
   out += ",\"dropped_inserts\":" +
-         std::to_string(
-             reg.CounterValue("logicsim.golden_cache.dropped_inserts"));
+         std::to_string(counter("logicsim.golden_cache.dropped_inserts"));
   out += "}}";
   return out;
 }
 
 }  // namespace
+
+const char* BuildType() { return PFD_BUILD_TYPE; }
 
 std::pair<std::string, std::string> RequestStr(std::string key,
                                                const std::string& value) {
@@ -203,10 +211,20 @@ std::string RunReportJson(const RunReportInputs& inputs) {
   } else {
     out += "\"checkpoint\":null,\n";
   }
-  out += "\"cache\":" + CacheJson() + ",\n";
-  out += "\"counters\":" + obs::CountersJsonObject() + ",\n";
-  out += "\"gauges\":" + obs::GaugesJsonObject() + ",\n";
-  out += "\"histograms\":" + obs::HistogramsJsonObject() + ",\n";
+  out += "\"cache\":" + CacheJson(inputs.scope) + ",\n";
+  if (inputs.scope != nullptr) {
+    out += "\"counters\":" +
+           obs::CountersJsonObject(inputs.scope->CounterSnapshot()) + ",\n";
+    out += "\"gauges\":" +
+           obs::GaugesJsonObject(inputs.scope->GaugeSnapshot()) + ",\n";
+    out += "\"histograms\":" +
+           obs::HistogramsJsonObject(inputs.scope->HistogramSnapshots()) +
+           ",\n";
+  } else {
+    out += "\"counters\":" + obs::CountersJsonObject() + ",\n";
+    out += "\"gauges\":" + obs::GaugesJsonObject() + ",\n";
+    out += "\"histograms\":" + obs::HistogramsJsonObject() + ",\n";
+  }
   const obs::FlightRecorder& flight = obs::FlightRecorder::Global();
   out += "\"flight_recorder\":{\"enabled\":";
   out += flight.enabled() ? "true" : "false";

@@ -19,10 +19,17 @@
 
 #include "core/pipeline.hpp"
 #include "guard/guard.hpp"
+#include "obs/obs.hpp"
 
 namespace pfd::core {
 
 inline constexpr int kRunReportSchemaVersion = 1;
+
+// Build type this binary was compiled as ("Release", "Debug", "unknown"),
+// from the same per-file provenance injection the report's provenance
+// section uses. Exposed for artifacts that stamp build context outside a
+// RunReport (benchmark JSON).
+const char* BuildType();
 
 // Checkpoint-journal summary for runs started with --checkpoint (additive
 // "checkpoint" key; absent — JSON null — otherwise). After a guard trip
@@ -46,6 +53,13 @@ struct RunReportInputs {
   const guard::RunStatus* run_status = nullptr;   // optional
   const PipelineMetrics* metrics = nullptr;       // optional
   const RunReportCheckpoint* checkpoint = nullptr;  // optional
+  // Optional per-request metric scope (a served request). When set, the
+  // counters/gauges/histograms sections and the cache hit/miss counters
+  // render this request's deltas instead of the process-global registry —
+  // under concurrent requests the global snapshot would absorb every
+  // neighbour's work. Cache `entries` stays global: the golden-trace cache
+  // is a shared resource by design. Not owned.
+  const obs::MetricScope* scope = nullptr;
 };
 
 // Renders a request field as key + JSON value.

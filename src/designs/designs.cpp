@@ -1,5 +1,7 @@
 #include "designs/designs.hpp"
 
+#include "base/error.hpp"
+
 namespace pfd::designs {
 
 using hls::Dfg;
@@ -250,6 +252,18 @@ BenchmarkDesign BuildPoly(int width) {
 
 std::vector<BenchmarkDesign> BuildAll(int width) {
   return {BuildDiffeq(width), BuildFacet(width), BuildPoly(width)};
+}
+
+const char kDesignNameList[] = "diffeq facet poly diffeq-loop ewf";
+
+BenchmarkDesign BuildDesignByName(const std::string& name, int width) {
+  if (name == "diffeq") return BuildDiffeq(width);
+  if (name == "facet") return BuildFacet(width);
+  if (name == "poly") return BuildPoly(width);
+  if (name == "diffeq-loop") return BuildDiffeqLoop(width);
+  if (name == "ewf") return BuildEwf(width);
+  throw pfd::Error("unknown design: " + name +
+                   " (designs: " + kDesignNameList + ")");
 }
 
 }  // namespace pfd::designs

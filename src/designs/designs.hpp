@@ -61,4 +61,13 @@ BenchmarkDesign BuildDiffeqLoop(int width = 4);
 // All three, in the paper's Table 2 order.
 std::vector<BenchmarkDesign> BuildAll(int width = 4);
 
+// Name -> canned-build dispatch over every design above ("diffeq",
+// "facet", "poly", "diffeq-loop", "ewf" — the names `pfdtool list`
+// prints). Throws pfd::Error for an unknown name; shared by the CLI and
+// the pfdd service so both resolve requests identically.
+BenchmarkDesign BuildDesignByName(const std::string& name, int width = 4);
+
+// The names BuildDesignByName accepts, space-separated (usage strings).
+extern const char kDesignNameList[];
+
 }  // namespace pfd::designs

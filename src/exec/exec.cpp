@@ -60,8 +60,10 @@ thread_local const void* tls_running_pool = nullptr;
 
 // Handles the chunk loop touches when obs is on; resolved once so the hot
 // path never takes the registry mutex. exec.queue_depth tracks unclaimed
-// chunks of the job in flight; the histograms attribute tail latency to
-// queue wait vs. long bodies.
+// chunks summed over every job in flight (several pools may publish
+// concurrently, so the gauge uses Add accounting — a last-writer-wins Set
+// from two jobs clobbers one job's contribution); the histograms attribute
+// tail latency to queue wait vs. long bodies.
 struct PoolObsHandles {
   obs::Gauge& queue_depth;
   obs::Histogram& task_queue_us;
@@ -145,15 +147,20 @@ struct Pool::Job {
   std::exception_ptr error;
   std::size_t error_index = kNoIndex;  // guarded by error_mu
 
-  // obs v2 instrumentation. `obs_on` is latched once in RunJob so every
-  // participant agrees on whether to record; the per-job accumulators are
-  // published into registry counters after the join (cold path), keeping
-  // RunChunks free of name lookups.
+  // obs v2 instrumentation. `obs_on` and `publish_ts_us` are latched once
+  // per Job in RunJob so every participant agrees on whether to record and
+  // measures queue wait against its own job's publication instant —
+  // per-job-safe under back-to-back jobs from concurrent callers. The
+  // per-job accumulators are published into registry counters after the
+  // join (cold path), keeping RunChunks free of name lookups.
   bool obs_on = false;
   double publish_ts_us = 0.0;                   // when chunks became visible
   std::atomic<std::uint64_t> steals{0};         // chunks taken from a victim
-  std::atomic<std::uint64_t> pending_chunks{0};  // queue-depth gauge source
   std::vector<std::atomic<std::uint64_t>> tasks_by_slot;  // units attempted
+  // Metric scope of the submitting thread, installed on every worker for
+  // the duration of the job so teed metrics attribute to the request that
+  // submitted the work.
+  obs::MetricScope* scope = nullptr;
 
   // Guarded mode (quarantine instead of rethrow).
   bool guarded = false;
@@ -204,7 +211,11 @@ void Pool::WorkerMain(std::size_t slot) {
     seen_epoch = epoch_;
     job->active.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
-    RunChunks(*job, slot);
+    {
+      // Adopt the submitter's metric scope for the duration of the job.
+      obs::ScopedMetricScope scope_guard(job->scope);
+      RunChunks(*job, slot);
+    }
     {
       // Last one out notifies under done_mu: the coordinator's predicate
       // check holds the same mutex, so it cannot destroy the Job between
@@ -245,9 +256,10 @@ void Pool::RunChunks(Job& job, std::size_t home) {
     if (!found) break;
     if (obs_on) {
       if (stolen) job.steals.fetch_add(1, std::memory_order_relaxed);
-      const std::uint64_t left =
-          job.pending_chunks.fetch_sub(1, std::memory_order_relaxed) - 1;
-      PoolObs().queue_depth.Set(static_cast<double>(left));
+      // Atomic decrement accounting: every published chunk is eventually
+      // claimed (drained even after a guard trip), so the gauge returns to
+      // its pre-job level no matter how jobs interleave.
+      PoolObs().queue_depth.Add(-1.0);
       // Wait of this chunk between publication and claim; with a single
       // publication instant per job this is exactly time-to-first-touch.
       PoolObs().task_queue_us.RecordDouble(obs::NowMicros() -
@@ -333,10 +345,10 @@ void Pool::RunJob(Job& job, std::size_t n) {
     begin += size;
   }
   job.obs_on = obs::Enabled();
+  job.scope = obs::CurrentScope();
   if (job.obs_on) {
     job.publish_ts_us = obs::NowMicros();
-    job.pending_chunks.store(num_chunks, std::memory_order_relaxed);
-    PoolObs().queue_depth.Set(static_cast<double>(num_chunks));
+    PoolObs().queue_depth.Add(static_cast<double>(num_chunks));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -389,7 +401,12 @@ void Pool::ParallelFor(std::size_t n,
   }
   Job job(workers_.size() + 1);
   job.body = &body;
-  RunJob(job, n);
+  {
+    // One job at a time: concurrent external callers queue here in mutex
+    // acquisition order (see the contract in exec.hpp).
+    std::lock_guard<std::mutex> gate(job_gate_);
+    RunJob(job, n);
+  }
   std::exception_ptr error;
   {
     std::lock_guard<std::mutex> lock(job.error_mu);
@@ -437,7 +454,10 @@ guard::RunStatus Pool::ParallelForGuarded(
     job.checker = checker;
     job.completed = &completed;
     if (ordered_done != nullptr) job.ordered = &ordered;
-    RunJob(job, n);
+    {
+      std::lock_guard<std::mutex> gate(job_gate_);
+      RunJob(job, n);
+    }
     failures = std::move(job.failures);
   }
   std::sort(failures.begin(), failures.end(),

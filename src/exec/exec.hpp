@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -97,6 +98,19 @@ class Pool {
   // exception of the lowest failing index (deterministic across thread
   // counts). Loop bodies must write to disjoint data; re-entering the same
   // pool from a loop body throws pfd::Error (PFD_CHECK).
+  //
+  // Concurrency contract (pinned, TSan-covered): concurrent
+  // ParallelFor/ParallelForGuarded calls from *different external threads*
+  // on one pool are safe and serialize through an internal job gate — the
+  // pool runs exactly one job at a time, later callers block until the
+  // current job (including its join) finishes, in mutex acquisition order.
+  // Each call keeps its own determinism and failure semantics; only
+  // scheduling between calls is affected. The degenerate inline paths
+  // (worker-less pool, or n <= 1) run on the caller without taking the
+  // gate — they touch no shared pool state and may overlap a pooled job.
+  // A metric scope installed on the calling thread (obs::ScopedMetricScope)
+  // is propagated to the workers for the duration of the job, so teed
+  // counters/histograms attribute parallel work to the submitting request.
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t)>& body);
 
@@ -135,11 +149,36 @@ class Pool {
   int threads_ = 1;
   std::size_t max_chunk_units_ = 0;
   std::vector<std::thread> workers_;
+  std::mutex job_gate_;  // serializes jobs from concurrent external callers
   std::mutex mu_;
   std::condition_variable work_cv_;
   Job* job_ = nullptr;        // current job; guarded by mu_
   std::uint64_t epoch_ = 0;   // bumped per published job; guarded by mu_
   bool shutdown_ = false;
+};
+
+// Borrow-or-own handle for engines that accept an injected shared pool (a
+// long-lived service pool multiplexing many requests onto one worker set)
+// but default to constructing their own from Options. Which pool runs a
+// loop is scheduling only — results stay bit-identical either way (see the
+// determinism contract above).
+class PoolLease {
+ public:
+  PoolLease(Pool* shared, const Options& options) : pool_(shared) {
+    if (pool_ == nullptr) {
+      owned_.emplace(options);
+      pool_ = &*owned_;
+    }
+  }
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+
+  Pool& operator*() { return *pool_; }
+  Pool* operator->() { return pool_; }
+
+ private:
+  Pool* pool_;
+  std::optional<Pool> owned_;
 };
 
 // One-shot convenience: scoped pool for a single loop.

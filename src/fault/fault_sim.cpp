@@ -336,8 +336,8 @@ FaultSimResult RunParallel(
     };
   }
 
-  exec::Pool pool(req.exec);
-  result.run_status = pool.ParallelForGuarded(
+  exec::PoolLease pool(req.pool, req.exec);
+  result.run_status = pool->ParallelForGuarded(
       num_shards,
       [&](std::size_t shard) {
         if (shard_covered[shard] != 0) return;  // replayed from the journal
@@ -435,8 +435,8 @@ FaultSimResult RunSerial(
 
   // Each fault is an independent shard: private simulator, private TPGR
   // stream, disjoint result slot.
-  exec::Pool pool(req.exec);
-  result.run_status = pool.ParallelForGuarded(
+  exec::PoolLease pool(req.pool, req.exec);
+  result.run_status = pool->ParallelForGuarded(
       req.faults.size(),
       [&](std::size_t fi) {
         if (!fault_covered.empty() && fault_covered[fi] != 0) {
@@ -1736,14 +1736,14 @@ FaultSimResult RunDifferential(
         };
     exec::Options exec_opts = req.exec;
     exec_opts.max_chunk_units = 1;
-    exec::Pool pool(exec_opts);
+    exec::PoolLease pool(req.pool, exec_opts);
     const bool obs_on = obs::Enabled();
     if (obs_on) {
       obs::Registry& reg = obs::Registry::Global();
       reg.GetCounter("fault_sim.diff.shards").Add(num_groups);
       reg.GetCounter("fault_sim.diff.lanes").Add(req.faults.size());
     }
-    const guard::RunStatus st = pool.ParallelForGuarded(
+    const guard::RunStatus st = pool->ParallelForGuarded(
         num_groups,
         [&](std::size_t g) {
           if (group_covered[g] != 0) return;  // replayed from the journal
@@ -1823,7 +1823,7 @@ FaultSimResult RunDifferential(
   // shard per steal-able chunk (scheduling only; results are identical).
   exec::Options exec_opts = req.exec;
   exec_opts.max_chunk_units = 1;
-  exec::Pool pool(exec_opts);
+  exec::PoolLease pool(req.pool, exec_opts);
   const bool obs_on = obs::Enabled();
   if (obs_on) {
     obs::Registry& reg = obs::Registry::Global();
@@ -1841,7 +1841,7 @@ FaultSimResult RunDifferential(
         num_patterns - p > round_len ? p + round_len : num_patterns;
     if (round_len < (1 << 20)) round_len *= 2;
     ++round;
-    const guard::RunStatus st = pool.ParallelForGuarded(
+    const guard::RunStatus st = pool->ParallelForGuarded(
         shards.size(),
         [&](std::size_t s) {
           guard::MaybeFail("fault_sim.diff.shard");

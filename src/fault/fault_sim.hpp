@@ -169,6 +169,12 @@ struct FaultSimRequest {
   std::span<const StuckFault> faults;
   FaultSimEngine engine = FaultSimEngine::kParallel;
   exec::Options exec = {};
+  // Optional injected shared pool (a long-lived service multiplexing many
+  // requests onto one worker set); nullptr builds a private pool from
+  // `exec`. Scheduling only — results are bit-identical either way. The
+  // differential engine prefers max_chunk_units = 1; an injected pool
+  // should be built that way (harmless for the other engines). Not owned.
+  exec::Pool* pool = nullptr;
   // Cooperative limits for this run; ignored when `checker` is set.
   guard::Limits limits = {};
   // Optional external checker, for callers (the pipeline) that pool one

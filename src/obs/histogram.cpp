@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace pfd::obs {
 
 namespace {
@@ -51,6 +53,9 @@ void Histogram::Record(std::uint64_t value) {
   cur = s.max.load(std::memory_order_relaxed);
   while (value > cur && !s.max.compare_exchange_weak(
                             cur, value, std::memory_order_relaxed)) {
+  }
+  if (detail::tls_scope != nullptr) {
+    detail::ScopeRecordHistogram(*this, value);
   }
 }
 

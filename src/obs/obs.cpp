@@ -7,6 +7,105 @@
 
 namespace pfd::obs {
 
+namespace detail {
+
+thread_local MetricScope* tls_scope = nullptr;
+
+void ScopeAddCounter(const Counter& c, std::uint64_t n) {
+  tls_scope->AddCounter(c, n);
+}
+
+void ScopeSetGauge(const Gauge& g, double v) { tls_scope->SetGauge(g, v); }
+
+void ScopeRecordHistogram(const Histogram& h, std::uint64_t value) {
+  tls_scope->RecordHistogram(h, value);
+}
+
+}  // namespace detail
+
+void MetricScope::AddCounter(const Counter& c, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[&c] += n;
+}
+
+void MetricScope::SetGauge(const Gauge& g, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[&g] = v;
+}
+
+void MetricScope::RecordHistogram(const Histogram& h, std::uint64_t value) {
+  Histogram* clone;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Histogram>& slot = histograms_[&h];
+    if (slot == nullptr) slot = std::make_unique<Histogram>(h.name());
+    clone = slot.get();
+  }
+  // Record into the clone with the tee suppressed: the clone's Record()
+  // would otherwise tee right back into this scope and recurse.
+  ScopedMetricScope suppress(nullptr);
+  clone->Record(value);
+}
+
+std::uint64_t MetricScope::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [counter, value] : counters_) {
+    if (counter->name() == name) return value;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricScope::CounterSnapshot() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(counters_.size());
+    for (const auto& [counter, value] : counters_) {
+      out.emplace_back(counter->name(), value);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricScope::GaugeSnapshot()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(gauges_.size());
+    for (const auto& [gauge, value] : gauges_) {
+      out.emplace_back(gauge->name(), value);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricScope::HistogramSnapshots() const {
+  std::vector<HistogramSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(histograms_.size());
+    for (const auto& [source, clone] : histograms_) {
+      out.push_back(clone->Snapshot());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::uint64_t ScopedCounterValue(std::string_view name) {
+  if (const MetricScope* scope = CurrentScope()) {
+    return scope->CounterValue(name);
+  }
+  return Registry::Global().CounterValue(name);
+}
+
 Registry& Registry::Global() {
   static Registry* registry = new Registry();  // never destroyed: handles
   return *registry;                            // outlive static teardown
@@ -106,10 +205,11 @@ std::string JsonDoubleCompact(double v) {
 
 }  // namespace
 
-std::string CountersJsonObject() {
+std::string CountersJsonObject(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
   std::string out = "{";
   bool first = true;
-  for (const auto& [name, value] : Registry::Global().CounterSnapshot()) {
+  for (const auto& [name, value] : counters) {
     if (!first) out += ",";
     first = false;
     out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
@@ -118,10 +218,11 @@ std::string CountersJsonObject() {
   return out;
 }
 
-std::string GaugesJsonObject() {
+std::string GaugesJsonObject(
+    const std::vector<std::pair<std::string, double>>& gauges) {
   std::string out = "{";
   bool first = true;
-  for (const auto& [name, value] : Registry::Global().GaugeSnapshot()) {
+  for (const auto& [name, value] : gauges) {
     if (!first) out += ",";
     first = false;
     out += "\"" + JsonEscape(name) + "\":" + JsonDoubleCompact(value);
@@ -130,10 +231,11 @@ std::string GaugesJsonObject() {
   return out;
 }
 
-std::string HistogramsJsonObject() {
+std::string HistogramsJsonObject(
+    const std::vector<HistogramSnapshot>& hists) {
   std::string out = "{";
   bool first = true;
-  for (const HistogramSnapshot& h : Registry::Global().HistogramSnapshots()) {
+  for (const HistogramSnapshot& h : hists) {
     if (!first) out += ",";
     first = false;
     out += "\"" + JsonEscape(h.name) + "\":{";
@@ -149,6 +251,18 @@ std::string HistogramsJsonObject() {
   }
   out += "}";
   return out;
+}
+
+std::string CountersJsonObject() {
+  return CountersJsonObject(Registry::Global().CounterSnapshot());
+}
+
+std::string GaugesJsonObject() {
+  return GaugesJsonObject(Registry::Global().GaugeSnapshot());
+}
+
+std::string HistogramsJsonObject() {
+  return HistogramsJsonObject(Registry::Global().HistogramSnapshots());
 }
 
 std::string SnapshotJson() {

@@ -21,9 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -32,6 +34,23 @@
 namespace pfd::obs {
 
 class Trace;
+class Counter;
+class Gauge;
+class MetricScope;
+
+namespace detail {
+// Per-request metric scope installed on this thread (null = none). While a
+// scope is installed, Counter::Add / Gauge::Set / Histogram::Record tee
+// their updates into the scope in addition to the global registry, so a
+// served request's deltas can be reported in isolation from concurrent
+// requests sharing the process-global registry. One TLS null-check when no
+// scope is active; updates are batch-granularity, so the tee never sits in
+// an innermost loop.
+extern thread_local MetricScope* tls_scope;
+void ScopeAddCounter(const Counter& c, std::uint64_t n);
+void ScopeSetGauge(const Gauge& g, double v);
+void ScopeRecordHistogram(const Histogram& h, std::uint64_t value);
+}  // namespace detail
 
 // Monotonic event count. Updates are relaxed atomics: totals are exact once
 // writers quiesce, which is all a metrics snapshot needs.
@@ -43,6 +62,7 @@ class Counter {
 
   void Add(std::uint64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
+    if (detail::tls_scope != nullptr) detail::ScopeAddCounter(*this, n);
   }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
@@ -60,7 +80,21 @@ class Gauge {
   Gauge(const Gauge&) = delete;
   Gauge& operator=(const Gauge&) = delete;
 
-  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Set(double v) {
+    value_.store(v, std::memory_order_relaxed);
+    if (detail::tls_scope != nullptr) detail::ScopeSetGauge(*this, v);
+  }
+  // Relaxed CAS accumulation for level-style gauges (queue depth, in-flight
+  // requests): concurrent +delta/-delta from many threads compose instead
+  // of clobbering each other the way last-writer-wins Set() does. The
+  // accumulated level is a property of the whole process, so Add is not
+  // teed into metric scopes.
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
@@ -115,12 +149,82 @@ class Registry {
 // The single guard every instrumentation site checks before counting.
 inline bool Enabled() { return Registry::Global().enabled(); }
 
+// Per-request delta accumulator. Install on a thread with
+// ScopedMetricScope; every Counter::Add / Gauge::Set / Histogram::Record
+// issued while installed is teed into the scope (histograms into private
+// per-scope clones). exec::Pool propagates the submitting thread's scope to
+// its workers for the duration of a job, so a request's parallel work is
+// attributed to the request that submitted it. Thread-safe: many threads
+// may tee into one scope concurrently. This is what lets a long-lived
+// service hand every request a RunReport that reflects only its own work
+// while the global registry keeps aggregating across all requests.
+class MetricScope {
+ public:
+  MetricScope() = default;
+  MetricScope(const MetricScope&) = delete;
+  MetricScope& operator=(const MetricScope&) = delete;
+
+  // Tee entry points (called via the detail:: hooks; rarely useful
+  // directly).
+  void AddCounter(const Counter& c, std::uint64_t n);
+  void SetGauge(const Gauge& g, double v);
+  void RecordHistogram(const Histogram& h, std::uint64_t value);
+
+  // Value of a teed counter by name; 0 when this scope never saw it.
+  std::uint64_t CounterValue(std::string_view name) const;
+
+  // Name-sorted snapshots of everything teed into this scope; same shapes
+  // as the Registry snapshots so the JSON renderers below accept both.
+  std::vector<std::pair<std::string, std::uint64_t>> CounterSnapshot() const;
+  std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
+  std::vector<HistogramSnapshot> HistogramSnapshots() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<const Counter*, std::uint64_t> counters_;
+  std::unordered_map<const Gauge*, double> gauges_;
+  std::unordered_map<const Histogram*, std::unique_ptr<Histogram>>
+      histograms_;
+};
+
+// RAII installation of a scope on the current thread; restores the
+// previous scope on destruction (scopes nest, only the innermost tees).
+// Passing nullptr suppresses teeing for the guarded region.
+class ScopedMetricScope {
+ public:
+  explicit ScopedMetricScope(MetricScope* scope) : prev_(detail::tls_scope) {
+    detail::tls_scope = scope;
+  }
+  ~ScopedMetricScope() { detail::tls_scope = prev_; }
+  ScopedMetricScope(const ScopedMetricScope&) = delete;
+  ScopedMetricScope& operator=(const ScopedMetricScope&) = delete;
+
+ private:
+  MetricScope* prev_;
+};
+
+// The scope installed on the current thread, null when none.
+inline MetricScope* CurrentScope() { return detail::tls_scope; }
+
+// Counter value as seen by the current thread's scope when one is
+// installed, else the global registry. Begin/end metric deltas computed
+// through this isolate per request under concurrency while staying
+// byte-identical for unscoped CLI runs.
+std::uint64_t ScopedCounterValue(std::string_view name);
+
 // Pre-rendered JSON objects over the global registry, shared by the
 // metrics renderers (core/report) and the RunReport artifact. Histogram
 // entries carry count/sum/min/max/mean plus interpolated p50/p90/p99.
 std::string CountersJsonObject();
 std::string GaugesJsonObject();
 std::string HistogramsJsonObject();
+// Snapshot-shaped overloads, used to render a MetricScope's view with the
+// exact same JSON shape as the global one.
+std::string CountersJsonObject(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters);
+std::string GaugesJsonObject(
+    const std::vector<std::pair<std::string, double>>& gauges);
+std::string HistogramsJsonObject(const std::vector<HistogramSnapshot>& hists);
 // {"counters":{...},"gauges":{...},"histograms":{...}} — the generic
 // metrics document for commands with no PipelineMetrics of their own.
 std::string SnapshotJson();

@@ -1,0 +1,100 @@
+#include "pfdd/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pfd::pfdd {
+
+Connection::~Connection() { Close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Connection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Connection Connection::ConnectUnix(const std::string& path,
+                                   std::string* error) {
+  Connection conn;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    *error = "unix socket path too long: " + path;
+    return conn;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return conn;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    *error = "connect " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return conn;
+  }
+  conn.fd_ = fd;
+  return conn;
+}
+
+Connection Connection::ConnectTcp(int port, std::string* error) {
+  Connection conn;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return conn;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    *error = "connect port " + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return conn;
+  }
+  conn.fd_ = fd;
+  return conn;
+}
+
+bool Connection::Call(const Request& request, Response* response,
+                      std::string* error) {
+  if (!ok()) {
+    *error = "not connected";
+    return false;
+  }
+  if (!WriteFrame(fd_, EncodeRequest(request))) {
+    *error = "request write failed (server gone?)";
+    return false;
+  }
+  std::string payload;
+  const ReadResult rr = ReadFrame(fd_, &payload);
+  if (rr != ReadResult::kOk) {
+    *error = std::string("response read failed: ") + ReadResultName(rr);
+    return false;
+  }
+  return DecodeResponse(payload, response, error);
+}
+
+}  // namespace pfd::pfdd

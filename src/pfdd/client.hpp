@@ -1,0 +1,42 @@
+// pfdd client: connect to a serving pfdd and exchange request/response
+// frames. Used by `pfdtool call`, `pfdtool loadgen`, and the tests; the
+// protocol itself lives in pfdd/protocol.hpp.
+#pragma once
+
+#include <string>
+
+#include "pfdd/protocol.hpp"
+
+namespace pfd::pfdd {
+
+// One connection to a pfdd server. Move-only RAII over the socket fd;
+// a default-constructed / failed connection has ok() == false.
+class Connection {
+ public:
+  Connection() = default;
+  ~Connection();
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Connect to a Unix-socket / loopback-TCP server. On failure the
+  // returned connection is !ok() and *error explains.
+  static Connection ConnectUnix(const std::string& path, std::string* error);
+  static Connection ConnectTcp(int port, std::string* error);
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // One request/response round trip. False (with *error) on any transport
+  // or protocol failure; server-side failures come back as a decoded
+  // Response with a non-ok status instead.
+  bool Call(const Request& request, Response* response, std::string* error);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace pfd::pfdd

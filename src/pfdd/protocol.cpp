@@ -1,0 +1,286 @@
+#include "pfdd/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pfd::pfdd {
+
+namespace {
+
+// Full-buffer write with EINTR/short-write handling. Sockets are written
+// with MSG_NOSIGNAL so a vanished peer surfaces as EPIPE (frame write
+// returns false) instead of a process-killing SIGPIPE; non-socket fds
+// (tests over pipes) fall back to write().
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Full-buffer read; returns the byte count read, which is short only at
+// EOF (or -1 on error).
+ssize_t ReadAll(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+bool ParseSize(std::string_view text, std::size_t* out) {
+  if (text.empty()) return false;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::size_t>(c - '0');
+    if (value > (~std::size_t{0} - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const char* ReadResultName(ReadResult r) {
+  switch (r) {
+    case ReadResult::kOk:
+      return "ok";
+    case ReadResult::kEof:
+      return "eof";
+    case ReadResult::kError:
+      return "io-error";
+    case ReadResult::kBadMagic:
+      return "bad-magic";
+    case ReadResult::kTooLarge:
+      return "frame-too-large";
+  }
+  return "unknown";
+}
+
+bool WriteFrame(int fd, std::string_view payload) {
+  char header[8];
+  std::memcpy(header, kFrameMagic, 4);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[4] = static_cast<char>(len & 0xff);
+  header[5] = static_cast<char>((len >> 8) & 0xff);
+  header[6] = static_cast<char>((len >> 16) & 0xff);
+  header[7] = static_cast<char>((len >> 24) & 0xff);
+  if (payload.size() > kMaxFrameBytes) return false;
+  return WriteAll(fd, header, sizeof header) &&
+         WriteAll(fd, payload.data(), payload.size());
+}
+
+ReadResult ReadFrame(int fd, std::string* payload, std::size_t max_bytes) {
+  char header[8];
+  const ssize_t got = ReadAll(fd, header, sizeof header);
+  if (got < 0) return ReadResult::kError;
+  if (got == 0) return ReadResult::kEof;
+  if (static_cast<std::size_t>(got) != sizeof header) {
+    return ReadResult::kError;  // torn header
+  }
+  if (std::memcmp(header, kFrameMagic, 4) != 0) {
+    return ReadResult::kBadMagic;
+  }
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[4])) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[5])) << 8 |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[6]))
+          << 16 |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[7]))
+          << 24;
+  if (len > max_bytes) return ReadResult::kTooLarge;
+  payload->assign(len, '\0');
+  if (len != 0) {
+    const ssize_t body = ReadAll(fd, payload->data(), len);
+    if (body < 0 || static_cast<std::uint32_t>(body) != len) {
+      return ReadResult::kError;  // mid-frame EOF
+    }
+  }
+  return ReadResult::kOk;
+}
+
+const std::string* Request::Find(std::string_view key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out = request.command;
+  for (const auto& [k, v] : request.params) {
+    out += " " + k + "=" + v;
+  }
+  return out;
+}
+
+bool DecodeRequest(std::string_view payload, Request* request,
+                   std::string* error) {
+  request->command.clear();
+  request->params.clear();
+  std::size_t pos = 0;
+  const auto next_token = [&]() -> std::string_view {
+    while (pos < payload.size() && payload[pos] == ' ') ++pos;
+    const std::size_t begin = pos;
+    while (pos < payload.size() && payload[pos] != ' ' &&
+           payload[pos] != '\n') {
+      ++pos;
+    }
+    return payload.substr(begin, pos - begin);
+  };
+  const std::string_view cmd = next_token();
+  if (cmd.empty()) {
+    *error = "empty request";
+    return false;
+  }
+  request->command = std::string(cmd);
+  while (true) {
+    const std::string_view tok = next_token();
+    if (tok.empty()) break;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      *error = "malformed parameter '" + std::string(tok) +
+               "' (expected key=value)";
+      return false;
+    }
+    const std::string_view key = tok.substr(0, eq);
+    if (request->Find(key) != nullptr) {
+      *error = "repeated parameter '" + std::string(key) + "'";
+      return false;
+    }
+    request->params.emplace_back(std::string(key),
+                                 std::string(tok.substr(eq + 1)));
+  }
+  return true;
+}
+
+const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kPartial:
+      return "partial";
+    case Status::kError:
+      return "error";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool ParseStatus(std::string_view word, Status* out) {
+  for (const Status s :
+       {Status::kOk, Status::kPartial, Status::kError, Status::kRejected,
+        Status::kDraining}) {
+    if (word == StatusName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeResponse(const Response& response) {
+  std::string out = "pfdd/1 ";
+  out += StatusName(response.status);
+  out += " exit_code=" + std::to_string(response.exit_code);
+  out += " csv=" + std::to_string(response.csv.size());
+  out += " report=" + std::to_string(response.report.size());
+  out += " message=" + std::to_string(response.message.size());
+  out += "\n";
+  out += response.csv;
+  out += response.report;
+  out += response.message;
+  return out;
+}
+
+bool DecodeResponse(std::string_view payload, Response* response,
+                    std::string* error) {
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string_view::npos) {
+    *error = "response header line missing";
+    return false;
+  }
+  // Header shape: "pfdd/1 <status> key=value ...". The version and the
+  // bare status word are split off by hand; the key=value tail reuses the
+  // request-line parser (with a dummy command token).
+  const std::string_view header = payload.substr(0, nl);
+  const std::size_t sp = header.find(' ');
+  if (sp == std::string_view::npos) {
+    *error = "response header truncated";
+    return false;
+  }
+  if (header.substr(0, sp) != "pfdd/1") {
+    *error = "unexpected protocol version '" +
+             std::string(header.substr(0, sp)) + "'";
+    return false;
+  }
+  std::size_t sp2 = header.find(' ', sp + 1);
+  if (sp2 == std::string_view::npos) sp2 = header.size();
+  if (!ParseStatus(header.substr(sp + 1, sp2 - sp - 1), &response->status)) {
+    *error = "unknown status word";
+    return false;
+  }
+  Request kv;
+  if (!DecodeRequest("h " + std::string(header.substr(sp2)), &kv, error)) {
+    return false;
+  }
+  const std::string* ec = kv.Find("exit_code");
+  const std::string* c = kv.Find("csv");
+  const std::string* r = kv.Find("report");
+  const std::string* m = kv.Find("message");
+  if (ec == nullptr || c == nullptr || r == nullptr || m == nullptr) {
+    *error = "response header missing a section size";
+    return false;
+  }
+  std::size_t csv_bytes = 0, report_bytes = 0, message_bytes = 0;
+  std::size_t ec_abs = 0;
+  std::string_view ec_text = *ec;
+  bool neg = false;
+  if (!ec_text.empty() && ec_text.front() == '-') {
+    neg = true;
+    ec_text.remove_prefix(1);
+  }
+  if (!ParseSize(ec_text, &ec_abs) || !ParseSize(*c, &csv_bytes) ||
+      !ParseSize(*r, &report_bytes) || !ParseSize(*m, &message_bytes)) {
+    *error = "response header sizes malformed";
+    return false;
+  }
+  const std::string_view body = payload.substr(nl + 1);
+  if (body.size() != csv_bytes + report_bytes + message_bytes) {
+    *error = "response body size mismatch";
+    return false;
+  }
+  response->exit_code = neg ? -static_cast<int>(ec_abs)
+                            : static_cast<int>(ec_abs);
+  response->csv = std::string(body.substr(0, csv_bytes));
+  response->report = std::string(body.substr(csv_bytes, report_bytes));
+  response->message = std::string(body.substr(csv_bytes + report_bytes));
+  return true;
+}
+
+}  // namespace pfd::pfdd

@@ -1,0 +1,97 @@
+// pfdd wire protocol: length-prefixed frames over a byte stream (Unix
+// domain socket or loopback TCP), with a text request line and a sectioned
+// response.
+//
+// Frame layout (both directions):
+//
+//   magic   4 bytes  "PFD1"
+//   length  4 bytes  little-endian payload size, <= kMaxFrameBytes
+//   payload N bytes
+//
+// The magic makes a stray HTTP client (or a frame written mid-stream by a
+// crashed peer) fail loudly at the first read instead of blocking on a
+// garbage length. Oversized lengths are rejected before any allocation.
+//
+// Request payload: one text line, `<command> key=value key=value ...`.
+// Commands mirror the pfdtool vocabulary (classify, grade, xcheck) plus
+// the service-only ping and metrics. Keys may not repeat; values carry no
+// spaces (design names and numbers — nothing else travels request-ward).
+//
+// Response payload: a header line
+//
+//   pfdd/1 <status> exit_code=<n> csv=<a> report=<b> message=<c>\n
+//
+// followed by exactly a+b+c bytes: the CSV body (byte-identical to the
+// solo CLI run of the same request), the RunReport JSON artifact, and a
+// human-readable message (errors, pong, metrics text). Status words map
+// the CLI exit-code contract onto the wire: ok(0), partial(3),
+// error(1), rejected (admission control), draining (server shutting
+// down).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pfd::pfdd {
+
+inline constexpr char kFrameMagic[4] = {'P', 'F', 'D', '1'};
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+// Blocking frame write to `fd`; false on any I/O failure (EPIPE when the
+// peer vanished). Short writes are retried; EINTR is transparent.
+bool WriteFrame(int fd, std::string_view payload);
+
+enum class ReadResult : std::uint8_t {
+  kOk,
+  kEof,       // clean close before any byte of a frame
+  kError,     // I/O error or mid-frame EOF
+  kBadMagic,  // peer is not speaking pfdd
+  kTooLarge,  // declared length exceeds `max_bytes`
+};
+const char* ReadResultName(ReadResult r);
+
+// Blocking frame read from `fd` into `*payload`.
+ReadResult ReadFrame(int fd, std::string* payload,
+                     std::size_t max_bytes = kMaxFrameBytes);
+
+// A parsed request line. Params preserve wire order; Lookup is linear
+// (requests carry a handful of keys).
+struct Request {
+  std::string command;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  const std::string* Find(std::string_view key) const;
+};
+
+std::string EncodeRequest(const Request& request);
+// False on a malformed line (empty, repeated key, token without '=');
+// *error explains.
+bool DecodeRequest(std::string_view payload, Request* request,
+                   std::string* error);
+
+enum class Status : std::uint8_t {
+  kOk,        // exit_code 0
+  kPartial,   // guard-tripped / quarantined: exit_code 3, results present
+  kError,     // bad request or engine failure: exit_code 1
+  kRejected,  // admission control: queue full, retry later
+  kDraining,  // server shutting down, no longer accepting work
+};
+const char* StatusName(Status s);
+
+struct Response {
+  Status status = Status::kOk;
+  int exit_code = 0;
+  std::string csv;      // command output (classify/grade CSV, xcheck line)
+  std::string report;   // RunReport JSON ("" when the job never ran)
+  std::string message;  // human-readable detail (errors, pong, metrics)
+};
+
+std::string EncodeResponse(const Response& response);
+bool DecodeResponse(std::string_view payload, Response* response,
+                    std::string* error);
+
+}  // namespace pfd::pfdd

@@ -1,0 +1,278 @@
+#include "pfdd/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "pfdd/protocol.hpp"
+
+namespace pfd::pfdd {
+
+namespace {
+
+// Cached handles for the server's own telemetry; levels (inflight, queue
+// depth) use Gauge::Add so concurrent workers compose instead of
+// clobbering.
+struct ServerObs {
+  obs::Counter& accepted = obs::Registry::Global().GetCounter("pfdd.accepted");
+  obs::Counter& served = obs::Registry::Global().GetCounter("pfdd.served");
+  obs::Counter& rejected = obs::Registry::Global().GetCounter("pfdd.rejected");
+  obs::Counter& protocol_errors =
+      obs::Registry::Global().GetCounter("pfdd.protocol_errors");
+  obs::Gauge& inflight = obs::Registry::Global().GetGauge("pfdd.inflight");
+  obs::Gauge& queue_depth =
+      obs::Registry::Global().GetGauge("pfdd.queue_depth");
+  obs::Histogram& request_us =
+      obs::Registry::Global().GetHistogram("pfdd.request_us");
+};
+
+ServerObs& Obs() {
+  static ServerObs obs;
+  return obs;
+}
+
+// One-frame administrative answer (rejected / draining) for a connection
+// that will never reach a worker.
+void AnswerAndClose(int fd, Status status, const char* message) {
+  Response resp;
+  resp.status = status;
+  resp.exit_code = 1;
+  resp.message = message;
+  WriteFrame(fd, EncodeResponse(resp));
+  ::close(fd);
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options) : options_(options) {}
+
+Server::~Server() {
+  if (started_ && !joined_) Stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool Server::Start(std::string* error) {
+  // Served requests always render RunReports, so the registry is on for
+  // the daemon's lifetime (the CLI enables it per-sink instead).
+  obs::Registry::Global().set_enabled(true);
+
+  pool_ = std::make_unique<exec::Pool>(
+      MakeServicePoolOptions(options_.pool_threads));
+  service_.pool = pool_.get();
+  service_.default_deadline_ms = options_.default_deadline_ms;
+  service_.default_max_cycles = options_.default_max_cycles;
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof addr.sun_path) {
+      *error = "unix socket path too long: " + options_.unix_path;
+      return false;
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    ::unlink(options_.unix_path.c_str());  // stale file from a dead server
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      *error = "bind " + options_.unix_path + ": " + std::strerror(errno);
+      return false;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      *error = "bind port " + std::to_string(options_.tcp_port) + ": " +
+               std::strerror(errno);
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+
+  acceptor_ = std::thread(&Server::AcceptorMain, this);
+  const int n = options_.service_threads > 0 ? options_.service_threads : 1;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(&Server::WorkerMain, this);
+  }
+  started_ = true;
+  return true;
+}
+
+void Server::RequestDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+std::uint64_t Server::Wait() {
+  if (!started_ || joined_) return served_.load(std::memory_order_relaxed);
+  acceptor_.join();
+  for (std::thread& w : workers_) w.join();
+  joined_ = true;
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  return served_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Server::Stop() {
+  RequestDrain();
+  return Wait();
+}
+
+void Server::AcceptorMain() {
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  while (!draining()) {
+    // The timeout bounds how long a signal-requested drain waits to be
+    // noticed; no wakeup channel is needed, keeping RequestDrain
+    // async-signal-safe.
+    const int r = ::poll(&pfd, 1, 200);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    Obs().accepted.Add();
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (static_cast<int>(queue_.size()) < options_.queue_capacity) {
+        queue_.push_back(fd);
+        Obs().queue_depth.Add(1.0);  // under mu_, paired with PopConnection
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      cv_.notify_one();
+    } else {
+      Obs().rejected.Add();
+      AnswerAndClose(fd, Status::kRejected,
+                     "rejected: server queue full, retry later\n");
+    }
+  }
+  // Drain: answer `draining` to connections already pending on the listen
+  // socket, then stop listening. Queued fds are answered by the workers.
+  while (true) {
+    const int r = ::poll(&pfd, 1, 0);
+    if (r <= 0) break;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    AnswerAndClose(fd, Status::kDraining, "draining: server shutting down\n");
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  accept_done_.store(true, std::memory_order_release);
+  cv_.notify_all();
+}
+
+std::optional<int> Server::PopConnection() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!queue_.empty()) {
+      const int fd = queue_.front();
+      queue_.pop_front();
+      Obs().queue_depth.Add(-1.0);
+      return fd;
+    }
+    if (accept_done_.load(std::memory_order_acquire)) return std::nullopt;
+    cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+void Server::WorkerMain() {
+  while (const std::optional<int> fd = PopConnection()) {
+    if (draining()) {
+      // Still queued when the drain started: never admitted to a worker,
+      // so no partial work to finish.
+      AnswerAndClose(*fd, Status::kDraining,
+                     "draining: server shutting down\n");
+      continue;
+    }
+    ServeConnection(*fd);
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  std::string payload;
+  while (true) {
+    // Idle wait is polled so a drain is noticed between requests; only a
+    // peer that stalls mid-frame can hold a worker past the drain.
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) {
+      if (draining()) break;
+      continue;
+    }
+    const ReadResult rr = ReadFrame(fd, &payload);
+    if (rr != ReadResult::kOk) {
+      if (rr != ReadResult::kEof) {
+        Obs().protocol_errors.Add();
+        Response resp;
+        resp.status = Status::kError;
+        resp.exit_code = 1;
+        resp.message =
+            std::string("error: bad frame (") + ReadResultName(rr) + ")\n";
+        WriteFrame(fd, EncodeResponse(resp));
+      }
+      break;
+    }
+    Request request;
+    std::string parse_error;
+    Response resp;
+    if (!DecodeRequest(payload, &request, &parse_error)) {
+      Obs().protocol_errors.Add();
+      resp.status = Status::kError;
+      resp.exit_code = 1;
+      resp.message = "error: " + parse_error + "\n";
+    } else {
+      Obs().inflight.Add(1.0);
+      const auto t0 = std::chrono::steady_clock::now();
+      resp = ExecuteJob(request, service_);
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      Obs().inflight.Add(-1.0);
+      Obs().request_us.RecordDouble(us);
+      Obs().served.Add();
+      served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!WriteFrame(fd, EncodeResponse(resp))) break;
+    if (draining()) break;  // response flushed; close before the next read
+  }
+  ::close(fd);
+}
+
+}  // namespace pfd::pfdd

@@ -1,0 +1,125 @@
+// pfdd server: a long-lived daemon multiplexing classify/grade/xcheck
+// requests from many connections onto ONE shared exec::Pool.
+//
+// Thread structure:
+//
+//   acceptor ──> bounded connection queue ──> N service workers
+//                                                  │
+//                                                  └──> ExecuteJob on the
+//                                                       shared exec::Pool
+//
+// The acceptor polls with a short timeout so it can observe the drain flag
+// without a wakeup channel; RequestDrain is a plain atomic store and
+// therefore safe to call from a SIGTERM handler. Admission control is the
+// queue bound: when `queue_capacity` accepted connections are already
+// waiting for a worker, the acceptor answers `rejected` and closes instead
+// of letting latency grow without bound (the client retries or sheds).
+//
+// Drain contract (SIGTERM): stop accepting (`draining` to late arrivals),
+// let every in-flight request finish and its response flush, answer
+// `draining` to connections still queued, then exit 0. A second SIGTERM
+// kills the process the usual way (pfdtool serve restores the default
+// disposition after the first).
+//
+// Connections are persistent: a client may issue many requests on one
+// socket; each is served synchronously in arrival order on that
+// connection. Counters/gauges/histograms (pfdd.accepted, pfdd.served,
+// pfdd.rejected, pfdd.inflight, pfdd.queue_depth, pfdd.request_us) land in
+// the process-global registry and are scraped via the `metrics` command.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "pfdd/service.hpp"
+
+namespace pfd::pfdd {
+
+struct ServerOptions {
+  // Exactly one listener: the Unix socket when `unix_path` is non-empty
+  // (bound fresh; a stale file from a dead server is unlinked first),
+  // else loopback TCP on `tcp_port` (0 = ephemeral, read back via port()).
+  std::string unix_path;
+  int tcp_port = 0;
+  // Concurrent request executors. Each serves one connection at a time;
+  // engine-level parallelism inside a request goes through the shared pool.
+  int service_threads = 2;
+  // Accepted connections waiting for a worker before `rejected` answers.
+  int queue_capacity = 16;
+  // Shared exec::Pool workers (0 = auto: $PFD_THREADS, then hardware).
+  int pool_threads = 0;
+  // Service-level guard defaults for requests that carry none; 0 = none.
+  double default_deadline_ms = 0.0;
+  std::uint64_t default_max_cycles = 0;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, spawns acceptor + workers. False (with *error) on any
+  // socket failure; the server is then inert and safe to destroy.
+  bool Start(std::string* error);
+
+  // Begins the drain. Async-signal-safe: one atomic store, no locks.
+  void RequestDrain();
+
+  // Blocks until the drain completes and every thread is joined. Returns
+  // the number of requests served. Safe to call once, after Start.
+  std::uint64_t Wait();
+
+  // RequestDrain + Wait, for non-signal shutdown paths (tests).
+  std::uint64_t Stop();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  // The bound TCP port (after Start, TCP mode only; -1 otherwise).
+  int port() const { return port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+  exec::Pool* pool() { return pool_.get(); }
+
+ private:
+  void AcceptorMain();
+  void WorkerMain();
+  void ServeConnection(int fd);
+  // Pop a queued connection; blocks (with periodic drain checks) until one
+  // arrives or the queue is empty *and* the acceptor has stopped.
+  std::optional<int> PopConnection();
+
+  ServerOptions options_;
+  std::unique_ptr<exec::Pool> pool_;
+  ServiceConfig service_;
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> accept_done_{false};
+  std::atomic<std::uint64_t> served_{0};
+
+  std::mutex mu_;
+  // Notified by the acceptor (never from a signal handler — RequestDrain
+  // stays lock-free); workers additionally poll the drain flags on a short
+  // wait_for timeout.
+  std::condition_variable cv_;
+  std::deque<int> queue_;  // accepted fds awaiting a worker
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace pfd::pfdd

@@ -1,0 +1,323 @@
+#include "pfdd/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/parse.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/run_report.hpp"
+#include "designs/designs.hpp"
+#include "guard/guard.hpp"
+#include "obs/obs.hpp"
+#include "xcheck/xcheck.hpp"
+
+namespace pfd::pfdd {
+
+namespace {
+
+// Exit code for a guard-tripped run, same value pfdtool maps partials to.
+constexpr int kExitPartial = 3;
+
+constexpr std::uint64_t kUnset = ~std::uint64_t{0};
+
+struct JobParams {
+  std::string design;
+  int width = 4;
+  int patterns = 1200;
+  std::string fault_engine = "differential";
+  double threshold = 5.0;
+  double deadline_ms = -1.0;          // < 0 = fall back to service default
+  std::uint64_t max_cycles = kUnset;  // kUnset = fall back
+  std::uint64_t seed = 1;             // xcheck
+  std::uint64_t iters = 1000;         // xcheck
+  std::uint64_t sleep_ms = 0;         // ping
+};
+
+bool KeyAllowed(const std::string& command, const std::string& key) {
+  const auto in = [&key](std::initializer_list<const char*> keys) {
+    for (const char* k : keys) {
+      if (key == k) return true;
+    }
+    return false;
+  };
+  if (command == "classify") {
+    return in({"design", "width", "patterns", "fault_engine", "deadline_ms",
+               "max_cycles"});
+  }
+  if (command == "grade") {
+    return in({"design", "width", "patterns", "fault_engine", "deadline_ms",
+               "max_cycles", "threshold"});
+  }
+  if (command == "xcheck") return in({"seed", "iters", "deadline_ms"});
+  if (command == "ping") return in({"sleep_ms"});
+  return false;  // metrics takes no parameters
+}
+
+// Strict parse, pfdtool-style: garbage values are runtime errors, never
+// silent zeros. Throws pfd::Error (mapped to a kError response).
+JobParams ParseParams(const Request& request) {
+  JobParams p;
+  for (const auto& [key, value] : request.params) {
+    if (!KeyAllowed(request.command, key)) {
+      throw Error("unknown parameter '" + key + "' for command '" +
+                  request.command + "'");
+    }
+    if (key == "design") {
+      p.design = value;
+    } else if (key == "width") {
+      p.width = static_cast<int>(ParseUint64FlagInRange("width", value, 64));
+    } else if (key == "patterns") {
+      p.patterns = static_cast<int>(
+          ParseUint64FlagInRange("patterns", value, 10000000));
+    } else if (key == "fault_engine") {
+      p.fault_engine = std::string(ParseChoiceFlag(
+          "fault_engine", value, {"parallel", "serial", "differential"}));
+    } else if (key == "threshold") {
+      p.threshold = ParseNonNegativeDoubleFlag("threshold", value);
+    } else if (key == "deadline_ms") {
+      p.deadline_ms = ParseNonNegativeDoubleFlag("deadline_ms", value);
+    } else if (key == "max_cycles") {
+      p.max_cycles = ParseUint64Flag("max_cycles", value);
+    } else if (key == "seed") {
+      p.seed = ParseUint64Flag("seed", value);
+    } else if (key == "iters") {
+      p.iters = ParseUint64FlagInRange("iters", value, 100000000);
+    } else if (key == "sleep_ms") {
+      p.sleep_ms = ParseUint64FlagInRange("sleep_ms", value, 60000);
+    }
+  }
+  return p;
+}
+
+guard::Limits MakeLimits(const JobParams& p, const ServiceConfig& config) {
+  guard::Limits limits;
+  limits.max_wall_ms =
+      p.deadline_ms >= 0.0 ? p.deadline_ms : config.default_deadline_ms;
+  limits.max_sim_cycles =
+      p.max_cycles != kUnset ? p.max_cycles : config.default_max_cycles;
+  return limits;
+}
+
+// The request kvs pfdtool stamps into its RunReport, mirrored so a served
+// report and a solo-CLI report of the same request line up field for field.
+std::vector<std::pair<std::string, std::string>> EngineRequestKvs(
+    const JobParams& p, const guard::Limits& limits, int pool_threads) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  kvs.push_back(core::RequestStr("design", p.design));
+  kvs.push_back(core::RequestInt("width", p.width));
+  kvs.push_back(core::RequestInt("patterns", p.patterns));
+  kvs.push_back(core::RequestStr("fault_engine", p.fault_engine));
+  kvs.push_back(core::RequestInt("threads", pool_threads));
+  kvs.push_back(core::RequestDouble("deadline_ms", limits.max_wall_ms));
+  kvs.push_back(core::RequestInt(
+      "max_cycles", static_cast<std::int64_t>(limits.max_sim_cycles)));
+  return kvs;
+}
+
+std::string RenderReport(core::RunReportInputs inputs,
+                         const obs::MetricScope& scope) {
+  inputs.scope = &scope;
+  return core::RunReportJson(inputs);
+}
+
+Response FinishEngineJob(const guard::RunStatus& status, std::string csv,
+                         core::RunReportInputs inputs,
+                         const obs::MetricScope& scope) {
+  Response resp;
+  resp.csv = std::move(csv);
+  if (status.ok()) {
+    resp.status = Status::kOk;
+    resp.exit_code = 0;
+  } else {
+    resp.status = Status::kPartial;
+    resp.exit_code = kExitPartial;
+    resp.message = "partial result: " + status.Describe() + "\n";
+  }
+  inputs.exit_code = resp.exit_code;
+  inputs.run_status = &status;
+  resp.report = RenderReport(std::move(inputs), scope);
+  return resp;
+}
+
+Response RunClassify(const JobParams& p, const ServiceConfig& config,
+                     bool grade) {
+  // The scope is installed for the whole job: design build, engines, and
+  // the report render all tee into it; exec::Pool hands it to the workers
+  // of every job this thread submits.
+  obs::MetricScope scope;
+  obs::ScopedMetricScope install(&scope);
+
+  const designs::BenchmarkDesign d =
+      designs::BuildDesignByName(p.design, p.width);
+  const guard::Limits limits = MakeLimits(p, config);
+
+  core::PipelineConfig cfg;
+  cfg.tpgr_patterns = p.patterns;
+  cfg.fault_engine = fault::ParseFaultSimEngine(p.fault_engine);
+  cfg.pool = config.pool;
+  cfg.limits = limits;
+  core::ApplyFeedbackGateCheckDefaults(d.system, &cfg);
+  core::ClassificationReport report =
+      core::ClassifyControllerFaults(d.system, d.hls, cfg);
+
+  const int pool_threads =
+      config.pool != nullptr ? config.pool->threads() : 0;
+  core::RunReportInputs inputs;
+  inputs.command = grade ? "grade" : "classify";
+  inputs.request = EngineRequestKvs(p, limits, pool_threads);
+  inputs.metrics = &report.metrics;
+
+  if (!grade) {
+    return FinishEngineJob(report.run_status,
+                           core::ClassificationCsv(report),
+                           std::move(inputs), scope);
+  }
+
+  core::GradeConfig gcfg;
+  gcfg.threshold_percent = p.threshold;
+  gcfg.mc.pool = config.pool;
+  gcfg.mc.limits = limits;
+  const core::PowerGradeReport graded =
+      core::GradeSfrFaults(d.system, report, gcfg);
+  guard::RunStatus merged = report.run_status;
+  merged.MergeFrom(graded.run_status, "grade");
+  inputs.request.push_back(core::RequestDouble("threshold", p.threshold));
+  return FinishEngineJob(merged, core::GradingCsv(graded), std::move(inputs),
+                         scope);
+}
+
+Response RunXcheckJob(const JobParams& p) {
+  obs::MetricScope scope;
+  obs::ScopedMetricScope install(&scope);
+
+  xcheck::XcheckConfig cfg;
+  cfg.seed = p.seed;
+  cfg.iters = static_cast<std::uint32_t>(p.iters);
+  cfg.shrink = true;
+  const xcheck::XcheckResult r = xcheck::RunXcheck(cfg);
+
+  core::RunReportInputs inputs;
+  inputs.command = "xcheck";
+  inputs.request.push_back(
+      core::RequestInt("seed", static_cast<std::int64_t>(p.seed)));
+  inputs.request.push_back(
+      core::RequestInt("iters", static_cast<std::int64_t>(p.iters)));
+  inputs.request.push_back(core::RequestBool("shrink", true));
+  inputs.request.push_back(core::RequestBool("mutations", false));
+  inputs.request.push_back(core::RequestBool("engines", false));
+
+  Response resp;
+  if (r.miscompares == 0) {
+    char line[128];
+    std::snprintf(line, sizeof line,
+                  "xcheck: %llu/%llu cases clean (seed %llu)\n",
+                  static_cast<unsigned long long>(r.cases_run),
+                  static_cast<unsigned long long>(p.iters),
+                  static_cast<unsigned long long>(p.seed));
+    resp.status = Status::kOk;
+    resp.exit_code = 0;
+    resp.csv = line;
+  } else {
+    resp.status = Status::kError;
+    resp.exit_code = 1;
+    resp.message = "xcheck: MISCOMPARE at case " +
+                   std::to_string(r.failing_case_index) + " (case seed " +
+                   std::to_string(r.failing_case_seed) + "):\n  " +
+                   r.failure_detail + "\nshrunk repro (" +
+                   std::to_string(r.shrink_steps) + " shrink steps):\n" +
+                   r.repro_cpp;
+  }
+  inputs.exit_code = resp.exit_code;
+  resp.report = RenderReport(std::move(inputs), scope);
+  return resp;
+}
+
+// `name value` lines for every counter and gauge plus count/mean/p50/p99
+// lines per histogram — the /metrics-style exposition of the process-global
+// registry (unit suffixes live in the metric names).
+std::string RenderMetricsText() {
+  const obs::Registry& reg = obs::Registry::Global();
+  std::string out;
+  char buf[160];
+  for (const auto& [name, value] : reg.CounterSnapshot()) {
+    std::snprintf(buf, sizeof buf, "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : reg.GaugeSnapshot()) {
+    std::snprintf(buf, sizeof buf, "%s %g\n", name.c_str(), value);
+    out += buf;
+  }
+  for (const obs::HistogramSnapshot& h : reg.HistogramSnapshots()) {
+    std::snprintf(buf, sizeof buf,
+                  "%s.count %llu\n%s.mean %g\n%s.p50 %llu\n%s.p99 %llu\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.name.c_str(), h.Mean(), h.name.c_str(),
+                  static_cast<unsigned long long>(h.Quantile(0.50)),
+                  h.name.c_str(),
+                  static_cast<unsigned long long>(h.Quantile(0.99)));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+exec::Options MakeServicePoolOptions(int threads) {
+  exec::Options options;
+  options.threads = threads;
+  // Unit-grain chunks: the differential fault-sim engine builds its pools
+  // this way (one incremental-state shard per unit), and a shared pool must
+  // serve the strictest client.
+  options.max_chunk_units = 1;
+  return options;
+}
+
+Response ExecuteJob(const Request& request, const ServiceConfig& config) {
+  try {
+    const JobParams p = ParseParams(request);
+    if (request.command == "ping") {
+      if (p.sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(p.sleep_ms));
+      }
+      Response resp;
+      resp.message = "pong\n";
+      return resp;
+    }
+    if (request.command == "metrics") {
+      Response resp;
+      resp.message = RenderMetricsText();
+      return resp;
+    }
+    if (request.command == "classify" || request.command == "grade") {
+      if (p.design.empty()) {
+        throw Error("command '" + request.command +
+                    "' requires design=NAME");
+      }
+      return RunClassify(p, config, request.command == "grade");
+    }
+    if (request.command == "xcheck") return RunXcheckJob(p);
+    throw Error("unknown command '" + request.command +
+                "' (commands: classify grade xcheck ping metrics)");
+  } catch (const Error& e) {
+    Response resp;
+    resp.status = Status::kError;
+    resp.exit_code = 1;
+    resp.message = std::string("error: ") + e.what() + "\n";
+    return resp;
+  } catch (const std::exception& e) {
+    Response resp;
+    resp.status = Status::kError;
+    resp.exit_code = 1;
+    resp.message = std::string("error: internal: ") + e.what() + "\n";
+    return resp;
+  }
+}
+
+}  // namespace pfd::pfdd

@@ -1,0 +1,62 @@
+// pfdd request execution: one parsed Request in, one Response out.
+//
+// ExecuteJob is the seam between the wire and the engines. Every job runs
+// with:
+//
+//   * a per-request obs::MetricScope installed on the executing thread and
+//     propagated by exec::Pool to the workers of every job the request
+//     submits — so the RunReport attached to the response reflects only
+//     this request's counters/histograms even while neighbours hammer the
+//     same process-global registry;
+//   * a per-request guard::Checker built from the request's deadline_ms /
+//     max_cycles (falling back to the service defaults) — a tripped guard
+//     degrades THIS response to `partial` and leaves every other in-flight
+//     request untouched;
+//   * the one shared exec::Pool, injected through the engine config `pool`
+//     fields — scheduling only, results bit-identical to a private pool;
+//   * the process-wide GoldenTraceCache, shared deliberately (same design,
+//     width and stimulus across requests hit the same golden traces).
+//
+// Supported commands (mirroring the pfdtool vocabulary):
+//
+//   classify design=NAME [width=N] [patterns=N] [fault_engine=E]
+//            [deadline_ms=X] [max_cycles=N]
+//   grade    ... classify's params ... [threshold=PCT]
+//   xcheck   [seed=N] [iters=N]
+//   ping     [sleep_ms=N]                 (liveness / admission testing)
+//   metrics  (text exposition of the process-global registry)
+//
+// classify/grade responses carry the exact CSV the solo CLI invocation
+// (`pfdtool classify NAME --csv ...`) prints — byte-identical, enforced by
+// tests — plus a RunReport JSON in `report`.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/exec.hpp"
+#include "pfdd/protocol.hpp"
+
+namespace pfd::pfdd {
+
+struct ServiceConfig {
+  // The shared worker pool every request's engine stages run on. Not owned.
+  // Build it with max_chunk_units = 1 (the differential engine's preferred
+  // shard grain) — see MakeServicePoolOptions.
+  exec::Pool* pool = nullptr;
+  // Applied when a request carries no deadline_ms / max_cycles of its own;
+  // 0 = unlimited. A service default is the operator's backstop against one
+  // runaway request starving the pool.
+  double default_deadline_ms = 0.0;
+  std::uint64_t default_max_cycles = 0;
+};
+
+// exec options for the service's shared pool: `threads` workers (0 = auto)
+// with the chunk grain the injected-pool engine paths expect.
+exec::Options MakeServicePoolOptions(int threads);
+
+// Executes one request synchronously on the calling thread (engine
+// parallelism goes through config.pool). Never throws; malformed or failed
+// requests come back as Status::kError with the message explaining.
+Response ExecuteJob(const Request& request, const ServiceConfig& config);
+
+}  // namespace pfd::pfdd

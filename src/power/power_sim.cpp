@@ -140,7 +140,7 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
     check.AddSimCycles(static_cast<std::uint64_t>(plan.cycles_per_pattern));
   }
 
-  exec::Pool pool(config.exec);
+  exec::PoolLease pool(config.pool, config.exec);
   std::vector<PowerBreakdown> results(
       static_cast<std::size_t>(config.max_batches));
   std::vector<char> batch_ok(static_cast<std::size_t>(config.max_batches), 0);
@@ -154,9 +154,9 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
   while (!converged && computed < config.max_batches && !check.tripped()) {
     const int wave =
         std::min(config.max_batches - computed,
-                 computed == 0 ? std::max(config.min_batches, pool.threads())
-                               : pool.threads());
-    const guard::RunStatus wave_status = pool.ParallelForGuarded(
+                 computed == 0 ? std::max(config.min_batches, pool->threads())
+                               : pool->threads());
+    const guard::RunStatus wave_status = pool->ParallelForGuarded(
         static_cast<std::size_t>(wave),
         [&](std::size_t k) {
           guard::MaybeFail("power.mc_batch");

@@ -53,6 +53,10 @@ struct MonteCarloConfig {
   // Worker threads for the batch fan-out; a performance knob only — the
   // result is bit-identical for every thread count.
   exec::Options exec;
+  // Optional injected shared pool; nullptr builds a private pool from
+  // `exec`. Scheduling only — results are bit-identical either way. Not
+  // owned.
+  exec::Pool* pool = nullptr;
   // Cooperative limits for this run; ignored when `checker` is set.
   guard::Limits limits;
   // Optional external checker for callers pooling one budget across

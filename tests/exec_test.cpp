@@ -11,6 +11,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/error.hpp"
@@ -18,6 +19,7 @@
 #include "core/report.hpp"
 #include "designs/designs.hpp"
 #include "exec/exec.hpp"
+#include "obs/obs.hpp"
 #include "obs/trace.hpp"
 
 namespace pfd::exec {
@@ -283,6 +285,124 @@ TEST(Determinism, ClassificationIsThreadCountInvariant) {
   ASSERT_FALSE(t1.empty());
   EXPECT_EQ(classify_csv(2), t1);
   EXPECT_EQ(classify_csv(8), t1);
+}
+
+// RAII enable/restore of the global registry (the gauge accounting below is
+// gated on obs::Enabled()).
+class ScopedRegistryEnable {
+ public:
+  ScopedRegistryEnable() : was_(obs::Registry::Global().enabled()) {
+    obs::Registry::Global().set_enabled(true);
+  }
+  ~ScopedRegistryEnable() { obs::Registry::Global().set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+// Regression for the queue-depth accounting bug: two pools publishing jobs
+// concurrently used last-writer-wins Set(), so one job's contribution
+// clobbered the other's. With Add accounting the mid-run depth is the SUM
+// of both jobs' unclaimed chunks — strictly more than either job alone
+// could report — and the gauge returns to baseline once both jobs drain.
+TEST(PoolObsGauge, QueueDepthComposesAcrossConcurrentJobs) {
+  ScopedRegistryEnable enable;
+  obs::Gauge& depth = obs::Registry::Global().GetGauge("exec.queue_depth");
+  const double baseline = depth.value();
+
+  Options o;
+  o.threads = 2;  // 2 executors per pool: 1 worker + the submitting thread
+  o.max_chunk_units = 1;  // 1 unit per chunk: 8 chunks per job
+  Pool pool_a(o), pool_b(o);
+
+  // All 4 executors block in their first body until released, pinning
+  // 16 - 4 = 12 chunks unclaimed across the two jobs. A Set()-based gauge
+  // can never exceed one job's 8.
+  std::atomic<int> arrived{0};
+  std::atomic<bool> release{false};
+  const auto body = [&](std::size_t) {
+    arrived.fetch_add(1, std::memory_order_relaxed);
+    while (!release.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
+    }
+  };
+  std::thread ta([&]() { pool_a.ParallelFor(8, body); });
+  std::thread tb([&]() { pool_b.ParallelFor(8, body); });
+  while (arrived.load(std::memory_order_relaxed) < 4) {
+    std::this_thread::yield();
+  }
+  const double mid_run = depth.value();
+  release.store(true, std::memory_order_relaxed);
+  ta.join();
+  tb.join();
+
+  EXPECT_GE(mid_run, baseline + 9.0)
+      << "concurrent jobs' unclaimed chunks must sum, not clobber";
+  EXPECT_DOUBLE_EQ(depth.value(), baseline)
+      << "every published chunk must be claimed back down";
+}
+
+// The concurrency contract pinned by this PR: ParallelFor/ParallelForGuarded
+// from two external threads on ONE shared pool serialize through the job
+// gate — both complete, with every index run exactly once. The tsan CI job
+// runs this test; a gate regression shows up as a data race on the pool's
+// single-job state.
+TEST(PoolConcurrency, ConcurrentExternalCallersBothComplete) {
+  Options o;
+  o.threads = 4;
+  o.max_chunk_units = 1;
+  Pool pool(o);
+
+  constexpr int kRounds = 50;
+  constexpr std::size_t kN = 24;
+  std::vector<int> a(kN, 0), b(kN, 0);  // disjoint per caller
+  std::thread t1([&]() {
+    for (int r = 0; r < kRounds; ++r) {
+      pool.ParallelFor(kN, [&](std::size_t i) { a[i] += 1; });
+    }
+  });
+  std::thread t2([&]() {
+    for (int r = 0; r < kRounds; ++r) {
+      const guard::RunStatus status =
+          pool.ParallelForGuarded(kN, [&](std::size_t i) { b[i] += 1; });
+      ASSERT_TRUE(status.ok());
+    }
+  });
+  t1.join();
+  t2.join();
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(a[i], kRounds);
+    EXPECT_EQ(b[i], kRounds);
+  }
+}
+
+// Worker-side counter updates are attributed to the scope installed on the
+// thread that SUBMITTED the job, and two submitters' scopes never bleed
+// into each other — the isolation a served RunReport depends on.
+TEST(PoolConcurrency, MetricScopePropagatesToWorkersPerJob) {
+  Options o;
+  o.threads = 2;
+  o.max_chunk_units = 1;
+  Pool pool_a(o), pool_b(o);
+  obs::Counter& counter =
+      obs::Registry::Global().GetCounter("exec_test.scope_probe");
+  const std::uint64_t global_before = counter.value();
+
+  obs::MetricScope scope_a, scope_b;
+  std::thread t1([&]() {
+    obs::ScopedMetricScope install(&scope_a);
+    pool_a.ParallelFor(64, [&](std::size_t) { counter.Add(1); });
+  });
+  std::thread t2([&]() {
+    obs::ScopedMetricScope install(&scope_b);
+    pool_b.ParallelFor(32, [&](std::size_t) { counter.Add(2); });
+  });
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(scope_a.CounterValue("exec_test.scope_probe"), 64u);
+  EXPECT_EQ(scope_b.CounterValue("exec_test.scope_probe"), 64u);
+  EXPECT_EQ(counter.value() - global_before, 128u);
 }
 
 }  // namespace

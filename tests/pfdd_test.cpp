@@ -1,0 +1,526 @@
+// Tests for the pfdd daemon stack (src/pfdd): the framing protocol, the
+// request/response codec, the service seam (ExecuteJob), and a real Server
+// on a loopback socket — concurrent mixed jobs byte-identical to solo CLI
+// runs, per-request guard isolation, admission control, per-request
+// RunReport isolation, and the graceful drain.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "designs/designs.hpp"
+#include "exec/exec.hpp"
+#include "obs/obs.hpp"
+#include "pfdd/client.hpp"
+#include "pfdd/protocol.hpp"
+#include "pfdd/server.hpp"
+#include "pfdd/service.hpp"
+#include "xcheck/xcheck.hpp"
+
+namespace pfd::pfdd {
+namespace {
+
+// ---------------------------------------------------------------- protocol
+
+class FramePair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePair, RoundTripsPayloadsIncludingEmpty) {
+  for (const std::string payload :
+       {std::string("classify design=diffeq"), std::string(""),
+        std::string(4096, 'x')}) {
+    ASSERT_TRUE(WriteFrame(fds_[0], payload));
+    std::string got;
+    ASSERT_EQ(ReadFrame(fds_[1], &got), ReadResult::kOk);
+    EXPECT_EQ(got, payload);
+  }
+}
+
+TEST_F(FramePair, CleanCloseIsEofNotError) {
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::string got;
+  EXPECT_EQ(ReadFrame(fds_[1], &got), ReadResult::kEof);
+}
+
+TEST_F(FramePair, StrayHttpClientFailsLoudlyOnMagic) {
+  const char http[] = "GET / HTTP/1.1\r\n";
+  ASSERT_EQ(::send(fds_[0], http, sizeof http - 1, 0),
+            static_cast<ssize_t>(sizeof http - 1));
+  std::string got;
+  EXPECT_EQ(ReadFrame(fds_[1], &got), ReadResult::kBadMagic);
+}
+
+TEST_F(FramePair, OversizedLengthRejectedBeforeAllocation) {
+  const unsigned char header[8] = {'P', 'F', 'D', '1', 0xff, 0xff, 0xff,
+                                   0xff};
+  ASSERT_EQ(::send(fds_[0], header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  std::string got;
+  EXPECT_EQ(ReadFrame(fds_[1], &got), ReadResult::kTooLarge);
+}
+
+TEST_F(FramePair, MidFrameEofIsError) {
+  const unsigned char header[8] = {'P', 'F', 'D', '1', 100, 0, 0, 0};
+  ASSERT_EQ(::send(fds_[0], header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  ::close(fds_[0]);  // promised 100 bytes, delivered none
+  fds_[0] = -1;
+  std::string got;
+  EXPECT_EQ(ReadFrame(fds_[1], &got), ReadResult::kError);
+}
+
+TEST(RequestCodec, RoundTripPreservesOrder) {
+  Request req;
+  req.command = "classify";
+  req.params = {{"design", "diffeq"}, {"width", "4"}, {"patterns", "120"}};
+  Request back;
+  std::string err;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(req), &back, &err)) << err;
+  EXPECT_EQ(back.command, "classify");
+  ASSERT_EQ(back.params.size(), 3u);
+  EXPECT_EQ(*back.Find("design"), "diffeq");
+  EXPECT_EQ(*back.Find("patterns"), "120");
+  EXPECT_EQ(back.Find("missing"), nullptr);
+}
+
+TEST(RequestCodec, MalformedLinesAreRejectedWithReason) {
+  Request req;
+  std::string err;
+  EXPECT_FALSE(DecodeRequest("", &req, &err));
+  EXPECT_FALSE(DecodeRequest("   ", &req, &err));
+  EXPECT_FALSE(DecodeRequest("classify design", &req, &err));
+  EXPECT_NE(err.find("key=value"), std::string::npos);
+  EXPECT_FALSE(DecodeRequest("classify a=1 a=2", &req, &err));
+  EXPECT_NE(err.find("repeated"), std::string::npos);
+  EXPECT_FALSE(DecodeRequest("classify =x", &req, &err));
+}
+
+TEST(ResponseCodec, RoundTripsSectionsWithNewlines) {
+  Response resp;
+  resp.status = Status::kPartial;
+  resp.exit_code = 3;
+  resp.csv = "a,b\n1,2\n";
+  resp.report = "{\n\"schema\":\"pfd.run_report\"\n}\n";
+  resp.message = "partial result: deadline\n";
+  Response back;
+  std::string err;
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(resp), &back, &err)) << err;
+  EXPECT_EQ(back.status, Status::kPartial);
+  EXPECT_EQ(back.exit_code, 3);
+  EXPECT_EQ(back.csv, resp.csv);
+  EXPECT_EQ(back.report, resp.report);
+  EXPECT_EQ(back.message, resp.message);
+}
+
+TEST(ResponseCodec, BodySizeMismatchRejected) {
+  Response resp;
+  resp.csv = "abc";
+  std::string wire = EncodeResponse(resp);
+  wire.pop_back();  // truncate the body
+  Response back;
+  std::string err;
+  EXPECT_FALSE(DecodeResponse(wire, &back, &err));
+  EXPECT_NE(err.find("size mismatch"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- service
+
+// The library-path equivalent of `pfdtool classify NAME --csv` — private
+// pools, no service anywhere near it. This is the byte-identity oracle.
+std::string SoloClassifyCsv(const std::string& design, int patterns,
+                            int threads) {
+  const designs::BenchmarkDesign d = designs::BuildDesignByName(design, 4);
+  core::PipelineConfig cfg;
+  cfg.tpgr_patterns = patterns;
+  cfg.exec.threads = threads;
+  core::ApplyFeedbackGateCheckDefaults(d.system, &cfg);
+  return core::ClassificationCsv(
+      core::ClassifyControllerFaults(d.system, d.hls, cfg));
+}
+
+std::string SoloGradeCsv(const std::string& design, int patterns) {
+  const designs::BenchmarkDesign d = designs::BuildDesignByName(design, 4);
+  core::PipelineConfig cfg;
+  cfg.tpgr_patterns = patterns;
+  cfg.exec.threads = 1;
+  core::ApplyFeedbackGateCheckDefaults(d.system, &cfg);
+  const core::ClassificationReport report =
+      core::ClassifyControllerFaults(d.system, d.hls, cfg);
+  core::GradeConfig gcfg;
+  gcfg.mc.exec.threads = 1;
+  return core::GradingCsv(core::GradeSfrFaults(d.system, report, gcfg));
+}
+
+Request ClassifyRequest(const std::string& design, int patterns) {
+  Request req;
+  req.command = "classify";
+  req.params = {{"design", design}, {"patterns", std::to_string(patterns)}};
+  return req;
+}
+
+TEST(Service, ClassifyIsByteIdenticalToSoloAcrossPoolThreads) {
+  const std::string expected = SoloClassifyCsv("facet", 150, 1);
+  ASSERT_FALSE(expected.empty());
+  for (const int threads : {1, 2, 8}) {
+    exec::Pool pool(MakeServicePoolOptions(threads));
+    ServiceConfig config;
+    config.pool = &pool;
+    const Response resp = ExecuteJob(ClassifyRequest("facet", 150), config);
+    EXPECT_EQ(resp.status, Status::kOk) << resp.message;
+    EXPECT_EQ(resp.exit_code, 0);
+    EXPECT_EQ(resp.csv, expected) << "threads=" << threads;
+    EXPECT_NE(resp.report.find("\"schema\":\"pfd.run_report\""),
+              std::string::npos);
+  }
+}
+
+TEST(Service, GradeIsByteIdenticalToSolo) {
+  const std::string expected = SoloGradeCsv("facet", 150);
+  exec::Pool pool(MakeServicePoolOptions(4));
+  ServiceConfig config;
+  config.pool = &pool;
+  Request req;
+  req.command = "grade";
+  req.params = {{"design", "facet"}, {"patterns", "150"}};
+  const Response resp = ExecuteJob(req, config);
+  EXPECT_EQ(resp.status, Status::kOk) << resp.message;
+  EXPECT_EQ(resp.csv, expected);
+}
+
+TEST(Service, BadRequestsComeBackAsErrorNotCrash) {
+  exec::Pool pool(MakeServicePoolOptions(2));
+  ServiceConfig config;
+  config.pool = &pool;
+  const auto expect_error = [&](Request req, const char* needle) {
+    const Response resp = ExecuteJob(req, config);
+    EXPECT_EQ(resp.status, Status::kError);
+    EXPECT_EQ(resp.exit_code, 1);
+    EXPECT_NE(resp.message.find(needle), std::string::npos) << resp.message;
+  };
+  Request unknown_cmd;
+  unknown_cmd.command = "explode";
+  expect_error(unknown_cmd, "unknown command");
+  expect_error(ClassifyRequest("nonesuch", 10), "unknown design");
+  Request no_design;
+  no_design.command = "classify";
+  expect_error(no_design, "requires design=NAME");
+  Request bad_param = ClassifyRequest("facet", 10);
+  bad_param.params.emplace_back("threshold", "5");  // grade-only key
+  expect_error(bad_param, "unknown parameter");
+  Request bad_value = ClassifyRequest("facet", 10);
+  bad_value.params[1].second = "12x";
+  expect_error(bad_value, "not a non-negative integer");
+}
+
+// ------------------------------------------------------------------ server
+
+struct LiveServer {
+  explicit LiveServer(ServerOptions options) : server(options) {
+    std::string err;
+    ok = server.Start(&err);
+    if (!ok) ADD_FAILURE() << "server start failed: " << err;
+  }
+  Connection Connect() {
+    std::string err;
+    Connection conn = Connection::ConnectTcp(server.port(), &err);
+    if (!conn.ok()) ADD_FAILURE() << err;
+    return conn;
+  }
+  Server server;
+  bool ok = false;
+};
+
+// The ISSUE acceptance bar: >= 8 concurrent mixed jobs, every response
+// byte-identical to the solo CLI-equivalent run, all sharing one pool.
+TEST(ServerTest, EightConcurrentMixedJobsAreByteIdenticalToSolo) {
+  const std::string classify_expected = SoloClassifyCsv("facet", 120, 1);
+  const std::string grade_expected = SoloGradeCsv("facet", 120);
+  xcheck::XcheckConfig xcfg;
+  xcfg.seed = 7;
+  xcfg.iters = 12;
+  const xcheck::XcheckResult xr = xcheck::RunXcheck(xcfg);
+  ASSERT_EQ(xr.miscompares, 0u);
+  const std::string xcheck_expected =
+      "xcheck: " + std::to_string(xr.cases_run) +
+      "/12 cases clean (seed 7)\n";
+
+  ServerOptions options;
+  options.service_threads = 8;
+  options.pool_threads = 4;
+  LiveServer live(options);
+  ASSERT_TRUE(live.ok);
+
+  struct JobSpec {
+    Request request;
+    const std::string* expected;
+  };
+  Request grade_req;
+  grade_req.command = "grade";
+  grade_req.params = {{"design", "facet"}, {"patterns", "120"}};
+  Request xcheck_req;
+  xcheck_req.command = "xcheck";
+  xcheck_req.params = {{"seed", "7"}, {"iters", "12"}};
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back({ClassifyRequest("facet", 120), &classify_expected});
+  }
+  jobs.push_back({grade_req, &grade_expected});
+  jobs.push_back({grade_req, &grade_expected});
+  jobs.push_back({xcheck_req, &xcheck_expected});
+  jobs.push_back({xcheck_req, &xcheck_expected});
+
+  std::vector<std::thread> threads;
+  std::vector<Response> responses(jobs.size());
+  std::vector<std::string> errors(jobs.size());
+  threads.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    threads.emplace_back([&, i]() {
+      Connection conn = live.Connect();
+      if (!conn.ok()) return;
+      if (!conn.Call(jobs[i].request, &responses[i], &errors[i])) {
+        responses[i].status = Status::kError;
+        responses[i].message = errors[i];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(responses[i].status, Status::kOk)
+        << "job " << i << ": " << responses[i].message;
+    EXPECT_EQ(responses[i].csv, *jobs[i].expected) << "job " << i;
+    EXPECT_NE(responses[i].report.find("\"schema\":\"pfd.run_report\""),
+              std::string::npos)
+        << "job " << i;
+  }
+  live.server.Stop();
+}
+
+// Pulls "name":value out of a report's top-level counters section (the
+// last occurrence — the metrics section embeds a counters object too).
+std::uint64_t ReportCounter(const std::string& report,
+                            const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t at = report.rfind(needle);
+  if (at == std::string::npos) return 0;
+  return static_cast<std::uint64_t>(
+      std::strtoull(report.c_str() + at + needle.size(), nullptr, 10));
+}
+
+// Satellite 3: each served RunReport must reflect only its own request's
+// work. Two identical classifies run concurrently; a report rendered from
+// the process-global registry would show roughly DOUBLE the solo cycle
+// count, a scoped one shows exactly the solo count in both.
+TEST(ServerTest, RunReportsReflectOnlyTheirOwnRequest) {
+  ServerOptions options;
+  options.service_threads = 2;
+  options.pool_threads = 2;
+  LiveServer live(options);
+  ASSERT_TRUE(live.ok);
+
+  // Solo baseline through the same server, with no concurrency.
+  Connection warm = live.Connect();
+  Response solo;
+  std::string err;
+  ASSERT_TRUE(warm.Call(ClassifyRequest("facet", 120), &solo, &err)) << err;
+  const std::uint64_t solo_cycles =
+      ReportCounter(solo.report, "logicsim.cycles");
+  ASSERT_GT(solo_cycles, 0u);
+
+  Response a, b;
+  std::thread ta([&]() {
+    Connection conn = live.Connect();
+    std::string e;
+    conn.Call(ClassifyRequest("facet", 120), &a, &e);
+  });
+  std::thread tb([&]() {
+    Connection conn = live.Connect();
+    std::string e;
+    conn.Call(ClassifyRequest("facet", 120), &b, &e);
+  });
+  ta.join();
+  tb.join();
+
+  // Identical requests, identical (warm) golden-cache state: with scoped
+  // reports each sees exactly its own work. A report rendered from the
+  // process-global registry would show cumulative totals instead — the
+  // later finisher at roughly solo + the other request's work.
+  const std::uint64_t a_cycles = ReportCounter(a.report, "logicsim.cycles");
+  const std::uint64_t b_cycles = ReportCounter(b.report, "logicsim.cycles");
+  EXPECT_GT(a_cycles, 0u);
+  EXPECT_EQ(a_cycles, b_cycles);
+  // Cache hits can only shave cycles relative to the cold solo run; any
+  // cross-request accumulation would push past the solo count.
+  EXPECT_LE(a_cycles, solo_cycles);
+  EXPECT_LE(b_cycles, solo_cycles);
+  // Server-side telemetry (acceptor/worker threads, outside any request
+  // scope) must not leak into a request's report — anywhere in it,
+  // including the embedded metrics section.
+  EXPECT_EQ(solo.report.find("pfdd.accepted"), std::string::npos);
+  EXPECT_EQ(a.report.find("pfdd.accepted"), std::string::npos);
+  EXPECT_EQ(b.report.find("pfdd.accepted"), std::string::npos);
+  live.server.Stop();
+}
+
+// Satellite coverage: a guard-tripped request degrades to `partial` (exit
+// 3, report present) while a concurrent untripped request still returns
+// its full byte-identical result.
+TEST(ServerTest, TrippedRequestIsPartialWithoutPoisoningNeighbors) {
+  const std::string expected = SoloClassifyCsv("facet", 120, 1);
+  ServerOptions options;
+  options.service_threads = 2;
+  options.pool_threads = 2;
+  LiveServer live(options);
+  ASSERT_TRUE(live.ok);
+
+  Request doomed = ClassifyRequest("facet", 120);
+  doomed.params.emplace_back("deadline_ms", "0.001");
+  Response tripped, healthy;
+  std::thread ta([&]() {
+    Connection conn = live.Connect();
+    std::string e;
+    conn.Call(doomed, &tripped, &e);
+  });
+  std::thread tb([&]() {
+    Connection conn = live.Connect();
+    std::string e;
+    conn.Call(ClassifyRequest("facet", 120), &healthy, &e);
+  });
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(tripped.status, Status::kPartial) << tripped.message;
+  EXPECT_EQ(tripped.exit_code, 3);
+  EXPECT_NE(tripped.report.find("\"schema\":\"pfd.run_report\""),
+            std::string::npos);
+  EXPECT_EQ(healthy.status, Status::kOk) << healthy.message;
+  EXPECT_EQ(healthy.csv, expected);
+  live.server.Stop();
+}
+
+TEST(ServerTest, AdmissionControlRejectsWhenQueueIsFull) {
+  ServerOptions options;
+  options.service_threads = 1;
+  options.queue_capacity = 1;
+  options.pool_threads = 1;
+  LiveServer live(options);
+  ASSERT_TRUE(live.ok);
+
+  // Occupy the one worker with a sleeping ping...
+  Request slow;
+  slow.command = "ping";
+  slow.params = {{"sleep_ms", "1500"}};
+  Response slow_resp;
+  std::thread occupant([&]() {
+    Connection conn = live.Connect();
+    std::string e;
+    conn.Call(slow, &slow_resp, &e);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // ...fill the one queue slot with a second connection (its request is a
+  // plain ping — what matters is that the fd sits in the queue)...
+  Request ping;
+  ping.command = "ping";
+  Connection queued = live.Connect();
+  const bool queued_sent = WriteFrame(queued.fd(), EncodeRequest(ping));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...so the third is turned away at admission, not enqueued forever. The
+  // acceptor answers `rejected` unprompted and closes — read, don't Call.
+  Connection conn = live.Connect();
+  std::string payload;
+  const ReadResult rr = ReadFrame(conn.fd(), &payload);
+  Response resp;
+  std::string err;
+  const bool decoded =
+      rr == ReadResult::kOk && DecodeResponse(payload, &resp, &err);
+
+  occupant.join();
+  ASSERT_TRUE(queued_sent);
+  ASSERT_EQ(rr, ReadResult::kOk);
+  ASSERT_TRUE(decoded) << err;
+  EXPECT_EQ(resp.status, Status::kRejected);
+  EXPECT_NE(resp.message.find("queue full"), std::string::npos);
+  EXPECT_EQ(slow_resp.message, "pong\n");
+  live.server.Stop();
+}
+
+TEST(ServerTest, DrainFinishesInFlightWorkThenStops) {
+  ServerOptions options;
+  options.service_threads = 1;
+  options.pool_threads = 1;
+  LiveServer live(options);
+  ASSERT_TRUE(live.ok);
+
+  Request slow;
+  slow.command = "ping";
+  slow.params = {{"sleep_ms", "600"}};
+  Response in_flight;
+  std::string in_flight_err;
+  bool in_flight_ok = false;
+  std::thread occupant([&]() {
+    Connection conn = live.Connect();
+    in_flight_ok = conn.Call(slow, &in_flight, &in_flight_err);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  live.server.RequestDrain();
+  const std::uint64_t served = live.server.Wait();
+  occupant.join();
+
+  // The in-flight request completed and its response flushed.
+  ASSERT_TRUE(in_flight_ok) << in_flight_err;
+  EXPECT_EQ(in_flight.message, "pong\n");
+  EXPECT_GE(served, 1u);
+
+  // The listener is gone: new connections are refused outright.
+  std::string err;
+  Connection post = Connection::ConnectTcp(live.server.port(), &err);
+  EXPECT_FALSE(post.ok());
+}
+
+TEST(ServerTest, MetricsCommandExposesServerCounters) {
+  ServerOptions options;
+  options.service_threads = 1;
+  options.pool_threads = 1;
+  LiveServer live(options);
+  ASSERT_TRUE(live.ok);
+
+  Connection conn = live.Connect();
+  Request ping;
+  ping.command = "ping";
+  Response resp;
+  std::string err;
+  ASSERT_TRUE(conn.Call(ping, &resp, &err)) << err;
+
+  Request metrics;
+  metrics.command = "metrics";
+  ASSERT_TRUE(conn.Call(metrics, &resp, &err)) << err;
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_NE(resp.message.find("pfdd.accepted"), std::string::npos);
+  EXPECT_NE(resp.message.find("pfdd.served"), std::string::npos);
+  EXPECT_NE(resp.message.find("pfdd.request_us.count"), std::string::npos);
+  live.server.Stop();
+}
+
+}  // namespace
+}  // namespace pfd::pfdd

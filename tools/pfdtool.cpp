@@ -12,6 +12,27 @@
 //   pfdtool vcd      <design> [--fault INDEX] [--patterns N]
 //   pfdtool xcheck   [--seed N] [--iters N] [--no-shrink] [--mutations]
 //                    [--max-gates N] [--engines]
+//   pfdtool serve    [--socket PATH | --port N] [--service-threads N]
+//                    [--queue-capacity N] [--threads N] [--deadline-ms N]
+//                    [--max-cycles N]
+//   pfdtool call     "<command key=value ...>" (--socket PATH | --port N)
+//                    [--report FILE]
+//   pfdtool loadgen  (--socket PATH | --port N) [--jobs N] [--concurrency N]
+//                    [--mix K1,K2,...] [--patterns N] [--width N] [--seed N]
+//                    [--iters N] [--deadline-ms N] [--bench-json FILE]
+//                    [--dump-dir DIR]
+//
+// serve runs the pfdd daemon (src/pfdd): classify/grade/xcheck jobs from
+// many connections multiplexed onto ONE shared worker pool, each request
+// getting its own guard budget and its own RunReport while the golden-trace
+// cache is shared across all of them. SIGTERM/SIGINT drain gracefully:
+// in-flight requests finish, late arrivals get `draining`, exit 0. call
+// sends one request line and prints the response (`call metrics` scrapes
+// the counter/gauge/histogram exposition). loadgen drives a deterministic
+// mixed-job soak (one connection per job, seeded rotation) and records
+// per-kind p50/p99 latency, optionally as google-benchmark-schema JSON
+// (--bench-json, validated by bench/check_bench_json.py) with per-job
+// CSV/report dumps for byte-identity and schema checks (--dump-dir).
 //
 // --fault-engine selects the step-1 fault-simulation engine (classify/
 // grade/diagnose); the report is bit-identical across engines —
@@ -76,12 +97,18 @@
 // Designs: diffeq, facet, poly, diffeq-loop, ewf.
 // Exit codes: 0 success, 1 runtime error (incl. unknown design), 2 usage,
 // 3 partial result (deadline / cancellation / budget / quarantined units).
+#include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "analysis/trace.hpp"
 #include "base/parse.hpp"
@@ -97,6 +124,8 @@
 #include "logicsim/vcd.hpp"
 #include "obs/flight.hpp"
 #include "obs/trace.hpp"
+#include "pfdd/client.hpp"
+#include "pfdd/server.hpp"
 #include "xcheck/fault_xcheck.hpp"
 #include "xcheck/xcheck.hpp"
 
@@ -135,6 +164,18 @@ struct Options {
   std::string checkpoint_path;  // empty = no journal
   bool resume = false;
   std::uint64_t golden_cache_bytes = ~0ULL;  // ~0 = keep the default
+
+  // serve / call / loadgen (the pfdd daemon and its clients).
+  std::string socket_path;   // Unix socket; empty = loopback TCP
+  int port = 0;              // serve: 0 = ephemeral; call/loadgen: target
+  bool have_port = false;    // --port was given (call/loadgen target check)
+  int service_threads = 2;   // serve: concurrent request executors
+  int queue_capacity = 16;   // serve: admission-control bound
+  std::uint64_t jobs = 32;        // loadgen: total requests
+  int concurrency = 8;            // loadgen: concurrent client threads
+  std::string mix = "classify,classify,classify,grade,xcheck";
+  std::string bench_json_path;    // loadgen: BENCH JSON out
+  std::string dump_dir;           // loadgen: per-job CSV/report dumps
 };
 
 // Captured for the end-of-run artifacts (--metrics-json on any command,
@@ -185,8 +226,9 @@ int FinishRun(const guard::RunStatus& status) {
 [[noreturn]] void Usage() {
   std::fprintf(
       stderr,
-      "usage: pfdtool <list|info|classify|grade|diagnose|dot|vcd|xcheck> "
-      "[design] [options]\n"
+      "usage: pfdtool "
+      "<list|info|classify|grade|diagnose|dot|vcd|xcheck|serve|call|loadgen> "
+      "[design|request] [options]\n"
       "designs: diffeq facet poly diffeq-loop ewf\n"
       "options: --width N --patterns N --threshold PCT --sigma PCT "
       "--fault INDEX --threads N --csv\n"
@@ -196,23 +238,26 @@ int FinishRun(const guard::RunStatus& status) {
       "         --trace FILE --metrics-json FILE --report FILE\n"
       "         --flight-recorder FILE -v|--verbose\n"
       "xcheck:  --seed N --iters N --no-shrink --mutations --max-gates N "
-      "--engines\n");
+      "--engines\n"
+      "serve:   --socket PATH | --port N (0=ephemeral); --service-threads N "
+      "--queue-capacity N\n"
+      "call:    pfdtool call \"classify design=diffeq\" --socket PATH\n"
+      "loadgen: --jobs N --concurrency N --mix K1,K2,... --bench-json FILE "
+      "--dump-dir DIR\n");
   std::exit(2);
 }
 
 designs::BenchmarkDesign BuildDesign(const Options& opt) {
-  if (opt.design == "diffeq") return designs::BuildDiffeq(opt.width);
-  if (opt.design == "facet") return designs::BuildFacet(opt.width);
-  if (opt.design == "poly") return designs::BuildPoly(opt.width);
-  if (opt.design == "diffeq-loop") return designs::BuildDiffeqLoop(opt.width);
-  if (opt.design == "ewf") return designs::BuildEwf(opt.width);
-  // A bad design name is a runtime failure (exit 1), not a usage error:
-  // the invocation shape was fine, the name just failed to resolve.
-  std::fprintf(stderr,
-               "unknown design: %s (designs: diffeq facet poly diffeq-loop "
-               "ewf)\n",
-               opt.design.c_str());
-  std::exit(1);
+  try {
+    // Shared with the pfdd service, so a served request and a CLI run
+    // resolve (and reject) design names identically.
+    return designs::BuildDesignByName(opt.design, opt.width);
+  } catch (const pfd::Error& e) {
+    // A bad design name is a runtime failure (exit 1), not a usage error:
+    // the invocation shape was fine, the name just failed to resolve.
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
 }
 
 core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
@@ -222,10 +267,7 @@ core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
   cfg.fault_engine = fault::ParseFaultSimEngine(opt.fault_engine);
   cfg.exec.threads = opt.threads;
   cfg.limits = MakeLimits(opt);
-  if (d.system.has_feedback) {
-    cfg.gate_check.max_exhaustive_bits = 14;
-    cfg.gate_check.sample_patterns = 4096;
-  }
+  core::ApplyFeedbackGateCheckDefaults(d.system, &cfg);
   if (opt.verbose) {
     cfg.progress = [](const std::string& line) {
       std::fprintf(stderr, "%s\n", line.c_str());
@@ -448,6 +490,319 @@ int CmdXcheck(const Options& opt) {
   return 1;
 }
 
+// The serving daemon, reachable by the SIGTERM/SIGINT handler. A plain
+// atomic pointer: the handler only calls RequestDrain (an atomic store).
+std::atomic<pfdd::Server*> g_server{nullptr};
+
+void HandleServeSignal(int) {
+  pfdd::Server* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestDrain();
+  // Second signal of either kind kills the process the usual way.
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+int CmdServe(const Options& opt) {
+  pfdd::ServerOptions so;
+  so.unix_path = opt.socket_path;
+  so.tcp_port = opt.port;
+  so.service_threads = opt.service_threads;
+  so.queue_capacity = opt.queue_capacity;
+  so.pool_threads = opt.threads;
+  so.default_deadline_ms = opt.deadline_ms;
+  so.default_max_cycles = opt.max_cycles;
+  pfdd::Server server(so);
+  std::string err;
+  if (!server.Start(&err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  g_server.store(&server, std::memory_order_release);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  // The listen line goes to stdout (and is flushed) so wrapper scripts can
+  // discover an ephemeral port by parsing it.
+  if (!so.unix_path.empty()) {
+    std::printf("pfdd: listening unix=%s service_threads=%d pool_threads=%d\n",
+                so.unix_path.c_str(), so.service_threads,
+                server.pool()->threads());
+  } else {
+    std::printf("pfdd: listening port=%d service_threads=%d pool_threads=%d\n",
+                server.port(), so.service_threads, server.pool()->threads());
+  }
+  std::fflush(stdout);
+  const std::uint64_t served = server.Wait();
+  g_server.store(nullptr, std::memory_order_release);
+  std::fprintf(stderr, "pfdd: drained after %llu request(s)\n",
+               static_cast<unsigned long long>(served));
+  return 0;
+}
+
+// Target for call/loadgen: --socket wins, else --port.
+pfdd::Connection ConnectTarget(const Options& opt, std::string* error) {
+  if (!opt.socket_path.empty()) {
+    return pfdd::Connection::ConnectUnix(opt.socket_path, error);
+  }
+  if (opt.have_port) return pfdd::Connection::ConnectTcp(opt.port, error);
+  *error = "no server target: pass --socket PATH or --port N";
+  return pfdd::Connection();
+}
+
+int CmdCall(const Options& opt) {
+  // The positional argument (parsed into opt.design) is the request line.
+  if (opt.design.empty()) {
+    std::fprintf(stderr,
+                 "error: call requires a request line, e.g. "
+                 "pfdtool call --port N 'classify design=diffeq'\n");
+    return 1;
+  }
+  pfdd::Request request;
+  std::string err;
+  if (!pfdd::DecodeRequest(opt.design, &request, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  pfdd::Connection conn = ConnectTarget(opt, &err);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  pfdd::Response resp;
+  if (!conn.Call(request, &resp, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("%s", resp.csv.c_str());
+  if (resp.status == pfdd::Status::kOk ||
+      resp.status == pfdd::Status::kPartial) {
+    std::printf("%s", resp.message.c_str());
+  } else {
+    std::fprintf(stderr, "%s", resp.message.c_str());
+  }
+  if (!opt.report_path.empty()) {
+    std::FILE* f = std::fopen(opt.report_path.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(resp.report.data(), 1, resp.report.size(), f) !=
+            resp.report.size()) {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "cannot write report file: %s\n",
+                   opt.report_path.c_str());
+      return 1;
+    }
+    std::fclose(f);
+  }
+  return resp.exit_code;
+}
+
+// One loadgen job: the request to send plus where its artifacts dump.
+struct LoadJob {
+  std::size_t index = 0;
+  std::string kind;
+  pfdd::Request request;
+};
+
+std::uint64_t QuantileUs(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  const double idx = q * static_cast<double>(sorted_us.size() - 1);
+  return static_cast<std::uint64_t>(sorted_us[static_cast<std::size_t>(idx)]);
+}
+
+bool WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+int CmdLoadgen(const Options& opt) {
+  // Deterministic job list: kinds rotate through --mix, engine jobs rotate
+  // through the three fast designs. Same flags => same request sequence,
+  // which is what lets the soak script diff served CSVs against solo CLI
+  // runs.
+  std::vector<std::string> mix;
+  {
+    std::string tok;
+    for (const char c : opt.mix + ",") {
+      if (c == ',') {
+        if (!tok.empty()) mix.push_back(tok);
+        tok.clear();
+      } else {
+        tok += c;
+      }
+    }
+  }
+  if (mix.empty()) {
+    std::fprintf(stderr, "error: --mix is empty\n");
+    return 1;
+  }
+  static const char* kDesignRotation[3] = {"diffeq", "facet", "poly"};
+  std::vector<LoadJob> jobs(static_cast<std::size_t>(opt.jobs));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    LoadJob& job = jobs[i];
+    job.index = i;
+    job.kind = mix[i % mix.size()];
+    if (job.kind == "classify" || job.kind == "grade") {
+      job.request.command = job.kind;
+      job.request.params.emplace_back("design", kDesignRotation[i % 3]);
+      job.request.params.emplace_back("width", std::to_string(opt.width));
+      job.request.params.emplace_back("patterns",
+                                      std::to_string(opt.patterns));
+      if (opt.deadline_ms > 0) {
+        job.request.params.emplace_back("deadline_ms",
+                                        std::to_string(opt.deadline_ms));
+      }
+    } else if (job.kind == "xcheck") {
+      job.request.command = "xcheck";
+      job.request.params.emplace_back("seed",
+                                      std::to_string(opt.seed + i));
+      job.request.params.emplace_back("iters", std::to_string(opt.iters));
+    } else if (job.kind == "ping") {
+      job.request.command = "ping";
+    } else {
+      std::fprintf(stderr, "error: --mix kind '%s' unknown\n",
+                   job.kind.c_str());
+      return 1;
+    }
+  }
+
+  std::mutex mu;
+  std::vector<std::pair<std::string, double>> latencies;  // kind, us
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> failures{0}, rejections{0}, partials{0};
+  const int concurrency =
+      std::max(1, std::min(opt.concurrency,
+                           static_cast<int>(jobs.size() ? jobs.size() : 1)));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(concurrency));
+  for (int t = 0; t < concurrency; ++t) {
+    threads.emplace_back([&]() {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= jobs.size()) break;
+        const LoadJob& job = jobs[i];
+        pfdd::Response resp;
+        bool got = false;
+        const auto t0 = std::chrono::steady_clock::now();
+        // One connection per job (so admission control sees every job);
+        // `rejected` answers are retried after a short backoff.
+        for (int attempt = 0; attempt < 200; ++attempt) {
+          std::string err;
+          pfdd::Connection conn = ConnectTarget(opt, &err);
+          if (!conn.ok() || !conn.Call(job.request, &resp, &err)) {
+            std::lock_guard<std::mutex> lock(mu);
+            std::fprintf(stderr, "loadgen: job %zu: %s\n", i, err.c_str());
+            break;
+          }
+          if (resp.status != pfdd::Status::kRejected) {
+            got = true;
+            break;
+          }
+          rejections.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        if (!got) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        if (resp.status == pfdd::Status::kPartial) partials.fetch_add(1);
+        if (resp.status == pfdd::Status::kError ||
+            resp.status == pfdd::Status::kDraining) {
+          failures.fetch_add(1);
+          std::lock_guard<std::mutex> lock(mu);
+          std::fprintf(stderr, "loadgen: job %zu (%s) failed: %s",
+                       i, job.kind.c_str(), resp.message.c_str());
+          continue;
+        }
+        if (!opt.dump_dir.empty()) {
+          const std::string base =
+              opt.dump_dir + "/job_" + std::to_string(i) + "_" + job.kind;
+          const bool wrote =
+              WriteFileBytes(base + ".csv", resp.csv) &&
+              WriteFileBytes(base + ".report.json", resp.report);
+          if (!wrote) {
+            failures.fetch_add(1);
+            std::lock_guard<std::mutex> lock(mu);
+            std::fprintf(stderr, "loadgen: job %zu: cannot dump to %s\n", i,
+                         opt.dump_dir.c_str());
+            continue;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.emplace_back(job.kind, us);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Per-kind latency summary (plus the "all" aggregate).
+  std::vector<std::string> kinds{"all"};
+  for (const std::string& k : mix) {
+    if (std::find(kinds.begin(), kinds.end(), k) == kinds.end()) {
+      kinds.push_back(k);
+    }
+  }
+  std::string bench = "{\n  \"context\": {\n";
+  bench += "    \"unix_time\": " +
+           std::to_string(static_cast<long long>(std::time(nullptr))) + ",\n";
+  bench += "    \"pfd_build_type\": \"" + std::string(core::BuildType()) +
+           "\",\n";
+  bench += "    \"jobs\": " + std::to_string(opt.jobs) + ",\n";
+  bench += "    \"concurrency\": " + std::to_string(concurrency) + ",\n";
+  bench += "    \"mix\": \"" + opt.mix + "\",\n";
+  bench += "    \"patterns\": " + std::to_string(opt.patterns) + ",\n";
+  bench += "    \"rejections\": " + std::to_string(rejections.load()) + ",\n";
+  bench += "    \"partials\": " + std::to_string(partials.load()) + "\n";
+  bench += "  },\n  \"benchmarks\": [\n";
+  bool first = true;
+  for (const std::string& kind : kinds) {
+    std::vector<double> us;
+    for (const auto& [k, v] : latencies) {
+      if (kind == "all" || k == kind) us.push_back(v);
+    }
+    if (us.empty()) continue;
+    std::sort(us.begin(), us.end());
+    double sum = 0;
+    for (const double v : us) sum += v;
+    const double mean = sum / static_cast<double>(us.size());
+    const std::uint64_t p50 = QuantileUs(us, 0.50);
+    const std::uint64_t p99 = QuantileUs(us, 0.99);
+    std::printf(
+        "loadgen %-10s n=%-4zu mean=%.0fus p50=%lluus p99=%lluus\n",
+        kind.c_str(), us.size(), mean, static_cast<unsigned long long>(p50),
+        static_cast<unsigned long long>(p99));
+    if (!first) bench += ",\n";
+    first = false;
+    char entry[512];
+    std::snprintf(
+        entry, sizeof entry,
+        "    {\"name\": \"pfdd_soak/%s\", \"run_type\": \"iteration\", "
+        "\"iterations\": %zu, \"real_time\": %.1f, \"cpu_time\": %.1f, "
+        "\"time_unit\": \"us\", \"p50_us\": %llu, \"p99_us\": %llu, "
+        "\"min_us\": %.1f, \"max_us\": %.1f}",
+        kind.c_str(), us.size(), mean, mean,
+        static_cast<unsigned long long>(p50),
+        static_cast<unsigned long long>(p99), us.front(), us.back());
+    bench += entry;
+  }
+  bench += "\n  ]\n}\n";
+  if (!opt.bench_json_path.empty()) {
+    if (!WriteFileBytes(opt.bench_json_path, bench)) {
+      std::fprintf(stderr, "cannot write bench json: %s\n",
+                   opt.bench_json_path.c_str());
+      return 1;
+    }
+  }
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "loadgen: %llu job(s) failed\n",
+                 static_cast<unsigned long long>(failures.load()));
+    return 1;
+  }
+  return 0;
+}
+
 int Dispatch(const Options& opt) {
   if (opt.command == "info") return CmdInfo(opt);
   if (opt.command == "classify") return CmdClassify(opt);
@@ -456,6 +811,9 @@ int Dispatch(const Options& opt) {
   if (opt.command == "dot") return CmdDot(opt);
   if (opt.command == "vcd") return CmdVcd(opt);
   if (opt.command == "xcheck") return CmdXcheck(opt);
+  if (opt.command == "serve") return CmdServe(opt);
+  if (opt.command == "call") return CmdCall(opt);
+  if (opt.command == "loadgen") return CmdLoadgen(opt);
   return -1;  // unknown command -> Usage
 }
 
@@ -466,7 +824,12 @@ int main(int argc, char** argv) {
   if (argc < 2) Usage();
   opt.command = argv[1];
   int pos = 2;
-  if (opt.command != "list" && opt.command != "xcheck") {
+  // serve and loadgen take no positional argument. call's positional is
+  // the request line, which rides in the design slot but may appear after
+  // flags ("call --port N metrics"), so the flag loop collects it.
+  if (opt.command != "list" && opt.command != "xcheck" &&
+      opt.command != "serve" && opt.command != "loadgen" &&
+      opt.command != "call") {
     if (argc < 3) Usage();
     opt.design = argv[2];
     pos = 3;
@@ -525,6 +888,29 @@ int main(int argc, char** argv) {
         opt.fault_engine = std::string(ParseChoiceFlag(
             "--fault-engine", next(),
             {"parallel", "serial", "differential"}));
+      } else if (arg == "--socket") {
+        opt.socket_path = ParsePathFlag("--socket", next());
+      } else if (arg == "--port") {
+        opt.port = static_cast<int>(
+            ParseUint64FlagInRange("--port", next(), 65535));
+        opt.have_port = true;
+      } else if (arg == "--service-threads") {
+        opt.service_threads = static_cast<int>(
+            ParseUint64FlagInRange("--service-threads", next(), 256));
+      } else if (arg == "--queue-capacity") {
+        opt.queue_capacity = static_cast<int>(
+            ParseUint64FlagInRange("--queue-capacity", next(), 65536));
+      } else if (arg == "--jobs") {
+        opt.jobs = ParseUint64FlagInRange("--jobs", next(), 1000000);
+      } else if (arg == "--concurrency") {
+        opt.concurrency = static_cast<int>(
+            ParseUint64FlagInRange("--concurrency", next(), 256));
+      } else if (arg == "--mix") {
+        opt.mix = next();
+      } else if (arg == "--bench-json") {
+        opt.bench_json_path = ParsePathFlag("--bench-json", next());
+      } else if (arg == "--dump-dir") {
+        opt.dump_dir = ParsePathFlag("--dump-dir", next());
       } else if (arg == "--csv") {
         opt.csv = true;
       } else if (arg == "--trace") {
@@ -537,6 +923,9 @@ int main(int argc, char** argv) {
         opt.flight_path = next();
       } else if (arg == "-v" || arg == "--verbose") {
         opt.verbose = true;
+      } else if (opt.command == "call" && !arg.empty() && arg[0] != '-' &&
+                 opt.design.empty()) {
+        opt.design = arg;  // call's request line, wherever it appears
       } else {
         // Unknown flags are rejected loudly: a silently ignored flag makes a
         // misspelled experiment look like a finished one.
@@ -584,7 +973,8 @@ int main(int argc, char** argv) {
   const bool runs_engines = opt.command == "classify" ||
                             opt.command == "grade" ||
                             opt.command == "diagnose" ||
-                            opt.command == "xcheck";
+                            opt.command == "xcheck" ||
+                            opt.command == "serve";
   if (runs_engines || !opt.flight_path.empty()) {
     obs::FlightRecorder::Global().set_enabled(true);
   }
@@ -691,7 +1081,10 @@ int main(int argc, char** argv) {
                  flight.ToJsonl().c_str());
   }
 
-  if (!opt.report_path.empty()) {
+  // call writes the *served* report itself; serve/loadgen produce no local
+  // RunReport (each served request carries its own).
+  if (!opt.report_path.empty() && opt.command != "call" &&
+      opt.command != "serve" && opt.command != "loadgen") {
     core::RunReportInputs in;
     in.command = opt.command;
     in.exit_code = rc;
