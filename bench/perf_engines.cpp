@@ -303,6 +303,11 @@ void BM_EngineEndToEnd(benchmark::State& state,
         d.system.nl, {plan, tpg::kTestSetSeed1, kPatterns}, faults, engine};
     req.exec.threads = 1;
     req.compiled = compiled;
+    // Pinned 64-lane width: this matrix compares engine *algorithms*, and
+    // auto width would tie the ratios to the host CPU's vector units (the
+    // parallel kernel widens near-linearly, the differential cone walk
+    // does not). Width scaling is BM_EngineWidth's job.
+    req.lanes = 64;
     benchmark::DoNotOptimize(fault::RunFaultSim(req));
   }
   const double iters = static_cast<double>(state.iterations());
@@ -327,6 +332,57 @@ PFD_ENGINE_BENCH(diffeq_loop, &DiffeqLoop);
 PFD_ENGINE_BENCH(ewf, &Ewf);
 
 #undef PFD_ENGINE_BENCH
+
+// Per-width engine rates on the largest design, pinned lane widths (the
+// matrix above runs lanes=0/auto, so its numbers follow the host CPU's
+// best backend). The committed BENCH_engines.json must show the widening
+// paying for itself: bench-smoke requires 256-lane parallel at >= 2x the
+// 64-lane parallel faults/sec. Results are bit-identical across widths —
+// only these rates may differ.
+void BM_EngineWidth(benchmark::State& state,
+                    const designs::BenchmarkDesign& (*get)(),
+                    fault::FaultSimEngine engine, int lanes) {
+  const designs::BenchmarkDesign& d = get();
+  auto all =
+      fault::GenerateFaults(d.system.nl, netlist::ModuleTag::kController);
+  const auto dp =
+      fault::GenerateFaults(d.system.nl, netlist::ModuleTag::kDatapath);
+  all.insert(all.end(), dp.begin(), dp.end());
+  const auto faults = fault::Collapse(d.system.nl, all).representatives;
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  const std::shared_ptr<const logicsim::CompiledNetlist> compiled =
+      logicsim::CompiledNetlist::Compile(d.system.nl);
+  constexpr int kPatterns = 1200;
+  for (auto _ : state) {
+    fault::FaultSimRequest req{
+        d.system.nl, {plan, tpg::kTestSetSeed1, kPatterns}, faults, engine};
+    req.exec.threads = 1;
+    req.compiled = compiled;
+    req.lanes = lanes;
+    benchmark::DoNotOptimize(fault::RunFaultSim(req));
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["faults_per_sec"] = benchmark::Counter(
+      iters * static_cast<double>(faults.size()), benchmark::Counter::kIsRate);
+}
+
+#define PFD_WIDTH_BENCH(design, getter)                                    \
+  BENCHMARK_CAPTURE(BM_EngineWidth, design##_parallel_w64, getter,         \
+                    fault::FaultSimEngine::kParallel, 64);                 \
+  BENCHMARK_CAPTURE(BM_EngineWidth, design##_parallel_w256, getter,       \
+                    fault::FaultSimEngine::kParallel, 256);                \
+  BENCHMARK_CAPTURE(BM_EngineWidth, design##_parallel_w512, getter,       \
+                    fault::FaultSimEngine::kParallel, 512);                \
+  BENCHMARK_CAPTURE(BM_EngineWidth, design##_differential_w64, getter,    \
+                    fault::FaultSimEngine::kDifferential, 64);             \
+  BENCHMARK_CAPTURE(BM_EngineWidth, design##_differential_w256, getter,   \
+                    fault::FaultSimEngine::kDifferential, 256);            \
+  BENCHMARK_CAPTURE(BM_EngineWidth, design##_differential_w512, getter,   \
+                    fault::FaultSimEngine::kDifferential, 512)
+
+PFD_WIDTH_BENCH(ewf, &Ewf);
+
+#undef PFD_WIDTH_BENCH
 
 void BM_MonteCarloPower(benchmark::State& state) {
   const designs::BenchmarkDesign& d = Diffeq();

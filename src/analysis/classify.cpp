@@ -161,7 +161,7 @@ GateCheck GateLevelSfrCheck(const synth::System& sys,
 
   logicsim::Simulator golden(sys.nl);
   logicsim::Simulator faulty(sys.nl);
-  fault::InjectFault(faulty, f, ~0ULL);
+  fault::InjectFault(faulty, f);
   Rng rng(config.seed);
 
   std::vector<netlist::GateId> observed_nets;

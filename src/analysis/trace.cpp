@@ -65,7 +65,7 @@ ControlTrace ExtractControlTrace(const synth::System& sys,
 
   logicsim::Simulator sim(sys.nl);
   if (fault != nullptr) {
-    fault::InjectFault(sim, *fault, ~0ULL);
+    fault::InjectFault(sim, *fault);
   }
   // Hold all data inputs at zero; the controller is feedback-free, so its
   // trace does not depend on them.

@@ -19,6 +19,7 @@
 // X select on a mux yields a known output only when both data inputs agree.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace pfd {
@@ -124,5 +125,52 @@ constexpr Trit Mux3(Trit s, Trit a, Trit b) {
 constexpr char TritChar(Trit t) {
   return t == Trit::kZero ? '0' : (t == Trit::kOne ? '1' : 'X');
 }
+
+// --- lane widening -----------------------------------------------------------
+//
+// The simulators are width-generic: a machine simulates 64 * lane_words
+// lanes, stored as `lane_words` independent Word3s per gate evaluated in
+// lockstep (every ternary operator above is pure bitwise per 64-bit word,
+// so a W-lane machine is exactly W/64 64-lane machines marching together).
+// Lane l lives in word l/64, bit l%64. Width is a runtime property of each
+// simulator; these constants bound it.
+
+inline constexpr int kLaneWordBits = 64;
+inline constexpr int kMaxLaneWords = 8;  // widest kernel: 512 lanes (AVX-512)
+inline constexpr int kMaxLanes = kLaneWordBits * kMaxLaneWords;
+
+// A width-generic lane set: one bit per lane, kMaxLaneWords words. APIs
+// taking a LaneMask ignore the words beyond the target simulator's width,
+// so kAllLanes means "every lane" at any width — never spell a lane mask
+// as a raw ~0ULL / uint64_t literal outside this header (a 64-bit literal
+// silently truncates to the first lane word; CI lints for it).
+struct LaneMask {
+  std::array<std::uint64_t, kMaxLaneWords> w{};
+
+  static constexpr LaneMask All() {
+    LaneMask m;
+    for (auto& word : m.w) word = ~0ULL;
+    return m;
+  }
+  // The mask selecting exactly `lane` (0 <= lane < kMaxLanes).
+  static constexpr LaneMask Lane(int lane) {
+    LaneMask m;
+    m.w[lane / kLaneWordBits] = 1ULL << (lane % kLaneWordBits);
+    return m;
+  }
+
+  constexpr std::uint64_t word(int i) const { return w[i]; }
+  constexpr bool any() const {
+    for (const auto word : w) {
+      if (word != 0) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const LaneMask&, const LaneMask&) = default;
+};
+
+inline constexpr LaneMask kAllLanes = LaneMask::All();
+inline constexpr LaneMask kNoLanes{};
 
 }  // namespace pfd

@@ -1,0 +1,151 @@
+#include "base/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "base/error.hpp"
+#include "base/logic.hpp"
+#include "base/parse.hpp"
+
+namespace pfd::simd {
+
+namespace {
+
+// -1 = not forced; otherwise a Backend value. Written by ForceBackend
+// (flag parsing, single-threaded) but read from any worker constructing a
+// simulator, hence atomic.
+std::atomic<int> g_forced{-1};
+
+Backend ResolveAuto() {
+  if (Available(Backend::kAvx512)) return Backend::kAvx512;
+  if (Available(Backend::kAvx2)) return Backend::kAvx2;
+  return Backend::kScalar;
+}
+
+Backend ResolveFromEnv() {
+  const char* env = std::getenv("PFD_SIMD");
+  if (env == nullptr || *env == '\0' || std::string_view(env) == "auto") {
+    return ResolveAuto();
+  }
+  const Backend b = ParseBackend(env);
+  if (!Available(b)) {
+    throw Error(std::string("PFD_SIMD=") + env + " is not available " +
+                (CompiledWith(b) ? "(CPU lacks the instruction set)"
+                                 : "(not compiled into this binary)"));
+  }
+  return b;
+}
+
+}  // namespace
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+Backend ParseBackend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "avx512") return Backend::kAvx512;
+  throw Error("unknown SIMD backend '" + std::string(name) +
+              "' (expected auto|scalar|avx2|avx512)");
+}
+
+bool CompiledWith(Backend b) {
+#if defined(__GNUC__) && defined(__x86_64__)
+  (void)b;
+  return true;  // the kernel TU builds all three via target attributes
+#else
+  return b == Backend::kScalar;
+#endif
+}
+
+bool CpuSupports(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return true;
+#if defined(__GNUC__) && defined(__x86_64__)
+    case Backend::kAvx2: return __builtin_cpu_supports("avx2") != 0;
+    case Backend::kAvx512: return __builtin_cpu_supports("avx512f") != 0;
+#else
+    case Backend::kAvx2:
+    case Backend::kAvx512: return false;
+#endif
+  }
+  return false;
+}
+
+bool Available(Backend b) { return CompiledWith(b) && CpuSupports(b); }
+
+Backend Active() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  // Resolved once; PFD_SIMD errors surface on the first simulator
+  // construction (or explicit Active() probe), not at process start.
+  static const Backend env_backend = ResolveFromEnv();
+  return env_backend;
+}
+
+void ForceBackend(Backend b) {
+  if (!Available(b)) {
+    throw Error(std::string("SIMD backend '") + BackendName(b) +
+                "' is not available " +
+                (CompiledWith(b) ? "(CPU lacks the instruction set)"
+                                 : "(not compiled into this binary)"));
+  }
+  g_forced.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+void ForceBackendName(std::string_view name) {
+  if (name == "auto") {
+    g_forced.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  ForceBackend(ParseBackend(name));
+}
+
+int NaturalLaneWords(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return 1;
+    case Backend::kAvx2: return 4;
+    case Backend::kAvx512: return 8;
+  }
+  return 1;
+}
+
+namespace {
+
+int LanesToWords(std::uint64_t lanes, const char* what) {
+  switch (lanes) {
+    case 64: return 1;
+    case 256: return 4;
+    case 512: return 8;
+    default:
+      throw Error(std::string(what) + " must be 64, 256 or 512 (got " +
+                  std::to_string(lanes) + ")");
+  }
+}
+
+}  // namespace
+
+int ResolveLaneWords(int lanes_request) {
+  if (lanes_request != 0) {
+    return LanesToWords(static_cast<std::uint64_t>(lanes_request), "--lanes");
+  }
+  const char* env = std::getenv("PFD_LANES");
+  if (env != nullptr && *env != '\0' && std::string_view(env) != "auto") {
+    return LanesToWords(ParseUint64Flag("PFD_LANES", env), "PFD_LANES");
+  }
+  return NaturalLaneWords(Active());
+}
+
+bool LaneWidthPinnedByEnv() {
+  const char* env = std::getenv("PFD_LANES");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "auto";
+}
+
+}  // namespace pfd::simd

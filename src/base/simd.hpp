@@ -1,0 +1,67 @@
+// Runtime SIMD backend selection for the lane-widened simulation kernels.
+//
+// The settle kernels (logicsim/kernels.*) are compiled three times in one
+// translation unit: a portable scalar build, and AVX2 / AVX-512 builds via
+// per-function `__attribute__((target(...)))` wrappers around always-inline
+// cores. Nothing outside those wrapper functions is compiled with extended
+// ISAs, so the binary stays runnable on any x86-64 (and non-x86) host; the
+// wrappers are only ever *called* after the CPUID checks here pass.
+//
+// Resolution order for the active backend:
+//   1. ForceBackend() — the `pfdtool --simd <name>` flag;
+//   2. the PFD_SIMD environment variable (auto|scalar|avx2|avx512);
+//   3. "auto": the best backend this binary was compiled with AND the
+//      running CPU supports.
+// Requesting a backend that is unavailable (not compiled in, or CPUID says
+// no) is a hard pfd::Error, never a silent fallback — a CI leg pinning
+// PFD_SIMD=avx512 must fail loudly on a machine without AVX-512 rather
+// than quietly measure the scalar path.
+//
+// Lane-width resolution follows the backend: "auto" lanes pick the width
+// the active backend can retire in one vector op (scalar 64, AVX2 256,
+// AVX-512 512). Every {backend, width} combination is valid — PFD_SIMD=
+// scalar with 512 lanes runs the portable 8-word loops — and all of them
+// produce bit-identical results; only throughput differs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pfd::simd {
+
+enum class Backend : std::uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* BackendName(Backend b);
+// "scalar" / "avx2" / "avx512"; anything else throws pfd::Error.
+Backend ParseBackend(std::string_view name);
+
+// This binary carries kernels for `b` (toolchain/arch support at build).
+bool CompiledWith(Backend b);
+// The running CPU can execute `b`'s kernels.
+bool CpuSupports(Backend b);
+bool Available(Backend b);
+
+// The process-wide active backend (see resolution order above). Resolved
+// once, on first use; throws pfd::Error if PFD_SIMD names an unavailable
+// or unknown backend.
+Backend Active();
+
+// Overrides the environment/auto resolution (the --simd flag). Throws
+// pfd::Error when `b` is unavailable. Call before any simulator exists;
+// later constructions pick up the forced backend.
+void ForceBackend(Backend b);
+// Parses and forces in one step; "auto" re-enables auto/env resolution.
+void ForceBackendName(std::string_view name);
+
+// Lane-width resolution, in 64-bit lane words (1 = 64 lanes, 4 = 256,
+// 8 = 512). `lanes_request` is a lane count from --lanes (0 = auto); auto
+// consults PFD_LANES, then the active backend's natural width. Any value
+// outside {0, 64, 256, 512} throws pfd::Error.
+int ResolveLaneWords(int lanes_request);
+// True when PFD_LANES carries an explicit width (set, non-empty, not
+// "auto"): engines whose auto policy stays narrow still honour it.
+bool LaneWidthPinnedByEnv();
+// The backend's one-vector-op width: scalar 1, AVX2 4, AVX-512 8.
+int NaturalLaneWords(Backend b);
+
+}  // namespace pfd::simd

@@ -113,6 +113,7 @@ ClassificationReport ClassifyControllerFaults(const synth::System& sys,
         config.exec};
     request.checker = &check;
     request.pool = config.pool;
+    request.lanes = config.lanes;
     if (config.journal != nullptr) {
       // Bind (and on resume: validate) the journal against this campaign's
       // identity. A mismatched resume throws pfd::Error out of the pipeline

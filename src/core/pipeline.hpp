@@ -84,6 +84,10 @@ struct PipelineConfig {
   // bit-identical across engines; kDifferential is the fast production
   // engine, the others exist for validation and cross-checking.
   fault::FaultSimEngine fault_engine = fault::FaultSimEngine::kDifferential;
+  // Step-1 simulation lane width (pfdtool --lanes): 64, 256, 512, or 0 for
+  // auto (PFD_LANES, else the active SIMD backend's natural width). A
+  // throughput knob only — the report is bit-identical at every width.
+  int lanes = 0;
   analysis::GateCheckConfig gate_check;
   // Worker threads for the parallel stages (step-1 fault-sim shards, step-4
   // per-fault deciders). A performance knob only: the ClassificationReport

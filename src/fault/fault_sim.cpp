@@ -1,11 +1,13 @@
 #include "fault/fault_sim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <memory>
 #include <string>
 
 #include "base/error.hpp"
+#include "base/simd.hpp"
 #include "logicsim/golden_cache.hpp"
 #include "obs/trace.hpp"
 #include "tpg/lfsr.hpp"
@@ -47,7 +49,7 @@ std::size_t FaultSimResult::CountWithStatus(FaultStatus s) const {
 }
 
 void InjectFault(logicsim::Simulator& sim, const StuckFault& f,
-                 std::uint64_t lane_mask) {
+                 const LaneMask& lane_mask) {
   if (f.pin == 0) {
     sim.ForceOutput(f.gate, f.value, lane_mask);
   } else {
@@ -57,11 +59,16 @@ void InjectFault(logicsim::Simulator& sim, const StuckFault& f,
 
 namespace {
 
-// Faults per 64-lane shard; lane 0 carries the fault-free machine.
-constexpr std::size_t kFaultLanes = 63;
+// Faults per parallel-engine shard at `words` lane words: lane 0 carries
+// the fault-free machine, every other lane one fault.
+constexpr std::size_t FaultLanes(int words) {
+  return static_cast<std::size_t>(words) * kLaneWordBits - 1;
+}
 // The differential engine diffs against a recorded golden trace instead of
-// carrying the fault-free machine in lane 0, so all 64 lanes carry faults.
-constexpr std::size_t kDiffLanes = 64;
+// carrying the fault-free machine in lane 0, so every lane carries a fault.
+constexpr std::size_t DiffLanes(int words) {
+  return static_cast<std::size_t>(words) * kLaneWordBits;
+}
 
 void CheckPlan(const netlist::Netlist& nl, const TestPlan& plan) {
   PFD_CHECK_MSG(plan.cycles_per_pattern > 0, "empty test plan");
@@ -113,10 +120,16 @@ void AddDriveDigest(logicsim::Fnv1a& h, const StimulusSpec& stimulus) {
 // repeated campaigns over one design) replay the recorded responses instead
 // of re-simulating the fault-free machine.
 logicsim::GoldenKey SerialGoldenKey(const netlist::Netlist& nl,
-                                    const StimulusSpec& stimulus) {
+                                    const StimulusSpec& stimulus,
+                                    int lane_words) {
   const TestPlan& plan = stimulus.plan;
   logicsim::Fnv1a h;
   h.AddBytes("serial_golden", 13);  // consumer domain tag
+  // The recorded artefact is width-independent (the golden pass reads lane
+  // 0 only), but the key still folds the campaign's lane width in so a
+  // mixed-width cache can never alias — a lookup from a different width
+  // misses cleanly instead of trusting the invariant.
+  h.Add(static_cast<std::uint64_t>(lane_words));
   AddDriveDigest(h, stimulus);
   h.Add(plan.strobe_cycles.size());
   for (int c : plan.strobe_cycles) h.Add(static_cast<std::uint64_t>(c));
@@ -136,9 +149,11 @@ logicsim::GoldenKey SerialGoldenKey(const netlist::Netlist& nl,
 // differing only in what they watch (the CFR check observes control lines,
 // classification observes datapath outputs) share one recorded trace.
 logicsim::GoldenKey DiffGoldenKey(const netlist::Netlist& nl,
-                                  const StimulusSpec& stimulus) {
+                                  const StimulusSpec& stimulus,
+                                  int lane_words) {
   logicsim::Fnv1a h;
   h.AddBytes("diff_golden", 11);  // consumer domain tag
+  h.Add(static_cast<std::uint64_t>(lane_words));  // no mixed-width aliasing
   AddDriveDigest(h, stimulus);
   logicsim::GoldenKey key;
   key.netlist_hash = nl.StructuralHash();
@@ -214,23 +229,27 @@ void DriveOperands(logicsim::Simulator& sim, const TestPlan& plan,
 void SimulateParallelShard(
     const FaultSimRequest& req,
     const std::shared_ptr<const logicsim::CompiledNetlist>& prog,
-    const std::vector<int>& widths, std::size_t shard_start,
+    const std::vector<int>& widths, int words, std::size_t shard_start,
     std::size_t shard_size, guard::Checker& check, FaultSimResult& result) {
   const TestPlan& plan = req.stimulus.plan;
-  logicsim::Simulator sim(req.nl, prog);
+  logicsim::Simulator sim(req.nl, prog, words);
   for (std::size_t i = 0; i < shard_size; ++i) {
-    InjectFault(sim, req.faults[shard_start + i], 1ULL << (i + 1));
+    InjectFault(sim, req.faults[shard_start + i],
+                LaneMask::Lane(static_cast<int>(i) + 1));
   }
 
   tpg::Tpgr tpgr(req.stimulus.tpgr_seed);
-  std::uint64_t detected = 0;    // lanes with a hard mismatch
-  std::uint64_t potential = 0;   // lanes with known-vs-X mismatch only
+  // Per-lane-word detect state; lane l sits in word l/64, bit l%64. The
+  // golden machine rides lane 0 (word 0, bit 0) and its self-compare bits
+  // are zero by construction, exactly as at the historical 64-lane width.
+  std::array<std::uint64_t, kMaxLaneWords> detected{};   // hard mismatch
+  std::array<std::uint64_t, kMaxLaneWords> potential{};  // known-vs-X only
 
   for (int p = 0; p < req.stimulus.num_patterns; ++p) {
     check.CheckOrThrow();
     const std::vector<BitVec> pattern = tpgr.NextPattern(widths);
     DriveOperands(sim, plan, pattern);
-    std::uint64_t pattern_detects = 0;
+    std::array<std::uint64_t, kMaxLaneWords> pattern_detects{};
     for (int c = 0; c < plan.cycles_per_pattern; ++c) {
       if (plan.reset != netlist::kNoGate) {
         sim.SetInputAllLanes(plan.reset, c == 0 ? Trit::kOne : Trit::kZero);
@@ -241,32 +260,45 @@ void SimulateParallelShard(
         continue;
       }
       for (GateId g : plan.observe) {
-        const Word3 w = sim.Value(g);
-        if ((w.known & 1ULL) == 0) continue;  // fault-free response X
-        const std::uint64_t golden = (w.val & 1ULL) != 0 ? ~0ULL : 0ULL;
-        pattern_detects |= w.known & (w.val ^ golden);
-        potential |= ~w.known;
+        const Word3 w0 = sim.Value(g);
+        if ((w0.known & 1ULL) == 0) continue;  // fault-free response X
+        const std::uint64_t golden = (w0.val & 1ULL) != 0 ? ~0ULL : 0ULL;
+        for (int j = 0; j < words; ++j) {
+          const Word3 w = sim.ValueWord(g, j);
+          pattern_detects[j] |= w.known & (w.val ^ golden);
+          potential[j] |= ~w.known;
+        }
       }
     }
     check.AddSimCycles(static_cast<std::uint64_t>(plan.cycles_per_pattern));
-    const std::uint64_t newly = pattern_detects & ~detected;
-    if (newly != 0) {
-      detected |= newly;
-      for (std::size_t i = 0; i < shard_size; ++i) {
-        if ((newly >> (i + 1)) & 1ULL) {
-          result.first_detect_pattern[shard_start + i] = p;
-        }
+    for (int j = 0; j < words; ++j) {
+      const std::uint64_t newly = pattern_detects[j] & ~detected[j];
+      if (newly == 0) continue;
+      detected[j] |= newly;
+      for (int b = 0; b < kLaneWordBits; ++b) {
+        if (((newly >> b) & 1ULL) == 0) continue;
+        const std::size_t lane =
+            static_cast<std::size_t>(j) * kLaneWordBits + b;
+        // lane 0 is golden; lane i+1 carries fault i.
+        if (lane == 0 || lane > shard_size) continue;
+        result.first_detect_pattern[shard_start + lane - 1] = p;
       }
     }
   }
 
+  std::uint64_t detected_faults = 0;
+  std::uint64_t potential_faults = 0;
   for (std::size_t i = 0; i < shard_size; ++i) {
-    const std::uint64_t bit = 1ULL << (i + 1);
+    const std::size_t lane = i + 1;
+    const std::size_t j = lane / kLaneWordBits;
+    const std::uint64_t bit = 1ULL << (lane % kLaneWordBits);
     FaultStatus s = FaultStatus::kUndetected;
-    if (detected & bit) {
+    if (detected[j] & bit) {
       s = FaultStatus::kDetected;
-    } else if (potential & bit) {
+      ++detected_faults;
+    } else if (potential[j] & bit) {
       s = FaultStatus::kPotentiallyDetected;
+      ++potential_faults;
     }
     result.status[shard_start + i] = s;
   }
@@ -277,18 +309,15 @@ void SimulateParallelShard(
     reg.GetCounter("fault_sim.lanes").Add(shard_size);
     reg.GetCounter("fault_sim.patterns")
         .Add(static_cast<std::uint64_t>(req.stimulus.num_patterns));
-    reg.GetCounter("fault_sim.detected")
-        .Add(static_cast<std::uint64_t>(std::popcount(detected)));
-    reg.GetCounter("fault_sim.potential")
-        .Add(static_cast<std::uint64_t>(
-            std::popcount(potential & ~detected)));
+    reg.GetCounter("fault_sim.detected").Add(detected_faults);
+    reg.GetCounter("fault_sim.potential").Add(potential_faults);
   }
 }
 
 FaultSimResult RunParallel(
     const FaultSimRequest& req,
     const std::shared_ptr<const logicsim::CompiledNetlist>& prog,
-    guard::Checker& check) {
+    int words, guard::Checker& check) {
   obs::Span span("fault_sim.parallel",
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(req.faults.size())},
@@ -299,11 +328,13 @@ FaultSimResult RunParallel(
   result.patterns = req.stimulus.num_patterns;
 
   const std::vector<int> widths = OperandWidths(req.stimulus.plan);
+  const std::size_t fault_lanes = FaultLanes(words);
   // An empty fault list still runs one (golden-only) shard, preserving the
   // engine's warm-up/counter behaviour for coverage probes.
   const std::size_t num_shards =
-      req.faults.empty() ? 1
-                         : (req.faults.size() + kFaultLanes - 1) / kFaultLanes;
+      req.faults.empty()
+          ? 1
+          : (req.faults.size() + fault_lanes - 1) / fault_lanes;
 
   // Checkpointing: replay journal spans into the result, mark fully covered
   // shards (their bodies early-return), and commit each newly completed
@@ -315,20 +346,20 @@ FaultSimResult RunParallel(
     const std::vector<char> covered =
         ReplayJournal(*req.journal, req.faults.size(), result);
     for (std::size_t s = 0; s < num_shards; ++s) {
-      const std::size_t begin = s * kFaultLanes;
+      const std::size_t begin = s * fault_lanes;
       const std::size_t size =
-          std::min(kFaultLanes, req.faults.size() - begin);
+          std::min(fault_lanes, req.faults.size() - begin);
       bool all = size > 0;
       for (std::size_t i = 0; i < size && all; ++i) {
         all = covered[begin + i] != 0;
       }
       shard_covered[s] = all ? 1 : 0;
     }
-    journal_commit = [&result, &req](std::size_t shard) {
-      const std::size_t begin = shard * kFaultLanes;
+    journal_commit = [&result, &req, fault_lanes](std::size_t shard) {
+      const std::size_t begin = shard * fault_lanes;
       if (begin >= req.faults.size()) return;  // golden-only shard
       const std::size_t size =
-          std::min(kFaultLanes, req.faults.size() - begin);
+          std::min(fault_lanes, req.faults.size() - begin);
       req.journal->AppendFaultSpan(
           begin,
           reinterpret_cast<const std::uint8_t*>(result.status.data() + begin),
@@ -342,14 +373,14 @@ FaultSimResult RunParallel(
       [&](std::size_t shard) {
         if (shard_covered[shard] != 0) return;  // replayed from the journal
         guard::MaybeFail("fault_sim.shard");
-        const std::size_t shard_start = shard * kFaultLanes;
+        const std::size_t shard_start = shard * fault_lanes;
         const std::size_t shard_size =
-            std::min(kFaultLanes, req.faults.size() - shard_start);
+            std::min(fault_lanes, req.faults.size() - shard_start);
         obs::Span shard_span("fault_sim.shard");
         const bool obs_on = obs::Enabled();
         const double t0 = obs_on ? obs::NowMicros() : 0.0;
-        SimulateParallelShard(req, prog, widths, shard_start, shard_size,
-                              check, result);
+        SimulateParallelShard(req, prog, widths, words, shard_start,
+                              shard_size, check, result);
         if (obs_on) {
           static obs::Histogram& hist =
               obs::Registry::Global().GetHistogram("fault_sim.shard_us");
@@ -363,7 +394,7 @@ FaultSimResult RunParallel(
 FaultSimResult RunSerial(
     const FaultSimRequest& req,
     const std::shared_ptr<const logicsim::CompiledNetlist>& prog,
-    logicsim::GoldenTraceCache& cache, guard::Checker& check) {
+    int words, logicsim::GoldenTraceCache& cache, guard::Checker& check) {
   obs::Span span("fault_sim.serial",
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(req.faults.size())},
@@ -381,7 +412,8 @@ FaultSimResult RunSerial(
   // in the golden-trace cache (a hit replays the recorded responses and
   // spends no simulation budget). A guard trip here means no fault can be
   // decided at all: report the trip with every fault at kNotRun.
-  const logicsim::GoldenKey golden_key = SerialGoldenKey(req.nl, req.stimulus);
+  const logicsim::GoldenKey golden_key =
+      SerialGoldenKey(req.nl, req.stimulus, words);
   std::vector<Trit> golden;
   if (const auto entry = cache.Find(golden_key)) {
     golden = entry->trits;
@@ -443,8 +475,11 @@ FaultSimResult RunSerial(
           return;  // replayed from the journal
         }
         guard::MaybeFail("fault_sim.serial_fault");
-        logicsim::Simulator sim(req.nl, prog);
-        InjectFault(sim, req.faults[fi], ~0ULL);
+        // The engine reads only lane 0; wider widths are honoured (every
+        // lane computes the same faulty machine) purely so the equivalence
+        // matrix can pin serial results at each width.
+        logicsim::Simulator sim(req.nl, prog, words);
+        InjectFault(sim, req.faults[fi]);
         tpg::Tpgr tpgr(req.stimulus.tpgr_seed);
         bool detected = false;
         bool potential = false;
@@ -548,16 +583,23 @@ struct CarriedLane {
   std::vector<CarriedCap> caps;
 };
 
-// One shard (up to 64 fault lanes) of the differential engine. The
+// One shard (up to 64*NW fault lanes) of the differential engine. The
 // fault-free machine is the recorded golden trace, not a lane. All
 // per-cycle state is sparse: a gate is materialized (is_diff_) only while
-// its word differs from the golden splat, and retired lanes are
-// canonicalized back to the golden value in every stored word so they can
-// never re-enter a cone. Shards are built either from a static slice of
-// the fault list (t_first == 0, no carried caps) or, after a compaction,
-// from the live lanes extracted out of earlier shards.
+// any of its NW lane words differs from the golden splat, and retired lanes
+// are canonicalized back to the golden value in every stored word so they
+// can never re-enter a cone. Every per-gate plane is lane-word-strided
+// ([g*NW+j], like Simulator's); lane l sits in word l/64, bit l%64, and the
+// lane masks (live_/detected_/potential_) are NW-word arrays. NW == 1 is
+// bit-for-bit the historical 64-lane shard. Shards are built either from a
+// static slice of the fault list (t_first == 0, no carried caps) or, after
+// a compaction, from the live lanes extracted out of earlier shards.
+template <int NW>
 class DifferentialShard {
  public:
+  static constexpr std::size_t kShardLanes =
+      static_cast<std::size_t>(NW) * kLaneWordBits;
+
   DifferentialShard(const FaultSimRequest& req,
                     const logicsim::CompiledNetlist& prog,
                     const DiffGolden& golden,
@@ -575,38 +617,54 @@ class DifferentialShard {
         result_(result),
         walker_(prog) {
     const std::size_t n = prog.num_gates();
-    out_sa0_.assign(n, 0);
-    out_sa1_.assign(n, 0);
+    out_sa0_.assign(n * NW, 0);
+    out_sa1_.assign(n * NW, 0);
     has_pin_force_.assign(n, 0);
-    fval_.assign(n, 0);
-    fknown_.assign(n, 0);
+    fval_.assign(n * NW, 0);
+    fknown_.assign(n * NW, 0);
     is_diff_.assign(n, 0);
-    cap_val_.assign(n, 0);
-    cap_known_.assign(n, 0);
+    cap_val_.assign(n * NW, 0);
+    cap_known_.assign(n * NW, 0);
     cap_diff_.assign(n, 0);
-    live_ = shard_size_ == 64 ? ~0ULL : (1ULL << shard_size_) - 1;
+    live_.fill(0);
+    detected_.fill(0);
+    potential_.fill(0);
+    for (int j = 0; j < NW; ++j) {
+      const std::size_t lo = static_cast<std::size_t>(j) * kLaneWordBits;
+      if (shard_size_ <= lo) break;
+      const std::size_t bits =
+          std::min<std::size_t>(kLaneWordBits, shard_size_ - lo);
+      live_[j] = bits == kLaneWordBits ? ~0ULL : (1ULL << bits) - 1;
+    }
     lane_fault_.reserve(shard_size_);
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       const CarriedLane& ln = lanes[i];
-      const std::uint64_t bit = 1ULL << i;
+      const int wj = static_cast<int>(i / kLaneWordBits);
+      const std::uint64_t bit = 1ULL << (i % kLaneWordBits);
       lane_fault_.push_back(ln.fault);
-      if (ln.potential) potential_ |= bit;
+      if (ln.potential) potential_[wj] |= bit;
       for (const CarriedCap& c : ln.caps) {
         if (!cap_diff_[c.dff]) {
           cap_diff_[c.dff] = 1;
           cap_list_.push_back(c.dff);
           // Lanes not carrying this DFF sit at the golden commit value, so
-          // the assembled word diverges exactly where the lanes do.
-          cap_val_[c.dff] = 0ULL - golden.ValBit(t_first, c.dff);
-          cap_known_[c.dff] = 0ULL - golden.KnownBit(t_first, c.dff);
+          // the assembled words diverge exactly where the lanes do.
+          for (int j = 0; j < NW; ++j) {
+            cap_val_[Idx(c.dff, j)] = 0ULL - golden.ValBit(t_first, c.dff);
+            cap_known_[Idx(c.dff, j)] =
+                0ULL - golden.KnownBit(t_first, c.dff);
+          }
         }
-        cap_val_[c.dff] = (cap_val_[c.dff] & ~bit) | (c.val ? bit : 0ULL);
-        cap_known_[c.dff] =
-            (cap_known_[c.dff] & ~bit) | (c.known ? bit : 0ULL);
+        cap_val_[Idx(c.dff, wj)] =
+            (cap_val_[Idx(c.dff, wj)] & ~bit) | (c.val ? bit : 0ULL);
+        cap_known_[Idx(c.dff, wj)] =
+            (cap_known_[Idx(c.dff, wj)] & ~bit) | (c.known ? bit : 0ULL);
       }
     }
     for (GateId d : cap_list_) {
-      if (cap_known_[d] != ~0ULL) caps_known_full_ = false;
+      for (int j = 0; j < NW; ++j) {
+        if (cap_known_[Idx(d, j)] != ~0ULL) caps_known_full_ = false;
+      }
     }
     BuildForceTables();
     const auto& kind = prog.kind();
@@ -631,7 +689,11 @@ class DifferentialShard {
   void Run(int p_begin, int p_end);
 
   std::size_t live_count() const {
-    return static_cast<std::size_t>(std::popcount(live_));
+    std::size_t n = 0;
+    for (int j = 0; j < NW; ++j) {
+      n += static_cast<std::size_t>(std::popcount(live_[j]));
+    }
+    return n;
   }
   // Set while a Run round is in flight; a shard whose round threw has
   // advanced some unknown prefix of its state and must not be retried.
@@ -649,9 +711,14 @@ class DifferentialShard {
   struct PinForce {
     GateId gate;
     std::uint32_t pin;
-    std::uint64_t sa0 = 0;
-    std::uint64_t sa1 = 0;
+    std::array<std::uint64_t, NW> sa0{};
+    std::array<std::uint64_t, NW> sa1{};
   };
+
+  // Word j of gate g's strided planes.
+  static std::size_t Idx(GateId g, int j) {
+    return static_cast<std::size_t>(g) * NW + static_cast<std::size_t>(j);
+  }
 
   static Word3 ApplyForce(Word3 w, std::uint64_t sa0, std::uint64_t sa1) {
     w.known |= sa0 | sa1;
@@ -659,39 +726,46 @@ class DifferentialShard {
     return w;
   }
 
-  // Pins retired lanes to the golden splat, so a dead lane's bits can never
-  // differ from golden anywhere downstream.
-  Word3 Canon(Word3 w, Word3 g) const {
-    return {(w.val & live_) | (g.val & ~live_),
-            (w.known & live_) | (g.known & ~live_)};
+  // Pins retired lanes of word j to the golden splat, so a dead lane's bits
+  // can never differ from golden anywhere downstream.
+  Word3 Canon(Word3 w, Word3 g, int j) const {
+    return {(w.val & live_[j]) | (g.val & ~live_[j]),
+            (w.known & live_[j]) | (g.known & ~live_[j])};
   }
 
-  // Faulty-machine read of gate g at cycle t: the stored word while the
-  // gate is materialized as divergent, the golden splat otherwise. The
-  // branch beats a branch-free XOR-vs-golden encoding here (measured):
-  // inside a walked cone most fanins are divergent, so the predictor
-  // resolves it almost for free and the hot branch skips the golden
-  // plane extraction entirely.
-  Word3 LoadF(std::uint64_t t, GateId g) const {
-    if (is_diff_[g]) return {fval_[g], fknown_[g]};
+  // Faulty-machine read of word j of gate g at cycle t: the stored word
+  // while the gate is materialized as divergent, the golden splat
+  // otherwise. The branch beats a branch-free XOR-vs-golden encoding here
+  // (measured): inside a walked cone most fanins are divergent, so the
+  // predictor resolves it almost for free and the hot branch skips the
+  // golden plane extraction entirely.
+  Word3 LoadF(std::uint64_t t, GateId g, int j) const {
+    if (is_diff_[g]) return {fval_[Idx(g, j)], fknown_[Idx(g, j)]};
     return golden_.Splat(t, g);
   }
 
-  void Mark(GateId g, Word3 w) {
+  // Materializes gate g with the NW words in `w` (all words stored; a
+  // non-divergent word holds exactly its golden splat, so LoadF stays
+  // correct for every word once the gate is marked).
+  void Mark(GateId g, const Word3* w) {
     if (!is_diff_[g]) {
       is_diff_[g] = 1;
       diff_list_.push_back(g);
     }
-    fval_[g] = w.val;
-    fknown_[g] = w.known;
+    for (int j = 0; j < NW; ++j) {
+      fval_[Idx(g, j)] = w[j].val;
+      fknown_[Idx(g, j)] = w[j].known;
+    }
   }
 
   void BuildForceTables();
-  Word3 ReadFaninF(std::uint64_t t, GateId g, std::uint32_t pin,
-                   GateId src) const {
-    Word3 w = LoadF(t, src);
+  Word3 ReadFaninF(std::uint64_t t, GateId g, std::uint32_t pin, GateId src,
+                   int j) const {
+    Word3 w = LoadF(t, src, j);
     for (const PinForce& pf : pin_forces_) {
-      if (pf.gate == g && pf.pin == pin) w = ApplyForce(w, pf.sa0, pf.sa1);
+      if (pf.gate == g && pf.pin == pin) {
+        w = ApplyForce(w, pf.sa0[j], pf.sa1[j]);
+      }
     }
     return w;
   }
@@ -707,17 +781,19 @@ class DifferentialShard {
   std::uint64_t Eval2With(Load&& load, std::uint32_t i) const;
   template <typename Read>
   std::uint64_t EvalPinForced2With(Read&& read, std::uint32_t i) const;
-  Word3 Eval(std::uint64_t t, std::uint32_t i) const;
-  Word3 EvalPinForced(std::uint64_t t, std::uint32_t i) const;
-  std::uint64_t Eval2(std::uint64_t t, std::uint32_t i) const;
-  std::uint64_t EvalPinForced2(std::uint64_t t, std::uint32_t i) const;
-  void StepCycle(std::uint64_t t, bool strobed, std::uint64_t& pattern_detects);
+  // Single-lane-word evaluation of instruction i at cycle t (the ops are
+  // pure bitwise per word, so NW words evaluate as NW independent calls).
+  Word3 Eval(std::uint64_t t, std::uint32_t i, int j) const;
+  Word3 EvalPinForced(std::uint64_t t, std::uint32_t i, int j) const;
+  std::uint64_t Eval2(std::uint64_t t, std::uint32_t i, int j) const;
+  std::uint64_t EvalPinForced2(std::uint64_t t, std::uint32_t i, int j) const;
+  void StepCycle(std::uint64_t t, bool strobed, std::uint64_t* pattern_detects);
   void StepCycleFast(std::uint64_t t, bool strobed,
-                     std::uint64_t& pattern_detects);
+                     std::uint64_t* pattern_detects);
   void DenseCycle2(std::uint64_t t, bool strobed,
-                   std::uint64_t& pattern_detects);
+                   std::uint64_t* pattern_detects);
   void DenseCycle3(std::uint64_t t, bool strobed,
-                   std::uint64_t& pattern_detects);
+                   std::uint64_t* pattern_detects);
 
   const FaultSimRequest& req_;
   const logicsim::CompiledNetlist& prog_;
@@ -732,9 +808,10 @@ class DifferentialShard {
   logicsim::ConeWalker walker_;
 
   std::vector<std::uint32_t> lane_fault_;  // lane -> index into req_.faults
-  std::uint64_t live_ = 0;
-  std::uint64_t detected_ = 0;
-  std::uint64_t potential_ = 0;
+  // Lane masks, one word per lane word (lane l = word l/64, bit l%64).
+  std::array<std::uint64_t, NW> live_{};
+  std::array<std::uint64_t, NW> detected_{};
+  std::array<std::uint64_t, NW> potential_{};
   // True while no captured word carries an X: together with the golden
   // known plane being full, the whole next cycle is two-valued and takes
   // the val-plane-only fast path (StepCycleFast).
@@ -790,7 +867,8 @@ class DifferentialShard {
   std::uint64_t cone_instrs_ = 0;  // stats: instructions drained
 };
 
-void DifferentialShard::BuildForceTables() {
+template <int NW>
+void DifferentialShard<NW>::BuildForceTables() {
   std::fill(out_sa0_.begin(), out_sa0_.end(), 0);
   std::fill(out_sa1_.begin(), out_sa1_.end(), 0);
   std::fill(has_pin_force_.begin(), has_pin_force_.end(), 0);
@@ -800,16 +878,17 @@ void DifferentialShard::BuildForceTables() {
   comb_seed_instrs_.clear();
   const auto& kind = prog_.kind();
   for (std::size_t i = 0; i < shard_size_; ++i) {
-    if (((live_ >> i) & 1ULL) == 0) continue;
+    const int wj = static_cast<int>(i / kLaneWordBits);
+    const std::uint64_t bit = 1ULL << (i % kLaneWordBits);
+    if ((live_[wj] & bit) == 0) continue;
     const StuckFault& f = req_.faults[lane_fault_[i]];
-    const std::uint64_t bit = 1ULL << i;
     PFD_CHECK_MSG(f.value != Trit::kX, "cannot force X");
     const netlist::GateKind k = kind[f.gate];
     if (f.pin == 0) {
       if (k == netlist::GateKind::kConst0 || k == netlist::GateKind::kConst1) {
         continue;  // inert, matching Simulator::Step
       }
-      (f.value == Trit::kZero ? out_sa0_ : out_sa1_)[f.gate] |= bit;
+      (f.value == Trit::kZero ? out_sa0_ : out_sa1_)[Idx(f.gate, wj)] |= bit;
       if (k == netlist::GateKind::kInput) {
         forced_inputs_.push_back(f.gate);
       } else if (k == netlist::GateKind::kDff) {
@@ -823,14 +902,16 @@ void DifferentialShard::BuildForceTables() {
       bool merged = false;
       for (PinForce& pf : pin_forces_) {
         if (pf.gate == f.gate && pf.pin == pin) {
-          (f.value == Trit::kZero ? pf.sa0 : pf.sa1) |= bit;
+          (f.value == Trit::kZero ? pf.sa0 : pf.sa1)[wj] |= bit;
           merged = true;
           break;
         }
       }
       if (!merged) {
-        PinForce pf{f.gate, pin, 0, 0};
-        (f.value == Trit::kZero ? pf.sa0 : pf.sa1) = bit;
+        PinForce pf;
+        pf.gate = f.gate;
+        pf.pin = pin;
+        (f.value == Trit::kZero ? pf.sa0 : pf.sa1)[wj] = bit;
         pin_forces_.push_back(pf);
       }
       has_pin_force_[f.gate] = 1;
@@ -851,8 +932,9 @@ void DifferentialShard::BuildForceTables() {
 }
 
 // Mirrors Simulator::EvalInstr3 over the caller's fanin reader.
+template <int NW>
 template <typename Load>
-Word3 DifferentialShard::Eval3With(Load&& load, std::uint32_t i) const {
+Word3 DifferentialShard<NW>::Eval3With(Load&& load, std::uint32_t i) const {
   using logicsim::Op;
   const logicsim::CompiledNetlist& p = prog_;
   const GateId* f = p.fanins().data() + p.fanin_begin()[i];
@@ -885,9 +967,10 @@ Word3 DifferentialShard::Eval3With(Load&& load, std::uint32_t i) const {
 }
 
 // Mirrors Simulator::EvalInstrPinForced3 over the caller's pin reader.
+template <int NW>
 template <typename Read>
-Word3 DifferentialShard::EvalPinForced3With(Read&& read,
-                                            std::uint32_t i) const {
+Word3 DifferentialShard<NW>::EvalPinForced3With(Read&& read,
+                                                std::uint32_t i) const {
   using logicsim::Op;
   const logicsim::CompiledNetlist& p = prog_;
   const GateId* f = p.fanins().data() + p.fanin_begin()[i];
@@ -920,15 +1003,20 @@ Word3 DifferentialShard::EvalPinForced3With(Read&& read,
   return kAllX;
 }
 
-Word3 DifferentialShard::Eval(std::uint64_t t, std::uint32_t i) const {
-  return Eval3With([&](GateId g) { return LoadF(t, g); }, i);
+template <int NW>
+Word3 DifferentialShard<NW>::Eval(std::uint64_t t, std::uint32_t i,
+                                  int j) const {
+  return Eval3With([&](GateId g) { return LoadF(t, g, j); }, i);
 }
 
-Word3 DifferentialShard::EvalPinForced(std::uint64_t t,
-                                       std::uint32_t i) const {
+template <int NW>
+Word3 DifferentialShard<NW>::EvalPinForced(std::uint64_t t, std::uint32_t i,
+                                           int j) const {
   const GateId g = prog_.out()[i];
   return EvalPinForced3With(
-      [&](std::uint32_t pin, GateId src) { return ReadFaninF(t, g, pin, src); },
+      [&](std::uint32_t pin, GateId src) {
+        return ReadFaninF(t, g, pin, src, j);
+      },
       i);
 }
 
@@ -937,9 +1025,10 @@ Word3 DifferentialShard::EvalPinForced(std::uint64_t t,
 // plain bitwise logic, and the golden splat needs only the val plane.
 // Bit-identical to the three-valued path by the known-inputs-give-known-
 // outputs property of the Word3 algebra.
+template <int NW>
 template <typename Load>
-std::uint64_t DifferentialShard::Eval2With(Load&& load,
-                                           std::uint32_t i) const {
+std::uint64_t DifferentialShard<NW>::Eval2With(Load&& load,
+                                               std::uint32_t i) const {
   using logicsim::Op;
   const logicsim::CompiledNetlist& p = prog_;
   const GateId* f = p.fanins().data() + p.fanin_begin()[i];
@@ -974,9 +1063,10 @@ std::uint64_t DifferentialShard::Eval2With(Load&& load,
   return 0;
 }
 
+template <int NW>
 template <typename Read>
-std::uint64_t DifferentialShard::EvalPinForced2With(Read&& read,
-                                                    std::uint32_t i) const {
+std::uint64_t DifferentialShard<NW>::EvalPinForced2With(
+    Read&& read, std::uint32_t i) const {
   using logicsim::Op;
   const logicsim::CompiledNetlist& p = prog_;
   const GateId* f = p.fanins().data() + p.fanin_begin()[i];
@@ -1011,32 +1101,38 @@ std::uint64_t DifferentialShard::EvalPinForced2With(Read&& read,
   return 0;
 }
 
-std::uint64_t DifferentialShard::Eval2(std::uint64_t t,
-                                       std::uint32_t i) const {
+template <int NW>
+std::uint64_t DifferentialShard<NW>::Eval2(std::uint64_t t, std::uint32_t i,
+                                           int j) const {
   return Eval2With(
       [&](GateId g) -> std::uint64_t {
-        return is_diff_[g] ? fval_[g] : (0ULL - golden_.ValBit(t, g));
+        return is_diff_[g] ? fval_[Idx(g, j)] : (0ULL - golden_.ValBit(t, g));
       },
       i);
 }
 
-std::uint64_t DifferentialShard::EvalPinForced2(std::uint64_t t,
-                                                std::uint32_t i) const {
+template <int NW>
+std::uint64_t DifferentialShard<NW>::EvalPinForced2(std::uint64_t t,
+                                                    std::uint32_t i,
+                                                    int j) const {
   const GateId g = prog_.out()[i];
   return EvalPinForced2With(
       [&](std::uint32_t pin, GateId src) -> std::uint64_t {
-        std::uint64_t v =
-            is_diff_[src] ? fval_[src] : (0ULL - golden_.ValBit(t, src));
+        std::uint64_t v = is_diff_[src] ? fval_[Idx(src, j)]
+                                        : (0ULL - golden_.ValBit(t, src));
         for (const PinForce& pf : pin_forces_) {
-          if (pf.gate == g && pf.pin == pin) v = (v | pf.sa1) & ~pf.sa0;
+          if (pf.gate == g && pf.pin == pin) {
+            v = (v | pf.sa1[j]) & ~pf.sa0[j];
+          }
         }
         return v;
       },
       i);
 }
 
-void DifferentialShard::StepCycle(std::uint64_t t, bool strobed,
-                                  std::uint64_t& pattern_detects) {
+template <int NW>
+void DifferentialShard<NW>::StepCycle(std::uint64_t t, bool strobed,
+                                      std::uint64_t* pattern_detects) {
   const TestPlan& plan = req_.stimulus.plan;
 
   for (GateId g : diff_list_) is_diff_[g] = 0;
@@ -1051,14 +1147,29 @@ void DifferentialShard::StepCycle(std::uint64_t t, bool strobed,
   // its phase 2 (golden inputs are re-driven identically every pattern, and
   // ApplyForce is idempotent, so force-on-golden-splat is the input's
   // stored word on every cycle, not just the first).
+  auto any_out_force = [&](GateId g) {
+    std::uint64_t any = 0;
+    for (int j = 0; j < NW; ++j) {
+      any |= out_sa0_[Idx(g, j)] | out_sa1_[Idx(g, j)];
+    }
+    return any != 0;
+  };
   auto commit_dff = [&](GateId d) {
     const Word3 g = golden_.Splat(t, d);
-    Word3 w = cap_diff_[d] ? Word3{cap_val_[d], cap_known_[d]} : g;
-    const std::uint64_t sa0 = out_sa0_[d];
-    const std::uint64_t sa1 = out_sa1_[d];
-    if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
-    w = Canon(w, g);
-    if (w.val != g.val || w.known != g.known) {
+    Word3 w[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      Word3 x = cap_diff_[d]
+                    ? Word3{cap_val_[Idx(d, j)], cap_known_[Idx(d, j)]}
+                    : g;
+      const std::uint64_t sa0 = out_sa0_[Idx(d, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(d, j)];
+      if ((sa0 | sa1) != 0) x = ApplyForce(x, sa0, sa1);
+      x = Canon(x, g, j);
+      w[j] = x;
+      diff = diff || x.val != g.val || x.known != g.known;
+    }
+    if (diff) {
       Mark(d, w);
       walker_.SeedReadersOf(d);
     }
@@ -1066,12 +1177,19 @@ void DifferentialShard::StepCycle(std::uint64_t t, bool strobed,
   for (GateId d : forced_dffs_) commit_dff(d);
   for (GateId d : cap_list_) {
     // Output-forced DFFs were just committed above (they consult cap too).
-    if ((out_sa0_[d] | out_sa1_[d]) == 0) commit_dff(d);
+    if (!any_out_force(d)) commit_dff(d);
   }
   for (GateId in : forced_inputs_) {
     const Word3 g = golden_.Splat(t, in);
-    Word3 w = Canon(ApplyForce(g, out_sa0_[in], out_sa1_[in]), g);
-    if (w.val != g.val || w.known != g.known) {
+    Word3 w[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      const Word3 x = Canon(
+          ApplyForce(g, out_sa0_[Idx(in, j)], out_sa1_[Idx(in, j)]), g, j);
+      w[j] = x;
+      diff = diff || x.val != g.val || x.known != g.known;
+    }
+    if (diff) {
       Mark(in, w);
       walker_.SeedReadersOf(in);
     }
@@ -1084,13 +1202,19 @@ void DifferentialShard::StepCycle(std::uint64_t t, bool strobed,
   for (std::uint32_t i : comb_seed_instrs_) walker_.SeedInstr(i);
   walker_.Drain([&](std::uint32_t i) {
     const GateId g = prog_.out()[i];
-    Word3 w = has_pin_force_[g] ? EvalPinForced(t, i) : Eval(t, i);
-    const std::uint64_t sa0 = out_sa0_[g];
-    const std::uint64_t sa1 = out_sa1_[g];
-    if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
     const Word3 gw = golden_.Splat(t, g);
-    w = Canon(w, gw);
-    if (w.val == gw.val && w.known == gw.known) return false;
+    Word3 w[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      Word3 x = has_pin_force_[g] ? EvalPinForced(t, i, j) : Eval(t, i, j);
+      const std::uint64_t sa0 = out_sa0_[Idx(g, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(g, j)];
+      if ((sa0 | sa1) != 0) x = ApplyForce(x, sa0, sa1);
+      x = Canon(x, gw, j);
+      w[j] = x;
+      diff = diff || x.val != gw.val || x.known != gw.known;
+    }
+    if (!diff) return false;
     Mark(g, w);
     if (mut_stale_cone_ && !stale_used_) {
       stale_used_ = true;  // planted bug: first divergence doesn't propagate
@@ -1107,8 +1231,11 @@ void DifferentialShard::StepCycle(std::uint64_t t, bool strobed,
       if (golden_.KnownBit(t, g) == 0) continue;  // fault-free response X
       if (!is_diff_[g]) continue;
       const std::uint64_t gval = 0ULL - golden_.ValBit(t, g);
-      pattern_detects |= fknown_[g] & (fval_[g] ^ gval) & live_;
-      potential_ |= ~fknown_[g] & live_;
+      for (int j = 0; j < NW; ++j) {
+        pattern_detects[j] |=
+            fknown_[Idx(g, j)] & (fval_[Idx(g, j)] ^ gval) & live_[j];
+        potential_[j] |= ~fknown_[Idx(g, j)] & live_[j];
+      }
     }
   }
 
@@ -1123,27 +1250,37 @@ void DifferentialShard::StepCycle(std::uint64_t t, bool strobed,
     const GateId d = dff_ids[k];
     const GateId dn = dff_d[k];
     if (!is_diff_[dn] && !has_pin_force_[d]) continue;
-    Word3 w = LoadF(t, dn);
-    if (has_pin_force_[d]) {
-      for (const PinForce& pf : pin_forces_) {
-        if (pf.gate == d && pf.pin == 0) w = ApplyForce(w, pf.sa0, pf.sa1);
-      }
-    }
     const Word3 g = golden_.Splat(t, dn);
-    w = Canon(w, g);
-    if (w.val != g.val || w.known != g.known) {
+    Word3 w[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      Word3 x = LoadF(t, dn, j);
+      if (has_pin_force_[d]) {
+        for (const PinForce& pf : pin_forces_) {
+          if (pf.gate == d && pf.pin == 0) {
+            x = ApplyForce(x, pf.sa0[j], pf.sa1[j]);
+          }
+        }
+      }
+      x = Canon(x, g, j);
+      w[j] = x;
+      diff = diff || x.val != g.val || x.known != g.known;
+    }
+    if (diff) {
       cap_diff_[d] = 1;
-      cap_val_[d] = w.val;
-      cap_known_[d] = w.known;
+      for (int j = 0; j < NW; ++j) {
+        cap_val_[Idx(d, j)] = w[j].val;
+        cap_known_[Idx(d, j)] = w[j].known;
+      }
       cap_list_.push_back(d);
     }
   }
   caps_known_full_ = true;
   for (GateId d : cap_list_) {
-    if (cap_known_[d] != ~0ULL) {
-      caps_known_full_ = false;
-      break;
+    for (int j = 0; j < NW && caps_known_full_; ++j) {
+      if (cap_known_[Idx(d, j)] != ~0ULL) caps_known_full_ = false;
     }
+    if (!caps_known_full_) break;
   }
 }
 
@@ -1151,8 +1288,9 @@ void DifferentialShard::StepCycle(std::uint64_t t, bool strobed,
 // plane is full and no captured word carries an X (no force can introduce
 // one, so the whole cycle stays two-valued). Mark still stores a full-known
 // word so the shared strobe/capture invariants hold.
-void DifferentialShard::StepCycleFast(std::uint64_t t, bool strobed,
-                                      std::uint64_t& pattern_detects) {
+template <int NW>
+void DifferentialShard<NW>::StepCycleFast(std::uint64_t t, bool strobed,
+                                          std::uint64_t* pattern_detects) {
   const TestPlan& plan = req_.stimulus.plan;
 
   for (GateId g : diff_list_) is_diff_[g] = 0;
@@ -1165,26 +1303,45 @@ void DifferentialShard::StepCycleFast(std::uint64_t t, bool strobed,
 
   auto commit_dff = [&](GateId d) {
     const std::uint64_t gv = gval(d);
-    std::uint64_t v = cap_diff_[d] ? cap_val_[d] : gv;
-    const std::uint64_t sa0 = out_sa0_[d];
-    const std::uint64_t sa1 = out_sa1_[d];
-    if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
-    v = (v & live_) | (gv & ~live_);
-    if (v != gv) {
-      Mark(d, {v, ~0ULL});
+    Word3 w[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      std::uint64_t v = cap_diff_[d] ? cap_val_[Idx(d, j)] : gv;
+      const std::uint64_t sa0 = out_sa0_[Idx(d, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(d, j)];
+      if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
+      v = (v & live_[j]) | (gv & ~live_[j]);
+      w[j] = {v, ~0ULL};
+      diff = diff || v != gv;
+    }
+    if (diff) {
+      Mark(d, w);
       walker_.SeedReadersOf(d);
     }
   };
+  auto any_out_force = [&](GateId g) {
+    std::uint64_t any = 0;
+    for (int j = 0; j < NW; ++j) {
+      any |= out_sa0_[Idx(g, j)] | out_sa1_[Idx(g, j)];
+    }
+    return any != 0;
+  };
   for (GateId d : forced_dffs_) commit_dff(d);
   for (GateId d : cap_list_) {
-    if ((out_sa0_[d] | out_sa1_[d]) == 0) commit_dff(d);
+    if (!any_out_force(d)) commit_dff(d);
   }
   for (GateId in : forced_inputs_) {
     const std::uint64_t gv = gval(in);
-    std::uint64_t v = (gv | out_sa1_[in]) & ~out_sa0_[in];
-    v = (v & live_) | (gv & ~live_);
-    if (v != gv) {
-      Mark(in, {v, ~0ULL});
+    Word3 w[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      std::uint64_t v = (gv | out_sa1_[Idx(in, j)]) & ~out_sa0_[Idx(in, j)];
+      v = (v & live_[j]) | (gv & ~live_[j]);
+      w[j] = {v, ~0ULL};
+      diff = diff || v != gv;
+    }
+    if (diff) {
+      Mark(in, w);
       walker_.SeedReadersOf(in);
     }
   }
@@ -1192,14 +1349,21 @@ void DifferentialShard::StepCycleFast(std::uint64_t t, bool strobed,
   for (std::uint32_t i : comb_seed_instrs_) walker_.SeedInstr(i);
   walker_.Drain([&](std::uint32_t i) {
     const GateId g = prog_.out()[i];
-    std::uint64_t v = has_pin_force_[g] ? EvalPinForced2(t, i) : Eval2(t, i);
-    const std::uint64_t sa0 = out_sa0_[g];
-    const std::uint64_t sa1 = out_sa1_[g];
-    if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
     const std::uint64_t gv = gval(g);
-    v = (v & live_) | (gv & ~live_);
-    if (v == gv) return false;
-    Mark(g, {v, ~0ULL});
+    Word3 w[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      std::uint64_t v =
+          has_pin_force_[g] ? EvalPinForced2(t, i, j) : Eval2(t, i, j);
+      const std::uint64_t sa0 = out_sa0_[Idx(g, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(g, j)];
+      if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
+      v = (v & live_[j]) | (gv & ~live_[j]);
+      w[j] = {v, ~0ULL};
+      diff = diff || v != gv;
+    }
+    if (!diff) return false;
+    Mark(g, w);
     if (mut_stale_cone_ && !stale_used_) {
       stale_used_ = true;  // planted bug: first divergence doesn't propagate
       return false;
@@ -1211,7 +1375,10 @@ void DifferentialShard::StepCycleFast(std::uint64_t t, bool strobed,
   if (strobed) {
     for (GateId g : plan.observe) {
       if (!is_diff_[g]) continue;
-      pattern_detects |= (fval_[g] ^ gval(g)) & live_;
+      const std::uint64_t gv = gval(g);
+      for (int j = 0; j < NW; ++j) {
+        pattern_detects[j] |= (fval_[Idx(g, j)] ^ gv) & live_[j];
+      }
     }
   }
 
@@ -1223,18 +1390,26 @@ void DifferentialShard::StepCycleFast(std::uint64_t t, bool strobed,
     const GateId d = dff_ids[k];
     const GateId dn = dff_d[k];
     if (!is_diff_[dn] && !has_pin_force_[d]) continue;
-    std::uint64_t v = is_diff_[dn] ? fval_[dn] : gval(dn);
-    if (has_pin_force_[d]) {
-      for (const PinForce& pf : pin_forces_) {
-        if (pf.gate == d && pf.pin == 0) v = (v | pf.sa1) & ~pf.sa0;
-      }
-    }
     const std::uint64_t gv = gval(dn);
-    v = (v & live_) | (gv & ~live_);
-    if (v != gv) {
+    std::uint64_t v[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      std::uint64_t x = is_diff_[dn] ? fval_[Idx(dn, j)] : gv;
+      if (has_pin_force_[d]) {
+        for (const PinForce& pf : pin_forces_) {
+          if (pf.gate == d && pf.pin == 0) x = (x | pf.sa1[j]) & ~pf.sa0[j];
+        }
+      }
+      x = (x & live_[j]) | (gv & ~live_[j]);
+      v[j] = x;
+      diff = diff || x != gv;
+    }
+    if (diff) {
       cap_diff_[d] = 1;
-      cap_val_[d] = v;
-      cap_known_[d] = ~0ULL;
+      for (int j = 0; j < NW; ++j) {
+        cap_val_[Idx(d, j)] = v[j];
+        cap_known_[Idx(d, j)] = ~0ULL;
+      }
       cap_list_.push_back(d);
     }
   }
@@ -1249,13 +1424,14 @@ void DifferentialShard::StepCycleFast(std::uint64_t t, bool strobed,
 // regime. Values equal the sparse path's by construction: every gate off a
 // lane's cone computes exactly its golden value (same function, same
 // inputs), so strobes and captures diff against golden identically.
-void DifferentialShard::DenseCycle2(std::uint64_t t, bool strobed,
-                                    std::uint64_t& pattern_detects) {
+template <int NW>
+void DifferentialShard<NW>::DenseCycle2(std::uint64_t t, bool strobed,
+                                        std::uint64_t* pattern_detects) {
   const TestPlan& plan = req_.stimulus.plan;
   const std::size_t n = prog_.num_gates();
   if (dval_.empty()) {
-    dval_.assign(n, 0);
-    dknown_.assign(n, 0);
+    dval_.assign(n * NW, 0);
+    dknown_.assign(n * NW, 0);
   }
   // Sparse residue must not leak into a later sparse cycle.
   for (GateId g : diff_list_) is_diff_[g] = 0;
@@ -1264,22 +1440,32 @@ void DifferentialShard::DenseCycle2(std::uint64_t t, bool strobed,
   const auto gval = [&](GateId g) -> std::uint64_t {
     return 0ULL - golden_.ValBit(t, g);
   };
-  for (GateId g : const_gates_) dval_[g] = gval(g);
+  for (GateId g : const_gates_) {
+    const std::uint64_t gv = gval(g);
+    for (int j = 0; j < NW; ++j) dval_[Idx(g, j)] = gv;
+  }
   for (GateId g : input_gates_) {
-    std::uint64_t v = gval(g);
-    const std::uint64_t sa0 = out_sa0_[g];
-    const std::uint64_t sa1 = out_sa1_[g];
-    if ((sa0 | sa1) != 0) v = ((((v | sa1) & ~sa0) & live_)) | (v & ~live_);
-    dval_[g] = v;
+    const std::uint64_t gv = gval(g);
+    for (int j = 0; j < NW; ++j) {
+      std::uint64_t v = gv;
+      const std::uint64_t sa0 = out_sa0_[Idx(g, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(g, j)];
+      if ((sa0 | sa1) != 0) {
+        v = ((((v | sa1) & ~sa0) & live_[j])) | (v & ~live_[j]);
+      }
+      dval_[Idx(g, j)] = v;
+    }
   }
   const auto& dff_ids = prog_.dff_ids();
   for (const GateId d : dff_ids) {
     const std::uint64_t gv = gval(d);
-    std::uint64_t v = cap_diff_[d] ? cap_val_[d] : gv;
-    const std::uint64_t sa0 = out_sa0_[d];
-    const std::uint64_t sa1 = out_sa1_[d];
-    if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
-    dval_[d] = (v & live_) | (gv & ~live_);
+    for (int j = 0; j < NW; ++j) {
+      std::uint64_t v = cap_diff_[d] ? cap_val_[Idx(d, j)] : gv;
+      const std::uint64_t sa0 = out_sa0_[Idx(d, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(d, j)];
+      if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
+      dval_[Idx(d, j)] = (v & live_[j]) | (gv & ~live_[j]);
+    }
   }
 
   const std::uint32_t ni =
@@ -1287,26 +1473,30 @@ void DifferentialShard::DenseCycle2(std::uint64_t t, bool strobed,
   const auto& outs = prog_.out();
   for (std::uint32_t i = 0; i < ni; ++i) {
     const GateId g = outs[i];
-    std::uint64_t v;
-    if (has_pin_force_[g]) {
-      v = EvalPinForced2With(
-          [&](std::uint32_t pin, GateId src) -> std::uint64_t {
-            std::uint64_t w = dval_[src];
-            for (const PinForce& pf : pin_forces_) {
-              if (pf.gate == g && pf.pin == pin) w = (w | pf.sa1) & ~pf.sa0;
-            }
-            return w;
-          },
-          i);
-    } else {
-      v = Eval2With([&](GateId src) { return dval_[src]; }, i);
+    for (int j = 0; j < NW; ++j) {
+      std::uint64_t v;
+      if (has_pin_force_[g]) {
+        v = EvalPinForced2With(
+            [&](std::uint32_t pin, GateId src) -> std::uint64_t {
+              std::uint64_t w = dval_[Idx(src, j)];
+              for (const PinForce& pf : pin_forces_) {
+                if (pf.gate == g && pf.pin == pin) {
+                  w = (w | pf.sa1[j]) & ~pf.sa0[j];
+                }
+              }
+              return w;
+            },
+            i);
+      } else {
+        v = Eval2With([&](GateId src) { return dval_[Idx(src, j)]; }, i);
+      }
+      const std::uint64_t sa0 = out_sa0_[Idx(g, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(g, j)];
+      if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
+      // No per-gate canon needed: a retired lane carries no forces and
+      // golden state, so its dense bits are golden everywhere already.
+      dval_[Idx(g, j)] = v;
     }
-    const std::uint64_t sa0 = out_sa0_[g];
-    const std::uint64_t sa1 = out_sa1_[g];
-    if ((sa0 | sa1) != 0) v = (v | sa1) & ~sa0;
-    // No per-gate canon needed: a retired lane carries no forces and
-    // golden state, so its dense bits are golden everywhere already.
-    dval_[g] = v;
   }
   cone_instrs_ += ni;
 
@@ -1318,7 +1508,10 @@ void DifferentialShard::DenseCycle2(std::uint64_t t, bool strobed,
         continue;
       }
       first = false;
-      pattern_detects |= (dval_[g] ^ gval(g)) & live_;
+      const std::uint64_t gv = gval(g);
+      for (int j = 0; j < NW; ++j) {
+        pattern_detects[j] |= (dval_[Idx(g, j)] ^ gv) & live_[j];
+      }
     }
   }
 
@@ -1328,18 +1521,26 @@ void DifferentialShard::DenseCycle2(std::uint64_t t, bool strobed,
   for (std::size_t k = 0; k < dff_ids.size(); ++k) {
     const GateId d = dff_ids[k];
     const GateId dn = dff_d[k];
-    std::uint64_t v = dval_[dn];
-    if (has_pin_force_[d]) {
-      for (const PinForce& pf : pin_forces_) {
-        if (pf.gate == d && pf.pin == 0) v = (v | pf.sa1) & ~pf.sa0;
-      }
-    }
     const std::uint64_t gv = gval(dn);
-    v = (v & live_) | (gv & ~live_);
-    if (v != gv) {
+    std::uint64_t v[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      std::uint64_t x = dval_[Idx(dn, j)];
+      if (has_pin_force_[d]) {
+        for (const PinForce& pf : pin_forces_) {
+          if (pf.gate == d && pf.pin == 0) x = (x | pf.sa1[j]) & ~pf.sa0[j];
+        }
+      }
+      x = (x & live_[j]) | (gv & ~live_[j]);
+      v[j] = x;
+      diff = diff || x != gv;
+    }
+    if (diff) {
       cap_diff_[d] = 1;
-      cap_val_[d] = v;
-      cap_known_[d] = ~0ULL;
+      for (int j = 0; j < NW; ++j) {
+        cap_val_[Idx(d, j)] = v[j];
+        cap_known_[Idx(d, j)] = ~0ULL;
+      }
       cap_list_.push_back(d);
     }
   }
@@ -1349,13 +1550,14 @@ void DifferentialShard::DenseCycle2(std::uint64_t t, bool strobed,
 // The three-valued dense sweep, for X-carrying shards (potential-detect
 // lanes trap power-up X in state loops and stay three-valued forever).
 // Full Word3 planes, same phase structure as DenseCycle2.
-void DifferentialShard::DenseCycle3(std::uint64_t t, bool strobed,
-                                    std::uint64_t& pattern_detects) {
+template <int NW>
+void DifferentialShard<NW>::DenseCycle3(std::uint64_t t, bool strobed,
+                                        std::uint64_t* pattern_detects) {
   const TestPlan& plan = req_.stimulus.plan;
   const std::size_t n = prog_.num_gates();
   if (dval_.empty()) {
-    dval_.assign(n, 0);
-    dknown_.assign(n, 0);
+    dval_.assign(n * NW, 0);
+    dknown_.assign(n * NW, 0);
   }
   for (GateId g : diff_list_) is_diff_[g] = 0;
   diff_list_.clear();
@@ -1363,28 +1565,36 @@ void DifferentialShard::DenseCycle3(std::uint64_t t, bool strobed,
   const auto gsplat = [&](GateId g) { return golden_.Splat(t, g); };
   for (GateId g : const_gates_) {
     const Word3 w = gsplat(g);
-    dval_[g] = w.val;
-    dknown_[g] = w.known;
+    for (int j = 0; j < NW; ++j) {
+      dval_[Idx(g, j)] = w.val;
+      dknown_[Idx(g, j)] = w.known;
+    }
   }
   for (GateId g : input_gates_) {
     const Word3 gw = gsplat(g);
-    Word3 w = gw;
-    const std::uint64_t sa0 = out_sa0_[g];
-    const std::uint64_t sa1 = out_sa1_[g];
-    if ((sa0 | sa1) != 0) w = Canon(ApplyForce(w, sa0, sa1), gw);
-    dval_[g] = w.val;
-    dknown_[g] = w.known;
+    for (int j = 0; j < NW; ++j) {
+      Word3 w = gw;
+      const std::uint64_t sa0 = out_sa0_[Idx(g, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(g, j)];
+      if ((sa0 | sa1) != 0) w = Canon(ApplyForce(w, sa0, sa1), gw, j);
+      dval_[Idx(g, j)] = w.val;
+      dknown_[Idx(g, j)] = w.known;
+    }
   }
   const auto& dff_ids = prog_.dff_ids();
   for (const GateId d : dff_ids) {
     const Word3 gw = gsplat(d);
-    Word3 w = cap_diff_[d] ? Word3{cap_val_[d], cap_known_[d]} : gw;
-    const std::uint64_t sa0 = out_sa0_[d];
-    const std::uint64_t sa1 = out_sa1_[d];
-    if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
-    w = Canon(w, gw);
-    dval_[d] = w.val;
-    dknown_[d] = w.known;
+    for (int j = 0; j < NW; ++j) {
+      Word3 w = cap_diff_[d]
+                    ? Word3{cap_val_[Idx(d, j)], cap_known_[Idx(d, j)]}
+                    : gw;
+      const std::uint64_t sa0 = out_sa0_[Idx(d, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(d, j)];
+      if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+      w = Canon(w, gw, j);
+      dval_[Idx(d, j)] = w.val;
+      dknown_[Idx(d, j)] = w.known;
+    }
   }
 
   const std::uint32_t ni =
@@ -1392,28 +1602,33 @@ void DifferentialShard::DenseCycle3(std::uint64_t t, bool strobed,
   const auto& outs = prog_.out();
   for (std::uint32_t i = 0; i < ni; ++i) {
     const GateId g = outs[i];
-    Word3 w;
-    if (has_pin_force_[g]) {
-      w = EvalPinForced3With(
-          [&](std::uint32_t pin, GateId src) {
-            Word3 x{dval_[src], dknown_[src]};
-            for (const PinForce& pf : pin_forces_) {
-              if (pf.gate == g && pf.pin == pin) {
-                x = ApplyForce(x, pf.sa0, pf.sa1);
+    for (int j = 0; j < NW; ++j) {
+      Word3 w;
+      if (has_pin_force_[g]) {
+        w = EvalPinForced3With(
+            [&](std::uint32_t pin, GateId src) {
+              Word3 x{dval_[Idx(src, j)], dknown_[Idx(src, j)]};
+              for (const PinForce& pf : pin_forces_) {
+                if (pf.gate == g && pf.pin == pin) {
+                  x = ApplyForce(x, pf.sa0[j], pf.sa1[j]);
+                }
               }
-            }
-            return x;
-          },
-          i);
-    } else {
-      w = Eval3With([&](GateId src) { return Word3{dval_[src], dknown_[src]}; },
-                    i);
+              return x;
+            },
+            i);
+      } else {
+        w = Eval3With(
+            [&](GateId src) {
+              return Word3{dval_[Idx(src, j)], dknown_[Idx(src, j)]};
+            },
+            i);
+      }
+      const std::uint64_t sa0 = out_sa0_[Idx(g, j)];
+      const std::uint64_t sa1 = out_sa1_[Idx(g, j)];
+      if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+      dval_[Idx(g, j)] = w.val;
+      dknown_[Idx(g, j)] = w.known;
     }
-    const std::uint64_t sa0 = out_sa0_[g];
-    const std::uint64_t sa1 = out_sa1_[g];
-    if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
-    dval_[g] = w.val;
-    dknown_[g] = w.known;
   }
   cone_instrs_ += ni;
 
@@ -1427,8 +1642,11 @@ void DifferentialShard::DenseCycle3(std::uint64_t t, bool strobed,
       first = false;
       if (golden_.KnownBit(t, g) == 0) continue;  // fault-free response X
       const std::uint64_t gv = 0ULL - golden_.ValBit(t, g);
-      pattern_detects |= dknown_[g] & (dval_[g] ^ gv) & live_;
-      potential_ |= ~dknown_[g] & live_;
+      for (int j = 0; j < NW; ++j) {
+        pattern_detects[j] |=
+            dknown_[Idx(g, j)] & (dval_[Idx(g, j)] ^ gv) & live_[j];
+        potential_[j] |= ~dknown_[Idx(g, j)] & live_[j];
+      }
     }
   }
 
@@ -1438,31 +1656,43 @@ void DifferentialShard::DenseCycle3(std::uint64_t t, bool strobed,
   for (std::size_t k = 0; k < dff_ids.size(); ++k) {
     const GateId d = dff_ids[k];
     const GateId dn = dff_d[k];
-    Word3 w{dval_[dn], dknown_[dn]};
-    if (has_pin_force_[d]) {
-      for (const PinForce& pf : pin_forces_) {
-        if (pf.gate == d && pf.pin == 0) w = ApplyForce(w, pf.sa0, pf.sa1);
-      }
-    }
     const Word3 gw = gsplat(dn);
-    w = Canon(w, gw);
-    if (w.val != gw.val || w.known != gw.known) {
+    Word3 w[NW];
+    bool diff = false;
+    for (int j = 0; j < NW; ++j) {
+      Word3 x{dval_[Idx(dn, j)], dknown_[Idx(dn, j)]};
+      if (has_pin_force_[d]) {
+        for (const PinForce& pf : pin_forces_) {
+          if (pf.gate == d && pf.pin == 0) x = ApplyForce(x, pf.sa0[j], pf.sa1[j]);
+        }
+      }
+      x = Canon(x, gw, j);
+      w[j] = x;
+      diff = diff || x.val != gw.val || x.known != gw.known;
+    }
+    if (diff) {
       cap_diff_[d] = 1;
-      cap_val_[d] = w.val;
-      cap_known_[d] = w.known;
+      for (int j = 0; j < NW; ++j) {
+        cap_val_[Idx(d, j)] = w[j].val;
+        cap_known_[Idx(d, j)] = w[j].known;
+      }
       cap_list_.push_back(d);
     }
   }
   caps_known_full_ = true;
   for (GateId d : cap_list_) {
-    if (cap_known_[d] != ~0ULL) {
-      caps_known_full_ = false;
-      break;
+    for (int j = 0; j < NW; ++j) {
+      if (cap_known_[Idx(d, j)] != ~0ULL) {
+        caps_known_full_ = false;
+        break;
+      }
     }
+    if (!caps_known_full_) break;
   }
 }
 
-void DifferentialShard::Run(int p_begin, int p_end) {
+template <int NW>
+void DifferentialShard<NW>::Run(int p_begin, int p_end) {
   const int cpp = req_.stimulus.plan.cycles_per_pattern;
 
   const bool obs_on = obs::Enabled();
@@ -1482,11 +1712,13 @@ void DifferentialShard::Run(int p_begin, int p_end) {
   std::uint64_t two_valued_cycles = 0;
   std::uint64_t dense_cycles = 0;
   for (int p = p_begin; p < p_end; ++p) {
-    if (live_ == 0) break;  // every fault decided: hard-detected lanes only
+    std::uint64_t any_live = 0;
+    for (int j = 0; j < NW; ++j) any_live |= live_[j];
+    if (any_live == 0) break;  // every fault decided: hard-detected only
     check_.CheckOrThrow();
     ++patterns_run;
     if (obs_on) {
-      hist_live->RecordDouble(static_cast<double>(std::popcount(live_)));
+      hist_live->RecordDouble(static_cast<double>(live_count()));
     }
     // The first pattern of each Run call samples the sparse walk's union
     // cone; when it exceeds ~20% of the program the walker's per-instruction
@@ -1495,7 +1727,7 @@ void DifferentialShard::Run(int p_begin, int p_end) {
     // planted bug lives in so the xcheck harness always exercises it.
     const bool sampling = (p == p_begin);
     if (sampling) cone_sample_ = 0;
-    std::uint64_t pattern_detects = 0;
+    std::array<std::uint64_t, NW> pattern_detects{};
     for (int c = 0; c < cpp; ++c) {
       const std::uint64_t t =
           static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(cpp) +
@@ -1513,15 +1745,15 @@ void DifferentialShard::Run(int p_begin, int p_end) {
         ++dense_cycles;
         if (two_valued) {
           ++two_valued_cycles;
-          DenseCycle2(t, strobed, pattern_detects);
+          DenseCycle2(t, strobed, pattern_detects.data());
         } else {
-          DenseCycle3(t, strobed, pattern_detects);
+          DenseCycle3(t, strobed, pattern_detects.data());
         }
       } else if (two_valued) {
         ++two_valued_cycles;
-        StepCycleFast(t, strobed, pattern_detects);
+        StepCycleFast(t, strobed, pattern_detects.data());
       } else {
-        StepCycle(t, strobed, pattern_detects);
+        StepCycle(t, strobed, pattern_detects.data());
       }
       if (sampling) cone_sample_ += cone_instrs_;
       if (obs_on) {
@@ -1535,37 +1767,53 @@ void DifferentialShard::Run(int p_begin, int p_end) {
       dense_mode_ = 5 * cone_sample_ >= full;
     }
     check_.AddSimCycles(static_cast<std::uint64_t>(cpp));
-    const std::uint64_t newly = pattern_detects & ~detected_;
-    if (newly != 0) {
-      detected_ |= newly;
-      for (std::size_t i = 0; i < shard_size_; ++i) {
-        if ((newly >> i) & 1ULL) {
+    std::array<std::uint64_t, NW> to_retire{};
+    std::uint64_t any_retire = 0;
+    for (int j = 0; j < NW; ++j) {
+      const std::uint64_t newly = pattern_detects[j] & ~detected_[j];
+      if (newly != 0) {
+        detected_[j] |= newly;
+        for (int b = 0; b < kLaneWordBits; ++b) {
+          if (((newly >> b) & 1ULL) == 0) continue;
+          const std::size_t i =
+              static_cast<std::size_t>(j) * kLaneWordBits +
+              static_cast<std::size_t>(b);
+          if (i >= shard_size_) break;
           result_.first_detect_pattern[lane_fault_[i]] = p;
           result_.status[lane_fault_[i]] = FaultStatus::kDetected;
         }
       }
-    }
-    std::uint64_t to_retire = newly;
-    if (mut_premature_drop_) {
-      // Planted bug: lanes with only an X mismatch are dropped as if their
-      // fate were sealed, freezing faults a later pattern would detect.
-      const std::uint64_t dropped = potential_ & ~detected_ & live_;
-      to_retire |= dropped;
-      for (std::size_t i = 0; i < shard_size_; ++i) {
-        if ((dropped >> i) & 1ULL) {
+      to_retire[j] = newly;
+      if (mut_premature_drop_) {
+        // Planted bug: lanes with only an X mismatch are dropped as if
+        // their fate were sealed, freezing faults a later pattern would
+        // detect.
+        const std::uint64_t dropped = potential_[j] & ~detected_[j] & live_[j];
+        to_retire[j] |= dropped;
+        for (int b = 0; b < kLaneWordBits; ++b) {
+          if (((dropped >> b) & 1ULL) == 0) continue;
+          const std::size_t i =
+              static_cast<std::size_t>(j) * kLaneWordBits +
+              static_cast<std::size_t>(b);
+          if (i >= shard_size_) break;
           result_.status[lane_fault_[i]] =
               FaultStatus::kPotentiallyDetected;
         }
       }
+      any_retire |= to_retire[j];
     }
-    if (to_retire != 0) {
-      live_ &= ~to_retire;
-      retired += static_cast<std::uint64_t>(std::popcount(to_retire));
+    std::uint64_t dropped_count = 0;
+    if (any_retire != 0) {
+      for (int j = 0; j < NW; ++j) {
+        live_[j] &= ~to_retire[j];
+        dropped_count +=
+            static_cast<std::uint64_t>(std::popcount(to_retire[j]));
+      }
+      retired += dropped_count;
       BuildForceTables();
     }
     if (obs_on) {
-      hist_dropped->RecordDouble(
-          static_cast<double>(std::popcount(to_retire)));
+      hist_dropped->RecordDouble(static_cast<double>(dropped_count));
     }
   }
 
@@ -1583,17 +1831,19 @@ void DifferentialShard::Run(int p_begin, int p_end) {
   }
 }
 
-void DifferentialShard::ExtractLanes(std::uint64_t t_next,
-                                     std::vector<CarriedLane>* out) const {
+template <int NW>
+void DifferentialShard<NW>::ExtractLanes(std::uint64_t t_next,
+                                         std::vector<CarriedLane>* out) const {
   for (std::size_t i = 0; i < shard_size_; ++i) {
-    if (((live_ >> i) & 1ULL) == 0) continue;
-    const std::uint64_t bit = 1ULL << i;
+    const int wj = static_cast<int>(i / kLaneWordBits);
+    const std::uint64_t bit = 1ULL << (i % kLaneWordBits);
+    if ((live_[wj] & bit) == 0) continue;
     CarriedLane ln;
     ln.fault = lane_fault_[i];
-    ln.potential = (potential_ & bit) != 0;
+    ln.potential = (potential_[wj] & bit) != 0;
     for (GateId d : cap_list_) {
-      const std::uint8_t v = (cap_val_[d] & bit) != 0 ? 1 : 0;
-      const std::uint8_t k = (cap_known_[d] & bit) != 0 ? 1 : 0;
+      const std::uint8_t v = (cap_val_[Idx(d, wj)] & bit) != 0 ? 1 : 0;
+      const std::uint8_t k = (cap_known_[Idx(d, wj)] & bit) != 0 ? 1 : 0;
       // Only genuinely divergent bits travel; everything else is golden.
       // (A captured D bit equals the golden commit of the next cycle.)
       if (v == golden_.ValBit(t_next, d) && k == golden_.KnownBit(t_next, d)) {
@@ -1606,19 +1856,26 @@ void DifferentialShard::ExtractLanes(std::uint64_t t_next,
   }
 }
 
-void DifferentialShard::FinalizeUndecided() {
+template <int NW>
+void DifferentialShard<NW>::FinalizeUndecided() {
   for (std::size_t i = 0; i < shard_size_; ++i) {
-    if (((live_ >> i) & 1ULL) == 0) continue;
-    result_.status[lane_fault_[i]] = (potential_ >> i) & 1ULL
+    const int wj = static_cast<int>(i / kLaneWordBits);
+    const std::uint64_t bit = 1ULL << (i % kLaneWordBits);
+    if ((live_[wj] & bit) == 0) continue;
+    result_.status[lane_fault_[i]] = (potential_[wj] & bit) != 0
                                          ? FaultStatus::kPotentiallyDetected
                                          : FaultStatus::kUndetected;
   }
 }
 
-FaultSimResult RunDifferential(
+template <int NW>
+FaultSimResult RunDifferentialT(
     const FaultSimRequest& req,
     const std::shared_ptr<const logicsim::CompiledNetlist>& prog,
     logicsim::GoldenTraceCache& cache, guard::Checker& check) {
+  // Faults per shard at this lane width (one lane per fault, no golden
+  // lane: the golden machine is the cached trace).
+  constexpr std::size_t kLanes = DifferentialShard<NW>::kShardLanes;
   obs::Span span("fault_sim.differential",
                  obs::Span::Args(
                      {{"faults", static_cast<std::int64_t>(req.faults.size())},
@@ -1639,7 +1896,7 @@ FaultSimResult RunDifferential(
   const std::uint64_t total_cycles =
       static_cast<std::uint64_t>(num_patterns) *
       static_cast<std::uint64_t>(plan.cycles_per_pattern);
-  const logicsim::GoldenKey golden_key = DiffGoldenKey(req.nl, req.stimulus);
+  const logicsim::GoldenKey golden_key = DiffGoldenKey(req.nl, req.stimulus, NW);
   std::shared_ptr<const logicsim::GoldenEntry> entry = cache.Find(golden_key);
   if (entry == nullptr) {
     auto fresh = std::make_shared<logicsim::GoldenEntry>();
@@ -1696,7 +1953,7 @@ FaultSimResult RunDifferential(
   for (int c : plan.strobe_cycles) strobe_mask[static_cast<std::size_t>(c)] = 1;
 
   // Checkpointable static-shard mode: with a journal bound, the round/
-  // compaction driver below is replaced by fixed groups of kDiffLanes
+  // compaction driver below is replaced by fixed groups of kLanes
   // consecutive faults, each swept to completion as one guarded unit. A
   // group's results depend only on (stimulus, faults, group index) — lane
   // independence makes them bit-identical to the compacting driver (see
@@ -1707,15 +1964,15 @@ FaultSimResult RunDifferential(
   if (req.journal != nullptr) {
     const std::size_t num_groups =
         req.faults.empty() ? 0
-                           : (req.faults.size() + kDiffLanes - 1) / kDiffLanes;
+                           : (req.faults.size() + kLanes - 1) / kLanes;
     std::vector<char> group_covered(num_groups, 0);
     {
       const std::vector<char> covered =
           ReplayJournal(*req.journal, req.faults.size(), result);
       for (std::size_t g = 0; g < num_groups; ++g) {
-        const std::size_t begin = g * kDiffLanes;
+        const std::size_t begin = g * kLanes;
         const std::size_t size =
-            std::min(kDiffLanes, req.faults.size() - begin);
+            std::min(kLanes, req.faults.size() - begin);
         bool all = size > 0;
         for (std::size_t i = 0; i < size && all; ++i) {
           all = covered[begin + i] != 0;
@@ -1725,9 +1982,10 @@ FaultSimResult RunDifferential(
     }
     const std::function<void(std::size_t)> journal_commit =
         [&result, &req](std::size_t g) {
-          const std::size_t begin = g * kDiffLanes;
+          constexpr std::size_t kLanes = DifferentialShard<NW>::kShardLanes;
+          const std::size_t begin = g * kLanes;
           const std::size_t size =
-              std::min(kDiffLanes, req.faults.size() - begin);
+              std::min(kLanes, req.faults.size() - begin);
           req.journal->AppendFaultSpan(
               begin,
               reinterpret_cast<const std::uint8_t*>(result.status.data() +
@@ -1748,9 +2006,9 @@ FaultSimResult RunDifferential(
         [&](std::size_t g) {
           if (group_covered[g] != 0) return;  // replayed from the journal
           guard::MaybeFail("fault_sim.diff.shard");
-          const std::size_t begin = g * kDiffLanes;
+          const std::size_t begin = g * kLanes;
           const std::size_t size =
-              std::min(kDiffLanes, req.faults.size() - begin);
+              std::min(kLanes, req.faults.size() - begin);
           std::vector<CarriedLane> lanes;
           lanes.reserve(size);
           for (std::size_t i = 0; i < size; ++i) {
@@ -1760,7 +2018,7 @@ FaultSimResult RunDifferential(
           }
           obs::Span shard_span("fault_sim.diff.shard");
           const double t0 = obs_on ? obs::NowMicros() : 0.0;
-          DifferentialShard shard(req, *prog, golden, known_full,
+          DifferentialShard<NW> shard(req, *prog, golden, known_full,
                                   strobe_mask, std::move(lanes), 0, check,
                                   result);
           shard.Run(0, num_patterns);
@@ -1796,16 +2054,16 @@ FaultSimResult RunDifferential(
     return result;
   }
 
-  // Initial static partition: kDiffLanes consecutive faults per shard.
-  std::vector<std::unique_ptr<DifferentialShard>> shards;
+  // Initial static partition: kLanes consecutive faults per shard.
+  std::vector<std::unique_ptr<DifferentialShard<NW>>> shards;
   {
     std::vector<CarriedLane> lanes;
     for (std::size_t k = 0; k < req.faults.size(); ++k) {
       CarriedLane ln;
       ln.fault = static_cast<std::uint32_t>(k);
       lanes.push_back(std::move(ln));
-      if (lanes.size() == kDiffLanes || k + 1 == req.faults.size()) {
-        shards.push_back(std::make_unique<DifferentialShard>(
+      if (lanes.size() == kLanes || k + 1 == req.faults.size()) {
+        shards.push_back(std::make_unique<DifferentialShard<NW>>(
             req, *prog, golden, known_full, strobe_mask, std::move(lanes), 0,
             check, result));
         lanes.clear();
@@ -1845,7 +2103,7 @@ FaultSimResult RunDifferential(
         shards.size(),
         [&](std::size_t s) {
           guard::MaybeFail("fault_sim.diff.shard");
-          DifferentialShard& shard = *shards[s];
+          DifferentialShard<NW>& shard = *shards[s];
           // A round that threw mid-flight has advanced an unknown prefix of
           // the shard's state; a retry would double-step it, so it stays
           // quarantined instead (its undecided lanes keep kNotRun).
@@ -1878,7 +2136,7 @@ FaultSimResult RunDifferential(
       for (const guard::FailedUnit& fu : st.failed_units) {
         shards[fu.index]->set_poisoned(true);
       }
-      std::erase_if(shards, [](const std::unique_ptr<DifferentialShard>& sh) {
+      std::erase_if(shards, [](const std::unique_ptr<DifferentialShard<NW>>& sh) {
         return sh->poisoned();
       });
     }
@@ -1886,7 +2144,7 @@ FaultSimResult RunDifferential(
     if (p >= num_patterns) break;
     std::size_t live = 0;
     for (const auto& sh : shards) live += sh->live_count();
-    const std::size_t want = (live + kDiffLanes - 1) / kDiffLanes;
+    const std::size_t want = (live + kLanes - 1) / kLanes;
     if (want < shards.size()) {
       const std::uint64_t t_next = static_cast<std::uint64_t>(p) *
                                    static_cast<std::uint64_t>(
@@ -1903,8 +2161,8 @@ FaultSimResult RunDifferential(
       std::vector<CarriedLane> chunk;
       for (std::size_t k = 0; k < lanes.size(); ++k) {
         chunk.push_back(std::move(lanes[k]));
-        if (chunk.size() == kDiffLanes || k + 1 == lanes.size()) {
-          shards.push_back(std::make_unique<DifferentialShard>(
+        if (chunk.size() == kLanes || k + 1 == lanes.size()) {
+          shards.push_back(std::make_unique<DifferentialShard<NW>>(
               req, *prog, golden, known_full, strobe_mask, std::move(chunk),
               t_next, check, result));
           chunk.clear();
@@ -1938,6 +2196,23 @@ FaultSimResult RunDifferential(
   }
   result.run_status = std::move(campaign);
   return result;
+}
+
+// Runtime lane-width dispatch onto the compiled shard widths. Results are
+// bit-identical across widths (lanes are bitwise-independent); only the
+// sharding changes.
+FaultSimResult RunDifferential(
+    const FaultSimRequest& req,
+    const std::shared_ptr<const logicsim::CompiledNetlist>& prog, int words,
+    logicsim::GoldenTraceCache& cache, guard::Checker& check) {
+  switch (words) {
+    case 4:
+      return RunDifferentialT<4>(req, prog, cache, check);
+    case 8:
+      return RunDifferentialT<8>(req, prog, cache, check);
+    default:
+      return RunDifferentialT<1>(req, prog, cache, check);
+  }
 }
 
 }  // namespace
@@ -1980,13 +2255,37 @@ FaultSimResult RunFaultSim(const FaultSimRequest& request) {
   guard::Checker local(request.limits);
   guard::Checker& check =
       request.checker != nullptr ? *request.checker : local;
+  // Lane-width resolution (see FaultSimRequest::lanes). A bound journal
+  // pins the 64-lane framing so recorded spans stay width-independent.
+  int words;
+  if (request.journal != nullptr) {
+    PFD_CHECK_MSG(request.lanes == 0 || request.lanes == 64,
+                  "checkpointed fault-sim campaigns run the 64-lane framing; "
+                  "drop the journal or the explicit wider lane request");
+    words = 1;
+  } else if (request.engine == FaultSimEngine::kSerial) {
+    // The serial engine reads only lane 0; auto stays narrow on purpose.
+    words = request.lanes == 0 ? 1 : simd::ResolveLaneWords(request.lanes);
+  } else if (request.engine == FaultSimEngine::kDifferential) {
+    // Auto stays at 64 lanes: a differential shard settles the *union*
+    // dirty cone of its faults, which grows superlinearly with faults per
+    // shard — wider shards lose throughput on every design measured
+    // (BENCH_engines.json, BM_EngineWidth ewf_differential_w*). Explicit
+    // wide requests (--lanes or PFD_LANES) are honoured — bit-identical,
+    // the equivalence suite runs them; only the default refuses to widen.
+    words = request.lanes == 0 && !simd::LaneWidthPinnedByEnv()
+                ? 1
+                : simd::ResolveLaneWords(request.lanes);
+  } else {
+    words = simd::ResolveLaneWords(request.lanes);
+  }
   switch (request.engine) {
     case FaultSimEngine::kParallel:
-      return RunParallel(request, prog, check);
+      return RunParallel(request, prog, words, check);
     case FaultSimEngine::kSerial:
-      return RunSerial(request, prog, cache, check);
+      return RunSerial(request, prog, words, cache, check);
     case FaultSimEngine::kDifferential:
-      return RunDifferential(request, prog, cache, check);
+      return RunDifferential(request, prog, words, cache, check);
   }
   throw Error("unknown fault engine");
 }

@@ -128,14 +128,18 @@ struct FaultSimResult {
   std::size_t CountWithStatus(FaultStatus s) const;
 };
 
-// Registers the stuck-at fault as lane forces on a live simulator.
+// Registers the stuck-at fault as lane forces on a live simulator. The
+// mask-less overload injects on every lane (the serial engines' shape).
 void InjectFault(logicsim::Simulator& sim, const StuckFault& f,
-                 std::uint64_t lane_mask);
+                 const LaneMask& lane_mask);
+inline void InjectFault(logicsim::Simulator& sim, const StuckFault& f) {
+  InjectFault(sim, f, kAllLanes);
+}
 
 enum class FaultSimEngine : std::uint8_t {
-  kParallel,      // 63 faults + golden lane per 64-lane shard
+  kParallel,      // W-1 faults + golden lane per W-lane shard
   kSerial,        // one faulty machine per shard (reference)
-  kDifferential,  // 64 faults per shard, golden-diffed dirty cone
+  kDifferential,  // W faults per shard, golden-diffed dirty cone
 };
 
 // Engine <-> CLI name mapping ("parallel" / "serial" / "differential").
@@ -195,6 +199,20 @@ struct FaultSimRequest {
   // checkpointable static-shard mode when a journal is present (results
   // are bit-identical either way; see DESIGN.md). Not owned.
   ckpt::Journal* journal = nullptr;
+  // Simulation lane width: 64, 256, 512, or 0 for auto. Auto resolves via
+  // simd::ResolveLaneWords (PFD_LANES, else the active backend's natural
+  // width) for the parallel engine; the serial engine reads only lane 0
+  // and the differential engine settles the union dirty cone of a shard's
+  // faults (which grows superlinearly with faults per shard and loses
+  // throughput wide), so auto pins both at 64 (an explicit width is still
+  // honoured, for the equivalence matrix). Per-fault results are
+  // bit-identical at every width — lanes are bitwise-independent, so a wide
+  // machine is exactly lane_words 64-lane machines in lockstep; the width
+  // only changes how many faults one shard retires. Checkpointed campaigns
+  // (journal != nullptr) always run the 64-lane framing so journal spans
+  // stay width-independent; requesting a wider explicit width with a
+  // journal bound is an error.
+  int lanes = 0;
 };
 
 FaultSimResult RunFaultSim(const FaultSimRequest& request);

@@ -1,0 +1,356 @@
+#include "logicsim/kernels.hpp"
+
+#include "base/error.hpp"
+#include "guard/guard.hpp"
+
+// All kernel variants live in this one default-flags TU. The AVX2/AVX-512
+// bodies get their ISA through per-function target attributes; the shared
+// cores below are always_inline so they are compiled *inside* each wrapper
+// with the wrapper's ISA. GCC permits always-inlining a default-target
+// callee into an extended-target caller (callee ISA ⊆ caller ISA); the
+// reverse direction never happens because nothing here calls a wrapper.
+#define PFD_KERN_INLINE [[gnu::always_inline]] inline
+
+// The value types below are GCC vector extensions; in the default-target
+// (scalar) wrappers they lower to plain word ops and never escape an
+// inlined frame, so the vector-ABI warning does not apply.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+namespace pfd::logicsim::kern {
+namespace {
+
+using netlist::GateId;
+
+// NW lane words as one GCC extension vector, so the AVX2/AVX-512 wrappers
+// compile each ternary operator to whole-register instructions. Writing the
+// per-word loops as scalar code and hoping for SLP vectorization does not
+// work: GCC leaves the NW = 4/8 bodies almost entirely scalar. `aligned(8)`
+// because the planes are ordinary uint64_t storage with no wide-vector
+// alignment guarantee; may_alias because we view that storage through
+// this type.
+template <int NW>
+using LaneVec __attribute__((vector_size(NW * 8), aligned(8), may_alias)) =
+    std::uint64_t;
+
+template <int NW>
+PFD_KERN_INLINE LaneVec<NW> LoadV(const std::uint64_t* p) {
+  return *reinterpret_cast<const LaneVec<NW>*>(p);
+}
+
+template <int NW>
+PFD_KERN_INLINE void StoreV(std::uint64_t* p, LaneVec<NW> v) {
+  *reinterpret_cast<LaneVec<NW>*>(p) = v;
+}
+
+// NW lane words of ternary state for one gate.
+template <int NW>
+struct W {
+  LaneVec<NW> val;
+  LaneVec<NW> known;
+};
+
+template <int NW>
+PFD_KERN_INLINE W<NW> LoadW(const Ctx& c, GateId g) {
+  W<NW> w;
+  w.val = LoadV<NW>(c.val + g * NW);
+  w.known = LoadV<NW>(c.known + g * NW);
+  return w;
+}
+
+template <int NW>
+PFD_KERN_INLINE void StoreW(const Ctx& c, GateId g, const W<NW>& w) {
+  StoreV<NW>(c.val + g * NW, w.val);
+  StoreV<NW>(c.known + g * NW, w.known);
+}
+
+// The base/logic.hpp ternary operators, applied per lane word across the
+// whole vector. The formulas mirror Not3/And3/Or3/Xor3/Mux3 exactly (every
+// one is pure bitwise, so per-word lockstep application is the definition
+// of the wide machine); logic_test and the width/backend equivalence suite
+// pin the agreement.
+template <int NW>
+PFD_KERN_INLINE W<NW> Not3W(const W<NW>& a) {
+  return {a.known & ~a.val, a.known};
+}
+
+template <int NW>
+PFD_KERN_INLINE W<NW> And3W(const W<NW>& a, const W<NW>& b) {
+  const LaneVec<NW> known =
+      (a.known & b.known) | (a.known & ~a.val) | (b.known & ~b.val);
+  return {a.val & b.val, known};
+}
+
+template <int NW>
+PFD_KERN_INLINE W<NW> Or3W(const W<NW>& a, const W<NW>& b) {
+  const LaneVec<NW> known = (a.known & b.known) | a.val | b.val;
+  return {a.val | b.val, known};
+}
+
+template <int NW>
+PFD_KERN_INLINE W<NW> Xor3W(const W<NW>& a, const W<NW>& b) {
+  const LaneVec<NW> known = a.known & b.known;
+  return {(a.val ^ b.val) & known, known};
+}
+
+template <int NW>
+PFD_KERN_INLINE W<NW> Mux3W(const W<NW>& sel, const W<NW>& a, const W<NW>& b) {
+  const LaneVec<NW> pick_a = sel.known & ~sel.val;
+  const LaneVec<NW> pick_b = sel.known & sel.val;
+  const LaneVec<NW> agree =
+      ~sel.known & a.known & b.known & ~(a.val ^ b.val);
+  const LaneVec<NW> known =
+      (pick_a & a.known) | (pick_b & b.known) | agree;
+  const LaneVec<NW> val =
+      ((pick_a & a.val) | (pick_b & b.val) | (agree & a.val)) & known;
+  return {val, known};
+}
+
+// Fanin read; the pin-forced variant resolves the (at most one, merged at
+// ForcePin) force on this fanin slot through the O(1) slot index (mirrors
+// Simulator::ApplyForce lane-word-wise).
+template <int NW, bool kPinForced>
+PFD_KERN_INLINE W<NW> Read3(const Ctx& c, std::uint32_t slot, GateId src) {
+  W<NW> w = LoadW<NW>(c, src);
+  if constexpr (kPinForced) {
+    const std::int32_t fi = c.pin_force_slot[slot];
+    if (fi >= 0) {
+      const PinForce& pf = c.pin_forces[fi];
+      const LaneVec<NW> sa0 = LoadV<NW>(pf.sa0.w.data());
+      const LaneVec<NW> sa1 = LoadV<NW>(pf.sa1.w.data());
+      w.known |= sa0 | sa1;
+      w.val = (w.val | sa1) & ~sa0;
+    }
+  } else {
+    (void)slot;
+  }
+  return w;
+}
+
+template <int NW, bool kPinForced>
+PFD_KERN_INLINE W<NW> Eval3(const Ctx& c, std::uint32_t i) {
+  const CompiledNetlist& p = *c.prog;
+  const std::uint32_t fb = p.fanin_begin()[i];
+  const GateId* f = p.fanins().data() + fb;
+#define PFD_RD3(pin, src) (Read3<NW, kPinForced>(c, fb + (pin), (src)))
+  switch (p.op()[i]) {
+    case Op::kBuf: return PFD_RD3(0, f[0]);
+    case Op::kNot: return Not3W(PFD_RD3(0, f[0]));
+    case Op::kAnd2: return And3W(PFD_RD3(0, f[0]), PFD_RD3(1, f[1]));
+    case Op::kOr2: return Or3W(PFD_RD3(0, f[0]), PFD_RD3(1, f[1]));
+    case Op::kNand2: return Not3W(And3W(PFD_RD3(0, f[0]), PFD_RD3(1, f[1])));
+    case Op::kNor2: return Not3W(Or3W(PFD_RD3(0, f[0]), PFD_RD3(1, f[1])));
+    case Op::kXor2: return Xor3W(PFD_RD3(0, f[0]), PFD_RD3(1, f[1]));
+    case Op::kXnor2: return Not3W(Xor3W(PFD_RD3(0, f[0]), PFD_RD3(1, f[1])));
+    case Op::kMux2:
+      return Mux3W(PFD_RD3(0, f[0]), PFD_RD3(1, f[1]), PFD_RD3(2, f[2]));
+    case Op::kAndN:
+    case Op::kNandN: {
+      W<NW> w = PFD_RD3(0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) {
+        w = And3W(w, PFD_RD3(k, f[k]));
+      }
+      return p.op()[i] == Op::kNandN ? Not3W(w) : w;
+    }
+    case Op::kOrN:
+    case Op::kNorN: {
+      W<NW> w = PFD_RD3(0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) {
+        w = Or3W(w, PFD_RD3(k, f[k]));
+      }
+      return p.op()[i] == Op::kNorN ? Not3W(w) : w;
+    }
+  }
+#undef PFD_RD3
+  return W<NW>{};  // unreachable op: all-X
+}
+
+// Two-valued: val planes only.
+template <int NW>
+struct V {
+  LaneVec<NW> val;
+};
+
+template <int NW, bool kPinForced>
+PFD_KERN_INLINE V<NW> Read2(const Ctx& c, std::uint32_t slot, GateId src) {
+  V<NW> v{LoadV<NW>(c.val + src * NW)};
+  if constexpr (kPinForced) {
+    const std::int32_t fi = c.pin_force_slot[slot];
+    if (fi >= 0) {
+      const PinForce& pf = c.pin_forces[fi];
+      v.val = (v.val | LoadV<NW>(pf.sa1.w.data())) &
+              ~LoadV<NW>(pf.sa0.w.data());
+    }
+  } else {
+    (void)slot;
+  }
+  return v;
+}
+
+template <int NW, bool kPinForced>
+PFD_KERN_INLINE V<NW> Eval2(const Ctx& c, std::uint32_t i) {
+  const CompiledNetlist& p = *c.prog;
+  const std::uint32_t fb = p.fanin_begin()[i];
+  const GateId* f = p.fanins().data() + fb;
+#define PFD_RD2(pin, src) (Read2<NW, kPinForced>(c, fb + (pin), (src)))
+  switch (p.op()[i]) {
+    case Op::kBuf: return PFD_RD2(0, f[0]);
+    case Op::kNot: return {~PFD_RD2(0, f[0]).val};
+    case Op::kAnd2: return {PFD_RD2(0, f[0]).val & PFD_RD2(1, f[1]).val};
+    case Op::kOr2: return {PFD_RD2(0, f[0]).val | PFD_RD2(1, f[1]).val};
+    case Op::kNand2: return {~(PFD_RD2(0, f[0]).val & PFD_RD2(1, f[1]).val)};
+    case Op::kNor2: return {~(PFD_RD2(0, f[0]).val | PFD_RD2(1, f[1]).val)};
+    case Op::kXor2: return {PFD_RD2(0, f[0]).val ^ PFD_RD2(1, f[1]).val};
+    case Op::kXnor2: return {~(PFD_RD2(0, f[0]).val ^ PFD_RD2(1, f[1]).val)};
+    case Op::kMux2: {
+      const LaneVec<NW> s = PFD_RD2(0, f[0]).val;
+      const LaneVec<NW> a = PFD_RD2(1, f[1]).val;
+      const LaneVec<NW> b = PFD_RD2(2, f[2]).val;
+      return {(a & ~s) | (b & s)};
+    }
+    case Op::kAndN:
+    case Op::kNandN: {
+      V<NW> acc = PFD_RD2(0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) acc.val &= PFD_RD2(k, f[k]).val;
+      if (p.op()[i] == Op::kNandN) acc.val = ~acc.val;
+      return acc;
+    }
+    case Op::kOrN:
+    case Op::kNorN: {
+      V<NW> acc = PFD_RD2(0, f[0]);
+      const std::uint32_t count = p.fanin_count()[i];
+      for (std::uint32_t k = 1; k < count; ++k) acc.val |= PFD_RD2(k, f[k]).val;
+      if (p.op()[i] == Op::kNorN) acc.val = ~acc.val;
+      return acc;
+    }
+  }
+#undef PFD_RD2
+  return V<NW>{};  // unreachable op
+}
+
+// Three-valued level sweep. Bit-for-bit the pre-widening
+// Simulator::SettleThreeValued at NW == 1.
+template <int NW, bool kForces>
+PFD_KERN_INLINE void Settle3Core(Ctx& c) {
+  const CompiledNetlist& p = *c.prog;
+  const auto& levels = p.levels();
+  const GateId* out = p.out().data();
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    std::uint64_t xmask = 0;
+    const std::uint32_t end = levels[li].end;
+    for (std::uint32_t i = levels[li].begin; i < end; ++i) {
+      const GateId g = out[i];
+      W<NW> w;
+      if (kForces && c.has_pin_force[g]) {
+        w = Eval3<NW, true>(c, i);
+      } else {
+        w = Eval3<NW, false>(c, i);
+      }
+      if constexpr (kForces) {
+        if (c.has_out_force[g]) {
+          const LaneVec<NW> sa0 = LoadV<NW>(c.out_sa0 + g * NW);
+          const LaneVec<NW> sa1 = LoadV<NW>(c.out_sa1 + g * NW);
+          w.known |= sa0 | sa1;
+          w.val = (w.val | sa1) & ~sa0;
+        }
+      }
+      StoreW<NW>(c, g, w);
+      for (int j = 0; j < NW; ++j) xmask |= ~w.known[j];
+    }
+    c.level_x[li] = xmask;
+    if (c.guard_probe != nullptr) ProbeGuard(c.guard_probe);
+  }
+}
+
+// Two-valued level sweep (val planes only). Bit-for-bit the pre-widening
+// Simulator::SettleTwoValued at NW == 1, planted skip_level bug included.
+template <int NW, bool kForces>
+PFD_KERN_INLINE void Settle2Core(Ctx& c) {
+  const CompiledNetlist& p = *c.prog;
+  const auto& levels = p.levels();
+  const GateId* out = p.out().data();
+  const std::size_t num_levels =
+      c.skip_last_level && !levels.empty() ? levels.size() - 1 : levels.size();
+  for (std::size_t li = 0; li < num_levels; ++li) {
+    const std::uint32_t end = levels[li].end;
+    for (std::uint32_t i = levels[li].begin; i < end; ++i) {
+      const GateId g = out[i];
+      V<NW> v;
+      if (kForces && c.has_pin_force[g]) {
+        v = Eval2<NW, true>(c, i);
+      } else {
+        v = Eval2<NW, false>(c, i);
+      }
+      if constexpr (kForces) {
+        if (c.has_out_force[g]) {
+          v.val = (v.val | LoadV<NW>(c.out_sa1 + g * NW)) &
+                  ~LoadV<NW>(c.out_sa0 + g * NW);
+        }
+      }
+      StoreV<NW>(c.val + g * NW, v.val);
+    }
+    if (c.guard_probe != nullptr) ProbeGuard(c.guard_probe);
+  }
+}
+
+// One settle-function set per backend. TARGET carries the ISA; the cores
+// above inline into each wrapper and are vectorized (or not) there.
+#define PFD_DEFINE_KERNELS(ARCH, TARGET)                                   \
+  TARGET void S3_##ARCH##_w1(Ctx& c) { Settle3Core<1, false>(c); }         \
+  TARGET void S3f_##ARCH##_w1(Ctx& c) { Settle3Core<1, true>(c); }         \
+  TARGET void S2_##ARCH##_w1(Ctx& c) { Settle2Core<1, false>(c); }         \
+  TARGET void S2f_##ARCH##_w1(Ctx& c) { Settle2Core<1, true>(c); }         \
+  TARGET void S3_##ARCH##_w4(Ctx& c) { Settle3Core<4, false>(c); }         \
+  TARGET void S3f_##ARCH##_w4(Ctx& c) { Settle3Core<4, true>(c); }         \
+  TARGET void S2_##ARCH##_w4(Ctx& c) { Settle2Core<4, false>(c); }         \
+  TARGET void S2f_##ARCH##_w4(Ctx& c) { Settle2Core<4, true>(c); }         \
+  TARGET void S3_##ARCH##_w8(Ctx& c) { Settle3Core<8, false>(c); }         \
+  TARGET void S3f_##ARCH##_w8(Ctx& c) { Settle3Core<8, true>(c); }         \
+  TARGET void S2_##ARCH##_w8(Ctx& c) { Settle2Core<8, false>(c); }         \
+  TARGET void S2f_##ARCH##_w8(Ctx& c) { Settle2Core<8, true>(c); }         \
+  const Table kTables_##ARCH[3] = {                                        \
+      {&S3_##ARCH##_w1, &S3f_##ARCH##_w1, &S2_##ARCH##_w1,                 \
+       &S2f_##ARCH##_w1},                                                  \
+      {&S3_##ARCH##_w4, &S3f_##ARCH##_w4, &S2_##ARCH##_w4,                 \
+       &S2f_##ARCH##_w4},                                                  \
+      {&S3_##ARCH##_w8, &S3f_##ARCH##_w8, &S2_##ARCH##_w8,                 \
+       &S2f_##ARCH##_w8}};
+
+PFD_DEFINE_KERNELS(scalar, )
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define PFD_TARGET_AVX2 __attribute__((target("avx2")))
+#define PFD_TARGET_AVX512 __attribute__((target("avx512f")))
+PFD_DEFINE_KERNELS(avx2, PFD_TARGET_AVX2)
+PFD_DEFINE_KERNELS(avx512, PFD_TARGET_AVX512)
+#endif
+
+}  // namespace
+
+const Table& GetTable(simd::Backend backend, int words) {
+  PFD_CHECK_MSG(words == 1 || words == 4 || words == 8,
+                "lane words must be 1, 4 or 8");
+  if (!simd::Available(backend)) {
+    throw Error(std::string("SIMD backend '") + simd::BackendName(backend) +
+                "' is not available on this machine");
+  }
+  const int wi = words == 1 ? 0 : (words == 4 ? 1 : 2);
+  switch (backend) {
+    case simd::Backend::kScalar: return kTables_scalar[wi];
+#if defined(__GNUC__) && defined(__x86_64__)
+    case simd::Backend::kAvx2: return kTables_avx2[wi];
+    case simd::Backend::kAvx512: return kTables_avx512[wi];
+#else
+    default: break;
+#endif
+  }
+  return kTables_scalar[wi];
+}
+
+void ProbeGuard(const guard::Checker* c) {
+  if (c->tripped()) throw guard::Tripped{c->status()};
+}
+
+}  // namespace pfd::logicsim::kern

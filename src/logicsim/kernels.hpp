@@ -1,0 +1,92 @@
+// Width- and backend-dispatched combinational settle kernels.
+//
+// The Simulator's hot loops — the zero-delay three-valued and two-valued
+// level sweeps — live here as free functions over a raw view (Ctx) of the
+// simulator's SoA planes, selected once per simulator through a function
+// table:
+//
+//   const Table& t = GetTable(simd::Active(), lane_words);
+//   t.settle3(ctx);          // or settle3_forced / settle2 / settle2_forced
+//
+// Each table entry is specialized on the lane-word count NW ∈ {1, 4, 8}
+// (64 / 256 / 512 lanes) and on the SIMD backend. The backend variants are
+// thin `__attribute__((target("avx2"/"avx512f")))` wrappers around one
+// shared always-inline core, so a single default-flags translation unit
+// carries all of them: no per-file -m flags, hence no comdat/ODR hazard of
+// a vector-encoded inline helper leaking into scalar-only call paths. The
+// wrappers execute extended instructions only when called, and GetTable
+// refuses backends that simd::Available() rejects.
+//
+// Semantics are identical across every {backend, NW} pair — the cores
+// bottom out in the Word3 operators of base/logic.hpp applied per lane
+// word — so kernel selection can never change simulation results, only
+// throughput. The 64-lane scalar entry reproduces the pre-widening settle
+// loops bit for bit (level X watermarks, guard-probe cadence, planted
+// xcheck.mutate.skip_level bug included).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/logic.hpp"
+#include "base/simd.hpp"
+#include "logicsim/compiled.hpp"
+
+namespace pfd::guard {
+class Checker;
+}  // namespace pfd::guard
+
+namespace pfd::logicsim::kern {
+
+// One registered fanin-pin force. Masks are LaneMasks: words beyond the
+// owning simulator's lane width are never read.
+struct PinForce {
+  netlist::GateId gate = 0;
+  std::uint32_t pin = 0;
+  LaneMask sa0;
+  LaneMask sa1;
+};
+
+// Non-owning view of the state one settle pass touches. All planes are
+// lane-word-strided SoA: gate g's word w sits at [g * NW + w].
+struct Ctx {
+  const CompiledNetlist* prog = nullptr;
+  std::uint64_t* val = nullptr;
+  std::uint64_t* known = nullptr;
+  const std::uint64_t* out_sa0 = nullptr;  // output-force planes, NW-strided
+  const std::uint64_t* out_sa1 = nullptr;
+  const PinForce* pin_forces = nullptr;
+  std::size_t num_pin_forces = 0;
+  const std::uint8_t* has_pin_force = nullptr;  // per gate
+  const std::uint8_t* has_out_force = nullptr;  // per gate
+  // Per flattened-fanin-slot index into pin_forces (-1 = unforced), so a
+  // forced read costs one load instead of a scan over every registered
+  // force — the scan made wide parallel shards O(faults^2) per settle.
+  const std::int32_t* pin_force_slot = nullptr;
+  // Per-level "any X" watermark, OR-folded across lane words (three-valued
+  // settles only).
+  std::uint64_t* level_x = nullptr;
+  // Polled between levels; non-null only when a guard is attached.
+  const guard::Checker* guard_probe = nullptr;
+  // Planted xcheck.mutate.skip_level bug (two-valued settles only).
+  bool skip_last_level = false;
+};
+
+using SettleFn = void (*)(Ctx&);
+
+struct Table {
+  SettleFn settle3 = nullptr;         // three-valued, no forces registered
+  SettleFn settle3_forced = nullptr;  // three-valued, forces active
+  SettleFn settle2 = nullptr;         // two-valued fast path, no forces
+  SettleFn settle2_forced = nullptr;  // two-valued, forces active
+};
+
+// The kernel table for (backend, lane words). `words` must be 1, 4 or 8
+// and `backend` must be simd::Available(); throws pfd::Error otherwise.
+const Table& GetTable(simd::Backend backend, int words);
+
+// Out-of-line guard poll: throws guard::Tripped when `c` has tripped.
+// Kernels call this only when Ctx::guard_probe is non-null.
+void ProbeGuard(const guard::Checker* c);
+
+}  // namespace pfd::logicsim::kern

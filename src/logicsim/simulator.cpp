@@ -4,6 +4,7 @@
 #include <bit>
 #include <utility>
 
+#include "base/simd.hpp"
 #include "guard/guard.hpp"
 #include "obs/flight.hpp"
 
@@ -12,15 +13,19 @@ namespace pfd::logicsim {
 using netlist::GateId;
 using netlist::GateKind;
 
-Simulator::Simulator(const netlist::Netlist& nl)
-    : Simulator(nl, CompiledNetlist::Compile(nl)) {}
+Simulator::Simulator(const netlist::Netlist& nl, int lane_words)
+    : Simulator(nl, CompiledNetlist::Compile(nl), lane_words) {}
 
 Simulator::Simulator(const netlist::Netlist& nl,
-                     std::shared_ptr<const CompiledNetlist> program)
-    : nl_(&nl), prog_(std::move(program)) {
+                     std::shared_ptr<const CompiledNetlist> program,
+                     int lane_words)
+    : nl_(&nl), prog_(std::move(program)), words_(lane_words) {
   PFD_CHECK_MSG(prog_ != nullptr, "null compiled program");
   PFD_CHECK_MSG(prog_->structural_hash() == nl.StructuralHash(),
                 "compiled program does not match the netlist");
+  PFD_CHECK_MSG(words_ == 1 || words_ == 4 || words_ == 8,
+                "lane words must be 1, 4 or 8");
+  kernels_ = &kern::GetTable(simd::Active(), words_);
   obs::Registry& reg = obs::Registry::Global();
   obs_cycles_ = &reg.GetCounter("logicsim.cycles");
   obs_gate_evals_ = &reg.GetCounter("logicsim.gate_evals");
@@ -29,15 +34,17 @@ Simulator::Simulator(const netlist::Netlist& nl,
   obs_settle_hist_ = &reg.GetHistogram("logicsim.settle_substeps_per_step");
   if (reg.enabled()) reg.GetCounter("logicsim.simulators").Add(1);
   const std::size_t n = nl.size();
-  val_.assign(n, 0);
-  known_.assign(n, 0);
-  dff_next_val_.assign(n, 0);
-  dff_next_known_.assign(n, 0);
-  prev_val_.assign(n, 0);
-  prev_known_.assign(n, 0);
-  out_sa0_.assign(n, 0);
-  out_sa1_.assign(n, 0);
+  const std::size_t nw = n * static_cast<std::size_t>(words_);
+  val_.assign(nw, 0);
+  known_.assign(nw, 0);
+  dff_next_val_.assign(nw, 0);
+  dff_next_known_.assign(nw, 0);
+  prev_val_.assign(nw, 0);
+  prev_known_.assign(nw, 0);
+  out_sa0_.assign(nw, 0);
+  out_sa1_.assign(nw, 0);
   has_pin_force_.assign(n, 0);
+  has_out_force_.assign(n, 0);
   level_x_.assign(prog_->levels().size(), 0);
   toggles_.assign(n, 0);
   duty_.assign(n, 0);
@@ -47,16 +54,20 @@ Simulator::Simulator(const netlist::Netlist& nl,
 
 void Simulator::Reset() {
   const auto& kinds = prog_->kind();
-  for (std::size_t g = 0; g < val_.size(); ++g) {
+  const std::size_t n = nl_->size();
+  for (std::size_t g = 0; g < n; ++g) {
     Word3 w = kAllX;
     if (kinds[g] == GateKind::kConst0) w = kAllZero;
     if (kinds[g] == GateKind::kConst1) w = kAllOne;
-    val_[g] = w.val;
-    known_[g] = w.known;
-    dff_next_val_[g] = 0;
-    dff_next_known_[g] = 0;
-    prev_val_[g] = w.val;
-    prev_known_[g] = w.known;
+    for (int j = 0; j < words_; ++j) {
+      const std::size_t idx = g * words_ + j;
+      val_[idx] = w.val;
+      known_[idx] = w.known;
+      dff_next_val_[idx] = 0;
+      dff_next_known_[idx] = 0;
+      prev_val_[idx] = w.val;
+      prev_known_[idx] = w.known;
+    }
     toggles_[g] = 0;
     duty_[g] = 0;
   }
@@ -91,175 +102,108 @@ void Simulator::SetInput(GateId input, Word3 w) {
   PFD_CHECK_MSG(prog_->kind()[input] == GateKind::kInput,
                 "SetInput on a non-input gate");
   PFD_CHECK_MSG(IsCanonical(w), "non-canonical input word");
-  if (unit_delay_ && (val_[input] != w.val || known_[input] != w.known)) {
-    MarkSourceDirty(input);
+  if (unit_delay_) {
+    bool changed = false;
+    for (int j = 0; j < words_; ++j) {
+      const std::size_t idx = input * static_cast<std::size_t>(words_) + j;
+      changed = changed || val_[idx] != w.val || known_[idx] != w.known;
+    }
+    if (changed) MarkSourceDirty(input);
   }
-  val_[input] = w.val;
-  known_[input] = w.known;
+  for (int j = 0; j < words_; ++j) {
+    const std::size_t idx = input * static_cast<std::size_t>(words_) + j;
+    val_[idx] = w.val;
+    known_[idx] = w.known;
+  }
 }
 
-Word3 Simulator::ReadFanin3(GateId g, std::uint32_t pin, GateId src) const {
-  Word3 w = Load(src);
-  for (const PinForce& pf : pin_forces_) {
-    if (pf.gate == g && pf.pin == pin) w = ApplyForce(w, pf.sa0, pf.sa1);
+Word3 Simulator::ReadFanin3(GateId g, std::uint32_t pin, GateId src,
+                            int wo) const {
+  Word3 w = Load(src, wo);
+  for (const kern::PinForce& pf : pin_forces_) {
+    if (pf.gate == g && pf.pin == pin) {
+      w = ApplyForce(w, pf.sa0.w[wo], pf.sa1.w[wo]);
+    }
   }
   return w;
 }
 
-std::uint64_t Simulator::ReadFanin2(GateId g, std::uint32_t pin,
-                                    GateId src) const {
-  std::uint64_t v = val_[src];
-  for (const PinForce& pf : pin_forces_) {
-    if (pf.gate == g && pf.pin == pin) v = (v | pf.sa1) & ~pf.sa0;
-  }
-  return v;
-}
-
-Word3 Simulator::EvalInstr3(std::uint32_t i) const {
+Word3 Simulator::EvalInstr3(std::uint32_t i, int wo) const {
   const CompiledNetlist& p = *prog_;
   const GateId* f = p.fanins().data() + p.fanin_begin()[i];
   switch (p.op()[i]) {
-    case Op::kBuf: return Load(f[0]);
-    case Op::kNot: return Not3(Load(f[0]));
-    case Op::kAnd2: return And3(Load(f[0]), Load(f[1]));
-    case Op::kOr2: return Or3(Load(f[0]), Load(f[1]));
-    case Op::kNand2: return Not3(And3(Load(f[0]), Load(f[1])));
-    case Op::kNor2: return Not3(Or3(Load(f[0]), Load(f[1])));
-    case Op::kXor2: return Xor3(Load(f[0]), Load(f[1]));
-    case Op::kXnor2: return Xnor3(Load(f[0]), Load(f[1]));
-    case Op::kMux2: return Mux3(Load(f[0]), Load(f[1]), Load(f[2]));
-    case Op::kAndN:
-    case Op::kNandN: {
-      Word3 w = Load(f[0]);
-      const std::uint32_t count = p.fanin_count()[i];
-      for (std::uint32_t k = 1; k < count; ++k) w = And3(w, Load(f[k]));
-      return p.op()[i] == Op::kNandN ? Not3(w) : w;
-    }
-    case Op::kOrN:
-    case Op::kNorN: {
-      Word3 w = Load(f[0]);
-      const std::uint32_t count = p.fanin_count()[i];
-      for (std::uint32_t k = 1; k < count; ++k) w = Or3(w, Load(f[k]));
-      return p.op()[i] == Op::kNorN ? Not3(w) : w;
-    }
-  }
-  return kAllX;
-}
-
-Word3 Simulator::EvalInstrPinForced3(std::uint32_t i) const {
-  const CompiledNetlist& p = *prog_;
-  const GateId g = p.out()[i];
-  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
-  switch (p.op()[i]) {
-    case Op::kBuf: return ReadFanin3(g, 0, f[0]);
-    case Op::kNot: return Not3(ReadFanin3(g, 0, f[0]));
-    case Op::kAnd2:
-      return And3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]));
-    case Op::kOr2: return Or3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]));
-    case Op::kNand2:
-      return Not3(And3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1])));
-    case Op::kNor2:
-      return Not3(Or3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1])));
-    case Op::kXor2:
-      return Xor3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]));
-    case Op::kXnor2:
-      return Xnor3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]));
+    case Op::kBuf: return Load(f[0], wo);
+    case Op::kNot: return Not3(Load(f[0], wo));
+    case Op::kAnd2: return And3(Load(f[0], wo), Load(f[1], wo));
+    case Op::kOr2: return Or3(Load(f[0], wo), Load(f[1], wo));
+    case Op::kNand2: return Not3(And3(Load(f[0], wo), Load(f[1], wo)));
+    case Op::kNor2: return Not3(Or3(Load(f[0], wo), Load(f[1], wo)));
+    case Op::kXor2: return Xor3(Load(f[0], wo), Load(f[1], wo));
+    case Op::kXnor2: return Xnor3(Load(f[0], wo), Load(f[1], wo));
     case Op::kMux2:
-      return Mux3(ReadFanin3(g, 0, f[0]), ReadFanin3(g, 1, f[1]),
-                  ReadFanin3(g, 2, f[2]));
+      return Mux3(Load(f[0], wo), Load(f[1], wo), Load(f[2], wo));
     case Op::kAndN:
     case Op::kNandN: {
-      Word3 w = ReadFanin3(g, 0, f[0]);
+      Word3 w = Load(f[0], wo);
       const std::uint32_t count = p.fanin_count()[i];
-      for (std::uint32_t k = 1; k < count; ++k) {
-        w = And3(w, ReadFanin3(g, k, f[k]));
-      }
+      for (std::uint32_t k = 1; k < count; ++k) w = And3(w, Load(f[k], wo));
       return p.op()[i] == Op::kNandN ? Not3(w) : w;
     }
     case Op::kOrN:
     case Op::kNorN: {
-      Word3 w = ReadFanin3(g, 0, f[0]);
+      Word3 w = Load(f[0], wo);
       const std::uint32_t count = p.fanin_count()[i];
-      for (std::uint32_t k = 1; k < count; ++k) {
-        w = Or3(w, ReadFanin3(g, k, f[k]));
-      }
+      for (std::uint32_t k = 1; k < count; ++k) w = Or3(w, Load(f[k], wo));
       return p.op()[i] == Op::kNorN ? Not3(w) : w;
     }
   }
   return kAllX;
 }
 
-std::uint64_t Simulator::EvalInstr2(std::uint32_t i) const {
-  const CompiledNetlist& p = *prog_;
-  const GateId* f = p.fanins().data() + p.fanin_begin()[i];
-  const std::uint64_t* v = val_.data();
-  switch (p.op()[i]) {
-    case Op::kBuf: return v[f[0]];
-    case Op::kNot: return ~v[f[0]];
-    case Op::kAnd2: return v[f[0]] & v[f[1]];
-    case Op::kOr2: return v[f[0]] | v[f[1]];
-    case Op::kNand2: return ~(v[f[0]] & v[f[1]]);
-    case Op::kNor2: return ~(v[f[0]] | v[f[1]]);
-    case Op::kXor2: return v[f[0]] ^ v[f[1]];
-    case Op::kXnor2: return ~(v[f[0]] ^ v[f[1]]);
-    case Op::kMux2: {
-      const std::uint64_t sel = v[f[0]];
-      return (v[f[1]] & ~sel) | (v[f[2]] & sel);
-    }
-    case Op::kAndN:
-    case Op::kNandN: {
-      std::uint64_t acc = v[f[0]];
-      const std::uint32_t count = p.fanin_count()[i];
-      for (std::uint32_t k = 1; k < count; ++k) acc &= v[f[k]];
-      return p.op()[i] == Op::kNandN ? ~acc : acc;
-    }
-    case Op::kOrN:
-    case Op::kNorN: {
-      std::uint64_t acc = v[f[0]];
-      const std::uint32_t count = p.fanin_count()[i];
-      for (std::uint32_t k = 1; k < count; ++k) acc |= v[f[k]];
-      return p.op()[i] == Op::kNorN ? ~acc : acc;
-    }
-  }
-  return 0;
-}
-
-std::uint64_t Simulator::EvalInstrPinForced2(std::uint32_t i) const {
+Word3 Simulator::EvalInstrPinForced3(std::uint32_t i, int wo) const {
   const CompiledNetlist& p = *prog_;
   const GateId g = p.out()[i];
   const GateId* f = p.fanins().data() + p.fanin_begin()[i];
   switch (p.op()[i]) {
-    case Op::kBuf: return ReadFanin2(g, 0, f[0]);
-    case Op::kNot: return ~ReadFanin2(g, 0, f[0]);
-    case Op::kAnd2: return ReadFanin2(g, 0, f[0]) & ReadFanin2(g, 1, f[1]);
-    case Op::kOr2: return ReadFanin2(g, 0, f[0]) | ReadFanin2(g, 1, f[1]);
+    case Op::kBuf: return ReadFanin3(g, 0, f[0], wo);
+    case Op::kNot: return Not3(ReadFanin3(g, 0, f[0], wo));
+    case Op::kAnd2:
+      return And3(ReadFanin3(g, 0, f[0], wo), ReadFanin3(g, 1, f[1], wo));
+    case Op::kOr2:
+      return Or3(ReadFanin3(g, 0, f[0], wo), ReadFanin3(g, 1, f[1], wo));
     case Op::kNand2:
-      return ~(ReadFanin2(g, 0, f[0]) & ReadFanin2(g, 1, f[1]));
+      return Not3(
+          And3(ReadFanin3(g, 0, f[0], wo), ReadFanin3(g, 1, f[1], wo)));
     case Op::kNor2:
-      return ~(ReadFanin2(g, 0, f[0]) | ReadFanin2(g, 1, f[1]));
-    case Op::kXor2: return ReadFanin2(g, 0, f[0]) ^ ReadFanin2(g, 1, f[1]);
+      return Not3(
+          Or3(ReadFanin3(g, 0, f[0], wo), ReadFanin3(g, 1, f[1], wo)));
+    case Op::kXor2:
+      return Xor3(ReadFanin3(g, 0, f[0], wo), ReadFanin3(g, 1, f[1], wo));
     case Op::kXnor2:
-      return ~(ReadFanin2(g, 0, f[0]) ^ ReadFanin2(g, 1, f[1]));
-    case Op::kMux2: {
-      const std::uint64_t sel = ReadFanin2(g, 0, f[0]);
-      return (ReadFanin2(g, 1, f[1]) & ~sel) | (ReadFanin2(g, 2, f[2]) & sel);
-    }
+      return Xnor3(ReadFanin3(g, 0, f[0], wo), ReadFanin3(g, 1, f[1], wo));
+    case Op::kMux2:
+      return Mux3(ReadFanin3(g, 0, f[0], wo), ReadFanin3(g, 1, f[1], wo),
+                  ReadFanin3(g, 2, f[2], wo));
     case Op::kAndN:
     case Op::kNandN: {
-      std::uint64_t acc = ReadFanin2(g, 0, f[0]);
+      Word3 w = ReadFanin3(g, 0, f[0], wo);
       const std::uint32_t count = p.fanin_count()[i];
-      for (std::uint32_t k = 1; k < count; ++k) acc &= ReadFanin2(g, k, f[k]);
-      return p.op()[i] == Op::kNandN ? ~acc : acc;
+      for (std::uint32_t k = 1; k < count; ++k) {
+        w = And3(w, ReadFanin3(g, k, f[k], wo));
+      }
+      return p.op()[i] == Op::kNandN ? Not3(w) : w;
     }
     case Op::kOrN:
     case Op::kNorN: {
-      std::uint64_t acc = ReadFanin2(g, 0, f[0]);
+      Word3 w = ReadFanin3(g, 0, f[0], wo);
       const std::uint32_t count = p.fanin_count()[i];
-      for (std::uint32_t k = 1; k < count; ++k) acc |= ReadFanin2(g, k, f[k]);
-      return p.op()[i] == Op::kNorN ? ~acc : acc;
+      for (std::uint32_t k = 1; k < count; ++k) {
+        w = Or3(w, ReadFanin3(g, k, f[k], wo));
+      }
+      return p.op()[i] == Op::kNorN ? Not3(w) : w;
     }
   }
-  return 0;
+  return kAllX;
 }
 
 void Simulator::ProbeGuard() const {
@@ -279,63 +223,6 @@ void Simulator::RefreshKernelMutations() {
       guard::FailpointFlagged("xcheck.mutate.frontier_off_by_one");
   mut_.toggle_undercount =
       guard::FailpointFlagged("xcheck.mutate.toggle_undercount");
-}
-
-template <bool kForces>
-void Simulator::SettleThreeValued() {
-  const CompiledNetlist& p = *prog_;
-  const auto& levels = p.levels();
-  const GateId* out = p.out().data();
-  for (std::size_t li = 0; li < levels.size(); ++li) {
-    std::uint64_t xmask = 0;
-    const std::uint32_t end = levels[li].end;
-    for (std::uint32_t i = levels[li].begin; i < end; ++i) {
-      const GateId g = out[i];
-      Word3 w;
-      if (kForces && has_pin_force_[g]) {
-        w = EvalInstrPinForced3(i);
-      } else {
-        w = EvalInstr3(i);
-      }
-      if constexpr (kForces) {
-        const std::uint64_t sa0 = out_sa0_[g];
-        const std::uint64_t sa1 = out_sa1_[g];
-        if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
-      }
-      val_[g] = w.val;
-      known_[g] = w.known;
-      xmask |= ~w.known;
-    }
-    level_x_[li] = xmask;
-    ProbeGuard();
-  }
-}
-
-template <bool kForces>
-void Simulator::SettleTwoValued() {
-  const CompiledNetlist& p = *prog_;
-  const auto& levels = p.levels();
-  const GateId* out = p.out().data();
-  const std::size_t num_levels =
-      mut_.skip_last_level && !levels.empty() ? levels.size() - 1
-                                              : levels.size();
-  for (std::size_t li = 0; li < num_levels; ++li) {
-    const std::uint32_t end = levels[li].end;
-    for (std::uint32_t i = levels[li].begin; i < end; ++i) {
-      const GateId g = out[i];
-      std::uint64_t v;
-      if (kForces && has_pin_force_[g]) {
-        v = EvalInstrPinForced2(i);
-      } else {
-        v = EvalInstr2(i);
-      }
-      if constexpr (kForces) {
-        v = (v | out_sa1_[g]) & ~out_sa0_[g];
-      }
-      val_[g] = v;
-    }
-    ProbeGuard();
-  }
 }
 
 void Simulator::SettleUnitDelay(std::uint64_t& substeps,
@@ -373,39 +260,53 @@ void Simulator::SettleUnitDelay(std::uint64_t& substeps,
     // Jacobi sub-step: evaluate the whole frontier against the previous
     // sub-step's planes before committing anything, so evaluation order
     // within a sub-step cannot matter.
-    ud_scratch_val_.resize(ud_frontier_.size());
-    ud_scratch_known_.resize(ud_frontier_.size());
+    ud_scratch_val_.resize(ud_frontier_.size() * words_);
+    ud_scratch_known_.resize(ud_frontier_.size() * words_);
     for (std::size_t k = 0; k < ud_frontier_.size(); ++k) {
       const std::uint32_t i = ud_frontier_[k];
       const GateId g = out[i];
-      Word3 w;
-      if (has_any_force_ && has_pin_force_[g]) {
-        w = EvalInstrPinForced3(i);
-      } else {
-        w = EvalInstr3(i);
+      for (int j = 0; j < words_; ++j) {
+        Word3 w;
+        if (has_any_force_ && has_pin_force_[g]) {
+          w = EvalInstrPinForced3(i, j);
+        } else {
+          w = EvalInstr3(i, j);
+        }
+        if (has_any_force_) {
+          const std::uint64_t sa0 = out_sa0_[g * words_ + j];
+          const std::uint64_t sa1 = out_sa1_[g * words_ + j];
+          if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
+        }
+        ud_scratch_val_[k * words_ + j] = w.val;
+        ud_scratch_known_[k * words_ + j] = w.known;
       }
-      if (has_any_force_) {
-        const std::uint64_t sa0 = out_sa0_[g];
-        const std::uint64_t sa1 = out_sa1_[g];
-        if ((sa0 | sa1) != 0) w = ApplyForce(w, sa0, sa1);
-      }
-      ud_scratch_val_[k] = w.val;
-      ud_scratch_known_[k] = w.known;
     }
 
     ud_next_.clear();
     for (std::size_t k = 0; k < ud_frontier_.size(); ++k) {
       const std::uint32_t i = ud_frontier_[k];
       const GateId g = out[i];
-      const std::uint64_t nv = ud_scratch_val_[k];
-      const std::uint64_t nk = ud_scratch_known_[k];
-      if (nv == val_[g] && nk == known_[g]) continue;
-      if (count_toggles_) {
-        toggles_[g] += static_cast<std::uint64_t>(
-            std::popcount((val_[g] ^ nv) & known_[g] & nk));
+      bool changed = false;
+      for (int j = 0; j < words_; ++j) {
+        const std::size_t idx = g * static_cast<std::size_t>(words_) + j;
+        if (ud_scratch_val_[k * words_ + j] != val_[idx] ||
+            ud_scratch_known_[k * words_ + j] != known_[idx]) {
+          changed = true;
+          break;
+        }
       }
-      val_[g] = nv;
-      known_[g] = nk;
+      if (!changed) continue;
+      for (int j = 0; j < words_; ++j) {
+        const std::size_t idx = g * static_cast<std::size_t>(words_) + j;
+        const std::uint64_t nv = ud_scratch_val_[k * words_ + j];
+        const std::uint64_t nk = ud_scratch_known_[k * words_ + j];
+        if (count_toggles_) {
+          toggles_[g] += static_cast<std::uint64_t>(
+              std::popcount((val_[idx] ^ nv) & known_[idx] & nk));
+        }
+        val_[idx] = nv;
+        known_[idx] = nk;
+      }
       for (std::uint32_t fk = fanout_begin[g]; fk < fanout_begin[g + 1];
            ++fk) {
         const std::uint32_t j = fanout_instrs[fk];
@@ -423,6 +324,7 @@ void Simulator::SettleUnitDelay(std::uint64_t& substeps,
 
 void Simulator::Step() {
   RefreshKernelMutations();
+  if (has_any_force_ && force_index_dirty_) RebuildForceIndex();
   const CompiledNetlist& p = *prog_;
   const auto& dff_ids = p.dff_ids();
   const auto& dff_d = p.dff_d();
@@ -431,28 +333,35 @@ void Simulator::Step() {
   //    previous cycle. (First cycle: they stay at their power-up X.)
   if (cycles_ > 0) {
     for (GateId d : dff_ids) {
-      std::uint64_t v = dff_next_val_[d];
-      std::uint64_t kn = dff_next_known_[d];
-      if (has_any_force_) {
-        const std::uint64_t sa0 = out_sa0_[d];
-        const std::uint64_t sa1 = out_sa1_[d];
-        if ((sa0 | sa1) != 0) {
-          kn |= sa0 | sa1;
-          v = (v | sa1) & ~sa0;
+      bool changed = false;
+      for (int j = 0; j < words_; ++j) {
+        const std::size_t idx = d * static_cast<std::size_t>(words_) + j;
+        std::uint64_t v = dff_next_val_[idx];
+        std::uint64_t kn = dff_next_known_[idx];
+        if (has_any_force_ && has_out_force_[d]) {
+          const std::uint64_t sa0 = out_sa0_[idx];
+          const std::uint64_t sa1 = out_sa1_[idx];
+          if ((sa0 | sa1) != 0) {
+            kn |= sa0 | sa1;
+            v = (v | sa1) & ~sa0;
+          }
         }
+        changed = changed || v != val_[idx] || kn != known_[idx];
+        val_[idx] = v;
+        known_[idx] = kn;
       }
-      if (unit_delay_ && (v != val_[d] || kn != known_[d])) {
-        MarkSourceDirty(d);
-      }
-      val_[d] = v;
-      known_[d] = kn;
+      if (unit_delay_ && changed) MarkSourceDirty(d);
     }
   } else if (has_any_force_) {
     for (GateId d : dff_ids) {
-      const std::uint64_t sa0 = out_sa0_[d];
-      const std::uint64_t sa1 = out_sa1_[d];
-      if ((sa0 | sa1) != 0) {
-        Store(d, ApplyForce(Load(d), sa0, sa1));
+      if (!has_out_force_[d]) continue;
+      for (int j = 0; j < words_; ++j) {
+        const std::size_t idx = d * static_cast<std::size_t>(words_) + j;
+        const std::uint64_t sa0 = out_sa0_[idx];
+        const std::uint64_t sa1 = out_sa1_[idx];
+        if ((sa0 | sa1) != 0) {
+          Store(d, j, ApplyForce(Load(d, j), sa0, sa1));
+        }
       }
     }
   }
@@ -460,15 +369,19 @@ void Simulator::Step() {
   // 2. Inputs may carry output forces too (a stuck primary input).
   if (has_any_force_) {
     for (GateId in : p.input_ids()) {
-      const std::uint64_t sa0 = out_sa0_[in];
-      const std::uint64_t sa1 = out_sa1_[in];
-      if ((sa0 | sa1) != 0) {
-        const Word3 w = ApplyForce(Load(in), sa0, sa1);
-        if (unit_delay_ && (w.val != val_[in] || w.known != known_[in])) {
-          MarkSourceDirty(in);
+      if (!has_out_force_[in]) continue;
+      bool changed = false;
+      for (int j = 0; j < words_; ++j) {
+        const std::size_t idx = in * static_cast<std::size_t>(words_) + j;
+        const std::uint64_t sa0 = out_sa0_[idx];
+        const std::uint64_t sa1 = out_sa1_[idx];
+        if ((sa0 | sa1) != 0) {
+          const Word3 w = ApplyForce(Load(in, j), sa0, sa1);
+          changed = changed || w.val != val_[idx] || w.known != known_[idx];
+          Store(in, j, w);
         }
-        Store(in, w);
       }
+      if (unit_delay_ && changed) MarkSourceDirty(in);
     }
   }
 
@@ -479,7 +392,11 @@ void Simulator::Step() {
   bool two_valued = false;
   if (!unit_delay_) {
     std::uint64_t unknown = 0;
-    for (GateId s : p.source_ids()) unknown |= ~known_[s];
+    for (GateId s : p.source_ids()) {
+      for (int j = 0; j < words_; ++j) {
+        unknown |= ~known_[s * static_cast<std::size_t>(words_) + j];
+      }
+    }
     two_valued = unknown == 0;
     if (two_valued && !knowns_saturated_) {
       if (!mut_.stale_known) {  // planted bug: keep stale planes/watermark
@@ -493,14 +410,29 @@ void Simulator::Step() {
     knowns_saturated_ = false;
   }
 
-  // 4. Combinational settle.
+  // 4. Combinational settle: zero-delay runs the dispatched width/backend
+  //    kernels, unit-delay the event-driven per-word sweep.
   std::uint64_t settle_substeps = 0;  // unit-delay only
   std::uint64_t gate_evals = 0;
   if (!unit_delay_) {
+    kern::Ctx c;
+    c.prog = prog_.get();
+    c.val = val_.data();
+    c.known = known_.data();
+    c.out_sa0 = out_sa0_.data();
+    c.out_sa1 = out_sa1_.data();
+    c.pin_forces = pin_forces_.data();
+    c.num_pin_forces = pin_forces_.size();
+    c.has_pin_force = has_pin_force_.data();
+    c.has_out_force = has_out_force_.data();
+    c.pin_force_slot = pin_force_slot_.data();
+    c.level_x = level_x_.data();
+    c.guard_probe = guard_probe_;
+    c.skip_last_level = mut_.skip_last_level;
     if (two_valued) {
-      has_any_force_ ? SettleTwoValued<true>() : SettleTwoValued<false>();
+      (has_any_force_ ? kernels_->settle2_forced : kernels_->settle2)(c);
     } else {
-      has_any_force_ ? SettleThreeValued<true>() : SettleThreeValued<false>();
+      (has_any_force_ ? kernels_->settle3_forced : kernels_->settle3)(c);
     }
     gate_evals = p.num_instructions();
     // Everything is settled, so dirt queued for the unit-delay worklist
@@ -526,28 +458,35 @@ void Simulator::Step() {
   if (count_toggles_) {
     // Planted bug (xcheck.mutate.toggle_undercount): the last gate's
     // switching activity is silently dropped.
+    const std::size_t num_gates = nl_->size();
     const std::size_t n =
-        mut_.toggle_undercount && !val_.empty() ? val_.size() - 1 : val_.size();
+        mut_.toggle_undercount && num_gates != 0 ? num_gates - 1 : num_gates;
     if (two_valued && prev_fully_known_) {
       // Steady-state fast path: every lane of every net is known, in this
       // cycle and the previous one.
       for (std::size_t g = 0; g < n; ++g) {
-        toggles_[g] +=
-            static_cast<std::uint64_t>(std::popcount(prev_val_[g] ^ val_[g]));
-        duty_[g] += static_cast<std::uint64_t>(std::popcount(val_[g]));
+        for (int j = 0; j < words_; ++j) {
+          const std::size_t idx = g * words_ + j;
+          toggles_[g] += static_cast<std::uint64_t>(
+              std::popcount(prev_val_[idx] ^ val_[idx]));
+          duty_[g] += static_cast<std::uint64_t>(std::popcount(val_[idx]));
+        }
       }
       prev_val_ = val_;
     } else {
       const auto& is_comb = p.is_comb();
       for (std::size_t g = 0; g < n; ++g) {
-        const std::uint64_t cur_v = val_[g];
-        const std::uint64_t cur_k = known_[g];
-        if (!unit_delay_ || !is_comb[g]) {
-          toggles_[g] += static_cast<std::uint64_t>(std::popcount(
-              (prev_val_[g] ^ cur_v) & prev_known_[g] & cur_k));
+        for (int j = 0; j < words_; ++j) {
+          const std::size_t idx = g * words_ + j;
+          const std::uint64_t cur_v = val_[idx];
+          const std::uint64_t cur_k = known_[idx];
+          if (!unit_delay_ || !is_comb[g]) {
+            toggles_[g] += static_cast<std::uint64_t>(std::popcount(
+                (prev_val_[idx] ^ cur_v) & prev_known_[idx] & cur_k));
+          }
+          duty_[g] +=
+              static_cast<std::uint64_t>(std::popcount(cur_v & cur_k));
         }
-        duty_[g] +=
-            static_cast<std::uint64_t>(std::popcount(cur_v & cur_k));
       }
       prev_val_ = val_;
       prev_known_ = known_;
@@ -558,18 +497,21 @@ void Simulator::Step() {
   // 6. Capture next DFF state from the settled D pins (with pin forces).
   for (std::size_t k = 0; k < dff_ids.size(); ++k) {
     const GateId d = dff_ids[k];
-    Word3 w = Load(dff_d[k]);
-    if (has_pin_force_[d]) {
-      for (const PinForce& pf : pin_forces_) {
-        if (pf.gate == d && pf.pin == 0) w = ApplyForce(w, pf.sa0, pf.sa1);
+    const std::int32_t fi = has_any_force_ ? dff_force_idx_[k] : -1;
+    for (int j = 0; j < words_; ++j) {
+      Word3 w = Load(dff_d[k], j);
+      if (fi >= 0) {
+        const kern::PinForce& pf = pin_forces_[fi];
+        w = ApplyForce(w, pf.sa0.w[j], pf.sa1.w[j]);
       }
+      const std::size_t idx = d * static_cast<std::size_t>(words_) + j;
+      dff_next_val_[idx] = w.val;
+      dff_next_known_[idx] = w.known;
     }
-    dff_next_val_[d] = w.val;
-    dff_next_known_[d] = w.known;
   }
 
-  // Counter updates happen once per Step (64 machine-cycles), so the guard
-  // is a single relaxed load per ~N gate evaluations.
+  // Counter updates happen once per Step (one batch of machine-cycles), so
+  // the guard is a single relaxed load per ~N gate evaluations.
   if (obs::Enabled()) {
     obs_cycles_->Add(1);
     obs_gate_evals_->Add(gate_evals);
@@ -585,41 +527,50 @@ void Simulator::Step() {
 
 void Simulator::PackLane0(std::uint64_t* val_bits,
                           std::uint64_t* known_bits) const {
-  const std::size_t n = val_.size();
+  const std::size_t n = nl_->size();
   const std::size_t words = (n + 63) / 64;
   std::fill(val_bits, val_bits + words, 0);
   std::fill(known_bits, known_bits + words, 0);
   for (std::size_t g = 0; g < n; ++g) {
-    val_bits[g >> 6] |= (val_[g] & 1ULL) << (g & 63);
-    known_bits[g >> 6] |= (known_[g] & 1ULL) << (g & 63);
+    val_bits[g >> 6] |= (val_[g * words_] & 1ULL) << (g & 63);
+    known_bits[g >> 6] |= (known_[g * words_] & 1ULL) << (g & 63);
   }
 }
 
-void Simulator::ForceOutput(GateId g, Trit value, std::uint64_t lane_mask) {
+void Simulator::ForceOutput(GateId g, Trit value, const LaneMask& mask) {
   PFD_CHECK_MSG(value != Trit::kX, "cannot force X");
-  if (value == Trit::kZero) {
-    out_sa0_[g] |= lane_mask;
-  } else {
-    out_sa1_[g] |= lane_mask;
+  for (int j = 0; j < words_; ++j) {
+    const std::size_t idx = g * static_cast<std::size_t>(words_) + j;
+    if (value == Trit::kZero) {
+      out_sa0_[idx] |= mask.w[j];
+    } else {
+      out_sa1_[idx] |= mask.w[j];
+    }
   }
+  has_out_force_[g] = 1;
   has_any_force_ = true;
   ud_all_dirty_ = true;
+  force_index_dirty_ = true;
 }
 
 void Simulator::ForcePin(GateId g, std::uint32_t pin, Trit value,
-                         std::uint64_t lane_mask) {
+                         const LaneMask& mask) {
   PFD_CHECK_MSG(value != Trit::kX, "cannot force X");
   PFD_CHECK_MSG(pin < nl_->Fanins(g).size(), "pin out of range");
   has_any_force_ = true;
   ud_all_dirty_ = true;
-  for (PinForce& pf : pin_forces_) {
+  force_index_dirty_ = true;
+  for (kern::PinForce& pf : pin_forces_) {
     if (pf.gate == g && pf.pin == pin) {
-      (value == Trit::kZero ? pf.sa0 : pf.sa1) |= lane_mask;
+      LaneMask& target = value == Trit::kZero ? pf.sa0 : pf.sa1;
+      for (int j = 0; j < kMaxLaneWords; ++j) target.w[j] |= mask.w[j];
       return;
     }
   }
-  PinForce pf{g, pin, 0, 0};
-  (value == Trit::kZero ? pf.sa0 : pf.sa1) = lane_mask;
+  kern::PinForce pf;
+  pf.gate = g;
+  pf.pin = pin;
+  (value == Trit::kZero ? pf.sa0 : pf.sa1) = mask;
   pin_forces_.push_back(pf);
   has_pin_force_[g] = 1;
 }
@@ -628,9 +579,40 @@ void Simulator::ClearForces() {
   std::fill(out_sa0_.begin(), out_sa0_.end(), 0);
   std::fill(out_sa1_.begin(), out_sa1_.end(), 0);
   std::fill(has_pin_force_.begin(), has_pin_force_.end(), 0);
+  std::fill(has_out_force_.begin(), has_out_force_.end(), 0);
   pin_forces_.clear();
   has_any_force_ = false;
   ud_all_dirty_ = true;
+  force_index_dirty_ = true;
+}
+
+// Rebuilds the O(1) pin-force lookup tables. ForcePin merges repeat forces
+// on the same (gate, pin) into one PinForce entry, so each fanin slot maps
+// to at most one pin_forces_ index.
+void Simulator::RebuildForceIndex() {
+  const CompiledNetlist& p = *prog_;
+  pin_force_slot_.assign(p.fanins().size(), -1);
+  for (std::size_t k = 0; k < pin_forces_.size(); ++k) {
+    const kern::PinForce& pf = pin_forces_[k];
+    const std::uint32_t i = p.instr_of_gate()[pf.gate];
+    if (i != CompiledNetlist::kNoInstr) {
+      pin_force_slot_[p.fanin_begin()[i] + pf.pin] =
+          static_cast<std::int32_t>(k);
+    }
+  }
+  const auto& dff_ids = p.dff_ids();
+  dff_force_idx_.assign(dff_ids.size(), -1);
+  for (std::size_t k = 0; k < dff_ids.size(); ++k) {
+    const GateId d = dff_ids[k];
+    if (!has_pin_force_[d]) continue;
+    for (std::size_t f = 0; f < pin_forces_.size(); ++f) {
+      if (pin_forces_[f].gate == d && pin_forces_[f].pin == 0) {
+        dff_force_idx_[k] = static_cast<std::int32_t>(f);
+        break;
+      }
+    }
+  }
+  force_index_dirty_ = false;
 }
 
 void Simulator::EnableToggleCounting(bool enable) {

@@ -1,26 +1,37 @@
-// Cycle-based, 64-lane, three-valued gate-level simulator.
+// Cycle-based, width-generic (64/256/512-lane), three-valued gate-level
+// simulator.
 //
-// Each of the 64 bit-lanes of a Word3 is an independent simulated machine.
-// The two production engines built on top map lanes differently:
+// A simulator carries 64 * lane_words() independent ternary lanes per gate,
+// stored as lane_words() Word3s per gate in lane-word-strided SoA planes
+// (lane l = word l/64, bit l%64). Every ternary operator is pure bitwise
+// per 64-bit word, so a wide machine is exactly lane_words() 64-lane
+// machines evaluated in lockstep — widening can never change per-lane
+// results, only how many lanes one settle pass retires. The two production
+// engines map lanes differently:
 //   * pattern-parallel (power / detection runs): all lanes share one circuit
-//     configuration and carry independent test patterns;
+//     configuration and carry independent test patterns (these callers run
+//     the historical 64-lane width);
 //   * fault-parallel (fault classification): lane 0 is the fault-free
-//     machine and lanes 1..63 each carry one injected stuck-at fault,
-//     sharing a single test pattern.
+//     machine and the remaining lanes each carry one injected stuck-at
+//     fault, sharing a single test pattern.
 //
 // Evaluation runs on a compiled program (logicsim/compiled.hpp): the gate
-// graph is levelized once into contiguous instruction streams, and gate
-// state lives in structure-of-arrays val/known planes. Two settle kernels
-// share that program:
+// graph is levelized once into contiguous instruction streams. The hot
+// zero-delay settle loops live in logicsim/kernels.hpp, specialized per
+// lane-word count and per SIMD backend (scalar / AVX2 / AVX-512, selected
+// at construction from simd::Active() — see base/simd.hpp for the
+// PFD_SIMD / --simd resolution rules). Two settle kernels share the
+// program:
 //
 //   * three-valued (general): full Word3 semantics, used while any X can
-//     reach the logic. Each level records an "any X present" watermark.
+//     reach the logic. Each level records an "any X present" watermark
+//     (OR-folded across lane words).
 //   * two-valued fast path: once every source (primary input and committed
 //     DFF) is fully known, every downstream value is fully known too — the
 //     Word3 operators map known inputs to known outputs, and forces only
-//     add known-ness. The kernel then drops the known plane entirely
-//     (boolean ops on the val plane, half the memory traffic). Entering the
-//     fast path saturates the known planes once; X reintroduction
+//     add known-ness. The kernel then drops the known planes entirely
+//     (boolean ops on the val planes, half the memory traffic). Entering
+//     the fast path saturates the known planes once; X reintroduction
 //     (Reset(), an X driven on an input) falls back to three-valued on the
 //     next Step. The mode is re-decided every Step from the sources, so
 //     the switchover is exact, never heuristic.
@@ -37,7 +48,8 @@
 //     a sub-step reads only the previous sub-step's values — so the
 //     fixpoint and the per-sub-step transition counts are identical to the
 //     full re-sweep it replaces). The unit-delay path always runs
-//     three-valued.
+//     three-valued, on portable per-word loops (it is an ablation path,
+//     not a campaign path).
 // DFFs commit at the clock edge that starts a cycle. A cycle proceeds as:
 //
 //   sim.SetInput(...);   // drive primary inputs for cycle t
@@ -48,9 +60,11 @@
 //
 // Stuck-at forcing: the simulator supports forcing lanes of a gate's output
 // (stem fault) or of one gate's reading of a fanin (branch / input-pin
-// fault). The fault module drives these hooks; they are inert (and nearly
-// free) when no forces are registered. A force can only make a lane more
-// known, so forcing never exits the two-valued fast path.
+// fault). Lane selection is a width-generic LaneMask (base/logic.hpp);
+// words beyond this simulator's width are ignored, so kAllLanes always
+// means "every lane". The fault module drives these hooks; they are inert
+// (and nearly free) when no forces are registered. A force can only make a
+// lane more known, so forcing never exits the two-valued fast path.
 //
 // Toggle counting: when enabled, counts 0<->1 output transitions per gate
 // summed over lanes — exactly the switching activity the power model needs.
@@ -63,9 +77,9 @@
 // reuse. Not attached by default — Step() then costs one null check per
 // level.
 //
-// Simulators are copyable; copies share the immutable compiled program but
-// own their state planes (the Monte Carlo power engine copies a warmed-up
-// simulator per batch).
+// Simulators are copyable; copies share the immutable compiled program (and
+// kernel table) but own their state planes (the Monte Carlo power engine
+// copies a warmed-up simulator per batch).
 #pragma once
 
 #include <cstdint>
@@ -74,6 +88,7 @@
 
 #include "base/logic.hpp"
 #include "logicsim/compiled.hpp"
+#include "logicsim/kernels.hpp"
 #include "netlist/netlist.hpp"
 #include "obs/obs.hpp"
 
@@ -101,24 +116,36 @@ inline constexpr const char* kKernelMutationFailpoints[] = {
 
 class Simulator {
  public:
-  explicit Simulator(const netlist::Netlist& nl);
+  // `lane_words` Word3s per gate (1 = the historical 64 lanes; 4 = 256; 8 =
+  // 512). The settle kernels for the width are resolved from simd::Active()
+  // at construction.
+  explicit Simulator(const netlist::Netlist& nl, int lane_words = 1);
   // Construct on a pre-compiled program for `nl` (skips Compile; callers
   // constructing many simulators over one netlist — the fault engines —
   // resolve the program once and share it). `program` must have been
   // compiled from a netlist structurally identical to `nl` (checked via
   // StructuralHash).
   Simulator(const netlist::Netlist& nl,
-            std::shared_ptr<const CompiledNetlist> program);
+            std::shared_ptr<const CompiledNetlist> program,
+            int lane_words = 1);
 
   const netlist::Netlist& nl() const { return *nl_; }
   // The shared compiled program this simulator executes.
   const CompiledNetlist& program() const { return *prog_; }
+
+  // Lane width of this simulator: 64-bit lane words per gate / total lanes.
+  int lane_words() const { return words_; }
+  int lanes() const { return words_ * kLaneWordBits; }
 
   // Returns all state (DFFs, values, cycle/toggle counters) to power-up;
   // keeps registered forces.
   void Reset();
 
   // --- primary inputs -----------------------------------------------------
+  // Drives the same 64-lane pattern into every lane word (lane l receives
+  // bit l%64 of `w`). The pattern-parallel engines drive distinct per-lane
+  // patterns at lane_words() == 1, where this is exactly the historical
+  // behaviour; the fault engines drive lane-uniform stimulus at any width.
   void SetInput(netlist::GateId input, Word3 w);
   void SetInputAllLanes(netlist::GateId input, Trit t) {
     SetInput(input, Splat(t));
@@ -142,8 +169,9 @@ class Simulator {
   bool last_step_two_valued() const { return two_valued_; }
 
   // Per-level "any X present" watermark recorded by the last three-valued
-  // zero-delay settle: bit-OR over the level's gates of ~known. All zero
-  // after a two-valued step. Index space is program().levels().
+  // zero-delay settle: bit-OR over the level's gates (and lane words) of
+  // ~known. All zero after a two-valued step. Index space is
+  // program().levels().
   const std::vector<std::uint64_t>& level_x_watermark() const {
     return level_x_;
   }
@@ -155,9 +183,16 @@ class Simulator {
   }
 
   // --- observation --------------------------------------------------------
-  Word3 Value(netlist::GateId g) const { return {val_[g], known_[g]}; }
+  // Lanes 0..63 (lane word 0) of gate g.
+  Word3 Value(netlist::GateId g) const {
+    return {val_[g * words_], known_[g * words_]};
+  }
+  // Lane word `w` (lanes 64w .. 64w+63) of gate g; w < lane_words().
+  Word3 ValueWord(netlist::GateId g, int w) const {
+    return {val_[g * words_ + w], known_[g * words_ + w]};
+  }
   Trit ValueLane(netlist::GateId g, int lane) const {
-    return GetLane(Value(g), lane);
+    return GetLane(ValueWord(g, lane / kLaneWordBits), lane % kLaneWordBits);
   }
 
   // Packs lane 0 of every gate's settled val/known planes into bit arrays
@@ -168,12 +203,20 @@ class Simulator {
   void PackLane0(std::uint64_t* val_bits, std::uint64_t* known_bits) const;
 
   // --- stuck-at forcing ----------------------------------------------------
-  // Forces lanes of gate g's *output*: lanes in mask read as `value`.
-  void ForceOutput(netlist::GateId g, Trit value, std::uint64_t lane_mask);
+  // Forces lanes of gate g's *output*: lanes in `mask` read as `value`.
+  // Mask words beyond lane_words() are ignored. The mask-less overloads
+  // force every lane.
+  void ForceOutput(netlist::GateId g, Trit value, const LaneMask& mask);
+  void ForceOutput(netlist::GateId g, Trit value) {
+    ForceOutput(g, value, kAllLanes);
+  }
   // Forces lanes of gate g's reading of its pin-th fanin (pin is an index
   // into Fanins(g)); other readers of that net are unaffected.
   void ForcePin(netlist::GateId g, std::uint32_t pin, Trit value,
-                std::uint64_t lane_mask);
+                const LaneMask& mask);
+  void ForcePin(netlist::GateId g, std::uint32_t pin, Trit value) {
+    ForcePin(g, pin, value, kAllLanes);
+  }
   void ClearForces();
 
   // --- switching activity ---------------------------------------------------
@@ -187,42 +230,31 @@ class Simulator {
   std::uint64_t DutyCount(netlist::GateId g) const { return duty_[g]; }
 
  private:
-  struct PinForce {
-    netlist::GateId gate;
-    std::uint32_t pin;
-    std::uint64_t sa0 = 0;
-    std::uint64_t sa1 = 0;
-  };
-
   static Word3 ApplyForce(Word3 w, std::uint64_t sa0, std::uint64_t sa1) {
     w.known |= sa0 | sa1;
     w.val = (w.val | sa1) & ~sa0;
     return w;
   }
 
-  Word3 Load(netlist::GateId g) const { return {val_[g], known_[g]}; }
-  void Store(netlist::GateId g, Word3 w) {
-    val_[g] = w.val;
-    known_[g] = w.known;
+  // Word `wo` of gate g's planes.
+  Word3 Load(netlist::GateId g, int wo) const {
+    return {val_[g * words_ + wo], known_[g * words_ + wo]};
+  }
+  void Store(netlist::GateId g, int wo, Word3 w) {
+    val_[g * words_ + wo] = w.val;
+    known_[g * words_ + wo] = w.known;
   }
 
-  // Fanin read with this gate's pin forces applied (three-valued / val-only).
-  Word3 ReadFanin3(netlist::GateId g, std::uint32_t pin,
-                   netlist::GateId src) const;
-  std::uint64_t ReadFanin2(netlist::GateId g, std::uint32_t pin,
-                           netlist::GateId src) const;
+  // Fanin read with this gate's pin forces applied (three-valued), word wo.
+  Word3 ReadFanin3(netlist::GateId g, std::uint32_t pin, netlist::GateId src,
+                   int wo) const;
 
-  // Instruction evaluation. The PinForced variants route every fanin read
-  // through the pin-force scan; the plain ones read the planes directly.
-  Word3 EvalInstr3(std::uint32_t i) const;
-  Word3 EvalInstrPinForced3(std::uint32_t i) const;
-  std::uint64_t EvalInstr2(std::uint32_t i) const;
-  std::uint64_t EvalInstrPinForced2(std::uint32_t i) const;
+  // Per-word instruction evaluation for the unit-delay path (the zero-delay
+  // settles run the dispatched kernels instead). The PinForced variant
+  // routes every fanin read through the pin-force scan.
+  Word3 EvalInstr3(std::uint32_t i, int wo) const;
+  Word3 EvalInstrPinForced3(std::uint32_t i, int wo) const;
 
-  template <bool kForces>
-  void SettleThreeValued();
-  template <bool kForces>
-  void SettleTwoValued();
   void SettleUnitDelay(std::uint64_t& substeps, std::uint64_t& evals);
 
   // Armed kernel mutations (kKernelMutationFailpoints), snapshotted once
@@ -243,10 +275,14 @@ class Simulator {
 
   const netlist::Netlist* nl_;
   std::shared_ptr<const CompiledNetlist> prog_;
+  int words_ = 1;  // lane words per gate
+  // Settle kernels for (simd::Active(), words_); points at immutable static
+  // storage, so copies share it.
+  const kern::Table* kernels_ = nullptr;
 
-  // Gate state, structure-of-arrays planes indexed by gate id. While the
-  // two-valued fast path is active the known planes are saturated (~0) and
-  // only val planes are read or written.
+  // Gate state, lane-word-strided structure-of-arrays planes: gate g's word
+  // w at [g * words_ + w]. While the two-valued fast path is active the
+  // known planes are saturated (~0) and only val planes are read or written.
   std::vector<std::uint64_t> val_;
   std::vector<std::uint64_t> known_;
   std::vector<std::uint64_t> dff_next_val_;
@@ -255,12 +291,24 @@ class Simulator {
   std::vector<std::uint64_t> prev_val_;
   std::vector<std::uint64_t> prev_known_;
 
-  // Output forces, dense (two words per gate; zero when inactive).
+  // Output forces, dense, lane-word-strided (zero when inactive).
   std::vector<std::uint64_t> out_sa0_;
   std::vector<std::uint64_t> out_sa1_;
   // Pin forces, sparse; per-gate flag avoids the scan on the fast path.
-  std::vector<PinForce> pin_forces_;
+  std::vector<kern::PinForce> pin_forces_;
   std::vector<std::uint8_t> has_pin_force_;
+  // Per-gate output-force flag: kernels skip the out_sa plane loads for
+  // unforced gates instead of OR-scanning every lane word.
+  std::vector<std::uint8_t> has_out_force_;
+  // O(1) force lookup, rebuilt lazily at Step when dirty: per flattened
+  // fanin slot, the index into pin_forces_ (-1 = unforced); per DFF, the
+  // index of its D-pin force. Without these every forced fanin read scanned
+  // all registered forces, which made wide parallel fault shards (one force
+  // per faulty lane) quadratic in the fault count.
+  std::vector<std::int32_t> pin_force_slot_;
+  std::vector<std::int32_t> dff_force_idx_;
+  bool force_index_dirty_ = false;
+  void RebuildForceIndex();
   // Any force registered at all: selects the force-checking kernels.
   bool has_any_force_ = false;
 

@@ -112,7 +112,7 @@ PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
   PowerResult result;
   logicsim::Simulator base(nl);
   for (const fault::StuckFault& f : faults) {
-    fault::InjectFault(base, f, ~0ULL);
+    fault::InjectFault(base, f);
   }
   base.EnableToggleCounting(true);
   base.EnableUnitDelay(config.unit_delay);
@@ -266,7 +266,7 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
       config.checker != nullptr ? *config.checker : local_check;
   logicsim::Simulator sim(nl);
   for (const fault::StuckFault& f : faults) {
-    fault::InjectFault(sim, f, ~0ULL);
+    fault::InjectFault(sim, f);
   }
   sim.EnableToggleCounting(true);
   sim.EnableUnitDelay(config.unit_delay);
@@ -280,13 +280,28 @@ PowerResult MeasureTestSetPower(const netlist::Netlist& nl,
   // by continuing the TPGR stream (documented in DESIGN.md; identical
   // protocol for baseline and faulty runs, so percentage changes are exact).
   //
+  // The 64-lane batching here is FROZEN, deliberately independent of the
+  // SIMD lane width: each batch draws exactly 64 patterns from the TPGR
+  // stream, and widening it would redeal every operand after the first
+  // batch, silently changing every published power figure. The power
+  // engines always run 64-lane simulators (Simulator's default width).
+  //
   // The engine is serial and stateful (one machine, one TPGR stream), so
   // isolation works per batch: operands are drawn *before* the failpoint /
   // batch body, keeping the stream intact, and a failing batch is retried
   // once against the same operands (the reset cycle at each batch start
   // re-initialises the machine). A batch that still fails is skipped and
   // listed; its patterns are excluded from the cycle normalisation.
-  const int batches = (stimulus.num_patterns + 63) / 64;
+  // Computed in 64-bit: `num_patterns + 63` overflows int for pattern
+  // counts near INT_MAX (a corrupted or hostile request), flipping the
+  // batch count negative and skipping the whole run silently.
+  const std::int64_t batches64 =
+      (static_cast<std::int64_t>(stimulus.num_patterns) + 63) / 64;
+  PFD_CHECK_MSG(batches64 <= kMaxTestSetBatches,
+                "test-set pattern count " +
+                    std::to_string(stimulus.num_patterns) +
+                    " exceeds the supported maximum");
+  const int batches = static_cast<int>(batches64);
   PowerResult result;
   result.run_status.total_units = static_cast<std::size_t>(batches);
   const bool obs_on = obs::Enabled();

@@ -92,6 +92,13 @@ inline PowerResult EstimatePowerMonteCarlo(const netlist::Netlist& nl,
   return EstimatePowerMonteCarlo(nl, plan, model, {}, config);
 }
 
+// Hard ceiling on 64-lane test-set batches (and so on the pattern count:
+// 64 million patterns). Far above any real campaign — Table 3 uses 1200
+// patterns — so its only job is to reject corrupted or overflow-adjacent
+// pattern counts up front with a clear error instead of letting the batch
+// arithmetic misbehave near INT_MAX.
+inline constexpr std::int64_t kMaxTestSetBatches = 1'000'000;
+
 // Measurement knobs for a fixed-test-set run. The test set itself — plan,
 // TPGR seed, pattern count — arrives as a fault::StimulusSpec, the same
 // bundle the fault engines consume, so one campaign's stimulus is built

@@ -42,7 +42,7 @@ std::string DescribeFault(const netlist::Netlist& nl,
 fault::FaultSimResult RunEngine(const netlist::Netlist& nl,
                                 const fault::TestPlan& plan,
                                 const FaultCase& fc,
-                                fault::FaultSimEngine engine,
+                                fault::FaultSimEngine engine, int lanes,
                                 logicsim::GoldenTraceCache& cache) {
   fault::FaultSimRequest req{nl,
                              {plan, fc.tpgr_seed, fc.num_patterns},
@@ -50,6 +50,7 @@ fault::FaultSimResult RunEngine(const netlist::Netlist& nl,
                              engine};
   req.exec.threads = 2;
   req.golden_cache = &cache;
+  req.lanes = lanes;
   return fault::RunFaultSim(req);
 }
 
@@ -64,41 +65,48 @@ CaseResult RunFaultCase(const FaultCase& fc) {
 
   logicsim::GoldenTraceCache cache;
   const fault::FaultSimResult ref =
-      RunEngine(nl, plan, fc, fault::FaultSimEngine::kSerial, cache);
+      RunEngine(nl, plan, fc, fault::FaultSimEngine::kSerial, 64, cache);
   if (!ref.run_status.ok()) {
     throw Error("fault xcheck reference run was not clean: " +
                 ref.run_status.Describe());
   }
 
+  // Each fast engine runs pinned at every supported lane width — the
+  // per-fault contract is width-independence, so 256/512-lane shards must
+  // agree with the 64-lane serial oracle fault for fault.
   for (const fault::FaultSimEngine engine :
        {fault::FaultSimEngine::kParallel,
         fault::FaultSimEngine::kDifferential}) {
-    const char* name = fault::FaultSimEngineName(engine);
-    const fault::FaultSimResult got = RunEngine(nl, plan, fc, engine, cache);
-    if (!got.run_status.ok()) {
-      return {false, std::string(name) + " run was not clean: " +
-                         got.run_status.Describe()};
-    }
-    if (got.patterns != ref.patterns) {
-      return {false, std::string(name) + " pattern-count miscompare: got " +
-                         std::to_string(got.patterns) + ", serial ran " +
-                         std::to_string(ref.patterns)};
-    }
-    for (std::size_t i = 0; i < fc.faults.size(); ++i) {
-      if (got.status[i] != ref.status[i]) {
-        return {false, std::string(name) + " status miscompare on " +
-                           DescribeFault(nl, fc.faults[i], i) + ": got " +
-                           fault::FaultStatusName(got.status[i]) +
-                           ", serial says " +
-                           fault::FaultStatusName(ref.status[i])};
-      }
-      if (got.first_detect_pattern[i] != ref.first_detect_pattern[i]) {
+    for (const int lanes : {64, 256, 512}) {
+      const std::string name = std::string(fault::FaultSimEngineName(engine)) +
+                               "@" + std::to_string(lanes);
+      const fault::FaultSimResult got =
+          RunEngine(nl, plan, fc, engine, lanes, cache);
+      if (!got.run_status.ok()) {
         return {false,
-                std::string(name) + " first-detect miscompare on " +
-                    DescribeFault(nl, fc.faults[i], i) + ": got pattern " +
-                    std::to_string(got.first_detect_pattern[i]) +
-                    ", serial says " +
-                    std::to_string(ref.first_detect_pattern[i])};
+                name + " run was not clean: " + got.run_status.Describe()};
+      }
+      if (got.patterns != ref.patterns) {
+        return {false, name + " pattern-count miscompare: got " +
+                           std::to_string(got.patterns) + ", serial ran " +
+                           std::to_string(ref.patterns)};
+      }
+      for (std::size_t i = 0; i < fc.faults.size(); ++i) {
+        if (got.status[i] != ref.status[i]) {
+          return {false, name + " status miscompare on " +
+                             DescribeFault(nl, fc.faults[i], i) + ": got " +
+                             fault::FaultStatusName(got.status[i]) +
+                             ", serial says " +
+                             fault::FaultStatusName(ref.status[i])};
+        }
+        if (got.first_detect_pattern[i] != ref.first_detect_pattern[i]) {
+          return {false,
+                  name + " first-detect miscompare on " +
+                      DescribeFault(nl, fc.faults[i], i) + ": got pattern " +
+                      std::to_string(got.first_detect_pattern[i]) +
+                      ", serial says " +
+                      std::to_string(ref.first_detect_pattern[i])};
+        }
       }
     }
   }

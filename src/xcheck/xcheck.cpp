@@ -139,11 +139,11 @@ CaseResult RunScenario(const Scenario& s) {
           ref.ClearForces();
           break;
         case ForceOp::kOutput:
-          sim.ForceOutput(f.node, f.value, ~0ULL);
+          sim.ForceOutput(f.node, f.value);
           ref.ForceOutput(f.node, f.value);
           break;
         case ForceOp::kPin:
-          sim.ForcePin(f.node, f.pin, f.value, ~0ULL);
+          sim.ForcePin(f.node, f.pin, f.value);
           ref.ForcePin(f.node, f.pin, f.value);
           break;
       }

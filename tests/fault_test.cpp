@@ -417,7 +417,7 @@ TEST(FaultSim, InjectFaultMapsPins) {
   const GateId b = nl.AddInput("b");
   const GateId g = nl.AddGate(GateKind::kAnd, ModuleTag::kController, {{a, b}});
   logicsim::Simulator sim(nl);
-  InjectFault(sim, {g, 2, Trit::kOne}, ~0ULL);  // pin 1 (input b) SA1
+  InjectFault(sim, {g, 2, Trit::kOne});  // pin 1 (input b) SA1
   sim.SetInputAllLanes(a, Trit::kOne);
   sim.SetInputAllLanes(b, Trit::kZero);
   sim.Step();

@@ -95,7 +95,7 @@ TEST(Simulator, ToggleFlipFlopDividesByTwo) {
   nl.ConnectDff(d, n);
   Simulator sim(nl);
   // Break the X with an output force for one cycle.
-  sim.ForceOutput(d, Trit::kZero, 1ULL);
+  sim.ForceOutput(d, Trit::kZero, pfd::LaneMask::Lane(0));
   sim.Step();
   EXPECT_EQ(sim.ValueLane(d, 0), Trit::kZero);
   // Remove forces and watch it toggle.
@@ -115,7 +115,7 @@ TEST(Simulator, OutputForceAffectsOnlyMaskedLanes) {
   const GateId a = nl.AddInput("a");
   const GateId g = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
   Simulator sim(nl);
-  sim.ForceOutput(g, Trit::kOne, 1ULL << 5);
+  sim.ForceOutput(g, Trit::kOne, pfd::LaneMask::Lane(5));
   sim.SetInputAllLanes(a, Trit::kZero);
   sim.Step();
   EXPECT_EQ(sim.ValueLane(g, 5), Trit::kOne);
@@ -130,7 +130,7 @@ TEST(Simulator, PinForceAffectsOnlyThatReader) {
   const GateId buf1 = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
   const GateId buf2 = nl.AddGate(GateKind::kBuf, ModuleTag::kDatapath, {{a}});
   Simulator sim(nl);
-  sim.ForcePin(buf1, 0, Trit::kOne, ~0ULL);
+  sim.ForcePin(buf1, 0, Trit::kOne);
   sim.SetInputAllLanes(a, Trit::kZero);
   sim.Step();
   EXPECT_EQ(sim.ValueLane(buf1, 0), Trit::kOne);   // forced branch
@@ -144,7 +144,7 @@ TEST(Simulator, DffOutputForceActsAsStuckState) {
   const GateId d = nl.AddDff(ModuleTag::kDatapath, "r");
   nl.ConnectDff(d, in);
   Simulator sim(nl);
-  sim.ForceOutput(d, Trit::kOne, ~0ULL);
+  sim.ForceOutput(d, Trit::kOne);
   sim.SetInputAllLanes(in, Trit::kZero);
   sim.Step();
   EXPECT_EQ(sim.ValueLane(d, 0), Trit::kOne);
@@ -347,7 +347,7 @@ TEST(TwoValued, KnownForcesStayOnFastPath) {
   ASSERT_TRUE(sim.last_step_two_valued());
 
   // A stuck-at force only adds known-ness, so the fast path remains exact.
-  sim.ForceOutput(f.r, Trit::kOne, ~0ULL);  // r stuck-at-1, every lane
+  sim.ForceOutput(f.r, Trit::kOne);  // r stuck-at-1, every lane
   sim.Step();
   EXPECT_TRUE(sim.last_step_two_valued());
   EXPECT_EQ(sim.ValueLane(f.r, 0), Trit::kOne);

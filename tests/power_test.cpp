@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 
+#include "base/error.hpp"
 #include "obs/obs.hpp"
 #include "power/power_model.hpp"
 #include "power/power_sim.hpp"
@@ -250,6 +252,27 @@ TEST(TestSetPower, RoundsUpToLaneMultiples) {
   const PowerResult r = MeasureTestSetPower(
       ms.nl, {ms.plan, tpg::kTestSetSeed1, 100}, model, {}, {});
   EXPECT_EQ(r.patterns, 128u);  // 100 -> 2 batches of 64
+}
+
+TEST(TestSetPower, RejectsOverflowAdjacentPatternCounts) {
+  // Regression: `(num_patterns + 63) / 64` used to be computed in int, so a
+  // pattern count near INT_MAX wrapped the batch count negative. The batch
+  // arithmetic now runs in int64 and anything past the kMaxTestSetBatches
+  // ceiling is a hard error up front, not a wrapped loop bound.
+  MiniSystem ms;
+  const PowerModel model(ms.nl, TechModel::Vsc450());
+  EXPECT_THROW(
+      MeasureTestSetPower(
+          ms.nl, {ms.plan, tpg::kTestSetSeed1, std::numeric_limits<int>::max()},
+          model, {}, {}),
+      pfd::Error);
+  EXPECT_THROW(
+      MeasureTestSetPower(
+          ms.nl,
+          {ms.plan, tpg::kTestSetSeed1,
+           static_cast<int>(power::kMaxTestSetBatches * 64 + 1)},
+          model, {}, {}),
+      pfd::Error);
 }
 
 TEST(FaultyPower, StuckGateChangesPower) {

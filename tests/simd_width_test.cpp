@@ -1,0 +1,187 @@
+// Width/backend equivalence matrix for the lane-widened engines.
+//
+// The widening contract (src/base/simd.hpp, DESIGN.md "SIMD lane
+// widening"): lane width and SIMD backend are throughput knobs only. The
+// classify and grade CSVs — and therefore every report built from them —
+// must be byte-identical across widths {64, 256, 512}, across the scalar
+// and best-available vector backends, and across thread counts. These
+// tests pin that contract in-process, where the backend can be flipped
+// between runs (simd::Active() re-reads the forced backend on every
+// simulator construction).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/simd.hpp"
+#include "ckpt/journal.hpp"
+#include "core/grading.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "designs/designs.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_sim.hpp"
+#include "logicsim/golden_cache.hpp"
+
+namespace pfd {
+namespace {
+
+// Restores auto/env backend resolution no matter how the test exits.
+struct BackendGuard {
+  ~BackendGuard() { simd::ForceBackendName("auto"); }
+};
+
+std::string ClassifyCsv(const std::string& design, int patterns, int threads,
+                        int lanes) {
+  const designs::BenchmarkDesign d = designs::BuildDesignByName(design, 4);
+  core::PipelineConfig cfg;
+  cfg.tpgr_patterns = patterns;
+  cfg.exec.threads = threads;
+  cfg.lanes = lanes;
+  core::ApplyFeedbackGateCheckDefaults(d.system, &cfg);
+  return core::ClassificationCsv(
+      core::ClassifyControllerFaults(d.system, d.hls, cfg));
+}
+
+std::string GradeCsv(const std::string& design, int patterns, int lanes) {
+  const designs::BenchmarkDesign d = designs::BuildDesignByName(design, 4);
+  core::PipelineConfig cfg;
+  cfg.tpgr_patterns = patterns;
+  cfg.exec.threads = 1;
+  cfg.lanes = lanes;
+  core::ApplyFeedbackGateCheckDefaults(d.system, &cfg);
+  const core::ClassificationReport report =
+      core::ClassifyControllerFaults(d.system, d.hls, cfg);
+  core::GradeConfig gcfg;
+  gcfg.mc.exec.threads = 1;
+  return core::GradingCsv(core::GradeSfrFaults(d.system, report, gcfg));
+}
+
+TEST(SimdWidth, ResolveLaneWordsMapsSupportedWidthsAndRejectsTheRest) {
+  EXPECT_EQ(simd::ResolveLaneWords(64), 1);
+  EXPECT_EQ(simd::ResolveLaneWords(256), 4);
+  EXPECT_EQ(simd::ResolveLaneWords(512), 8);
+  EXPECT_THROW(simd::ResolveLaneWords(128), pfd::Error);
+  EXPECT_THROW(simd::ResolveLaneWords(65), pfd::Error);
+  EXPECT_THROW(simd::ResolveLaneWords(-64), pfd::Error);
+  EXPECT_THROW(simd::ResolveLaneWords(1024), pfd::Error);
+}
+
+TEST(SimdWidth, NaturalWidthFollowsTheBackend) {
+  EXPECT_EQ(simd::NaturalLaneWords(simd::Backend::kScalar), 1);
+  EXPECT_EQ(simd::NaturalLaneWords(simd::Backend::kAvx2), 4);
+  EXPECT_EQ(simd::NaturalLaneWords(simd::Backend::kAvx512), 8);
+  EXPECT_THROW(simd::ParseBackend("sse9"), pfd::Error);
+}
+
+TEST(SimdWidth, ForcedBackendIsHonouredAndRevertsToAuto) {
+  BackendGuard guard;
+  simd::ForceBackendName("scalar");
+  EXPECT_EQ(simd::Active(), simd::Backend::kScalar);
+  EXPECT_THROW(simd::ForceBackendName("neon"), pfd::Error);
+  // A rejected force must not clobber the previous one.
+  EXPECT_EQ(simd::Active(), simd::Backend::kScalar);
+}
+
+// The full satellite matrix: widths x backends x thread counts, every cell
+// byte-identical to the scalar 64-lane single-thread reference. "auto" is
+// the best backend this binary+CPU supports (scalar again on a machine
+// with no vector units — the cell then re-checks scalar, which is fine).
+TEST(SimdWidth, ClassifyCsvIsByteIdenticalAcrossWidthsBackendsAndThreads) {
+  BackendGuard guard;
+  simd::ForceBackendName("scalar");
+  const std::string expected = ClassifyCsv("facet", 100, 1, 64);
+  ASSERT_FALSE(expected.empty());
+  for (const char* backend : {"scalar", "auto"}) {
+    simd::ForceBackendName(backend);
+    for (const int lanes : {64, 256, 512}) {
+      for (const int threads : {1, 2, 8}) {
+        EXPECT_EQ(ClassifyCsv("facet", 100, threads, lanes), expected)
+            << "backend=" << backend << " lanes=" << lanes
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(SimdWidth, GradeCsvIsByteIdenticalAcrossWidths) {
+  BackendGuard guard;
+  simd::ForceBackendName("scalar");
+  const std::string expected = GradeCsv("facet", 100, 64);
+  ASSERT_FALSE(expected.empty());
+  simd::ForceBackendName("auto");
+  EXPECT_EQ(GradeCsv("facet", 100, 512), expected);
+}
+
+// Mixed-width golden-trace lookups must miss cleanly — the golden key
+// folds the lane-word count, so a 256-lane campaign can never be served a
+// 64-lane plane layout (which would alias: same netlist, same stimulus,
+// different plane stride).
+TEST(SimdWidth, MixedWidthGoldenCacheLookupsMissCleanlyNeverAlias) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  const auto all =
+      fault::GenerateFaults(d.system.nl, netlist::ModuleTag::kController);
+  const auto faults = fault::Collapse(d.system.nl, all).representatives;
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  logicsim::GoldenTraceCache cache;
+
+  const auto run = [&](int lanes) {
+    fault::FaultSimRequest req{d.system.nl, {plan, 0xACE1, 200}, faults,
+                               fault::FaultSimEngine::kDifferential};
+    req.exec.threads = 1;
+    req.golden_cache = &cache;
+    req.lanes = lanes;
+    return fault::RunFaultSim(req);
+  };
+
+  const fault::FaultSimResult narrow = run(64);
+  const std::size_t after_narrow = cache.size();
+  EXPECT_GT(after_narrow, 0u);
+
+  const fault::FaultSimResult wide = run(256);
+  // A distinct key per width: the wide run missed and inserted its own
+  // entry instead of reusing (or clobbering) the 64-lane plane.
+  EXPECT_GT(cache.size(), after_narrow);
+  EXPECT_EQ(wide.status, narrow.status);
+  EXPECT_EQ(wide.first_detect_pattern, narrow.first_detect_pattern);
+
+  // Same width again: pure hit, no growth, same verdicts.
+  const std::size_t after_wide = cache.size();
+  const fault::FaultSimResult wide2 = run(256);
+  EXPECT_EQ(cache.size(), after_wide);
+  EXPECT_EQ(wide2.status, narrow.status);
+}
+
+// Checkpointed campaigns run the frozen 64-lane journal span framing; an
+// explicit wider request alongside a journal is a contradiction and must
+// be a hard error, not a silent downgrade.
+TEST(SimdWidth, JournalRejectsAnExplicitWideLaneRequest) {
+  const designs::BenchmarkDesign d = designs::BuildDiffeq(4);
+  const auto all =
+      fault::GenerateFaults(d.system.nl, netlist::ModuleTag::kController);
+  const auto faults = fault::Collapse(d.system.nl, all).representatives;
+  const fault::TestPlan plan = d.system.MakeTestPlan();
+  const std::string path =
+      ::testing::TempDir() + "/simd_width_journal.ckpt";
+  const auto run = [&](int lanes) {
+    std::unique_ptr<ckpt::Journal> journal = ckpt::Journal::Open(path, false);
+    fault::FaultSimRequest req{d.system.nl, {plan, 0xACE1, 100}, faults};
+    journal->Bind(ckpt::Binding{
+        d.system.nl.StructuralHash(), fault::StimulusDigest(req.stimulus),
+        static_cast<std::uint8_t>(req.engine)});
+    req.exec.threads = 1;
+    req.journal = journal.get();
+    req.lanes = lanes;
+    return fault::RunFaultSim(req);
+  };
+  EXPECT_THROW(run(256), pfd::Error);
+  EXPECT_THROW(run(512), pfd::Error);
+  // 64 (and auto) stay checkpointable.
+  const fault::FaultSimResult ok = run(64);
+  EXPECT_EQ(ok.run_status.code, guard::StatusCode::kOk);
+}
+
+}  // namespace
+}  // namespace pfd

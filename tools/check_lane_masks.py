@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Lint: no raw lane-mask literals outside src/base/.
+
+The simulation lane word is width-generic (64/256/512 lanes; see
+src/base/logic.hpp and src/base/simd.hpp). A raw 64-bit literal used as a
+lane mask — `~0ULL` for "all lanes", `1ULL << n` for "lane n" — silently
+re-hardcodes the historical 64-lane assumption: it compiles fine, works at
+width 64, and corrupts lanes 64..511 at the wider widths. Every force /
+injection site must therefore go through pfd::LaneMask (kAllLanes /
+LaneMask::Lane / the mask-less all-lanes overloads), whose width follows
+the machine it is applied to.
+
+This check greps for the bug shape instead of trusting review to catch it:
+
+  * an InjectFault / ForceOutput / ForcePin / ForceInput call whose
+    argument list carries a 64-bit mask literal (~0ULL, 1ULL << n, or a
+    wide hex constant);
+  * a variable whose name says it is a lane mask (lane_mask, lanes_mask,
+    live_mask...) initialised from such a literal.
+
+Scope: src/, tools/, tests/, bench/ — excluding src/base/, where the
+width-generic primitives themselves are defined in terms of 64-bit words.
+Deliberately out of scope (all 64-bit-by-design, not lane masks):
+
+  * src/tpg/lfsr.cpp — the TPGR deals operand batches in a frozen 64-wide
+    protocol; published power figures depend on that dealing order;
+  * src/xcheck/xcheck.cpp — the reference comparison folds per-word, so a
+    per-word ~0ULL compare is the contract, not an assumption;
+  * arithmetic uses of ~0ULL / hex constants anywhere (hashes, seeds,
+    popcount scratch): only *force-site* lines and *mask-named* variables
+    are matched.
+
+A genuinely intentional exception gets an inline waiver:
+
+    InjectFault(sim, f, mask);  // lane-mask-ok: <why this is width-safe>
+
+Exit 0 when clean, 1 with file:line diagnostics otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tools", "tests", "bench")
+EXCLUDE_PREFIX = ("src/base/",)
+EXTENSIONS = {".cpp", ".hpp", ".h", ".cc"}
+
+WAIVER = "lane-mask-ok:"
+
+# A 64-bit literal that reads as a lane mask: all-ones, a shifted single
+# bit, or a hex constant of at least 8 digits (anything shorter is almost
+# always ordinary arithmetic, anything this wide in a force call is a mask).
+MASK_LITERAL = r"(~0ULL|~0ull|1ULL\s*<<|1ull\s*<<|0[xX][0-9a-fA-F]{8,})"
+
+FORCE_CALL = re.compile(
+    r"\b(InjectFault|ForceOutput|ForcePin|ForceInput)\s*\([^;]*"
+    + MASK_LITERAL
+)
+MASK_VARIABLE = re.compile(
+    r"\b\w*(lane_?masks?|live_?mask|detect_?mask)\w*\s*[={(]\s*[^;]*"
+    + MASK_LITERAL,
+    re.IGNORECASE,
+)
+
+
+def scan_file(path: Path, rel: str) -> list:
+    findings = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        print(f"check_lane_masks: cannot read {rel}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if WAIVER in line:
+            continue
+        stripped = line.lstrip()
+        if stripped.startswith("//") or stripped.startswith("*"):
+            continue  # comments discuss masks freely
+        if FORCE_CALL.search(line):
+            findings.append(
+                (rel, lineno, line.strip(),
+                 "raw lane-mask literal in a force/injection call — use "
+                 "pfd::LaneMask (kAllLanes / LaneMask::Lane) or the "
+                 "mask-less all-lanes overload")
+            )
+        elif MASK_VARIABLE.search(line):
+            findings.append(
+                (rel, lineno, line.strip(),
+                 "lane-mask variable built from a raw 64-bit literal — "
+                 "use pfd::LaneMask so the width follows the machine")
+            )
+    return findings
+
+
+def main() -> None:
+    findings = []
+    scanned = 0
+    for d in SCAN_DIRS:
+        base = ROOT / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS:
+                continue
+            rel = path.relative_to(ROOT).as_posix()
+            if any(rel.startswith(p) for p in EXCLUDE_PREFIX):
+                continue
+            scanned += 1
+            findings.extend(scan_file(path, rel))
+
+    if findings:
+        for rel, lineno, line, why in findings:
+            print(f"{rel}:{lineno}: {why}", file=sys.stderr)
+            print(f"    {line}", file=sys.stderr)
+        print(
+            f"check_lane_masks: FAIL: {len(findings)} raw lane-mask "
+            f"literal(s) outside src/base/ (waive a deliberate exception "
+            f"with '// {WAIVER} <reason>')",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"check_lane_masks: OK: {scanned} files clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -72,6 +72,14 @@
 //                        partial report is printed (exit code 3)
 //   --max-cycles N       simulated-cycle budget, same degradation contract
 //   --golden-cache-bytes N  capacity of the process-wide golden-trace cache
+//   --simd NAME          force the simulation kernel backend (auto|scalar|
+//                        avx2|avx512; also $PFD_SIMD). Requesting an
+//                        unavailable backend is a hard error. Results are
+//                        byte-identical across backends
+//   --lanes N            simulation lane width for the step-1 fault engines
+//                        (64|256|512; also $PFD_LANES; default auto = the
+//                        active backend's natural width). Throughput only —
+//                        reports are byte-identical at every width
 //
 // Checkpointing (classify/grade; see DESIGN.md, src/ckpt/journal.hpp):
 //   --checkpoint FILE    journal every completed fault-sim shard span and
@@ -112,6 +120,7 @@
 
 #include "analysis/trace.hpp"
 #include "base/parse.hpp"
+#include "base/simd.hpp"
 #include "ckpt/journal.hpp"
 #include "core/diagnosis.hpp"
 #include "core/grading.hpp"
@@ -155,6 +164,7 @@ struct Options {
   bool mutations = false;        // xcheck: mutation-testing mode
   bool engines = false;          // xcheck: fault-engine harness mode
   std::string fault_engine = "differential";  // step-1 engine (classify et al)
+  int lanes = 0;  // --lanes: 64/256/512 simulation lanes; 0 = auto
   bool csv = false;
   bool verbose = false;
   std::string trace_path;
@@ -233,6 +243,7 @@ int FinishRun(const guard::RunStatus& status) {
       "options: --width N --patterns N --threshold PCT --sigma PCT "
       "--fault INDEX --threads N --csv\n"
       "         --fault-engine parallel|serial|differential\n"
+      "         --simd auto|scalar|avx2|avx512 --lanes 64|256|512\n"
       "         --deadline-ms N --max-cycles N --golden-cache-bytes N\n"
       "         --checkpoint FILE [--resume]\n"
       "         --trace FILE --metrics-json FILE --report FILE\n"
@@ -265,6 +276,7 @@ core::ClassificationReport Classify(const designs::BenchmarkDesign& d,
   core::PipelineConfig cfg;
   cfg.tpgr_patterns = opt.patterns;
   cfg.fault_engine = fault::ParseFaultSimEngine(opt.fault_engine);
+  cfg.lanes = opt.lanes;
   cfg.exec.threads = opt.threads;
   cfg.limits = MakeLimits(opt);
   core::ApplyFeedbackGateCheckDefaults(d.system, &cfg);
@@ -380,7 +392,7 @@ int CmdVcd(const Options& opt) {
                    faults.size());
       return 2;
     }
-    fault::InjectFault(sim, faults[opt.fault_index], ~0ULL);
+    fault::InjectFault(sim, faults[opt.fault_index]);
     std::fprintf(stderr, "injected %s\n",
                  fault::FaultName(sys.nl, faults[opt.fault_index]).c_str());
   }
@@ -682,13 +694,21 @@ int CmdLoadgen(const Options& opt) {
         const LoadJob& job = jobs[i];
         pfdd::Response resp;
         bool got = false;
+        bool retries_exhausted = true;
         const auto t0 = std::chrono::steady_clock::now();
         // One connection per job (so admission control sees every job);
-        // `rejected` answers are retried after a short backoff.
-        for (int attempt = 0; attempt < 200; ++attempt) {
+        // `rejected` answers are retried with capped exponential backoff
+        // (5, 10, 20, ... ms, capped at kBackoffCapMs) up to kMaxAttempts,
+        // after which the job fails with a clear error instead of hammering
+        // an overloaded daemon forever.
+        constexpr int kMaxAttempts = 12;
+        constexpr long kBackoffCapMs = 250;
+        long backoff_ms = 5;
+        for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
           std::string err;
           pfdd::Connection conn = ConnectTarget(opt, &err);
           if (!conn.ok() || !conn.Call(job.request, &resp, &err)) {
+            retries_exhausted = false;
             std::lock_guard<std::mutex> lock(mu);
             std::fprintf(stderr, "loadgen: job %zu: %s\n", i, err.c_str());
             break;
@@ -698,10 +718,22 @@ int CmdLoadgen(const Options& opt) {
             break;
           }
           rejections.fetch_add(1);
-          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          obs::Registry::Global()
+              .GetCounter("loadgen.rejected_retries")
+              .Add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
         }
         if (!got) {
           failures.fetch_add(1);
+          if (retries_exhausted) {
+            std::lock_guard<std::mutex> lock(mu);
+            std::fprintf(stderr,
+                         "loadgen: job %zu (%s): still rejected after %d "
+                         "attempts with backoff; daemon saturated — giving "
+                         "up on this job\n",
+                         i, job.kind.c_str(), kMaxAttempts);
+          }
           continue;
         }
         const double us = std::chrono::duration<double, std::micro>(
@@ -852,7 +884,11 @@ int main(int argc, char** argv) {
       if (arg == "--width") {
         opt.width = std::atoi(next());
       } else if (arg == "--patterns") {
-        opt.patterns = std::atoi(next());
+        // Strict range check: a pattern count near INT_MAX would overflow
+        // the 64-lane batch arithmetic downstream (power_sim caps the same
+        // quantity at kMaxTestSetBatches batches).
+        opt.patterns = static_cast<int>(
+            ParseUint64FlagInRange("--patterns", next(), 64'000'000));
       } else if (arg == "--threshold") {
         opt.threshold = std::atof(next());
       } else if (arg == "--sigma") {
@@ -888,6 +924,18 @@ int main(int argc, char** argv) {
         opt.fault_engine = std::string(ParseChoiceFlag(
             "--fault-engine", next(),
             {"parallel", "serial", "differential"}));
+      } else if (arg == "--simd") {
+        // Applied immediately: every simulator constructed later (any
+        // command) picks up the forced backend. Unavailable = hard error.
+        simd::ForceBackendName(
+            ParseChoiceFlag("--simd", next(),
+                            {"auto", "scalar", "avx2", "avx512"}));
+      } else if (arg == "--lanes") {
+        opt.lanes = static_cast<int>(
+            ParseUint64FlagInRange("--lanes", next(), 512));
+        if (opt.lanes != 0) {
+          simd::ResolveLaneWords(opt.lanes);  // validate {64,256,512} now
+        }
       } else if (arg == "--socket") {
         opt.socket_path = ParsePathFlag("--socket", next());
       } else if (arg == "--port") {
